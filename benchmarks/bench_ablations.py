@@ -1,0 +1,221 @@
+"""ABL-* — ablations over the design choices DESIGN.md calls out.
+
+* ABL-GRAIL-K: GRAIL's number of random traversals k;
+* ABL-FERRARI-K: Ferrari's interval budget;
+* ABL-ORDER: the TOL total-order instantiations (§3.2's TFL/DL/PLL
+  unification);
+* ABL-REDUCTION: §3.4 graph reduction as orthogonal preprocessing.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import (
+    ablation_ferrari_rows,
+    ablation_grail_rows,
+    ablation_order_rows,
+    ablation_reduction_rows,
+)
+from repro.bench.tables import format_seconds, render_table
+from repro.core.registry import plain_index
+from repro.graphs.generators import scale_free_dag
+
+
+def test_grail_k_sweep(benchmark, report):
+    rows = benchmark.pedantic(ablation_grail_rows, rounds=1, iterations=1)
+    report(
+        render_table(
+            ["k", "build", "entries", "MAYBEs on negatives", "per-query"],
+            [
+                (
+                    r["k"],
+                    format_seconds(r["build_seconds"]),
+                    f"{r['entries']:,}",
+                    r["maybes_on_negative"],
+                    format_seconds(r["per_query"]),
+                )
+                for r in rows
+            ],
+            title="ABL-GRAIL-K: more random traversals filter more negatives",
+        )
+    )
+    # more labelings can only tighten the filter (monotone intersection)
+    maybes = [r["maybes_on_negative"] for r in rows]
+    assert maybes == sorted(maybes, reverse=True)
+    # entries are exactly k per vertex
+    for r in rows:
+        assert r["entries"] == r["k"] * 1200
+
+
+def test_ferrari_budget_sweep(benchmark, report):
+    rows = benchmark.pedantic(ablation_ferrari_rows, rounds=1, iterations=1)
+    report(
+        render_table(
+            ["k", "entries", "exact-YES lookups", "MAYBEs"],
+            [
+                (r["k"], f"{r['entries']:,}", r["exact_yes"], r["maybes"])
+                for r in rows
+            ],
+            title="ABL-FERRARI-K: the interval budget trades size for exactness",
+        )
+    )
+    entries = [r["entries"] for r in rows]
+    assert entries == sorted(entries), "larger budgets must not shrink the index"
+    assert rows[-1]["maybes"] <= rows[0]["maybes"]
+
+
+def test_tol_order_instantiations(benchmark, report):
+    rows = benchmark.pedantic(ablation_order_rows, rounds=1, iterations=1)
+    report(
+        render_table(
+            ["total order", "build", "entries"],
+            [
+                (r["order"], format_seconds(r["build_seconds"]), f"{r['entries']:,}")
+                for r in sorted(rows, key=lambda r: r["entries"])
+            ],
+            title="ABL-ORDER: TOL label size under different total orders (§3.2)",
+        )
+    )
+    entries = [r["entries"] for r in rows]
+    # §3.2's point: TOL exists because the order matters — the spread
+    # between the best and worst instantiation must be substantial.
+    assert max(entries) > 1.3 * min(entries), entries
+    by_order = {r["order"]: r["entries"] for r in rows}
+    # the product heuristic avoids wasting rank on high-in-degree sinks
+    assert by_order["degree product (DL)"] < by_order["degree sum (PLL)"]
+
+
+def test_reduction_preprocessing(benchmark, report):
+    rows = benchmark.pedantic(ablation_reduction_rows, rounds=1, iterations=1)
+    report(
+        render_table(
+            ["index", "entries direct", "entries on reduced", "build direct", "build reduced"],
+            [
+                (
+                    r["name"],
+                    f"{r['entries_direct']:,}",
+                    f"{r['entries_reduced']:,}",
+                    format_seconds(r["build_direct"]),
+                    format_seconds(r["build_reduced"]),
+                )
+                for r in rows
+            ],
+            title=(
+                "ABL-REDUCTION: §3.4 reduction "
+                f"(removed {rows[0]['edges_removed']} edges, "
+                f"merged {rows[0]['vertices_merged']} vertices)"
+            ),
+        )
+    )
+    for r in rows:
+        assert r["entries_reduced"] <= r["entries_direct"], r["name"]
+
+
+@pytest.mark.parametrize("k", [1, 3, 8])
+def test_grail_build_vs_k(benchmark, k):
+    graph = scale_free_dag(1000, edges_per_vertex=3, seed=12)
+    benchmark(plain_index("GRAIL").build, graph, k=k)
+
+
+def test_guided_traversal_direction(benchmark, report):
+    """ABL-GUIDED: the §5 fallback — unidirectional vs bidirectional.
+
+    Partial indexes resolve MAYBEs by traversal; the pruning rules work on
+    either frontier.  Measured per query over the MAYBE-heavy cases.
+    """
+    import time
+
+    from repro.core.base import guided_query, guided_query_bidirectional
+    from repro.graphs.generators import layered_dag
+    from repro.workloads.queries import plain_workload
+
+    graph = layered_dag(25, 40, 3, seed=16)
+    workload = plain_workload(graph, 200, positive_fraction=0.5, seed=17)
+    index = plain_index("GRAIL").build(graph, k=2)
+
+    def run_both():
+        start = time.perf_counter()
+        uni = [guided_query(graph, index, q.source, q.target) for q in workload]
+        uni_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        bi = [
+            guided_query_bidirectional(graph, index, q.source, q.target)
+            for q in workload
+        ]
+        bi_seconds = time.perf_counter() - start
+        return uni, uni_seconds, bi, bi_seconds
+
+    uni, uni_seconds, bi, bi_seconds = benchmark.pedantic(
+        run_both, rounds=1, iterations=1
+    )
+    truth = [q.reachable for q in workload]
+    assert uni == truth
+    assert bi == truth
+    report(
+        render_table(
+            ["fallback", "per-query"],
+            [
+                ("guided BFS", format_seconds(uni_seconds / len(workload))),
+                ("guided BiBFS", format_seconds(bi_seconds / len(workload))),
+            ],
+            title="ABL-GUIDED: MAYBE-resolution strategy (GRAIL k=2, layered DAG)",
+        )
+    )
+
+
+def test_grail_exception_lists(benchmark, report):
+    """ABL-GRAIL-EXC: the original paper's exception lists — exact lookups
+    bought with extra entries and a TC-flavoured construction pass."""
+    import time
+
+    from repro.core.base import TriState
+    from repro.graphs.generators import random_dag
+    from repro.traversal.online import bfs_reachable
+
+    graph = random_dag(400, 1200, seed=18)
+
+    def build_both():
+        start = time.perf_counter()
+        partial = plain_index("GRAIL").build(graph, k=2, seed=1)
+        partial_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        exact = plain_index("GRAIL").build(graph, k=2, seed=1, exceptions=True)
+        exact_seconds = time.perf_counter() - start
+        return partial, partial_seconds, exact, exact_seconds
+
+    partial, partial_seconds, exact, exact_seconds = benchmark.pedantic(
+        build_both, rounds=1, iterations=1
+    )
+    maybes = sum(
+        1
+        for s in range(0, 400, 7)
+        for t in range(0, 400, 7)
+        if partial.lookup(s, t) is TriState.MAYBE
+    )
+    for s in range(0, 400, 7):
+        for t in range(0, 400, 7):
+            probe = exact.lookup(s, t)
+            assert probe is not TriState.MAYBE
+            assert (probe is TriState.YES) == bfs_reachable(graph, s, t)
+    report(
+        render_table(
+            ["variant", "build", "entries", "MAYBEs (sampled)"],
+            [
+                (
+                    "GRAIL k=2",
+                    format_seconds(partial_seconds),
+                    f"{partial.size_in_entries():,}",
+                    maybes,
+                ),
+                (
+                    "GRAIL k=2 + exceptions",
+                    format_seconds(exact_seconds),
+                    f"{exact.size_in_entries():,}",
+                    0,
+                ),
+            ],
+            title="ABL-GRAIL-EXC: exception lists trade construction for exactness",
+        )
+    )
+    assert exact.size_in_entries() >= partial.size_in_entries()

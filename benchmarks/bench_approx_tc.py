@@ -1,0 +1,60 @@
+"""CLAIM-S33-FPR — §3.3: approximate-TC indexes have no false negatives;
+false positives exist and are resolved by pruned traversal.
+
+The table reports, per configuration, how many true negatives the filter
+kills outright and how many unreachable pairs still look "maybe
+reachable" (the lookup-level false positives).  Growing the sketch/filter
+must shrink the false-positive count — the paper's accuracy/size dial.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import approx_tc_rows
+from repro.bench.tables import format_seconds, render_table
+from repro.core.registry import plain_index
+from repro.graphs.generators import scale_free_dag
+from repro.workloads.queries import plain_workload
+
+
+def test_claim_no_false_negatives_and_dialable_fp(benchmark, report):
+    fpr_rows = benchmark.pedantic(approx_tc_rows, rounds=1, iterations=1)
+    report(
+        render_table(
+            ["config", "entries", "neg killed", "lookup FPs", "per-query"],
+            [
+                (
+                    r["name"],
+                    f"{r['entries']:,}",
+                    f"{r['negatives_killed']}/{r['negatives_total']}",
+                    r["false_positive_maybes"],
+                    format_seconds(r["per_query"]),
+                )
+                for r in fpr_rows
+            ],
+            title="CLAIM-S33-FPR: approximate-TC lookup outcomes (no-FN asserted)",
+        )
+    )
+    by_family: dict[str, list] = {}
+    for r in fpr_rows:
+        by_family.setdefault(r["name"].split()[0], []).append(r)
+    for family, rows in by_family.items():
+        rows.sort(key=lambda r: r["entries"])
+        small, big = rows[0], rows[-1]
+        assert big["false_positive_maybes"] <= small["false_positive_maybes"], family
+
+
+@pytest.mark.parametrize("name,params", [("IP", {"k": 4}), ("BFL", {"bits": 160})])
+def test_negative_query_latency(benchmark, name, params):
+    """Negative queries die at the filter: O(1) per the §5 argument."""
+    graph = scale_free_dag(1200, edges_per_vertex=3, seed=8)
+    workload = [
+        q
+        for q in plain_workload(graph, 300, positive_fraction=0.0, seed=9)
+    ]
+    index = plain_index(name).build(graph, **params)
+    result = benchmark(
+        lambda: [index.query(q.source, q.target) for q in workload]
+    )
+    assert not any(result)

@@ -1,0 +1,64 @@
+"""CLAIM-S3-SCALE — §3.1: partial-index "index building time and index
+size scale linearly with the input graph size".
+
+Sweeps |V| with constant average degree and checks the shape: doubling
+the graph should roughly double build time and size (we allow a generous
+factor for interpreter noise, but rule out quadratic growth).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import build_scaling_rows
+from repro.bench.tables import format_seconds, render_table
+from repro.core.registry import plain_index
+from repro.graphs.generators import random_dag
+
+
+def test_claim_linear_scaling(benchmark, report):
+    scaling_rows = benchmark.pedantic(build_scaling_rows, rounds=1, iterations=1)
+    report(
+        render_table(
+            ["index", "|V|", "|E|", "build", "entries", "entries/|V|"],
+            [
+                (
+                    r["name"],
+                    r["vertices"],
+                    r["edges"],
+                    format_seconds(r["build_seconds"]),
+                    f"{r['entries']:,}",
+                    f"{r['entries'] / r['vertices']:.2f}",
+                )
+                for r in scaling_rows
+            ],
+            title="CLAIM-S3-SCALE: partial-index build across graph sizes",
+        )
+    )
+    by_name: dict[str, list] = {}
+    for r in scaling_rows:
+        by_name.setdefault(r["name"], []).append(r)
+    for name, rows in by_name.items():
+        rows.sort(key=lambda r: r["vertices"])
+        smallest, largest = rows[0], rows[-1]
+        growth = largest["vertices"] / smallest["vertices"]
+        # size: strictly linear for the exactly-k/filter indexes
+        size_growth = largest["entries"] / max(1, smallest["entries"])
+        assert size_growth <= 2.5 * growth, (name, size_growth, growth)
+        # time: allow constant-factor noise but rule out quadratic blow-up
+        time_growth = largest["build_seconds"] / max(1e-9, smallest["build_seconds"])
+        assert time_growth <= growth * growth, (name, time_growth)
+
+
+@pytest.mark.parametrize("n", [250, 1000, 2000])
+def test_grail_build_scaling(benchmark, n):
+    graph = random_dag(n, 3 * n, seed=6)
+    cls = plain_index("GRAIL")
+    benchmark(cls.build, graph)
+
+
+@pytest.mark.parametrize("n", [250, 1000, 2000])
+def test_bfl_build_scaling(benchmark, n):
+    graph = random_dag(n, 3 * n, seed=6)
+    cls = plain_index("BFL")
+    benchmark(cls.build, graph)

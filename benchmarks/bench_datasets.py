@@ -1,0 +1,97 @@
+"""DATASETS — the headline comparison across the motivating domains.
+
+§1 motivates reachability with biological, financial, social and
+citation networks.  This suite runs the traversal baseline and the main
+index families over one synthetic stand-in per domain (see
+`repro.workloads.datasets` and DESIGN.md §1), producing the dataset ×
+method matrix an evaluation section would open with.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.bench.harness import build_index, time_workload
+from repro.bench.tables import format_seconds, render_table
+from repro.core.registry import plain_index
+from repro.graphs.generators import rmat_digraph
+from repro.graphs.stats import graph_statistics
+from repro.traversal.online import bfs_reachable
+from repro.workloads.datasets import (
+    citation_network,
+    protein_network,
+    social_network,
+    transaction_network,
+)
+from repro.workloads.queries import plain_workload
+
+INDEXES = ("GRAIL", "BFL", "PLL", "Preach")
+
+
+def _datasets():
+    return {
+        "citation (scale-free DAG)": citation_network(num_vertices=400, seed=11),
+        "protein (layered DAG)": protein_network(num_layers=12, width=30, seed=13),
+        "social (labeled, plain view)": social_network(
+            num_vertices=400, seed=7
+        ).to_plain(),
+        "finance (cyclic, plain view)": transaction_network(
+            num_vertices=300, seed=17
+        ).to_plain(),
+        "web (R-MAT)": rmat_digraph(9, 1536, seed=19),
+    }
+
+
+def test_dataset_matrix(benchmark, report):
+    def run():
+        rows = []
+        for name, graph in _datasets().items():
+            workload = plain_workload(graph, 200, positive_fraction=0.3, seed=23)
+            start = time.perf_counter()
+            for q in workload:
+                bfs_reachable(graph, q.source, q.target)
+            bfs_per_query = (time.perf_counter() - start) / len(workload)
+            cells = {"bfs": bfs_per_query}
+            for index_name in INDEXES:
+                built = build_index(plain_index(index_name), graph)
+                result = time_workload(index_name, built.index.query, workload)
+                assert result.wrong_answers == 0, (name, index_name)
+                cells[index_name] = result.per_query_seconds
+            stats = graph_statistics(graph)
+            rows.append((name, stats, cells))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        render_table(
+            ["dataset", "|V|", "|E|", "reach-density", "BFS"] + list(INDEXES),
+            [
+                (
+                    name,
+                    stats.num_vertices,
+                    stats.num_edges,
+                    f"{stats.reachability_density:.3f}",
+                    format_seconds(cells["bfs"]),
+                )
+                + tuple(format_seconds(cells[i]) for i in INDEXES)
+                for name, stats, cells in rows
+            ],
+            title="DATASETS: per-query time across the §1 domain stand-ins",
+        )
+    )
+    # the complete 2-hop index wins or ties the traversal everywhere
+    for name, _stats, cells in rows:
+        assert cells["PLL"] <= cells["bfs"], name
+
+
+@pytest.mark.parametrize("name", ["citation", "protein", "finance"])
+def test_dataset_builds(benchmark, name):
+    graphs = {
+        "citation": citation_network(num_vertices=400, seed=11),
+        "protein": protein_network(num_layers=12, width=30, seed=13),
+        "finance": transaction_network(num_vertices=300, seed=17).to_plain(),
+    }
+    graph = graphs[name]
+    benchmark(lambda: build_index(plain_index("PLL"), graph))

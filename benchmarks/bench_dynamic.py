@@ -1,0 +1,80 @@
+"""CLAIM-S32-DYN — §3.2/§5: update support across the dynamic indexes.
+
+TOL handles insertions and deletions through its total order; U2-hop's
+weaker order makes the same maintenance costlier (the "cannot scale"
+remark); DBL is insert-only with near-constant label updates; DAGGER
+widens intervals monotonically.  The table reports per-update cost next
+to the cost of a full rebuild — maintenance must beat rebuilding.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.bench.experiments import dynamic_rows
+from repro.bench.tables import render_table
+from repro.core.registry import plain_index
+from repro.graphs.generators import random_dag
+from repro.traversal.online import bfs_reachable
+
+
+def test_claim_maintenance_beats_rebuild(benchmark, report):
+    update_rows = benchmark.pedantic(dynamic_rows, rounds=1, iterations=1)
+    report(
+        render_table(
+            ["index", "insert (ms)", "delete (ms)", "full rebuild (ms)"],
+            [
+                (
+                    r["name"],
+                    f"{r['insert_ms']:.2f}",
+                    "-" if r["delete_ms"] is None else f"{r['delete_ms']:.2f}",
+                    f"{r['rebuild_ms']:.1f}",
+                )
+                for r in update_rows
+            ],
+            title="CLAIM-S32-DYN: per-update maintenance vs rebuild, 400-vertex DAG",
+        )
+    )
+    for r in update_rows:
+        assert r["insert_ms"] < r["rebuild_ms"], r["name"]
+
+
+def _insert_stream(index, rng, count):
+    g = index.graph
+    for _ in range(count):
+        for _attempt in range(200):
+            u = rng.randrange(g.num_vertices)
+            v = rng.randrange(g.num_vertices)
+            if u != v and not g.has_edge(u, v) and not bfs_reachable(g, v, u):
+                index.insert_edge(u, v)
+                break
+
+
+@pytest.mark.parametrize("name", ["TOL", "DAGGER", "IP"])
+def test_insert_maintenance(benchmark, name):
+    def run():
+        graph = random_dag(300, 900, seed=10)
+        index = plain_index(name).build(graph)
+        _insert_stream(index, random.Random(11), 20)
+        return index
+
+    index = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert index.size_in_entries() > 0
+
+
+def test_tol_delete_maintenance(benchmark):
+    def run():
+        graph = random_dag(300, 900, seed=12)
+        index = plain_index("TOL").build(graph)
+        rng = random.Random(13)
+        g = index.graph
+        for _ in range(10):
+            edges = list(g.edges())
+            u, v = edges[rng.randrange(len(edges))]
+            index.delete_edge(u, v)
+        return index
+
+    index = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert index.size_in_entries() > 0

@@ -1,0 +1,72 @@
+"""FIG1a / FIG1b: the running example of Figure 1, timed.
+
+Regenerates the paper's worked example: plain reachability on Figure
+1(a), the alternation and concatenation queries on Figure 1(b), and
+benchmarks the representative query of each.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.condensed import CondensedIndex
+from repro.core.registry import labeled_index, plain_index
+from repro.traversal.online import bfs_reachable
+from repro.traversal.rpq import rpq_reachable
+from repro.workloads.datasets import figure1a, figure1b, vertex_id
+
+A, G, L, B, M = (vertex_id(x) for x in "AGLBM")
+
+
+@pytest.fixture(scope="module")
+def plain_graph():
+    return figure1a()
+
+
+@pytest.fixture(scope="module")
+def labeled_graph():
+    return figure1b()
+
+
+def test_fig1a_qr_a_g(benchmark, plain_graph, report):
+    """§2.1: Qr(A, G) = true via (A, D, H, G)."""
+    index = CondensedIndex.build(plain_graph, inner=plain_index("Tree cover"))
+    answer = benchmark(index.query, A, G)
+    assert answer is True
+    assert bfs_reachable(plain_graph, A, G)
+    report("FIG1a: Qr(A, G) = true  (tree-cover index lookup)")
+
+
+def test_fig1b_alternation_query(benchmark, labeled_graph, report):
+    """§2.2: Qr(A, G, (friendOf ∪ follows)*) = false."""
+    index = labeled_index("P2H+").build(labeled_graph)
+    constraint = "(friendOf | follows)*"
+    answer = benchmark(index.query, A, G, constraint)
+    assert answer is False
+    assert not rpq_reachable(labeled_graph, A, G, constraint)
+    report(f"FIG1b: Qr(A, G, {constraint}) = false  (P2H+ lookup)")
+
+
+def test_fig1b_concatenation_query(benchmark, labeled_graph, report):
+    """§4.2: Qr(L, B, (worksFor · friendOf)*) = true."""
+    index = labeled_index("RLC").build(labeled_graph, max_period=2)
+    constraint = "(worksFor . friendOf)*"
+    answer = benchmark(index.query, L, B, constraint)
+    assert answer is True
+    report(f"FIG1b: Qr(L, B, {constraint}) = true  (RLC lookup)")
+
+
+def test_fig1b_spls_examples(benchmark, labeled_graph, report):
+    """§4.1: SPLS(L→M) = {worksFor}; SPLS(A→M) = {follows, worksFor}."""
+    from repro.labeled.gtc import GTCIndex
+
+    index = GTCIndex.build(labeled_graph)
+    works_for = 1 << labeled_graph.label_id("worksFor")
+    follows = 1 << labeled_graph.label_id("follows")
+    assert index.spls(L, M) == [works_for]
+    assert index.spls(A, M) == [follows | works_for]
+    benchmark(index.spls, A, M)
+    report(
+        "FIG1b: SPLS(L, M) = {worksFor}; "
+        "SPLS(A, M) = {follows, worksFor} (GTC lookups)"
+    )

@@ -1,0 +1,66 @@
+"""CLAIM-S3-SIZE — §2.3/§3: index size across the Table 1 families.
+
+The TC's "high computation and storage costs make it infeasible in
+practice": the table shows the TC holding orders of magnitude more
+entries than every labeling scheme on the same graph, with the
+constant-per-vertex filters (BFL, IP, Feline, DBL) at the small end.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import index_size_rows
+from repro.bench.tables import format_seconds, render_table
+from repro.core.registry import plain_index
+from repro.graphs.generators import random_dag
+
+
+def test_claim_tc_is_infeasible(benchmark, report):
+    size_rows = benchmark.pedantic(index_size_rows, rounds=1, iterations=1)
+    report(
+        render_table(
+            ["index", "entries", "payload bytes", "build"],
+            [
+                (
+                    r["name"],
+                    f"{r['entries']:,}",
+                    f"{r['bytes']:,}",
+                    format_seconds(r["build_seconds"]),
+                )
+                for r in size_rows
+            ],
+            title="CLAIM-S3-SIZE: index entries, 300-vertex DAG (|E| = 1200)",
+        )
+    )
+    entries = {r["name"]: r["entries"] for r in size_rows}
+    # the TC stores reachable pairs: far larger than any labeling
+    for name in ("BFL", "GRAIL", "Ferrari", "PLL", "Feline", "DBL"):
+        assert entries["TC"] > 5 * entries[name], (name, entries[name])
+    # constant-per-vertex filters sit at the small end
+    n = 300
+    assert entries["BFL"] == 2 * n
+    assert entries["Feline"] == 3 * n
+    assert entries["DBL"] == 4 * n
+
+
+def test_tc_build(benchmark):
+    graph = random_dag(300, 1200, seed=7)
+    benchmark(plain_index("TC").build, graph)
+
+
+def test_pll_build(benchmark):
+    graph = random_dag(300, 1200, seed=7)
+    benchmark(plain_index("PLL").build, graph)
+
+
+@pytest.mark.parametrize("shortcuts", [10, 80, 300])
+def test_dual_labeling_size_grows_quadratically_in_links(benchmark, shortcuts, report):
+    """§3.1: dual labeling works "only if the number of non-tree edges is
+    very low" — its O(t²) link closure dominates as shortcuts grow."""
+    from repro.graphs.generators import tree_with_shortcuts
+
+    graph = tree_with_shortcuts(400, shortcuts, seed=8)
+    cls = plain_index("Dual labeling")
+    index = benchmark(cls.build, graph)
+    assert index.size_in_entries() >= shortcuts * shortcuts

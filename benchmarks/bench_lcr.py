@@ -1,0 +1,69 @@
+"""CLAIM-S4-LCR — §4.1: LCR query processing across the index families.
+
+Guided BFS (the §2.3 online strategy) against the landmark partial index,
+the complete tree-based indexes (Jin, Chen), the GTC family (Zou) and the
+2-hop family (P2H+), all answering the same alternation workload exactly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import lcr_rows
+from repro.bench.tables import format_seconds, render_table
+from repro.core.registry import labeled_index
+from repro.graphs.generators import random_labeled_digraph
+from repro.traversal.rpq import rpq_reachable
+from repro.workloads.queries import alternation_workload
+
+
+def test_claim_indexes_answer_lcr_faster_than_bfs(benchmark, report):
+    rows = benchmark.pedantic(lcr_rows, rounds=1, iterations=1)
+    report(
+        render_table(
+            ["method", "per-query", "build", "entries", "wrong"],
+            [
+                (
+                    r["name"],
+                    format_seconds(r["per_query"]),
+                    format_seconds(r.get("build_seconds", 0.0))
+                    if "build_seconds" in r
+                    else "-",
+                    f"{r.get('entries', 0):,}" if "entries" in r else "-",
+                    r["wrong"],
+                )
+                for r in sorted(rows, key=lambda r: r["per_query"])
+            ],
+            title="CLAIM-S4-LCR: alternation queries, 300-vertex labeled scale-free",
+        )
+    )
+    assert all(r["wrong"] == 0 for r in rows)
+    bfs = next(r for r in rows if r["name"] == "guided BFS")
+    p2h = next(r for r in rows if r["name"] == "P2H+")
+    assert p2h["per_query"] < bfs["per_query"], "P2H+ should beat online search"
+
+
+@pytest.fixture(scope="module")
+def workload_setup():
+    graph = random_labeled_digraph(250, 750, ["a", "b", "c"], seed=20)
+    workload = alternation_workload(graph, 40, seed=21)
+    return graph, workload
+
+
+def test_guided_bfs(benchmark, workload_setup):
+    graph, workload = workload_setup
+    benchmark(
+        lambda: [
+            rpq_reachable(graph, q.source, q.target, q.constraint) for q in workload
+        ]
+    )
+
+
+@pytest.mark.parametrize("name", ["P2H+", "Landmark index"])
+def test_lcr_index_queries(benchmark, workload_setup, name):
+    graph, workload = workload_setup
+    index = labeled_index(name).build(graph.copy())
+    result = benchmark(
+        lambda: [index.query(q.source, q.target, q.constraint) for q in workload]
+    )
+    assert result == [q.reachable for q in workload]

@@ -1,0 +1,58 @@
+"""CLAIM-S4-BUILD — §5: "the index construction cost of path-constrained
+reachability indexes is high" relative to plain indexes on the same graph.
+
+Build times of plain indexes on the label-stripped projection against the
+labeled indexes on the full graph: every labeled build must cost more
+than every plain build (the paper reports hours vs seconds at scale; the
+ordering is the reproducible shape).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import lcr_build_rows
+from repro.bench.tables import format_seconds, render_table
+from repro.core.registry import labeled_index, plain_index
+from repro.graphs.generators import random_labeled_digraph
+
+
+def test_claim_labeled_builds_cost_more(benchmark, report):
+    rows = benchmark.pedantic(lcr_build_rows, rounds=1, iterations=1)
+    report(
+        render_table(
+            ["index", "build", "entries"],
+            [
+                (r["name"], format_seconds(r["build_seconds"]), f"{r['entries']:,}")
+                for r in sorted(rows, key=lambda r: r["build_seconds"])
+            ],
+            title="CLAIM-S4-BUILD: plain vs path-constrained build cost, same graph",
+        )
+    )
+    plain_times = [r["build_seconds"] for r in rows if r["name"].startswith("plain/")]
+    complete_labeled = [
+        r["build_seconds"]
+        for r in rows
+        if r["name"].startswith("labeled/") and "Landmark" not in r["name"]
+    ]
+    # §5's claim targets the complete LCR indexes (hours at paper scale);
+    # the partial landmark index trades that cost away, so it is reported
+    # but exempt from the ordering.
+    assert max(plain_times) < min(complete_labeled), (
+        "every complete labeled index build should cost more than every "
+        "plain build"
+    )
+
+
+@pytest.fixture(scope="module")
+def shared_graph():
+    return random_labeled_digraph(200, 600, ["a", "b", "c"], seed=22)
+
+
+def test_plain_pll_build(benchmark, shared_graph):
+    benchmark(plain_index("PLL").build, shared_graph.to_plain())
+
+
+@pytest.mark.parametrize("name", ["P2H+", "Landmark index"])
+def test_labeled_build(benchmark, shared_graph, name):
+    benchmark(lambda: labeled_index(name).build(shared_graph.copy()))

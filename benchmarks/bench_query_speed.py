@@ -1,0 +1,70 @@
+"""CLAIM-S3-SPEED — §3.1/§5: "reachability processing using these indexes
+can be an order of magnitude faster than using only graph traversal".
+
+The table compares per-query time of the online baselines (BFS/DFS/BiBFS)
+with every fast Table 1 index on a scale-free DAG; the assertion checks
+the claim's shape: the best index beats the best traversal by >= 10x.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import query_speed_rows
+from repro.bench.tables import format_seconds, render_table
+from repro.core.registry import plain_index
+from repro.graphs.generators import scale_free_dag
+from repro.traversal.online import bfs_reachable
+from repro.workloads.queries import plain_workload
+
+
+def test_claim_order_of_magnitude(benchmark, report):
+    speed_rows = benchmark.pedantic(query_speed_rows, rounds=1, iterations=1)
+    report(
+        render_table(
+            ["method", "kind", "per-query", "entries", "wrong"],
+            [
+                (
+                    r["name"],
+                    r["kind"],
+                    format_seconds(r["per_query"]),
+                    f"{r['entries']:,}",
+                    r["wrong"],
+                )
+                for r in sorted(speed_rows, key=lambda r: r["per_query"])
+            ],
+            title="CLAIM-S3-SPEED: per-query time, 2000-vertex layered DAG",
+        )
+    )
+    # every method must be exact
+    assert all(r["wrong"] == 0 for r in speed_rows)
+    bfs_time = next(r["per_query"] for r in speed_rows if r["name"] == "BFS")
+    best_index = min(r["per_query"] for r in speed_rows if r["kind"] == "index")
+    assert best_index * 10 <= bfs_time, (
+        f"claimed >=10x speedup not reproduced: index {best_index:.2e}s "
+        f"vs BFS {bfs_time:.2e}s"
+    )
+
+
+@pytest.fixture(scope="module")
+def standard_setup():
+    graph = scale_free_dag(1500, edges_per_vertex=3, seed=5)
+    workload = plain_workload(graph, 50, positive_fraction=0.3, seed=6)
+    return graph, workload
+
+
+def test_bfs_baseline(benchmark, standard_setup):
+    graph, workload = standard_setup
+    benchmark(
+        lambda: [bfs_reachable(graph, q.source, q.target) for q in workload]
+    )
+
+
+@pytest.mark.parametrize("name", ["PLL", "GRAIL", "BFL", "Preach"])
+def test_indexed_queries(benchmark, standard_setup, name):
+    graph, workload = standard_setup
+    index = plain_index(name).build(graph)
+    result = benchmark(
+        lambda: [index.query(q.source, q.target) for q in workload]
+    )
+    assert result == [q.reachable for q in workload]

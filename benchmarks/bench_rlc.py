@@ -1,0 +1,100 @@
+"""CLAIM-S42-RLC — §4.2: the RLC index answers concatenation queries from
+lookups, against the automaton-guided product BFS baseline.
+
+Both must agree exactly; the index should win on per-query time once
+built (its build absorbs the minimum-repeat computation the baseline
+redoes per query).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.bench.tables import format_seconds, render_table
+from repro.core.registry import labeled_index
+from repro.graphs.generators import random_labeled_digraph
+from repro.traversal.automaton import build_dfa
+from repro.traversal.rpq import rpq_reachable_with_dfa
+from repro.workloads.queries import concatenation_workload
+
+
+@pytest.fixture(scope="module")
+def setup():
+    graph = random_labeled_digraph(200, 600, ["a", "b", "c"], seed=23)
+    workload = concatenation_workload(graph, 120, seed=24, max_period=2)
+    return graph, workload
+
+
+def test_claim_rlc_exact_and_faster(benchmark, setup, report):
+    graph, workload = setup
+
+    build_start = time.perf_counter()
+    index = labeled_index("RLC").build(graph.copy(), max_period=2)
+    build_seconds = time.perf_counter() - build_start
+
+    start = time.perf_counter()
+    online = [
+        rpq_reachable_with_dfa(graph, q.source, q.target, build_dfa(q.constraint))
+        for q in workload
+    ]
+    online_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    indexed = benchmark.pedantic(
+        lambda: [index.query(q.source, q.target, q.constraint) for q in workload],
+        rounds=1,
+        iterations=1,
+    )
+    indexed_seconds = time.perf_counter() - start
+
+    truth = [q.reachable for q in workload]
+    assert online == truth
+    assert indexed == truth
+
+    report(
+        render_table(
+            ["method", "per-query", "build", "entries"],
+            [
+                (
+                    "product-automaton BFS",
+                    format_seconds(online_seconds / len(workload)),
+                    "-",
+                    "-",
+                ),
+                (
+                    "RLC index",
+                    format_seconds(indexed_seconds / len(workload)),
+                    format_seconds(build_seconds),
+                    f"{index.size_in_entries():,}",
+                ),
+            ],
+            title="CLAIM-S42-RLC: concatenation queries, 200-vertex labeled graph",
+        )
+    )
+    assert indexed_seconds < online_seconds
+
+
+def test_rlc_queries(benchmark, setup):
+    graph, workload = setup
+    index = labeled_index("RLC").build(graph.copy(), max_period=2)
+    result = benchmark(
+        lambda: [index.query(q.source, q.target, q.constraint) for q in workload]
+    )
+    assert result == [q.reachable for q in workload]
+
+
+def test_rlc_build(benchmark, setup):
+    graph, _workload = setup
+    benchmark(lambda: labeled_index("RLC").build(graph.copy(), max_period=2))
+
+
+@pytest.mark.parametrize("max_period", [1, 2, 3])
+def test_rlc_build_grows_with_period_bound(benchmark, max_period):
+    """The κ bound is the index's cost dial (the paper's taming rule)."""
+    graph = random_labeled_digraph(120, 360, ["a", "b"], seed=25)
+    index = benchmark(
+        lambda: labeled_index("RLC").build(graph.copy(), max_period=max_period)
+    )
+    assert index.max_period == max_period

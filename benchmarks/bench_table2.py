@@ -1,0 +1,33 @@
+"""TAB2: regenerate Table 2 (path-constrained taxonomy) from live metadata."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import taxonomy_table2_rows
+from repro.bench.tables import render_table
+from repro.core.registry import labeled_index
+from repro.graphs.generators import random_labeled_digraph
+
+
+def test_table2_taxonomy(benchmark, report):
+    rows = benchmark(taxonomy_table2_rows)
+    assert len(rows) == 8
+    report(
+        render_table(
+            ["Indexing Technique", "Framework", "Path Constraint", "Index type", "Input", "Dynamic"],
+            rows,
+            title="Table 2: A review of path-constrained reachability indexes (regenerated)",
+        )
+    )
+
+
+@pytest.mark.parametrize(
+    "name", ["P2H+", "Landmark index", "Jin et al.", "Chen et al.", "Zou et al.", "RLC"]
+)
+def test_build_representatives(benchmark, name):
+    """Build cost of each labeled index on a common 120-vertex graph."""
+    graph = random_labeled_digraph(120, 360, ["a", "b", "c"], seed=101)
+    cls = labeled_index(name)
+    index = benchmark(cls.build, graph.copy())
+    assert index.size_in_entries() > 0

@@ -1,0 +1,23 @@
+"""Shared configuration for the benchmark suite.
+
+Run with:  pytest benchmarks/ --benchmark-only -s
+
+Each file regenerates one paper artifact (table / figure / prose claim —
+see the experiment index in DESIGN.md) and prints it as an ASCII table;
+the pytest-benchmark fixture additionally times the representative
+operation of that experiment.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def report():
+    """Print a rendered experiment table (visible with -s / on failures)."""
+
+    def _print(text: str) -> None:
+        print("\n" + text + "\n")
+
+    return _print

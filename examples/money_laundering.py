@@ -1,0 +1,80 @@
+"""Money-laundering pattern detection with concatenation queries.
+
+§2.2 lists "money laundering detection in financial transaction
+networks" among the applications of path-constrained reachability.  A
+classic structuring pattern alternates transaction types — e.g. repeated
+``withdraw -> deposit`` hops across accounts.  That is exactly a
+recursive label-concatenated (RLC) query: ``(withdraw · deposit)*``.
+
+This example plants such a chain inside a noisy synthetic transaction
+network and finds every account the suspect can reach through the
+pattern, comparing the RLC index against plain automaton-guided search.
+
+Run with:  python examples/money_laundering.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.registry import labeled_index
+from repro.traversal.rpq import constrained_descendants
+from repro.workloads.datasets import transaction_network
+
+
+def main() -> None:
+    graph = transaction_network(num_vertices=200, seed=17)
+    # plant a laundering chain: suspect -> m1 -> m2 -> ... alternating
+    suspect = 0
+    chain = [suspect, 41, 87, 123, 160, 199]
+    for i, (u, v) in enumerate(zip(chain, chain[1:])):
+        label = "withdraw" if i % 2 == 0 else "deposit"
+        if not graph.has_edge(u, v, label):
+            graph.add_edge(u, v, label)
+    print(f"transaction graph: {graph!r}")
+    print(f"planted chain: {' -> '.join(map(str, chain))}")
+
+    pattern = "(withdraw . deposit)*"
+    build_start = time.perf_counter()
+    index = labeled_index("RLC").build(graph, max_period=2)
+    build_time = time.perf_counter() - build_start
+    print(
+        f"RLC index built in {build_time * 1e3:.1f} ms "
+        f"({index.size_in_entries():,} entries)\n"
+    )
+
+    # who can the suspect reach through whole repeats of the pattern?
+    flagged = sorted(
+        t
+        for t in graph.vertices()
+        if t != suspect and index.query(suspect, t, pattern)
+    )
+    print(f"accounts reachable from {suspect} via {pattern}: {flagged}")
+
+    # the planted even-position hops must be flagged
+    for position, account in enumerate(chain[1:], start=1):
+        if position % 2 == 0:  # complete (withdraw, deposit) repeats
+            assert account in flagged, account
+
+    # cross-check against the online product-automaton search
+    expected = constrained_descendants(graph, suspect, pattern) - {suspect}
+    assert set(flagged) == expected
+    print("matches automaton-guided traversal: OK")
+
+    # timing comparison on repeated queries
+    queries = [(suspect, t) for t in range(graph.num_vertices)]
+    start = time.perf_counter()
+    for s, t in queries:
+        index.query(s, t, pattern)
+    indexed = time.perf_counter() - start
+    start = time.perf_counter()
+    reachable = constrained_descendants(graph, suspect, pattern)
+    online_one_source = time.perf_counter() - start
+    print(
+        f"\n{len(queries)} indexed queries: {indexed * 1e3:.1f} ms total; "
+        f"one online constrained BFS: {online_one_source * 1e3:.1f} ms"
+    )
+
+
+if __name__ == "__main__":
+    main()

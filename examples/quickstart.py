@@ -1,0 +1,56 @@
+"""Quickstart: the survey's Figure 1 example, end to end.
+
+Builds plain and path-constrained indexes over the paper's running
+example and reproduces the queries §2 and §4 discuss.
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import plain_index
+from repro.core.oracle import PathReachabilityOracle, PlainReachabilityOracle
+from repro.workloads.datasets import figure1a, figure1b, vertex_id
+
+
+def main() -> None:
+    # --- plain reachability (§2.1) --------------------------------------
+    graph = figure1a()
+    a, g = vertex_id("A"), vertex_id("G")
+
+    oracle = PlainReachabilityOracle(graph, index_name="PLL")
+    print(f"Qr(A, G) = {oracle.reachable(a, g)}   # via the path (A, D, H, G)")
+
+    # the same answer from a very different index family
+    bfl = plain_index("BFL")
+    from repro.core.condensed import CondensedIndex
+
+    index = CondensedIndex.build(graph, inner=bfl)
+    print(f"Qr(A, G) = {index.query(a, g)}   # BFL (approximate TC + guided search)")
+
+    # --- path-constrained reachability (§2.2, §4) ------------------------
+    labeled = figure1b()
+    path_oracle = PathReachabilityOracle(labeled)
+
+    constraint = "(friendOf | follows)*"
+    answer = path_oracle.reachable(a, g, constraint)
+    print(f"Qr(A, G, {constraint}) = {answer}   # every A-G path needs worksFor")
+
+    l, b = vertex_id("L"), vertex_id("B")
+    constraint = "(worksFor . friendOf)*"
+    answer = path_oracle.reachable(l, b, constraint)
+    print(f"Qr(L, B, {constraint}) = {answer}   # the §4.2 RLC example")
+
+    # --- index sizes: why the TC is infeasible (§2.3) --------------------
+    print("\nindex sizes on Figure 1(a):")
+    for name in ("TC", "Tree cover", "PLL", "GRAIL", "BFL"):
+        cls = plain_index(name)
+        if cls.metadata.input_kind == "DAG":
+            built = CondensedIndex.build(graph, inner=cls)
+        else:
+            built = cls.build(graph)
+        print(f"  {name:10s} {built.size_in_entries():4d} entries")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,161 @@
+"""Reproduce every paper artifact in one run.
+
+Prints, in order: the regenerated Tables 1 and 2, the Figure 1 worked
+examples, and the measured table for each quantitative prose claim and
+ablation listed in DESIGN.md — the same content the benchmark suite
+asserts, as a single readable report.
+
+Run with:  python examples/reproduce_paper.py       (takes a few minutes)
+"""
+
+from __future__ import annotations
+
+from repro.bench import experiments
+from repro.bench.tables import format_seconds, render_table
+
+
+def _fmt(value: float) -> str:
+    return format_seconds(value)
+
+
+def tables() -> None:
+    print(
+        render_table(
+            ["Indexing Technique", "Framework", "Index Type", "Input", "Dynamic"],
+            experiments.taxonomy_table1_rows(),
+            title="Table 1 (regenerated from live metadata)",
+        )
+    )
+    print()
+    print(
+        render_table(
+            ["Indexing Technique", "Framework", "Constraint", "Type", "Input", "Dynamic"],
+            experiments.taxonomy_table2_rows(),
+            title="Table 2 (regenerated from live metadata)",
+        )
+    )
+
+
+def figure1() -> None:
+    from repro.core.oracle import PathReachabilityOracle, PlainReachabilityOracle
+    from repro.labeled.gtc import GTCIndex
+    from repro.workloads.datasets import figure1a, figure1b, vertex_id
+
+    a, g, l, b, m = (vertex_id(x) for x in "AGLBM")
+    plain = PlainReachabilityOracle(figure1a())
+    labeled = figure1b()
+    paths = PathReachabilityOracle(labeled)
+    gtc = GTCIndex.build(labeled)
+    rows = [
+        ("Qr(A, G)", str(plain.reachable(a, g))),
+        (
+            "Qr(A, G, (friendOf|follows)*)",
+            str(paths.reachable(a, g, "(friendOf | follows)*")),
+        ),
+        (
+            "Qr(L, B, (worksFor.friendOf)*)",
+            str(paths.reachable(l, b, "(worksFor . friendOf)*")),
+        ),
+        (
+            "SPLS(L, M)",
+            str(sorted(map(str, labeled.mask_to_labels(gtc.spls(l, m)[0])))),
+        ),
+        (
+            "SPLS(A, M)",
+            str(sorted(map(str, labeled.mask_to_labels(gtc.spls(a, m)[0])))),
+        ),
+    ]
+    print(render_table(["Figure 1 example", "measured"], rows, title="Figure 1"))
+
+
+def claims() -> None:
+    rows = experiments.query_speed_rows()
+    print(
+        render_table(
+            ["method", "kind", "per-query"],
+            [
+                (r["name"], r["kind"], _fmt(r["per_query"]))
+                for r in sorted(rows, key=lambda r: r["per_query"])
+            ],
+            title="CLAIM-S3-SPEED",
+        )
+    )
+    print()
+    size_rows = experiments.index_size_rows()
+    print(
+        render_table(
+            ["index", "entries"],
+            [(r["name"], f"{r['entries']:,}") for r in size_rows],
+            title="CLAIM-S3-SIZE",
+        )
+    )
+    print()
+    fpr = experiments.approx_tc_rows()
+    print(
+        render_table(
+            ["config", "negatives killed", "lookup FPs"],
+            [
+                (
+                    r["name"],
+                    f"{r['negatives_killed']}/{r['negatives_total']}",
+                    r["false_positive_maybes"],
+                )
+                for r in fpr
+            ],
+            title="CLAIM-S33-FPR",
+        )
+    )
+    print()
+    dyn = experiments.dynamic_rows()
+    print(
+        render_table(
+            ["index", "insert (ms)", "delete (ms)", "rebuild (ms)"],
+            [
+                (
+                    r["name"],
+                    f"{r['insert_ms']:.2f}",
+                    "-" if r["delete_ms"] is None else f"{r['delete_ms']:.2f}",
+                    f"{r['rebuild_ms']:.1f}",
+                )
+                for r in dyn
+            ],
+            title="CLAIM-S32-DYN",
+        )
+    )
+    print()
+    lcr = experiments.lcr_rows()
+    print(
+        render_table(
+            ["method", "per-query"],
+            [
+                (r["name"], _fmt(r["per_query"]))
+                for r in sorted(lcr, key=lambda r: r["per_query"])
+            ],
+            title="CLAIM-S4-LCR",
+        )
+    )
+    print()
+    orders = experiments.ablation_order_rows()
+    print(
+        render_table(
+            ["total order", "entries"],
+            [
+                (r["order"], f"{r['entries']:,}")
+                for r in sorted(orders, key=lambda r: r["entries"])
+            ],
+            title="ABL-ORDER",
+        )
+    )
+
+
+def main() -> None:
+    tables()
+    print()
+    figure1()
+    print()
+    claims()
+    print("\nFull suite with assertions: pytest benchmarks/ --benchmark-only -s")
+
+
+if __name__ == "__main__":
+    main()

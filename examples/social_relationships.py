@@ -1,0 +1,71 @@
+"""Social-relationship analysis with label-constrained reachability.
+
+The survey's §2.2 motivates LCR queries with social-network analysis:
+"is this person connected to that person purely through friendship /
+follow relationships?"  This example builds a synthetic social graph,
+indexes it with P2H+, and contrasts constrained and unconstrained
+connectivity — then shows the dynamic side with DLCR as relationships
+are added and removed.
+
+Run with:  python examples/social_relationships.py
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from repro.core.registry import labeled_index
+from repro.traversal.rpq import rpq_reachable
+from repro.workloads.datasets import social_network
+
+
+def main() -> None:
+    graph = social_network(num_vertices=250, seed=7)
+    print(f"social graph: {graph!r}")
+
+    build_start = time.perf_counter()
+    index = labeled_index("P2H+").build(graph)
+    build_time = time.perf_counter() - build_start
+    print(
+        f"P2H+ built in {build_time * 1e3:.1f} ms, "
+        f"{index.size_in_entries():,} label entries\n"
+    )
+
+    rng = random.Random(0)
+    pairs = [
+        (rng.randrange(graph.num_vertices), rng.randrange(graph.num_vertices))
+        for _ in range(8)
+    ]
+
+    social_only = "(friendOf | follows)*"
+    any_relation = "(friendOf | follows | worksFor)*"
+    print(f"{'pair':>12s}  {'social-only':>12s}  {'any-relation':>12s}")
+    for s, t in pairs:
+        socially = index.query(s, t, social_only)
+        anyhow = index.query(s, t, any_relation)
+        print(f"{f'({s},{t})':>12s}  {str(socially):>12s}  {str(anyhow):>12s}")
+        # sanity: the index agrees with online automaton-guided traversal
+        assert socially == rpq_reachable(graph, s, t, social_only)
+        assert anyhow == rpq_reachable(graph, s, t, any_relation)
+
+    # --- dynamic relationships with DLCR ---------------------------------
+    print("\nDLCR under updates:")
+    dynamic = labeled_index("DLCR").build(graph.copy())
+    g = dynamic.graph
+    s, t = pairs[0]
+    before = dynamic.query(s, t, social_only)
+    # add a direct friendship and watch the answer flip (or stay true)
+    if not g.has_edge(s, t, "friendOf"):
+        dynamic.insert_edge(s, t, "friendOf")
+    after = dynamic.query(s, t, social_only)
+    print(f"  Qr({s},{t}, social-only): {before} -> {after} after adding friendOf edge")
+    assert after is True
+    dynamic.delete_edge(s, t, "friendOf")
+    restored = dynamic.query(s, t, social_only)
+    print(f"  ... and back to {restored} after removing it")
+    assert restored == before
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The environment has no `wheel` package and no network access, so PEP 660
+editable installs are unavailable; this shim lets `pip install -e .` fall
+back to the legacy `setup.py develop` path. All metadata lives in
+setup.cfg / pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,81 @@
+"""repro — reachability indexes on graphs.
+
+A complete, from-scratch reproduction of the index families surveyed in
+*"An Overview of Reachability Indexes on Graphs"* (Zhang, Bonifati, Özsu —
+SIGMOD-Companion 2023): the tree-cover, 2-hop and approximate-TC plain
+indexes of §3 and the path-constrained (alternation / concatenation)
+indexes of §4, behind one unified API.
+
+Quickstart::
+
+    from repro import DiGraph, plain_index
+
+    graph = DiGraph(4, [(0, 1), (1, 2), (2, 3)])
+    index = plain_index("PLL").build(graph)
+    assert index.query(0, 3)
+"""
+
+from repro.core import (
+    CondensedIndex,
+    IndexMetadata,
+    LabelConstrainedIndex,
+    ReachabilityIndex,
+    TriState,
+    all_labeled_indexes,
+    all_plain_indexes,
+    labeled_index,
+    plain_index,
+)
+from repro.errors import (
+    ConstraintSyntaxError,
+    EdgeError,
+    GraphError,
+    IndexBuildError,
+    NotADAGError,
+    QueryError,
+    ReproError,
+    UnsupportedConstraintError,
+    UnsupportedOperationError,
+    VertexError,
+)
+from repro.graphs import DiGraph, LabeledDiGraph, condense
+from repro.traversal import (
+    bfs_reachable,
+    bibfs_reachable,
+    dfs_reachable,
+    parse_constraint,
+    rpq_reachable,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CondensedIndex",
+    "IndexMetadata",
+    "LabelConstrainedIndex",
+    "ReachabilityIndex",
+    "TriState",
+    "all_labeled_indexes",
+    "all_plain_indexes",
+    "labeled_index",
+    "plain_index",
+    "ConstraintSyntaxError",
+    "EdgeError",
+    "GraphError",
+    "IndexBuildError",
+    "NotADAGError",
+    "QueryError",
+    "ReproError",
+    "UnsupportedConstraintError",
+    "UnsupportedOperationError",
+    "VertexError",
+    "DiGraph",
+    "LabeledDiGraph",
+    "condense",
+    "bfs_reachable",
+    "bibfs_reachable",
+    "dfs_reachable",
+    "parse_constraint",
+    "rpq_reachable",
+    "__version__",
+]

@@ -1,0 +1,21 @@
+"""Benchmark harness: timing helpers and table rendering."""
+
+from repro.bench.harness import (
+    BuildResult,
+    WorkloadResult,
+    build_index,
+    lookup_statistics,
+    time_workload,
+)
+from repro.bench.tables import format_count, format_seconds, render_table
+
+__all__ = [
+    "BuildResult",
+    "WorkloadResult",
+    "build_index",
+    "lookup_statistics",
+    "time_workload",
+    "format_count",
+    "format_seconds",
+    "render_table",
+]

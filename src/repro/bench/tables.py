@@ -1,0 +1,47 @@
+"""Plain-text table rendering for benchmark and experiment output.
+
+Every benchmark prints its result as an aligned ASCII table in the same
+row/column shape as the corresponding paper artifact, so paper-vs-measured
+comparison (EXPERIMENTS.md) is a visual diff.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["render_table", "format_seconds", "format_count"]
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render rows as an aligned ASCII table."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    separator = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append(separator)
+    for row in cells[1:]:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_seconds(seconds: float) -> str:
+    """Human-readable duration (µs/ms/s)."""
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f}us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.2f}ms"
+    return f"{seconds:.2f}s"
+
+
+def format_count(value: float) -> str:
+    """Human-readable count with thousands separators."""
+    if isinstance(value, float) and not value.is_integer():
+        return f"{value:,.2f}"
+    return f"{int(value):,}"

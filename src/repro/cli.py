@@ -1,0 +1,332 @@
+"""Command-line interface: ``repro <command>`` / ``python -m repro``.
+
+Commands
+--------
+``repro list``
+    Print the Table 1 / Table 2 taxonomies from the live registry.
+``repro build EDGELIST --index NAME [--save FILE]``
+    Build an index over an edge-list file and report build time and size;
+    optionally persist it.
+``repro query EDGELIST --index NAME S T``
+    Answer one reachability query (vertex tokens as they appear in the file).
+``repro lquery EDGELIST --index NAME S T CONSTRAINT``
+    Answer one path-constrained query over a labeled edge list.
+``repro inspect FILE``
+    Show the class and version of a saved index without loading it.
+``repro experiment NAME``
+    Run one DESIGN.md experiment (taxonomy / speed / size / …) and print
+    its table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.bench.tables import format_seconds, render_table
+from repro.core.condensed import CondensedIndex
+from repro.core.registry import (
+    all_labeled_indexes,
+    all_plain_indexes,
+    labeled_index,
+    plain_index,
+)
+from repro.graphs.io import read_edge_list, read_labeled_edge_list
+from repro.graphs.topo import is_dag
+
+__all__ = ["main"]
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    plain_rows = [
+        (m.name, m.framework, m.index_type, m.input_kind, m.dynamic)
+        for m in sorted(
+            (cls.metadata for cls in all_plain_indexes().values()),
+            key=lambda m: (m.framework, m.name),
+        )
+    ]
+    print(
+        render_table(
+            ["Index", "Framework", "Type", "Input", "Dynamic"],
+            plain_rows,
+            title="Plain reachability indexes (Table 1)",
+        )
+    )
+    print()
+    labeled_rows = [
+        (m.name, m.framework, m.constraint, m.index_type, m.input_kind, m.dynamic)
+        for m in sorted(
+            (cls.metadata for cls in all_labeled_indexes().values()),
+            key=lambda m: (m.framework, m.name),
+        )
+    ]
+    print(
+        render_table(
+            ["Index", "Framework", "Constraint", "Type", "Input", "Dynamic"],
+            labeled_rows,
+            title="Path-constrained reachability indexes (Table 2)",
+        )
+    )
+    return 0
+
+
+def _build_plain(path: str, name: str):
+    graph, ids = read_edge_list(path)
+    cls = plain_index(name)
+    start = time.perf_counter()
+    if cls.metadata.input_kind == "DAG" and not is_dag(graph):
+        index = CondensedIndex.build(graph, inner=cls)
+    else:
+        index = cls.build(graph)
+    elapsed = time.perf_counter() - start
+    return graph, ids, index, elapsed
+
+
+def _cmd_build(args: argparse.Namespace) -> int:
+    graph, _ids, index, elapsed = _build_plain(args.edgelist, args.index)
+    print(
+        f"{args.index}: built over |V|={graph.num_vertices} "
+        f"|E|={graph.num_edges} in {format_seconds(elapsed)}; "
+        f"{index.size_in_entries():,} entries"
+    )
+    if args.save:
+        from repro.persistence import save_index
+
+        save_index(index, args.save)
+        print(f"saved to {args.save}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    """Compare the fast index families on the user's own graph."""
+    from repro.bench.harness import build_index, time_workload
+    from repro.traversal.online import bfs_reachable
+    from repro.workloads.queries import plain_workload
+
+    graph, _ids = read_edge_list(args.edgelist)
+    workload = plain_workload(
+        graph, args.queries, positive_fraction=0.3, seed=args.seed
+    )
+    rows: list[tuple[str, str, str, str]] = []
+    baseline = time_workload(
+        "BFS", lambda s, t: bfs_reachable(graph, s, t), workload
+    )
+    rows.append(("online BFS", "-", "-", format_seconds(baseline.per_query_seconds)))
+    for name in ("GRAIL", "Ferrari", "BFL", "IP", "PLL", "Preach", "Feline"):
+        built = build_index(plain_index(name), graph)
+        result = time_workload(name, built.index.query, workload)
+        rows.append(
+            (
+                name,
+                format_seconds(built.build_seconds),
+                f"{built.entries:,}",
+                format_seconds(result.per_query_seconds),
+            )
+        )
+    print(
+        render_table(
+            ["method", "build", "entries", "per-query"],
+            rows,
+            title=f"{args.edgelist}: |V|={graph.num_vertices} |E|={graph.num_edges}, "
+            f"{len(workload)} queries",
+        )
+    )
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.graphs.stats import graph_statistics
+
+    graph, _ids = read_edge_list(args.edgelist)
+    stats = graph_statistics(graph)
+    print(render_table(["metric", "value"], stats.as_rows(), title=args.edgelist))
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    from repro.persistence import peek_index_info
+
+    info = peek_index_info(args.file)
+    print(f"{args.file}: {info['class_name']} (format v{info['version']})")
+    return 0
+
+
+_EXPERIMENTS = {
+    "taxonomy": "prints Tables 1 and 2",
+    "speed": "CLAIM-S3-SPEED query-time comparison",
+    "size": "CLAIM-S3-SIZE index-size comparison",
+    "scaling": "CLAIM-S3-SCALE partial-index build scaling",
+    "orders": "ABL-ORDER TOL order instantiations",
+}
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.bench import experiments
+    from repro.bench.tables import format_seconds as fmt
+
+    small = getattr(args, "small", False)
+    name = args.name
+    if name == "taxonomy":
+        return _cmd_list(args)
+    if name == "speed":
+        rows = (
+            experiments.query_speed_rows(layers=6, width=10, num_queries=40)
+            if small
+            else experiments.query_speed_rows()
+        )
+        print(
+            render_table(
+                ["method", "kind", "per-query", "entries"],
+                [
+                    (r["name"], r["kind"], fmt(r["per_query"]), f"{r['entries']:,}")
+                    for r in sorted(rows, key=lambda r: r["per_query"])
+                ],
+                title="CLAIM-S3-SPEED",
+            )
+        )
+        return 0
+    if name == "size":
+        rows = (
+            experiments.index_size_rows(num_vertices=60)
+            if small
+            else experiments.index_size_rows()
+        )
+        print(
+            render_table(
+                ["index", "entries", "build"],
+                [
+                    (r["name"], f"{r['entries']:,}", fmt(r["build_seconds"]))
+                    for r in rows
+                ],
+                title="CLAIM-S3-SIZE",
+            )
+        )
+        return 0
+    if name == "scaling":
+        rows = (
+            experiments.build_scaling_rows(sizes=(50, 100))
+            if small
+            else experiments.build_scaling_rows()
+        )
+        print(
+            render_table(
+                ["index", "|V|", "build", "entries"],
+                [
+                    (r["name"], r["vertices"], fmt(r["build_seconds"]), f"{r['entries']:,}")
+                    for r in rows
+                ],
+                title="CLAIM-S3-SCALE",
+            )
+        )
+        return 0
+    if name == "orders":
+        rows = (
+            experiments.ablation_order_rows(num_vertices=80)
+            if small
+            else experiments.ablation_order_rows()
+        )
+        print(
+            render_table(
+                ["order", "build", "entries"],
+                [(r["order"], fmt(r["build_seconds"]), f"{r['entries']:,}") for r in rows],
+                title="ABL-ORDER",
+            )
+        )
+        return 0
+    known = ", ".join(sorted(_EXPERIMENTS))
+    print(f"unknown experiment {name!r}; known: {known}", file=sys.stderr)
+    return 2
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    _graph, ids, index, _elapsed = _build_plain(args.edgelist, args.index)
+    try:
+        s = ids[args.source]
+        t = ids[args.target]
+    except KeyError as exc:
+        print(f"unknown vertex {exc}", file=sys.stderr)
+        return 2
+    answer = index.query(s, t)
+    print(f"Qr({args.source}, {args.target}) = {str(answer).lower()}")
+    return 0 if answer else 1
+
+
+def _cmd_lquery(args: argparse.Namespace) -> int:
+    graph, ids = read_labeled_edge_list(args.edgelist)
+    cls = labeled_index(args.index)
+    index = cls.build(graph)
+    try:
+        s = ids[args.source]
+        t = ids[args.target]
+    except KeyError as exc:
+        print(f"unknown vertex {exc}", file=sys.stderr)
+        return 2
+    answer = index.query(s, t, args.constraint)
+    print(f"Qr({args.source}, {args.target}, {args.constraint}) = {str(answer).lower()}")
+    return 0 if answer else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Reachability indexes on graphs"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="print the index taxonomies").set_defaults(
+        func=_cmd_list
+    )
+
+    build = sub.add_parser("build", help="build an index over an edge list")
+    build.add_argument("edgelist")
+    build.add_argument("--index", default="PLL")
+    build.add_argument("--save", default=None, help="persist the built index")
+    build.set_defaults(func=_cmd_build)
+
+    stats = sub.add_parser("stats", help="profile an edge-list graph")
+    stats.add_argument("edgelist")
+    stats.set_defaults(func=_cmd_stats)
+
+    compare = sub.add_parser(
+        "compare", help="benchmark the fast index families on a graph"
+    )
+    compare.add_argument("edgelist")
+    compare.add_argument("--queries", type=int, default=200)
+    compare.add_argument("--seed", type=int, default=0)
+    compare.set_defaults(func=_cmd_compare)
+
+    inspect = sub.add_parser("inspect", help="show a saved index's header")
+    inspect.add_argument("file")
+    inspect.set_defaults(func=_cmd_inspect)
+
+    experiment = sub.add_parser(
+        "experiment", help="run one DESIGN.md experiment and print its table"
+    )
+    experiment.add_argument("name", help=", ".join(sorted(_EXPERIMENTS)))
+    experiment.add_argument(
+        "--small", action="store_true", help="reduced parameters (quick look)"
+    )
+    experiment.set_defaults(func=_cmd_experiment)
+
+    query = sub.add_parser("query", help="answer one plain reachability query")
+    query.add_argument("edgelist")
+    query.add_argument("source")
+    query.add_argument("target")
+    query.add_argument("--index", default="PLL")
+    query.set_defaults(func=_cmd_query)
+
+    lquery = sub.add_parser("lquery", help="answer one path-constrained query")
+    lquery.add_argument("edgelist")
+    lquery.add_argument("source")
+    lquery.add_argument("target")
+    lquery.add_argument("constraint")
+    lquery.add_argument("--index", default="P2H+")
+    lquery.set_defaults(func=_cmd_lquery)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

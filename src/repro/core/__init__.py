@@ -1,0 +1,33 @@
+"""Core abstractions: index ABCs, taxonomy metadata, registry, wrappers."""
+
+from repro.core.base import (
+    IndexMetadata,
+    LabelConstrainedIndex,
+    ReachabilityIndex,
+    TriState,
+    guided_query,
+)
+from repro.core.condensed import CondensedIndex
+from repro.core.registry import (
+    all_labeled_indexes,
+    all_plain_indexes,
+    labeled_index,
+    plain_index,
+    register_labeled,
+    register_plain,
+)
+
+__all__ = [
+    "IndexMetadata",
+    "LabelConstrainedIndex",
+    "ReachabilityIndex",
+    "TriState",
+    "guided_query",
+    "CondensedIndex",
+    "all_labeled_indexes",
+    "all_plain_indexes",
+    "labeled_index",
+    "plain_index",
+    "register_labeled",
+    "register_plain",
+]

@@ -1,0 +1,326 @@
+"""The unified reachability-index API.
+
+Every index the survey reviews is implemented against the abstractions in
+this module:
+
+* :class:`IndexMetadata` — the taxonomy row (framework, complete/partial,
+  DAG/general input, dynamic support) as printed in Tables 1 and 2 of the
+  paper.  The taxonomy benchmarks regenerate those tables from these
+  objects, so each implementation *is* its own row.
+* :class:`TriState` — the three-valued answer of an index lookup.  A
+  complete index never answers MAYBE; a partial index without false
+  negatives answers NO or MAYBE; one without false positives answers YES or
+  MAYBE.
+* :class:`ReachabilityIndex` — plain indexes (§3).  ``lookup`` is the raw
+  index probe; ``query`` is always exact, falling back to *guided
+  traversal* that recursively consults the index to prune (the §5 rules).
+* :class:`LabelConstrainedIndex` — path-constrained indexes (§4), same
+  split between ``lookup`` and exact ``query``.
+"""
+
+from __future__ import annotations
+
+import enum
+from abc import ABC, abstractmethod
+from collections import deque
+from dataclasses import dataclass
+from typing import ClassVar
+
+from repro.errors import QueryError, UnsupportedOperationError
+from repro.graphs.digraph import DiGraph
+from repro.graphs.labeled import LabeledDiGraph
+from repro.traversal.regex import RegexNode
+
+__all__ = [
+    "TriState",
+    "IndexMetadata",
+    "ReachabilityIndex",
+    "LabelConstrainedIndex",
+    "guided_query",
+    "guided_query_bidirectional",
+]
+
+
+class TriState(enum.Enum):
+    """Three-valued result of an index probe."""
+
+    YES = "yes"
+    NO = "no"
+    MAYBE = "maybe"
+
+
+@dataclass(frozen=True)
+class IndexMetadata:
+    """One taxonomy row of Table 1 / Table 2 of the survey.
+
+    Attributes
+    ----------
+    name:
+        Short index name as used in the paper (e.g. ``"GRAIL"``).
+    framework:
+        ``"Tree cover"``, ``"2-Hop"``, ``"Approximate TC"``, ``"TC"``,
+        ``"GTC"`` or ``"-"`` for the §3.4 one-off designs.
+    complete:
+        True for complete indexes (queries answered purely by lookups).
+    input_kind:
+        ``"DAG"`` or ``"General"`` — the graph class the technique assumes.
+    dynamic:
+        ``"no"``, ``"yes"``, or ``"insert-only"``.
+    constraint:
+        ``None`` for plain indexes; ``"Alternation"`` or ``"Concatenation"``
+        for path-constrained ones.
+    """
+
+    name: str
+    framework: str
+    complete: bool
+    input_kind: str
+    dynamic: str
+    constraint: str | None = None
+
+    @property
+    def index_type(self) -> str:
+        """``"Complete"`` or ``"Partial"`` — the Table 1/2 column value."""
+        return "Complete" if self.complete else "Partial"
+
+
+def guided_query(graph: DiGraph, index: "ReachabilityIndex", source: int, target: int) -> bool:
+    """Exact reachability via index-guided BFS (the §5 pruning rules).
+
+    Starting from ``source``, the frontier vertex ``v`` is resolved with an
+    index probe ``lookup(v, target)``:
+
+    * YES — the index certifies reachability: stop with True (rule for
+      partial indexes *without false positives*);
+    * NO — the index certifies non-reachability from ``v``: prune ``v``'s
+      out-neighbours (rule for partial indexes *without false negatives*);
+    * MAYBE — expand ``v`` normally.
+    """
+    first = index.lookup(source, target)
+    if first is TriState.YES:
+        return True
+    if first is TriState.NO:
+        return source == target
+    if source == target:
+        return True
+    seen = bytearray(graph.num_vertices)
+    seen[source] = 1
+    queue: deque[int] = deque((source,))
+    while queue:
+        v = queue.popleft()
+        for w in graph.out_neighbors(v):
+            if w == target:
+                return True
+            if seen[w]:
+                continue
+            seen[w] = 1
+            probe = index.lookup(w, target)
+            if probe is TriState.YES:
+                return True
+            if probe is TriState.NO:
+                continue  # prune: nothing past w reaches target
+            queue.append(w)
+    return False
+
+
+def guided_query_bidirectional(
+    graph: DiGraph, index: "ReachabilityIndex", source: int, target: int
+) -> bool:
+    """Exact reachability via index-guided *bidirectional* BFS.
+
+    The §5 pruning rules applied on both frontiers: the forward frontier
+    prunes vertices the index certifies cannot reach ``target``; the
+    backward frontier prunes vertices certified unreachable *from*
+    ``source``.  A YES certificate on either side terminates.  Like plain
+    BiBFS, the smaller frontier expands each round, which helps on graphs
+    with fan-out in both directions.
+    """
+    first = index.lookup(source, target)
+    if first is TriState.YES:
+        return True
+    if first is TriState.NO:
+        return source == target
+    if source == target:
+        return True
+    n = graph.num_vertices
+    seen_fwd = bytearray(n)
+    seen_bwd = bytearray(n)
+    seen_fwd[source] = 1
+    seen_bwd[target] = 1
+    frontier_fwd = [source]
+    frontier_bwd = [target]
+    while frontier_fwd and frontier_bwd:
+        if len(frontier_fwd) <= len(frontier_bwd):
+            next_frontier: list[int] = []
+            for v in frontier_fwd:
+                for w in graph.out_neighbors(v):
+                    if seen_bwd[w]:
+                        return True
+                    if seen_fwd[w]:
+                        continue
+                    seen_fwd[w] = 1
+                    probe = index.lookup(w, target)
+                    if probe is TriState.YES:
+                        return True
+                    if probe is TriState.NO:
+                        continue  # nothing past w reaches target
+                    next_frontier.append(w)
+            frontier_fwd = next_frontier
+        else:
+            next_frontier = []
+            for v in frontier_bwd:
+                for u in graph.in_neighbors(v):
+                    if seen_fwd[u]:
+                        return True
+                    if seen_bwd[u]:
+                        continue
+                    seen_bwd[u] = 1
+                    probe = index.lookup(source, u)
+                    if probe is TriState.YES:
+                        return True
+                    if probe is TriState.NO:
+                        continue  # source reaches nothing before u
+                    next_frontier.append(u)
+            frontier_bwd = next_frontier
+    return False
+
+
+class ReachabilityIndex(ABC):
+    """Abstract base for plain reachability indexes (§3).
+
+    Subclasses set the class attribute :attr:`metadata` and implement
+    :meth:`build`, :meth:`lookup` and :meth:`size_in_entries`.  ``query`` is
+    exact for every index: complete indexes answer from ``lookup`` alone,
+    partial ones fall back to guided traversal.
+    """
+
+    metadata: ClassVar[IndexMetadata]
+
+    def __init__(self, graph: DiGraph) -> None:
+        self._graph = graph
+
+    # -- construction ---------------------------------------------------
+    @classmethod
+    @abstractmethod
+    def build(cls, graph: DiGraph, **params: object) -> "ReachabilityIndex":
+        """Construct the index over ``graph``.
+
+        DAG-only indexes raise :class:`repro.errors.NotADAGError` on cyclic
+        input; wrap them with :func:`repro.core.condensed.condense_for` for
+        general graphs.
+        """
+
+    # -- probing --------------------------------------------------------
+    @abstractmethod
+    def lookup(self, source: int, target: int) -> TriState:
+        """Raw index probe; MAYBE only for partial indexes."""
+
+    def query(self, source: int, target: int) -> bool:
+        """Exact reachability answer."""
+        self._check_query(source, target)
+        if source == target:
+            return True
+        if self.metadata.complete:
+            result = self.lookup(source, target)
+            if result is TriState.MAYBE:
+                raise QueryError(
+                    f"{type(self).__name__} is complete but answered MAYBE"
+                )
+            return result is TriState.YES
+        return guided_query(self._graph, self, source, target)
+
+    # -- accounting -----------------------------------------------------
+    @abstractmethod
+    def size_in_entries(self) -> int:
+        """Index size in label/interval/word entries (the survey's metric)."""
+
+    @property
+    def graph(self) -> DiGraph:
+        """The indexed graph (mutated in place by dynamic indexes)."""
+        return self._graph
+
+    # -- dynamic operations ----------------------------------------------
+    def insert_edge(self, source: int, target: int) -> None:
+        """Insert an edge and maintain the index (dynamic indexes only)."""
+        raise UnsupportedOperationError(
+            f"{self.metadata.name} does not support edge insertion"
+        )
+
+    def delete_edge(self, source: int, target: int) -> None:
+        """Delete an edge and maintain the index (dynamic indexes only)."""
+        raise UnsupportedOperationError(
+            f"{self.metadata.name} does not support edge deletion"
+        )
+
+    # -- helpers ----------------------------------------------------------
+    def _check_query(self, source: int, target: int) -> None:
+        n = self._graph.num_vertices
+        if not (0 <= source < n and 0 <= target < n):
+            raise QueryError(
+                f"query ({source}, {target}) out of range for |V|={n}"
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(|V|={self._graph.num_vertices}, "
+            f"entries={self.size_in_entries()})"
+        )
+
+
+class LabelConstrainedIndex(ABC):
+    """Abstract base for path-constrained reachability indexes (§4).
+
+    ``query(s, t, constraint)`` takes the constraint as surface syntax or a
+    parsed :class:`~repro.traversal.regex.RegexNode`.  Implementations
+    declare which constraint family they support through
+    ``metadata.constraint`` and raise
+    :class:`~repro.errors.UnsupportedConstraintError` otherwise.
+    """
+
+    metadata: ClassVar[IndexMetadata]
+
+    def __init__(self, graph: LabeledDiGraph) -> None:
+        self._graph = graph
+
+    @classmethod
+    @abstractmethod
+    def build(cls, graph: LabeledDiGraph, **params: object) -> "LabelConstrainedIndex":
+        """Construct the index over the labeled graph."""
+
+    @abstractmethod
+    def query(self, source: int, target: int, constraint: str | RegexNode) -> bool:
+        """Exact path-constrained reachability answer."""
+
+    @abstractmethod
+    def size_in_entries(self) -> int:
+        """Index size in label entries."""
+
+    @property
+    def graph(self) -> LabeledDiGraph:
+        """The indexed graph."""
+        return self._graph
+
+    def insert_edge(self, source: int, target: int, label: object) -> None:
+        """Insert a labeled edge and maintain the index (dynamic only)."""
+        raise UnsupportedOperationError(
+            f"{self.metadata.name} does not support edge insertion"
+        )
+
+    def delete_edge(self, source: int, target: int, label: object) -> None:
+        """Delete a labeled edge and maintain the index (dynamic only)."""
+        raise UnsupportedOperationError(
+            f"{self.metadata.name} does not support edge deletion"
+        )
+
+    def _check_query(self, source: int, target: int) -> None:
+        n = self._graph.num_vertices
+        if not (0 <= source < n and 0 <= target < n):
+            raise QueryError(
+                f"query ({source}, {target}) out of range for |V|={n}"
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(|V|={self._graph.num_vertices}, "
+            f"entries={self.size_in_entries()})"
+        )

@@ -1,0 +1,87 @@
+"""Name → index-class registry.
+
+Every index implementation registers itself at import time with the
+:func:`register_plain` / :func:`register_labeled` decorators.  The taxonomy
+benchmarks (Tables 1 and 2) walk these registries and print each class's
+:class:`~repro.core.base.IndexMetadata`, so the published tables are
+regenerated from the live implementations rather than hand-copied.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import TypeVar
+
+from repro.core.base import LabelConstrainedIndex, ReachabilityIndex
+from repro.errors import ReproError
+
+__all__ = [
+    "register_plain",
+    "register_labeled",
+    "plain_index",
+    "labeled_index",
+    "all_plain_indexes",
+    "all_labeled_indexes",
+]
+
+_PLAIN: dict[str, type[ReachabilityIndex]] = {}
+_LABELED: dict[str, type[LabelConstrainedIndex]] = {}
+
+P = TypeVar("P", bound=type[ReachabilityIndex])
+L = TypeVar("L", bound=type[LabelConstrainedIndex])
+
+
+def register_plain(cls: P) -> P:
+    """Class decorator: add a plain index to the registry (keyed by metadata.name)."""
+    name = cls.metadata.name
+    if name in _PLAIN:
+        raise ReproError(f"plain index {name!r} registered twice")
+    _PLAIN[name] = cls
+    return cls
+
+
+def register_labeled(cls: L) -> L:
+    """Class decorator: add a path-constrained index to the registry."""
+    name = cls.metadata.name
+    if name in _LABELED:
+        raise ReproError(f"labeled index {name!r} registered twice")
+    _LABELED[name] = cls
+    return cls
+
+
+def _ensure_loaded() -> None:
+    """Import the implementation packages so their registrations run."""
+    importlib.import_module("repro.plain")
+    importlib.import_module("repro.labeled")
+
+
+def plain_index(name: str) -> type[ReachabilityIndex]:
+    """Look up a plain index class by its paper name (e.g. ``"GRAIL"``)."""
+    _ensure_loaded()
+    try:
+        return _PLAIN[name]
+    except KeyError:
+        known = ", ".join(sorted(_PLAIN))
+        raise ReproError(f"unknown plain index {name!r}; known: {known}") from None
+
+
+def labeled_index(name: str) -> type[LabelConstrainedIndex]:
+    """Look up a path-constrained index class by its paper name."""
+    _ensure_loaded()
+    try:
+        return _LABELED[name]
+    except KeyError:
+        known = ", ".join(sorted(_LABELED))
+        raise ReproError(f"unknown labeled index {name!r}; known: {known}") from None
+
+
+def all_plain_indexes() -> dict[str, type[ReachabilityIndex]]:
+    """All registered plain indexes, keyed by name."""
+    _ensure_loaded()
+    return dict(_PLAIN)
+
+
+def all_labeled_indexes() -> dict[str, type[LabelConstrainedIndex]]:
+    """All registered path-constrained indexes, keyed by name."""
+    _ensure_loaded()
+    return dict(_LABELED)

@@ -1,0 +1,47 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch everything the library may raise with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GraphError(ReproError):
+    """Structural problem with a graph (bad vertex id, duplicate edge, ...)."""
+
+
+class VertexError(GraphError):
+    """A vertex id is out of range or otherwise invalid."""
+
+
+class EdgeError(GraphError):
+    """An edge is invalid (unknown endpoints, duplicate, missing label, ...)."""
+
+
+class NotADAGError(GraphError):
+    """An operation that requires a DAG was given a cyclic graph."""
+
+
+class IndexBuildError(ReproError):
+    """An index could not be built on the given input."""
+
+
+class UnsupportedOperationError(ReproError):
+    """The index does not support the requested operation (e.g. updates)."""
+
+
+class QueryError(ReproError):
+    """A query is malformed (bad vertices, unparsable path constraint, ...)."""
+
+
+class ConstraintSyntaxError(QueryError):
+    """A path-constraint regular expression could not be parsed."""
+
+
+class UnsupportedConstraintError(QueryError):
+    """The index cannot evaluate the given class of path constraint."""

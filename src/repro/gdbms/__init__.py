@@ -1,0 +1,13 @@
+"""The §5 integration sketch: reachability indexes inside a tiny GDBMS."""
+
+from repro.gdbms.database import ReachabilityDatabase
+from repro.gdbms.planner import IndexPlanner, PlannerStatistics
+from repro.gdbms.store import EdgeUpdate, GraphStore
+
+__all__ = [
+    "ReachabilityDatabase",
+    "IndexPlanner",
+    "PlannerStatistics",
+    "EdgeUpdate",
+    "GraphStore",
+]

@@ -1,0 +1,114 @@
+"""The user-facing facade of the §5 GDBMS sketch.
+
+:class:`ReachabilityDatabase` glues the property-graph store to the
+index planner: names in, booleans out, indexes maintained behind the
+scenes.  ``explain()`` exposes the routing statistics — which §4 family
+served how many queries and how often the rebuild-on-demand RLC index
+had to be reconstructed.
+"""
+
+from __future__ import annotations
+
+from repro.gdbms.planner import IndexPlanner, PlannerStatistics
+from repro.gdbms.store import GraphStore
+from repro.traversal.regex import RegexNode
+
+__all__ = ["ReachabilityDatabase"]
+
+
+class ReachabilityDatabase:
+    """A tiny graph database with reachability indexes built in."""
+
+    def __init__(self, rlc_max_period: int = 2) -> None:
+        self._store = GraphStore()
+        self._planner = IndexPlanner(self._store, rlc_max_period=rlc_max_period)
+
+    # -- data definition ---------------------------------------------------
+    def add_node(self, name: str, **properties: object) -> None:
+        """Create a node with optional properties."""
+        self._store.add_node(name, **properties)
+
+    def add_edge(self, source: str, label: str, target: str) -> None:
+        """Insert a labeled relationship."""
+        self._store.add_edge(source, label, target)
+
+    def remove_edge(self, source: str, label: str, target: str) -> None:
+        """Delete a labeled relationship."""
+        self._store.remove_edge(source, label, target)
+
+    def properties(self, name: str) -> dict[str, object]:
+        """The property map of a node (mutable)."""
+        return self._store.properties(name)
+
+    @property
+    def store(self) -> GraphStore:
+        """The underlying store (inspection / bulk loading)."""
+        return self._store
+
+    # -- queries ---------------------------------------------------------
+    def reaches(self, source: str, target: str) -> bool:
+        """Plain reachability between two named nodes."""
+        return self._planner.reaches(
+            self._store.node_id(source), self._store.node_id(target)
+        )
+
+    def reaches_via(
+        self, source: str, constraint: str | RegexNode, target: str
+    ) -> bool:
+        """Path-constrained reachability, e.g. ``('A', '(knows)*', 'B')``."""
+        return self._planner.constrained_reaches(
+            self._store.node_id(source), self._store.node_id(target), constraint
+        )
+
+    def reachable_from(self, source: str, constraint: str | None = None) -> set[str]:
+        """All node names reachable from ``source`` (optionally constrained)."""
+        result = set()
+        for name in self._store.nodes():
+            if name == source:
+                continue
+            if constraint is None:
+                hit = self.reaches(source, name)
+            else:
+                hit = self.reaches_via(source, constraint, name)
+            if hit:
+                result.add(name)
+        return result
+
+    def witness(
+        self, source: str, target: str, constraint: str | RegexNode | None = None
+    ) -> list[tuple[str, str]] | None:
+        """A concrete witness path, as ``[(name, label-to-next), …]``.
+
+        With a constraint, the labels along the witness satisfy it; without
+        one, any path counts.  Returns None when unreachable.  Witnesses
+        come from traversal (indexes answer *whether*; the path itself is a
+        different artifact — §2.1's distinction between reachability and
+        path queries).
+        """
+        s = self._store.node_id(source)
+        t = self._store.node_id(target)
+        if constraint is None:
+            from repro.traversal.witness import witness_path
+
+            path = witness_path(self._store.graph.to_plain(), s, t)
+            if path is None:
+                return None
+            return [(self._store.node_name(v), "") for v in path]
+        from repro.traversal.witness import constrained_witness_path
+
+        steps = constrained_witness_path(self._store.graph, s, t, constraint)
+        if steps is None:
+            return None
+        return [(self._store.node_name(v), label) for v, label in steps]
+
+    # -- observability ---------------------------------------------------------
+    def explain(self) -> PlannerStatistics:
+        """Query-routing and rebuild statistics."""
+        return self._planner.statistics
+
+    def __repr__(self) -> str:
+        stats = self._planner.statistics
+        return (
+            f"ReachabilityDatabase(nodes={self._store.num_nodes}, "
+            f"edges={self._store.num_edges}, queries={stats.total()})"
+        )

@@ -1,0 +1,134 @@
+"""A minimal property-graph store for the §5 integration scenario.
+
+The survey closes with "our vision towards having full-fledged indexes in
+modern GDBMSs".  :class:`GraphStore` is the storage half of that sketch:
+named nodes with properties and labeled edges, with an update log the
+planner (:mod:`repro.gdbms.planner`) consumes to keep reachability
+indexes either maintained incrementally or invalidated for rebuild.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from dataclasses import dataclass, field
+
+from repro.errors import GraphError
+from repro.graphs.labeled import LabeledDiGraph
+
+__all__ = ["GraphStore", "EdgeUpdate"]
+
+
+@dataclass(frozen=True)
+class EdgeUpdate:
+    """One entry of the store's update log."""
+
+    kind: str  # "insert" or "delete"
+    source: int
+    target: int
+    label: str
+
+
+@dataclass
+class _Node:
+    name: str
+    properties: dict[str, object] = field(default_factory=dict)
+
+
+class GraphStore:
+    """Named nodes, properties, labeled edges, and an update log."""
+
+    def __init__(self) -> None:
+        self._graph = LabeledDiGraph(0)
+        self._nodes: list[_Node] = []
+        self._ids: dict[str, int] = {}
+        self._log: list[EdgeUpdate] = []
+        self._version = 0
+
+    # -- nodes -----------------------------------------------------------
+    def add_node(self, name: str, **properties: object) -> int:
+        """Create a node; returns its id.  Names are unique."""
+        if name in self._ids:
+            raise GraphError(f"node {name!r} already exists")
+        node_id = self._graph.add_vertex()
+        self._nodes.append(_Node(name=name, properties=dict(properties)))
+        self._ids[name] = node_id
+        self._version += 1
+        return node_id
+
+    def node_id(self, name: str) -> int:
+        """Id of a node by name; raises GraphError if unknown."""
+        try:
+            return self._ids[name]
+        except KeyError:
+            raise GraphError(f"unknown node {name!r}") from None
+
+    def node_name(self, node_id: int) -> str:
+        """Name of a node by id."""
+        return self._nodes[node_id].name
+
+    def properties(self, name: str) -> dict[str, object]:
+        """The (mutable) property map of a node."""
+        return self._nodes[self.node_id(name)].properties
+
+    def has_node(self, name: str) -> bool:
+        """Whether a node with this name exists."""
+        return name in self._ids
+
+    def nodes(self) -> Iterator[str]:
+        """All node names."""
+        return (node.name for node in self._nodes)
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes."""
+        return len(self._nodes)
+
+    # -- edges -----------------------------------------------------------
+    def add_edge(self, source: str, label: str, target: str) -> None:
+        """Insert ``source -[label]-> target``."""
+        s = self.node_id(source)
+        t = self.node_id(target)
+        self._graph.add_edge(s, t, label)
+        self._log.append(EdgeUpdate("insert", s, t, label))
+        self._version += 1
+
+    def remove_edge(self, source: str, label: str, target: str) -> None:
+        """Delete ``source -[label]-> target``."""
+        s = self.node_id(source)
+        t = self.node_id(target)
+        self._graph.remove_edge(s, t, label)
+        self._log.append(EdgeUpdate("delete", s, t, label))
+        self._version += 1
+
+    def has_edge(self, source: str, label: str, target: str) -> bool:
+        """Whether the labeled edge exists."""
+        return self._graph.has_edge(self.node_id(source), self.node_id(target), label)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of labeled edges."""
+        return self._graph.num_edges
+
+    def edges(self) -> Iterator[tuple[str, str, str]]:
+        """All edges as (source name, label, target name)."""
+        for u, v, label in self._graph.edges():
+            yield (self._nodes[u].name, str(label), self._nodes[v].name)
+
+    # -- planner interface --------------------------------------------------
+    @property
+    def graph(self) -> LabeledDiGraph:
+        """The underlying labeled graph (planner/internal use)."""
+        return self._graph
+
+    @property
+    def version(self) -> int:
+        """Monotone counter bumped on every mutation."""
+        return self._version
+
+    def drain_log(self) -> list[EdgeUpdate]:
+        """Return and clear the pending update log."""
+        log, self._log = self._log, []
+        return log
+
+    def __repr__(self) -> str:
+        return f"GraphStore(nodes={self.num_nodes}, edges={self.num_edges})"

@@ -1,0 +1,25 @@
+"""Graph substrate: data structures, generators, I/O, SCC, reductions."""
+
+from repro.graphs.digraph import DiGraph
+from repro.graphs.labeled import LabeledDiGraph
+from repro.graphs.scc import Condensation, condense, strongly_connected_components
+from repro.graphs.topo import (
+    is_dag,
+    reverse_topological_order,
+    topological_levels,
+    topological_order,
+    topological_rank,
+)
+
+__all__ = [
+    "DiGraph",
+    "LabeledDiGraph",
+    "Condensation",
+    "condense",
+    "strongly_connected_components",
+    "is_dag",
+    "topological_order",
+    "topological_rank",
+    "topological_levels",
+    "reverse_topological_order",
+]

@@ -1,0 +1,195 @@
+"""A compact directed graph over dense integer vertex ids.
+
+:class:`DiGraph` is the substrate every plain reachability index in this
+library is built on.  Vertices are the integers ``0..n-1``; adjacency is
+stored as forward and reverse lists so both out-neighbour and in-neighbour
+iteration are O(degree).
+
+The class intentionally stays small: no attributes, no views, no payloads.
+Edge-labeled graphs live in :mod:`repro.graphs.labeled`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.errors import EdgeError, VertexError
+
+__all__ = ["DiGraph"]
+
+
+class DiGraph:
+    """A directed graph with vertices ``0..n-1`` and unlabeled edges.
+
+    Parameters
+    ----------
+    num_vertices:
+        Number of vertices.  Vertex ids are ``range(num_vertices)``.
+    edges:
+        Optional iterable of ``(u, v)`` pairs to insert at construction.
+
+    Notes
+    -----
+    Parallel edges are rejected; self-loops are allowed (they are harmless
+    for reachability and some generators produce them before condensation).
+    """
+
+    __slots__ = ("_out", "_in", "_out_sets", "_num_edges")
+
+    def __init__(self, num_vertices: int, edges: Iterable[tuple[int, int]] = ()) -> None:
+        if num_vertices < 0:
+            raise VertexError(f"num_vertices must be >= 0, got {num_vertices}")
+        self._out: list[list[int]] = [[] for _ in range(num_vertices)]
+        self._in: list[list[int]] = [[] for _ in range(num_vertices)]
+        self._out_sets: list[set[int]] = [set() for _ in range(num_vertices)]
+        self._num_edges = 0
+        for u, v in edges:
+            self.add_edge(u, v)
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices in the graph."""
+        return len(self._out)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of edges in the graph."""
+        return self._num_edges
+
+    def vertices(self) -> range:
+        """All vertex ids, as a range."""
+        return range(len(self._out))
+
+    def edges(self) -> Iterator[tuple[int, int]]:
+        """Iterate over all edges as ``(u, v)`` pairs."""
+        for u, targets in enumerate(self._out):
+            for v in targets:
+                yield (u, v)
+
+    def out_neighbors(self, v: int) -> list[int]:
+        """Vertices ``w`` with an edge ``v -> w`` (do not mutate)."""
+        self._check_vertex(v)
+        return self._out[v]
+
+    def in_neighbors(self, v: int) -> list[int]:
+        """Vertices ``u`` with an edge ``u -> v`` (do not mutate)."""
+        self._check_vertex(v)
+        return self._in[v]
+
+    def out_degree(self, v: int) -> int:
+        """Number of outgoing edges of ``v``."""
+        self._check_vertex(v)
+        return len(self._out[v])
+
+    def in_degree(self, v: int) -> int:
+        """Number of incoming edges of ``v``."""
+        self._check_vertex(v)
+        return len(self._in[v])
+
+    def degree(self, v: int) -> int:
+        """Total degree (in + out) of ``v``."""
+        return self.in_degree(v) + self.out_degree(v)
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether the edge ``u -> v`` exists."""
+        self._check_vertex(u)
+        self._check_vertex(v)
+        return v in self._out_sets[u]
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add_vertex(self) -> int:
+        """Append a fresh vertex and return its id."""
+        self._out.append([])
+        self._in.append([])
+        self._out_sets.append(set())
+        return len(self._out) - 1
+
+    def add_edge(self, u: int, v: int) -> None:
+        """Insert the edge ``u -> v``; raises :class:`EdgeError` if present."""
+        self._check_vertex(u)
+        self._check_vertex(v)
+        if v in self._out_sets[u]:
+            raise EdgeError(f"edge ({u}, {v}) already exists")
+        self._out[u].append(v)
+        self._in[v].append(u)
+        self._out_sets[u].add(v)
+        self._num_edges += 1
+
+    def add_edge_if_absent(self, u: int, v: int) -> bool:
+        """Insert ``u -> v`` unless present; return True if inserted."""
+        self._check_vertex(u)
+        self._check_vertex(v)
+        if v in self._out_sets[u]:
+            return False
+        self._out[u].append(v)
+        self._in[v].append(u)
+        self._out_sets[u].add(v)
+        self._num_edges += 1
+        return True
+
+    def remove_edge(self, u: int, v: int) -> None:
+        """Delete the edge ``u -> v``; raises :class:`EdgeError` if absent."""
+        self._check_vertex(u)
+        self._check_vertex(v)
+        if v not in self._out_sets[u]:
+            raise EdgeError(f"edge ({u}, {v}) does not exist")
+        self._out[u].remove(v)
+        self._in[v].remove(u)
+        self._out_sets[u].discard(v)
+        self._num_edges -= 1
+
+    # ------------------------------------------------------------------
+    # Derived graphs
+    # ------------------------------------------------------------------
+    def reversed(self) -> "DiGraph":
+        """A new graph with every edge direction flipped."""
+        rev = DiGraph(self.num_vertices)
+        for u, v in self.edges():
+            rev.add_edge(v, u)
+        return rev
+
+    def copy(self) -> "DiGraph":
+        """An independent copy of this graph."""
+        return DiGraph(self.num_vertices, self.edges())
+
+    # ------------------------------------------------------------------
+    # Dunder protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self.num_vertices
+
+    def __contains__(self, edge: object) -> bool:
+        if not (isinstance(edge, tuple) and len(edge) == 2):
+            return False
+        u, v = edge
+        if not (isinstance(u, int) and isinstance(v, int)):
+            return False
+        if not (0 <= u < self.num_vertices and 0 <= v < self.num_vertices):
+            return False
+        return v in self._out_sets[u]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DiGraph):
+            return NotImplemented
+        return (
+            self.num_vertices == other.num_vertices
+            and self._out_sets == other._out_sets
+        )
+
+    def __hash__(self) -> int:  # graphs are mutable
+        raise TypeError("DiGraph is unhashable")
+
+    def __repr__(self) -> str:
+        return f"DiGraph(|V|={self.num_vertices}, |E|={self.num_edges})"
+
+    # ------------------------------------------------------------------
+    # Internal helpers
+    # ------------------------------------------------------------------
+    def _check_vertex(self, v: int) -> None:
+        if not (0 <= v < len(self._out)):
+            raise VertexError(f"vertex {v} out of range [0, {len(self._out)})")

@@ -1,0 +1,272 @@
+"""Synthetic graph generators.
+
+The survey evaluates indexes on real-world graphs (social, citation,
+biological, RDF).  Those datasets are not redistributable here, so this
+module provides seeded synthetic families that match the structural
+statistics the survey's claims depend on: DAG depth, degree skew, density,
+SCC structure, and edge-label distribution.  Every generator takes an
+explicit ``seed`` so workloads and benchmarks are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+
+from repro.errors import GraphError
+from repro.graphs.digraph import DiGraph
+from repro.graphs.labeled import LabeledDiGraph
+
+__all__ = [
+    "random_dag",
+    "gnp_digraph",
+    "scale_free_dag",
+    "random_tree",
+    "tree_with_shortcuts",
+    "layered_dag",
+    "cyclic_communities",
+    "with_random_labels",
+    "random_labeled_digraph",
+    "rmat_digraph",
+]
+
+
+def random_dag(num_vertices: int, num_edges: int, seed: int) -> DiGraph:
+    """A uniform random DAG with exactly ``num_edges`` edges.
+
+    Edges only go from a lower id to a higher id, so acyclicity is by
+    construction; ids are then a valid (hidden) topological order.
+    """
+    max_edges = num_vertices * (num_vertices - 1) // 2
+    if num_edges > max_edges:
+        raise GraphError(f"cannot place {num_edges} edges in a {num_vertices}-vertex DAG")
+    rng = random.Random(seed)
+    graph = DiGraph(num_vertices)
+    placed = 0
+    while placed < num_edges:
+        u = rng.randrange(num_vertices - 1)
+        v = rng.randrange(u + 1, num_vertices)
+        if graph.add_edge_if_absent(u, v):
+            placed += 1
+    return graph
+
+
+def gnp_digraph(num_vertices: int, edge_prob: float, seed: int) -> DiGraph:
+    """Directed Erdős–Rényi G(n, p); generally cyclic."""
+    if not 0.0 <= edge_prob <= 1.0:
+        raise GraphError(f"edge_prob must be in [0, 1], got {edge_prob}")
+    rng = random.Random(seed)
+    graph = DiGraph(num_vertices)
+    for u in range(num_vertices):
+        for v in range(num_vertices):
+            if u != v and rng.random() < edge_prob:
+                graph.add_edge(u, v)
+    return graph
+
+
+def scale_free_dag(num_vertices: int, edges_per_vertex: int, seed: int) -> DiGraph:
+    """A preferential-attachment DAG (power-law in-degree).
+
+    Vertex ``v`` attaches ``edges_per_vertex`` outgoing edges to earlier
+    vertices chosen proportionally to their current degree, mimicking the
+    skewed degree distribution of citation and social graphs.  Edges point
+    from later to earlier vertices, so the graph is acyclic.
+    """
+    rng = random.Random(seed)
+    graph = DiGraph(num_vertices)
+    # repeated-vertex list implements preferential attachment in O(1) draws
+    attachment_pool: list[int] = [0]
+    for v in range(1, num_vertices):
+        targets: set[int] = set()
+        wanted = min(edges_per_vertex, v)
+        while len(targets) < wanted:
+            if rng.random() < 0.25:  # mixing in uniform choice keeps pool diverse
+                targets.add(rng.randrange(v))
+            else:
+                targets.add(attachment_pool[rng.randrange(len(attachment_pool))])
+        for t in targets:
+            graph.add_edge(v, t)
+            attachment_pool.append(t)
+        attachment_pool.append(v)
+    return graph
+
+
+def random_tree(num_vertices: int, seed: int, max_children: int = 4) -> DiGraph:
+    """A random rooted tree with edges pointing from parent to child."""
+    rng = random.Random(seed)
+    graph = DiGraph(num_vertices)
+    child_count = [0] * num_vertices
+    for v in range(1, num_vertices):
+        while True:
+            parent = rng.randrange(v)
+            if child_count[parent] < max_children:
+                break
+        graph.add_edge(parent, v)
+        child_count[parent] += 1
+    return graph
+
+
+def tree_with_shortcuts(
+    num_vertices: int, num_shortcuts: int, seed: int, max_children: int = 4
+) -> DiGraph:
+    """A rooted tree plus ``num_shortcuts`` extra forward (non-tree) edges.
+
+    This is the regime where dual-labeling and path-tree style indexes shine
+    (§3.1: "their application to graphs works well only if the number of
+    non-tree edges is very low").
+    """
+    rng = random.Random(seed)
+    graph = random_tree(num_vertices, seed=seed, max_children=max_children)
+    placed = 0
+    attempts = 0
+    while placed < num_shortcuts and attempts < 50 * max(1, num_shortcuts):
+        attempts += 1
+        u = rng.randrange(num_vertices - 1)
+        v = rng.randrange(u + 1, num_vertices)
+        if graph.add_edge_if_absent(u, v):
+            placed += 1
+    return graph
+
+
+def layered_dag(
+    layers: int, width: int, edges_per_vertex: int, seed: int
+) -> DiGraph:
+    """A layered DAG: ``layers`` ranks of ``width`` vertices each.
+
+    Every non-sink vertex gets ``edges_per_vertex`` edges into the next
+    layer.  Layered DAGs model workflow/provenance graphs and give long
+    reachability chains, stressing traversal-based processing.
+    """
+    rng = random.Random(seed)
+    graph = DiGraph(layers * width)
+    for layer in range(layers - 1):
+        for i in range(width):
+            u = layer * width + i
+            targets = rng.sample(range(width), min(edges_per_vertex, width))
+            for j in targets:
+                graph.add_edge(u, (layer + 1) * width + j)
+    return graph
+
+
+def cyclic_communities(
+    num_communities: int, community_size: int, inter_edges: int, seed: int
+) -> DiGraph:
+    """A cyclic graph: directed-cycle communities wired by random DAG edges.
+
+    Each community is a strongly connected ring (plus one chord), and
+    communities are connected by forward edges, so the condensation is a
+    random DAG over ``num_communities`` vertices.  Exercises the
+    general-graph path of every index via SCC coarsening (§3.1).
+    """
+    rng = random.Random(seed)
+    n = num_communities * community_size
+    graph = DiGraph(n)
+    for c in range(num_communities):
+        base = c * community_size
+        for i in range(community_size):
+            graph.add_edge(base + i, base + (i + 1) % community_size)
+        if community_size > 2:
+            graph.add_edge_if_absent(base, base + community_size // 2)
+    placed = 0
+    while placed < inter_edges:
+        cu = rng.randrange(num_communities - 1)
+        cv = rng.randrange(cu + 1, num_communities)
+        u = cu * community_size + rng.randrange(community_size)
+        v = cv * community_size + rng.randrange(community_size)
+        if graph.add_edge_if_absent(u, v):
+            placed += 1
+    return graph
+
+
+def with_random_labels(
+    graph: DiGraph,
+    labels: Sequence[str],
+    seed: int,
+    skew: float = 0.0,
+) -> LabeledDiGraph:
+    """Assign one label per edge of a plain graph.
+
+    ``skew = 0`` draws labels uniformly; larger values bias towards the
+    first labels via a Zipf-like weighting ``1 / (rank+1)**skew``, mirroring
+    the heavy-tailed predicate distribution of real RDF graphs.
+    """
+    if not labels:
+        raise GraphError("need at least one label")
+    rng = random.Random(seed)
+    weights = [1.0 / (rank + 1) ** skew for rank in range(len(labels))]
+    labeled = LabeledDiGraph(graph.num_vertices)
+    for label in labels:  # intern in given order for stable ids
+        labeled.intern_label(label)
+    for u, v in graph.edges():
+        label = rng.choices(labels, weights=weights, k=1)[0]
+        labeled.add_edge(u, v, label)
+    return labeled
+
+
+def random_labeled_digraph(
+    num_vertices: int,
+    num_edges: int,
+    labels: Sequence[str],
+    seed: int,
+    acyclic: bool = False,
+    skew: float = 0.0,
+) -> LabeledDiGraph:
+    """A random labeled digraph (cyclic by default, DAG if ``acyclic``)."""
+    rng = random.Random(seed)
+    if acyclic:
+        plain = random_dag(num_vertices, num_edges, seed=rng.randrange(2**30))
+    else:
+        plain = DiGraph(num_vertices)
+        placed = 0
+        while placed < num_edges:
+            u = rng.randrange(num_vertices)
+            v = rng.randrange(num_vertices)
+            if u != v and plain.add_edge_if_absent(u, v):
+                placed += 1
+    return with_random_labels(plain, labels, seed=rng.randrange(2**30), skew=skew)
+
+
+def rmat_digraph(
+    scale: int,
+    num_edges: int,
+    seed: int,
+    a: float = 0.57,
+    b: float = 0.19,
+    c: float = 0.19,
+) -> DiGraph:
+    """An R-MAT (recursive-matrix / Kronecker-style) random digraph.
+
+    The standard graph-benchmark family: ``2**scale`` vertices; each edge
+    lands by recursively choosing one of four adjacency-matrix quadrants
+    with probabilities ``(a, b, c, 1-a-b-c)``, producing the skewed,
+    community-clustered structure of real web/social graphs.  Generally
+    cyclic; self-loops and duplicates are re-drawn.
+    """
+    d = 1.0 - a - b - c
+    if min(a, b, c, d) < 0:
+        raise GraphError("R-MAT quadrant probabilities must sum to <= 1")
+    rng = random.Random(seed)
+    n = 1 << scale
+    max_edges = n * (n - 1)
+    if num_edges > max_edges:
+        raise GraphError(f"cannot place {num_edges} edges on {n} vertices")
+    graph = DiGraph(n)
+    placed = 0
+    while placed < num_edges:
+        u = v = 0
+        for _level in range(scale):
+            u <<= 1
+            v <<= 1
+            roll = rng.random()
+            if roll < a:
+                pass  # top-left quadrant
+            elif roll < a + b:
+                v |= 1  # top-right
+            elif roll < a + b + c:
+                u |= 1  # bottom-left
+            else:
+                u |= 1
+                v |= 1  # bottom-right
+        if u != v and graph.add_edge_if_absent(u, v):
+            placed += 1
+    return graph

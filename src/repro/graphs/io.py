@@ -1,0 +1,104 @@
+"""Reading and writing graphs as edge lists.
+
+Plain graphs use the ubiquitous whitespace edge-list format (``u v`` per
+line); labeled graphs append the label as a third column.  Lines starting
+with ``#`` are comments.  Vertex ids in files may be sparse; they are
+remapped to dense ids and the mapping is returned so callers can translate
+query endpoints.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+
+from repro.errors import GraphError
+from repro.graphs.digraph import DiGraph
+from repro.graphs.labeled import LabeledDiGraph
+
+__all__ = [
+    "read_edge_list",
+    "write_edge_list",
+    "read_labeled_edge_list",
+    "write_labeled_edge_list",
+]
+
+
+def _open_lines(source: str | Path | io.TextIOBase) -> list[str]:
+    if isinstance(source, io.TextIOBase):
+        return source.read().splitlines()
+    return Path(source).read_text().splitlines()
+
+
+def read_edge_list(source: str | Path | io.TextIOBase) -> tuple[DiGraph, dict[str, int]]:
+    """Parse a plain edge list.
+
+    Returns the graph and the mapping from original vertex token to dense
+    id.  Duplicate edges in the file are collapsed.
+    """
+    ids: dict[str, int] = {}
+    edges: list[tuple[int, int]] = []
+    for line_no, line in enumerate(_open_lines(source), start=1):
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        parts = stripped.split()
+        if len(parts) != 2:
+            raise GraphError(f"line {line_no}: expected 'u v', got {line!r}")
+        pair = []
+        for token in parts:
+            if token not in ids:
+                ids[token] = len(ids)
+            pair.append(ids[token])
+        edges.append((pair[0], pair[1]))
+    graph = DiGraph(len(ids))
+    for u, v in edges:
+        graph.add_edge_if_absent(u, v)
+    return graph, ids
+
+
+def write_edge_list(graph: DiGraph, destination: str | Path | io.TextIOBase) -> None:
+    """Write a plain graph as ``u v`` lines (dense ids)."""
+    lines = [f"{u} {v}" for u, v in graph.edges()]
+    text = "\n".join(lines) + ("\n" if lines else "")
+    if isinstance(destination, io.TextIOBase):
+        destination.write(text)
+    else:
+        Path(destination).write_text(text)
+
+
+def read_labeled_edge_list(
+    source: str | Path | io.TextIOBase,
+) -> tuple[LabeledDiGraph, dict[str, int]]:
+    """Parse a labeled edge list of ``u v label`` lines."""
+    ids: dict[str, int] = {}
+    edges: list[tuple[int, int, str]] = []
+    for line_no, line in enumerate(_open_lines(source), start=1):
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        parts = stripped.split()
+        if len(parts) != 3:
+            raise GraphError(f"line {line_no}: expected 'u v label', got {line!r}")
+        u_token, v_token, label = parts
+        for token in (u_token, v_token):
+            if token not in ids:
+                ids[token] = len(ids)
+        edges.append((ids[u_token], ids[v_token], label))
+    graph = LabeledDiGraph(len(ids))
+    for u, v, label in edges:
+        if not graph.has_edge(u, v, label):
+            graph.add_edge(u, v, label)
+    return graph, ids
+
+
+def write_labeled_edge_list(
+    graph: LabeledDiGraph, destination: str | Path | io.TextIOBase
+) -> None:
+    """Write a labeled graph as ``u v label`` lines (dense ids)."""
+    lines = [f"{u} {v} {label}" for u, v, label in graph.edges()]
+    text = "\n".join(lines) + ("\n" if lines else "")
+    if isinstance(destination, io.TextIOBase):
+        destination.write(text)
+    else:
+        Path(destination).write_text(text)

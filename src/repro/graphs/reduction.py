@@ -1,0 +1,107 @@
+"""DAG reduction: orthogonal preprocessing that shrinks the input (§3.4).
+
+The survey cites SCARAB, ER and RCN as reduction techniques that are
+*orthogonal* to the indexing frameworks: they shrink the graph an index is
+built on while preserving all reachability answers.  This module implements
+the two reductions those papers share:
+
+* **redundant-edge elimination** — drop edge ``(u, v)`` when another
+  ``u``-to-``v`` path exists (a transitive-reduction pass restricted to
+  existing edges), and
+* **equivalent-vertex merging** — collapse vertices with identical
+  in-neighbour *and* out-neighbour sets, which are indistinguishable for
+  reachability from/to anywhere else.
+
+Both operate on DAGs; run :func:`repro.graphs.scc.condense` first for
+general graphs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graphs.digraph import DiGraph
+from repro.graphs.topo import topological_order
+
+__all__ = ["remove_redundant_edges", "merge_equivalent_vertices", "ReducedGraph", "reduce_dag"]
+
+
+def remove_redundant_edges(dag: DiGraph) -> DiGraph:
+    """Return a copy of ``dag`` without reachability-redundant edges.
+
+    Edge ``(u, v)`` is redundant iff ``v`` is reachable from ``u`` through
+    some other out-neighbour of ``u``.  The result is the transitive
+    reduction restricted to the original edge set, computed with per-vertex
+    reachable-descendant bitsets in reverse topological order.
+    """
+    n = dag.num_vertices
+    # descendants[v] = bitset of vertices reachable from v (including v)
+    descendants = [0] * n
+    order = topological_order(dag)
+    for v in reversed(order):
+        reach = 1 << v
+        for w in dag.out_neighbors(v):
+            reach |= descendants[w]
+        descendants[v] = reach
+
+    reduced = DiGraph(n)
+    for u in range(n):
+        out = dag.out_neighbors(u)
+        for v in out:
+            via_other = any(
+                w != v and (descendants[w] >> v) & 1 for w in out
+            )
+            if not via_other:
+                reduced.add_edge(u, v)
+    return reduced
+
+
+def merge_equivalent_vertices(dag: DiGraph) -> tuple[DiGraph, list[int]]:
+    """Collapse vertices with identical neighbourhoods.
+
+    Two vertices are equivalent when they have the same in-neighbour set and
+    the same out-neighbour set; any reachability query through one holds
+    through the other.  Returns the merged DAG and ``rep[v]`` mapping each
+    original vertex to its merged id.
+    """
+    n = dag.num_vertices
+    signature: dict[tuple[frozenset[int], frozenset[int]], int] = {}
+    rep = [0] * n
+    class_members: list[list[int]] = []
+    for v in range(n):
+        key = (frozenset(dag.in_neighbors(v)), frozenset(dag.out_neighbors(v)))
+        if key in signature:
+            rep[v] = signature[key]
+            class_members[rep[v]].append(v)
+        else:
+            new_id = len(class_members)
+            signature[key] = new_id
+            rep[v] = new_id
+            class_members.append([v])
+    merged = DiGraph(len(class_members))
+    for u, v in dag.edges():
+        if rep[u] != rep[v]:
+            merged.add_edge_if_absent(rep[u], rep[v])
+    return merged, rep
+
+
+@dataclass(frozen=True)
+class ReducedGraph:
+    """A DAG after reduction, with the vertex map back to the original."""
+
+    dag: DiGraph
+    rep: list[int]
+    edges_removed: int
+    vertices_merged: int
+
+
+def reduce_dag(dag: DiGraph) -> ReducedGraph:
+    """Apply both reductions: equivalence merging, then edge elimination."""
+    merged, rep = merge_equivalent_vertices(dag)
+    slim = remove_redundant_edges(merged)
+    return ReducedGraph(
+        dag=slim,
+        rep=rep,
+        edges_removed=merged.num_edges - slim.num_edges,
+        vertices_merged=dag.num_vertices - merged.num_vertices,
+    )

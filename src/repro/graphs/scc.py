@@ -1,0 +1,123 @@
+"""Strongly connected components and DAG condensation.
+
+Implements the reduction described in §3.1 of the survey ("From cyclic
+graphs to DAGs"): Tarjan's linear-time SCC algorithm, written iteratively so
+it does not hit Python's recursion limit on deep graphs, and the coarsening
+of every SCC into a representative vertex, producing a DAG.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graphs.digraph import DiGraph
+
+__all__ = ["strongly_connected_components", "Condensation", "condense"]
+
+
+def strongly_connected_components(graph: DiGraph) -> list[list[int]]:
+    """Tarjan's algorithm, iteratively.
+
+    Returns the list of SCCs; each SCC is a list of vertex ids.  SCCs are
+    emitted in reverse topological order of the condensation (a property of
+    Tarjan's algorithm this module's callers rely on).
+    """
+    n = graph.num_vertices
+    index_of = [-1] * n  # discovery index, -1 = unvisited
+    lowlink = [0] * n
+    on_stack = [False] * n
+    stack: list[int] = []
+    components: list[list[int]] = []
+    next_index = 0
+
+    for root in range(n):
+        if index_of[root] != -1:
+            continue
+        # Each work item is (vertex, iterator position into out-neighbours).
+        work: list[tuple[int, int]] = [(root, 0)]
+        while work:
+            v, edge_pos = work[-1]
+            if edge_pos == 0:
+                index_of[v] = next_index
+                lowlink[v] = next_index
+                next_index += 1
+                stack.append(v)
+                on_stack[v] = True
+            advanced = False
+            neighbors = graph.out_neighbors(v)
+            while edge_pos < len(neighbors):
+                w = neighbors[edge_pos]
+                edge_pos += 1
+                if index_of[w] == -1:
+                    work[-1] = (v, edge_pos)
+                    work.append((w, 0))
+                    advanced = True
+                    break
+                if on_stack[w]:
+                    lowlink[v] = min(lowlink[v], index_of[w])
+            if advanced:
+                continue
+            # v is finished
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[v])
+            if lowlink[v] == index_of[v]:
+                component: list[int] = []
+                while True:
+                    w = stack.pop()
+                    on_stack[w] = False
+                    component.append(w)
+                    if w == v:
+                        break
+                components.append(component)
+    return components
+
+
+@dataclass(frozen=True)
+class Condensation:
+    """The result of coarsening each SCC of a graph into one vertex.
+
+    Attributes
+    ----------
+    dag:
+        The condensed graph; guaranteed acyclic.
+    scc_of:
+        ``scc_of[v]`` is the condensed-vertex id for original vertex ``v``.
+    members:
+        ``members[c]`` lists the original vertices inside condensed vertex
+        ``c``.
+    """
+
+    dag: DiGraph
+    scc_of: list[int]
+    members: list[list[int]]
+
+    @property
+    def is_trivial(self) -> bool:
+        """True when every SCC is a single vertex (input was already a DAG)."""
+        return all(len(m) == 1 for m in self.members)
+
+    def same_component(self, u: int, v: int) -> bool:
+        """Whether two original vertices share an SCC."""
+        return self.scc_of[u] == self.scc_of[v]
+
+
+def condense(graph: DiGraph) -> Condensation:
+    """Coarsen every SCC of ``graph`` into a representative vertex.
+
+    The returned DAG has one vertex per SCC and an edge ``(c1, c2)``
+    whenever the original graph has an edge from a member of ``c1`` to a
+    member of ``c2`` with ``c1 != c2``.  Self-loops vanish by construction.
+    """
+    components = strongly_connected_components(graph)
+    scc_of = [0] * graph.num_vertices
+    for comp_id, component in enumerate(components):
+        for v in component:
+            scc_of[v] = comp_id
+    dag = DiGraph(len(components))
+    for u, v in graph.edges():
+        cu, cv = scc_of[u], scc_of[v]
+        if cu != cv:
+            dag.add_edge_if_absent(cu, cv)
+    return Condensation(dag=dag, scc_of=scc_of, members=components)

@@ -1,0 +1,99 @@
+"""Structural statistics of graphs.
+
+The survey's claims are conditioned on graph shape — traversal cost
+depends on reachable-set sizes, tree-cover quality on non-tree-edge
+counts, 2-hop label sizes on degree skew.  This module computes the
+numbers those conditions are stated in, for characterising datasets in
+benchmarks and in the CLI (``repro stats``).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.graphs.digraph import DiGraph
+from repro.graphs.scc import strongly_connected_components
+from repro.graphs.topo import topological_levels
+from repro.traversal.online import descendants
+
+__all__ = ["GraphStatistics", "graph_statistics"]
+
+
+@dataclass(frozen=True)
+class GraphStatistics:
+    """A structural profile of a directed graph."""
+
+    num_vertices: int
+    num_edges: int
+    density: float
+    num_sources: int
+    num_sinks: int
+    max_out_degree: int
+    max_in_degree: int
+    is_dag: bool
+    num_sccs: int
+    largest_scc: int
+    depth: int  # longest path in the condensation (levels)
+    reachability_density: float  # sampled fraction of reachable pairs
+
+    def as_rows(self) -> list[tuple[str, str]]:
+        """(metric, value) pairs for table rendering."""
+        return [
+            ("|V|", f"{self.num_vertices:,}"),
+            ("|E|", f"{self.num_edges:,}"),
+            ("density", f"{self.density:.4f}"),
+            ("sources / sinks", f"{self.num_sources} / {self.num_sinks}"),
+            ("max out / in degree", f"{self.max_out_degree} / {self.max_in_degree}"),
+            ("DAG", str(self.is_dag)),
+            ("SCCs (largest)", f"{self.num_sccs} ({self.largest_scc})"),
+            ("depth", str(self.depth)),
+            ("reachability density", f"{self.reachability_density:.3f}"),
+        ]
+
+
+def graph_statistics(
+    graph: DiGraph, sample_sources: int = 64, seed: int = 0
+) -> GraphStatistics:
+    """Profile a graph; reachability density is sampled from ``sample_sources``."""
+    n = graph.num_vertices
+    m = graph.num_edges
+    density = m / (n * (n - 1)) if n > 1 else 0.0
+    sources = sum(1 for v in graph.vertices() if graph.in_degree(v) == 0)
+    sinks = sum(1 for v in graph.vertices() if graph.out_degree(v) == 0)
+    max_out = max((graph.out_degree(v) for v in graph.vertices()), default=0)
+    max_in = max((graph.in_degree(v) for v in graph.vertices()), default=0)
+    components = strongly_connected_components(graph)
+    acyclic = all(len(c) == 1 for c in components)
+    largest = max((len(c) for c in components), default=0)
+    if acyclic:
+        depth = max(topological_levels(graph), default=0) if n else 0
+    else:
+        from repro.graphs.scc import condense
+
+        depth = max(topological_levels(condense(graph).dag), default=0)
+    if n == 0:
+        reach_density = 0.0
+    else:
+        rng = random.Random(seed)
+        chosen = (
+            list(graph.vertices())
+            if n <= sample_sources
+            else rng.sample(list(graph.vertices()), sample_sources)
+        )
+        reachable_pairs = sum(len(descendants(graph, v)) - 1 for v in chosen)
+        reach_density = reachable_pairs / (len(chosen) * max(1, n - 1))
+    return GraphStatistics(
+        num_vertices=n,
+        num_edges=m,
+        density=density,
+        num_sources=sources,
+        num_sinks=sinks,
+        max_out_degree=max_out,
+        max_in_degree=max_in,
+        is_dag=acyclic,
+        num_sccs=len(components),
+        largest_scc=largest,
+        depth=depth,
+        reachability_density=reach_density,
+    )

@@ -1,0 +1,89 @@
+"""Topological ordering utilities for DAGs.
+
+Several index families in this library consume a topological order: the
+tree-cover interval labeling visits vertices in reverse topological order to
+inherit intervals (§3.1), TFL instantiates the TOL framework with a
+topological order (§3.2), and Feline/PReaCH use topological coordinates or
+levels for pruning (§3.4).
+"""
+
+from __future__ import annotations
+
+from repro.errors import NotADAGError
+from repro.graphs.digraph import DiGraph
+
+__all__ = [
+    "topological_order",
+    "is_dag",
+    "topological_rank",
+    "topological_levels",
+    "reverse_topological_order",
+]
+
+
+def topological_order(graph: DiGraph) -> list[int]:
+    """Kahn's algorithm; raises :class:`NotADAGError` on cyclic input.
+
+    Ties are broken by vertex id (smallest first) so the order — and every
+    index built from it — is deterministic.
+    """
+    n = graph.num_vertices
+    remaining = [graph.in_degree(v) for v in range(n)]
+    # A simple sorted frontier keeps the order deterministic without a heap;
+    # we use a heap for O(E log V) worst case.
+    import heapq
+
+    frontier = [v for v in range(n) if remaining[v] == 0]
+    heapq.heapify(frontier)
+    order: list[int] = []
+    while frontier:
+        v = heapq.heappop(frontier)
+        order.append(v)
+        for w in graph.out_neighbors(v):
+            remaining[w] -= 1
+            if remaining[w] == 0:
+                heapq.heappush(frontier, w)
+    if len(order) != n:
+        raise NotADAGError(
+            f"graph has a directed cycle ({n - len(order)} vertices unsorted)"
+        )
+    return order
+
+
+def is_dag(graph: DiGraph) -> bool:
+    """Whether the graph is acyclic."""
+    try:
+        topological_order(graph)
+    except NotADAGError:
+        return False
+    return True
+
+
+def topological_rank(graph: DiGraph) -> list[int]:
+    """``rank[v]`` = position of ``v`` in the topological order."""
+    rank = [0] * graph.num_vertices
+    for position, v in enumerate(topological_order(graph)):
+        rank[v] = position
+    return rank
+
+
+def topological_levels(graph: DiGraph) -> list[int]:
+    """Longest-path-from-source level of each vertex.
+
+    ``level[v] = 0`` for sources; otherwise ``1 + max(level of in-neighbors)``.
+    If ``u`` reaches ``v`` then ``level[u] < level[v]`` — the contrapositive
+    is the pruning rule PReaCH-style indexes use.
+    """
+    level = [0] * graph.num_vertices
+    for v in topological_order(graph):
+        for u in graph.in_neighbors(v):
+            if level[u] + 1 > level[v]:
+                level[v] = level[u] + 1
+    return level
+
+
+def reverse_topological_order(graph: DiGraph) -> list[int]:
+    """The topological order, reversed (sinks first)."""
+    order = topological_order(graph)
+    order.reverse()
+    return order

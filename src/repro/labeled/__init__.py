@@ -1,0 +1,32 @@
+"""Path-constrained reachability indexes (§4, Table 2 of the survey).
+
+Importing this package registers every index with
+:mod:`repro.core.registry`, from which the Table 2 taxonomy is
+regenerated.
+"""
+
+from repro.labeled.base import AlternationIndex
+from repro.labeled.chen import ChenIndex
+from repro.labeled.dlcr import DLCRIndex
+from repro.labeled.gtc import GTCIndex, single_source_gtc
+from repro.labeled.jin import JinIndex
+from repro.labeled.landmark import LandmarkIndex
+from repro.labeled.lcr_filter import LCRFilterIndex
+from repro.labeled.p2h import P2HIndex
+from repro.labeled.rlc import RLCIndex
+from repro.labeled.zou import ZouIndex
+
+__all__ = [
+    "AlternationIndex",
+    "ChenIndex",
+    "DLCRIndex",
+    "GTCIndex",
+    "single_source_gtc",
+    "JinIndex",
+    "LandmarkIndex",
+    "P2HIndex",
+    "RLCIndex",
+    "ZouIndex",
+    # §5 extension (not a Table 2 row; see DESIGN.md)
+    "LCRFilterIndex",
+]

@@ -1,0 +1,86 @@
+"""Shared plumbing for alternation-based (LCR) indexes.
+
+Every §4.1 index answers queries of the form ``Qr(s, t, (l1 ∪ l2 ∪ ...)*)``
+(or the ``+`` variant).  :class:`AlternationIndex` centralises the
+constraint handling — parsing, label-set extraction, bitmask translation,
+and the empty-path semantics of ``*`` versus ``+`` — so concrete indexes
+only implement ``query_mask``.
+"""
+
+from __future__ import annotations
+
+from abc import abstractmethod
+
+from repro.core.base import LabelConstrainedIndex
+from repro.errors import UnsupportedConstraintError
+from repro.traversal.regex import (
+    PlusNode,
+    RegexNode,
+    alternation_label_set,
+    parse_constraint,
+    regex_to_string,
+)
+
+__all__ = ["AlternationIndex"]
+
+
+class AlternationIndex(LabelConstrainedIndex):
+    """Base class for label-constrained (alternation) reachability indexes."""
+
+    def query(self, source: int, target: int, constraint: str | RegexNode) -> bool:
+        """Answer an alternation-based path-constrained query.
+
+        ``(…)*`` accepts the empty path, so ``s == t`` is trivially true;
+        ``(…)+`` requires at least one edge, so ``s == t`` asks for a
+        constrained cycle through ``s``.  Parsed constraints are memoised
+        per index, so repeated queries pay only the lookup.
+        """
+        self._check_query(source, target)
+        cache = getattr(self, "_constraint_cache", None)
+        if cache is None:
+            cache = {}
+            self._constraint_cache = cache
+        # num_labels in the key invalidates entries when updates introduce
+        # labels that an earlier parse dropped as unknown; node constraints
+        # key by their canonical rendering (object ids get recycled)
+        text = (
+            constraint
+            if isinstance(constraint, str)
+            else regex_to_string(constraint)
+        )
+        key = (text, self._graph.num_labels)
+        cached = cache.get(key)
+        if cached is None:
+            node = parse_constraint(constraint)
+            labels = alternation_label_set(node)
+            if labels is None:
+                raise UnsupportedConstraintError(
+                    f"{self.metadata.name} only supports alternation "
+                    f"constraints, got {regex_to_string(node)!r}"
+                )
+            mask = 0
+            for label in labels:
+                try:
+                    mask |= 1 << self._graph.label_id(label)
+                except KeyError:
+                    # a label absent from the graph contributes no edges; it
+                    # can simply be dropped from the constraint set.
+                    continue
+            cached = (mask, isinstance(node, PlusNode))
+            if len(cache) < 4096:
+                cache[key] = cached
+        mask, is_plus = cached
+        if source == target and not is_plus:
+            return True
+        require_cycle = source == target
+        return self.query_mask(source, target, mask, require_cycle)
+
+    @abstractmethod
+    def query_mask(
+        self, source: int, target: int, mask: int, require_cycle: bool
+    ) -> bool:
+        """Exact answer for a label-set bitmask constraint.
+
+        ``require_cycle`` is set for ``s == t`` under ``+``: the answer must
+        come from a non-empty constrained cycle through ``source``.
+        """

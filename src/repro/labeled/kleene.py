@@ -1,0 +1,136 @@
+"""Minimum-repeat machinery for concatenation-based queries (§4.2).
+
+A recursive label-concatenated (RLC) query ``Qr(s, t, (l1·…·lk)*)`` asks
+for an ``s``-``t`` path whose label sequence is a whole number of repeats
+of ``ρ = l1…lk``.  The RLC index decomposes such a path at a hop vertex
+``h`` into ``σ1`` (``s → h``) and ``σ2`` (``h → t``) with
+
+* ``σ1[i] = ρ[i mod p]``           (aligned from phase 0), and
+* ``σ2[i] = ρ[(r + i) mod p]``     where ``r = |σ1| mod p``, with
+  ``r + |σ2| ≡ 0 (mod p)``        (the repeats close at the end).
+
+Both conditions depend only on a *bounded summary* of a path's label
+sequence: the explicit sequence while it is shorter than the index's
+period bound κ, and afterwards the set of ``(base, length mod p)`` pairs
+for every period ``p ≤ κ`` the sequence is periodic under — the
+"minimum repeats computed under the guidance of the concatenation length"
+of the paper.  This module implements those summaries and the query-time
+alignment tests.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "minimum_repeat",
+    "is_periodic",
+    "periodic_summary",
+    "step_summary",
+    "match_second_leg",
+    "match_first_leg",
+]
+
+Seq = tuple[int, ...]
+# an entry is ("S", explicit-sequence) or ("A", frozenset of (base, len mod p))
+Entry = tuple[str, object]
+
+
+def minimum_repeat(seq: Seq) -> Seq:
+    """The shortest ``ρ`` with ``seq = ρ^i`` (the MR of §4.2)."""
+    n = len(seq)
+    for p in range(1, n + 1):
+        if n % p == 0 and all(seq[i] == seq[i % p] for i in range(n)):
+            return seq[:p]
+    return seq
+
+
+def is_periodic(seq: Seq, period: int) -> bool:
+    """Whether ``seq[i] == seq[i mod period]`` for all positions."""
+    return all(seq[i] == seq[i % period] for i in range(len(seq)))
+
+
+def periodic_summary(seq: Seq, max_period: int) -> frozenset[tuple[Seq, int]]:
+    """The ``(base, length mod p)`` pairs for every live period ``p ≤ κ``."""
+    pairs = set()
+    for p in range(1, max_period + 1):
+        if p <= len(seq) and is_periodic(seq, p):
+            pairs.add((seq[:p], len(seq) % p))
+    return frozenset(pairs)
+
+
+def step_summary(entry: Entry, label: int, max_period: int) -> Entry | None:
+    """Extend a path summary by one appended label; None when dead.
+
+    Short sequences stay explicit until they reach κ labels, at which point
+    they collapse into their periodic summary; summaries advance each live
+    ``(base, c)`` pair whose expected next label matches.
+    """
+    kind, payload = entry
+    if kind == "S":
+        seq: Seq = payload + (label,)  # type: ignore[operator]
+        if len(seq) < max_period:
+            return ("S", seq)
+        summary = periodic_summary(seq, max_period)
+        if not summary:
+            return None
+        return ("A", summary)
+    alive = frozenset(
+        (base, (c + 1) % len(base))
+        for base, c in payload  # type: ignore[union-attr]
+        if base[c] == label
+    )
+    if not alive:
+        return None
+    return ("A", alive)
+
+
+def _explicit_alignment(seq: Seq, rho: Seq, start_phase: int) -> bool:
+    p = len(rho)
+    return all(seq[i] == rho[(start_phase + i) % p] for i in range(len(seq)))
+
+
+def match_second_leg(entry: Entry, rho: Seq) -> int | None:
+    """Required start phase ``r`` for a forward (``h → t``) entry, or None.
+
+    The leg must close the repeats, so ``r = (-|σ2|) mod p``; the entry
+    matches when its recorded sequence/summary is consistent with ``ρ``
+    read from that phase.
+    """
+    p = len(rho)
+    kind, payload = entry
+    if kind == "S":
+        seq: Seq = payload  # type: ignore[assignment]
+        r = (-len(seq)) % p
+        if _explicit_alignment(seq, rho, r):
+            return r
+        return None
+    for base, c in payload:  # type: ignore[union-attr]
+        if len(base) != p:
+            continue
+        r = (p - c) % p
+        if all(base[m] == rho[(r + m) % p] for m in range(p)):
+            return r
+    return None
+
+
+def match_first_leg(entry: Entry, rho: Seq) -> int | None:
+    """End phase ``r`` for a backward (``s → h``) entry, or None.
+
+    First legs are aligned from phase 0, so ``r = |σ1| mod p``.  Explicit
+    entries store the sequence in forward orientation; summaries store the
+    *reversed* sequence's base (backward searches prepend labels), so the
+    alignment test reads ``ρ`` backwards from the end phase.
+    """
+    p = len(rho)
+    kind, payload = entry
+    if kind == "S":
+        seq: Seq = payload  # type: ignore[assignment]
+        if _explicit_alignment(seq, rho, 0):
+            return len(seq) % p
+        return None
+    for base, c in payload:  # type: ignore[union-attr]
+        if len(base) != p:
+            continue
+        # base is the reversed sequence's period; c = |σ1| mod p
+        if all(base[m] == rho[(c - 1 - m) % p] for m in range(p)):
+            return c
+    return None

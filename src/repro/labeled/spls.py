@@ -1,0 +1,67 @@
+"""Sufficient path-label sets (SPLS) — the algebra of §4.1.
+
+Jin et al.'s two foundations, used by every alternation-based index here:
+
+1. **Redundancy by subset** — if two ``s``-``t`` paths have label sets
+   ``S1 ⊆ S2``, recording ``S1`` suffices: any alternation constraint
+   satisfied by ``S2`` is satisfied by ``S1``.  The useful label sets of a
+   vertex pair therefore form a *subset-minimal antichain*.
+2. **Transitivity by cross product** — the SPLSs of ``s → t`` paths through
+   ``u`` are the pairwise unions of the ``s → u`` and ``u → t`` SPLSs.
+
+Label sets are int bitmasks over the graph's interned label ids, so both
+operations reduce to ``&``/``|`` arithmetic.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+__all__ = [
+    "is_subset",
+    "minimize_antichain",
+    "add_to_antichain",
+    "antichain_cross_product",
+    "antichain_matches",
+]
+
+
+def is_subset(small: int, big: int) -> bool:
+    """Whether label-set mask ``small`` ⊆ ``big``."""
+    return small & ~big == 0
+
+
+def minimize_antichain(masks: Iterable[int]) -> list[int]:
+    """Reduce a collection of label-set masks to its subset-minimal antichain."""
+    # sorting by popcount lets a single forward pass suffice: a mask can
+    # only be dominated by one with fewer or equal bits seen earlier.
+    result: list[int] = []
+    for mask in sorted(set(masks), key=int.bit_count):
+        if not any(kept & ~mask == 0 for kept in result):
+            result.append(mask)
+    return result
+
+
+def add_to_antichain(antichain: list[int], mask: int) -> bool:
+    """Insert ``mask`` into a minimal antichain in place.
+
+    Returns False when ``mask`` is dominated (a recorded subset exists);
+    otherwise removes the masks ``mask`` dominates, appends it, and returns
+    True.  This is the survey's redundancy rule applied online.
+    """
+    for kept in antichain:
+        if kept & ~mask == 0:
+            return False
+    antichain[:] = [kept for kept in antichain if mask & ~kept != 0]
+    antichain.append(mask)
+    return True
+
+
+def antichain_cross_product(left: Iterable[int], right: Iterable[int]) -> list[int]:
+    """The §4.1 transitivity rule: minimal antichain of pairwise unions."""
+    return minimize_antichain(a | b for a in left for b in right)
+
+
+def antichain_matches(antichain: Iterable[int], allowed: int) -> bool:
+    """Whether some recorded SPLS fits inside the constraint mask ``allowed``."""
+    return any(mask & ~allowed == 0 for mask in antichain)

@@ -1,0 +1,61 @@
+"""Plain reachability indexes (§3, Table 1 of the survey).
+
+Importing this package registers every index with
+:mod:`repro.core.registry`, from which the Table 1 taxonomy is
+regenerated.
+"""
+
+from repro.plain.bfl import BFLIndex
+from repro.plain.dagger import DaggerIndex
+from repro.plain.dbl import DBLIndex
+from repro.plain.dual_labeling import DualLabelingIndex
+from repro.plain.feline import FelineIndex
+from repro.plain.ferrari import FerrariIndex
+from repro.plain.grail import GrailIndex
+from repro.plain.gripp import GrippIndex
+from repro.plain.hl import HLIndex
+from repro.plain.interval import TreeCoverIndex
+from repro.plain.ip import IPIndex
+from repro.plain.oreach import OReachIndex
+from repro.plain.parallel import BatchedPLLIndex
+from repro.plain.scarab import ScarabBackboneIndex
+from repro.plain.path_hop import PathHopIndex
+from repro.plain.path_tree import PathTreeIndex
+from repro.plain.pll import DLIndex, PLLIndex
+from repro.plain.preach import PReaCHIndex
+from repro.plain.sspi import TreeSSPIIndex
+from repro.plain.threehop import ThreeHopIndex
+from repro.plain.tol import HOPIIndex, TFLIndex, TOLIndex, U2HopIndex
+from repro.plain.transitive_closure import TransitiveClosureIndex
+from repro.plain.twohop import TwoHopIndex
+
+__all__ = [
+    "BFLIndex",
+    "DaggerIndex",
+    "DBLIndex",
+    "DualLabelingIndex",
+    "FelineIndex",
+    "FerrariIndex",
+    "GrailIndex",
+    "GrippIndex",
+    "HLIndex",
+    "HOPIIndex",
+    "IPIndex",
+    "OReachIndex",
+    "PathHopIndex",
+    "PathTreeIndex",
+    "DLIndex",
+    "PLLIndex",
+    "PReaCHIndex",
+    "TreeSSPIIndex",
+    "ThreeHopIndex",
+    "TFLIndex",
+    "TOLIndex",
+    "U2HopIndex",
+    "TransitiveClosureIndex",
+    "TreeCoverIndex",
+    "TwoHopIndex",
+    # §3.4 / §5 extensions (not Table 1 rows; see DESIGN.md)
+    "BatchedPLLIndex",
+    "ScarabBackboneIndex",
+]

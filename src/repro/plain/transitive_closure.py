@@ -1,0 +1,67 @@
+"""Full transitive closure — the naive complete index (§2.3).
+
+Stores, for every vertex, the bitset of all vertices it reaches.  Query
+time is O(1); the index size is the number of reachable pairs, which is
+why the survey calls TC materialisation "infeasible in practice" — the
+size benchmarks demonstrate the quadratic blow-up against every other
+index.
+
+Works on general graphs: the closure is computed over the SCC condensation
+in reverse topological order and then expanded through the SCC map lazily
+at query time.
+"""
+
+from __future__ import annotations
+
+from typing import ClassVar
+
+from repro.core.base import IndexMetadata, ReachabilityIndex, TriState
+from repro.core.registry import register_plain
+from repro.graphs.digraph import DiGraph
+from repro.graphs.scc import condense
+from repro.graphs.topo import topological_order
+
+__all__ = ["TransitiveClosureIndex"]
+
+
+@register_plain
+class TransitiveClosureIndex(ReachabilityIndex):
+    """Materialised transitive closure over the SCC condensation."""
+
+    metadata: ClassVar[IndexMetadata] = IndexMetadata(
+        name="TC",
+        framework="TC",
+        complete=True,
+        input_kind="General",
+        dynamic="no",
+    )
+
+    def __init__(self, graph: DiGraph, scc_of: list[int], closure: list[int]) -> None:
+        super().__init__(graph)
+        self._scc_of = scc_of
+        self._closure = closure  # closure[c] = bitset of condensed vertices c reaches
+
+    @classmethod
+    def build(cls, graph: DiGraph, **params: object) -> "TransitiveClosureIndex":
+        """Compute per-SCC descendant bitsets in reverse topological order."""
+        condensation = condense(graph)
+        dag = condensation.dag
+        closure = [0] * dag.num_vertices
+        for c in reversed(topological_order(dag)):
+            reach = 1 << c
+            for d in dag.out_neighbors(c):
+                reach |= closure[d]
+            closure[c] = reach
+        return cls(graph, condensation.scc_of, closure)
+
+    def lookup(self, source: int, target: int) -> TriState:
+        self._check_query(source, target)
+        cs = self._scc_of[source]
+        ct = self._scc_of[target]
+        if (self._closure[cs] >> ct) & 1:
+            return TriState.YES
+        return TriState.NO
+
+    def size_in_entries(self) -> int:
+        """Number of stored reachable pairs (the TC's defining cost)."""
+        return sum(bits.bit_count() for bits in self._closure)

@@ -1,0 +1,38 @@
+"""Online traversal: plain BFS/DFS/BiBFS and automaton-guided RPQ search."""
+
+from repro.traversal.automaton import DFA, NFA, build_dfa, build_nfa
+from repro.traversal.online import (
+    ancestors,
+    bfs_reachable,
+    bibfs_reachable,
+    descendants,
+    dfs_reachable,
+)
+from repro.traversal.regex import (
+    alternation_label_set,
+    concatenation_sequence,
+    parse_constraint,
+    regex_to_string,
+)
+from repro.traversal.rpq import constrained_descendants, rpq_reachable
+from repro.traversal.witness import constrained_witness_path, witness_path
+
+__all__ = [
+    "DFA",
+    "NFA",
+    "build_dfa",
+    "build_nfa",
+    "ancestors",
+    "bfs_reachable",
+    "bibfs_reachable",
+    "descendants",
+    "dfs_reachable",
+    "alternation_label_set",
+    "concatenation_sequence",
+    "parse_constraint",
+    "regex_to_string",
+    "constrained_descendants",
+    "rpq_reachable",
+    "constrained_witness_path",
+    "witness_path",
+]

@@ -1,0 +1,178 @@
+"""Finite automata over edge labels.
+
+A path constraint is compiled to a Thompson NFA and then determinised by
+subset construction.  The resulting DFA guides graph traversal in
+:mod:`repro.traversal.rpq` — the standard online strategy for regular path
+queries the survey describes in §2.3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.traversal.regex import (
+    ConcatNode,
+    LabelNode,
+    PlusNode,
+    RegexNode,
+    StarNode,
+    UnionNode,
+    parse_constraint,
+)
+
+__all__ = ["NFA", "DFA", "build_nfa", "build_dfa"]
+
+_EPSILON = None  # label used for epsilon transitions
+
+
+@dataclass
+class NFA:
+    """A Thompson-construction NFA; state 0..num_states-1.
+
+    ``transitions[state]`` maps a label (or ``None`` for epsilon) to a list
+    of successor states.
+    """
+
+    num_states: int
+    start: int
+    accept: int
+    transitions: list[dict[str | None, list[int]]] = field(default_factory=list)
+
+    def epsilon_closure(self, states: frozenset[int]) -> frozenset[int]:
+        """All states reachable from ``states`` via epsilon moves."""
+        closure = set(states)
+        stack = list(states)
+        while stack:
+            s = stack.pop()
+            for nxt in self.transitions[s].get(_EPSILON, ()):
+                if nxt not in closure:
+                    closure.add(nxt)
+                    stack.append(nxt)
+        return frozenset(closure)
+
+
+class _NFABuilder:
+    """Accumulates states/transitions during Thompson construction."""
+
+    def __init__(self) -> None:
+        self.transitions: list[dict[str | None, list[int]]] = []
+
+    def new_state(self) -> int:
+        self.transitions.append({})
+        return len(self.transitions) - 1
+
+    def add(self, src: int, label: str | None, dst: int) -> None:
+        self.transitions[src].setdefault(label, []).append(dst)
+
+    def fragment(self, node: RegexNode) -> tuple[int, int]:
+        """Compile ``node`` to an (entry, exit) state pair."""
+        if isinstance(node, LabelNode):
+            entry, exit_ = self.new_state(), self.new_state()
+            self.add(entry, node.label, exit_)
+            return entry, exit_
+        if isinstance(node, ConcatNode):
+            l_in, l_out = self.fragment(node.left)
+            r_in, r_out = self.fragment(node.right)
+            self.add(l_out, _EPSILON, r_in)
+            return l_in, r_out
+        if isinstance(node, UnionNode):
+            entry, exit_ = self.new_state(), self.new_state()
+            l_in, l_out = self.fragment(node.left)
+            r_in, r_out = self.fragment(node.right)
+            self.add(entry, _EPSILON, l_in)
+            self.add(entry, _EPSILON, r_in)
+            self.add(l_out, _EPSILON, exit_)
+            self.add(r_out, _EPSILON, exit_)
+            return entry, exit_
+        if isinstance(node, StarNode):
+            entry, exit_ = self.new_state(), self.new_state()
+            i_in, i_out = self.fragment(node.inner)
+            self.add(entry, _EPSILON, i_in)
+            self.add(entry, _EPSILON, exit_)
+            self.add(i_out, _EPSILON, i_in)
+            self.add(i_out, _EPSILON, exit_)
+            return entry, exit_
+        if isinstance(node, PlusNode):
+            i_in, i_out = self.fragment(node.inner)
+            exit_ = self.new_state()
+            self.add(i_out, _EPSILON, i_in)
+            self.add(i_out, _EPSILON, exit_)
+            return i_in, exit_
+        raise TypeError(f"unknown node type {type(node).__name__}")
+
+
+def build_nfa(constraint: str | RegexNode) -> NFA:
+    """Compile a path constraint to a Thompson NFA."""
+    node = parse_constraint(constraint)
+    builder = _NFABuilder()
+    start, accept = builder.fragment(node)
+    return NFA(
+        num_states=len(builder.transitions),
+        start=start,
+        accept=accept,
+        transitions=builder.transitions,
+    )
+
+
+@dataclass
+class DFA:
+    """A deterministic automaton over edge labels.
+
+    ``transitions[state]`` maps a label to the successor state; missing
+    labels are dead.  State 0 is the start state.
+    """
+
+    num_states: int
+    start: int
+    accepting: frozenset[int]
+    transitions: list[dict[str, int]]
+
+    def step(self, state: int, label: str) -> int | None:
+        """The successor of ``state`` on ``label``, or None if dead."""
+        return self.transitions[state].get(label)
+
+    def accepts(self, word: list[str] | tuple[str, ...]) -> bool:
+        """Whether the DFA accepts a whole label sequence."""
+        state: int | None = self.start
+        for label in word:
+            state = self.transitions[state].get(label)
+            if state is None:
+                return False
+        return state in self.accepting
+
+
+def build_dfa(constraint: str | RegexNode) -> DFA:
+    """Compile a path constraint to a DFA via subset construction."""
+    nfa = build_nfa(constraint)
+    start_set = nfa.epsilon_closure(frozenset((nfa.start,)))
+    state_ids: dict[frozenset[int], int] = {start_set: 0}
+    transitions: list[dict[str, int]] = [{}]
+    pending = [start_set]
+    while pending:
+        current = pending.pop()
+        current_id = state_ids[current]
+        # collect all labels leaving this subset
+        labels: set[str] = set()
+        for s in current:
+            for label in nfa.transitions[s]:
+                if label is not None:
+                    labels.add(label)
+        for label in sorted(labels):
+            targets: set[int] = set()
+            for s in current:
+                targets.update(nfa.transitions[s].get(label, ()))
+            closure = nfa.epsilon_closure(frozenset(targets))
+            if closure not in state_ids:
+                state_ids[closure] = len(transitions)
+                transitions.append({})
+                pending.append(closure)
+            transitions[current_id][label] = state_ids[closure]
+    accepting = frozenset(
+        state_id for subset, state_id in state_ids.items() if nfa.accept in subset
+    )
+    return DFA(
+        num_states=len(transitions),
+        start=0,
+        accepting=accepting,
+        transitions=transitions,
+    )

@@ -1,0 +1,90 @@
+"""Witness paths: not just *whether* ``t`` is reachable, but *how*.
+
+A reachability answer is more actionable with the path behind it — the
+money-laundering chain, the citation trail, the interaction pathway.
+These helpers recover witness paths by parent-tracked BFS, including the
+path-constrained case (parents tracked through the product automaton, so
+the returned label sequence satisfies the constraint).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.graphs.digraph import DiGraph
+from repro.graphs.labeled import LabeledDiGraph
+from repro.traversal.automaton import build_dfa
+from repro.traversal.regex import RegexNode
+
+__all__ = ["witness_path", "constrained_witness_path"]
+
+
+def witness_path(graph: DiGraph, source: int, target: int) -> list[int] | None:
+    """A shortest ``source``-``target`` path as a vertex list, or None.
+
+    ``[source]`` when ``source == target`` (the empty path).
+    """
+    if source == target:
+        return [source]
+    parent: dict[int, int] = {source: source}
+    queue: deque[int] = deque((source,))
+    while queue:
+        v = queue.popleft()
+        for w in graph.out_neighbors(v):
+            if w in parent:
+                continue
+            parent[w] = v
+            if w == target:
+                path = [w]
+                while path[-1] != source:
+                    path.append(parent[path[-1]])
+                path.reverse()
+                return path
+            queue.append(w)
+    return None
+
+
+def constrained_witness_path(
+    graph: LabeledDiGraph,
+    source: int,
+    target: int,
+    constraint: str | RegexNode,
+) -> list[tuple[int, str]] | None:
+    """A constrained witness as ``[(vertex, label-to-next), …, (target, "")]``.
+
+    The concatenated labels form a word in the constraint's language.
+    Returns ``[(source, "")]`` when the empty path satisfies the
+    constraint, and None when no satisfying path exists.
+    """
+    dfa = build_dfa(constraint)
+    if source == target and dfa.start in dfa.accepting:
+        return [(source, "")]
+    start_state = (source, dfa.start)
+    # parent[(v, q)] = ((pv, pq), label) — the product-automaton BFS tree
+    parent: dict[tuple[int, int], tuple[tuple[int, int], str]] = {
+        start_state: (start_state, "")
+    }
+    queue: deque[tuple[int, int]] = deque((start_state,))
+    while queue:
+        v, state = queue.popleft()
+        transitions = dfa.transitions[state]
+        for w, label_id in graph.out_edges(v):
+            label = str(graph.label_name(label_id))
+            next_state = transitions.get(label)
+            if next_state is None:
+                continue
+            product = (w, next_state)
+            if product in parent:
+                continue
+            parent[product] = ((v, state), label)
+            if w == target and next_state in dfa.accepting:
+                steps: list[tuple[int, str]] = [(w, "")]
+                current = product
+                while current != start_state:
+                    previous, label_taken = parent[current]
+                    steps.append((previous[0], label_taken))
+                    current = previous
+                steps.reverse()
+                return steps
+            queue.append(product)
+    return None

@@ -1,0 +1,55 @@
+"""Datasets (including the Figure 1 examples) and query workloads."""
+
+from repro.workloads.datasets import (
+    FIGURE1_VERTICES,
+    citation_network,
+    figure1a,
+    figure1b,
+    protein_network,
+    social_network,
+    transaction_network,
+    vertex_id,
+)
+from repro.workloads.queries import (
+    ConstrainedQuery,
+    PlainQuery,
+    alternation_workload,
+    concatenation_workload,
+    plain_workload,
+)
+from repro.workloads.querylog import (
+    DEFAULT_MIX,
+    QueryLogMix,
+    dispatch_statistics,
+    querylog_workload,
+)
+from repro.workloads.updates import (
+    EdgeOp,
+    LabeledEdgeOp,
+    labeled_update_stream,
+    update_stream,
+)
+
+__all__ = [
+    "FIGURE1_VERTICES",
+    "citation_network",
+    "figure1a",
+    "figure1b",
+    "protein_network",
+    "social_network",
+    "transaction_network",
+    "vertex_id",
+    "ConstrainedQuery",
+    "PlainQuery",
+    "alternation_workload",
+    "concatenation_workload",
+    "plain_workload",
+    "DEFAULT_MIX",
+    "QueryLogMix",
+    "dispatch_statistics",
+    "querylog_workload",
+    "EdgeOp",
+    "LabeledEdgeOp",
+    "labeled_update_stream",
+    "update_stream",
+]

@@ -1,0 +1,141 @@
+"""Named datasets, including the survey's Figure 1 running examples.
+
+:func:`figure1a` and :func:`figure1b` reproduce the two 9-vertex graphs
+the paper's examples are stated on; every claim made about them in the
+text is verified by ``tests/test_figure1.py``.  The remaining factories
+are seeded synthetic stand-ins for the application domains the
+introduction motivates (social, citation, biological, financial networks)
+— see DESIGN.md §1 for the substitution rationale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graphs.digraph import DiGraph
+from repro.graphs.generators import (
+    cyclic_communities,
+    layered_dag,
+    random_labeled_digraph,
+    scale_free_dag,
+    with_random_labels,
+)
+from repro.graphs.labeled import LabeledDiGraph
+
+__all__ = [
+    "FIGURE1_VERTICES",
+    "figure1a",
+    "figure1b",
+    "vertex_id",
+    "social_network",
+    "citation_network",
+    "protein_network",
+    "transaction_network",
+]
+
+#: Vertex names of Figure 1, in id order.
+FIGURE1_VERTICES = ("A", "B", "C", "D", "G", "H", "K", "L", "M")
+
+_NAME_TO_ID = {name: i for i, name in enumerate(FIGURE1_VERTICES)}
+
+
+def vertex_id(name: str) -> int:
+    """Dense id of a Figure 1 vertex name (``"A"`` … ``"M"``)."""
+    return _NAME_TO_ID[name]
+
+
+def figure1a() -> DiGraph:
+    """The plain graph of Figure 1(a).
+
+    The figure draws vertices A, B, C, D, G, H, K, L, M.  The edge set
+    below realises every reachability relationship the paper's text
+    relies on — most importantly the s-t path (A, D, H, G) behind
+    ``Qr(A, G) = true`` — and is the plain projection of Figure 1(b), as
+    in the paper (the two subfigures show the same graph, unlabeled and
+    labeled).
+    """
+    return figure1b().to_plain()
+
+
+def figure1b() -> LabeledDiGraph:
+    """The edge-labeled social network of Figure 1(b).
+
+    Labels: ``friendOf``, ``follows``, ``worksFor``.  The edge set
+    realises every example in the text:
+
+    * ``Qr(A, G, (friendOf ∪ follows)*) = false`` — every A-G path
+      includes a ``worksFor`` edge (§2.2);
+    * ``Qr(A, G) = true`` via (A, D, H, G) (§2.1);
+    * L reaches M via ``p1 = (L, worksFor, C, worksFor, M)`` and
+      ``p2 = (L, follows, K, worksFor, M)`` — the SPLS of p1 is a subset
+      of p2's (§4.1);
+    * the SPLS from A to L is {follows} and from A to M is
+      {follows, worksFor} (§4.1 transitivity example);
+    * H is reachable from L via ``p3 = (L, worksFor, C, worksFor, H)``
+      and ``p4 = (L, worksFor, D, friendOf, H)`` (§4.1.2 Dijkstra
+      example — p3 has one distinct label, p4 two);
+    * the path (L, worksFor, D, friendOf, H, worksFor, G, friendOf, B)
+      has minimum repeat (worksFor, friendOf), so
+      ``Qr(L, B, (worksFor · friendOf)*) = true`` (§4.2).
+    """
+    graph = LabeledDiGraph(len(FIGURE1_VERTICES))
+    edges = [
+        ("A", "D", "follows"),
+        ("A", "L", "follows"),
+        ("D", "H", "friendOf"),
+        ("H", "G", "worksFor"),
+        ("G", "B", "friendOf"),
+        ("K", "A", "friendOf"),
+        ("K", "M", "worksFor"),
+        ("L", "C", "worksFor"),
+        ("L", "D", "worksFor"),
+        ("L", "K", "follows"),
+        ("C", "M", "worksFor"),
+        ("C", "H", "worksFor"),
+        ("M", "G", "worksFor"),
+        ("B", "M", "worksFor"),
+    ]
+    for u, v, label in edges:
+        graph.add_edge(_NAME_TO_ID[u], _NAME_TO_ID[v], label)
+    return graph
+
+
+@dataclass(frozen=True)
+class _DatasetSpec:
+    """Descriptor of a synthetic dataset family (for docs and CLI)."""
+
+    name: str
+    description: str
+
+
+def social_network(
+    num_vertices: int = 400, seed: int = 7, num_labels: int = 3
+) -> LabeledDiGraph:
+    """A labeled social graph: skewed degrees, relationship-type labels."""
+    labels = ["friendOf", "follows", "worksFor", "memberOf", "knows"][:num_labels]
+    base = scale_free_dag(num_vertices, edges_per_vertex=3, seed=seed)
+    return with_random_labels(base, labels, seed=seed + 1, skew=0.7)
+
+
+def citation_network(num_vertices: int = 400, seed: int = 11) -> DiGraph:
+    """A plain citation-style DAG (papers cite earlier papers)."""
+    return scale_free_dag(num_vertices, edges_per_vertex=4, seed=seed)
+
+
+def protein_network(num_layers: int = 12, width: int = 30, seed: int = 13) -> DiGraph:
+    """A layered interaction-pathway DAG (long reachability chains)."""
+    return layered_dag(num_layers, width, edges_per_vertex=2, seed=seed)
+
+
+def transaction_network(
+    num_vertices: int = 300, seed: int = 17, num_labels: int = 4
+) -> LabeledDiGraph:
+    """A cyclic financial-transaction graph with transfer-type labels."""
+    labels = ["transfer", "withdraw", "deposit", "exchange"][:num_labels]
+    base = cyclic_communities(
+        num_communities=max(2, num_vertices // 25),
+        community_size=25,
+        inter_edges=num_vertices // 3,
+        seed=seed,
+    )
+    return with_random_labels(base, labels, seed=seed + 1, skew=0.4)

@@ -1,0 +1,146 @@
+"""Reproducible query workloads.
+
+Benchmarking reachability indexes needs controlled mixes of positive
+(reachable) and negative (non-reachable) queries — the survey's §5
+argument for no-false-negative partial indexes hinges on real workloads
+being negative-heavy.  These generators produce seeded workloads with an
+exact positive fraction, plus label-constraint workloads for the §4
+families.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.graphs.digraph import DiGraph
+from repro.graphs.labeled import LabeledDiGraph
+from repro.traversal.online import descendants
+
+__all__ = [
+    "PlainQuery",
+    "ConstrainedQuery",
+    "plain_workload",
+    "alternation_workload",
+    "concatenation_workload",
+]
+
+
+@dataclass(frozen=True)
+class PlainQuery:
+    """One plain reachability query with its ground-truth answer."""
+
+    source: int
+    target: int
+    reachable: bool
+
+
+@dataclass(frozen=True)
+class ConstrainedQuery:
+    """One path-constrained query (constraint in surface syntax)."""
+
+    source: int
+    target: int
+    constraint: str
+    reachable: bool
+
+
+def plain_workload(
+    graph: DiGraph,
+    num_queries: int,
+    positive_fraction: float,
+    seed: int,
+) -> list[PlainQuery]:
+    """A seeded workload with an exact share of positive queries.
+
+    Positives are drawn by sampling a source and one of its descendants;
+    negatives by rejection sampling of non-reachable pairs.
+    """
+    if not 0.0 <= positive_fraction <= 1.0:
+        raise ValueError(f"positive_fraction must be in [0, 1], got {positive_fraction}")
+    rng = random.Random(seed)
+    n = graph.num_vertices
+    wanted_positive = round(num_queries * positive_fraction)
+    queries: list[PlainQuery] = []
+    # cache descendant sets of sampled sources (sampling hits few sources)
+    cache: dict[int, list[int]] = {}
+    attempts = 0
+    while len(queries) < wanted_positive and attempts < 100 * num_queries:
+        attempts += 1
+        s = rng.randrange(n)
+        if s not in cache:
+            cache[s] = sorted(descendants(graph, s) - {s})
+        if cache[s]:
+            queries.append(PlainQuery(s, rng.choice(cache[s]), True))
+    while len(queries) < num_queries and attempts < 200 * num_queries:
+        attempts += 1
+        s = rng.randrange(n)
+        t = rng.randrange(n)
+        if s == t:
+            continue
+        if s not in cache:
+            cache[s] = sorted(descendants(graph, s) - {s})
+        if t not in cache[s]:
+            queries.append(PlainQuery(s, t, False))
+    rng.shuffle(queries)
+    return queries
+
+
+def alternation_workload(
+    graph: LabeledDiGraph,
+    num_queries: int,
+    seed: int,
+    min_labels: int = 1,
+    max_labels: int | None = None,
+) -> list[ConstrainedQuery]:
+    """Random LCR queries ``Qr(s, t, (l1 ∪ …)*)`` with ground truth.
+
+    Constraints draw random label subsets of size ``min_labels`` to
+    ``max_labels`` (default: all); ground truth comes from a constrained
+    BFS, so workloads are usable for correctness checks as well as timing.
+    """
+    from repro.traversal.rpq import rpq_reachable  # local: avoids cycle at import
+
+    rng = random.Random(seed)
+    labels = [str(label) for label in graph.labels()]
+    if not labels:
+        raise ValueError("graph has no labels")
+    if max_labels is None:
+        max_labels = len(labels)
+    queries: list[ConstrainedQuery] = []
+    n = graph.num_vertices
+    while len(queries) < num_queries:
+        size = rng.randint(min_labels, max_labels)
+        subset = rng.sample(labels, min(size, len(labels)))
+        constraint = "(" + "|".join(subset) + ")*"
+        s = rng.randrange(n)
+        t = rng.randrange(n)
+        truth = rpq_reachable(graph, s, t, constraint)
+        queries.append(ConstrainedQuery(s, t, constraint, truth))
+    return queries
+
+
+def concatenation_workload(
+    graph: LabeledDiGraph,
+    num_queries: int,
+    seed: int,
+    max_period: int = 2,
+) -> list[ConstrainedQuery]:
+    """Random RLC queries ``Qr(s, t, (l1 · …)*)`` with ground truth."""
+    from repro.traversal.rpq import rpq_reachable
+
+    rng = random.Random(seed)
+    labels = [str(label) for label in graph.labels()]
+    if not labels:
+        raise ValueError("graph has no labels")
+    queries: list[ConstrainedQuery] = []
+    n = graph.num_vertices
+    while len(queries) < num_queries:
+        period = rng.randint(1, max_period)
+        seq = [rng.choice(labels) for _ in range(period)]
+        constraint = "(" + ".".join(seq) + ")*"
+        s = rng.randrange(n)
+        t = rng.randrange(n)
+        truth = rpq_reachable(graph, s, t, constraint)
+        queries.append(ConstrainedQuery(s, t, constraint, truth))
+    return queries

@@ -1,0 +1,148 @@
+"""Query-log-style workloads over mixed constraint shapes (§5).
+
+The survey's open-challenges section cites the Wikidata query-log study
+(Bonifati, Martens & Timm, WWW 2019) to argue that "practical path
+constraints have many more types" than the alternation/concatenation
+classes today's indexes serve.  This module generates a workload whose
+*shape mix* mirrors that observation: single labels, short
+concatenations, transitive single labels (``l*``/``l+``), alternations
+under Kleene, recursive concatenations, and mixed expressions that no
+Table 2 index supports — each with a configurable share.
+
+The mix answers two questions the §5 discussion raises:
+
+* what fraction of a realistic log can today's indexes serve at all
+  (:func:`dispatch_statistics` classifies each query the way
+  :class:`~repro.core.oracle.PathReachabilityOracle` would);
+* how much of the remainder falls to automaton-guided traversal.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Mapping
+from dataclasses import dataclass
+
+from repro.graphs.labeled import LabeledDiGraph
+from repro.traversal.regex import (
+    alternation_label_set,
+    concatenation_sequence,
+    parse_constraint,
+)
+from repro.workloads.queries import ConstrainedQuery
+
+__all__ = ["QueryLogMix", "DEFAULT_MIX", "querylog_workload", "dispatch_statistics"]
+
+
+@dataclass(frozen=True)
+class QueryLogMix:
+    """Relative frequencies of constraint shapes in a generated log.
+
+    The defaults follow the qualitative findings of the Wikidata log
+    study: most property paths are short and non-recursive, a substantial
+    minority use a single transitive property, and a small tail uses
+    shapes outside both §4 families.
+    """
+
+    single_label: float = 0.35
+    short_concatenation: float = 0.25
+    transitive_single: float = 0.15
+    alternation_star: float = 0.12
+    concatenation_star: float = 0.05
+    mixed: float = 0.08
+
+    def normalized(self) -> list[tuple[str, float]]:
+        """(shape, weight) pairs normalised to sum 1."""
+        pairs = [
+            ("single_label", self.single_label),
+            ("short_concatenation", self.short_concatenation),
+            ("transitive_single", self.transitive_single),
+            ("alternation_star", self.alternation_star),
+            ("concatenation_star", self.concatenation_star),
+            ("mixed", self.mixed),
+        ]
+        total = sum(weight for _shape, weight in pairs)
+        if total <= 0:
+            raise ValueError("mix weights must sum to a positive value")
+        return [(shape, weight / total) for shape, weight in pairs]
+
+
+DEFAULT_MIX = QueryLogMix()
+
+
+def _constraint_for(shape: str, labels: list[str], rng: random.Random) -> str:
+    if shape == "single_label":
+        return rng.choice(labels)
+    if shape == "short_concatenation":
+        length = rng.randint(2, 3)
+        return " . ".join(rng.choice(labels) for _ in range(length))
+    if shape == "transitive_single":
+        label = rng.choice(labels)
+        return f"({label}){rng.choice('*+')}"
+    if shape == "alternation_star":
+        size = rng.randint(2, min(3, len(labels)))
+        subset = rng.sample(labels, size)
+        return "(" + " | ".join(subset) + ")*"
+    if shape == "concatenation_star":
+        length = rng.randint(2, 2)
+        seq = [rng.choice(labels) for _ in range(length)]
+        return "(" + " . ".join(seq) + ")*"
+    if shape == "mixed":
+        l1, l2 = rng.choice(labels), rng.choice(labels)
+        l3 = rng.choice(labels)
+        template = rng.choice(
+            [
+                f"{l1} . ({l2} | {l3})*",
+                f"({l1} | {l2})* . {l3}",
+                f"{l1} . {l2}*",
+            ]
+        )
+        return template
+    raise ValueError(f"unknown shape {shape!r}")
+
+
+def querylog_workload(
+    graph: LabeledDiGraph,
+    num_queries: int,
+    seed: int,
+    mix: QueryLogMix = DEFAULT_MIX,
+) -> list[ConstrainedQuery]:
+    """A seeded mixed-shape workload with exact ground truth."""
+    from repro.traversal.rpq import rpq_reachable
+
+    rng = random.Random(seed)
+    labels = [str(label) for label in graph.labels()]
+    if not labels:
+        raise ValueError("graph has no labels")
+    shapes, weights = zip(*mix.normalized())
+    queries: list[ConstrainedQuery] = []
+    n = graph.num_vertices
+    while len(queries) < num_queries:
+        shape = rng.choices(shapes, weights=weights, k=1)[0]
+        constraint = _constraint_for(shape, labels, rng)
+        s = rng.randrange(n)
+        t = rng.randrange(n)
+        truth = rpq_reachable(graph, s, t, constraint)
+        queries.append(ConstrainedQuery(s, t, constraint, truth))
+    return queries
+
+
+def dispatch_statistics(
+    workload: list[ConstrainedQuery],
+) -> Mapping[str, int]:
+    """How an oracle would dispatch each query (the §5 coverage question).
+
+    Returns counts for ``alternation`` (servable by the §4.1 indexes),
+    ``concatenation`` (servable by the RLC index) and ``traversal_only``
+    (the fragment no Table 2 index supports).
+    """
+    counts = {"alternation": 0, "concatenation": 0, "traversal_only": 0}
+    for query in workload:
+        node = parse_constraint(query.constraint)
+        if alternation_label_set(node) is not None:
+            counts["alternation"] += 1
+        elif concatenation_sequence(node) is not None:
+            counts["concatenation"] += 1
+        else:
+            counts["traversal_only"] += 1
+    return counts

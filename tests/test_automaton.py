@@ -1,0 +1,140 @@
+"""Tests for NFA/DFA compilation, cross-checked against Python's re module."""
+
+from __future__ import annotations
+
+import re
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.traversal.automaton import build_dfa, build_nfa
+from repro.traversal.regex import parse_constraint
+
+
+def _to_python_regex(text: str) -> str:
+    """Translate our single-character-label syntax to a Python regex."""
+    return (
+        text.replace("·", "")
+        .replace(".", "")
+        .replace("∪", "|")
+        .replace(" ", "")
+    )
+
+
+CASES = [
+    ("a", ["a"], ["", "b", "aa"]),
+    ("a*", ["", "a", "aaa"], ["b", "ab"]),
+    ("a+", ["a", "aa"], ["", "b"]),
+    ("a . b", ["ab"], ["", "a", "b", "ba", "abb"]),
+    ("(a | b)*", ["", "a", "b", "abba"], ["c", "ac"]),
+    ("(a . b)*", ["", "ab", "abab"], ["a", "ba", "aba"]),
+    ("(a . b)+", ["ab", "abab"], ["", "a"]),
+    ("((a | b) . c)*", ["", "ac", "bcac"], ["c", "ab", "acb"]),
+]
+
+
+class TestDFA:
+    @pytest.mark.parametrize("pattern,accepted,rejected", CASES)
+    def test_known_languages(self, pattern, accepted, rejected):
+        dfa = build_dfa(pattern)
+        for word in accepted:
+            assert dfa.accepts(list(word)), (pattern, word)
+        for word in rejected:
+            assert not dfa.accepts(list(word)), (pattern, word)
+
+    def test_step_returns_none_for_dead_labels(self):
+        dfa = build_dfa("a*")
+        assert dfa.step(dfa.start, "z") is None
+
+    def test_multicharacter_labels(self):
+        dfa = build_dfa("(friendOf | follows)*")
+        assert dfa.accepts(["friendOf", "follows", "friendOf"])
+        assert not dfa.accepts(["worksFor"])
+
+
+class TestNFA:
+    def test_epsilon_closure_contains_itself(self):
+        nfa = build_nfa("a*")
+        closure = nfa.epsilon_closure(frozenset((nfa.start,)))
+        assert nfa.start in closure
+
+    def test_accepting_state_exists(self):
+        nfa = build_nfa("a")
+        assert 0 <= nfa.accept < nfa.num_states
+
+
+@settings(max_examples=150, deadline=None)
+@given(st.data())
+def test_dfa_agrees_with_python_re(data):
+    """On random words over {a,b}, the DFA matches Python's re exactly."""
+    pattern = data.draw(
+        st.sampled_from(
+            ["a*", "(a|b)*", "(a.b)*", "(a.b)+", "a.(b|a)*", "((a|b).a)*", "a+|b+"]
+        )
+    )
+    word = data.draw(st.text(alphabet="ab", max_size=8))
+    dfa = build_dfa(pattern)
+    python = re.fullmatch(_to_python_regex(pattern), word) is not None
+    assert dfa.accepts(list(word)) == python
+
+
+def test_parsed_node_input():
+    node = parse_constraint("(a|b)+")
+    dfa = build_dfa(node)
+    assert dfa.accepts(["a"])
+    assert not dfa.accepts([])
+
+
+def _random_regex_nodes():
+    """Recursive hypothesis strategy over the §2.2 grammar."""
+    from repro.traversal.regex import (
+        ConcatNode,
+        LabelNode,
+        PlusNode,
+        StarNode,
+        UnionNode,
+    )
+
+    labels = st.sampled_from(["a", "b"]).map(LabelNode)
+    return st.recursive(
+        labels,
+        lambda inner: st.one_of(
+            st.tuples(inner, inner).map(lambda p: ConcatNode(*p)),
+            st.tuples(inner, inner).map(lambda p: UnionNode(*p)),
+            inner.map(StarNode),
+            inner.map(PlusNode),
+        ),
+        max_leaves=6,
+    )
+
+
+def _node_to_python(node) -> str:
+    from repro.traversal.regex import (
+        ConcatNode,
+        LabelNode,
+        PlusNode,
+        StarNode,
+        UnionNode,
+    )
+
+    if isinstance(node, LabelNode):
+        return node.label
+    if isinstance(node, ConcatNode):
+        return f"(?:{_node_to_python(node.left)}{_node_to_python(node.right)})"
+    if isinstance(node, UnionNode):
+        return f"(?:{_node_to_python(node.left)}|{_node_to_python(node.right)})"
+    if isinstance(node, StarNode):
+        return f"(?:{_node_to_python(node.inner)})*"
+    if isinstance(node, PlusNode):
+        return f"(?:{_node_to_python(node.inner)})+"
+    raise TypeError(type(node))
+
+
+@settings(max_examples=200, deadline=None)
+@given(_random_regex_nodes(), st.text(alphabet="ab", max_size=7))
+def test_dfa_matches_python_re_on_random_regexes(node, word):
+    """Random §2.2 grammar expressions agree with Python's re engine."""
+    dfa = build_dfa(node)
+    python = re.fullmatch(_node_to_python(node), word) is not None
+    assert dfa.accepts(list(word)) == python

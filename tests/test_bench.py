@@ -1,0 +1,111 @@
+"""Tests for the benchmark harness and experiment row generators."""
+
+from __future__ import annotations
+
+from repro.bench.experiments import (
+    ablation_ferrari_rows,
+    ablation_grail_rows,
+    ablation_order_rows,
+    ablation_reduction_rows,
+    approx_tc_rows,
+    build_scaling_rows,
+    index_size_rows,
+    lcr_build_rows,
+    lcr_rows,
+    query_speed_rows,
+    taxonomy_table1_rows,
+    taxonomy_table2_rows,
+)
+from repro.bench.harness import build_index, lookup_statistics, time_workload
+from repro.bench.tables import format_count, format_seconds, render_table
+from repro.core.registry import plain_index
+from repro.graphs.generators import cyclic_communities, random_dag
+from repro.workloads.queries import plain_workload
+
+
+class TestTables:
+    def test_render_alignment(self):
+        text = render_table(["a", "bb"], [(1, 2), (33, 44)], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert all(len(line) == len(lines[1]) for line in lines[1:])
+
+    def test_format_seconds_ranges(self):
+        assert format_seconds(5e-7).endswith("us")
+        assert format_seconds(5e-3).endswith("ms")
+        assert format_seconds(2.5).endswith("s")
+
+    def test_format_count(self):
+        assert format_count(1234567) == "1,234,567"
+        assert format_count(12.345) == "12.35"
+        assert format_count(12.0) == "12"
+
+
+class TestHarness:
+    def test_build_index_wraps_dag_only_on_cyclic(self):
+        graph = cyclic_communities(3, 4, 5, seed=1)
+        result = build_index(plain_index("GRAIL"), graph)
+        assert result.name == "GRAIL"
+        assert result.index.metadata.name == "GRAIL+SCC"
+        assert result.build_seconds >= 0
+
+    def test_time_workload_counts_wrong_answers(self):
+        graph = random_dag(15, 30, seed=2)
+        workload = plain_workload(graph, 30, 0.5, seed=3)
+        always_false = time_workload("broken", lambda s, t: False, workload)
+        positives = sum(q.reachable for q in workload)
+        assert always_false.wrong_answers == positives
+        assert always_false.per_query_seconds > 0
+
+    def test_lookup_statistics_sums_to_workload(self):
+        graph = random_dag(25, 60, seed=4)
+        workload = plain_workload(graph, 60, 0.5, seed=5)
+        index = plain_index("GRAIL").build(graph)
+        stats = lookup_statistics(index, workload)
+        assert sum(stats.values()) == len(workload)
+        assert stats["no_wrong"] == 0  # GRAIL has no false negatives
+        assert stats["yes_wrong"] == 0  # GRAIL never answers YES falsely
+
+
+class TestExperimentRows:
+    """Each row generator runs at a tiny scale and produces sane rows."""
+
+    def test_taxonomies(self):
+        assert len(taxonomy_table1_rows()) == 25
+        assert len(taxonomy_table2_rows()) == 8
+
+    def test_query_speed(self):
+        rows = query_speed_rows(layers=6, width=10, num_queries=30)
+        kinds = {r["kind"] for r in rows}
+        assert kinds == {"traversal", "index"}
+        assert all(r["wrong"] == 0 for r in rows)
+
+    def test_build_scaling(self):
+        rows = build_scaling_rows(sizes=(50, 100), names=("GRAIL", "BFL"))
+        assert len(rows) == 4
+
+    def test_index_size(self):
+        rows = index_size_rows(num_vertices=60)
+        names = {r["name"] for r in rows}
+        assert "TC" in names
+        assert any("2-Hop" in n for n in names)
+
+    def test_approx_tc(self):
+        rows = approx_tc_rows(num_vertices=120, num_queries=60)
+        assert all(r["negatives_total"] > 0 for r in rows)
+
+    def test_lcr(self):
+        rows = lcr_rows(num_vertices=60, num_queries=20)
+        assert all(r["wrong"] == 0 for r in rows)
+
+    def test_lcr_build(self):
+        rows = lcr_build_rows(num_vertices=60)
+        assert any(r["name"].startswith("plain/") for r in rows)
+        assert any(r["name"].startswith("labeled/") for r in rows)
+
+    def test_ablations(self):
+        assert len(ablation_grail_rows(num_vertices=120, num_queries=40)) == 5
+        assert len(ablation_ferrari_rows(num_vertices=80, num_queries=30)) == 5
+        assert len(ablation_order_rows(num_vertices=80)) == 4
+        rows = ablation_reduction_rows(num_vertices=80)
+        assert all(r["entries_reduced"] <= r["entries_direct"] for r in rows)

@@ -1,0 +1,67 @@
+"""Tests for Chen et al.'s recursive decomposition specifics."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.graphs.generators import random_labeled_digraph, random_tree, with_random_labels
+from repro.labeled.chen import ChenIndex
+from repro.traversal.rpq import constrained_descendants
+
+LABELS = ["a", "b", "c"]
+
+
+def _check_exact(index, graph, constraints):
+    for constraint in constraints:
+        for s in graph.vertices():
+            reach = constrained_descendants(graph, s, constraint)
+            for t in graph.vertices():
+                expected = t in reach or s == t
+                assert index.query(s, t, constraint) == expected, (constraint, s, t)
+
+
+def _all_star_constraints():
+    result = []
+    for r in range(1, len(LABELS) + 1):
+        for combo in itertools.combinations(LABELS, r):
+            result.append("(" + "|".join(combo) + ")*")
+    return result
+
+
+class TestRecursion:
+    def test_pure_tree_is_single_level(self):
+        tree = with_random_labels(random_tree(30, seed=401), LABELS, seed=402)
+        index = ChenIndex.build(tree)
+        assert index.num_levels == 1  # no non-tree edges: nothing to recurse on
+
+    def test_dense_graph_recurses(self):
+        graph = random_labeled_digraph(30, 90, LABELS, seed=403)
+        index = ChenIndex.build(graph, terminal_threshold=4)
+        assert index.num_levels >= 2
+
+    @pytest.mark.parametrize("threshold", [1, 4, 16, 1000])
+    def test_exact_for_any_terminal_threshold(self, threshold):
+        graph = random_labeled_digraph(20, 55, LABELS, seed=404)
+        index = ChenIndex.build(graph, terminal_threshold=threshold)
+        _check_exact(index, graph, _all_star_constraints())
+
+    def test_deep_recursion_stays_exact(self):
+        # seed chosen to force several levels with a tiny threshold
+        graph = random_labeled_digraph(30, 90, LABELS, seed=1)
+        index = ChenIndex.build(graph, terminal_threshold=2)
+        assert index.num_levels >= 3
+        _check_exact(index, graph, _all_star_constraints()[:4])
+
+    def test_plus_cycles(self):
+        graph = random_labeled_digraph(15, 45, LABELS, seed=405)
+        index = ChenIndex.build(graph)
+        for combo in (["a"], ["a", "b"], LABELS):
+            constraint = "(" + "|".join(combo) + ")+"
+            for v in graph.vertices():
+                reach = constrained_descendants(graph, v, constraint)
+                assert index.query(v, v, constraint) == (v in reach), (
+                    constraint,
+                    v,
+                )

@@ -1,0 +1,135 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.graphs.generators import random_dag, random_labeled_digraph
+from repro.graphs.io import write_edge_list, write_labeled_edge_list
+
+
+@pytest.fixture
+def edge_list_file(tmp_path):
+    graph = random_dag(20, 45, seed=81)
+    path = tmp_path / "graph.txt"
+    write_edge_list(graph, path)
+    return path, graph
+
+
+@pytest.fixture
+def labeled_file(tmp_path):
+    graph = random_labeled_digraph(15, 35, ["a", "b"], seed=82)
+    path = tmp_path / "labeled.txt"
+    write_labeled_edge_list(graph, path)
+    return path, graph
+
+
+class TestList:
+    def test_prints_both_taxonomies(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out and "Table 2" in out
+        assert "GRAIL" in out and "P2H+" in out and "RLC" in out
+
+
+class TestBuild:
+    def test_build_reports_size(self, edge_list_file, capsys):
+        path, _graph = edge_list_file
+        assert main(["build", str(path), "--index", "PLL"]) == 0
+        out = capsys.readouterr().out
+        assert "PLL" in out and "entries" in out
+
+    def test_dag_index_on_cyclic_file(self, tmp_path, capsys):
+        path = tmp_path / "cyclic.txt"
+        path.write_text("a b\nb a\n")
+        assert main(["build", str(path), "--index", "GRAIL"]) == 0
+
+
+class TestQuery:
+    def test_positive_query_exits_zero(self, edge_list_file, capsys):
+        path, graph = edge_list_file
+        u, v = next(iter(graph.edges()))
+        code = main(["query", str(path), str(u), str(v), "--index", "BFL"])
+        assert code == 0
+        assert "true" in capsys.readouterr().out
+
+    def test_unknown_vertex_exits_two(self, edge_list_file, capsys):
+        path, _graph = edge_list_file
+        assert main(["query", str(path), "nope", "0"]) == 2
+
+    def test_negative_query_exits_one(self, tmp_path, capsys):
+        path = tmp_path / "two.txt"
+        path.write_text("a b\nc d\n")
+        assert main(["query", str(path), "a", "d"]) == 1
+        assert "false" in capsys.readouterr().out
+
+
+class TestLabeledQuery:
+    def test_lquery(self, labeled_file, capsys):
+        path, graph = labeled_file
+        u, v, label = next(iter(graph.edges()))
+        code = main(
+            ["lquery", str(path), str(u), str(v), f"({label})*", "--index", "P2H+"]
+        )
+        assert code == 0
+        assert "true" in capsys.readouterr().out
+
+    def test_lquery_rlc(self, labeled_file):
+        path, graph = labeled_file
+        u, v, label = next(iter(graph.edges()))
+        code = main(["lquery", str(path), str(u), str(v), f"({label})*", "--index", "RLC"])
+        assert code == 0
+
+    def test_unknown_vertex(self, labeled_file):
+        path, _graph = labeled_file
+        assert main(["lquery", str(path), "zz", "0", "(a)*"]) == 2
+
+
+class TestPersistenceCommands:
+    def test_build_save_and_inspect(self, edge_list_file, capsys, tmp_path):
+        path, _graph = edge_list_file
+        saved = tmp_path / "idx.repro"
+        assert main(["build", str(path), "--index", "PLL", "--save", str(saved)]) == 0
+        assert saved.exists()
+        assert main(["inspect", str(saved)]) == 0
+        out = capsys.readouterr().out
+        assert "PLLIndex" in out
+
+
+class TestExperimentCommand:
+    def test_orders_experiment(self, capsys):
+        assert main(["experiment", "orders"]) == 0
+        out = capsys.readouterr().out
+        assert "ABL-ORDER" in out
+        assert "topological (TFL)" in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["experiment", "nope"]) == 2
+        assert "known:" in capsys.readouterr().err
+
+
+class TestStatsCommand:
+    def test_stats_on_edge_list(self, edge_list_file, capsys):
+        path, graph = edge_list_file
+        assert main(["stats", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "|V|" in out
+        assert str(graph.num_vertices) in out
+
+
+class TestCompareCommand:
+    def test_compare_prints_matrix(self, edge_list_file, capsys):
+        path, _graph = edge_list_file
+        assert main(["compare", str(path), "--queries", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "online BFS" in out
+        assert "PLL" in out and "GRAIL" in out
+
+
+class TestExperimentSmall:
+    @pytest.mark.parametrize("name", ["speed", "size", "scaling", "orders"])
+    def test_small_experiments_run(self, name, capsys):
+        assert main(["experiment", name, "--small"]) == 0
+        out = capsys.readouterr().out
+        assert "|" in out  # a rendered table

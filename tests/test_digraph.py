@@ -1,0 +1,134 @@
+"""Unit tests for the plain directed-graph substrate."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import EdgeError, VertexError
+from repro.graphs.digraph import DiGraph
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        graph = DiGraph(0)
+        assert graph.num_vertices == 0
+        assert graph.num_edges == 0
+        assert list(graph.edges()) == []
+
+    def test_vertices_range(self):
+        graph = DiGraph(5)
+        assert list(graph.vertices()) == [0, 1, 2, 3, 4]
+        assert len(graph) == 5
+
+    def test_negative_vertex_count_rejected(self):
+        with pytest.raises(VertexError):
+            DiGraph(-1)
+
+    def test_edges_at_construction(self):
+        graph = DiGraph(3, [(0, 1), (1, 2)])
+        assert graph.num_edges == 2
+        assert graph.has_edge(0, 1)
+        assert not graph.has_edge(1, 0)
+
+
+class TestMutation:
+    def test_add_edge_updates_both_directions(self):
+        graph = DiGraph(3)
+        graph.add_edge(0, 2)
+        assert graph.out_neighbors(0) == [2]
+        assert graph.in_neighbors(2) == [0]
+        assert graph.out_degree(0) == 1
+        assert graph.in_degree(2) == 1
+        assert graph.degree(2) == 1
+
+    def test_duplicate_edge_rejected(self):
+        graph = DiGraph(2, [(0, 1)])
+        with pytest.raises(EdgeError):
+            graph.add_edge(0, 1)
+
+    def test_add_edge_if_absent(self):
+        graph = DiGraph(2)
+        assert graph.add_edge_if_absent(0, 1) is True
+        assert graph.add_edge_if_absent(0, 1) is False
+        assert graph.num_edges == 1
+
+    def test_remove_edge(self):
+        graph = DiGraph(2, [(0, 1)])
+        graph.remove_edge(0, 1)
+        assert graph.num_edges == 0
+        assert not graph.has_edge(0, 1)
+
+    def test_remove_missing_edge_rejected(self):
+        graph = DiGraph(2)
+        with pytest.raises(EdgeError):
+            graph.remove_edge(0, 1)
+
+    def test_out_of_range_vertex_rejected(self):
+        graph = DiGraph(2)
+        with pytest.raises(VertexError):
+            graph.add_edge(0, 5)
+        with pytest.raises(VertexError):
+            graph.out_neighbors(-1)
+
+    def test_add_vertex(self):
+        graph = DiGraph(1)
+        new = graph.add_vertex()
+        assert new == 1
+        graph.add_edge(0, 1)
+        assert graph.has_edge(0, 1)
+
+    def test_self_loop_allowed(self):
+        graph = DiGraph(1)
+        graph.add_edge(0, 0)
+        assert graph.has_edge(0, 0)
+
+
+class TestDerived:
+    def test_reversed_flips_every_edge(self, small_dag):
+        rev = small_dag.reversed()
+        assert rev.num_edges == small_dag.num_edges
+        for u, v in small_dag.edges():
+            assert rev.has_edge(v, u)
+
+    def test_copy_is_independent(self, small_dag):
+        clone = small_dag.copy()
+        clone.add_edge(5, 7)
+        assert not small_dag.has_edge(5, 7)
+        assert clone.num_edges == small_dag.num_edges + 1
+
+    def test_equality(self):
+        a = DiGraph(2, [(0, 1)])
+        b = DiGraph(2, [(0, 1)])
+        assert a == b
+        b.add_edge(1, 0)
+        assert a != b
+
+    def test_contains_protocol(self, small_dag):
+        assert (0, 1) in small_dag
+        assert (1, 0) not in small_dag
+        assert "nonsense" not in small_dag
+        assert (0, 99) not in small_dag
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(DiGraph(1))
+
+    def test_repr(self, small_dag):
+        assert "DiGraph" in repr(small_dag)
+
+
+@given(
+    st.integers(min_value=1, max_value=12),
+    st.lists(st.tuples(st.integers(0, 11), st.integers(0, 11)), max_size=40),
+)
+def test_edge_count_matches_edge_iteration(n, pairs):
+    """num_edges always equals the number of iterated edges."""
+    graph = DiGraph(n)
+    for u, v in pairs:
+        if u < n and v < n:
+            graph.add_edge_if_absent(u, v)
+    assert graph.num_edges == sum(1 for _ in graph.edges())
+    # reversal preserves the count and is an involution
+    assert graph.reversed().reversed() == graph

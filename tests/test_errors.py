@@ -1,0 +1,63 @@
+"""The exception hierarchy: everything the library raises is a ReproError."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    ConstraintSyntaxError,
+    EdgeError,
+    GraphError,
+    IndexBuildError,
+    NotADAGError,
+    QueryError,
+    ReproError,
+    UnsupportedConstraintError,
+    UnsupportedOperationError,
+    VertexError,
+)
+
+
+@pytest.mark.parametrize(
+    "exc",
+    [
+        GraphError,
+        VertexError,
+        EdgeError,
+        NotADAGError,
+        IndexBuildError,
+        UnsupportedOperationError,
+        QueryError,
+        ConstraintSyntaxError,
+        UnsupportedConstraintError,
+    ],
+)
+def test_all_derive_from_repro_error(exc):
+    assert issubclass(exc, ReproError)
+    with pytest.raises(ReproError):
+        raise exc("boom")
+
+
+def test_hierarchy_shape():
+    assert issubclass(VertexError, GraphError)
+    assert issubclass(EdgeError, GraphError)
+    assert issubclass(NotADAGError, GraphError)
+    assert issubclass(ConstraintSyntaxError, QueryError)
+    assert issubclass(UnsupportedConstraintError, QueryError)
+
+
+def test_single_catch_covers_library_failures():
+    """One except clause is enough for callers, as documented."""
+    from repro.graphs.digraph import DiGraph
+
+    failures = 0
+    for action in (
+        lambda: DiGraph(-1),
+        lambda: DiGraph(2).remove_edge(0, 1),
+        lambda: DiGraph(2).add_edge(0, 9),
+    ):
+        try:
+            action()
+        except ReproError:
+            failures += 1
+    assert failures == 3

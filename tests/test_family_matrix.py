@@ -1,0 +1,70 @@
+"""Graph-family × index matrix: exactness on every generator family.
+
+Each fast index is checked against BFS on one instance of every synthetic
+family the generators produce — the structural variety (deep, shallow,
+skewed, cyclic, tree-like, blocky) that individual suites don't cross.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.condensed import CondensedIndex
+from repro.core.registry import all_plain_indexes
+from repro.graphs.digraph import DiGraph
+from repro.graphs.generators import (
+    cyclic_communities,
+    gnp_digraph,
+    layered_dag,
+    random_dag,
+    random_tree,
+    rmat_digraph,
+    scale_free_dag,
+    tree_with_shortcuts,
+)
+from repro.graphs.topo import is_dag
+from repro.traversal.online import bfs_reachable
+
+PLAIN = all_plain_indexes()
+FAST = sorted(
+    set(PLAIN) - {"2-Hop", "Dual labeling", "Path-hop"}  # quadratic regimes
+)
+
+FAMILIES = {
+    "random_dag": lambda: random_dag(35, 80, seed=201),
+    "scale_free": lambda: scale_free_dag(35, 2, seed=202),
+    "layered": lambda: layered_dag(6, 6, 2, seed=203),
+    "tree": lambda: random_tree(35, seed=204),
+    "tree_shortcuts": lambda: tree_with_shortcuts(35, 8, seed=205),
+    "gnp_cyclic": lambda: gnp_digraph(22, 0.07, seed=206),
+    "communities": lambda: cyclic_communities(4, 5, 9, seed=207),
+    "rmat": lambda: rmat_digraph(5, 90, seed=208),
+    "self_loops": lambda: _with_self_loops(random_dag(20, 40, seed=209)),
+    "edgeless": lambda: DiGraph(12),
+}
+
+
+def _with_self_loops(graph: DiGraph) -> DiGraph:
+    for v in (0, 5, 19):
+        graph.add_edge(v, v)
+    return graph
+
+
+@pytest.mark.parametrize("family", sorted(FAMILIES))
+@pytest.mark.parametrize("name", FAST)
+def test_family_matrix(name, family):
+    graph = FAMILIES[family]()
+    cls = PLAIN[name]
+    if cls.metadata.input_kind == "DAG" and not is_dag(graph):
+        index = CondensedIndex.build(graph, inner=cls)
+    else:
+        index = cls.build(graph)
+    n = graph.num_vertices
+    for s in range(0, n, 2):
+        for t in range(n):
+            assert index.query(s, t) == bfs_reachable(graph, s, t), (
+                name,
+                family,
+                s,
+                t,
+            )

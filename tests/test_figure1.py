@@ -1,0 +1,151 @@
+"""Every claim the paper makes about its Figure 1 running example.
+
+These tests regenerate the FIG1a / FIG1b experiments of DESIGN.md: each
+statement in §2 and §4 about the example graphs is checked against the
+fixtures in :mod:`repro.workloads.datasets` and against real indexes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.registry import all_labeled_indexes, all_plain_indexes
+from repro.labeled.gtc import GTCIndex
+from repro.labeled.rlc import RLCIndex
+from repro.traversal.online import bfs_reachable
+from repro.traversal.rpq import rpq_reachable
+from repro.workloads.datasets import FIGURE1_VERTICES, figure1a, figure1b, vertex_id
+
+A, B, C, D, G, H, K, L, M = (vertex_id(x) for x in "ABCDGHKLM")
+
+
+class TestFigure1a:
+    """§2.1: plain reachability on Figure 1(a)."""
+
+    def test_vertex_names(self):
+        assert len(FIGURE1_VERTICES) == 9
+
+    def test_qr_a_g_is_true_via_adhg(self):
+        graph = figure1a()
+        assert bfs_reachable(graph, A, G)
+        # the witness path (A, D, H, G) the paper names exists edge by edge
+        assert graph.has_edge(A, D)
+        assert graph.has_edge(D, H)
+        assert graph.has_edge(H, G)
+
+    @pytest.mark.parametrize("name", sorted(all_plain_indexes()))
+    def test_every_plain_index_agrees_on_the_example(self, name):
+        from repro.core.condensed import CondensedIndex
+        from repro.graphs.topo import is_dag
+
+        graph = figure1a()
+        cls = all_plain_indexes()[name]
+        if cls.metadata.input_kind == "DAG" and not is_dag(graph):
+            index = CondensedIndex.build(graph, inner=cls)
+        else:
+            index = cls.build(graph)
+        for s in graph.vertices():
+            for t in graph.vertices():
+                assert index.query(s, t) == bfs_reachable(graph, s, t)
+
+
+class TestFigure1b:
+    """§2.2 and §4: path-constrained claims on Figure 1(b)."""
+
+    def test_labels(self):
+        graph = figure1b()
+        assert set(graph.labels()) == {"friendOf", "follows", "worksFor"}
+
+    def test_qr_a_g_friendof_follows_star_is_false(self):
+        graph = figure1b()
+        assert not rpq_reachable(graph, A, G, "(friendOf | follows)*")
+
+    def test_every_a_g_path_includes_worksfor(self):
+        graph = figure1b()
+        # but A reaches G when worksFor is allowed
+        assert rpq_reachable(graph, A, G, "(friendOf | follows | worksFor)*")
+
+    def test_spls_from_l_to_m(self):
+        """§4.1: p1 = (L,worksFor,C,worksFor,M) dominates p2 via K."""
+        graph = figure1b()
+        index = GTCIndex.build(graph)
+        masks = index.spls(L, M)
+        works_for = 1 << graph.label_id("worksFor")
+        follows = 1 << graph.label_id("follows")
+        assert masks == [works_for]
+        # both named paths exist
+        assert graph.has_edge(L, C, "worksFor") and graph.has_edge(C, M, "worksFor")
+        assert graph.has_edge(L, K, "follows") and graph.has_edge(K, M, "worksFor")
+        # and the subset rule makes {follows, worksFor} redundant
+        assert works_for & ~(works_for | follows) == 0
+
+    def test_spls_transitivity_a_to_m(self):
+        """§4.1: SPLS(A→M) = SPLS(A→L) ∪ SPLS(L→M) = {follows, worksFor}."""
+        graph = figure1b()
+        index = GTCIndex.build(graph)
+        follows = 1 << graph.label_id("follows")
+        works_for = 1 << graph.label_id("worksFor")
+        assert index.spls(A, L) == [follows]
+        assert index.spls(L, M) == [works_for]
+        assert index.spls(A, M) == [follows | works_for]
+
+    def test_dijkstra_example_l_to_h(self):
+        """§4.1.2: p3 (1 distinct label) beats p4 (2 distinct labels)."""
+        graph = figure1b()
+        # both paths exist
+        assert graph.has_edge(L, C, "worksFor") and graph.has_edge(C, H, "worksFor")
+        assert graph.has_edge(L, D, "worksFor") and graph.has_edge(D, H, "friendOf")
+        index = GTCIndex.build(graph)
+        works_for = 1 << graph.label_id("worksFor")
+        friend_of = 1 << graph.label_id("friendOf")
+        masks = index.spls(L, H)
+        # p3's single-label set is recorded ...
+        assert works_for in masks
+        # ... and p4's {worksFor, friendOf} is ignored as dominated
+        assert works_for | friend_of not in masks
+
+    def test_rlc_example_l_to_b(self):
+        """§4.2: Qr(L, B, (worksFor · friendOf)*) = true, MR of the path."""
+        graph = figure1b()
+        assert rpq_reachable(graph, L, B, "(worksFor . friendOf)*")
+        index = RLCIndex.build(graph, max_period=2)
+        assert index.query(L, B, "(worksFor . friendOf)*")
+        # the witness path exists edge by edge
+        assert graph.has_edge(L, D, "worksFor")
+        assert graph.has_edge(D, H, "friendOf")
+        assert graph.has_edge(H, G, "worksFor")
+        assert graph.has_edge(G, B, "friendOf")
+
+    def test_minimum_repeat_of_the_witness(self):
+        from repro.labeled.kleene import minimum_repeat
+
+        sequence = ("worksFor", "friendOf", "worksFor", "friendOf")
+        assert minimum_repeat(sequence) == ("worksFor", "friendOf")
+
+    @pytest.mark.parametrize("name", sorted(all_labeled_indexes()))
+    def test_every_labeled_index_agrees_on_the_example(self, name):
+        graph = figure1b()
+        cls = all_labeled_indexes()[name]
+        index = cls.build(graph)
+        if cls.metadata.constraint == "Alternation":
+            constraints = [
+                "(friendOf | follows)*",
+                "(worksFor)*",
+                "(friendOf | follows | worksFor)*",
+                "(worksFor | follows)+",
+            ]
+        else:
+            constraints = ["(worksFor . friendOf)*", "(worksFor)*", "(follows)+"]
+        for constraint in constraints:
+            for s in graph.vertices():
+                for t in graph.vertices():
+                    expected = rpq_reachable(graph, s, t, constraint)
+                    assert index.query(s, t, constraint) == expected, (
+                        name,
+                        constraint,
+                        s,
+                        t,
+                    )
+
+    def test_plain_projection_matches_figure1a(self):
+        assert figure1b().to_plain() == figure1a()

@@ -1,0 +1,95 @@
+"""Property-based fuzzing of the unified index contract.
+
+Hypothesis drives random graphs through every fast index and checks the
+full exactness contract against BFS — the widest net in the suite.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.condensed import CondensedIndex
+from repro.core.registry import all_plain_indexes
+from repro.graphs.digraph import DiGraph
+from repro.traversal.online import bfs_reachable
+
+PLAIN = all_plain_indexes()
+# cheap enough for fuzzing; the expensive ones have dedicated suites
+FUZZ_NAMES = sorted(
+    set(PLAIN)
+    - {"2-Hop", "Dual labeling", "Path-hop", "3-Hop", "HL", "Ralf et al."}
+)
+
+
+def _random_graph(data, max_vertices=14) -> DiGraph:
+    n = data.draw(st.integers(2, max_vertices))
+    edges = data.draw(
+        st.lists(
+            st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+            max_size=3 * n,
+        )
+    )
+    graph = DiGraph(n)
+    for u, v in edges:
+        if u != v:
+            graph.add_edge_if_absent(u, v)
+    return graph
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.data())
+def test_every_index_is_exact_on_random_graphs(data):
+    graph = _random_graph(data)
+    name = data.draw(st.sampled_from(FUZZ_NAMES))
+    cls = PLAIN[name]
+    from repro.graphs.topo import is_dag
+
+    if cls.metadata.input_kind == "DAG" and not is_dag(graph):
+        index = CondensedIndex.build(graph, inner=cls)
+    else:
+        index = cls.build(graph)
+    for s in range(graph.num_vertices):
+        for t in range(graph.num_vertices):
+            assert index.query(s, t) == bfs_reachable(graph, s, t), (name, s, t)
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.data())
+def test_labeled_indexes_exact_on_random_graphs(data):
+    from repro.core.registry import all_labeled_indexes
+    from repro.graphs.labeled import LabeledDiGraph
+    from repro.traversal.rpq import rpq_reachable
+
+    n = data.draw(st.integers(2, 10))
+    labels = ["a", "b"]
+    edges = data.draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, n - 1),
+                st.integers(0, n - 1),
+                st.sampled_from(labels),
+            ),
+            max_size=2 * n,
+        )
+    )
+    graph = LabeledDiGraph(n)
+    for label in labels:
+        graph.intern_label(label)
+    for u, v, label in edges:
+        if u != v and not graph.has_edge(u, v, label):
+            graph.add_edge(u, v, label)
+    name = data.draw(
+        st.sampled_from(sorted(all_labeled_indexes()))
+    )
+    cls = all_labeled_indexes()[name]
+    index = cls.build(graph)
+    constraint = (
+        data.draw(st.sampled_from(["(a)*", "(b)+", "(a|b)*", "(a|b)+"]))
+        if cls.metadata.constraint == "Alternation"
+        else data.draw(st.sampled_from(["(a)*", "(b)+", "(a.b)*", "(b.a)+"]))
+    )
+    for s in range(n):
+        for t in range(n):
+            expected = rpq_reachable(graph, s, t, constraint)
+            assert index.query(s, t, constraint) == expected, (name, constraint, s, t)

@@ -1,0 +1,196 @@
+"""Tests for the GDBMS integration layer (§5 vision)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import GraphError
+from repro.gdbms import GraphStore, ReachabilityDatabase
+from repro.traversal.rpq import rpq_reachable
+
+
+class TestGraphStore:
+    def test_nodes_and_properties(self):
+        store = GraphStore()
+        store.add_node("alice", role="analyst")
+        store.add_node("bob")
+        assert store.num_nodes == 2
+        assert store.properties("alice")["role"] == "analyst"
+        assert store.has_node("bob")
+        assert not store.has_node("carol")
+        assert store.node_name(store.node_id("alice")) == "alice"
+
+    def test_duplicate_node_rejected(self):
+        store = GraphStore()
+        store.add_node("x")
+        with pytest.raises(GraphError):
+            store.add_node("x")
+
+    def test_unknown_node_rejected(self):
+        store = GraphStore()
+        with pytest.raises(GraphError):
+            store.node_id("ghost")
+
+    def test_edges_and_log(self):
+        store = GraphStore()
+        store.add_node("a")
+        store.add_node("b")
+        store.add_edge("a", "knows", "b")
+        assert store.has_edge("a", "knows", "b")
+        assert list(store.edges()) == [("a", "knows", "b")]
+        log = store.drain_log()
+        assert len(log) == 1
+        assert log[0].kind == "insert"
+        assert store.drain_log() == []
+        store.remove_edge("a", "knows", "b")
+        assert store.drain_log()[0].kind == "delete"
+
+    def test_version_bumps_on_mutation(self):
+        store = GraphStore()
+        v0 = store.version
+        store.add_node("a")
+        assert store.version > v0
+
+
+class TestReachabilityDatabase:
+    @pytest.fixture
+    def db(self):
+        db = ReachabilityDatabase()
+        for name in "abcdef":
+            db.add_node(name)
+        db.add_edge("a", "knows", "b")
+        db.add_edge("b", "worksWith", "c")
+        db.add_edge("c", "knows", "d")
+        db.add_edge("d", "knows", "e")
+        return db
+
+    def test_plain_reachability(self, db):
+        assert db.reaches("a", "e")
+        assert not db.reaches("e", "a")
+        assert not db.reaches("a", "f")
+
+    def test_constrained_reachability(self, db):
+        assert not db.reaches_via("a", "(knows)*", "d")  # worksWith in the way
+        assert db.reaches_via("c", "(knows)*", "e")
+        assert db.reaches_via("a", "(knows | worksWith)*", "e")
+
+    def test_concatenation_reachability(self, db):
+        db.add_edge("e", "worksWith", "f")
+        assert db.reaches_via("c", "(knows . knows)*", "e")
+        assert not db.reaches_via("c", "(knows . worksWith)*", "e")
+
+    def test_general_rpq_falls_back(self, db):
+        # not alternation, not concatenation: traversal path
+        assert db.reaches_via("a", "knows . (worksWith | knows)*", "e")
+        assert db.explain().traversal >= 1
+
+    def test_reachable_from(self, db):
+        assert db.reachable_from("c") == {"d", "e"}
+        assert db.reachable_from("c", "(knows)*") == {"d", "e"}
+
+    def test_updates_keep_queries_exact(self, db):
+        assert not db.reaches("a", "f")
+        db.add_edge("e", "knows", "f")
+        assert db.reaches("a", "f")
+        db.remove_edge("b", "worksWith", "c")
+        assert not db.reaches("a", "f")
+
+    def test_nodes_added_after_index_build(self, db):
+        db.reaches("a", "b")  # force the index build
+        db.add_node("late")
+        db.add_edge("e", "knows", "late")
+        assert db.reaches("a", "late")
+        assert db.reaches_via("c", "(knows)*", "late")
+
+    def test_explain_counters(self, db):
+        db.reaches("a", "b")
+        db.reaches_via("a", "(knows)*", "b")
+        db.reaches_via("a", "(knows . knows)*", "c")
+        stats = db.explain()
+        assert stats.plain_index == 1
+        assert stats.alternation_index == 1
+        assert stats.concatenation_index == 1
+        assert stats.total() == 3
+        assert stats.rebuilds.get("DLCR", 0) == 1
+
+    def test_rlc_rebuild_on_demand(self, db):
+        db.reaches_via("a", "(knows . knows)*", "c")
+        first = db.explain().rebuilds.get("RLC", 0)
+        db.reaches_via("a", "(knows . knows)*", "d")  # no update: no rebuild
+        assert db.explain().rebuilds.get("RLC", 0) == first
+        db.add_edge("f", "knows", "a")
+        db.reaches_via("a", "(knows . knows)*", "c")  # update: rebuild
+        assert db.explain().rebuilds.get("RLC", 0) == first + 1
+
+
+class TestRandomisedSession:
+    def test_long_mixed_session_stays_exact(self):
+        """Random DDL + queries; every answer checked against traversal."""
+        rng = random.Random(123)
+        db = ReachabilityDatabase()
+        labels = ["x", "y", "z"]
+        names = [f"n{i}" for i in range(12)]
+        for name in names:
+            db.add_node(name)
+        for _step in range(120):
+            action = rng.random()
+            if action < 0.35:
+                s, t = rng.choice(names), rng.choice(names)
+                label = rng.choice(labels)
+                if not db.store.has_edge(s, label, t) and s != t:
+                    db.add_edge(s, label, t)
+            elif action < 0.45:
+                edges = list(db.store.edges())
+                if edges:
+                    s, label, t = edges[rng.randrange(len(edges))]
+                    db.remove_edge(s, label, t)
+            elif action < 0.75:
+                s, t = rng.choice(names), rng.choice(names)
+                constraint = rng.choice(
+                    ["(x)*", "(x | y)*", "(x | y | z)*", "(y)+", "(x . y)*"]
+                )
+                expected = rpq_reachable(
+                    db.store.graph,
+                    db.store.node_id(s),
+                    db.store.node_id(t),
+                    constraint,
+                )
+                assert db.reaches_via(s, constraint, t) == expected, (
+                    s,
+                    t,
+                    constraint,
+                )
+            else:
+                s, t = rng.choice(names), rng.choice(names)
+                expected = rpq_reachable(
+                    db.store.graph,
+                    db.store.node_id(s),
+                    db.store.node_id(t),
+                    "(x | y | z)*",
+                ) or s == t
+                assert db.reaches(s, t) == expected
+
+
+class TestWitness:
+    def test_plain_witness(self):
+        db = ReachabilityDatabase()
+        for n in "abc":
+            db.add_node(n)
+        db.add_edge("a", "x", "b")
+        db.add_edge("b", "y", "c")
+        assert db.witness("a", "c") == [("a", ""), ("b", ""), ("c", "")]
+        assert db.witness("c", "a") is None
+
+    def test_constrained_witness(self):
+        db = ReachabilityDatabase()
+        for n in "abc":
+            db.add_node(n)
+        db.add_edge("a", "x", "b")
+        db.add_edge("b", "y", "c")
+        db.add_edge("a", "y", "c")
+        steps = db.witness("a", "c", "(x | y)*")
+        assert steps is not None
+        assert steps[0][0] == "a" and steps[-1][0] == "c"
+        assert db.witness("a", "c", "(x)*") is None

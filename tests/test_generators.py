@@ -1,0 +1,108 @@
+"""Tests for the synthetic graph generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs.generators import (
+    cyclic_communities,
+    gnp_digraph,
+    layered_dag,
+    random_dag,
+    random_labeled_digraph,
+    random_tree,
+    scale_free_dag,
+    tree_with_shortcuts,
+    with_random_labels,
+)
+from repro.graphs.scc import strongly_connected_components
+from repro.graphs.topo import is_dag
+
+
+class TestRandomDag:
+    def test_exact_edge_count(self):
+        graph = random_dag(30, 80, seed=1)
+        assert graph.num_edges == 80
+        assert is_dag(graph)
+
+    def test_deterministic_for_seed(self):
+        a = random_dag(20, 40, seed=5)
+        b = random_dag(20, 40, seed=5)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = random_dag(20, 40, seed=5)
+        b = random_dag(20, 40, seed=6)
+        assert a != b
+
+    def test_too_many_edges_rejected(self):
+        with pytest.raises(GraphError):
+            random_dag(3, 10, seed=0)
+
+
+class TestOtherFamilies:
+    def test_gnp_probability_bounds(self):
+        with pytest.raises(GraphError):
+            gnp_digraph(5, 1.5, seed=0)
+        graph = gnp_digraph(10, 1.0, seed=0)
+        assert graph.num_edges == 90  # complete digraph without self-loops
+
+    def test_scale_free_is_dag_with_skew(self):
+        graph = scale_free_dag(200, 3, seed=2)
+        assert is_dag(graph)
+        degrees = sorted((graph.in_degree(v) for v in graph.vertices()), reverse=True)
+        # preferential attachment concentrates in-degree at the top
+        assert degrees[0] >= 4 * max(1, degrees[len(degrees) // 2])
+
+    def test_random_tree_shape(self):
+        graph = random_tree(50, seed=3)
+        assert graph.num_edges == 49
+        roots = [v for v in graph.vertices() if graph.in_degree(v) == 0]
+        assert roots == [0]
+        assert all(graph.in_degree(v) == 1 for v in range(1, 50))
+
+    def test_tree_with_shortcuts_adds_forward_edges(self):
+        tree = random_tree(40, seed=4)
+        graph = tree_with_shortcuts(40, 10, seed=4)
+        assert graph.num_edges == tree.num_edges + 10
+        assert is_dag(graph)
+
+    def test_layered_dag_levels(self):
+        graph = layered_dag(4, 5, 2, seed=5)
+        assert graph.num_vertices == 20
+        assert is_dag(graph)
+        # sinks are exactly the last layer
+        sinks = [v for v in graph.vertices() if graph.out_degree(v) == 0]
+        assert sinks == list(range(15, 20))
+
+    def test_cyclic_communities_scc_structure(self):
+        graph = cyclic_communities(4, 6, 8, seed=6)
+        components = strongly_connected_components(graph)
+        sizes = sorted(len(c) for c in components)
+        assert sizes == [6, 6, 6, 6]
+
+
+class TestLabeledGenerators:
+    def test_with_random_labels_preserves_structure(self):
+        base = random_dag(25, 60, seed=7)
+        labeled = with_random_labels(base, ["x", "y"], seed=8)
+        assert labeled.num_edges == base.num_edges
+        assert labeled.to_plain() == base
+        assert set(labeled.labels()) == {"x", "y"}
+
+    def test_label_skew_biases_first_label(self):
+        base = random_dag(100, 400, seed=9)
+        labeled = with_random_labels(base, ["hot", "cold"], seed=10, skew=2.0)
+        hot = sum(1 for _u, _v, label in labeled.edges() if label == "hot")
+        assert hot > labeled.num_edges * 0.6
+
+    def test_empty_label_list_rejected(self):
+        with pytest.raises(GraphError):
+            with_random_labels(random_dag(5, 4, seed=0), [], seed=0)
+
+    def test_random_labeled_digraph_modes(self):
+        dag = random_labeled_digraph(20, 40, ["a"], seed=11, acyclic=True)
+        assert is_dag(dag.to_plain())
+        cyclic = random_labeled_digraph(20, 60, ["a", "b"], seed=11)
+        assert cyclic.num_edges == 60

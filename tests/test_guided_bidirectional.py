@@ -1,0 +1,53 @@
+"""Tests for the bidirectional index-guided traversal fallback."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.base import guided_query, guided_query_bidirectional
+from repro.core.registry import all_plain_indexes
+from repro.graphs.generators import cyclic_communities, random_dag
+from repro.traversal.online import bfs_reachable
+
+PLAIN = all_plain_indexes()
+PARTIAL = sorted(n for n, c in PLAIN.items() if not c.metadata.complete)
+
+
+@pytest.mark.parametrize("name", PARTIAL)
+def test_bidirectional_guided_is_exact(name):
+    cls = PLAIN[name]
+    if cls.metadata.input_kind == "DAG":
+        graph = random_dag(40, 95, seed=111)
+    else:
+        graph = cyclic_communities(5, 4, 10, seed=111)
+    index = cls.build(graph)
+    for s in range(graph.num_vertices):
+        for t in range(graph.num_vertices):
+            expected = bfs_reachable(graph, s, t)
+            assert guided_query_bidirectional(graph, index, s, t) == expected, (
+                name,
+                s,
+                t,
+            )
+
+
+@pytest.mark.parametrize("name", ["GRAIL", "BFL", "GRIPP"])
+def test_agrees_with_unidirectional_guided(name):
+    cls = PLAIN[name]
+    if cls.metadata.input_kind == "DAG":
+        graph = random_dag(35, 80, seed=112)
+    else:
+        graph = cyclic_communities(4, 4, 9, seed=112)
+    index = cls.build(graph)
+    for s in range(graph.num_vertices):
+        for t in range(graph.num_vertices):
+            assert guided_query(graph, index, s, t) == guided_query_bidirectional(
+                graph, index, s, t
+            )
+
+
+def test_trivial_cases():
+    graph = random_dag(10, 15, seed=113)
+    index = PLAIN["GRAIL"].build(graph)
+    for v in graph.vertices():
+        assert guided_query_bidirectional(graph, index, v, v)

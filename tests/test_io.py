@@ -1,0 +1,79 @@
+"""Tests for edge-list input/output."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs.generators import random_dag, random_labeled_digraph
+from repro.graphs.io import (
+    read_edge_list,
+    read_labeled_edge_list,
+    write_edge_list,
+    write_labeled_edge_list,
+)
+
+
+class TestPlainIO:
+    def test_round_trip_through_file(self, tmp_path):
+        graph = random_dag(20, 50, seed=1)
+        path = tmp_path / "graph.txt"
+        write_edge_list(graph, path)
+        loaded, ids = read_edge_list(path)
+        assert loaded.num_edges == graph.num_edges
+        # dense ids written as tokens map back to themselves structurally
+        for u, v in graph.edges():
+            assert loaded.has_edge(ids[str(u)], ids[str(v)])
+
+    def test_comments_and_blank_lines_skipped(self):
+        text = io.StringIO("# header\n\na b\nb c\n")
+        graph, ids = read_edge_list(text)
+        assert graph.num_vertices == 3
+        assert graph.has_edge(ids["a"], ids["b"])
+
+    def test_sparse_ids_remapped_densely(self):
+        graph, ids = read_edge_list(io.StringIO("100 200\n200 999\n"))
+        assert graph.num_vertices == 3
+        assert sorted(ids.values()) == [0, 1, 2]
+
+    def test_duplicate_edges_collapsed(self):
+        graph, _ids = read_edge_list(io.StringIO("a b\na b\n"))
+        assert graph.num_edges == 1
+
+    def test_malformed_line_raises(self):
+        with pytest.raises(GraphError, match="line 1"):
+            read_edge_list(io.StringIO("only-one-token\n"))
+
+    def test_write_to_stream(self):
+        graph = random_dag(5, 6, seed=2)
+        sink = io.StringIO()
+        write_edge_list(graph, sink)
+        assert len(sink.getvalue().splitlines()) == 6
+
+
+class TestLabeledIO:
+    def test_round_trip(self, tmp_path):
+        graph = random_labeled_digraph(15, 40, ["f", "g"], seed=3)
+        path = tmp_path / "labeled.txt"
+        write_labeled_edge_list(graph, path)
+        loaded, ids = read_labeled_edge_list(path)
+        assert loaded.num_edges == graph.num_edges
+        assert set(loaded.labels()) == set(graph.labels())
+
+    def test_malformed_labeled_line_raises(self):
+        with pytest.raises(GraphError, match="line 2"):
+            read_labeled_edge_list(io.StringIO("a b f\na b\n"))
+
+    def test_duplicate_labeled_edges_collapsed(self):
+        graph, _ids = read_labeled_edge_list(io.StringIO("a b f\na b f\na b g\n"))
+        assert graph.num_edges == 2
+
+    def test_write_to_stream(self):
+        graph = random_labeled_digraph(6, 9, ["x"], seed=4)
+        sink = io.StringIO()
+        write_labeled_edge_list(graph, sink)
+        lines = sink.getvalue().splitlines()
+        assert len(lines) == 9
+        assert all(len(line.split()) == 3 for line in lines)

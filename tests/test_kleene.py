@@ -1,0 +1,110 @@
+"""Property tests for the minimum-repeat machinery behind the RLC index."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.labeled.kleene import (
+    match_first_leg,
+    match_second_leg,
+    minimum_repeat,
+    is_periodic,
+    periodic_summary,
+    step_summary,
+)
+
+labels = st.integers(min_value=0, max_value=2)
+sequences = st.lists(labels, min_size=0, max_size=10).map(tuple)
+nonempty = st.lists(labels, min_size=1, max_size=10).map(tuple)
+
+
+class TestMinimumRepeat:
+    def test_examples(self):
+        assert minimum_repeat((1, 2, 1, 2)) == (1, 2)
+        assert minimum_repeat((1, 1, 1)) == (1,)
+        assert minimum_repeat((1, 2, 3)) == (1, 2, 3)
+        assert minimum_repeat(()) == ()
+
+    @given(nonempty)
+    def test_mr_regenerates_the_sequence(self, seq):
+        mr = minimum_repeat(seq)
+        assert len(seq) % len(mr) == 0
+        assert mr * (len(seq) // len(mr)) == seq
+
+    @given(nonempty, st.integers(1, 3))
+    def test_mr_of_repeats_is_primitive(self, seq, reps):
+        mr = minimum_repeat(seq * reps)
+        assert minimum_repeat(mr) == mr
+
+
+class TestPeriodicity:
+    @given(nonempty, st.integers(1, 5))
+    def test_is_periodic_definition(self, seq, p):
+        expected = all(seq[i] == seq[i % p] for i in range(len(seq)))
+        assert is_periodic(seq, p) == expected
+
+    @given(nonempty)
+    def test_summary_contains_only_true_periods(self, seq):
+        for base, c in periodic_summary(seq, 4):
+            assert is_periodic(seq, len(base))
+            assert c == len(seq) % len(base)
+            assert base == seq[: len(base)]
+
+
+def _summary_of(seq, max_period):
+    """Fold a sequence through step_summary from the empty state."""
+    state = ("S", ())
+    for label in seq:
+        state = step_summary(state, label, max_period)
+        if state is None:
+            return None
+    return state
+
+
+class TestStepSummary:
+    @given(sequences, st.integers(1, 4))
+    def test_folding_matches_direct_summary(self, seq, max_period):
+        state = _summary_of(seq, max_period)
+        if len(seq) < max_period:
+            assert state == ("S", seq)
+        elif state is None:
+            assert not periodic_summary(seq, max_period)
+        else:
+            assert state == ("A", periodic_summary(seq, max_period))
+
+
+class TestLegMatching:
+    """The matchers agree with brute-force alignment checks."""
+
+    @given(nonempty, st.lists(labels, min_size=1, max_size=3).map(tuple))
+    @settings(max_examples=300)
+    def test_second_leg_matcher(self, seq, rho):
+        p = len(rho)
+        state = _summary_of(seq, max_period=3)
+        expected = None
+        aligned_r = (-len(seq)) % p
+        if all(seq[i] == rho[(aligned_r + i) % p] for i in range(len(seq))):
+            expected = aligned_r
+        if state is None:
+            # dead summaries can only come from sequences that match no rho
+            assert expected is None or p > 3
+        elif p <= 3:
+            assert match_second_leg(state, rho) == expected
+
+    @given(nonempty, st.lists(labels, min_size=1, max_size=3).map(tuple))
+    @settings(max_examples=300)
+    def test_first_leg_matcher(self, seq, rho):
+        p = len(rho)
+        # first legs are built by a backward search: fold the reversed
+        # sequence, then store short entries forward-oriented
+        state = _summary_of(tuple(reversed(seq)), max_period=3)
+        expected = None
+        if all(seq[i] == rho[i % p] for i in range(len(seq))):
+            expected = len(seq) % p
+        if state is None:
+            assert expected is None or p > 3
+        elif p <= 3:
+            if state[0] == "S":
+                state = ("S", tuple(reversed(state[1])))
+            assert match_first_leg(state, rho) == expected

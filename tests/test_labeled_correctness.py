@@ -1,0 +1,132 @@
+"""Every path-constrained index agrees with automaton-guided traversal.
+
+The product-automaton BFS of :mod:`repro.traversal.rpq` is the semantics
+reference (itself validated against Python's re in test_automaton.py);
+each §4 index is checked against it over all pairs and a family of
+constraints, on both cyclic and acyclic labeled graphs.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.core.registry import all_labeled_indexes
+from repro.errors import UnsupportedConstraintError
+from repro.graphs.generators import random_labeled_digraph
+from repro.traversal.rpq import constrained_descendants, rpq_reachable
+
+LABELED = all_labeled_indexes()
+ALTERNATION = sorted(
+    n for n, c in LABELED.items() if c.metadata.constraint == "Alternation"
+)
+
+LABELS = ["a", "b", "c"]
+
+
+def _alternation_constraints():
+    constraints = []
+    for r in range(1, len(LABELS) + 1):
+        for combo in itertools.combinations(LABELS, r):
+            constraints.append("(" + "|".join(combo) + ")*")
+            constraints.append("(" + "|".join(combo) + ")+")
+    return constraints
+
+
+def _check_index(index, graph, constraints):
+    for constraint in constraints:
+        for s in graph.vertices():
+            reach = constrained_descendants(graph, s, constraint)
+            for t in graph.vertices():
+                expected = t in reach
+                assert index.query(s, t, constraint) == expected, (
+                    type(index).__name__,
+                    constraint,
+                    s,
+                    t,
+                )
+
+
+@pytest.mark.parametrize("name", ALTERNATION)
+class TestAlternationIndexes:
+    def test_exact_on_cyclic_graph(self, name):
+        graph = random_labeled_digraph(16, 40, LABELS, seed=31)
+        index = LABELED[name].build(graph)
+        _check_index(index, graph, _alternation_constraints())
+
+    def test_exact_on_dag(self, name):
+        graph = random_labeled_digraph(16, 35, LABELS, seed=32, acyclic=True)
+        index = LABELED[name].build(graph)
+        _check_index(index, graph, _alternation_constraints())
+
+    def test_exact_with_skewed_labels(self, name):
+        graph = random_labeled_digraph(14, 40, LABELS, seed=33, skew=1.5)
+        index = LABELED[name].build(graph)
+        _check_index(index, graph, _alternation_constraints()[:6])
+
+    def test_concatenation_constraint_rejected(self, name):
+        graph = random_labeled_digraph(8, 15, LABELS, seed=34)
+        index = LABELED[name].build(graph)
+        with pytest.raises(UnsupportedConstraintError):
+            index.query(0, 1, "(a . b)*")
+
+    def test_unknown_label_in_constraint_is_harmless(self, name):
+        graph = random_labeled_digraph(10, 25, LABELS, seed=35)
+        index = LABELED[name].build(graph)
+        for s in graph.vertices():
+            for t in graph.vertices():
+                expected = rpq_reachable(graph, s, t, "(a | zz)*")
+                assert index.query(s, t, "(a | zz)*") == expected
+
+
+class TestRLC:
+    def _constraints(self, max_period):
+        constraints = []
+        for period in range(1, max_period + 1):
+            for seq in itertools.product(LABELS, repeat=period):
+                constraints.append("(" + ".".join(seq) + ")*")
+                constraints.append("(" + ".".join(seq) + ")+")
+        return constraints
+
+    @pytest.mark.parametrize("seed", [41, 42])
+    def test_exact_for_periods_up_to_two(self, seed):
+        graph = random_labeled_digraph(14, 35, LABELS, seed=seed)
+        index = LABELED["RLC"].build(graph, max_period=2)
+        _check_index(index, graph, self._constraints(2))
+
+    def test_exact_for_period_three(self):
+        graph = random_labeled_digraph(10, 26, LABELS[:2], seed=43)
+        index = LABELED["RLC"].build(graph, max_period=3)
+        constraints = [
+            "(a.b.a)*",
+            "(a.a.b)+",
+            "(b.b.b)*",
+            "(a.b)*",
+            "(a)+",
+        ]
+        _check_index(index, graph, constraints)
+
+    def test_period_beyond_bound_rejected(self):
+        graph = random_labeled_digraph(8, 15, LABELS, seed=44)
+        index = LABELED["RLC"].build(graph, max_period=2)
+        with pytest.raises(UnsupportedConstraintError, match="max_period"):
+            index.query(0, 1, "(a.b.c)*")
+
+    def test_alternation_constraint_rejected(self):
+        graph = random_labeled_digraph(8, 15, LABELS, seed=45)
+        index = LABELED["RLC"].build(graph)
+        with pytest.raises(UnsupportedConstraintError):
+            index.query(0, 1, "(a | b)*")
+
+    def test_unknown_label_means_unreachable(self):
+        graph = random_labeled_digraph(8, 15, LABELS, seed=46)
+        index = LABELED["RLC"].build(graph)
+        assert index.query(0, 0, "(zz)*")  # empty path
+        assert not index.query(0, 0, "(zz)+")
+        assert not index.query(0, 1, "(zz)*")
+
+    def test_invalid_max_period_rejected(self):
+        graph = random_labeled_digraph(4, 6, LABELS, seed=47)
+        with pytest.raises(ValueError):
+            LABELED["RLC"].build(graph, max_period=0)

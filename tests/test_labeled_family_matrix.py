@@ -1,0 +1,96 @@
+"""Labeled-graph-family × LCR-index matrix.
+
+Structural variety for the §4 indexes: acyclic vs cyclic, label skew,
+few vs many labels, parallel-edge-rich graphs, and the domain datasets —
+each checked exhaustively against constrained-BFS ground truth.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.registry import all_labeled_indexes
+from repro.graphs.generators import random_labeled_digraph
+from repro.graphs.labeled import LabeledDiGraph
+from repro.traversal.rpq import constrained_descendants
+
+LABELED = all_labeled_indexes()
+ALTERNATION = sorted(
+    n for n, c in LABELED.items() if c.metadata.constraint == "Alternation"
+)
+
+
+def _parallel_rich() -> LabeledDiGraph:
+    graph = random_labeled_digraph(14, 30, ["a", "b"], seed=501)
+    # add a parallel twin (other label) to every third edge
+    for i, (u, v, label) in enumerate(list(graph.edges())):
+        if i % 3 == 0:
+            other = "b" if label == "a" else "a"
+            if not graph.has_edge(u, v, other):
+                graph.add_edge(u, v, other)
+    return graph
+
+
+FAMILIES = {
+    "cyclic": lambda: random_labeled_digraph(14, 36, ["a", "b", "c"], seed=502),
+    "acyclic": lambda: random_labeled_digraph(
+        14, 30, ["a", "b", "c"], seed=503, acyclic=True
+    ),
+    "skewed": lambda: random_labeled_digraph(
+        14, 36, ["a", "b", "c"], seed=504, skew=2.0
+    ),
+    "many_labels": lambda: random_labeled_digraph(
+        12, 34, ["a", "b", "c", "d", "e"], seed=505
+    ),
+    "single_label": lambda: random_labeled_digraph(14, 30, ["a"], seed=506),
+    "parallel_rich": _parallel_rich,
+}
+
+
+def _constraints(graph: LabeledDiGraph) -> list[str]:
+    labels = [str(label) for label in graph.labels()]
+    constraints = [f"({labels[0]})*", f"({labels[0]})+"]
+    if len(labels) >= 2:
+        constraints.append("(" + "|".join(labels[:2]) + ")*")
+    constraints.append("(" + "|".join(labels) + ")*")
+    return constraints
+
+
+@pytest.mark.parametrize("family", sorted(FAMILIES))
+@pytest.mark.parametrize("name", ALTERNATION)
+def test_labeled_family_matrix(name, family):
+    graph = FAMILIES[family]()
+    index = LABELED[name].build(graph)
+    for constraint in _constraints(graph):
+        for s in graph.vertices():
+            reach = constrained_descendants(graph, s, constraint)
+            for t in graph.vertices():
+                expected = t in reach or (s == t and constraint.endswith(")*"))
+                assert index.query(s, t, constraint) == expected, (
+                    name,
+                    family,
+                    constraint,
+                    s,
+                    t,
+                )
+
+
+@pytest.mark.parametrize("family", sorted(FAMILIES))
+def test_rlc_family_matrix(family):
+    graph = FAMILIES[family]()
+    index = LABELED["RLC"].build(graph, max_period=2)
+    labels = [str(label) for label in graph.labels()]
+    constraints = [f"({labels[0]})*", f"({labels[0]})+"]
+    if len(labels) >= 2:
+        constraints.append(f"({labels[0]}.{labels[1]})*")
+    for constraint in constraints:
+        for s in graph.vertices():
+            reach = constrained_descendants(graph, s, constraint)
+            for t in graph.vertices():
+                expected = t in reach or (s == t and constraint.endswith(")*"))
+                assert index.query(s, t, constraint) == expected, (
+                    family,
+                    constraint,
+                    s,
+                    t,
+                )

@@ -1,0 +1,100 @@
+"""Unit tests for the edge-labeled graph substrate."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import EdgeError, VertexError
+from repro.graphs.labeled import LabeledDiGraph
+
+
+class TestLabels:
+    def test_labels_interned_in_first_seen_order(self):
+        graph = LabeledDiGraph(3, [(0, 1, "x"), (1, 2, "y"), (0, 2, "x")])
+        assert graph.labels() == ["x", "y"]
+        assert graph.label_id("x") == 0
+        assert graph.label_id("y") == 1
+        assert graph.label_name(1) == "y"
+        assert graph.num_labels == 2
+
+    def test_unknown_label_raises(self):
+        graph = LabeledDiGraph(1)
+        with pytest.raises(KeyError):
+            graph.label_id("missing")
+
+    def test_mask_round_trip(self):
+        graph = LabeledDiGraph(2, [(0, 1, "a"), (1, 0, "b")])
+        mask = graph.label_set_mask(["a", "b"])
+        assert mask == 0b11
+        assert graph.mask_to_labels(mask) == {"a", "b"}
+        assert graph.mask_to_labels(0) == set()
+
+    def test_intern_label_is_idempotent(self):
+        graph = LabeledDiGraph(1)
+        first = graph.intern_label("z")
+        assert graph.intern_label("z") == first
+
+
+class TestEdges:
+    def test_parallel_edges_different_labels_allowed(self):
+        graph = LabeledDiGraph(2)
+        graph.add_edge(0, 1, "a")
+        graph.add_edge(0, 1, "b")
+        assert graph.num_edges == 2
+        assert graph.has_edge(0, 1, "a")
+        assert graph.has_edge(0, 1, "b")
+
+    def test_duplicate_labeled_edge_rejected(self):
+        graph = LabeledDiGraph(2, [(0, 1, "a")])
+        with pytest.raises(EdgeError):
+            graph.add_edge(0, 1, "a")
+
+    def test_remove_edge(self):
+        graph = LabeledDiGraph(2, [(0, 1, "a")])
+        graph.remove_edge(0, 1, "a")
+        assert graph.num_edges == 0
+        with pytest.raises(EdgeError):
+            graph.remove_edge(0, 1, "a")
+
+    def test_out_in_edges_symmetry(self):
+        graph = LabeledDiGraph(3, [(0, 1, "a"), (2, 1, "b")])
+        assert graph.out_edges(0) == [(1, 0)]
+        label_ids = {label_id for _u, label_id in graph.in_edges(1)}
+        assert label_ids == {0, 1}
+        assert graph.in_degree(1) == 2
+        assert graph.degree(1) == 2
+
+    def test_vertex_bounds_checked(self):
+        graph = LabeledDiGraph(1)
+        with pytest.raises(VertexError):
+            graph.add_edge(0, 7, "a")
+        with pytest.raises(VertexError):
+            LabeledDiGraph(-2)
+
+
+class TestDerived:
+    def test_to_plain_collapses_parallel_edges(self):
+        graph = LabeledDiGraph(2, [(0, 1, "a"), (0, 1, "b")])
+        plain = graph.to_plain()
+        assert plain.num_edges == 1
+        assert plain.has_edge(0, 1)
+
+    def test_reversed_preserves_labels(self, labeled_graph):
+        rev = labeled_graph.reversed()
+        assert rev.num_edges == labeled_graph.num_edges
+        for u, v, label in labeled_graph.edges():
+            assert rev.has_edge(v, u, label)
+
+    def test_copy_is_independent(self, labeled_graph):
+        clone = labeled_graph.copy()
+        assert clone.num_edges == labeled_graph.num_edges
+        assert clone.labels() == labeled_graph.labels()
+
+    def test_repr(self, labeled_graph):
+        assert "LabeledDiGraph" in repr(labeled_graph)
+
+    def test_add_vertex(self):
+        graph = LabeledDiGraph(1)
+        assert graph.add_vertex() == 1
+        graph.add_edge(0, 1, "a")
+        assert graph.has_edge(0, 1, "a")

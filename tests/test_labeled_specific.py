@@ -1,0 +1,185 @@
+"""Index-specific behaviour tests for the path-constrained (§4) families."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.registry import labeled_index
+from repro.graphs.generators import random_labeled_digraph
+from repro.labeled.gtc import single_source_gtc
+from repro.traversal.rpq import constrained_descendants, rpq_reachable
+
+LABELS = ["a", "b", "c"]
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return random_labeled_digraph(16, 40, LABELS, seed=85)
+
+
+class TestSingleSourceGTC:
+    def test_rows_match_constrained_bfs(self, graph):
+        for source in graph.vertices():
+            rows, _cycles = single_source_gtc(graph, source)
+            for target, antichain in rows.items():
+                for mask in antichain:
+                    labels = graph.mask_to_labels(mask)
+                    constraint = "(" + "|".join(sorted(map(str, labels))) + ")*"
+                    assert rpq_reachable(graph, source, target, constraint)
+
+    def test_rows_are_minimal_antichains(self, graph):
+        from repro.labeled.spls import is_subset
+
+        rows, _cycles = single_source_gtc(graph, 0)
+        for antichain in rows.values():
+            for i, a in enumerate(antichain):
+                for j, b in enumerate(antichain):
+                    if i != j:
+                        assert not is_subset(a, b)
+
+    def test_cycles_are_real_cycles(self, graph):
+        for source in graph.vertices():
+            _rows, cycles = single_source_gtc(graph, source)
+            for mask in cycles:
+                labels = graph.mask_to_labels(mask)
+                constraint = "(" + "|".join(sorted(map(str, labels))) + ")+"
+                assert rpq_reachable(graph, source, source, constraint)
+
+
+class TestGTCIndex:
+    def test_spls_accessor_empty_for_unreachable(self, graph):
+        index = labeled_index("GTC").build(graph)
+        full = "(" + "|".join(LABELS) + ")*"
+        for s in graph.vertices():
+            reach = constrained_descendants(graph, s, full)
+            for t in graph.vertices():
+                if s != t and t not in reach:
+                    assert index.spls(s, t) == []
+
+
+class TestLandmark:
+    def test_landmarks_accessor_and_k(self, graph):
+        index = labeled_index("Landmark index").build(graph, k=5)
+        assert len(index.landmarks) == 5
+
+    def test_k_larger_than_graph_is_clamped(self, graph):
+        index = labeled_index("Landmark index").build(graph, k=10_000)
+        assert len(index.landmarks) == graph.num_vertices
+
+
+class TestP2H:
+    def test_entries_are_sound(self, graph):
+        index = labeled_index("P2H+").build(graph)
+        labels = index.labels
+        for v in graph.vertices():
+            for hop, masks in labels.l_out[v].items():
+                for mask in masks:
+                    names = sorted(map(str, graph.mask_to_labels(mask)))
+                    constraint = "(" + "|".join(names) + ")*"
+                    assert rpq_reachable(graph, v, hop, constraint), (v, hop, names)
+            for hop, masks in labels.l_in[v].items():
+                for mask in masks:
+                    names = sorted(map(str, graph.mask_to_labels(mask)))
+                    constraint = "(" + "|".join(names) + ")*"
+                    assert rpq_reachable(graph, hop, v, constraint)
+
+    def test_entries_are_minimal_antichains(self, graph):
+        from repro.labeled.spls import is_subset
+
+        index = labeled_index("P2H+").build(graph)
+        for side in (index.labels.l_in, index.labels.l_out):
+            for per_vertex in side:
+                for antichain in per_vertex.values():
+                    for i, a in enumerate(antichain):
+                        for j, b in enumerate(antichain):
+                            if i != j:
+                                assert not is_subset(a, b)
+
+    def test_smaller_than_gtc(self, graph):
+        """The 2-hop framework's entire point: shared middle hops."""
+        p2h = labeled_index("P2H+").build(graph)
+        gtc = labeled_index("GTC").build(graph)
+        assert p2h.size_in_entries() < gtc.size_in_entries()
+
+
+class TestJin:
+    def test_tree_path_mask_matches_actual_labels(self, graph):
+        index = labeled_index("Jin et al.").build(graph)
+        # walk the recorded spanning structure via root counts: for every
+        # subtree pair, the mask must equal the labels on the tree path
+        for s in graph.vertices():
+            for t in graph.vertices():
+                if s != t and index._in_subtree(s, t):
+                    mask = index._tree_path_mask(s, t)
+                    names = sorted(map(str, graph.mask_to_labels(mask)))
+                    constraint = "(" + "|".join(names) + ")*" if names else None
+                    if constraint:
+                        assert rpq_reachable(graph, s, t, constraint)
+
+
+class TestRLCSpecific:
+    def test_max_period_accessor(self, graph):
+        index = labeled_index("RLC").build(graph, max_period=2)
+        assert index.max_period == 2
+
+    def test_entries_count_positive(self, graph):
+        index = labeled_index("RLC").build(graph, max_period=2)
+        assert index.size_in_entries() > 0
+
+
+class TestZou:
+    def test_lazy_rows_rebuilt_after_invalidation(self, graph):
+        index = labeled_index("Zou et al.").build(graph.copy())
+        g = index.graph
+        # pick any absent edge and insert it
+        inserted = None
+        for u in g.vertices():
+            for v in g.vertices():
+                if u != v and not g.has_edge(u, v, "a"):
+                    index.insert_edge(u, v, "a")
+                    inserted = (u, v)
+                    break
+            if inserted:
+                break
+        assert inserted is not None
+        u, v = inserted
+        assert index.query(u, v, "(a)*")
+
+
+class TestPortalDecomposition:
+    def test_portals_identified(self):
+        from repro.graphs.labeled import LabeledDiGraph
+        from repro.labeled.zou import scc_portals
+
+        # one 3-cycle SCC entered at 0 and left at 2, plus endpoints
+        graph = LabeledDiGraph(
+            5,
+            [
+                (3, 0, "a"),  # enters the SCC at 0
+                (0, 1, "b"),
+                (1, 2, "a"),
+                (2, 0, "b"),
+                (2, 4, "a"),  # leaves the SCC at 2
+            ],
+        )
+        decomposition = scc_portals(graph)
+        scc = next(i for i, m in enumerate(decomposition.members) if len(m) == 3)
+        assert decomposition.in_portals[scc] == [0]
+        assert decomposition.out_portals[scc] == [2]
+        antichain = decomposition.spls[scc][(0, 2)]
+        # the only 0 -> 2 path inside the SCC uses labels {a, b}
+        mask_ab = graph.label_set_mask(["a", "b"])
+        assert antichain == [mask_ab]
+
+    def test_portal_spls_sound(self, graph):
+        from repro.labeled.zou import scc_portals
+        from repro.traversal.rpq import rpq_reachable
+
+        decomposition = scc_portals(graph)
+        for comp_id, rows in enumerate(decomposition.spls):
+            for (source, target), antichain in rows.items():
+                for mask in antichain:
+                    names = sorted(map(str, graph.mask_to_labels(mask)))
+                    constraint = "(" + "|".join(names) + ")"
+                    constraint += "+" if source == target else "*"
+                    assert rpq_reachable(graph, source, target, constraint)

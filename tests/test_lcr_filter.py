@@ -1,0 +1,126 @@
+"""Tests for the §5-extension no-false-negative partial LCR index."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.core.base import TriState
+from repro.graphs.generators import random_labeled_digraph
+from repro.labeled.lcr_filter import LCRFilterIndex
+from repro.traversal.rpq import constrained_descendants
+
+LABELS = ["a", "b", "c"]
+
+
+def _constraints():
+    result = []
+    for r in range(1, len(LABELS) + 1):
+        for combo in itertools.combinations(LABELS, r):
+            result.append("(" + "|".join(combo) + ")*")
+            result.append("(" + "|".join(combo) + ")+")
+    return result
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return random_labeled_digraph(18, 45, LABELS, seed=71)
+
+
+@pytest.fixture(scope="module")
+def index(graph):
+    return LCRFilterIndex.build(graph)
+
+
+class TestLookupContract:
+    def test_never_answers_yes(self, graph, index):
+        full_mask = (1 << graph.num_labels) - 1
+        for s in graph.vertices():
+            for t in graph.vertices():
+                for mask in (full_mask, 0b01, 0b11):
+                    assert index.lookup_mask(s, t, mask) is not TriState.YES
+
+    def test_no_false_negatives(self, graph, index):
+        """A NO must certify non-reachability under the constraint."""
+        for r in range(1, len(LABELS) + 1):
+            for combo in itertools.combinations(LABELS, r):
+                mask = graph.label_set_mask(combo)
+                constraint = "(" + "|".join(combo) + ")*"
+                for s in graph.vertices():
+                    reach = constrained_descendants(graph, s, constraint)
+                    for t in graph.vertices():
+                        if index.lookup_mask(s, t, mask) is TriState.NO:
+                            assert t not in reach, (combo, s, t)
+
+    def test_filter_kills_many_negatives(self, graph, index):
+        """The point of the design: negatives die at the filter."""
+        mask = graph.label_set_mask(["a"])
+        killed = 0
+        total = 0
+        reach_cache = {
+            s: constrained_descendants(graph, s, "(a)*") for s in graph.vertices()
+        }
+        for s in graph.vertices():
+            for t in graph.vertices():
+                if s != t and t not in reach_cache[s]:
+                    total += 1
+                    if index.lookup_mask(s, t, mask) is TriState.NO:
+                        killed += 1
+        assert total > 0
+        assert killed / total > 0.3, f"only {killed}/{total} negatives filtered"
+
+
+class TestExactness:
+    def test_query_is_exact(self, graph, index):
+        for constraint in _constraints():
+            for s in graph.vertices():
+                reach = constrained_descendants(graph, s, constraint)
+                for t in graph.vertices():
+                    expected = t in reach or (
+                        s == t and constraint.endswith(")*")
+                    )
+                    assert index.query(s, t, constraint) == expected, (
+                        constraint,
+                        s,
+                        t,
+                    )
+
+    def test_exact_on_multiple_seeds(self):
+        for seed in (72, 73):
+            graph = random_labeled_digraph(14, 34, LABELS, seed=seed)
+            index = LCRFilterIndex.build(graph)
+            for constraint in _constraints()[:6]:
+                for s in graph.vertices():
+                    reach = constrained_descendants(graph, s, constraint)
+                    for t in graph.vertices():
+                        expected = t in reach or (
+                            s == t and constraint.endswith(")*")
+                        )
+                        assert index.query(s, t, constraint) == expected
+
+
+class TestMetadata:
+    def test_partial_general_alternation(self):
+        meta = LCRFilterIndex.metadata
+        assert not meta.complete
+        assert meta.input_kind == "General"
+        assert meta.constraint == "Alternation"
+
+    def test_not_registered_in_table2(self):
+        """An extension beyond the paper: must not disturb the taxonomy."""
+        from repro.core.registry import all_labeled_indexes
+
+        assert "LCR-Filter" not in all_labeled_indexes()
+
+    def test_size_counts_every_filter(self, graph, index):
+        from math import comb
+
+        num_filters = sum(comb(graph.num_labels, k) for k in (0, 1, 2))
+        expected = 2 * graph.num_vertices * num_filters
+        assert index.size_in_entries() == expected
+
+    def test_max_exclude_one_matches_old_layout(self, graph):
+        index = LCRFilterIndex.build(graph, max_exclude=1)
+        expected = 2 * graph.num_vertices * (graph.num_labels + 1)
+        assert index.size_in_entries() == expected

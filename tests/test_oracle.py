@@ -1,0 +1,82 @@
+"""Tests for the oracle facades (the §5 GDBMS-integration surface)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.oracle import PathReachabilityOracle, PlainReachabilityOracle
+from repro.graphs.generators import (
+    cyclic_communities,
+    random_dag,
+    random_labeled_digraph,
+)
+from repro.traversal.online import bfs_reachable
+from repro.traversal.rpq import rpq_reachable
+
+
+class TestPlainOracle:
+    def test_default_index_on_dag(self):
+        graph = random_dag(30, 70, seed=51)
+        oracle = PlainReachabilityOracle(graph)
+        for s in range(0, 30, 3):
+            for t in range(0, 30, 3):
+                assert oracle.reachable(s, t) == bfs_reachable(graph, s, t)
+
+    def test_dag_index_auto_wrapped_on_cyclic_input(self):
+        graph = cyclic_communities(4, 4, 8, seed=52)
+        oracle = PlainReachabilityOracle(graph, index_name="GRAIL")
+        assert oracle.index.metadata.name == "GRAIL+SCC"
+        for s in range(graph.num_vertices):
+            for t in range(graph.num_vertices):
+                assert oracle.reachable(s, t) == bfs_reachable(graph, s, t)
+
+    def test_build_params_forwarded(self):
+        graph = random_dag(20, 40, seed=53)
+        oracle = PlainReachabilityOracle(graph, index_name="GRAIL", k=5)
+        assert oracle.index.k == 5
+        assert oracle.size_in_entries() == 5 * graph.num_vertices
+
+
+class TestPathOracle:
+    @pytest.fixture
+    def oracle_and_graph(self):
+        graph = random_labeled_digraph(14, 35, ["a", "b", "c"], seed=54)
+        return PathReachabilityOracle(graph), graph
+
+    def test_alternation_dispatch(self, oracle_and_graph):
+        oracle, graph = oracle_and_graph
+        constraint = "(a | b)*"
+        for s in range(graph.num_vertices):
+            for t in range(graph.num_vertices):
+                expected = rpq_reachable(graph, s, t, constraint)
+                assert oracle.reachable(s, t, constraint) == expected
+
+    def test_concatenation_dispatch(self, oracle_and_graph):
+        oracle, graph = oracle_and_graph
+        constraint = "(a . b)*"
+        for s in range(graph.num_vertices):
+            for t in range(graph.num_vertices):
+                expected = rpq_reachable(graph, s, t, constraint)
+                assert oracle.reachable(s, t, constraint) == expected
+
+    def test_general_rpq_falls_back_to_traversal(self, oracle_and_graph):
+        oracle, graph = oracle_and_graph
+        # neither pure alternation nor pure concatenation
+        constraint = "a . (b | c)*"
+        for s in range(0, graph.num_vertices, 2):
+            for t in range(graph.num_vertices):
+                expected = rpq_reachable(graph, s, t, constraint)
+                assert oracle.reachable(s, t, constraint) == expected
+
+    def test_long_period_falls_back(self, oracle_and_graph):
+        oracle, graph = oracle_and_graph
+        constraint = "(a.b.a.b.a)*"  # period 5 > default RLC bound
+        assert oracle.reachable(0, 0, constraint)  # empty path
+        for t in range(graph.num_vertices):
+            expected = rpq_reachable(graph, 0, t, constraint)
+            assert oracle.reachable(0, t, constraint) == expected
+
+    def test_index_accessors(self, oracle_and_graph):
+        oracle, _graph = oracle_and_graph
+        assert oracle.alternation_index.metadata.name == "P2H+"
+        assert oracle.concatenation_index.metadata.name == "RLC"

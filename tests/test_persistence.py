@@ -1,0 +1,134 @@
+"""Tests for index save/load."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.condensed import CondensedIndex
+from repro.core.registry import labeled_index, plain_index
+from repro.graphs.generators import (
+    cyclic_communities,
+    random_dag,
+    random_labeled_digraph,
+)
+from repro.persistence import PersistenceError, load_index, peek_index_info, save_index
+from repro.traversal.online import bfs_reachable
+
+
+@pytest.mark.parametrize("name", ["PLL", "GRAIL", "BFL", "TC", "Path-tree"])
+def test_plain_round_trip(tmp_path, name):
+    graph = random_dag(25, 60, seed=41)
+    index = plain_index(name).build(graph)
+    path = tmp_path / "index.repro"
+    save_index(index, path)
+    loaded = load_index(path)
+    assert type(loaded) is type(index)
+    for s in range(graph.num_vertices):
+        for t in range(graph.num_vertices):
+            assert loaded.query(s, t) == bfs_reachable(graph, s, t)
+
+
+@pytest.mark.parametrize("name", ["P2H+", "RLC", "GTC"])
+def test_labeled_round_trip(tmp_path, name):
+    graph = random_labeled_digraph(15, 35, ["a", "b"], seed=42)
+    index = labeled_index(name).build(graph)
+    path = tmp_path / "index.repro"
+    save_index(index, path)
+    loaded = load_index(path)
+    constraint = "(a | b)*" if name != "RLC" else "(a . b)*"
+    from repro.traversal.rpq import rpq_reachable
+
+    for s in range(graph.num_vertices):
+        for t in range(graph.num_vertices):
+            expected = rpq_reachable(graph, s, t, constraint)
+            assert loaded.query(s, t, constraint) == expected
+
+
+def test_condensed_round_trip(tmp_path):
+    graph = cyclic_communities(4, 4, 8, seed=43)
+    index = CondensedIndex.build(graph, inner=plain_index("GRAIL"))
+    path = tmp_path / "wrapped.repro"
+    save_index(index, path)
+    loaded = load_index(path)
+    for s in range(graph.num_vertices):
+        for t in range(graph.num_vertices):
+            assert loaded.query(s, t) == bfs_reachable(graph, s, t)
+
+
+def test_peek_reads_class_without_unpickling(tmp_path):
+    graph = random_dag(10, 20, seed=44)
+    index = plain_index("Feline").build(graph)
+    path = tmp_path / "feline.repro"
+    save_index(index, path)
+    info = peek_index_info(path)
+    assert info["class_name"] == "FelineIndex"
+    assert info["version"] == 1
+
+
+def test_dynamic_index_usable_after_load(tmp_path):
+    graph = random_dag(20, 40, seed=45)
+    index = plain_index("TOL").build(graph)
+    path = tmp_path / "tol.repro"
+    save_index(index, path)
+    loaded = load_index(path)
+    g = loaded.graph
+    # find a DAG-preserving missing edge and insert through the loaded index
+    for u in range(g.num_vertices):
+        for v in range(g.num_vertices):
+            if u != v and not g.has_edge(u, v) and not bfs_reachable(g, v, u):
+                loaded.insert_edge(u, v)
+                assert loaded.query(u, v)
+                return
+    pytest.fail("no insertable edge found")
+
+
+class TestErrorPaths:
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "junk.repro"
+        path.write_bytes(b"not an index file at all")
+        with pytest.raises(PersistenceError, match="magic"):
+            load_index(path)
+
+    def test_bad_version(self, tmp_path):
+        path = tmp_path / "future.repro"
+        path.write_bytes(b"REPRO-INDEX" + (99).to_bytes(2, "big") + b"\x00\x00")
+        with pytest.raises(PersistenceError, match="version"):
+            load_index(path)
+
+    def test_save_rejects_non_index(self, tmp_path):
+        with pytest.raises(PersistenceError):
+            save_index("not an index", tmp_path / "x.repro")
+
+    def test_load_rejects_non_index_payload(self, tmp_path):
+        import pickle
+
+        path = tmp_path / "list.repro"
+        name = b"list"
+        with open(path, "wb") as sink:
+            sink.write(b"REPRO-INDEX")
+            sink.write((1).to_bytes(2, "big"))
+            sink.write(len(name).to_bytes(2, "big"))
+            sink.write(name)
+            sink.write(pickle.dumps([1, 2, 3]))
+        with pytest.raises(PersistenceError, match="not an index"):
+            load_index(path)
+
+
+class TestSerializedSize:
+    def test_bytes_positive_and_payload_smaller(self):
+        from repro.persistence import serialized_size_bytes
+
+        graph = random_dag(40, 100, seed=46)
+        index = plain_index("PLL").build(graph)
+        total = serialized_size_bytes(index)
+        payload = serialized_size_bytes(index, include_graph=False)
+        assert total > 0
+        assert 0 <= payload < total
+
+    def test_bigger_index_more_bytes(self):
+        from repro.persistence import serialized_size_bytes
+
+        graph = random_dag(60, 150, seed=47)
+        small = plain_index("GRAIL").build(graph, k=1)
+        large = plain_index("GRAIL").build(graph, k=8)
+        assert serialized_size_bytes(large) > serialized_size_bytes(small)

@@ -1,0 +1,115 @@
+"""Partial-index lookup contracts (§3.1, §3.3, §5).
+
+The survey's taxonomy hinges on which side of a partial index is exact:
+
+* *no false negatives* (GRAIL, Ferrari, IP, BFL, DBL, DAGGER, Feline,
+  Preach, O'Reach): a NO probe must imply non-reachability;
+* *no false positives* (GRIPP, Tree+SSPI — and YES probes of every
+  index): a YES probe must imply reachability;
+* complete indexes never answer MAYBE.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.base import TriState
+from repro.core.registry import all_plain_indexes
+from repro.graphs.generators import cyclic_communities, random_dag
+from repro.traversal.online import bfs_reachable
+
+PLAIN = all_plain_indexes()
+COMPLETE = sorted(n for n, c in PLAIN.items() if c.metadata.complete)
+PARTIAL = sorted(n for n, c in PLAIN.items() if not c.metadata.complete)
+
+# partial indexes whose NO answers are certificates (no false negatives)
+NO_FALSE_NEGATIVE = sorted(
+    set(PARTIAL)
+    - {"GRIPP", "Tree+SSPI"}  # these are the no-false-positive family
+)
+
+
+def _graph_for(name):
+    if PLAIN[name].metadata.input_kind == "DAG":
+        return random_dag(45, 110, seed=21)
+    return cyclic_communities(5, 4, 12, seed=21)
+
+
+@pytest.mark.parametrize("name", COMPLETE)
+def test_complete_indexes_never_answer_maybe(name):
+    graph = _graph_for(name)
+    index = PLAIN[name].build(graph)
+    for s in range(graph.num_vertices):
+        for t in range(graph.num_vertices):
+            assert index.lookup(s, t) is not TriState.MAYBE
+
+
+@pytest.mark.parametrize("name", sorted(PLAIN))
+def test_yes_probes_are_always_correct(name):
+    """No index — partial or complete — may emit a false YES."""
+    graph = _graph_for(name)
+    index = PLAIN[name].build(graph)
+    for s in range(graph.num_vertices):
+        for t in range(graph.num_vertices):
+            if index.lookup(s, t) is TriState.YES:
+                assert bfs_reachable(graph, s, t), (name, s, t)
+
+
+@pytest.mark.parametrize("name", sorted(PLAIN))
+def test_no_probes_are_always_correct(name):
+    """A NO probe is a non-reachability certificate for every index."""
+    graph = _graph_for(name)
+    index = PLAIN[name].build(graph)
+    for s in range(graph.num_vertices):
+        for t in range(graph.num_vertices):
+            if index.lookup(s, t) is TriState.NO:
+                assert not bfs_reachable(graph, s, t), (name, s, t)
+
+
+@pytest.mark.parametrize("name", NO_FALSE_NEGATIVE)
+def test_no_false_negative_indexes_catch_some_negatives(name):
+    """§5: these indexes exist to kill negative queries by lookup alone."""
+    graph = _graph_for(name)
+    index = PLAIN[name].build(graph)
+    hits = 0
+    total = 0
+    for s in range(graph.num_vertices):
+        for t in range(graph.num_vertices):
+            if s != t and not bfs_reachable(graph, s, t):
+                total += 1
+                if index.lookup(s, t) is TriState.NO:
+                    hits += 1
+    assert total > 0
+    # the filter has to be useful, not merely sound
+    assert hits / total > 0.3, f"{name} pruned only {hits}/{total} negatives"
+
+
+@pytest.mark.parametrize("name", ["GRIPP", "Tree+SSPI"])
+def test_no_false_positive_indexes_catch_some_positives(name):
+    graph = _graph_for(name)
+    index = PLAIN[name].build(graph)
+    hits = 0
+    total = 0
+    for s in range(graph.num_vertices):
+        for t in range(graph.num_vertices):
+            if bfs_reachable(graph, s, t):
+                total += 1
+                if index.lookup(s, t) is TriState.YES:
+                    hits += 1
+    assert hits / total > 0.3, f"{name} certified only {hits}/{total} positives"
+
+
+@pytest.mark.parametrize("name", PARTIAL)
+def test_guided_traversal_resolves_every_maybe(name):
+    """query() must be exact even where lookup() says MAYBE."""
+    graph = _graph_for(name)
+    # starve the filter-style indexes so MAYBEs actually occur at this scale
+    params = {"DBL": {"num_hubs": 1, "bits": 4}, "BFL": {"bits": 4}, "IP": {"k": 1}}
+    index = PLAIN[name].build(graph, **params.get(name, {}))
+    maybes = 0
+    for s in range(graph.num_vertices):
+        for t in range(graph.num_vertices):
+            if index.lookup(s, t) is TriState.MAYBE:
+                maybes += 1
+                assert index.query(s, t) == bfs_reachable(graph, s, t)
+    assert maybes > 0, f"{name} never answered MAYBE on this graph"

@@ -1,0 +1,191 @@
+"""Index-specific behaviour tests for the plain (§3) families."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.base import TriState
+from repro.core.registry import plain_index
+from repro.graphs.digraph import DiGraph
+from repro.graphs.generators import random_dag, random_tree, tree_with_shortcuts
+from repro.traversal.online import bfs_reachable, descendants
+
+
+class TestTransitiveClosure:
+    def test_size_equals_reachable_pairs_on_dag(self):
+        graph = random_dag(20, 45, seed=51)
+        index = plain_index("TC").build(graph)
+        expected = sum(len(descendants(graph, v)) for v in graph.vertices())
+        assert index.size_in_entries() == expected
+
+
+class TestGrail:
+    def test_deterministic_given_seed(self):
+        graph = random_dag(30, 70, seed=52)
+        a = plain_index("GRAIL").build(graph, k=3, seed=9)
+        b = plain_index("GRAIL").build(graph, k=3, seed=9)
+        for s in range(30):
+            for t in range(30):
+                assert a.lookup(s, t) == b.lookup(s, t)
+
+    def test_k_validated(self):
+        graph = random_dag(5, 6, seed=53)
+        with pytest.raises(ValueError):
+            plain_index("GRAIL").build(graph, k=0)
+
+    def test_more_labelings_never_weaken_the_filter(self):
+        graph = random_dag(40, 100, seed=54)
+        small = plain_index("GRAIL").build(graph, k=1, seed=1)
+        large = plain_index("GRAIL").build(graph, k=4, seed=1)
+        for s in range(40):
+            for t in range(40):
+                if small.lookup(s, t) is TriState.NO:
+                    # k=4 includes the k=1 labeling (same seed, same first pass)
+                    assert large.lookup(s, t) is TriState.NO
+
+
+class TestFerrari:
+    def test_budget_respected(self):
+        graph = random_dag(50, 180, seed=55)
+        for k in (1, 2, 4):
+            index = plain_index("Ferrari").build(graph, k=k)
+            assert index.size_in_entries() <= k * graph.num_vertices
+
+    def test_k_validated(self):
+        with pytest.raises(ValueError):
+            plain_index("Ferrari").build(random_dag(5, 6, seed=56), k=0)
+
+
+class TestApproximateTC:
+    def test_bfl_param_validation(self):
+        graph = random_dag(5, 6, seed=57)
+        with pytest.raises(ValueError):
+            plain_index("BFL").build(graph, bits=0)
+        with pytest.raises(ValueError):
+            plain_index("BFL").build(graph, num_hashes=0)
+
+    def test_ip_param_validation(self):
+        with pytest.raises(ValueError):
+            plain_index("IP").build(random_dag(5, 6, seed=58), k=0)
+
+    def test_bfl_bits_accessor(self):
+        index = plain_index("BFL").build(random_dag(10, 20, seed=59), bits=64)
+        assert index.bits == 64
+
+    def test_ip_k_accessor(self):
+        index = plain_index("IP").build(random_dag(10, 20, seed=60), k=3)
+        assert index.k == 3
+
+
+class TestDualLabeling:
+    def test_pure_tree_has_no_links(self):
+        tree = random_tree(40, seed=61)
+        index = plain_index("Dual labeling").build(tree)
+        # n intervals, zero closure bits, zero incidence
+        assert index.size_in_entries() == tree.num_vertices
+
+    def test_links_grow_with_shortcuts(self):
+        few = plain_index("Dual labeling").build(tree_with_shortcuts(60, 3, seed=62))
+        many = plain_index("Dual labeling").build(tree_with_shortcuts(60, 15, seed=62))
+        assert many.size_in_entries() > few.size_in_entries()
+
+
+class TestFeline:
+    def test_coordinates_dominate_along_edges(self):
+        graph = random_dag(40, 90, seed=63)
+        index = plain_index("Feline").build(graph)
+        coords = index.coordinates
+        for u, v in graph.edges():
+            assert coords[u][0] < coords[v][0]
+            assert coords[u][1] < coords[v][1]
+
+
+class TestOReach:
+    def test_supports_are_high_degree(self):
+        graph = random_dag(50, 150, seed=64)
+        index = plain_index("O'Reach").build(graph, k=4)
+        supports = index.supports
+        assert len(supports) == 4
+        degrees = sorted(
+            (graph.in_degree(v) + graph.out_degree(v) for v in graph.vertices()),
+            reverse=True,
+        )
+        for s in supports:
+            assert graph.in_degree(s) + graph.out_degree(s) >= degrees[10]
+
+
+class TestDBL:
+    def test_hub_accessor(self):
+        graph = random_dag(30, 70, seed=65)
+        index = plain_index("DBL").build(graph, num_hubs=5)
+        assert len(index.hubs) == 5
+
+
+class TestTreeSSPI:
+    def test_surplus_lists_cover_non_tree_edges(self):
+        graph = random_dag(30, 80, seed=66)
+        index = plain_index("Tree+SSPI").build(graph)
+        surplus_edges = sum(len(lst) for lst in index.surplus_predecessors)
+        # every edge is either a tree edge (<= n-1 of them) or in the SSPI
+        assert surplus_edges >= graph.num_edges - (graph.num_vertices - 1)
+
+
+class TestChainsBasedIndexes:
+    def test_path_tree_decomposition_accessor(self):
+        graph = random_dag(30, 60, seed=67)
+        index = plain_index("Path-tree").build(graph)
+        assert index.decomposition.num_chains >= 1
+        assert len(index.decomposition.chain_of) == graph.num_vertices
+
+    def test_three_hop_contours_are_sound(self):
+        graph = random_dag(30, 60, seed=68)
+        index = plain_index("3-Hop").build(graph)
+        decomposition = index.decomposition
+        for v in graph.vertices():
+            for c, p in index._contours[v]:
+                head = decomposition.chains[c][p]
+                assert bfs_reachable(graph, v, head)
+
+
+class TestTwoHopGreedy:
+    def test_labels_are_sound(self):
+        graph = random_dag(25, 55, seed=69)
+        index = plain_index("2-Hop").build(graph)
+        for v in graph.vertices():
+            for hop in index.labels.l_out[v]:
+                assert bfs_reachable(graph, v, hop)
+            for hop in index.labels.l_in[v]:
+                assert bfs_reachable(graph, hop, v)
+
+    def test_smaller_than_tc_on_shared_structure(self):
+        # a bowtie: k sources -> middle -> k sinks; 2-hop stores O(k),
+        # the TC stores O(k^2) pairs
+        k = 10
+        graph = DiGraph(2 * k + 1)
+        middle = 2 * k
+        for i in range(k):
+            graph.add_edge(i, middle)
+            graph.add_edge(middle, k + i)
+        two_hop = plain_index("2-Hop").build(graph)
+        tc = plain_index("TC").build(graph)
+        assert two_hop.size_in_entries() < tc.size_in_entries() / 2
+
+
+class TestTOLFamily:
+    def test_tol_accepts_explicit_order(self):
+        graph = random_dag(20, 40, seed=70)
+        order = list(range(20))
+        index = plain_index("TOL").build(graph, order=order)
+        assert index.order == order
+        for s in range(20):
+            for t in range(20):
+                assert index.query(s, t) == bfs_reachable(graph, s, t)
+
+    def test_pll_and_dl_equivalent_answers(self):
+        """§3.2: "It has been proven that DL and PLL are equivalent"."""
+        graph = random_dag(40, 100, seed=71)
+        pll = plain_index("PLL").build(graph)
+        dl = plain_index("DL").build(graph)
+        for s in range(40):
+            for t in range(40):
+                assert pll.query(s, t) == dl.query(s, t)

@@ -1,0 +1,74 @@
+"""Tests for the §5 query-log-style mixed-shape workload."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.oracle import PathReachabilityOracle
+from repro.graphs.generators import random_labeled_digraph
+from repro.traversal.rpq import rpq_reachable
+from repro.workloads.querylog import (
+    DEFAULT_MIX,
+    QueryLogMix,
+    dispatch_statistics,
+    querylog_workload,
+)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return random_labeled_digraph(18, 45, ["a", "b", "c"], seed=77)
+
+
+class TestGeneration:
+    def test_ground_truth_correct(self, graph):
+        workload = querylog_workload(graph, 60, seed=78)
+        assert len(workload) == 60
+        for query in workload:
+            expected = rpq_reachable(graph, query.source, query.target, query.constraint)
+            assert query.reachable == expected
+
+    def test_deterministic(self, graph):
+        a = querylog_workload(graph, 30, seed=79)
+        b = querylog_workload(graph, 30, seed=79)
+        assert a == b
+
+    def test_mix_shapes_all_present(self, graph):
+        workload = querylog_workload(graph, 300, seed=80)
+        stats = dispatch_statistics(workload)
+        assert stats["alternation"] > 0
+        assert stats["concatenation"] > 0
+        assert stats["traversal_only"] > 0
+        assert sum(stats.values()) == 300
+
+    def test_custom_mix(self, graph):
+        only_alternation = QueryLogMix(
+            single_label=0,
+            short_concatenation=0,
+            transitive_single=0,
+            alternation_star=1.0,
+            concatenation_star=0,
+            mixed=0,
+        )
+        workload = querylog_workload(graph, 40, seed=81, mix=only_alternation)
+        stats = dispatch_statistics(workload)
+        assert stats == {"alternation": 40, "concatenation": 0, "traversal_only": 0}
+
+    def test_zero_mix_rejected(self, graph):
+        empty = QueryLogMix(0, 0, 0, 0, 0, 0)
+        with pytest.raises(ValueError):
+            querylog_workload(graph, 5, seed=82, mix=empty)
+
+    def test_default_mix_normalises(self):
+        pairs = DEFAULT_MIX.normalized()
+        assert abs(sum(w for _s, w in pairs) - 1.0) < 1e-9
+
+
+class TestOracleCoverage:
+    def test_oracle_answers_the_whole_log_exactly(self, graph):
+        """§5: indexes + traversal fallback must cover every shape."""
+        oracle = PathReachabilityOracle(graph)
+        workload = querylog_workload(graph, 120, seed=83)
+        for query in workload:
+            answer = oracle.reachable(query.source, query.target, query.constraint)
+            assert answer == query.reachable, query

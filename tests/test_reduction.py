@@ -1,0 +1,72 @@
+"""Tests for the §3.4 DAG reduction preprocessing."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.digraph import DiGraph
+from repro.graphs.generators import random_dag
+from repro.graphs.reduction import (
+    merge_equivalent_vertices,
+    reduce_dag,
+    remove_redundant_edges,
+)
+from repro.traversal.online import bfs_reachable
+
+
+class TestRedundantEdges:
+    def test_transitive_edge_removed(self):
+        graph = DiGraph(3, [(0, 1), (1, 2), (0, 2)])
+        reduced = remove_redundant_edges(graph)
+        assert reduced.num_edges == 2
+        assert not reduced.has_edge(0, 2)
+
+    def test_no_false_removals(self):
+        graph = DiGraph(3, [(0, 1), (0, 2)])
+        reduced = remove_redundant_edges(graph)
+        assert reduced.num_edges == 2
+
+    def test_diamond_keeps_both_branches(self):
+        graph = DiGraph(4, [(0, 1), (0, 2), (1, 3), (2, 3), (0, 3)])
+        reduced = remove_redundant_edges(graph)
+        assert not reduced.has_edge(0, 3)
+        assert reduced.num_edges == 4
+
+
+class TestEquivalentVertices:
+    def test_twins_are_merged(self):
+        # 1 and 2 have identical in- and out-neighbourhoods
+        graph = DiGraph(4, [(0, 1), (0, 2), (1, 3), (2, 3)])
+        merged, rep = merge_equivalent_vertices(graph)
+        assert merged.num_vertices == 3
+        assert rep[1] == rep[2]
+
+    def test_distinct_vertices_not_merged(self, small_dag):
+        merged, _rep = merge_equivalent_vertices(small_dag)
+        # only vertices with identical neighbourhoods collapse; the fixture
+        # has none beyond what its structure implies
+        assert merged.num_vertices <= small_dag.num_vertices
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(3, 18), st.integers(0, 50), st.integers(0, 500))
+def test_reduction_preserves_reachability(n, extra, seed):
+    graph = random_dag(n, min(extra, n * (n - 1) // 2), seed=seed)
+    reduced = reduce_dag(graph)
+    for s in range(n):
+        for t in range(n):
+            original = bfs_reachable(graph, s, t)
+            if reduced.rep[s] == reduced.rep[t]:
+                # equivalent twins in a DAG are mutually unreachable
+                assert original == (s == t)
+            else:
+                lifted = bfs_reachable(reduced.dag, reduced.rep[s], reduced.rep[t])
+                assert original == lifted
+
+
+def test_reduction_reports_savings():
+    graph = DiGraph(4, [(0, 1), (0, 2), (1, 3), (2, 3), (0, 3)])
+    reduced = reduce_dag(graph)
+    assert reduced.vertices_merged == 1  # the 1/2 twins
+    assert reduced.edges_removed >= 1  # the (0, 3) shortcut

@@ -1,0 +1,106 @@
+"""Tests for the path-constraint regular-expression parser (§2.2 grammar)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConstraintSyntaxError
+from repro.traversal.regex import (
+    ConcatNode,
+    LabelNode,
+    PlusNode,
+    StarNode,
+    UnionNode,
+    alternation_label_set,
+    concatenation_sequence,
+    parse_constraint,
+    regex_to_string,
+)
+
+
+class TestParsing:
+    def test_single_label(self):
+        node = parse_constraint("friendOf")
+        assert node == LabelNode("friendOf")
+
+    def test_union_and_star(self):
+        node = parse_constraint("(friendOf | follows)*")
+        assert isinstance(node, StarNode)
+        assert isinstance(node.inner, UnionNode)
+
+    def test_unicode_operators(self):
+        ascii_node = parse_constraint("(a | b)*")
+        unicode_node = parse_constraint("(a ∪ b)*")
+        assert ascii_node == unicode_node
+        assert parse_constraint("(a . b)*") == parse_constraint("(a · b)*")
+
+    def test_precedence_union_loosest(self):
+        node = parse_constraint("a | b . c")
+        assert isinstance(node, UnionNode)
+        assert isinstance(node.right, ConcatNode)
+
+    def test_kleene_binds_tightest(self):
+        node = parse_constraint("a . b*")
+        assert isinstance(node, ConcatNode)
+        assert isinstance(node.right, StarNode)
+
+    def test_juxtaposition_concatenates(self):
+        assert parse_constraint("a b") == parse_constraint("a . b")
+
+    def test_quoted_labels(self):
+        node = parse_constraint("'works for' | \"knows\"")
+        assert isinstance(node, UnionNode)
+        assert node.left == LabelNode("works for")
+
+    def test_plus(self):
+        node = parse_constraint("(a)+")
+        assert isinstance(node, PlusNode)
+
+    def test_idempotent_on_nodes(self):
+        node = parse_constraint("(a|b)*")
+        assert parse_constraint(node) is node
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["", "(a", "a)", "*", "|a", "a |", "a $ b", "'unterminated"],
+    )
+    def test_syntax_errors(self, bad):
+        with pytest.raises(ConstraintSyntaxError):
+            parse_constraint(bad)
+
+
+class TestClassification:
+    def test_alternation_star(self):
+        labels = alternation_label_set(parse_constraint("(a | b | c)*"))
+        assert labels == frozenset({"a", "b", "c"})
+
+    def test_alternation_plus_and_singleton(self):
+        assert alternation_label_set(parse_constraint("(a)+")) == frozenset({"a"})
+        assert alternation_label_set(parse_constraint("a*")) == frozenset({"a"})
+
+    def test_not_alternation(self):
+        assert alternation_label_set(parse_constraint("(a . b)*")) is None
+        assert alternation_label_set(parse_constraint("a")) is None
+        assert alternation_label_set(parse_constraint("(a | b . c)*")) is None
+
+    def test_concatenation_star(self):
+        seq = concatenation_sequence(parse_constraint("(a . b . c)*"))
+        assert seq == ("a", "b", "c")
+
+    def test_concatenation_plus_and_singleton(self):
+        assert concatenation_sequence(parse_constraint("(a)+")) == ("a",)
+        assert concatenation_sequence(parse_constraint("a*")) == ("a",)
+
+    def test_not_concatenation(self):
+        assert concatenation_sequence(parse_constraint("(a | b)*")) is None
+        assert concatenation_sequence(parse_constraint("a . b")) is None
+
+
+class TestRendering:
+    @pytest.mark.parametrize(
+        "text",
+        ["a", "(a . b)", "(a | b)", "a*", "a+", "((a | b) . c)*"],
+    )
+    def test_round_trip(self, text):
+        node = parse_constraint(text)
+        assert parse_constraint(regex_to_string(node)) == node

@@ -1,0 +1,125 @@
+"""Robustness: deep graphs (no recursion limits), parallel edges, extremes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.base import TriState
+from repro.core.registry import all_labeled_indexes, plain_index
+from repro.graphs.digraph import DiGraph
+from repro.graphs.labeled import LabeledDiGraph
+from repro.traversal.rpq import rpq_reachable
+
+
+class TestDeepGraphs:
+    """Every traversal in the library is iterative; 20k-deep chains must work."""
+
+    N = 20_000
+
+    def _chain(self) -> DiGraph:
+        return DiGraph(self.N, ((i, i + 1) for i in range(self.N - 1)))
+
+    @pytest.mark.parametrize("name", ["Tree cover", "GRAIL", "BFL", "Feline", "Preach"])
+    def test_deep_chain_builds_and_answers(self, name):
+        graph = self._chain()
+        index = plain_index(name).build(graph)
+        assert index.query(0, self.N - 1)
+        assert not index.query(self.N - 1, 0)
+
+    def test_deep_chain_pll(self):
+        graph = self._chain()
+        index = plain_index("PLL").build(graph)
+        assert index.query(0, self.N - 1)
+        assert not index.query(self.N - 1, 0)
+
+    def test_deep_cycle_condensation(self):
+        n = 20_000
+        edges = [(i, (i + 1) % n) for i in range(n)]
+        graph = DiGraph(n, edges)
+        index = plain_index("TC").build(graph)
+        assert index.query(0, n // 2)
+        assert index.query(n // 2, 0)
+
+
+class TestParallelEdges:
+    """Labeled graphs allow parallel edges with distinct labels (RDF-style)."""
+
+    def _graph(self) -> LabeledDiGraph:
+        graph = LabeledDiGraph(4)
+        graph.add_edge(0, 1, "a")
+        graph.add_edge(0, 1, "b")  # parallel edge, different label
+        graph.add_edge(1, 2, "a")
+        graph.add_edge(2, 3, "b")
+        graph.add_edge(1, 3, "b")
+        return graph
+
+    @pytest.mark.parametrize("name", sorted(all_labeled_indexes()))
+    def test_labeled_indexes_respect_parallel_edges(self, name):
+        graph = self._graph()
+        cls = all_labeled_indexes()[name]
+        index = cls.build(graph)
+        if cls.metadata.constraint == "Alternation":
+            constraints = ["(a)*", "(b)*", "(a|b)*", "(a)+", "(b)+"]
+        else:
+            constraints = ["(a)*", "(b)*", "(a.b)*", "(b.a)+"]
+        for constraint in constraints:
+            for s in graph.vertices():
+                for t in graph.vertices():
+                    expected = rpq_reachable(graph, s, t, constraint)
+                    assert index.query(s, t, constraint) == expected, (
+                        name,
+                        constraint,
+                        s,
+                        t,
+                    )
+
+    def test_only_a_path_uses_the_a_edge(self):
+        graph = self._graph()
+        assert rpq_reachable(graph, 0, 2, "(a)*")
+        assert not rpq_reachable(graph, 0, 3, "(a)*")
+        assert rpq_reachable(graph, 0, 3, "(b)*")
+
+
+class TestGrailExceptions:
+    def test_exception_lists_make_lookup_exact(self):
+        from repro.graphs.generators import random_dag
+        from repro.traversal.online import bfs_reachable
+
+        graph = random_dag(50, 120, seed=210)
+        index = plain_index("GRAIL").build(graph, k=2, exceptions=True)
+        assert index.has_exceptions
+        for s in range(graph.num_vertices):
+            for t in range(graph.num_vertices):
+                probe = index.lookup(s, t)
+                assert probe is not TriState.MAYBE
+                assert (probe is TriState.YES) == bfs_reachable(graph, s, t)
+
+    def test_exceptions_grow_the_index(self):
+        from repro.graphs.generators import random_dag
+
+        graph = random_dag(50, 120, seed=211)
+        plain = plain_index("GRAIL").build(graph, k=1, seed=3)
+        exact = plain_index("GRAIL").build(graph, k=1, seed=3, exceptions=True)
+        assert exact.size_in_entries() >= plain.size_in_entries()
+
+    def test_without_exceptions_flag_stays_partial(self):
+        from repro.graphs.generators import random_dag
+
+        graph = random_dag(30, 70, seed=212)
+        index = plain_index("GRAIL").build(graph, k=1)
+        assert not index.has_exceptions
+        maybes = sum(
+            1
+            for s in range(30)
+            for t in range(30)
+            if index.lookup(s, t) is TriState.MAYBE
+        )
+        assert maybes > 0
+
+
+class TestSingleVertex:
+    @pytest.mark.parametrize("name", ["PLL", "GRAIL", "BFL", "TC", "Path-tree"])
+    def test_single_vertex_graph(self, name):
+        graph = DiGraph(1)
+        index = plain_index(name).build(graph)
+        assert index.query(0, 0)

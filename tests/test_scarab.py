@@ -1,0 +1,76 @@
+"""Tests for the SCARAB-style reachability backbone (§3.4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.registry import plain_index
+from repro.graphs.generators import (
+    cyclic_communities,
+    random_dag,
+    scale_free_dag,
+)
+from repro.plain.scarab import ScarabBackboneIndex
+from repro.traversal.online import bfs_reachable
+
+
+@pytest.mark.parametrize("inner", ["PLL", "GRAIL", "BFL", "TC"])
+def test_exact_on_dag(inner):
+    graph = random_dag(40, 100, seed=95)
+    index = ScarabBackboneIndex.build(graph, inner=plain_index(inner))
+    for s in range(graph.num_vertices):
+        for t in range(graph.num_vertices):
+            assert index.query(s, t) == bfs_reachable(graph, s, t), (inner, s, t)
+
+
+def test_exact_on_cyclic_graph():
+    graph = cyclic_communities(4, 4, 8, seed=96)
+    index = ScarabBackboneIndex.build(graph, inner=plain_index("PLL"))
+    for s in range(graph.num_vertices):
+        for t in range(graph.num_vertices):
+            assert index.query(s, t) == bfs_reachable(graph, s, t)
+
+
+def test_dag_only_inner_wrapped_when_backbone_cyclic():
+    graph = cyclic_communities(3, 4, 6, seed=97)
+    index = ScarabBackboneIndex.build(graph, inner=plain_index("GRAIL"))
+    for s in range(graph.num_vertices):
+        for t in range(graph.num_vertices):
+            assert index.query(s, t) == bfs_reachable(graph, s, t)
+
+
+def test_backbone_smaller_on_source_sink_heavy_graphs():
+    graph = scale_free_dag(300, edges_per_vertex=2, seed=98)
+    index = ScarabBackboneIndex.build(graph, inner=plain_index("PLL"))
+    assert index.backbone_size < graph.num_vertices
+    # and the inner index covers only the backbone
+    assert index.inner.graph.num_vertices == index.backbone_size
+
+
+def test_reduces_inner_index_size():
+    graph = scale_free_dag(300, edges_per_vertex=2, seed=99)
+    direct = plain_index("PLL").build(graph)
+    backboned = ScarabBackboneIndex.build(graph, inner=plain_index("PLL"))
+    assert backboned.inner.size_in_entries() < direct.size_in_entries()
+
+
+def test_requires_inner():
+    with pytest.raises(TypeError):
+        ScarabBackboneIndex.build(random_dag(5, 6, seed=100))
+
+
+def test_not_registered():
+    from repro.core.registry import all_plain_indexes
+
+    assert "SCARAB" not in all_plain_indexes()
+
+
+def test_empty_backbone():
+    """A star graph: every path has length 1, backbone is empty."""
+    from repro.graphs.digraph import DiGraph
+
+    graph = DiGraph(5, [(0, 1), (0, 2), (0, 3), (0, 4)])
+    index = ScarabBackboneIndex.build(graph, inner=plain_index("PLL"))
+    assert index.backbone_size == 0
+    assert index.query(0, 3)
+    assert not index.query(1, 2)

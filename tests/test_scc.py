@@ -1,0 +1,119 @@
+"""Tests for Tarjan SCC and condensation, cross-checked against networkx."""
+
+from __future__ import annotations
+
+import networkx as nx
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.digraph import DiGraph
+from repro.graphs.scc import condense, strongly_connected_components
+from repro.graphs.topo import is_dag
+from repro.traversal.online import bfs_reachable
+
+
+def _to_networkx(graph: DiGraph) -> nx.DiGraph:
+    nxg = nx.DiGraph()
+    nxg.add_nodes_from(graph.vertices())
+    nxg.add_edges_from(graph.edges())
+    return nxg
+
+
+class TestTarjan:
+    def test_single_cycle(self):
+        graph = DiGraph(3, [(0, 1), (1, 2), (2, 0)])
+        components = strongly_connected_components(graph)
+        assert len(components) == 1
+        assert sorted(components[0]) == [0, 1, 2]
+
+    def test_dag_has_singleton_components(self, small_dag):
+        components = strongly_connected_components(small_dag)
+        assert len(components) == small_dag.num_vertices
+        assert all(len(c) == 1 for c in components)
+
+    def test_fixture_components(self, cyclic_graph):
+        components = {
+            frozenset(c) for c in strongly_connected_components(cyclic_graph)
+        }
+        assert components == {
+            frozenset({0, 1, 2}),
+            frozenset({3, 4}),
+            frozenset({5}),
+        }
+
+    def test_deep_chain_no_recursion_error(self):
+        n = 50_000
+        graph = DiGraph(n, ((i, i + 1) for i in range(n - 1)))
+        components = strongly_connected_components(graph)
+        assert len(components) == n
+
+    def test_emitted_in_reverse_topological_order(self, cyclic_graph):
+        components = strongly_connected_components(cyclic_graph)
+        position = {}
+        for i, comp in enumerate(components):
+            for v in comp:
+                position[v] = i
+        # every edge goes from a later-emitted component to an earlier one
+        for u, v in cyclic_graph.edges():
+            assert position[u] >= position[v]
+
+
+class TestCondense:
+    def test_condensation_is_dag(self, medium_cyclic):
+        condensation = condense(medium_cyclic)
+        assert is_dag(condensation.dag)
+
+    def test_members_partition_vertices(self, medium_cyclic):
+        condensation = condense(medium_cyclic)
+        seen = sorted(v for comp in condensation.members for v in comp)
+        assert seen == list(medium_cyclic.vertices())
+
+    def test_same_component(self, cyclic_graph):
+        condensation = condense(cyclic_graph)
+        assert condensation.same_component(0, 2)
+        assert condensation.same_component(3, 4)
+        assert not condensation.same_component(0, 3)
+
+    def test_trivial_flag(self, small_dag, cyclic_graph):
+        assert condense(small_dag).is_trivial
+        assert not condense(cyclic_graph).is_trivial
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.data())
+def test_matches_networkx_on_random_graphs(data):
+    n = data.draw(st.integers(2, 25))
+    edges = data.draw(
+        st.lists(
+            st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)), max_size=80
+        )
+    )
+    graph = DiGraph(n)
+    for u, v in edges:
+        if u != v:
+            graph.add_edge_if_absent(u, v)
+    ours = {frozenset(c) for c in strongly_connected_components(graph)}
+    theirs = {frozenset(c) for c in nx.strongly_connected_components(_to_networkx(graph))}
+    assert ours == theirs
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.data())
+def test_condensation_preserves_reachability(data):
+    n = data.draw(st.integers(2, 18))
+    edges = data.draw(
+        st.lists(
+            st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)), max_size=60
+        )
+    )
+    graph = DiGraph(n)
+    for u, v in edges:
+        if u != v:
+            graph.add_edge_if_absent(u, v)
+    condensation = condense(graph)
+    for s in range(n):
+        for t in range(n):
+            original = bfs_reachable(graph, s, t)
+            cs, ct = condensation.scc_of[s], condensation.scc_of[t]
+            lifted = cs == ct or bfs_reachable(condensation.dag, cs, ct)
+            assert original == lifted

@@ -1,0 +1,91 @@
+"""Property tests for the SPLS antichain algebra (§4.1 foundations)."""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.labeled.spls import (
+    add_to_antichain,
+    antichain_cross_product,
+    antichain_matches,
+    is_subset,
+    minimize_antichain,
+)
+
+masks = st.integers(min_value=0, max_value=2**6 - 1)
+mask_lists = st.lists(masks, min_size=0, max_size=12)
+
+
+class TestSubset:
+    def test_examples(self):
+        assert is_subset(0b001, 0b011)
+        assert is_subset(0, 0b111)
+        assert not is_subset(0b100, 0b011)
+        assert is_subset(0b101, 0b101)
+
+
+class TestMinimize:
+    @given(mask_lists)
+    def test_result_is_an_antichain(self, xs):
+        result = minimize_antichain(xs)
+        for i, a in enumerate(result):
+            for j, b in enumerate(result):
+                if i != j:
+                    assert not is_subset(a, b)
+
+    @given(mask_lists)
+    def test_every_input_is_dominated_by_some_output(self, xs):
+        result = minimize_antichain(xs)
+        for x in xs:
+            assert any(is_subset(kept, x) for kept in result)
+
+    @given(mask_lists)
+    def test_outputs_come_from_inputs(self, xs):
+        assert set(minimize_antichain(xs)) <= set(xs)
+
+    def test_redundancy_rule_example(self):
+        """§4.1: S1 ⊆ S2 makes S2 redundant."""
+        assert minimize_antichain([0b01, 0b11]) == [0b01]
+
+
+class TestAddToAntichain:
+    @given(mask_lists, masks)
+    def test_incremental_equals_batch(self, xs, extra):
+        antichain = minimize_antichain(xs)
+        add_to_antichain(antichain, extra)
+        assert sorted(antichain) == sorted(minimize_antichain(xs + [extra]))
+
+    def test_dominated_insert_returns_false(self):
+        antichain = [0b01]
+        assert add_to_antichain(antichain, 0b11) is False
+        assert antichain == [0b01]
+
+    def test_dominating_insert_evicts(self):
+        antichain = [0b011, 0b110]
+        assert add_to_antichain(antichain, 0b010) is True
+        assert antichain == [0b010]
+
+
+class TestCrossProduct:
+    def test_transitivity_example(self):
+        """§4.1: SPLS(A→M) from SPLS(A→L) × SPLS(L→M)."""
+        follows, works_for = 0b01, 0b10
+        assert antichain_cross_product([follows], [works_for]) == [
+            follows | works_for
+        ]
+
+    @given(mask_lists, mask_lists)
+    def test_products_dominated_by_pairwise_unions(self, left, right):
+        result = antichain_cross_product(left, right)
+        unions = {a | b for a in left for b in right}
+        assert set(result) <= unions
+        for u in unions:
+            assert any(is_subset(kept, u) for kept in result)
+
+
+class TestMatches:
+    @given(mask_lists, masks)
+    def test_matches_iff_some_mask_fits(self, xs, allowed):
+        expected = any(is_subset(x, allowed) for x in xs)
+        assert antichain_matches(xs, allowed) == expected

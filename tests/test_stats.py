@@ -1,0 +1,63 @@
+"""Tests for the graph-statistics profiler."""
+
+from __future__ import annotations
+
+from repro.graphs.digraph import DiGraph
+from repro.graphs.generators import cyclic_communities, layered_dag, random_dag
+from repro.graphs.stats import graph_statistics
+
+
+class TestGraphStatistics:
+    def test_chain(self):
+        graph = DiGraph(4, [(0, 1), (1, 2), (2, 3)])
+        stats = graph_statistics(graph)
+        assert stats.num_vertices == 4
+        assert stats.num_edges == 3
+        assert stats.is_dag
+        assert stats.num_sources == 1
+        assert stats.num_sinks == 1
+        assert stats.depth == 3
+        assert stats.num_sccs == 4
+        assert stats.largest_scc == 1
+        # chain: 3+2+1 reachable pairs over 4*3 ordered pairs
+        assert abs(stats.reachability_density - 0.5) < 1e-9
+
+    def test_cycle(self):
+        graph = DiGraph(3, [(0, 1), (1, 2), (2, 0)])
+        stats = graph_statistics(graph)
+        assert not stats.is_dag
+        assert stats.num_sccs == 1
+        assert stats.largest_scc == 3
+        assert stats.depth == 0  # single condensed vertex
+        assert stats.reachability_density == 1.0
+
+    def test_empty_graph(self):
+        stats = graph_statistics(DiGraph(0))
+        assert stats.num_vertices == 0
+        assert stats.reachability_density == 0.0
+
+    def test_layered_depth(self):
+        graph = layered_dag(6, 5, 2, seed=1)
+        stats = graph_statistics(graph)
+        assert stats.depth == 5
+        # the whole first layer plus any uncovered later vertices
+        assert stats.num_sources >= 5
+
+    def test_cyclic_communities_profile(self):
+        graph = cyclic_communities(4, 5, 8, seed=2)
+        stats = graph_statistics(graph)
+        assert stats.num_sccs == 4
+        assert stats.largest_scc == 5
+        assert not stats.is_dag
+
+    def test_sampled_density_close_to_exact(self):
+        graph = random_dag(200, 600, seed=3)
+        full = graph_statistics(graph, sample_sources=200)
+        sampled = graph_statistics(graph, sample_sources=50, seed=4)
+        assert abs(full.reachability_density - sampled.reachability_density) < 0.15
+
+    def test_as_rows_renders(self):
+        stats = graph_statistics(random_dag(20, 40, seed=5))
+        rows = stats.as_rows()
+        assert ("|V|", "20") in rows
+        assert len(rows) == 9

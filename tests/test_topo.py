@@ -1,0 +1,79 @@
+"""Tests for topological-order utilities."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import NotADAGError
+from repro.graphs.digraph import DiGraph
+from repro.graphs.generators import random_dag
+from repro.graphs.topo import (
+    is_dag,
+    reverse_topological_order,
+    topological_levels,
+    topological_order,
+    topological_rank,
+)
+
+
+class TestTopologicalOrder:
+    def test_respects_edges(self, small_dag):
+        order = topological_order(small_dag)
+        position = {v: i for i, v in enumerate(order)}
+        for u, v in small_dag.edges():
+            assert position[u] < position[v]
+
+    def test_includes_every_vertex_once(self, small_dag):
+        order = topological_order(small_dag)
+        assert sorted(order) == list(small_dag.vertices())
+
+    def test_cycle_raises(self, cyclic_graph):
+        with pytest.raises(NotADAGError):
+            topological_order(cyclic_graph)
+
+    def test_deterministic_tie_break(self):
+        graph = DiGraph(3)  # no edges: pure tie-break by id
+        assert topological_order(graph) == [0, 1, 2]
+
+    def test_reverse_is_reversed(self, small_dag):
+        assert reverse_topological_order(small_dag) == list(
+            reversed(topological_order(small_dag))
+        )
+
+
+class TestDerivedOrders:
+    def test_is_dag(self, small_dag, cyclic_graph):
+        assert is_dag(small_dag)
+        assert not is_dag(cyclic_graph)
+
+    def test_rank_inverts_order(self, medium_dag):
+        order = topological_order(medium_dag)
+        rank = topological_rank(medium_dag)
+        for position, v in enumerate(order):
+            assert rank[v] == position
+
+    def test_levels_strictly_increase_along_edges(self, medium_dag):
+        level = topological_levels(medium_dag)
+        for u, v in medium_dag.edges():
+            assert level[u] < level[v]
+
+    def test_levels_of_sources_are_zero(self, small_dag):
+        level = topological_levels(small_dag)
+        assert level[0] == 0
+        assert level[7] == 0  # isolated vertex
+
+    def test_level_is_longest_path(self):
+        # 0 -> 1 -> 2 and 0 -> 2: level of 2 must be 2 (longest path)
+        graph = DiGraph(3, [(0, 1), (1, 2), (0, 2)])
+        assert topological_levels(graph) == [0, 1, 2]
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(2, 40), st.integers(0, 120), st.integers(0, 1000))
+def test_random_dags_always_sort(n, extra, seed):
+    graph = random_dag(n, min(extra, n * (n - 1) // 2), seed=seed)
+    order = topological_order(graph)
+    position = {v: i for i, v in enumerate(order)}
+    assert all(position[u] < position[v] for u, v in graph.edges())

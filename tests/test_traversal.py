@@ -1,0 +1,62 @@
+"""Tests for the online traversal baselines (§2.3)."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.digraph import DiGraph
+from repro.traversal.online import (
+    ancestors,
+    bfs_reachable,
+    bibfs_reachable,
+    descendants,
+    dfs_reachable,
+)
+
+
+class TestReachability:
+    def test_trivial_self_reachability(self, small_dag):
+        for v in small_dag.vertices():
+            assert bfs_reachable(small_dag, v, v)
+            assert dfs_reachable(small_dag, v, v)
+            assert bibfs_reachable(small_dag, v, v)
+
+    def test_known_paths(self, small_dag):
+        assert bfs_reachable(small_dag, 0, 5)
+        assert bfs_reachable(small_dag, 0, 6)
+        assert not bfs_reachable(small_dag, 5, 0)
+        assert not bfs_reachable(small_dag, 1, 6)
+        assert not bfs_reachable(small_dag, 0, 7)
+
+    def test_cycles_handled(self, cyclic_graph):
+        assert bfs_reachable(cyclic_graph, 0, 5)
+        assert dfs_reachable(cyclic_graph, 2, 0)
+        assert bibfs_reachable(cyclic_graph, 1, 4)
+        assert not bfs_reachable(cyclic_graph, 3, 0)
+
+    def test_descendants_and_ancestors(self, small_dag):
+        assert descendants(small_dag, 2) == {2, 3, 4, 5, 6}
+        assert ancestors(small_dag, 3) == {0, 1, 2, 3}
+        assert descendants(small_dag, 7) == {7}
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.data())
+def test_three_traversals_agree(data):
+    """BFS, DFS and BiBFS are interchangeable on arbitrary digraphs."""
+    n = data.draw(st.integers(2, 20))
+    edges = data.draw(
+        st.lists(st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)), max_size=60)
+    )
+    graph = DiGraph(n)
+    for u, v in edges:
+        if u != v:
+            graph.add_edge_if_absent(u, v)
+    s = data.draw(st.integers(0, n - 1))
+    t = data.draw(st.integers(0, n - 1))
+    expected = t in descendants(graph, s)
+    assert bfs_reachable(graph, s, t) == expected
+    assert dfs_reachable(graph, s, t) == expected
+    assert bibfs_reachable(graph, s, t) == expected
+    assert (s in ancestors(graph, t)) == expected

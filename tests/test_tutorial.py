@@ -1,0 +1,32 @@
+"""docs/TUTORIAL.md stays executable: every code block runs, in order.
+
+The tutorial's blocks share one namespace (like a REPL session), so the
+document can build on earlier definitions exactly as a reader would.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+TUTORIAL = Path(__file__).resolve().parent.parent / "docs" / "TUTORIAL.md"
+
+
+def _code_blocks() -> list[str]:
+    text = TUTORIAL.read_text()
+    return re.findall(r"```python\n(.*?)```", text, flags=re.DOTALL)
+
+
+def test_tutorial_has_blocks():
+    assert len(_code_blocks()) >= 10
+
+
+def test_tutorial_blocks_execute_in_order():
+    namespace: dict[str, object] = {}
+    for i, block in enumerate(_code_blocks()):
+        try:
+            exec(compile(block, f"<tutorial block {i}>", "exec"), namespace)
+        except Exception as exc:  # pragma: no cover - failure reporting
+            raise AssertionError(
+                f"tutorial block {i} failed: {exc}\n---\n{block}"
+            ) from exc

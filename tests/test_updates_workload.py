@@ -1,0 +1,121 @@
+"""Tests for the update-stream workload generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.registry import plain_index
+from repro.graphs.generators import (
+    random_dag,
+    random_labeled_digraph,
+    rmat_digraph,
+)
+from repro.graphs.topo import is_dag
+from repro.traversal.online import bfs_reachable
+from repro.workloads.updates import labeled_update_stream, update_stream
+
+
+class TestUpdateStream:
+    def test_replayable_and_consistent(self):
+        graph = random_dag(30, 60, seed=1)
+        ops = update_stream(graph, 50, seed=2)
+        assert len(ops) == 50
+        # replaying against a copy never hits duplicates or missing edges
+        working = graph.copy()
+        for op in ops:
+            if op.kind == "insert":
+                assert not working.has_edge(op.source, op.target)
+                working.add_edge(op.source, op.target)
+            else:
+                assert working.has_edge(op.source, op.target)
+                working.remove_edge(op.source, op.target)
+
+    def test_acyclic_streams_preserve_dagness(self):
+        graph = random_dag(30, 60, seed=3)
+        ops = update_stream(graph, 60, seed=4, keep_acyclic=True)
+        working = graph.copy()
+        for op in ops:
+            if op.kind == "insert":
+                working.add_edge(op.source, op.target)
+            else:
+                working.remove_edge(op.source, op.target)
+            assert is_dag(working)
+
+    def test_insert_only(self):
+        graph = random_dag(20, 30, seed=5)
+        ops = update_stream(graph, 25, seed=6, delete_fraction=0.0)
+        assert all(op.kind == "insert" for op in ops)
+
+    def test_deterministic(self):
+        graph = random_dag(20, 30, seed=7)
+        assert update_stream(graph, 20, seed=8) == update_stream(graph, 20, seed=8)
+
+    def test_bad_fraction(self):
+        with pytest.raises(ValueError):
+            update_stream(random_dag(5, 5, seed=9), 5, seed=9, delete_fraction=2)
+
+    def test_stream_drives_dynamic_index(self):
+        """The generated stream is directly consumable by TOL maintenance."""
+        graph = random_dag(25, 50, seed=10)
+        ops = update_stream(graph, 30, seed=11, keep_acyclic=True)
+        index = plain_index("TOL").build(graph.copy())
+        for op in ops:
+            if op.kind == "insert":
+                index.insert_edge(op.source, op.target)
+            else:
+                index.delete_edge(op.source, op.target)
+        g = index.graph
+        for s in range(0, g.num_vertices, 3):
+            for t in range(g.num_vertices):
+                assert index.query(s, t) == bfs_reachable(g, s, t)
+
+
+class TestLabeledUpdateStream:
+    def test_replayable(self):
+        graph = random_labeled_digraph(15, 35, ["a", "b"], seed=12)
+        ops = labeled_update_stream(graph, 30, seed=13)
+        working = graph.copy()
+        for op in ops:
+            if op.kind == "insert":
+                working.add_edge(op.source, op.target, op.label)
+            else:
+                working.remove_edge(op.source, op.target, op.label)
+
+    def test_requires_labels(self):
+        from repro.graphs.labeled import LabeledDiGraph
+
+        with pytest.raises(ValueError):
+            labeled_update_stream(LabeledDiGraph(3), 5, seed=14)
+
+
+class TestRMAT:
+    def test_size_and_determinism(self):
+        g = rmat_digraph(7, 300, seed=15)
+        assert g.num_vertices == 128
+        assert g.num_edges == 300
+        assert g == rmat_digraph(7, 300, seed=15)
+
+    def test_degree_skew(self):
+        g = rmat_digraph(9, 2000, seed=16)
+        degrees = sorted((g.in_degree(v) for v in g.vertices()), reverse=True)
+        assert degrees[0] >= 5 * max(1, degrees[len(degrees) // 2])
+
+    def test_probability_validation(self):
+        from repro.errors import GraphError
+
+        with pytest.raises(GraphError):
+            rmat_digraph(4, 10, seed=17, a=0.9, b=0.9, c=0.9)
+
+    def test_too_many_edges(self):
+        from repro.errors import GraphError
+
+        with pytest.raises(GraphError):
+            rmat_digraph(2, 1000, seed=18)
+
+    def test_indexable(self):
+        """R-MAT graphs (cyclic) work through the general-input indexes."""
+        g = rmat_digraph(6, 150, seed=19)
+        index = plain_index("PLL").build(g)
+        for s in range(0, g.num_vertices, 7):
+            for t in range(0, g.num_vertices, 7):
+                assert index.query(s, t) == bfs_reachable(g, s, t)

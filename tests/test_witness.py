@@ -1,0 +1,88 @@
+"""Tests for witness-path recovery."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.digraph import DiGraph
+from repro.graphs.generators import random_dag, random_labeled_digraph
+from repro.traversal.automaton import build_dfa
+from repro.traversal.online import bfs_reachable
+from repro.traversal.rpq import rpq_reachable
+from repro.traversal.witness import constrained_witness_path, witness_path
+from repro.workloads.datasets import figure1b, vertex_id
+
+
+class TestPlainWitness:
+    def test_empty_path(self):
+        graph = DiGraph(2)
+        assert witness_path(graph, 1, 1) == [1]
+
+    def test_unreachable_returns_none(self):
+        graph = DiGraph(3, [(0, 1)])
+        assert witness_path(graph, 1, 2) is None
+
+    def test_path_is_valid_and_shortest(self):
+        graph = DiGraph(5, [(0, 1), (1, 2), (2, 3), (0, 3), (3, 4)])
+        path = witness_path(graph, 0, 4)
+        assert path == [0, 3, 4]  # the shortcut beats the long way
+        for u, v in zip(path, path[1:]):
+            assert graph.has_edge(u, v)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 500))
+    def test_witness_exists_iff_reachable(self, seed):
+        graph = random_dag(20, 40, seed=seed)
+        for s in range(0, 20, 3):
+            for t in range(0, 20, 3):
+                path = witness_path(graph, s, t)
+                assert (path is not None) == bfs_reachable(graph, s, t)
+                if path:
+                    assert path[0] == s and path[-1] == t
+                    for u, v in zip(path, path[1:]):
+                        assert graph.has_edge(u, v)
+
+
+class TestConstrainedWitness:
+    def test_figure1b_rlc_witness(self):
+        """The paper's §4.2 path: (L, worksFor, D, friendOf, H, …, B)."""
+        graph = figure1b()
+        steps = constrained_witness_path(
+            graph, vertex_id("L"), vertex_id("B"), "(worksFor . friendOf)*"
+        )
+        assert steps is not None
+        labels = [label for _v, label in steps[:-1]]
+        assert labels == ["worksFor", "friendOf", "worksFor", "friendOf"]
+        vertices = [v for v, _label in steps]
+        assert vertices[0] == vertex_id("L")
+        assert vertices[-1] == vertex_id("B")
+
+    def test_word_is_in_the_language(self):
+        graph = random_labeled_digraph(15, 40, ["a", "b"], seed=301)
+        constraint = "(a | b)*"
+        dfa = build_dfa(constraint)
+        for s in range(15):
+            for t in range(15):
+                steps = constrained_witness_path(graph, s, t, constraint)
+                expected = rpq_reachable(graph, s, t, constraint)
+                assert (steps is not None) == expected
+                if steps:
+                    word = [label for _v, label in steps[:-1]]
+                    assert dfa.accepts(word)
+
+    def test_empty_path_only_for_star(self):
+        graph = random_labeled_digraph(5, 8, ["a"], seed=302)
+        star = constrained_witness_path(graph, 2, 2, "(a)*")
+        assert star == [(2, "")]
+
+    def test_edges_exist_along_the_witness(self):
+        graph = random_labeled_digraph(12, 30, ["x", "y"], seed=303)
+        steps = None
+        for s in range(12):
+            for t in range(12):
+                steps = constrained_witness_path(graph, s, t, "(x . y)*")
+                if steps and len(steps) > 1:
+                    for (v, label), (w, _next) in zip(steps, steps[1:]):
+                        assert graph.has_edge(v, w, label)
+                    return

@@ -1,0 +1,94 @@
+"""Tests for datasets and query-workload generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs.generators import random_dag, random_labeled_digraph
+from repro.graphs.topo import is_dag
+from repro.traversal.online import bfs_reachable
+from repro.traversal.rpq import rpq_reachable
+from repro.workloads.datasets import (
+    citation_network,
+    protein_network,
+    social_network,
+    transaction_network,
+)
+from repro.workloads.queries import (
+    alternation_workload,
+    concatenation_workload,
+    plain_workload,
+)
+
+
+class TestPlainWorkload:
+    def test_ground_truth_is_correct(self):
+        graph = random_dag(40, 100, seed=61)
+        workload = plain_workload(graph, 100, positive_fraction=0.5, seed=62)
+        assert len(workload) == 100
+        for query in workload:
+            assert query.reachable == bfs_reachable(graph, query.source, query.target)
+
+    def test_positive_fraction_honoured(self):
+        graph = random_dag(40, 100, seed=63)
+        workload = plain_workload(graph, 200, positive_fraction=0.25, seed=64)
+        positives = sum(q.reachable for q in workload)
+        assert positives == 50
+
+    def test_deterministic(self):
+        graph = random_dag(30, 70, seed=65)
+        a = plain_workload(graph, 50, 0.5, seed=66)
+        b = plain_workload(graph, 50, 0.5, seed=66)
+        assert a == b
+
+    def test_bad_fraction_rejected(self):
+        graph = random_dag(10, 20, seed=67)
+        with pytest.raises(ValueError):
+            plain_workload(graph, 10, 1.5, seed=68)
+
+
+class TestConstrainedWorkloads:
+    def test_alternation_ground_truth(self):
+        graph = random_labeled_digraph(20, 50, ["a", "b", "c"], seed=69)
+        workload = alternation_workload(graph, 40, seed=70)
+        assert len(workload) == 40
+        for query in workload:
+            expected = rpq_reachable(graph, query.source, query.target, query.constraint)
+            assert query.reachable == expected
+
+    def test_concatenation_ground_truth(self):
+        graph = random_labeled_digraph(20, 50, ["a", "b"], seed=71)
+        workload = concatenation_workload(graph, 30, seed=72, max_period=2)
+        for query in workload:
+            expected = rpq_reachable(graph, query.source, query.target, query.constraint)
+            assert query.reachable == expected
+            assert query.constraint.endswith(")*")
+
+    def test_unlabeled_graph_rejected(self):
+        from repro.graphs.labeled import LabeledDiGraph
+
+        with pytest.raises(ValueError):
+            alternation_workload(LabeledDiGraph(3), 5, seed=73)
+
+
+class TestDatasets:
+    def test_social_network_shape(self):
+        graph = social_network(num_vertices=150, seed=1)
+        assert graph.num_vertices == 150
+        assert graph.num_labels == 3
+
+    def test_citation_network_is_dag(self):
+        assert is_dag(citation_network(num_vertices=150, seed=2))
+
+    def test_protein_network_is_layered_dag(self):
+        graph = protein_network(num_layers=5, width=10, seed=3)
+        assert graph.num_vertices == 50
+        assert is_dag(graph)
+
+    def test_transaction_network_is_cyclic_and_labeled(self):
+        from repro.graphs.scc import strongly_connected_components
+
+        graph = transaction_network(num_vertices=100, seed=4)
+        assert graph.num_labels == 4
+        components = strongly_connected_components(graph.to_plain())
+        assert any(len(c) > 1 for c in components)
