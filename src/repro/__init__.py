@@ -32,8 +32,10 @@ from repro.errors import (
     GraphError,
     IndexBuildError,
     NotADAGError,
+    PersistenceError,
     QueryError,
     ReproError,
+    ServiceError,
     UnsupportedConstraintError,
     UnsupportedOperationError,
     VertexError,
@@ -64,8 +66,10 @@ __all__ = [
     "GraphError",
     "IndexBuildError",
     "NotADAGError",
+    "PersistenceError",
     "QueryError",
     "ReproError",
+    "ServiceError",
     "UnsupportedConstraintError",
     "UnsupportedOperationError",
     "VertexError",

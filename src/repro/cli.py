@@ -7,12 +7,15 @@ Commands
 ``repro build EDGELIST --index NAME [--save FILE]``
     Build an index over an edge-list file and report build time and size;
     optionally persist it.
-``repro query EDGELIST --index NAME S T``
-    Answer one reachability query (vertex tokens as they appear in the file).
-``repro lquery EDGELIST --index NAME S T CONSTRAINT``
+``repro query EDGELIST --index NAME S T [--load FILE]``
+    Answer one reachability query (vertex tokens as they appear in the
+    file); ``--load`` reuses a saved index instead of rebuilding.
+``repro lquery EDGELIST --index NAME S T CONSTRAINT [--load FILE]``
     Answer one path-constrained query over a labeled edge list.
 ``repro inspect FILE``
     Show the class and version of a saved index without loading it.
+``repro serve EDGELIST [--labeled] --port N``
+    Run the snapshot-isolated HTTP query service over an edge list.
 ``repro experiment NAME``
     Run one DESIGN.md experiment (taxonomy / speed / size / …) and print
     its table.
@@ -240,7 +243,17 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
-    _graph, ids, index, _elapsed = _build_plain(args.edgelist, args.index)
+    if args.load:
+        from repro.core.base import ReachabilityIndex
+        from repro.persistence import load_index
+
+        _graph, ids = read_edge_list(args.edgelist)
+        index = load_index(args.load)
+        if not isinstance(index, ReachabilityIndex):
+            print(f"{args.load}: not a plain index", file=sys.stderr)
+            return 2
+    else:
+        _graph, ids, index, _elapsed = _build_plain(args.edgelist, args.index)
     try:
         s = ids[args.source]
         t = ids[args.target]
@@ -254,8 +267,16 @@ def _cmd_query(args: argparse.Namespace) -> int:
 
 def _cmd_lquery(args: argparse.Namespace) -> int:
     graph, ids = read_labeled_edge_list(args.edgelist)
-    cls = labeled_index(args.index)
-    index = cls.build(graph)
+    if args.load:
+        from repro.core.base import LabelConstrainedIndex
+        from repro.persistence import load_index
+
+        index = load_index(args.load)
+        if not isinstance(index, LabelConstrainedIndex):
+            print(f"{args.load}: not a labeled index", file=sys.stderr)
+            return 2
+    else:
+        index = labeled_index(args.index).build(graph)
     try:
         s = ids[args.source]
         t = ids[args.target]
@@ -265,6 +286,46 @@ def _cmd_lquery(args: argparse.Namespace) -> int:
     answer = index.query(s, t, args.constraint)
     print(f"Qr({args.source}, {args.target}, {args.constraint}) = {str(answer).lower()}")
     return 0 if answer else 1
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import ReachabilityService
+    from repro.service.server import serve
+
+    if args.labeled:
+        graph, _ids = read_labeled_edge_list(args.edgelist)
+        labeled = None if args.labeled_index == "none" else args.labeled_index
+        service = ReachabilityService(
+            graph,
+            index=args.index,
+            labeled_index=labeled,
+            cache_capacity=args.cache_capacity or None,
+            coalesce=not args.no_coalesce,
+            rebuild=args.rebuild,
+        )
+    else:
+        graph, _ids = read_edge_list(args.edgelist)
+        service = ReachabilityService(
+            graph,
+            index=args.index,
+            cache_capacity=args.cache_capacity or None,
+            coalesce=not args.no_coalesce,
+            rebuild=args.rebuild,
+        )
+    server = serve(service, host=args.host, port=args.port, quiet=False)
+    host, port = server.server_address[:2]
+    print(
+        f"serving {service!r}\n"
+        f"  http://{host}:{port}/reach?source=S&target=T\n"
+        f"  http://{host}:{port}/metrics   (Ctrl-C to stop)"
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -314,6 +375,9 @@ def main(argv: list[str] | None = None) -> int:
     query.add_argument("source")
     query.add_argument("target")
     query.add_argument("--index", default="PLL")
+    query.add_argument(
+        "--load", default=None, help="use a saved index file instead of rebuilding"
+    )
     query.set_defaults(func=_cmd_query)
 
     lquery = sub.add_parser("lquery", help="answer one path-constrained query")
@@ -322,7 +386,30 @@ def main(argv: list[str] | None = None) -> int:
     lquery.add_argument("target")
     lquery.add_argument("constraint")
     lquery.add_argument("--index", default="P2H+")
+    lquery.add_argument(
+        "--load", default=None, help="use a saved index file instead of rebuilding"
+    )
     lquery.set_defaults(func=_cmd_lquery)
+
+    serve = sub.add_parser(
+        "serve", help="run the snapshot-isolated HTTP query service"
+    )
+    serve.add_argument("edgelist")
+    serve.add_argument("--labeled", action="store_true", help="labeled edge list")
+    serve.add_argument("--index", default="PLL", help="plain index family")
+    serve.add_argument(
+        "--labeled-index",
+        default="DLCR",
+        help="labeled index family, or 'none' for traversal only",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080)
+    serve.add_argument("--cache-capacity", type=int, default=4096)
+    serve.add_argument(
+        "--no-coalesce", action="store_true", help="disable request coalescing"
+    )
+    serve.add_argument("--rebuild", choices=("auto", "always"), default="auto")
+    serve.set_defaults(func=_cmd_serve)
 
     args = parser.parse_args(argv)
     return args.func(args)

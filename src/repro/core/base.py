@@ -260,11 +260,39 @@ class ReachabilityIndex(ABC):
                 f"query ({source}, {target}) out of range for |V|={n}"
             )
 
+    def __getstate__(self) -> dict[str, object]:
+        """State for pickling/deep-copying, safe under concurrent queries."""
+        return _state_without_query_caches(self)
+
     def __repr__(self) -> str:
         return (
             f"{type(self).__name__}(|V|={self._graph.num_vertices}, "
             f"entries={self.size_in_entries()})"
         )
+
+
+def _state_without_query_caches(index: object) -> dict[str, object]:
+    """``__dict__`` minus transient query-time memoisation.
+
+    Labeled indexes memoise parsed constraints on the instance while
+    answering (``_constraint_cache``), so a pickle or deep copy taken
+    while other threads are querying — the serving tier's incremental
+    patch path — must not walk that dict mid-mutation.  The snapshot is
+    retried because a concurrent first query can grow ``__dict__``
+    itself during iteration.
+    """
+    for _attempt in range(64):
+        try:
+            state = dict(index.__dict__)
+            break
+        except RuntimeError:  # __dict__ grew under a concurrent reader
+            continue
+    else:  # pragma: no cover - needs a pathological scheduler
+        raise RuntimeError(
+            f"could not snapshot {type(index).__name__}.__dict__ under load"
+        )
+    state.pop("_constraint_cache", None)
+    return state
 
 
 class LabelConstrainedIndex(ABC):
@@ -318,6 +346,10 @@ class LabelConstrainedIndex(ABC):
             raise QueryError(
                 f"query ({source}, {target}) out of range for |V|={n}"
             )
+
+    def __getstate__(self) -> dict[str, object]:
+        """State for pickling/deep-copying, safe under concurrent queries."""
+        return _state_without_query_caches(self)
 
     def __repr__(self) -> str:
         return (

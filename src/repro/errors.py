@@ -45,3 +45,11 @@ class ConstraintSyntaxError(QueryError):
 
 class UnsupportedConstraintError(QueryError):
     """The index cannot evaluate the given class of path constraint."""
+
+
+class PersistenceError(ReproError):
+    """A saved-index file is malformed or from an unsupported version."""
+
+
+class ServiceError(ReproError):
+    """The reachability service was misused (wrong mode, bad update op, ...)."""

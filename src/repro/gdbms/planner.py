@@ -32,7 +32,28 @@ from repro.traversal.regex import (
 )
 from repro.traversal.rpq import rpq_reachable
 
-__all__ = ["IndexPlanner", "PlannerStatistics"]
+__all__ = ["IndexPlanner", "PlannerStatistics", "classify_constraint"]
+
+
+def classify_constraint(
+    constraint: str | RegexNode, max_period: int | None = None
+) -> tuple[str, RegexNode]:
+    """Route a path constraint to the index family that can serve it.
+
+    Returns ``(route, parsed)`` where ``route`` is ``"alternation"``
+    (the §4.1 indexes apply), ``"concatenation"`` (the RLC index
+    applies, subject to ``max_period`` when given), or ``"traversal"``
+    (no Table 2 index covers the shape).  This is the §5 routing
+    decision, shared between the in-process planner and the serving
+    tier so both dispatch identically.
+    """
+    node = parse_constraint(constraint)
+    if alternation_label_set(node) is not None:
+        return "alternation", node
+    sequence = concatenation_sequence(node)
+    if sequence is not None and (max_period is None or len(sequence) <= max_period):
+        return "concatenation", node
+    return "traversal", node
 
 
 @dataclass
@@ -130,13 +151,12 @@ class IndexPlanner:
         self, source: int, target: int, constraint: str | RegexNode
     ) -> bool:
         """Path-constrained reachability, routed by constraint class."""
-        node = parse_constraint(constraint)
-        if alternation_label_set(node) is not None:
+        route, node = classify_constraint(constraint, max_period=self._rlc_max_period)
+        if route == "alternation":
             self._synchronise()
             self._stats.alternation_index += 1
             return self._alternation.query(source, target, node)
-        sequence = concatenation_sequence(node)
-        if sequence is not None and len(sequence) <= self._rlc_max_period:
+        if route == "concatenation":
             self._synchronise()
             index = self._ensure_concatenation()
             self._stats.concatenation_index += 1

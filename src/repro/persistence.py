@@ -17,16 +17,18 @@ import pickle
 from pathlib import Path
 
 from repro.core.base import LabelConstrainedIndex, ReachabilityIndex
-from repro.errors import ReproError
+from repro.errors import PersistenceError
 
-__all__ = ["save_index", "load_index", "peek_index_info", "serialized_size_bytes"]
+__all__ = [
+    "PersistenceError",
+    "save_index",
+    "load_index",
+    "peek_index_info",
+    "serialized_size_bytes",
+]
 
 _MAGIC = b"REPRO-INDEX"
 _VERSION = 1
-
-
-class PersistenceError(ReproError):
-    """A saved-index file is malformed or from an unsupported version."""
 
 
 def save_index(

@@ -1,0 +1,34 @@
+"""The serving tier: concurrent queries over snapshot-isolated indexes.
+
+:class:`ReachabilityService` answers plain and path-constrained
+reachability from many threads while a writer applies update batches —
+readers see immutable epoch-tagged snapshots, never torn state.  The
+supporting cast: an epoch-tagged LRU result cache, an in-flight request
+coalescer, fixed-bucket latency metrics, and a stdlib JSON-over-HTTP
+server (:mod:`repro.service.server`).
+"""
+
+from repro.service.batching import QueryCoalescer, dedupe
+from repro.service.cache import MISS, CacheStatistics, ResultCache
+from repro.service.engine import QueryResult, ReachabilityService, Snapshot
+from repro.service.metrics import (
+    Counter,
+    LatencyHistogram,
+    MetricsRegistry,
+    default_latency_buckets,
+)
+
+__all__ = [
+    "QueryCoalescer",
+    "dedupe",
+    "MISS",
+    "CacheStatistics",
+    "ResultCache",
+    "QueryResult",
+    "ReachabilityService",
+    "Snapshot",
+    "Counter",
+    "LatencyHistogram",
+    "MetricsRegistry",
+    "default_latency_buckets",
+]

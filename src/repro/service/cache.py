@@ -1,0 +1,139 @@
+"""Epoch-tagged LRU result cache for the serving tier.
+
+Reachability answers are tiny (one bit) and workloads are skewed — the
+Wikidata query-log study behind :mod:`repro.workloads.querylog` found
+heavy repetition of identical property paths — so memoising answers in
+front of the index is the cheapest speedup the serving tier has.
+
+Correctness under concurrent updates comes from **epoch tagging**: every
+entry records the snapshot epoch it was computed against, and a lookup
+only hits when the caller's epoch matches the entry's.  A reader holding
+an old snapshot may still be served an old-epoch entry — that *is*
+snapshot isolation — while a reader on the new epoch can never see a
+stale answer, even in the race window between a snapshot swap and the
+writer's cache sweep.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+
+__all__ = ["CacheStatistics", "ResultCache", "MISS"]
+
+
+class _Miss:
+    """Sentinel distinguishing 'not cached' from a cached False."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "MISS"
+
+
+MISS = _Miss()
+
+
+@dataclass(frozen=True)
+class CacheStatistics:
+    """A point-in-time copy of the cache counters."""
+
+    hits: int
+    misses: int
+    evictions: int
+    invalidated_entries: int
+    invalidation_cycles: int
+    size: int
+    capacity: int
+
+    def hit_rate(self) -> float:
+        """hits / (hits + misses), 0.0 when no lookups happened."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class ResultCache:
+    """A bounded LRU of ``key -> (epoch, value)`` with accounting.
+
+    ``get``/``put`` take the caller's snapshot epoch explicitly; an
+    entry written at another epoch is treated as a miss (and dropped on
+    sight, since the epoch it belongs to is unreachable once a newer
+    one exists under the single-writer discipline).
+    """
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self._capacity = capacity
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[object, tuple[int, object]] = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._invalidated_entries = 0
+        self._invalidation_cycles = 0
+
+    def get(self, key: object, epoch: int) -> object:
+        """The cached value for ``key`` at ``epoch``, or :data:`MISS`."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._misses += 1
+                return MISS
+            entry_epoch, value = entry
+            if entry_epoch != epoch:
+                del self._entries[key]
+                self._invalidated_entries += 1
+                self._misses += 1
+                return MISS
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return value
+
+    def put(self, key: object, epoch: int, value: object) -> None:
+        """Remember ``value`` for ``key`` as computed at ``epoch``."""
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = (epoch, value)
+            while len(self._entries) > self._capacity:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+
+    def invalidate_all(self) -> int:
+        """Drop every entry (called on snapshot swap); returns the count."""
+        with self._lock:
+            dropped = len(self._entries)
+            self._entries.clear()
+            self._invalidated_entries += dropped
+            self._invalidation_cycles += 1
+            return dropped
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of entries held."""
+        return self._capacity
+
+    def statistics(self) -> CacheStatistics:
+        """A consistent snapshot of the counters."""
+        with self._lock:
+            return CacheStatistics(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                invalidated_entries=self._invalidated_entries,
+                invalidation_cycles=self._invalidation_cycles,
+                size=len(self._entries),
+                capacity=self._capacity,
+            )
+
+    def __repr__(self) -> str:
+        stats = self.statistics()
+        return (
+            f"ResultCache(size={stats.size}/{stats.capacity}, "
+            f"hits={stats.hits}, misses={stats.misses})"
+        )

@@ -1,0 +1,428 @@
+"""A concurrent reachability query service with snapshot isolation.
+
+This is the serving half of the survey's §5 GDBMS vision: the indexes of
+§3/§4 answer queries in microseconds, but a system that "serves heavy
+traffic" must keep answering *while the graph changes*.  The engine
+separates the two concerns with copy-on-write snapshots:
+
+* **Readers** load the current :class:`Snapshot` — an immutable
+  ``(graph, index, epoch)`` triple — with a single atomic attribute
+  read and answer against it lock-free.  A reader keeps its snapshot
+  for the duration of one query (or one batch), so its answers are
+  exact with respect to a well-defined epoch even mid-update.
+* **A single writer** applies a batch of edge updates from
+  :mod:`repro.workloads.updates` to a *copy* of the current graph,
+  produces a fresh index — rebuilt from scratch, or incrementally
+  patched through the §3.2 dynamic maintenance API (DAGGER, TC, TOL,
+  DLCR, …) on a deep copy — and atomically swaps the new snapshot in.
+  Old snapshots survive as long as some reader holds them; garbage
+  collection retires them.
+
+In front of the index sits an epoch-tagged LRU result cache
+(:mod:`repro.service.cache`) and an in-flight request coalescer
+(:mod:`repro.service.batching`); every answer is tallied per route in a
+:class:`~repro.service.metrics.MetricsRegistry`.  Constraint routing
+reuses :func:`repro.gdbms.planner.classify_constraint` — the planner's
+§5 dispatch decision is the service's routing brain.
+"""
+
+from __future__ import annotations
+
+import copy
+import threading
+import time
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.core.base import LabelConstrainedIndex, ReachabilityIndex
+from repro.core.condensed import CondensedIndex
+from repro.core.registry import labeled_index as labeled_index_cls
+from repro.core.registry import plain_index as plain_index_cls
+from repro.errors import GraphError, ServiceError, UnsupportedOperationError
+from repro.gdbms.planner import classify_constraint
+from repro.graphs.digraph import DiGraph
+from repro.graphs.labeled import LabeledDiGraph
+from repro.graphs.topo import is_dag
+from repro.service.batching import QueryCoalescer, dedupe
+from repro.service.cache import MISS, ResultCache
+from repro.service.metrics import MetricsRegistry
+from repro.traversal.rpq import rpq_reachable
+from repro.workloads.updates import EdgeOp, LabeledEdgeOp
+
+__all__ = ["QueryResult", "ReachabilityService", "Snapshot"]
+
+ROUTES = ("cache", "plain_index", "labeled_index", "traversal")
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """One immutable epoch of the service: graph(s) plus built index(es).
+
+    Nothing in a snapshot is mutated after the constructor returns; the
+    writer always derives the next epoch from copies.
+    """
+
+    epoch: int
+    graph: DiGraph
+    plain: ReachabilityIndex
+    labeled_graph: LabeledDiGraph | None = None
+    labeled: LabelConstrainedIndex | None = None
+
+    def __repr__(self) -> str:
+        return (
+            f"Snapshot(epoch={self.epoch}, |V|={self.graph.num_vertices}, "
+            f"|E|={self.graph.num_edges})"
+        )
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """One answered query: the answer plus its provenance."""
+
+    answer: bool
+    epoch: int
+    route: str  # "cache" | "plain_index" | "labeled_index" | "traversal"
+    shared: bool = False  # True when coalesced onto another thread's flight
+
+
+class ReachabilityService:
+    """Thread-safe reachability serving over any registered index.
+
+    Construct over a :class:`DiGraph` (plain mode: :meth:`reach` only)
+    or a :class:`LabeledDiGraph` (labeled mode: :meth:`reach` answers
+    through a plain index over the label-forgetting projection,
+    :meth:`lreach` routes alternation constraints to the labeled index
+    and everything else to automaton-guided traversal).
+
+    ``rebuild="always"`` forces full index reconstruction on every
+    update batch; the default ``"auto"`` patches dynamic indexes
+    incrementally on a deep copy and falls back to rebuilding when the
+    index family does not support the operation (§3.2's Table 1
+    "dynamic" column decides).
+    """
+
+    def __init__(
+        self,
+        graph: DiGraph | LabeledDiGraph,
+        *,
+        index: str = "PLL",
+        labeled_index: str | None = "DLCR",
+        cache_capacity: int | None = 4096,
+        coalesce: bool = True,
+        rebuild: str = "auto",
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        if rebuild not in ("auto", "always"):
+            raise ServiceError(f"rebuild must be 'auto' or 'always', got {rebuild!r}")
+        self._plain_name = index
+        self._labeled_name = labeled_index
+        self._rebuild_policy = rebuild
+        self._metrics = metrics if metrics is not None else MetricsRegistry()
+        self._cache = (
+            ResultCache(cache_capacity) if cache_capacity else None
+        )
+        self._coalescer = QueryCoalescer() if coalesce else None
+        self._writer_lock = threading.Lock()
+        for route in ROUTES:
+            self._metrics.counter(f"service.queries.{route}")
+            self._metrics.histogram(f"service.latency.{route}")
+        self._metrics.counter("service.swaps")
+        self._metrics.counter("service.updates_applied")
+        self._metrics.counter("service.rebuilds")
+        self._metrics.counter("service.patches")
+        if isinstance(graph, LabeledDiGraph):
+            self._labeled_mode = True
+            self._snapshot = self._labeled_snapshot(epoch=0, labeled=graph.copy())
+        elif isinstance(graph, DiGraph):
+            self._labeled_mode = False
+            working = graph.copy()
+            self._snapshot = Snapshot(
+                epoch=0, graph=working, plain=self._build_plain(working)
+            )
+        else:
+            raise ServiceError(
+                f"service needs a DiGraph or LabeledDiGraph, got {type(graph).__name__}"
+            )
+
+    # -- snapshot construction -------------------------------------------
+    def _build_plain(self, graph: DiGraph) -> ReachabilityIndex:
+        cls = plain_index_cls(self._plain_name)
+        if cls.metadata.input_kind == "DAG" and not is_dag(graph):
+            return CondensedIndex.build(graph, inner=cls)
+        return cls.build(graph)
+
+    def _labeled_snapshot(self, epoch: int, labeled: LabeledDiGraph) -> Snapshot:
+        """A fresh fully-rebuilt snapshot over ``labeled`` (writer-owned)."""
+        plain_view = labeled.to_plain()
+        constrained = None
+        if self._labeled_name is not None:
+            constrained = labeled_index_cls(self._labeled_name).build(labeled)
+        return Snapshot(
+            epoch=epoch,
+            graph=plain_view,
+            plain=self._build_plain(plain_view),
+            labeled_graph=labeled,
+            labeled=constrained,
+        )
+
+    # -- reader API ------------------------------------------------------
+    def acquire(self) -> Snapshot:
+        """The current snapshot (atomic read; hold it as long as needed)."""
+        return self._snapshot
+
+    @property
+    def epoch(self) -> int:
+        """Epoch of the current snapshot."""
+        return self._snapshot.epoch
+
+    @property
+    def labeled_mode(self) -> bool:
+        """True when constructed over a labeled graph."""
+        return self._labeled_mode
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """The service's metrics registry."""
+        return self._metrics
+
+    def reach(self, source: int, target: int) -> bool:
+        """Plain reachability at the current epoch."""
+        return self.reach_ex(source, target).answer
+
+    def reach_ex(self, source: int, target: int) -> QueryResult:
+        """Plain reachability with epoch/route provenance."""
+        snap = self._snapshot
+        return self._serve(snap, (int(source), int(target), None))
+
+    def lreach(self, source: int, target: int, constraint: str) -> bool:
+        """Path-constrained reachability at the current epoch."""
+        return self.lreach_ex(source, target, constraint).answer
+
+    def lreach_ex(self, source: int, target: int, constraint: str) -> QueryResult:
+        """Path-constrained reachability with epoch/route provenance."""
+        if not self._labeled_mode:
+            raise ServiceError(
+                "constrained queries need a service built over a LabeledDiGraph"
+            )
+        snap = self._snapshot
+        return self._serve(snap, (int(source), int(target), str(constraint)))
+
+    def batch(
+        self, queries: Sequence[tuple[int, int] | tuple[int, int, str | None]]
+    ) -> list[QueryResult]:
+        """Answer a batch against ONE snapshot, deduplicating within it.
+
+        Every result carries the same epoch: the whole batch is evaluated
+        against a single snapshot acquisition.
+        """
+        snap = self._snapshot
+        keys = [
+            (int(q[0]), int(q[1]), str(q[2]) if len(q) > 2 and q[2] is not None else None)
+            for q in queries
+        ]
+        unique, back_refs = dedupe(keys)
+        answered = [self._serve(snap, key) for key in unique]
+        return [answered[slot] for slot in back_refs]
+
+    # -- query evaluation ------------------------------------------------
+    def _serve(self, snap: Snapshot, key: tuple[int, int, str | None]) -> QueryResult:
+        start = time.perf_counter()
+        if self._cache is not None:
+            hit = self._cache.get(key, snap.epoch)
+            if hit is not MISS:
+                self._record("cache", start)
+                return QueryResult(bool(hit), snap.epoch, "cache")
+        if self._coalescer is not None:
+            (answer, route), shared = self._coalescer.run(
+                (key, snap.epoch), lambda: self._evaluate(snap, key)
+            )
+        else:
+            (answer, route), shared = self._evaluate(snap, key), False
+        if self._cache is not None:
+            self._cache.put(key, snap.epoch, answer)
+        self._record(route, start)
+        return QueryResult(answer, snap.epoch, route, shared)
+
+    def _evaluate(self, snap: Snapshot, key: tuple[int, int, str | None]) -> tuple[bool, str]:
+        source, target, constraint = key
+        if constraint is None:
+            return snap.plain.query(source, target), "plain_index"
+        route, node = classify_constraint(constraint)
+        if route == "alternation" and snap.labeled is not None:
+            return snap.labeled.query(source, target, node), "labeled_index"
+        # Concatenation (no RLC maintained here) and §5's uncovered
+        # shapes both fall back to automaton-guided traversal.
+        return rpq_reachable(snap.labeled_graph, source, target, node), "traversal"
+
+    def _record(self, route: str, start: float) -> None:
+        elapsed = time.perf_counter() - start
+        self._metrics.counter(f"service.queries.{route}").increment()
+        self._metrics.histogram(f"service.latency.{route}").observe(elapsed)
+
+    # -- writer API ------------------------------------------------------
+    def apply_updates(self, ops: Sequence[EdgeOp | LabeledEdgeOp]) -> int:
+        """Apply one update batch and swap in the next epoch.
+
+        Accepts :class:`EdgeOp` streams in plain mode and
+        :class:`LabeledEdgeOp` streams in labeled mode (the
+        :mod:`repro.workloads.updates` generators).  Serialised across
+        callers by an internal writer lock; returns the new epoch.
+        """
+        ops = list(ops)
+        with self._writer_lock:
+            snap = self._snapshot
+            if self._labeled_mode:
+                new_snap = self._next_labeled(snap, ops)
+            else:
+                new_snap = self._next_plain(snap, ops)
+            self._snapshot = new_snap
+            if self._cache is not None:
+                self._cache.invalidate_all()
+            self._metrics.counter("service.swaps").increment()
+            self._metrics.counter("service.updates_applied").increment(len(ops))
+            return new_snap.epoch
+
+    def _next_plain(self, snap: Snapshot, ops: list[EdgeOp]) -> Snapshot:
+        for op in ops:
+            if not isinstance(op, EdgeOp):
+                raise ServiceError(
+                    f"plain-mode service takes EdgeOp updates, got {type(op).__name__}"
+                )
+        patched = self._try_patch_plain(snap, ops)
+        if patched is not None:
+            self._metrics.counter("service.patches").increment()
+            return Snapshot(epoch=snap.epoch + 1, graph=patched.graph, plain=patched)
+        graph = snap.graph.copy()
+        for op in ops:
+            if op.kind == "insert":
+                graph.add_edge(op.source, op.target)
+            else:
+                graph.remove_edge(op.source, op.target)
+        self._metrics.counter("service.rebuilds").increment()
+        return Snapshot(epoch=snap.epoch + 1, graph=graph, plain=self._build_plain(graph))
+
+    def _try_patch_plain(
+        self, snap: Snapshot, ops: list[EdgeOp]
+    ) -> ReachabilityIndex | None:
+        """Incrementally patch a deep copy of a dynamic index, or None."""
+        if self._rebuild_policy == "always" or isinstance(snap.plain, CondensedIndex):
+            return None
+        dynamic = snap.plain.metadata.dynamic
+        if dynamic == "no":
+            return None
+        if dynamic == "insert-only" and any(op.kind != "insert" for op in ops):
+            return None
+        index = copy.deepcopy(snap.plain)
+        try:
+            for op in ops:
+                if op.kind == "insert":
+                    index.insert_edge(op.source, op.target)
+                else:
+                    index.delete_edge(op.source, op.target)
+        except (UnsupportedOperationError, GraphError):
+            return None  # e.g. a cycle-creating insert on a DAG-only index
+        return index
+
+    def _next_labeled(self, snap: Snapshot, ops: list[LabeledEdgeOp]) -> Snapshot:
+        for op in ops:
+            if not isinstance(op, LabeledEdgeOp):
+                raise ServiceError(
+                    "labeled-mode service takes LabeledEdgeOp updates, "
+                    f"got {type(op).__name__}"
+                )
+        patched = self._try_patch_labeled(snap, ops)
+        if patched is not None:
+            labeled_graph = patched.graph
+            plain_view = labeled_graph.to_plain()
+            self._metrics.counter("service.patches").increment()
+            return Snapshot(
+                epoch=snap.epoch + 1,
+                graph=plain_view,
+                plain=self._build_plain(plain_view),
+                labeled_graph=labeled_graph,
+                labeled=patched,
+            )
+        labeled_graph = snap.labeled_graph.copy()
+        for op in ops:
+            if op.kind == "insert":
+                labeled_graph.add_edge(op.source, op.target, op.label)
+            else:
+                labeled_graph.remove_edge(op.source, op.target, op.label)
+        self._metrics.counter("service.rebuilds").increment()
+        return self._labeled_snapshot(epoch=snap.epoch + 1, labeled=labeled_graph)
+
+    def _try_patch_labeled(
+        self, snap: Snapshot, ops: list[LabeledEdgeOp]
+    ) -> LabelConstrainedIndex | None:
+        if (
+            self._rebuild_policy == "always"
+            or snap.labeled is None
+            or snap.labeled.metadata.dynamic != "yes"
+        ):
+            return None
+        index = copy.deepcopy(snap.labeled)
+        try:
+            for op in ops:
+                if op.kind == "insert":
+                    index.insert_edge(op.source, op.target, op.label)
+                else:
+                    index.delete_edge(op.source, op.target, op.label)
+        except (UnsupportedOperationError, GraphError):
+            return None
+        return index
+
+    # -- observability ---------------------------------------------------
+    def metrics_dict(self) -> dict[str, object]:
+        """Counters, histograms, cache and coalescer state as one dict."""
+        root = self._metrics.as_dict()
+        service = root.setdefault("service", {})
+        assert isinstance(service, dict)
+        service["epoch"] = self.epoch
+        service["mode"] = "labeled" if self._labeled_mode else "plain"
+        service["index"] = self._plain_name
+        if self._cache is not None:
+            stats = self._cache.statistics()
+            root["cache"] = {
+                "hits": stats.hits,
+                "misses": stats.misses,
+                "evictions": stats.evictions,
+                "invalidated_entries": stats.invalidated_entries,
+                "invalidation_cycles": stats.invalidation_cycles,
+                "size": stats.size,
+                "capacity": stats.capacity,
+                "hit_rate": stats.hit_rate(),
+            }
+        if self._coalescer is not None:
+            root["coalescer"] = {
+                "led": self._coalescer.led,
+                "coalesced": self._coalescer.coalesced,
+            }
+        return root
+
+    def metrics_text(self) -> str:
+        """Flat ``name value`` exposition of :meth:`metrics_dict`."""
+        lines: list[str] = []
+
+        def walk(prefix: str, node: object) -> None:
+            if isinstance(node, dict):
+                for key, value in sorted(node.items()):
+                    walk(f"{prefix}_{key}" if prefix else str(key), value)
+            elif isinstance(node, bool):
+                lines.append(f"{prefix} {int(node)}")
+            elif isinstance(node, float):
+                lines.append(f"{prefix} {node:.9f}")
+            elif isinstance(node, int):
+                lines.append(f"{prefix} {node}")
+            else:
+                lines.append(f'{prefix} "{node}"')
+
+        walk("", self.metrics_dict())
+        return "\n".join(lines) + "\n"
+
+    def __repr__(self) -> str:
+        snap = self._snapshot
+        return (
+            f"ReachabilityService(epoch={snap.epoch}, index={self._plain_name!r}, "
+            f"|V|={snap.graph.num_vertices}, |E|={snap.graph.num_edges}, "
+            f"mode={'labeled' if self._labeled_mode else 'plain'})"
+        )

@@ -1,0 +1,198 @@
+"""A stdlib JSON-over-HTTP front door for the reachability service.
+
+``ThreadingHTTPServer`` gives one thread per connection, which is
+exactly the concurrency shape the engine is built for: every request
+thread is a lock-free snapshot reader, and ``POST /update`` funnels into
+the engine's single-writer path.
+
+Routes
+------
+``GET /healthz``
+    ``{"status": "ok", "epoch": N}`` — liveness plus current epoch.
+``GET /reach?source=S&target=T``
+    Plain reachability; answer plus epoch/route provenance.
+``GET /lreach?source=S&target=T&constraint=C``
+    Path-constrained reachability (labeled mode only).
+``POST /update``
+    Body ``{"ops": [{"kind": "insert", "source": 0, "target": 1,
+    "label": "a"}, ...]}`` (``label`` only in labeled mode).  Applies
+    the batch as one snapshot swap and returns the new epoch.
+``GET /metrics``
+    Flat text exposition; ``?format=json`` for the nested dict.
+
+Errors are JSON too: 400 for malformed requests, 404 for unknown paths.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlsplit
+
+from repro.errors import ReproError
+from repro.service.engine import QueryResult, ReachabilityService
+from repro.workloads.updates import EdgeOp, LabeledEdgeOp
+
+__all__ = ["ServiceHTTPServer", "serve"]
+
+
+class ServiceHTTPServer(ThreadingHTTPServer):
+    """A threading HTTP server bound to one :class:`ReachabilityService`."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        service: ReachabilityService,
+        quiet: bool = True,
+    ) -> None:
+        super().__init__(address, _Handler)
+        self.service = service
+        self.quiet = quiet
+
+    def start_background(self) -> threading.Thread:
+        """Run ``serve_forever`` on a daemon thread (tests, embedding)."""
+        thread = threading.Thread(target=self.serve_forever, daemon=True)
+        thread.start()
+        return thread
+
+
+def serve(
+    service: ReachabilityService,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    quiet: bool = True,
+) -> ServiceHTTPServer:
+    """Bind a :class:`ServiceHTTPServer`; call ``serve_forever`` to run."""
+    return ServiceHTTPServer((host, port), service, quiet=quiet)
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server: ServiceHTTPServer
+
+    # -- plumbing --------------------------------------------------------
+    def log_message(self, format: str, *args: object) -> None:  # noqa: A002
+        if not self.server.quiet:
+            super().log_message(format, *args)
+
+    def _send(self, status: int, body: bytes, content_type: str) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_json(self, status: int, payload: dict[str, object]) -> None:
+        self._send(
+            status,
+            json.dumps(payload).encode() + b"\n",
+            "application/json; charset=utf-8",
+        )
+
+    def _error(self, status: int, message: str) -> None:
+        self._send_json(status, {"error": message})
+
+    def _params(self) -> dict[str, str]:
+        query = parse_qs(urlsplit(self.path).query)
+        return {key: values[-1] for key, values in query.items()}
+
+    def _vertex(self, params: dict[str, str], name: str) -> int:
+        try:
+            return int(params[name])
+        except KeyError:
+            raise ValueError(f"missing parameter {name!r}") from None
+        except ValueError:
+            raise ValueError(f"parameter {name!r} must be an integer") from None
+
+    def _query_payload(self, result: QueryResult) -> dict[str, object]:
+        return {
+            "reachable": result.answer,
+            "epoch": result.epoch,
+            "route": result.route,
+            "shared": result.shared,
+        }
+
+    # -- routes ----------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        path = urlsplit(self.path).path
+        service = self.server.service
+        try:
+            if path == "/healthz":
+                self._send_json(200, {"status": "ok", "epoch": service.epoch})
+            elif path == "/reach":
+                params = self._params()
+                result = service.reach_ex(
+                    self._vertex(params, "source"), self._vertex(params, "target")
+                )
+                self._send_json(200, self._query_payload(result))
+            elif path == "/lreach":
+                params = self._params()
+                constraint = params.get("constraint")
+                if constraint is None:
+                    raise ValueError("missing parameter 'constraint'")
+                result = service.lreach_ex(
+                    self._vertex(params, "source"),
+                    self._vertex(params, "target"),
+                    constraint,
+                )
+                self._send_json(200, self._query_payload(result))
+            elif path == "/metrics":
+                if self._params().get("format") == "json":
+                    self._send_json(200, service.metrics_dict())
+                else:
+                    self._send(
+                        200,
+                        service.metrics_text().encode(),
+                        "text/plain; charset=utf-8",
+                    )
+            else:
+                self._error(404, f"unknown path {path!r}")
+        except (ValueError, ReproError) as exc:
+            self._error(400, str(exc))
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        path = urlsplit(self.path).path
+        service = self.server.service
+        if path != "/update":
+            self._error(404, f"unknown path {path!r}")
+            return
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+            try:
+                body = json.loads(self.rfile.read(length) or b"{}")
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"invalid JSON body: {exc}") from None
+            ops = _parse_ops(body, labeled=service.labeled_mode)
+            epoch = service.apply_updates(ops)
+            self._send_json(200, {"epoch": epoch, "applied": len(ops)})
+        except (ValueError, ReproError) as exc:
+            self._error(400, str(exc))
+
+
+def _parse_ops(body: object, labeled: bool) -> list[EdgeOp | LabeledEdgeOp]:
+    if not isinstance(body, dict) or not isinstance(body.get("ops"), list):
+        raise ValueError('body must be {"ops": [...]}')
+    ops: list[EdgeOp | LabeledEdgeOp] = []
+    for position, raw in enumerate(body["ops"]):
+        if not isinstance(raw, dict):
+            raise ValueError(f"ops[{position}] must be an object")
+        kind = raw.get("kind")
+        if kind not in ("insert", "delete"):
+            raise ValueError(f"ops[{position}].kind must be 'insert' or 'delete'")
+        try:
+            source = int(raw["source"])
+            target = int(raw["target"])
+        except (KeyError, TypeError, ValueError):
+            raise ValueError(
+                f"ops[{position}] needs integer 'source' and 'target'"
+            ) from None
+        if labeled:
+            label = raw.get("label")
+            if not isinstance(label, str):
+                raise ValueError(f"ops[{position}] needs a string 'label'")
+            ops.append(LabeledEdgeOp(kind, source, target, label))
+        else:
+            ops.append(EdgeOp(kind, source, target))
+    return ops

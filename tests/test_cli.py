@@ -96,6 +96,43 @@ class TestPersistenceCommands:
         out = capsys.readouterr().out
         assert "PLLIndex" in out
 
+    def test_query_from_saved_index(self, edge_list_file, capsys, tmp_path):
+        path, graph = edge_list_file
+        saved = tmp_path / "idx.repro"
+        assert main(["build", str(path), "--index", "PLL", "--save", str(saved)]) == 0
+        u, v = next(iter(graph.edges()))
+        code = main(["query", str(path), str(u), str(v), "--load", str(saved)])
+        assert code == 0
+        assert "true" in capsys.readouterr().out
+
+    def test_lquery_from_saved_index(self, labeled_file, capsys, tmp_path):
+        from repro.core.registry import labeled_index
+        from repro.graphs.io import read_labeled_edge_list
+        from repro.persistence import save_index
+
+        path, graph = labeled_file
+        built_graph, _ids = read_labeled_edge_list(path)
+        saved = tmp_path / "p2h.repro"
+        save_index(labeled_index("P2H+").build(built_graph), saved)
+        u, v, label = next(iter(graph.edges()))
+        code = main(
+            ["lquery", str(path), str(u), str(v), f"({label})*", "--load", str(saved)]
+        )
+        assert code == 0
+        assert "true" in capsys.readouterr().out
+
+    def test_query_load_rejects_labeled_index(self, edge_list_file, labeled_file, tmp_path):
+        from repro.core.registry import labeled_index
+        from repro.graphs.io import read_labeled_edge_list
+        from repro.persistence import save_index
+
+        path, _graph = edge_list_file
+        lpath, _lgraph = labeled_file
+        built_graph, _ids = read_labeled_edge_list(lpath)
+        saved = tmp_path / "wrong.repro"
+        save_index(labeled_index("P2H+").build(built_graph), saved)
+        assert main(["query", str(path), "0", "1", "--load", str(saved)]) == 2
+
 
 class TestExperimentCommand:
     def test_orders_experiment(self, capsys):

@@ -1,0 +1,59 @@
+"""Persistence round-trips over *every* registered index family.
+
+``tests/test_persistence.py`` spot-checks a handful of families; this
+matrix proves the save/load container works for the whole registry —
+build, save, load, then verify the loaded index answers exactly like the
+online oracle on every vertex pair of a small graph.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.registry import all_labeled_indexes, all_plain_indexes
+from repro.graphs.generators import random_dag, random_labeled_digraph
+from repro.persistence import load_index, save_index
+from repro.traversal.online import bfs_reachable
+from repro.traversal.rpq import rpq_reachable
+
+PLAIN = all_plain_indexes()
+LABELED = all_labeled_indexes()
+
+
+@pytest.fixture(scope="module")
+def dag():
+    # A DAG satisfies every plain family's input assumption (Table 1).
+    return random_dag(12, 26, seed=401)
+
+
+@pytest.fixture(scope="module")
+def labeled_graph():
+    return random_labeled_digraph(10, 24, ["a", "b"], seed=402)
+
+
+@pytest.mark.parametrize("name", sorted(PLAIN))
+def test_every_plain_family_round_trips(tmp_path, dag, name):
+    index = PLAIN[name].build(dag)
+    path = tmp_path / "index.repro"
+    save_index(index, path)
+    loaded = load_index(path)
+    assert type(loaded) is type(index)
+    for s in range(dag.num_vertices):
+        for t in range(dag.num_vertices):
+            assert loaded.query(s, t) == bfs_reachable(dag, s, t), (name, s, t)
+
+
+@pytest.mark.parametrize("name", sorted(LABELED))
+def test_every_labeled_family_round_trips(tmp_path, labeled_graph, name):
+    cls = LABELED[name]
+    index = cls.build(labeled_graph)
+    path = tmp_path / "index.repro"
+    save_index(index, path)
+    loaded = load_index(path)
+    assert type(loaded) is type(index)
+    # Concatenation-only families (RLC) cannot take alternation queries.
+    constraint = "(a . b)*" if cls.metadata.constraint == "Concatenation" else "(a | b)*"
+    for s in range(labeled_graph.num_vertices):
+        for t in range(labeled_graph.num_vertices):
+            expected = rpq_reachable(labeled_graph, s, t, constraint)
+            assert loaded.query(s, t, constraint) == expected, (name, s, t)

@@ -1,0 +1,382 @@
+"""Tests for the serving tier: engine, cache, coalescing, metrics.
+
+The centrepiece is the hammer test: N reader threads assert
+oracle-consistent answers *at their observed epoch* while a writer
+applies update batches — snapshot isolation means no torn reads, no
+exceptions, and a cache that never serves a stale epoch.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.graphs.generators import random_dag, random_labeled_digraph
+from repro.service import (
+    MISS,
+    LatencyHistogram,
+    MetricsRegistry,
+    QueryCoalescer,
+    ReachabilityService,
+    ResultCache,
+    dedupe,
+)
+from repro.traversal.online import bfs_reachable
+from repro.traversal.rpq import rpq_reachable
+from repro.workloads.updates import labeled_update_stream, update_stream
+
+
+class TestMetrics:
+    def test_counter_monotone(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("a.b")
+        counter.increment()
+        counter.increment(4)
+        assert counter.value == 5
+        with pytest.raises(ValueError):
+            counter.increment(-1)
+
+    def test_histogram_percentiles_bracket_samples(self):
+        hist = LatencyHistogram()
+        for _ in range(99):
+            hist.observe(1e-4)
+        hist.observe(2.0)
+        assert hist.count == 100
+        # p50 lands in the 1e-4 bucket; p99's bucket must not exceed
+        # the next bound above 2.0, and the bucket bound is an upper
+        # estimate of the true sample.
+        assert 1e-4 <= hist.percentile(50) < 2.5e-4
+        assert hist.percentile(99.5) >= 2.0
+        summary = hist.summary()
+        assert summary["count"] == 100
+        assert summary["max_s"] == 2.0
+
+    def test_histogram_overflow_uses_observed_max(self):
+        hist = LatencyHistogram(buckets=(0.001, 0.01))
+        hist.observe(5.0)
+        assert hist.percentile(99) == 5.0
+
+    def test_registry_dict_and_text(self):
+        registry = MetricsRegistry()
+        registry.counter("service.queries.cache").increment(3)
+        registry.histogram("service.latency.cache").observe(0.001)
+        tree = registry.as_dict()
+        assert tree["service"]["queries"]["cache"] == 3
+        assert tree["service"]["latency"]["cache"]["count"] == 1
+        text = registry.render_text()
+        assert "service_queries_cache 3" in text
+        assert "service_latency_cache_count 1" in text
+
+    def test_name_kind_collision_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError):
+            registry.histogram("x")
+
+
+class TestResultCache:
+    def test_epoch_mismatch_is_a_miss(self):
+        cache = ResultCache(capacity=8)
+        cache.put(("k",), 0, True)
+        assert cache.get(("k",), 0) is True
+        assert cache.get(("k",), 1) is MISS  # stale entry dropped on sight
+        assert cache.get(("k",), 0) is MISS  # ... and really gone
+        stats = cache.statistics()
+        assert stats.hits == 1 and stats.misses == 2
+        assert stats.invalidated_entries == 1
+
+    def test_lru_eviction(self):
+        cache = ResultCache(capacity=2)
+        cache.put("a", 0, 1)
+        cache.put("b", 0, 2)
+        assert cache.get("a", 0) == 1  # refresh a
+        cache.put("c", 0, 3)  # evicts b
+        assert cache.get("b", 0) is MISS
+        assert cache.get("a", 0) == 1
+        assert cache.statistics().evictions == 1
+
+    def test_invalidate_all_counts_cycles(self):
+        cache = ResultCache(capacity=8)
+        cache.put("a", 0, 1)
+        cache.put("b", 0, 2)
+        assert cache.invalidate_all() == 2
+        stats = cache.statistics()
+        assert stats.invalidation_cycles == 1
+        assert stats.invalidated_entries == 2
+        assert stats.size == 0
+
+
+class TestBatching:
+    def test_dedupe_fan_out(self):
+        unique, refs = dedupe([("a",), ("b",), ("a",), ("a",)])
+        assert unique == [("a",), ("b",)]
+        assert refs == [0, 1, 0, 0]
+
+    def test_coalescer_single_thread_leads(self):
+        coalescer = QueryCoalescer()
+        result, shared = coalescer.run("k", lambda: 42)
+        assert result == 42 and shared is False
+        assert coalescer.led == 1 and coalescer.coalesced == 0
+
+    def test_coalescer_shares_inflight_result(self):
+        coalescer = QueryCoalescer()
+        release = threading.Event()
+        entered = threading.Event()
+        results = []
+
+        def slow():
+            entered.set()
+            release.wait(5.0)
+            return "answer"
+
+        def leader():
+            results.append(coalescer.run("k", slow))
+
+        def follower():
+            entered.wait(5.0)
+            results.append(coalescer.run("k", lambda: "other"))
+
+        threads = [threading.Thread(target=leader), threading.Thread(target=follower)]
+        threads[0].start()
+        entered.wait(5.0)
+        threads[1].start()
+        # Give the follower a moment to register on the in-flight entry.
+        for _ in range(1000):
+            if coalescer.coalesced:
+                break
+            threading.Event().wait(0.001)
+        release.set()
+        for thread in threads:
+            thread.join(5.0)
+        assert ("answer", False) in results
+        assert ("answer", True) in results
+
+    def test_coalescer_propagates_errors(self):
+        coalescer = QueryCoalescer()
+
+        def boom():
+            raise RuntimeError("nope")
+
+        with pytest.raises(RuntimeError):
+            coalescer.run("k", boom)
+        # The failed flight is cleared; the key is usable again.
+        assert coalescer.run("k", lambda: 1) == (1, False)
+
+
+class TestEngineBasics:
+    def test_plain_answers_match_bfs(self):
+        graph = random_dag(30, 70, seed=501)
+        service = ReachabilityService(graph, index="GRAIL")
+        for s in range(0, 30, 3):
+            for t in range(30):
+                assert service.reach(s, t) == bfs_reachable(graph, s, t)
+
+    def test_second_lookup_hits_cache(self):
+        graph = random_dag(20, 40, seed=502)
+        service = ReachabilityService(graph)
+        first = service.reach_ex(0, 10)
+        second = service.reach_ex(0, 10)
+        assert first.route == "plain_index"
+        assert second.route == "cache"
+        assert first.answer == second.answer
+        assert service.metrics_dict()["cache"]["hits"] == 1
+
+    def test_cache_disabled(self):
+        graph = random_dag(20, 40, seed=503)
+        service = ReachabilityService(graph, cache_capacity=None)
+        service.reach(0, 10)
+        result = service.reach_ex(0, 10)
+        assert result.route == "plain_index"
+        assert "cache" not in service.metrics_dict()
+
+    def test_labeled_routing(self):
+        graph = random_labeled_digraph(18, 45, ["a", "b"], seed=504)
+        service = ReachabilityService(graph)
+        alternation = service.lreach_ex(0, 5, "(a | b)*")
+        assert alternation.route == "labeled_index"
+        mixed = service.lreach_ex(0, 5, "a . (a | b)*")
+        assert mixed.route == "traversal"
+        assert alternation.answer == rpq_reachable(graph, 0, 5, "(a | b)*")
+        assert mixed.answer == rpq_reachable(graph, 0, 5, "a . (a | b)*")
+
+    def test_lreach_requires_labeled_mode(self):
+        service = ReachabilityService(random_dag(10, 15, seed=505))
+        with pytest.raises(ServiceError):
+            service.lreach(0, 1, "(a)*")
+
+    def test_batch_single_snapshot_and_dedupe(self):
+        graph = random_labeled_digraph(15, 35, ["a", "b"], seed=506)
+        service = ReachabilityService(graph)
+        results = service.batch([(0, 3), (0, 3), (1, 4, "(a | b)*"), (0, 3)])
+        assert len(results) == 4
+        assert len({r.epoch for r in results}) == 1
+        assert results[0] is results[1] is results[3]
+        # Deduped copies were answered once: one plain_index evaluation.
+        queries = service.metrics_dict()["service"]["queries"]
+        assert queries["plain_index"] == 1
+
+    def test_updates_swap_epochs_and_clear_cache(self):
+        graph = random_dag(25, 55, seed=507)
+        service = ReachabilityService(graph, index="GRAIL")
+        service.reach(0, 12)
+        ops = update_stream(graph, 10, seed=508)
+        assert service.apply_updates(ops) == 1
+        working = graph.copy()
+        for op in ops:
+            if op.kind == "insert":
+                working.add_edge(op.source, op.target)
+            else:
+                working.remove_edge(op.source, op.target)
+        for s in range(0, 25, 5):
+            for t in range(25):
+                assert service.reach(s, t) == bfs_reachable(working, s, t)
+        metrics = service.metrics_dict()
+        assert metrics["service"]["epoch"] == 1
+        assert metrics["service"]["swaps"] == 1
+        assert metrics["cache"]["invalidation_cycles"] == 1
+
+    def test_dynamic_plain_index_is_patched(self):
+        graph = random_dag(25, 55, seed=509)
+        service = ReachabilityService(graph, index="TOL")
+        ops = update_stream(graph, 8, seed=510, keep_acyclic=True)
+        service.apply_updates(ops)
+        working = graph.copy()
+        for op in ops:
+            if op.kind == "insert":
+                working.add_edge(op.source, op.target)
+            else:
+                working.remove_edge(op.source, op.target)
+        for s in range(0, 25, 4):
+            for t in range(25):
+                assert service.reach(s, t) == bfs_reachable(working, s, t)
+        metrics = service.metrics_dict()["service"]
+        assert metrics["patches"] == 1
+        assert metrics["rebuilds"] == 0
+
+    def test_rebuild_always_policy(self):
+        graph = random_dag(25, 55, seed=511)
+        service = ReachabilityService(graph, index="TOL", rebuild="always")
+        service.apply_updates(update_stream(graph, 8, seed=512, keep_acyclic=True))
+        metrics = service.metrics_dict()["service"]
+        assert metrics["patches"] == 0
+        assert metrics["rebuilds"] == 1
+
+    def test_wrong_op_type_rejected(self):
+        graph = random_dag(10, 15, seed=513)
+        service = ReachabilityService(graph)
+        labeled = random_labeled_digraph(10, 15, ["a"], seed=514)
+        ops = labeled_update_stream(labeled, 2, seed=515)
+        with pytest.raises(ServiceError):
+            service.apply_updates(ops)
+
+    def test_metrics_text_renders(self):
+        graph = random_dag(10, 15, seed=516)
+        service = ReachabilityService(graph)
+        service.reach(0, 5)
+        text = service.metrics_text()
+        assert "service_epoch 0" in text
+        assert "cache_hits 0" in text
+
+
+def _run_hammer(service, epoch_graphs, readers, queries_per_reader, check):
+    """Readers verify answers against the oracle of their observed epoch."""
+    errors: list[BaseException] = []
+    start = threading.Barrier(readers + 1)
+
+    def reader(seed):
+        import random
+
+        rng = random.Random(seed)
+        n = epoch_graphs[0].num_vertices
+        try:
+            start.wait(10.0)
+            for _ in range(queries_per_reader):
+                s = rng.randrange(n)
+                t = rng.randrange(n)
+                check(service, epoch_graphs, s, t)
+        except BaseException as exc:  # noqa: BLE001 — surfaced in the main thread
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=reader, args=(900 + i,)) for i in range(readers)
+    ]
+    for thread in threads:
+        thread.start()
+    start.wait(10.0)
+    return threads, errors
+
+
+class TestSnapshotIsolationHammer:
+    """The ISSUE acceptance test: concurrent readers vs a batching writer."""
+
+    @pytest.mark.parametrize("index", ["GRAIL", "TC"])  # rebuild vs patch paths
+    def test_plain_hammer(self, index):
+        graph = random_dag(50, 120, seed=601)
+        stream = update_stream(graph, 40, seed=602)
+        batches = [stream[i : i + 8] for i in range(0, 40, 8)]
+        # Per-epoch oracle graphs: epoch e == first e batches applied.
+        epoch_graphs = [graph.copy()]
+        for batch in batches:
+            working = epoch_graphs[-1].copy()
+            for op in batch:
+                if op.kind == "insert":
+                    working.add_edge(op.source, op.target)
+                else:
+                    working.remove_edge(op.source, op.target)
+            epoch_graphs.append(working)
+        service = ReachabilityService(graph, index=index, cache_capacity=512)
+
+        def check(svc, oracles, s, t):
+            result = svc.reach_ex(s, t)
+            assert 0 <= result.epoch < len(oracles)
+            expected = bfs_reachable(oracles[result.epoch], s, t)
+            assert result.answer == expected, (s, t, result)
+
+        threads, errors = _run_hammer(
+            service, epoch_graphs, readers=4, queries_per_reader=150, check=check
+        )
+        for batch in batches:
+            service.apply_updates(batch)
+        for thread in threads:
+            thread.join(30.0)
+        assert not errors, errors[:3]
+        metrics = service.metrics_dict()
+        assert metrics["service"]["epoch"] == len(batches)
+        assert metrics["service"]["swaps"] == len(batches)
+        assert metrics["cache"]["invalidation_cycles"] == len(batches)
+        assert metrics["service"]["updates_applied"] == sum(len(b) for b in batches)
+
+    def test_labeled_hammer(self):
+        graph = random_labeled_digraph(30, 80, ["a", "b", "c"], seed=603)
+        stream = labeled_update_stream(graph, 24, seed=604)
+        batches = [stream[i : i + 6] for i in range(0, 24, 6)]
+        epoch_graphs = [graph.copy()]
+        for batch in batches:
+            working = epoch_graphs[-1].copy()
+            for op in batch:
+                if op.kind == "insert":
+                    working.add_edge(op.source, op.target, op.label)
+                else:
+                    working.remove_edge(op.source, op.target, op.label)
+            epoch_graphs.append(working)
+        service = ReachabilityService(graph, cache_capacity=512)
+
+        def check(svc, oracles, s, t):
+            result = svc.lreach_ex(s, t, "(a | b)*")
+            expected = rpq_reachable(oracles[result.epoch], s, t, "(a | b)*")
+            assert result.answer == expected, (s, t, result)
+
+        threads, errors = _run_hammer(
+            service, epoch_graphs, readers=3, queries_per_reader=60, check=check
+        )
+        for batch in batches:
+            service.apply_updates(batch)
+        for thread in threads:
+            thread.join(60.0)
+        assert not errors, errors[:3]
+        metrics = service.metrics_dict()
+        assert metrics["service"]["epoch"] == len(batches)
+        assert metrics["service"]["swaps"] == len(batches)
+        assert metrics["cache"]["invalidation_cycles"] == len(batches)

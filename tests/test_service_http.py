@@ -1,0 +1,156 @@
+"""End-to-end tests for the JSON-over-HTTP service front door."""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.graphs.generators import random_dag, random_labeled_digraph
+from repro.service import ReachabilityService
+from repro.service.server import serve
+from repro.traversal.online import bfs_reachable
+from repro.traversal.rpq import rpq_reachable
+
+
+@pytest.fixture
+def labeled_server():
+    graph = random_labeled_digraph(15, 40, ["a", "b"], seed=701)
+    service = ReachabilityService(graph)
+    server = serve(service, port=0)  # port 0: let the OS pick a free one
+    server.start_background()
+    host, port = server.server_address[:2]
+    yield f"http://{host}:{port}", graph, service
+    server.shutdown()
+    server.server_close()
+
+
+def _get(url: str) -> tuple[int, dict]:
+    with urllib.request.urlopen(url, timeout=10) as response:
+        return response.status, json.loads(response.read())
+
+
+def _post(url: str, payload: dict) -> tuple[int, dict]:
+    request = urllib.request.Request(
+        url,
+        data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    with urllib.request.urlopen(request, timeout=10) as response:
+        return response.status, json.loads(response.read())
+
+
+class TestRoutes:
+    def test_healthz(self, labeled_server):
+        base, _graph, _service = labeled_server
+        status, body = _get(f"{base}/healthz")
+        assert status == 200
+        assert body == {"status": "ok", "epoch": 0}
+
+    def test_reach_matches_oracle(self, labeled_server):
+        base, graph, _service = labeled_server
+        plain = graph.to_plain()
+        for source, target in [(0, 5), (3, 9), (14, 2)]:
+            status, body = _get(f"{base}/reach?source={source}&target={target}")
+            assert status == 200
+            assert body["reachable"] == bfs_reachable(plain, source, target)
+            assert body["epoch"] == 0
+            assert body["route"] in ("cache", "plain_index")
+
+    def test_lreach_matches_oracle(self, labeled_server):
+        base, graph, _service = labeled_server
+        constraint = "(a | b)*"
+        status, body = _get(
+            f"{base}/lreach?source=0&target=7&constraint=(a%20|%20b)*"
+        )
+        assert status == 200
+        assert body["reachable"] == rpq_reachable(graph, 0, 7, constraint)
+        assert body["route"] == "labeled_index"
+
+    def test_update_bumps_epoch_and_changes_answers(self, labeled_server):
+        base, graph, service = labeled_server
+        # Find a missing edge and insert it over HTTP.
+        n = graph.num_vertices
+        missing = next(
+            (u, v)
+            for u in range(n)
+            for v in range(n)
+            if u != v and not graph.has_edge(u, v, "a")
+        )
+        status, body = _post(
+            f"{base}/update",
+            {
+                "ops": [
+                    {
+                        "kind": "insert",
+                        "source": missing[0],
+                        "target": missing[1],
+                        "label": "a",
+                    }
+                ]
+            },
+        )
+        assert status == 200
+        assert body == {"epoch": 1, "applied": 1}
+        status, reach = _get(
+            f"{base}/reach?source={missing[0]}&target={missing[1]}"
+        )
+        assert status == 200
+        assert reach["reachable"] is True
+        assert reach["epoch"] == 1
+        assert service.epoch == 1
+
+    def test_metrics_text_and_json(self, labeled_server):
+        base, _graph, _service = labeled_server
+        _get(f"{base}/reach?source=0&target=1")
+        with urllib.request.urlopen(f"{base}/metrics", timeout=10) as response:
+            text = response.read().decode()
+        assert "service_epoch 0" in text
+        assert "cache_hits" in text
+        status, body = _get(f"{base}/metrics?format=json")
+        assert status == 200
+        assert body["service"]["epoch"] == 0
+        assert "cache" in body
+
+
+class TestErrorHandling:
+    def test_unknown_path_404(self, labeled_server):
+        base, _graph, _service = labeled_server
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(f"{base}/nope")
+        assert excinfo.value.code == 404
+
+    def test_missing_params_400(self, labeled_server):
+        base, _graph, _service = labeled_server
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(f"{base}/reach?source=0")
+        assert excinfo.value.code == 400
+        assert "target" in json.loads(excinfo.value.read())["error"]
+
+    def test_out_of_range_vertex_400(self, labeled_server):
+        base, _graph, _service = labeled_server
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(f"{base}/reach?source=0&target=999")
+        assert excinfo.value.code == 400
+
+    def test_bad_update_body_400(self, labeled_server):
+        base, _graph, _service = labeled_server
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _post(f"{base}/update", {"ops": [{"kind": "explode"}]})
+        assert excinfo.value.code == 400
+
+    def test_lreach_on_plain_service_400(self):
+        service = ReachabilityService(random_dag(10, 20, seed=702))
+        server = serve(service, port=0)
+        server.start_background()
+        host, port = server.server_address[:2]
+        try:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _get(f"http://{host}:{port}/lreach?source=0&target=1&constraint=(a)*")
+            assert excinfo.value.code == 400
+        finally:
+            server.shutdown()
+            server.server_close()
