@@ -1,0 +1,243 @@
+"""CLAIM-PERF-BATCH — the batched query path amortises per-query cost.
+
+Three layers of the same claim, measured on a 10⁴-vertex random DAG with
+Zipf-skewed batches from :func:`repro.workloads.queries.batch_workload`:
+
+* **Traversal fallback** — ``bfs_reachable_batch`` answers a whole batch
+  through shared bit-parallel frontiers; ≥ 3× over the per-pair BFS loop
+  at batch size ≥ 256.
+* **Index families** — ``query_batch`` binds hot arrays once and resolves
+  all MAYBEs through one multi-source kernel call instead of per-pair
+  guided traversal.
+* **Service end-to-end** — one uncached ``POST /reach/batch`` beats the
+  equivalent sequence of uncached ``GET /reach`` requests by ≥ 1.5×.
+
+Run as a benchmark (``pytest benchmarks/bench_batch.py -s``) or
+standalone (``python benchmarks/bench_batch.py [--tiny] [--json PATH]``);
+both emit the measurements as ``BENCH_batch.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+import urllib.request
+
+from repro.bench.jsonout import add_json_argument, emit
+from repro.bench.tables import format_seconds, render_table
+from repro.core.registry import plain_index
+from repro.graphs.generators import random_dag
+from repro.service import ReachabilityService
+from repro.service.server import serve
+from repro.traversal.online import bfs_reachable, bfs_reachable_batch
+from repro.workloads.queries import batch_workload
+
+NUM_VERTICES = 10_000
+NUM_EDGES = 35_000
+BATCH_SIZE = 512
+NUM_BATCHES = 2
+SERVICE_PAIRS = 256
+INDEXES = ("GRAIL", "PLL")
+
+
+def _timed(thunk):
+    start = time.perf_counter()
+    value = thunk()
+    return value, time.perf_counter() - start
+
+
+def measure(
+    num_vertices: int = NUM_VERTICES,
+    num_edges: int = NUM_EDGES,
+    batch_size: int = BATCH_SIZE,
+    num_batches: int = NUM_BATCHES,
+    service_pairs: int = SERVICE_PAIRS,
+    seed: int = 0,
+) -> dict:
+    """All three measurements as one JSON-serialisable dict."""
+    graph = random_dag(num_vertices, num_edges, seed=seed)
+    batches = batch_workload(
+        graph, num_batches, batch_size, positive_fraction=0.3, seed=seed + 1
+    )
+    pairs = [[(q.source, q.target) for q in batch] for batch in batches]
+    truth = [[q.reachable for q in batch] for batch in batches]
+    total = num_batches * batch_size
+    rows: list[dict] = []
+
+    # -- traversal fallback: per-pair BFS loop vs bit-parallel batch -----
+    loop_answers, loop_s = _timed(
+        lambda: [[bfs_reachable(graph, s, t) for s, t in batch] for batch in pairs]
+    )
+    batch_answers, batch_s = _timed(
+        lambda: [bfs_reachable_batch(graph, batch) for batch in pairs]
+    )
+    assert loop_answers == truth and batch_answers == truth
+    rows.append(
+        {
+            "method": "online traversal",
+            "loop_seconds": loop_s,
+            "batch_seconds": batch_s,
+            "speedup": loop_s / batch_s,
+        }
+    )
+
+    # -- index families: scalar query loop vs query_batch ----------------
+    for name in INDEXES:
+        index = plain_index(name).build(graph)
+        loop_answers, loop_s = _timed(
+            lambda: [[index.query(s, t) for s, t in batch] for batch in pairs]
+        )
+        batch_answers, batch_s = _timed(
+            lambda: [index.query_batch(batch) for batch in pairs]
+        )
+        assert loop_answers == truth and batch_answers == truth
+        rows.append(
+            {
+                "method": name,
+                "loop_seconds": loop_s,
+                "batch_seconds": batch_s,
+                "speedup": loop_s / batch_s,
+            }
+        )
+
+    service = _measure_service(graph, service_pairs, seed)
+    return {
+        "graph": {"vertices": num_vertices, "edges": graph.num_edges},
+        "batch_size": batch_size,
+        "num_batches": num_batches,
+        "pairs_total": total,
+        "rows": rows,
+        "service": service,
+    }
+
+
+def _measure_service(graph, num_pairs: int, seed: int) -> dict:
+    """Uncached sequential ``GET /reach`` vs one ``POST /reach/batch``.
+
+    Distinct pairs and a fresh service per side keep the result cache out
+    of both measurements; the difference is pure per-request overhead
+    plus the engine's scalar-vs-amortised evaluation.
+    """
+    unique = list(
+        dict.fromkeys(
+            (q.source, q.target)
+            for batch in batch_workload(graph, 4, num_pairs, 0.3, seed=seed + 2)
+            for q in batch
+        )
+    )[:num_pairs]
+
+    def with_server(measure_requests):
+        service = ReachabilityService(graph, index="GRAIL")
+        server = serve(service, port=0)
+        server.start_background()
+        port = server.server_address[1]
+        try:
+            return _timed(lambda: measure_requests(port))
+        finally:
+            server.shutdown()
+            server.server_close()
+
+    def sequential(port: int) -> list[bool]:
+        answers = []
+        for s, t in unique:
+            with urllib.request.urlopen(
+                f"http://127.0.0.1:{port}/reach?source={s}&target={t}"
+            ) as resp:
+                answers.append(json.load(resp)["reachable"])
+        return answers
+
+    def batched(port: int) -> list[bool]:
+        body = json.dumps({"pairs": [list(p) for p in unique]}).encode()
+        request = urllib.request.Request(
+            f"http://127.0.0.1:{port}/reach/batch",
+            data=body,
+            headers={"Content-Type": "application/json"},
+        )
+        with urllib.request.urlopen(request) as resp:
+            return [r["reachable"] for r in json.load(resp)["results"]]
+
+    sequential_answers, sequential_s = with_server(sequential)
+    batch_answers, batch_s = with_server(batched)
+    assert sequential_answers == batch_answers
+    return {
+        "pairs": len(unique),
+        "sequential_seconds": sequential_s,
+        "batch_seconds": batch_s,
+        "speedup": sequential_s / batch_s,
+    }
+
+
+def _render(results: dict) -> str:
+    rows = [
+        (
+            row["method"],
+            format_seconds(row["loop_seconds"]),
+            format_seconds(row["batch_seconds"]),
+            f"{row['speedup']:.1f}x",
+        )
+        for row in results["rows"]
+    ]
+    service = results["service"]
+    rows.append(
+        (
+            "service (HTTP)",
+            format_seconds(service["sequential_seconds"]),
+            format_seconds(service["batch_seconds"]),
+            f"{service['speedup']:.1f}x",
+        )
+    )
+    graph = results["graph"]
+    return render_table(
+        ["method", "per-pair loop", "batched", "speedup"],
+        rows,
+        title=(
+            f"CLAIM-PERF-BATCH: |V|={graph['vertices']:,} |E|={graph['edges']:,}, "
+            f"{results['num_batches']} batches of {results['batch_size']}"
+        ),
+    )
+
+
+def test_batch_amortisation(benchmark, report):
+    results = benchmark.pedantic(measure, rounds=1, iterations=1)
+    report(_render(results))
+    emit("batch", results)
+    traversal = next(r for r in results["rows"] if r["method"] == "online traversal")
+    assert traversal["speedup"] >= 3.0, (
+        f"batched traversal speedup {traversal['speedup']:.2f}x below the "
+        "claimed 3x at batch size >= 256"
+    )
+    assert results["service"]["speedup"] >= 1.5, (
+        f"end-to-end batch speedup {results['service']['speedup']:.2f}x "
+        "below the claimed 1.5x"
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--tiny",
+        action="store_true",
+        help="smoke-test parameters (small graph, no speedup assertions)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    add_json_argument(parser, "batch")
+    args = parser.parse_args(argv)
+    if args.tiny:
+        results = measure(
+            num_vertices=300,
+            num_edges=900,
+            batch_size=64,
+            num_batches=2,
+            service_pairs=32,
+            seed=args.seed,
+        )
+    else:
+        results = measure(seed=args.seed)
+    print(_render(results))
+    print(f"wrote {emit('batch', results, args.json)}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

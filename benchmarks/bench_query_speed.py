@@ -4,13 +4,19 @@ can be an order of magnitude faster than using only graph traversal".
 The table compares per-query time of the online baselines (BFS/DFS/BiBFS)
 with every fast Table 1 index on a scale-free DAG; the assertion checks
 the claim's shape: the best index beats the best traversal by >= 10x.
+
+Standalone (``python benchmarks/bench_query_speed.py [--json PATH]``)
+emits the same rows as ``BENCH_query_speed.json``.
 """
 
 from __future__ import annotations
 
+import argparse
+
 import pytest
 
 from repro.bench.experiments import query_speed_rows
+from repro.bench.jsonout import add_json_argument, emit
 from repro.bench.tables import format_seconds, render_table
 from repro.core.registry import plain_index
 from repro.graphs.generators import scale_free_dag
@@ -18,24 +24,27 @@ from repro.traversal.online import bfs_reachable
 from repro.workloads.queries import plain_workload
 
 
+def _render(speed_rows) -> str:
+    return render_table(
+        ["method", "kind", "per-query", "entries", "wrong"],
+        [
+            (
+                r["name"],
+                r["kind"],
+                format_seconds(r["per_query"]),
+                f"{r['entries']:,}",
+                r["wrong"],
+            )
+            for r in sorted(speed_rows, key=lambda r: r["per_query"])
+        ],
+        title="CLAIM-S3-SPEED: per-query time, 2000-vertex layered DAG",
+    )
+
+
 def test_claim_order_of_magnitude(benchmark, report):
     speed_rows = benchmark.pedantic(query_speed_rows, rounds=1, iterations=1)
-    report(
-        render_table(
-            ["method", "kind", "per-query", "entries", "wrong"],
-            [
-                (
-                    r["name"],
-                    r["kind"],
-                    format_seconds(r["per_query"]),
-                    f"{r['entries']:,}",
-                    r["wrong"],
-                )
-                for r in sorted(speed_rows, key=lambda r: r["per_query"])
-            ],
-            title="CLAIM-S3-SPEED: per-query time, 2000-vertex layered DAG",
-        )
-    )
+    report(_render(speed_rows))
+    emit("query_speed", speed_rows)
     # every method must be exact
     assert all(r["wrong"] == 0 for r in speed_rows)
     bfs_time = next(r["per_query"] for r in speed_rows if r["name"] == "BFS")
@@ -68,3 +77,24 @@ def test_indexed_queries(benchmark, standard_setup, name):
         lambda: [index.query(q.source, q.target) for q in workload]
     )
     assert result == [q.reachable for q in workload]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--small", action="store_true", help="reduced parameters (quick look)"
+    )
+    add_json_argument(parser, "query_speed")
+    args = parser.parse_args(argv)
+    rows = (
+        query_speed_rows(layers=6, width=10, num_queries=40)
+        if args.small
+        else query_speed_rows()
+    )
+    print(_render(rows))
+    print(f"wrote {emit('query_speed', rows, args.json)}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

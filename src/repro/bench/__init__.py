@@ -1,4 +1,4 @@
-"""Benchmark harness: timing helpers and table rendering."""
+"""Benchmark harness: timing helpers, table rendering, JSON artifacts."""
 
 from repro.bench.harness import (
     BuildResult,
@@ -7,6 +7,7 @@ from repro.bench.harness import (
     lookup_statistics,
     time_workload,
 )
+from repro.bench.jsonout import add_json_argument, bench_path, emit
 from repro.bench.tables import format_count, format_seconds, render_table
 
 __all__ = [
@@ -15,6 +16,9 @@ __all__ = [
     "build_index",
     "lookup_statistics",
     "time_workload",
+    "add_json_argument",
+    "bench_path",
+    "emit",
     "format_count",
     "format_seconds",
     "render_table",

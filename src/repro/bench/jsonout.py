@@ -1,0 +1,58 @@
+"""Machine-readable benchmark artifacts: ``BENCH_<name>.json``.
+
+The ASCII tables the benchmark suite prints are for humans; CI and
+regression tooling need the same numbers as JSON.  Every benchmark that
+measures a claim can emit one artifact through :func:`emit`, so the
+files share an envelope (benchmark name, interpreter, platform) and a
+predictable filename — ``BENCH_batch.json``, ``BENCH_query_speed.json``
+— that a smoke job can pick up without per-benchmark glue.
+
+Standalone benchmark scripts add the flag with :func:`add_json_argument`
+and pass ``args.json`` straight to :func:`emit`; under pytest the tests
+call :func:`emit` with no path and the artifact lands in the working
+directory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+from pathlib import Path
+
+__all__ = ["add_json_argument", "bench_path", "emit"]
+
+
+def bench_path(name: str, directory: str | Path = ".") -> Path:
+    """The conventional artifact path: ``<directory>/BENCH_<name>.json``."""
+    return Path(directory) / f"BENCH_{name}.json"
+
+
+def add_json_argument(parser: argparse.ArgumentParser, name: str) -> None:
+    """Register the common ``--json PATH`` flag (default: ``BENCH_<name>.json``)."""
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=str(bench_path(name)),
+        help=f"write results as JSON (default: {bench_path(name)})",
+    )
+
+
+def emit(name: str, results: object, path: str | Path | None = None) -> Path:
+    """Write ``results`` under the shared envelope; returns the file written.
+
+    ``results`` must be JSON-serialisable (plain dicts/lists/numbers from
+    the measurement code).  ``path=None`` uses :func:`bench_path` in the
+    current directory.
+    """
+    target = Path(path) if path is not None else bench_path(name)
+    document = {
+        "bench": name,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "results": results,
+    }
+    target.write_text(
+        json.dumps(document, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return target

@@ -10,6 +10,9 @@ Commands
 ``repro query EDGELIST --index NAME S T [--load FILE]``
     Answer one reachability query (vertex tokens as they appear in the
     file); ``--load`` reuses a saved index instead of rebuilding.
+``repro query EDGELIST --index NAME --pairs-file PAIRS``
+    Answer a whole file of ``S T`` lines in one ``query_batch`` call and
+    report batch throughput on stderr.
 ``repro lquery EDGELIST --index NAME S T CONSTRAINT [--load FILE]``
     Answer one path-constrained query over a labeled edge list.
 ``repro inspect FILE``
@@ -242,7 +245,27 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 2
 
 
+def _read_pairs_file(path: str) -> list[tuple[str, str]]:
+    """Vertex-token pairs, one ``S T`` per line; ``#`` comments and blanks skipped."""
+    pairs: list[tuple[str, str]] = []
+    with open(path, encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            stripped = line.split("#", 1)[0].strip()
+            if not stripped:
+                continue
+            tokens = stripped.split()
+            if len(tokens) != 2:
+                raise ValueError(
+                    f"{path}:{lineno}: expected 'SOURCE TARGET', got {stripped!r}"
+                )
+            pairs.append((tokens[0], tokens[1]))
+    return pairs
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
+    if args.pairs_file is None and (args.source is None or args.target is None):
+        print("query needs SOURCE and TARGET, or --pairs-file", file=sys.stderr)
+        return 2
     if args.load:
         from repro.core.base import ReachabilityIndex
         from repro.persistence import load_index
@@ -254,6 +277,29 @@ def _cmd_query(args: argparse.Namespace) -> int:
             return 2
     else:
         _graph, ids, index, _elapsed = _build_plain(args.edgelist, args.index)
+    if args.pairs_file is not None:
+        try:
+            token_pairs = _read_pairs_file(args.pairs_file)
+        except (OSError, ValueError) as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        try:
+            pairs = [(ids[s], ids[t]) for s, t in token_pairs]
+        except KeyError as exc:
+            print(f"unknown vertex {exc}", file=sys.stderr)
+            return 2
+        start = time.perf_counter()
+        answers = index.query_batch(pairs)
+        elapsed = time.perf_counter() - start
+        for (s_token, t_token), answer in zip(token_pairs, answers):
+            print(f"Qr({s_token}, {t_token}) = {str(answer).lower()}")
+        print(
+            f"# {len(pairs)} queries in {format_seconds(elapsed)} "
+            f"({len(pairs) / elapsed:,.0f}/s)" if elapsed > 0 and pairs
+            else f"# {len(pairs)} queries",
+            file=sys.stderr,
+        )
+        return 0
     try:
         s = ids[args.source]
         t = ids[args.target]
@@ -370,13 +416,20 @@ def main(argv: list[str] | None = None) -> int:
     )
     experiment.set_defaults(func=_cmd_experiment)
 
-    query = sub.add_parser("query", help="answer one plain reachability query")
+    query = sub.add_parser(
+        "query", help="answer plain reachability queries (single or batched)"
+    )
     query.add_argument("edgelist")
-    query.add_argument("source")
-    query.add_argument("target")
+    query.add_argument("source", nargs="?", default=None)
+    query.add_argument("target", nargs="?", default=None)
     query.add_argument("--index", default="PLL")
     query.add_argument(
         "--load", default=None, help="use a saved index file instead of rebuilding"
+    )
+    query.add_argument(
+        "--pairs-file",
+        default=None,
+        help="answer a whole file of 'SOURCE TARGET' lines through the batch path",
     )
     query.set_defaults(func=_cmd_query)
 

@@ -23,12 +23,14 @@ from __future__ import annotations
 import enum
 from abc import ABC, abstractmethod
 from collections import deque
+from collections.abc import Sequence
 from dataclasses import dataclass
 from typing import ClassVar
 
 from repro.errors import QueryError, UnsupportedOperationError
 from repro.graphs.digraph import DiGraph
 from repro.graphs.labeled import LabeledDiGraph
+from repro.kernels import batch_reachable, csr_of
 from repro.traversal.regex import RegexNode
 
 __all__ = [
@@ -215,6 +217,62 @@ class ReachabilityIndex(ABC):
     def lookup(self, source: int, target: int) -> TriState:
         """Raw index probe; MAYBE only for partial indexes."""
 
+    def lookup_batch(self, pairs: Sequence[tuple[int, int]]) -> list[TriState]:
+        """Raw index probes for a batch of ``(source, target)`` pairs.
+
+        Semantically identical to ``[lookup(s, t) for s, t in pairs]``
+        — answers come back in input order and duplicates are answered
+        like any other pair.  The default is exactly that loop;
+        subclasses override it where batching genuinely amortises work
+        (probe-array locals, shared label merges, one traversal per
+        distinct source).
+        """
+        lookup = self.lookup
+        return [lookup(s, t) for s, t in pairs]
+
+    def query_batch(self, pairs: Sequence[tuple[int, int]]) -> list[bool]:
+        """Exact reachability answers for a batch of pairs.
+
+        The batched counterpart of :meth:`query`: the whole batch is
+        validated up front (a :class:`~repro.errors.QueryError` is
+        raised before *any* pair is evaluated), answers return in input
+        order, and empty batches return ``[]``.  Complete indexes answer
+        from :meth:`lookup_batch` alone.  Partial indexes trust their
+        YES/NO certificates and resolve the remaining MAYBE pairs with
+        one shared bit-parallel traversal — all targets of one source
+        share a frontier, and distinct sources advance together — rather
+        than one guided traversal per pair.
+        """
+        self._check_pairs(pairs)
+        if not pairs:
+            return []
+        probes = self.lookup_batch(pairs)
+        complete = self.metadata.complete
+        yes, no = TriState.YES, TriState.NO
+        answers: list[bool | None] = []
+        unresolved: list[int] = []
+        for position, ((source, target), probe) in enumerate(zip(pairs, probes)):
+            if source == target:
+                answers.append(True)
+            elif probe is yes:
+                answers.append(True)
+            elif probe is no:
+                answers.append(False)
+            elif complete:
+                raise QueryError(
+                    f"{type(self).__name__} is complete but answered MAYBE"
+                )
+            else:
+                answers.append(None)
+                unresolved.append(position)
+        if unresolved:
+            resolved = batch_reachable(
+                csr_of(self._graph), [pairs[i] for i in unresolved]
+            )
+            for position, answer in zip(unresolved, resolved):
+                answers[position] = answer
+        return answers
+
     def query(self, source: int, target: int) -> bool:
         """Exact reachability answer."""
         self._check_query(source, target)
@@ -259,6 +317,15 @@ class ReachabilityIndex(ABC):
             raise QueryError(
                 f"query ({source}, {target}) out of range for |V|={n}"
             )
+
+    def _check_pairs(self, pairs: Sequence[tuple[int, int]]) -> None:
+        """Validate a whole batch before evaluating any of it."""
+        n = self._graph.num_vertices
+        for source, target in pairs:
+            if not (0 <= source < n and 0 <= target < n):
+                raise QueryError(
+                    f"query ({source}, {target}) out of range for |V|={n}"
+                )
 
     def __getstate__(self) -> dict[str, object]:
         """State for pickling/deep-copying, safe under concurrent queries."""

@@ -11,6 +11,7 @@ condensation.  :class:`CondensedIndex` implements exactly that wrapper for
 from __future__ import annotations
 
 import dataclasses
+from collections.abc import Sequence
 from typing import ClassVar
 
 from repro.core.base import IndexMetadata, ReachabilityIndex, TriState
@@ -85,6 +86,16 @@ class CondensedIndex(ReachabilityIndex):
             return TriState.YES
         return self._inner.lookup(cs, ct)
 
+    def lookup_batch(self, pairs: Sequence[tuple[int, int]]) -> list[TriState]:
+        """Batch probes: same-SCC pairs answer YES, the rest batch inward."""
+        self._check_pairs(pairs)
+        scc_of = self._condensation.scc_of
+        condensed = [(scc_of[s], scc_of[t]) for s, t in pairs]
+        crossing = [(cs, ct) for cs, ct in condensed if cs != ct]
+        inner = iter(self._inner.lookup_batch(crossing))
+        yes = TriState.YES
+        return [yes if cs == ct else next(inner) for cs, ct in condensed]
+
     def query(self, source: int, target: int) -> bool:
         self._check_query(source, target)
         cs = self._condensation.scc_of[source]
@@ -92,6 +103,20 @@ class CondensedIndex(ReachabilityIndex):
         if cs == ct:
             return True
         return self._inner.query(cs, ct)
+
+    def query_batch(self, pairs: Sequence[tuple[int, int]]) -> list[bool]:
+        """Batch queries through the SCC map, delegating cross-SCC pairs.
+
+        The inner index sees one batched call over the condensation DAG,
+        so its own amortised paths (bit-parallel fallback, label merges)
+        apply to the whole batch at once.
+        """
+        self._check_pairs(pairs)
+        scc_of = self._condensation.scc_of
+        condensed = [(scc_of[s], scc_of[t]) for s, t in pairs]
+        crossing = [(cs, ct) for cs, ct in condensed if cs != ct]
+        inner = iter(self._inner.query_batch(crossing))
+        return [True if cs == ct else next(inner) for cs, ct in condensed]
 
     def size_in_entries(self) -> int:
         """Inner index entries plus one SCC-map entry per vertex."""

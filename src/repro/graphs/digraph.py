@@ -34,7 +34,7 @@ class DiGraph:
     for reachability and some generators produce them before condensation).
     """
 
-    __slots__ = ("_out", "_in", "_out_sets", "_num_edges")
+    __slots__ = ("_out", "_in", "_out_sets", "_num_edges", "_version", "_csr_cache")
 
     def __init__(self, num_vertices: int, edges: Iterable[tuple[int, int]] = ()) -> None:
         if num_vertices < 0:
@@ -43,6 +43,8 @@ class DiGraph:
         self._in: list[list[int]] = [[] for _ in range(num_vertices)]
         self._out_sets: list[set[int]] = [set() for _ in range(num_vertices)]
         self._num_edges = 0
+        self._version = 0  # bumped on every mutation; keys the CSR snapshot cache
+        self._csr_cache: object | None = None  # managed by repro.kernels.csr_of
         for u, v in edges:
             self.add_edge(u, v)
 
@@ -107,6 +109,7 @@ class DiGraph:
         self._out.append([])
         self._in.append([])
         self._out_sets.append(set())
+        self._version += 1
         return len(self._out) - 1
 
     def add_edge(self, u: int, v: int) -> None:
@@ -119,6 +122,7 @@ class DiGraph:
         self._in[v].append(u)
         self._out_sets[u].add(v)
         self._num_edges += 1
+        self._version += 1
 
     def add_edge_if_absent(self, u: int, v: int) -> bool:
         """Insert ``u -> v`` unless present; return True if inserted."""
@@ -130,6 +134,7 @@ class DiGraph:
         self._in[v].append(u)
         self._out_sets[u].add(v)
         self._num_edges += 1
+        self._version += 1
         return True
 
     def remove_edge(self, u: int, v: int) -> None:
@@ -142,6 +147,7 @@ class DiGraph:
         self._in[v].remove(u)
         self._out_sets[u].discard(v)
         self._num_edges -= 1
+        self._version += 1
 
     # ------------------------------------------------------------------
     # Derived graphs
@@ -183,6 +189,28 @@ class DiGraph:
 
     def __hash__(self) -> int:  # graphs are mutable
         raise TypeError("DiGraph is unhashable")
+
+    def __getstate__(self) -> dict[str, object]:
+        """Pickle/deep-copy state: adjacency only, never the CSR cache."""
+        return {
+            "_out": self._out,
+            "_in": self._in,
+            "_out_sets": self._out_sets,
+            "_num_edges": self._num_edges,
+        }
+
+    def __setstate__(self, state: object) -> None:
+        # Graphs saved before the CSR-cache slots existed pickle as the
+        # default ``(None, slots)`` tuple; both forms must keep loading.
+        if isinstance(state, tuple):
+            state = state[1] or {}
+        assert isinstance(state, dict)
+        self._out = state["_out"]
+        self._in = state["_in"]
+        self._out_sets = state["_out_sets"]
+        self._num_edges = state["_num_edges"]
+        self._version = 0
+        self._csr_cache = None
 
     def __repr__(self) -> str:
         return f"DiGraph(|V|={self.num_vertices}, |E|={self.num_edges})"

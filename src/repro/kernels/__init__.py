@@ -1,0 +1,42 @@
+"""Shared hardware-speed kernels for reachability processing.
+
+Two layers live here, both pure Python but written for the interpreter's
+fast paths (flat lists, locals bound once, big-int bitwise ops):
+
+* :mod:`repro.kernels.csr` — :class:`CSRGraph`, an immutable CSR-style
+  adjacency snapshot built once per :class:`~repro.graphs.digraph.DiGraph`
+  version and cached on the graph (:func:`csr_of`), so every kernel and
+  index build walks flat offset/index arrays instead of re-validating
+  adjacency lists vertex by vertex.
+* :mod:`repro.kernels.bitbfs` — bit-parallel multi-source frontiers:
+  one Python big int carries one bit per batched source, so a single
+  frontier-synchronous sweep (or a one-pass topological sweep on DAGs)
+  answers reachability for *all* sources at once.  This is the same
+  batched-observation trick O'Reach and PReaCH get their speed from,
+  expressed over machine-word-parallel integers.
+
+Everything downstream — ``TransitiveClosureIndex.build``, the online
+traversal fallbacks, ``ReachabilityIndex.query_batch`` and the service's
+``execute_batch`` — routes through these two modules.
+"""
+
+from repro.kernels.bitbfs import (
+    ancestors_set,
+    batch_reachable,
+    descendant_bitsets,
+    descendants_set,
+    reach_masks,
+    reverse_reach_masks,
+)
+from repro.kernels.csr import CSRGraph, csr_of
+
+__all__ = [
+    "CSRGraph",
+    "csr_of",
+    "reach_masks",
+    "reverse_reach_masks",
+    "descendant_bitsets",
+    "descendants_set",
+    "ancestors_set",
+    "batch_reachable",
+]

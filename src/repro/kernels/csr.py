@@ -1,0 +1,141 @@
+"""Immutable CSR-style adjacency snapshots of a :class:`DiGraph`.
+
+:class:`DiGraph` stores adjacency as per-vertex Python lists behind a
+bounds-checking accessor — the right shape for mutation, the wrong shape
+for tight traversal loops, which pay one method call plus one
+``_check_vertex`` per visited vertex.  :class:`CSRGraph` freezes both
+directions into flat ``indptr``/``indices`` arrays (the classic
+compressed-sparse-row layout), so a kernel binds two locals and slices.
+
+Snapshots are cached *on the graph* keyed by its mutation version:
+:func:`csr_of` returns the cached snapshot until an ``add_edge`` /
+``remove_edge`` / ``add_vertex`` bumps ``DiGraph._version``, at which
+point the next caller rebuilds.  Build cost is one O(|V|+|E|) pass, paid
+once per graph version no matter how many kernels run over it.
+"""
+
+from __future__ import annotations
+
+from repro.graphs.digraph import DiGraph
+
+__all__ = ["CSRGraph", "csr_of"]
+
+
+class CSRGraph:
+    """A frozen compressed-sparse-row view of a directed graph.
+
+    ``out_indices[out_indptr[v]:out_indptr[v + 1]]`` are the
+    out-neighbours of ``v``; the ``in_*`` pair mirrors the reverse
+    direction.  Instances are never mutated after construction, so they
+    can be shared freely across threads and batch calls.
+    """
+
+    __slots__ = (
+        "num_vertices",
+        "num_edges",
+        "out_indptr",
+        "out_indices",
+        "in_indptr",
+        "in_indices",
+        "_topo",
+        "_topo_computed",
+    )
+
+    def __init__(
+        self,
+        num_vertices: int,
+        out_indptr: list[int],
+        out_indices: list[int],
+        in_indptr: list[int],
+        in_indices: list[int],
+    ) -> None:
+        self.num_vertices = num_vertices
+        self.num_edges = len(out_indices)
+        self.out_indptr = out_indptr
+        self.out_indices = out_indices
+        self.in_indptr = in_indptr
+        self.in_indices = in_indices
+        self._topo: list[int] | None = None
+        self._topo_computed = False
+
+    @classmethod
+    def from_digraph(cls, graph: DiGraph) -> "CSRGraph":
+        """Flatten both adjacency directions of ``graph`` in one pass."""
+        out = graph._out
+        inn = graph._in
+        n = len(out)
+        out_indptr = [0] * (n + 1)
+        in_indptr = [0] * (n + 1)
+        for v in range(n):
+            out_indptr[v + 1] = out_indptr[v] + len(out[v])
+            in_indptr[v + 1] = in_indptr[v] + len(inn[v])
+        out_indices = [w for nbrs in out for w in nbrs]
+        in_indices = [u for nbrs in inn for u in nbrs]
+        return cls(n, out_indptr, out_indices, in_indptr, in_indices)
+
+    # -- accessors --------------------------------------------------------
+    def out_neighbors(self, v: int) -> list[int]:
+        """Out-neighbours of ``v`` as a fresh list slice."""
+        return self.out_indices[self.out_indptr[v] : self.out_indptr[v + 1]]
+
+    def in_neighbors(self, v: int) -> list[int]:
+        """In-neighbours of ``v`` as a fresh list slice."""
+        return self.in_indices[self.in_indptr[v] : self.in_indptr[v + 1]]
+
+    @property
+    def topo_order(self) -> list[int] | None:
+        """A topological order, or None if the graph is cyclic.
+
+        Computed lazily by Kahn's algorithm over the CSR arrays and
+        memoised; self-loops count as cycles (matching
+        :func:`repro.graphs.topo.is_dag`).  DAG kernels use this to
+        replace frontier iteration with a single one-pass sweep.
+        """
+        if not self._topo_computed:
+            self._topo = self._kahn()
+            self._topo_computed = True
+        return self._topo
+
+    def _kahn(self) -> list[int] | None:
+        n = self.num_vertices
+        in_indptr = self.in_indptr
+        out_indptr = self.out_indptr
+        out_indices = self.out_indices
+        indegree = [in_indptr[v + 1] - in_indptr[v] for v in range(n)]
+        ready = [v for v in range(n) if indegree[v] == 0]
+        order: list[int] = []
+        while ready:
+            v = ready.pop()
+            order.append(v)
+            for w in out_indices[out_indptr[v] : out_indptr[v + 1]]:
+                indegree[w] -= 1
+                if indegree[w] == 0:
+                    ready.append(w)
+        if len(order) != n:
+            return None  # a cycle (possibly a self-loop) blocked Kahn
+        return order
+
+    def __repr__(self) -> str:
+        return f"CSRGraph(|V|={self.num_vertices}, |E|={self.num_edges})"
+
+
+def csr_of(graph: DiGraph) -> CSRGraph:
+    """The CSR snapshot of ``graph`` at its current mutation version.
+
+    The snapshot is cached on the graph itself (``DiGraph._csr_cache``)
+    and invalidated purely by version comparison, so repeated kernel
+    calls between mutations share one build.  Concurrent first calls may
+    both build; either result is equivalent and one wins the cache slot.
+    """
+    version = graph._version
+    cached = graph._csr_cache
+    if (
+        isinstance(cached, tuple)
+        and len(cached) == 2
+        and cached[0] == version
+        and isinstance(cached[1], CSRGraph)
+    ):
+        return cached[1]
+    snapshot = CSRGraph.from_digraph(graph)
+    graph._csr_cache = (version, snapshot)
+    return snapshot

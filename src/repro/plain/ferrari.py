@@ -129,6 +129,30 @@ class FerrariIndex(ReachabilityIndex):
             return TriState.MAYBE
         return TriState.NO
 
+    def lookup_batch(self, pairs) -> list[TriState]:
+        """Batched interval probes with the interval lists bound once."""
+        self._check_pairs(pairs)
+        postorder = self._postorder
+        intervals = self._intervals
+        yes, no, maybe = TriState.YES, TriState.NO, TriState.MAYBE
+        results: list[TriState] = []
+        append = results.append
+        for s, t in pairs:
+            if s == t:
+                append(yes)
+                continue
+            b_target = postorder[t][1]
+            hit_approximate = False
+            for a, b, exact in intervals[s]:
+                if a <= b_target <= b:
+                    if exact:
+                        append(yes)
+                        break
+                    hit_approximate = True
+            else:
+                append(maybe if hit_approximate else no)
+        return results
+
     def size_in_entries(self) -> int:
         """Total intervals stored (≤ k per vertex by construction)."""
         return sum(len(lst) for lst in self._intervals)

@@ -130,17 +130,14 @@ class GrailIndex(ReachabilityIndex):
         return index
 
     def _compute_exceptions(self) -> list[set[int]]:
-        """Per-vertex interval false positives, by one reverse-topo sweep."""
-        from repro.graphs.topo import topological_order
+        """Per-vertex interval false positives, from the closure kernel."""
+        from repro.kernels import csr_of, descendant_bitsets
 
         n = self._graph.num_vertices
-        reachable = [0] * n  # descendant bitsets
+        reachable = descendant_bitsets(csr_of(self._graph))
         exceptions: list[set[int]] = [set() for _ in range(n)]
-        for v in reversed(topological_order(self._graph)):
-            reach = 1 << v
-            for w in self._graph.out_neighbors(v):
-                reach |= reachable[w]
-            reachable[v] = reach
+        for v in range(n):
+            reach = reachable[v]
             for t in range(n):
                 if t == v or (reach >> t) & 1:
                     continue
@@ -176,6 +173,29 @@ class GrailIndex(ReachabilityIndex):
                 return TriState.NO
             return TriState.YES
         return TriState.MAYBE
+
+    def lookup_batch(self, pairs) -> list[TriState]:
+        """Batched containment checks with the labelings bound once."""
+        self._check_pairs(pairs)
+        labelings = self._labelings
+        exceptions = self._exceptions
+        yes, no, maybe = TriState.YES, TriState.NO, TriState.MAYBE
+        results: list[TriState] = []
+        append = results.append
+        for s, t in pairs:
+            if s == t:
+                append(yes)
+                continue
+            for a, b in labelings:
+                if not (a[s] <= a[t] and b[t] <= b[s]):
+                    append(no)
+                    break
+            else:
+                if exceptions is None:
+                    append(maybe)
+                else:
+                    append(no if t in exceptions[s] else yes)
+        return results
 
     def size_in_entries(self) -> int:
         """k intervals per vertex, plus any exception entries."""

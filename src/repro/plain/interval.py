@@ -165,6 +165,17 @@ class TreeCoverIndex(ReachabilityIndex):
             return TriState.YES
         return TriState.NO
 
+    def lookup_batch(self, pairs) -> list[TriState]:
+        """Batched interval containment with the hot arrays bound once."""
+        self._check_pairs(pairs)
+        postorder = self._postorder
+        intervals = self._intervals
+        contains = interval_list_contains
+        yes, no = TriState.YES, TriState.NO
+        return [
+            yes if contains(intervals[s], postorder[t][1]) else no for s, t in pairs
+        ]
+
     def size_in_entries(self) -> int:
         """Total number of intervals — the paper's definition of index size."""
         return sum(len(lst) for lst in self._intervals)

@@ -138,6 +138,24 @@ class IPIndex(ReachabilityIndex):
             return TriState.NO
         return TriState.MAYBE
 
+    def lookup_batch(self, pairs) -> list[TriState]:
+        """Batched k-min sketch comparisons with the sketch arrays bound once."""
+        self._check_pairs(pairs)
+        out, inn, k = self._out, self._in, self._k
+        yes, no, maybe = TriState.YES, TriState.NO, TriState.MAYBE
+        results: list[TriState] = []
+        append = results.append
+        for s, t in pairs:
+            if s == t:
+                append(yes)
+            elif _sketch_violates(out[t], out[s], k):
+                append(no)
+            elif _sketch_violates(inn[s], inn[t], k):
+                append(no)
+            else:
+                append(maybe)
+        return results
+
     def size_in_entries(self) -> int:
         """Stored sketch values across both directions."""
         return sum(len(s) for s in self._out) + sum(len(s) for s in self._in)

@@ -119,6 +119,33 @@ class OReachIndex(ReachabilityIndex):
             return TriState.NO
         return TriState.MAYBE
 
+    def lookup_batch(self, pairs) -> list[TriState]:
+        """Batched O'Reach observations with ranks and masks bound once."""
+        self._check_pairs(pairs)
+        rank_fwd, rank_alt, level = self._rank_fwd, self._rank_alt, self._level
+        reaches, reached_by = self._reaches, self._reached_by
+        yes, no, maybe = TriState.YES, TriState.NO, TriState.MAYBE
+        results: list[TriState] = []
+        append = results.append
+        for s, t in pairs:
+            if s == t:
+                append(yes)
+            elif rank_fwd[s] >= rank_fwd[t]:
+                append(no)
+            elif rank_alt[s] >= rank_alt[t]:
+                append(no)
+            elif level[s] >= level[t]:
+                append(no)
+            elif reaches[s] & reached_by[t]:
+                append(yes)
+            elif reached_by[s] & ~reached_by[t]:
+                append(no)
+            elif reaches[t] & ~reaches[s]:
+                append(no)
+            else:
+                append(maybe)
+        return results
+
     def size_in_entries(self) -> int:
         """Two support masks plus three ranks per vertex."""
         return 5 * self._graph.num_vertices

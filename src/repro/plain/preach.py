@@ -142,6 +142,34 @@ class PReaCHIndex(ReachabilityIndex):
             return TriState.NO
         return TriState.MAYBE
 
+    def lookup_batch(self, pairs) -> list[TriState]:
+        """Batched PReaCH observations with all eight arrays bound once."""
+        self._check_pairs(pairs)
+        fwd_post, fwd_reach, fwd_tree = self._fwd_post, self._fwd_reach, self._fwd_tree
+        bwd_post, bwd_reach, bwd_tree = self._bwd_post, self._bwd_reach, self._bwd_tree
+        level_fwd, level_bwd = self._level_fwd, self._level_bwd
+        yes, no, maybe = TriState.YES, TriState.NO, TriState.MAYBE
+        results: list[TriState] = []
+        append = results.append
+        for s, t in pairs:
+            if s == t:
+                append(yes)
+            elif fwd_tree[s] <= fwd_post[t] <= fwd_post[s]:
+                append(yes)
+            elif bwd_tree[t] <= bwd_post[s] <= bwd_post[t]:
+                append(yes)
+            elif not (fwd_reach[s] <= fwd_reach[t] and fwd_post[t] <= fwd_post[s]):
+                append(no)
+            elif not (bwd_reach[t] <= bwd_reach[s] and bwd_post[s] <= bwd_post[t]):
+                append(no)
+            elif level_fwd[s] >= level_fwd[t]:
+                append(no)
+            elif level_bwd[t] >= level_bwd[s]:
+                append(no)
+            else:
+                append(maybe)
+        return results
+
     def size_in_entries(self) -> int:
         """Eight numbers per vertex."""
         return 8 * self._graph.num_vertices

@@ -43,9 +43,24 @@ class TwoHopLabels:
         l_in = self.l_in[target]
         if source in l_in or target in l_out:
             return True
-        if len(l_out) > len(l_in):
-            return any(h in l_out for h in l_in)
-        return any(h in l_in for h in l_out)
+        return not l_out.isdisjoint(l_in)
+
+    def covered_many(self, pairs) -> list[bool]:
+        """The query rule over a batch of pairs, label arrays bound once."""
+        l_in_all = self.l_in
+        l_out_all = self.l_out
+        answers: list[bool] = []
+        append = answers.append
+        for source, target in pairs:
+            if source == target:
+                append(True)
+                continue
+            l_out = l_out_all[source]
+            l_in = l_in_all[target]
+            append(
+                source in l_in or target in l_out or not l_out.isdisjoint(l_in)
+            )
+        return answers
 
     def size_in_entries(self) -> int:
         """Σ |L_out(v)| + |L_in(v)| — the paper's 2-hop size metric."""

@@ -89,6 +89,12 @@ class _DynamicTwoHop(ReachabilityIndex):
             return TriState.YES
         return TriState.NO
 
+    def lookup_batch(self, pairs) -> list[TriState]:
+        """Batched 2-hop merges via :meth:`TwoHopLabels.covered_many`."""
+        self._check_pairs(pairs)
+        yes, no = TriState.YES, TriState.NO
+        return [yes if c else no for c in self._labels.covered_many(pairs)]
+
     def size_in_entries(self) -> int:
         return self._labels.size_in_entries()
 

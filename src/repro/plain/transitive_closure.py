@@ -13,13 +13,14 @@ at query time.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from typing import ClassVar
 
 from repro.core.base import IndexMetadata, ReachabilityIndex, TriState
 from repro.core.registry import register_plain
 from repro.graphs.digraph import DiGraph
 from repro.graphs.scc import condense
-from repro.graphs.topo import topological_order
+from repro.kernels import csr_of, descendant_bitsets
 
 __all__ = ["TransitiveClosureIndex"]
 
@@ -43,15 +44,14 @@ class TransitiveClosureIndex(ReachabilityIndex):
 
     @classmethod
     def build(cls, graph: DiGraph, **params: object) -> "TransitiveClosureIndex":
-        """Compute per-SCC descendant bitsets in reverse topological order."""
+        """Compute per-SCC descendant bitsets in reverse topological order.
+
+        The sweep is the shared :func:`repro.kernels.descendant_bitsets`
+        kernel over the condensation's CSR snapshot — one flat pass over
+        the DAG's edges instead of per-vertex adjacency accessor calls.
+        """
         condensation = condense(graph)
-        dag = condensation.dag
-        closure = [0] * dag.num_vertices
-        for c in reversed(topological_order(dag)):
-            reach = 1 << c
-            for d in dag.out_neighbors(c):
-                reach |= closure[d]
-            closure[c] = reach
+        closure = descendant_bitsets(csr_of(condensation.dag))
         return cls(graph, condensation.scc_of, closure)
 
     def lookup(self, source: int, target: int) -> TriState:
@@ -61,6 +61,16 @@ class TransitiveClosureIndex(ReachabilityIndex):
         if (self._closure[cs] >> ct) & 1:
             return TriState.YES
         return TriState.NO
+
+    def lookup_batch(self, pairs: Sequence[tuple[int, int]]) -> list[TriState]:
+        """Direct closure probes with the hot arrays bound once."""
+        self._check_pairs(pairs)
+        scc_of = self._scc_of
+        closure = self._closure
+        yes, no = TriState.YES, TriState.NO
+        return [
+            yes if (closure[scc_of[s]] >> scc_of[t]) & 1 else no for s, t in pairs
+        ]
 
     def size_in_entries(self) -> int:
         """Number of stored reachable pairs (the TC's defining cost)."""

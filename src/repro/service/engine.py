@@ -53,6 +53,10 @@ __all__ = ["QueryResult", "ReachabilityService", "Snapshot"]
 
 ROUTES = ("cache", "plain_index", "labeled_index", "traversal")
 
+#: Bucket bounds for the batch-size histogram (pairs per request).
+BATCH_SIZE_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0,
+                      512.0, 1024.0, 2048.0, 4096.0)
+
 
 @dataclass(frozen=True)
 class Snapshot:
@@ -126,6 +130,12 @@ class ReachabilityService:
         for route in ROUTES:
             self._metrics.counter(f"service.queries.{route}")
             self._metrics.histogram(f"service.latency.{route}")
+        self._metrics.counter("service.batch.requests")
+        self._metrics.counter("service.batch.pairs")
+        self._metrics.counter("service.batch.cache_hits")
+        self._metrics.counter("service.batch.computed")
+        self._metrics.histogram("service.batch.size", BATCH_SIZE_BUCKETS)
+        self._metrics.histogram("service.batch.latency")
         self._metrics.counter("service.swaps")
         self._metrics.counter("service.updates_applied")
         self._metrics.counter("service.rebuilds")
@@ -223,6 +233,62 @@ class ReachabilityService:
         unique, back_refs = dedupe(keys)
         answered = [self._serve(snap, key) for key in unique]
         return [answered[slot] for slot in back_refs]
+
+    def reach_batch(self, pairs: Sequence[tuple[int, int]]) -> list[bool]:
+        """Plain reachability for a batch of pairs at one epoch."""
+        return [result.answer for result in self.execute_batch(pairs)]
+
+    def execute_batch(
+        self, pairs: Sequence[tuple[int, int]]
+    ) -> list[QueryResult]:
+        """Answer a batch of plain pairs against ONE snapshot, amortised.
+
+        Unlike :meth:`batch`, which serves each unique key through the
+        scalar path, this probes the result cache per pair and then hands
+        *all* remaining misses to the index's ``query_batch`` in a single
+        call, so the bit-parallel kernels (shared traversal frontiers,
+        bound-once label merges) see the whole batch at once.  Every
+        result carries the same epoch.
+        """
+        start = time.perf_counter()
+        snap = self._snapshot
+        epoch = snap.epoch
+        keys = [(int(s), int(t)) for s, t in pairs]
+        results: list[QueryResult | None] = [None] * len(keys)
+        cache = self._cache
+        cache_hits = 0
+        misses: list[int] = []
+        if cache is not None:
+            for position, (s, t) in enumerate(keys):
+                hit = cache.get((s, t, None), epoch)
+                if hit is not MISS:
+                    results[position] = QueryResult(bool(hit), epoch, "cache")
+                    cache_hits += 1
+                else:
+                    misses.append(position)
+        else:
+            misses = list(range(len(keys)))
+        computed = 0
+        if misses:
+            unique, back_refs = dedupe([keys[i] for i in misses])
+            answers = snap.plain.query_batch(unique)
+            computed = len(unique)
+            if cache is not None:
+                for (s, t), answer in zip(unique, answers):
+                    cache.put((s, t, None), epoch, answer)
+            for position, slot in zip(misses, back_refs):
+                results[position] = QueryResult(answers[slot], epoch, "plain_index")
+        self._metrics.counter("service.queries.cache").increment(cache_hits)
+        self._metrics.counter("service.queries.plain_index").increment(computed)
+        self._metrics.counter("service.batch.requests").increment()
+        self._metrics.counter("service.batch.pairs").increment(len(keys))
+        self._metrics.counter("service.batch.cache_hits").increment(cache_hits)
+        self._metrics.counter("service.batch.computed").increment(computed)
+        self._metrics.histogram("service.batch.size").observe(float(len(keys)))
+        self._metrics.histogram("service.batch.latency").observe(
+            time.perf_counter() - start
+        )
+        return results  # type: ignore[return-value]
 
     # -- query evaluation ------------------------------------------------
     def _serve(self, snap: Snapshot, key: tuple[int, int, str | None]) -> QueryResult:

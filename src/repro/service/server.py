@@ -13,6 +13,10 @@ Routes
     Plain reachability; answer plus epoch/route provenance.
 ``GET /lreach?source=S&target=T&constraint=C``
     Path-constrained reachability (labeled mode only).
+``POST /reach/batch``
+    Body ``{"pairs": [[S, T], ...]}``.  Answers the whole batch against
+    one snapshot through the engine's amortised batch path; per-pair
+    cache probes first, then one ``query_batch`` call for the misses.
 ``POST /update``
     Body ``{"ops": [{"kind": "insert", "source": 0, "target": 1,
     "label": "a"}, ...]}`` (``label`` only in labeled mode).  Applies
@@ -155,20 +159,50 @@ class _Handler(BaseHTTPRequestHandler):
     def do_POST(self) -> None:  # noqa: N802 (http.server API)
         path = urlsplit(self.path).path
         service = self.server.service
-        if path != "/update":
-            self._error(404, f"unknown path {path!r}")
-            return
         try:
-            length = int(self.headers.get("Content-Length", "0"))
-            try:
-                body = json.loads(self.rfile.read(length) or b"{}")
-            except json.JSONDecodeError as exc:
-                raise ValueError(f"invalid JSON body: {exc}") from None
-            ops = _parse_ops(body, labeled=service.labeled_mode)
-            epoch = service.apply_updates(ops)
-            self._send_json(200, {"epoch": epoch, "applied": len(ops)})
+            if path == "/update":
+                body = self._json_body()
+                ops = _parse_ops(body, labeled=service.labeled_mode)
+                epoch = service.apply_updates(ops)
+                self._send_json(200, {"epoch": epoch, "applied": len(ops)})
+            elif path == "/reach/batch":
+                pairs = _parse_pairs(self._json_body())
+                results = service.execute_batch(pairs)
+                self._send_json(
+                    200,
+                    {
+                        "epoch": results[0].epoch if results else service.epoch,
+                        "count": len(results),
+                        "results": [self._query_payload(r) for r in results],
+                    },
+                )
+            else:
+                self._error(404, f"unknown path {path!r}")
         except (ValueError, ReproError) as exc:
             self._error(400, str(exc))
+
+    def _json_body(self) -> object:
+        length = int(self.headers.get("Content-Length", "0"))
+        try:
+            return json.loads(self.rfile.read(length) or b"{}")
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"invalid JSON body: {exc}") from None
+
+
+def _parse_pairs(body: object) -> list[tuple[int, int]]:
+    if not isinstance(body, dict) or not isinstance(body.get("pairs"), list):
+        raise ValueError('body must be {"pairs": [[source, target], ...]}')
+    pairs: list[tuple[int, int]] = []
+    for position, raw in enumerate(body["pairs"]):
+        if not isinstance(raw, (list, tuple)) or len(raw) != 2:
+            raise ValueError(f"pairs[{position}] must be a [source, target] pair")
+        try:
+            pairs.append((int(raw[0]), int(raw[1])))
+        except (TypeError, ValueError):
+            raise ValueError(
+                f"pairs[{position}] needs integer source and target"
+            ) from None
+    return pairs
 
 
 def _parse_ops(body: object, labeled: bool) -> list[EdgeOp | LabeledEdgeOp]:

@@ -4,6 +4,7 @@ from repro.traversal.automaton import DFA, NFA, build_dfa, build_nfa
 from repro.traversal.online import (
     ancestors,
     bfs_reachable,
+    bfs_reachable_batch,
     bibfs_reachable,
     descendants,
     dfs_reachable,
@@ -24,6 +25,7 @@ __all__ = [
     "build_nfa",
     "ancestors",
     "bfs_reachable",
+    "bfs_reachable_batch",
     "bibfs_reachable",
     "descendants",
     "dfs_reachable",

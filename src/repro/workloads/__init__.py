@@ -14,6 +14,7 @@ from repro.workloads.queries import (
     ConstrainedQuery,
     PlainQuery,
     alternation_workload,
+    batch_workload,
     concatenation_workload,
     plain_workload,
 )
@@ -42,6 +43,7 @@ __all__ = [
     "ConstrainedQuery",
     "PlainQuery",
     "alternation_workload",
+    "batch_workload",
     "concatenation_workload",
     "plain_workload",
     "DEFAULT_MIX",

@@ -11,6 +11,7 @@ families.
 from __future__ import annotations
 
 import random
+from bisect import bisect_right
 from dataclasses import dataclass
 
 from repro.graphs.digraph import DiGraph
@@ -21,6 +22,7 @@ __all__ = [
     "PlainQuery",
     "ConstrainedQuery",
     "plain_workload",
+    "batch_workload",
     "alternation_workload",
     "concatenation_workload",
 ]
@@ -84,6 +86,77 @@ def plain_workload(
             queries.append(PlainQuery(s, t, False))
     rng.shuffle(queries)
     return queries
+
+
+def batch_workload(
+    graph: DiGraph,
+    num_batches: int,
+    batch_size: int,
+    positive_fraction: float,
+    seed: int,
+    zipf_exponent: float = 1.2,
+) -> list[list[PlainQuery]]:
+    """Seeded batches of plain queries with Zipf-skewed sources.
+
+    Real batch traffic is source-skewed — a few hub entities dominate —
+    which is exactly the regime where batched evaluation pays: pairs
+    sharing a source ride one bit-parallel frontier, and repeated pairs
+    hit the result cache.  Sources are drawn by Zipf rank over a seeded
+    vertex permutation (``zipf_exponent`` controls the skew; 0 recovers
+    the uniform mix); each batch holds an exact
+    ``round(batch_size * positive_fraction)`` positives, except on
+    sources whose descendant sets are empty after bounded retries.
+    """
+    if not 0.0 <= positive_fraction <= 1.0:
+        raise ValueError(f"positive_fraction must be in [0, 1], got {positive_fraction}")
+    if batch_size < 0 or num_batches < 0:
+        raise ValueError("num_batches and batch_size must be non-negative")
+    if zipf_exponent < 0:
+        raise ValueError(f"zipf_exponent must be >= 0, got {zipf_exponent}")
+    rng = random.Random(seed)
+    n = graph.num_vertices
+    if n == 0 and num_batches * batch_size > 0:
+        raise ValueError("cannot draw queries from an empty graph")
+    # Zipf over a seeded permutation so vertex ids carry no hidden bias.
+    ranked = list(range(n))
+    rng.shuffle(ranked)
+    weights = [(rank + 1) ** -zipf_exponent for rank in range(n)]
+    cumulative: list[float] = []
+    total = 0.0
+    for w in weights:
+        total += w
+        cumulative.append(total)
+
+    def draw_source() -> int:
+        return ranked[bisect_right(cumulative, rng.random() * total)]
+
+    cache: dict[int, list[int]] = {}
+
+    def reachable_from(s: int) -> list[int]:
+        if s not in cache:
+            cache[s] = sorted(descendants(graph, s) - {s})
+        return cache[s]
+
+    batches: list[list[PlainQuery]] = []
+    for _ in range(num_batches):
+        wanted_positive = round(batch_size * positive_fraction)
+        batch: list[PlainQuery] = []
+        attempts = 0
+        while len(batch) < wanted_positive and attempts < 100 * batch_size:
+            attempts += 1
+            s = draw_source()
+            targets = reachable_from(s)
+            if targets:
+                batch.append(PlainQuery(s, rng.choice(targets), True))
+        while len(batch) < batch_size and attempts < 200 * batch_size:
+            attempts += 1
+            s = draw_source()
+            t = rng.randrange(n)
+            if s != t and t not in reachable_from(s):
+                batch.append(PlainQuery(s, t, False))
+        rng.shuffle(batch)
+        batches.append(batch)
+    return batches
 
 
 def alternation_workload(

@@ -1,0 +1,80 @@
+"""Differential batch matrix: ``lookup_batch``/``query_batch`` vs scalar.
+
+Every registered plain family must answer a batch exactly as the
+equivalent scalar loop would — same TriStates from ``lookup_batch``,
+same booleans from ``query_batch`` — on a DAG and (condensed) on a
+cyclic graph, including empty batches, duplicate pairs and self-pairs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.base import TriState
+from repro.core.condensed import CondensedIndex
+from repro.core.registry import all_plain_indexes
+from repro.errors import QueryError
+from repro.graphs.generators import gnp_digraph, random_dag
+from repro.graphs.topo import is_dag
+
+PLAIN = all_plain_indexes()
+
+GRAPHS = {
+    "dag": lambda: random_dag(30, 70, seed=811),
+    "cyclic": lambda: gnp_digraph(24, 0.08, seed=812),
+}
+
+
+def _build(name, graph):
+    cls = PLAIN[name]
+    if cls.metadata.input_kind == "DAG" and not is_dag(graph):
+        return CondensedIndex.build(graph, inner=cls)
+    return cls.build(graph)
+
+
+def _pairs(graph):
+    n = graph.num_vertices
+    pairs = [(s, t) for s in range(0, n, 3) for t in range(0, n, 2)]
+    pairs += [(v, v) for v in range(0, n, 5)]  # self-pairs
+    pairs += pairs[:7]  # duplicates
+    return pairs
+
+
+@pytest.mark.parametrize("shape", sorted(GRAPHS))
+@pytest.mark.parametrize("name", sorted(PLAIN))
+def test_lookup_batch_matches_scalar(name, shape):
+    graph = GRAPHS[shape]()
+    index = _build(name, graph)
+    pairs = _pairs(graph)
+    batched = index.lookup_batch(pairs)
+    scalar = [index.lookup(s, t) for s, t in pairs]
+    assert batched == scalar, (name, shape)
+    assert all(isinstance(probe, TriState) for probe in batched)
+
+
+@pytest.mark.parametrize("shape", sorted(GRAPHS))
+@pytest.mark.parametrize("name", sorted(PLAIN))
+def test_query_batch_matches_scalar(name, shape):
+    graph = GRAPHS[shape]()
+    index = _build(name, graph)
+    pairs = _pairs(graph)
+    batched = index.query_batch(pairs)
+    scalar = [index.query(s, t) for s, t in pairs]
+    assert batched == scalar, (name, shape)
+    assert all(isinstance(answer, bool) for answer in batched)
+
+
+@pytest.mark.parametrize("name", sorted(PLAIN))
+def test_empty_batch(name):
+    index = _build(name, GRAPHS["dag"]())
+    assert index.lookup_batch([]) == []
+    assert index.query_batch([]) == []
+
+
+@pytest.mark.parametrize("name", sorted(PLAIN))
+def test_out_of_range_pair_rejected(name):
+    index = _build(name, GRAPHS["dag"]())
+    with pytest.raises(QueryError):
+        index.query_batch([(0, 1), (0, 999)])
+    with pytest.raises(QueryError):
+        index.lookup_batch([(-1, 0)])

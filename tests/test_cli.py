@@ -64,6 +64,44 @@ class TestQuery:
         assert main(["query", str(path), "a", "d"]) == 1
         assert "false" in capsys.readouterr().out
 
+    def test_pairs_file_answers_in_order(self, tmp_path, capsys):
+        path = tmp_path / "chain.txt"
+        path.write_text("a b\nb c\nc d\n")
+        pairs = tmp_path / "pairs.txt"
+        pairs.write_text("# header comment\na d\nd a  # inline comment\n\nb b\n")
+        code = main(
+            ["query", str(path), "--index", "GRAIL", "--pairs-file", str(pairs)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.splitlines() == [
+            "Qr(a, d) = true",
+            "Qr(d, a) = false",
+            "Qr(b, b) = true",
+        ]
+
+    def test_pairs_file_unknown_vertex_exits_two(self, tmp_path, capsys):
+        path = tmp_path / "two.txt"
+        path.write_text("a b\n")
+        pairs = tmp_path / "pairs.txt"
+        pairs.write_text("a nope\n")
+        assert main(["query", str(path), "--pairs-file", str(pairs)]) == 2
+        assert "unknown vertex" in capsys.readouterr().err
+
+    def test_pairs_file_malformed_line_exits_two(self, tmp_path, capsys):
+        path = tmp_path / "two.txt"
+        path.write_text("a b\n")
+        pairs = tmp_path / "pairs.txt"
+        pairs.write_text("a b c\n")
+        assert main(["query", str(path), "--pairs-file", str(pairs)]) == 2
+        assert "SOURCE TARGET" in capsys.readouterr().err
+
+    def test_query_without_pair_or_file_exits_two(self, tmp_path, capsys):
+        path = tmp_path / "two.txt"
+        path.write_text("a b\n")
+        assert main(["query", str(path)]) == 2
+        assert "pairs-file" in capsys.readouterr().err
+
 
 class TestLabeledQuery:
     def test_lquery(self, labeled_file, capsys):

@@ -1,0 +1,176 @@
+"""The bit-parallel kernel layer: CSR snapshots and multi-source sweeps."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.errors import NotADAGError
+from repro.graphs.digraph import DiGraph
+from repro.graphs.generators import gnp_digraph, random_dag
+from repro.kernels import (
+    CSRGraph,
+    ancestors_set,
+    batch_reachable,
+    csr_of,
+    descendant_bitsets,
+    descendants_set,
+    reach_masks,
+    reverse_reach_masks,
+)
+from repro.traversal.online import bfs_reachable
+
+
+def _diamond() -> DiGraph:
+    graph = DiGraph(4)
+    graph.add_edge(0, 1)
+    graph.add_edge(0, 2)
+    graph.add_edge(1, 3)
+    graph.add_edge(2, 3)
+    return graph
+
+
+class TestCSRGraph:
+    def test_matches_adjacency(self):
+        graph = random_dag(40, 110, seed=31)
+        csr = CSRGraph.from_digraph(graph)
+        assert csr.num_vertices == graph.num_vertices
+        assert csr.num_edges == graph.num_edges
+        for v in graph.vertices():
+            out = csr.out_indices[csr.out_indptr[v] : csr.out_indptr[v + 1]]
+            assert sorted(out) == sorted(graph.out_neighbors(v))
+            inn = csr.in_indices[csr.in_indptr[v] : csr.in_indptr[v + 1]]
+            assert sorted(inn) == sorted(graph.in_neighbors(v))
+
+    def test_topo_order_on_dag(self):
+        graph = random_dag(30, 70, seed=32)
+        topo = CSRGraph.from_digraph(graph).topo_order
+        assert sorted(topo) == list(range(30))
+        position = {v: i for i, v in enumerate(topo)}
+        for u, v in graph.edges():
+            assert position[u] < position[v]
+
+    def test_topo_order_none_on_cycle(self):
+        graph = DiGraph(3)
+        graph.add_edge(0, 1)
+        graph.add_edge(1, 2)
+        graph.add_edge(2, 0)
+        assert CSRGraph.from_digraph(graph).topo_order is None
+
+    def test_self_loop_counts_as_cycle(self):
+        graph = DiGraph(2)
+        graph.add_edge(0, 0)
+        assert CSRGraph.from_digraph(graph).topo_order is None
+
+    def test_empty_graph(self):
+        csr = CSRGraph.from_digraph(DiGraph(0))
+        assert csr.num_vertices == 0
+        assert csr.topo_order == []
+
+
+class TestCsrOfCache:
+    def test_same_snapshot_until_mutation(self):
+        graph = _diamond()
+        first = csr_of(graph)
+        assert csr_of(graph) is first
+        graph.add_edge(3, 3)  # any mutation invalidates
+        second = csr_of(graph)
+        assert second is not first
+        assert second.num_edges == 5
+
+    def test_add_vertex_invalidates(self):
+        graph = _diamond()
+        first = csr_of(graph)
+        graph.add_vertex()
+        assert csr_of(graph) is not first
+        assert csr_of(graph).num_vertices == 5
+
+    def test_cache_not_pickled(self):
+        graph = _diamond()
+        csr_of(graph)
+        clone = pickle.loads(pickle.dumps(graph))
+        assert clone._csr_cache is None
+        assert sorted(clone.edges()) == sorted(graph.edges())
+        # and the clone builds its own snapshot on demand
+        assert csr_of(clone).num_edges == 4
+
+
+class TestReachMasks:
+    @pytest.mark.parametrize("seed", [41, 42])
+    @pytest.mark.parametrize("cyclic", [False, True])
+    def test_matches_bfs(self, seed, cyclic):
+        graph = (
+            gnp_digraph(25, 0.08, seed=seed)
+            if cyclic
+            else random_dag(25, 60, seed=seed)
+        )
+        csr = csr_of(graph)
+        sources = [0, 3, 7, 12, 24]
+        masks = reach_masks(csr, sources)
+        rev = reverse_reach_masks(csr, sources)
+        for slot, s in enumerate(sources):
+            bit = 1 << slot
+            for t in graph.vertices():
+                assert bool(masks[t] & bit) == bfs_reachable(graph, s, t)
+                assert bool(rev[t] & bit) == bfs_reachable(graph, t, s)
+
+    def test_empty_sources(self):
+        csr = csr_of(_diamond())
+        assert reach_masks(csr, []) == [0, 0, 0, 0]
+
+
+class TestDescendantBitsets:
+    def test_closure_on_dag(self):
+        graph = random_dag(20, 45, seed=51)
+        closure = descendant_bitsets(csr_of(graph))
+        for s in graph.vertices():
+            for t in graph.vertices():
+                assert bool((closure[s] >> t) & 1) == bfs_reachable(graph, s, t)
+
+    def test_rejects_cycles(self):
+        graph = DiGraph(2)
+        graph.add_edge(0, 1)
+        graph.add_edge(1, 0)
+        with pytest.raises(NotADAGError):
+            descendant_bitsets(csr_of(graph))
+
+
+class TestSweepSets:
+    @pytest.mark.parametrize("cyclic", [False, True])
+    def test_matches_bfs(self, cyclic):
+        graph = (
+            gnp_digraph(25, 0.08, seed=61) if cyclic else random_dag(25, 60, seed=61)
+        )
+        csr = csr_of(graph)
+        for v in (0, 9, 24):
+            assert descendants_set(csr, v) == {
+                t for t in graph.vertices() if bfs_reachable(graph, v, t)
+            }
+            assert ancestors_set(csr, v) == {
+                s for s in graph.vertices() if bfs_reachable(graph, s, v)
+            }
+
+
+class TestBatchReachable:
+    @pytest.mark.parametrize("cyclic", [False, True])
+    def test_matches_bfs(self, cyclic):
+        graph = (
+            gnp_digraph(30, 0.07, seed=71) if cyclic else random_dag(30, 70, seed=71)
+        )
+        csr = csr_of(graph)
+        pairs = [(s, t) for s in range(30) for t in (0, 7, 19, 29)]
+        pairs += [(5, 5), (0, 0)] + pairs[:5]  # self-pairs and duplicates
+        expected = [bfs_reachable(graph, s, t) for s, t in pairs]
+        assert batch_reachable(csr, pairs) == expected
+
+    def test_word_chunking(self):
+        graph = random_dag(40, 100, seed=72)
+        csr = csr_of(graph)
+        pairs = [(s, (s * 7) % 40) for s in range(40)]
+        expected = [bfs_reachable(graph, s, t) for s, t in pairs]
+        # a 5-bit word forces 8 waves over the 40 distinct sources
+        assert batch_reachable(csr, pairs, word_bits=5) == expected
+
+    def test_empty_batch(self):
+        assert batch_reachable(csr_of(_diamond()), []) == []

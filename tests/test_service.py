@@ -280,6 +280,62 @@ class TestEngineBasics:
         assert "cache_hits 0" in text
 
 
+class TestExecuteBatch:
+    PAIRS = [(0, 5), (3, 17), (17, 3), (6, 6), (0, 5), (12, 1), (0, 5)]
+
+    def test_answers_match_oracle_at_one_epoch(self):
+        graph = random_dag(20, 45, seed=601)
+        service = ReachabilityService(graph, index="GRAIL")
+        results = service.execute_batch(self.PAIRS)
+        assert [r.answer for r in results] == [
+            bfs_reachable(graph, s, t) for s, t in self.PAIRS
+        ]
+        assert {r.epoch for r in results} == {0}
+        assert service.execute_batch([]) == []
+
+    def test_metrics_reconcile_across_cold_and_warm_batches(self):
+        graph = random_dag(20, 45, seed=602)
+        service = ReachabilityService(graph, index="GRAIL")
+        unique = len(set(self.PAIRS))
+        cold = service.execute_batch(self.PAIRS)
+        # cold: nothing cached — every pair misses, the unique ones compute
+        assert all(r.route == "plain_index" for r in cold)
+        warm = service.execute_batch(self.PAIRS)
+        assert all(r.route == "cache" for r in warm)
+        assert [r.answer for r in warm] == [r.answer for r in cold]
+        batch = service.metrics_dict()["service"]["batch"]
+        assert batch["requests"] == 2
+        assert batch["pairs"] == 2 * len(self.PAIRS)
+        assert batch["cache_hits"] == len(self.PAIRS)  # all of the warm batch
+        assert batch["computed"] == unique  # dedupe collapsed the cold batch
+        assert batch["size"]["count"] == 2
+        assert batch["latency"]["count"] == 2
+
+    def test_cache_disabled_computes_everything(self):
+        graph = random_dag(20, 45, seed=603)
+        service = ReachabilityService(graph, cache_capacity=None)
+        for _ in range(2):
+            results = service.execute_batch(self.PAIRS)
+            assert all(r.route == "plain_index" for r in results)
+        batch = service.metrics_dict()["service"]["batch"]
+        assert batch["cache_hits"] == 0
+        assert batch["computed"] == 2 * len(set(self.PAIRS))
+
+    def test_labeled_mode_uses_plain_projection(self):
+        graph = random_labeled_digraph(20, 50, ["a", "b"], seed=604)
+        service = ReachabilityService(graph)
+        plain = graph.to_plain()
+        answers = service.reach_batch(self.PAIRS)
+        assert answers == [bfs_reachable(plain, s, t) for s, t in self.PAIRS]
+
+    def test_batch_sees_the_epoch_it_acquired(self):
+        graph = random_dag(20, 45, seed=605)
+        service = ReachabilityService(graph, index="GRAIL")
+        service.apply_updates(update_stream(graph, 5, seed=606))
+        results = service.execute_batch(self.PAIRS)
+        assert {r.epoch for r in results} == {1}
+
+
 def _run_hammer(service, epoch_graphs, readers, queries_per_reader, check):
     """Readers verify answers against the oracle of their observed epoch."""
     errors: list[BaseException] = []

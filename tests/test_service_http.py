@@ -116,6 +116,52 @@ class TestRoutes:
         assert "cache" in body
 
 
+class TestBatchRoute:
+    PAIRS = [[0, 5], [3, 9], [9, 3], [2, 2], [0, 5]]
+
+    def test_uncached_then_cached_reconcile_with_metrics(self, labeled_server):
+        base, graph, _service = labeled_server
+        plain = graph.to_plain()
+        expected = [bfs_reachable(plain, s, t) for s, t in self.PAIRS]
+
+        status, cold = _post(f"{base}/reach/batch", {"pairs": self.PAIRS})
+        assert status == 200
+        assert cold["count"] == len(self.PAIRS)
+        assert cold["epoch"] == 0
+        assert [r["reachable"] for r in cold["results"]] == expected
+        assert all(r["route"] == "plain_index" for r in cold["results"])
+
+        status, warm = _post(f"{base}/reach/batch", {"pairs": self.PAIRS})
+        assert [r["reachable"] for r in warm["results"]] == expected
+        assert all(r["route"] == "cache" for r in warm["results"])
+
+        _status, metrics = _get(f"{base}/metrics?format=json")
+        batch = metrics["service"]["batch"]
+        assert batch["requests"] == 2
+        assert batch["pairs"] == 2 * len(self.PAIRS)
+        assert batch["cache_hits"] == len(self.PAIRS)
+        assert batch["computed"] == len({tuple(p) for p in self.PAIRS})
+
+    def test_empty_batch(self, labeled_server):
+        base, _graph, _service = labeled_server
+        status, body = _post(f"{base}/reach/batch", {"pairs": []})
+        assert status == 200
+        assert body == {"epoch": 0, "count": 0, "results": []}
+
+    def test_malformed_pairs_400(self, labeled_server):
+        base, _graph, _service = labeled_server
+        for payload in ({}, {"pairs": [[1]]}, {"pairs": [["a", "b"]]}, {"pairs": 3}):
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _post(f"{base}/reach/batch", payload)
+            assert excinfo.value.code == 400
+
+    def test_out_of_range_pair_400(self, labeled_server):
+        base, _graph, _service = labeled_server
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _post(f"{base}/reach/batch", {"pairs": [[0, 999]]})
+        assert excinfo.value.code == 400
+
+
 class TestErrorHandling:
     def test_unknown_path_404(self, labeled_server):
         base, _graph, _service = labeled_server

@@ -16,6 +16,7 @@ from repro.workloads.datasets import (
 )
 from repro.workloads.queries import (
     alternation_workload,
+    batch_workload,
     concatenation_workload,
     plain_workload,
 )
@@ -45,6 +46,48 @@ class TestPlainWorkload:
         graph = random_dag(10, 20, seed=67)
         with pytest.raises(ValueError):
             plain_workload(graph, 10, 1.5, seed=68)
+
+
+class TestBatchWorkload:
+    def test_shape_mix_and_ground_truth(self):
+        graph = random_dag(40, 100, seed=261)
+        batches = batch_workload(graph, 3, 40, positive_fraction=0.5, seed=262)
+        assert len(batches) == 3
+        for batch in batches:
+            assert len(batch) == 40
+            assert sum(q.reachable for q in batch) == 20
+            for query in batch:
+                assert query.reachable == bfs_reachable(
+                    graph, query.source, query.target
+                )
+
+    def test_sources_are_zipf_skewed(self):
+        graph = random_dag(200, 500, seed=263)
+        batches = batch_workload(
+            graph, 4, 64, positive_fraction=0.3, seed=264, zipf_exponent=1.3
+        )
+        sources = [q.source for batch in batches for q in batch]
+        top_share = max(sources.count(s) for s in set(sources)) / len(sources)
+        # with 200 candidate sources a uniform draw gives ~0.5% to the top
+        # source; Zipf concentrates an order of magnitude more on it
+        assert top_share > 0.05
+
+    def test_deterministic_and_uniform_limit(self):
+        graph = random_dag(30, 70, seed=265)
+        assert batch_workload(graph, 2, 16, 0.5, seed=266) == batch_workload(
+            graph, 2, 16, 0.5, seed=266
+        )
+        flat = batch_workload(graph, 1, 16, 0.0, seed=267, zipf_exponent=0.0)
+        assert all(not q.reachable for q in flat[0])
+
+    def test_bad_parameters_rejected(self):
+        graph = random_dag(10, 20, seed=268)
+        with pytest.raises(ValueError):
+            batch_workload(graph, 1, 10, 1.5, seed=1)
+        with pytest.raises(ValueError):
+            batch_workload(graph, -1, 10, 0.5, seed=1)
+        with pytest.raises(ValueError):
+            batch_workload(graph, 1, 10, 0.5, seed=1, zipf_exponent=-0.1)
 
 
 class TestConstrainedWorkloads:
