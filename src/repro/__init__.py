@@ -17,6 +17,7 @@ Quickstart::
 
 from repro.core import (
     CondensedIndex,
+    Explanation,
     IndexMetadata,
     LabelConstrainedIndex,
     ReachabilityIndex,
@@ -25,6 +26,12 @@ from repro.core import (
     all_plain_indexes,
     labeled_index,
     plain_index,
+)
+from repro.obs import (
+    build_phase,
+    disable_tracing,
+    enable_tracing,
+    global_registry,
 )
 from repro.errors import (
     ConstraintSyntaxError,
@@ -53,7 +60,12 @@ __version__ = "1.0.0"
 
 __all__ = [
     "CondensedIndex",
+    "Explanation",
     "IndexMetadata",
+    "build_phase",
+    "disable_tracing",
+    "enable_tracing",
+    "global_registry",
     "LabelConstrainedIndex",
     "ReachabilityIndex",
     "TriState",

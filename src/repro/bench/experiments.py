@@ -137,6 +137,12 @@ def query_speed_rows(
                 "per_query": result.per_query_seconds,
                 "entries": built.entries,
                 "wrong": result.wrong_answers,
+                "build_seconds": built.build_seconds,
+                "build_phases": (
+                    [phase.as_dict() for phase in built.report.phases]
+                    if built.report is not None
+                    else []
+                ),
             }
         )
     return rows

@@ -15,6 +15,7 @@ from repro.core.base import ReachabilityIndex, TriState
 from repro.core.condensed import CondensedIndex
 from repro.graphs.digraph import DiGraph
 from repro.graphs.topo import is_dag
+from repro.obs.build import BuildReport
 from repro.workloads.queries import PlainQuery
 
 __all__ = [
@@ -34,6 +35,7 @@ class BuildResult:
     build_seconds: float
     entries: int
     index: ReachabilityIndex
+    report: BuildReport | None = None
 
 
 @dataclass(frozen=True)
@@ -66,6 +68,7 @@ def build_index(
         build_seconds=elapsed,
         entries=index.size_in_entries(),
         index=index,
+        report=getattr(index, "build_report", None),
     )
 
 

@@ -3,7 +3,8 @@
 The ASCII tables the benchmark suite prints are for humans; CI and
 regression tooling need the same numbers as JSON.  Every benchmark that
 measures a claim can emit one artifact through :func:`emit`, so the
-files share an envelope (benchmark name, interpreter, platform) and a
+files share an envelope (benchmark name, interpreter, platform, and a
+:func:`provenance` stamp — git sha plus UTC date) and a
 predictable filename — ``BENCH_batch.json``, ``BENCH_query_speed.json``
 — that a smoke job can pick up without per-benchmark glue.
 
@@ -16,11 +17,48 @@ directory.
 from __future__ import annotations
 
 import argparse
+import datetime
+import functools
 import json
 import platform
+import subprocess
 from pathlib import Path
 
-__all__ = ["add_json_argument", "bench_path", "emit"]
+__all__ = ["add_json_argument", "bench_path", "emit", "provenance"]
+
+
+@functools.lru_cache(maxsize=1)
+def _git_revision() -> str:
+    """The repository HEAD sha, or ``"unknown"`` outside a checkout."""
+    try:
+        completed = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=Path(__file__).parent,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    sha = completed.stdout.strip()
+    return sha if completed.returncode == 0 and sha else "unknown"
+
+
+def provenance() -> dict[str, str]:
+    """Where and when a benchmark artifact was produced.
+
+    Stamped into every :func:`emit` envelope so a ``BENCH_*.json`` found
+    on disk can be traced to a commit and an interpreter without relying
+    on file mtimes.
+    """
+    return {
+        "git_sha": _git_revision(),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "date": datetime.datetime.now(datetime.timezone.utc).strftime(
+            "%Y-%m-%dT%H:%M:%SZ"
+        ),
+    }
 
 
 def bench_path(name: str, directory: str | Path = ".") -> Path:
@@ -46,10 +84,12 @@ def emit(name: str, results: object, path: str | Path | None = None) -> Path:
     current directory.
     """
     target = Path(path) if path is not None else bench_path(name)
+    stamp = provenance()
     document = {
         "bench": name,
-        "python": platform.python_version(),
-        "platform": platform.platform(),
+        "python": stamp["python"],
+        "platform": stamp["platform"],
+        "provenance": stamp,
         "results": results,
     }
     target.write_text(

@@ -15,10 +15,18 @@ Commands
     report batch throughput on stderr.
 ``repro lquery EDGELIST --index NAME S T CONSTRAINT [--load FILE]``
     Answer one path-constrained query over a labeled edge list.
+``repro explain EDGELIST S T --index NAME``
+    Show the routed decision path of one query — which probe answered it
+    (label probe, certificate, guided fallback) — plus the per-phase
+    build breakdown with ``--build``.
+``repro trace EDGELIST [S T] --index NAME [--jsonl FILE]``
+    Build (and optionally query) under the span tracer and print the
+    recorded span trees; ``--jsonl`` exports them as JSON lines.
 ``repro inspect FILE``
     Show the class and version of a saved index without loading it.
-``repro serve EDGELIST [--labeled] --port N``
-    Run the snapshot-isolated HTTP query service over an edge list.
+``repro serve EDGELIST [--labeled] --port N [--trace]``
+    Run the snapshot-isolated HTTP query service over an edge list;
+    ``--trace`` enables the span tracer behind ``GET /debug/trace``.
 ``repro experiment NAME``
     Run one DESIGN.md experiment (taxonomy / speed / size / …) and print
     its table.
@@ -311,6 +319,63 @@ def _cmd_query(args: argparse.Namespace) -> int:
     return 0 if answer else 1
 
 
+def _cmd_explain(args: argparse.Namespace) -> int:
+    import json
+
+    _graph, ids, index, _elapsed = _build_plain(args.edgelist, args.index)
+    try:
+        s = ids[args.source]
+        t = ids[args.target]
+    except KeyError as exc:
+        print(f"unknown vertex {exc}", file=sys.stderr)
+        return 2
+    explanation = index.explain(s, t)
+    if args.json:
+        print(json.dumps(explanation.as_dict(), indent=2))
+    else:
+        print(explanation.render_text())
+        report = getattr(index, "build_report", None)
+        if args.build and report is not None:
+            print()
+            print(report.render_text())
+    return 0 if explanation.answer else 1
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs.tracer import (
+        TRACER,
+        disable_tracing,
+        enable_tracing,
+        export_jsonl,
+        render_span_tree,
+    )
+
+    enable_tracing(sample_rate=args.sample_rate)
+    try:
+        _graph, ids, index, _elapsed = _build_plain(args.edgelist, args.index)
+        if args.source is not None and args.target is not None:
+            try:
+                s = ids[args.source]
+                t = ids[args.target]
+            except KeyError as exc:
+                print(f"unknown vertex {exc}", file=sys.stderr)
+                return 2
+            answer = index.query(s, t)
+            print(f"Qr({args.source}, {args.target}) = {str(answer).lower()}")
+        spans = TRACER.finished()
+        for span in spans:
+            print(render_span_tree(span))
+        if args.jsonl:
+            written = export_jsonl(spans, args.jsonl)
+            print(f"# {written} spans written to {args.jsonl}", file=sys.stderr)
+        report = getattr(index, "build_report", None)
+        if report is not None:
+            print(report.render_text())
+    finally:
+        disable_tracing()
+    return 0
+
+
 def _cmd_lquery(args: argparse.Namespace) -> int:
     graph, ids = read_labeled_edge_list(args.edgelist)
     if args.load:
@@ -338,6 +403,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service import ReachabilityService
     from repro.service.server import serve
 
+    if args.trace:
+        from repro.obs.tracer import enable_tracing
+
+        enable_tracing(sample_rate=args.trace_sample_rate)
     if args.labeled:
         graph, _ids = read_labeled_edge_list(args.edgelist)
         labeled = None if args.labeled_index == "none" else args.labeled_index
@@ -360,10 +429,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         )
     server = serve(service, host=args.host, port=args.port, quiet=False)
     host, port = server.server_address[:2]
+    trace_line = (
+        f"\n  http://{host}:{port}/debug/trace" if args.trace else ""
+    )
     print(
         f"serving {service!r}\n"
         f"  http://{host}:{port}/reach?source=S&target=T\n"
         f"  http://{host}:{port}/metrics   (Ctrl-C to stop)"
+        + trace_line
     )
     try:
         server.serve_forever()
@@ -433,6 +506,36 @@ def main(argv: list[str] | None = None) -> int:
     )
     query.set_defaults(func=_cmd_query)
 
+    explain = sub.add_parser(
+        "explain", help="show the routed decision path of one query"
+    )
+    explain.add_argument("edgelist")
+    explain.add_argument("source")
+    explain.add_argument("target")
+    explain.add_argument("--index", default="PLL")
+    explain.add_argument(
+        "--build", action="store_true", help="also print the per-phase build breakdown"
+    )
+    explain.add_argument(
+        "--json", action="store_true", help="emit the explanation as JSON"
+    )
+    explain.set_defaults(func=_cmd_explain)
+
+    trace = sub.add_parser(
+        "trace", help="build (and optionally query) under the span tracer"
+    )
+    trace.add_argument("edgelist")
+    trace.add_argument("source", nargs="?", default=None)
+    trace.add_argument("target", nargs="?", default=None)
+    trace.add_argument("--index", default="PLL")
+    trace.add_argument(
+        "--sample-rate", type=float, default=1.0, help="root-span sampling rate"
+    )
+    trace.add_argument(
+        "--jsonl", default=None, help="export recorded spans as JSON lines"
+    )
+    trace.set_defaults(func=_cmd_trace)
+
     lquery = sub.add_parser("lquery", help="answer one path-constrained query")
     lquery.add_argument("edgelist")
     lquery.add_argument("source")
@@ -462,6 +565,14 @@ def main(argv: list[str] | None = None) -> int:
         "--no-coalesce", action="store_true", help="disable request coalescing"
     )
     serve.add_argument("--rebuild", choices=("auto", "always"), default="auto")
+    serve.add_argument(
+        "--trace",
+        action="store_true",
+        help="enable the span tracer (spans at GET /debug/trace)",
+    )
+    serve.add_argument(
+        "--trace-sample-rate", type=float, default=1.0, help="root-span sampling rate"
+    )
     serve.set_defaults(func=_cmd_serve)
 
     args = parser.parse_args(argv)

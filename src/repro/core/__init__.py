@@ -1,6 +1,7 @@
 """Core abstractions: index ABCs, taxonomy metadata, registry, wrappers."""
 
 from repro.core.base import (
+    Explanation,
     IndexMetadata,
     LabelConstrainedIndex,
     ReachabilityIndex,
@@ -18,6 +19,7 @@ from repro.core.registry import (
 )
 
 __all__ = [
+    "Explanation",
     "IndexMetadata",
     "LabelConstrainedIndex",
     "ReachabilityIndex",

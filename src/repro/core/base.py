@@ -21,6 +21,7 @@ this module:
 from __future__ import annotations
 
 import enum
+import functools
 from abc import ABC, abstractmethod
 from collections import deque
 from collections.abc import Sequence
@@ -31,11 +32,15 @@ from repro.errors import QueryError, UnsupportedOperationError
 from repro.graphs.digraph import DiGraph
 from repro.graphs.labeled import LabeledDiGraph
 from repro.kernels import batch_reachable, csr_of
+from repro.obs.build import observe_build
+from repro.obs.metrics import global_registry
+from repro.obs.tracer import TRACER
 from repro.traversal.regex import RegexNode
 
 __all__ = [
     "TriState",
     "IndexMetadata",
+    "Explanation",
     "ReachabilityIndex",
     "LabelConstrainedIndex",
     "guided_query",
@@ -84,6 +89,76 @@ class IndexMetadata:
     def index_type(self) -> str:
         """``"Complete"`` or ``"Partial"`` — the Table 1/2 column value."""
         return "Complete" if self.complete else "Partial"
+
+
+@dataclass(frozen=True)
+class Explanation:
+    """The routed decision path of one exact reachability answer.
+
+    Produced by :meth:`ReachabilityIndex.explain` — the §5 observability
+    surface: *how* was this query answered, not just what the answer
+    was.  ``route`` is one of
+
+    * ``"trivial"`` — source equals target;
+    * ``"label_probe"`` — a complete index answered from its labels;
+    * ``"certain"`` — a partial index's YES/NO certificate sufficed;
+    * ``"guided_traversal"`` — the partial probe said MAYBE and the
+      index-guided BFS fallback decided;
+    * ``"same_scc"`` — the SCC-condensation wrapper short-circuited.
+    """
+
+    index: str
+    source: int
+    target: int
+    answer: bool
+    route: str
+    probe: TriState | None
+    details: tuple[str, ...] = ()
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-serialisable plain data (the CLI/HTTP payload shape)."""
+        return {
+            "index": self.index,
+            "source": self.source,
+            "target": self.target,
+            "answer": self.answer,
+            "route": self.route,
+            "probe": self.probe.value if self.probe is not None else None,
+            "details": list(self.details),
+        }
+
+    def render_text(self) -> str:
+        """A short human-readable decision path."""
+        lines = [
+            f"Qr({self.source}, {self.target}) = "
+            f"{str(self.answer).lower()}  [{self.index}]",
+            f"  route: {self.route}"
+            + (f" (probe={self.probe.value})" if self.probe is not None else ""),
+        ]
+        lines.extend(f"  {detail}" for detail in self.details)
+        return "\n".join(lines)
+
+
+def _instrumented_build(raw: classmethod) -> classmethod:
+    """Wrap a subclass ``build`` with per-phase observation.
+
+    Applied automatically by ``__init_subclass__`` wherever an index
+    class defines its own ``build``, so every family's construction is
+    observed — total time, the :func:`~repro.obs.build.build_phase`
+    stages it marks, and final size — without per-family boilerplate.
+    The report lands on the instance as ``build_report``.
+    """
+    inner = raw.__func__
+
+    @functools.wraps(inner)
+    def build(cls, graph, *args, **params):
+        with observe_build(cls.metadata.name) as observation:
+            index = inner(cls, graph, *args, **params)
+        observation.attach(index, entries=index.size_in_entries())
+        return index
+
+    build._obs_wrapped = True
+    return classmethod(build)
 
 
 def guided_query(graph: DiGraph, index: "ReachabilityIndex", source: int, target: int) -> bool:
@@ -201,6 +276,15 @@ class ReachabilityIndex(ABC):
     def __init__(self, graph: DiGraph) -> None:
         self._graph = graph
 
+    def __init_subclass__(cls, **kwargs: object) -> None:
+        """Instrument every concrete ``build`` with per-phase observation."""
+        super().__init_subclass__(**kwargs)
+        raw = cls.__dict__.get("build")
+        if isinstance(raw, classmethod) and not getattr(
+            raw.__func__, "_obs_wrapped", False
+        ):
+            cls.build = _instrumented_build(raw)
+
     # -- construction ---------------------------------------------------
     @classmethod
     @abstractmethod
@@ -211,6 +295,15 @@ class ReachabilityIndex(ABC):
         input; wrap them with :func:`repro.core.condensed.condense_for` for
         general graphs.
         """
+
+    @property
+    def build_report(self):
+        """The :class:`~repro.obs.build.BuildReport` of this build, or None.
+
+        Attached by the automatic build instrumentation; absent only on
+        instances constructed directly through ``__init__``.
+        """
+        return getattr(self, "_build_report", None)
 
     # -- probing --------------------------------------------------------
     @abstractmethod
@@ -266,16 +359,25 @@ class ReachabilityIndex(ABC):
                 answers.append(None)
                 unresolved.append(position)
         if unresolved:
-            resolved = batch_reachable(
-                csr_of(self._graph), [pairs[i] for i in unresolved]
-            )
+            with TRACER.span(
+                "index.kernel_sweep",
+                index=self.metadata.name,
+                pairs=len(unresolved),
+            ):
+                resolved = batch_reachable(
+                    csr_of(self._graph), [pairs[i] for i in unresolved]
+                )
             for position, answer in zip(unresolved, resolved):
                 answers[position] = answer
+        if TRACER.enabled:
+            self._record_batch_routes(len(pairs), len(unresolved))
         return answers
 
     def query(self, source: int, target: int) -> bool:
         """Exact reachability answer."""
         self._check_query(source, target)
+        if TRACER.enabled:
+            return self._query_observed(source, target)
         if source == target:
             return True
         if self.metadata.complete:
@@ -286,6 +388,95 @@ class ReachabilityIndex(ABC):
                 )
             return result is TriState.YES
         return guided_query(self._graph, self, source, target)
+
+    # -- observability ---------------------------------------------------
+    def _routed_answer(
+        self, source: int, target: int
+    ) -> tuple[bool, str, TriState | None]:
+        """Answer plus routing attribution; shared by explain and tracing.
+
+        The routes (and their exactness argument) mirror :meth:`query`:
+        complete indexes answer from the probe alone, partial ones trust
+        YES/NO certificates and fall back to index-guided traversal on
+        MAYBE.  ``explain`` and the traced query path both call this,
+        which is what guarantees explain-vs-query agreement.
+        """
+        if source == target:
+            return True, "trivial", None
+        probe = self.lookup(source, target)
+        if self.metadata.complete:
+            if probe is TriState.MAYBE:
+                raise QueryError(
+                    f"{type(self).__name__} is complete but answered MAYBE"
+                )
+            return probe is TriState.YES, "label_probe", probe
+        if probe is TriState.YES:
+            return True, "certain", probe
+        if probe is TriState.NO:
+            return False, "certain", probe
+        return (
+            guided_query(self._graph, self, source, target),
+            "guided_traversal",
+            probe,
+        )
+
+    def _query_observed(self, source: int, target: int) -> bool:
+        """The traced scalar query path (tracer enabled only)."""
+        with TRACER.span(
+            "index.query", index=self.metadata.name, source=source, target=target
+        ) as span:
+            answer, route, _probe = self._routed_answer(source, target)
+            span.annotate(route=route, answer=answer)
+            global_registry().counter(f"index.route.{route}").increment()
+            return answer
+
+    def _record_batch_routes(self, total: int, swept: int) -> None:
+        """Attribute one ``query_batch`` call's pairs to their routes."""
+        registry = global_registry()
+        certain = total - swept
+        if certain:
+            route = "label_probe" if self.metadata.complete else "certain"
+            registry.counter(f"index.route.{route}").increment(certain)
+        if swept:
+            registry.counter("index.route.kernel_sweep").increment(swept)
+
+    def explain(self, source: int, target: int) -> Explanation:
+        """The routed decision path of ``query(source, target)``.
+
+        Always agrees with :meth:`query` (both trust the same probe and
+        fall back to the same exact traversal); unlike ``query`` it is
+        not gated on the tracer — explaining is an explicit request.
+        """
+        self._check_query(source, target)
+        answer, route, probe = self._routed_answer(source, target)
+        return Explanation(
+            index=self.metadata.name,
+            source=source,
+            target=target,
+            answer=answer,
+            route=route,
+            probe=probe,
+            details=self._route_details(route, probe),
+        )
+
+    def _route_details(self, route: str, probe: TriState | None) -> tuple[str, ...]:
+        meta = self.metadata
+        if route == "trivial":
+            return ("source equals target: reachable by the empty path",)
+        if route == "label_probe":
+            return (
+                f"complete {meta.framework} index: answered "
+                f"{probe.value} from one label probe",
+            )
+        if route == "certain":
+            return (
+                f"partial {meta.framework} index: the {probe.value} "
+                "certificate is exact, no traversal needed",
+            )
+        return (
+            "partial index answered MAYBE: resolved by index-guided BFS "
+            "(probes prune the frontier)",
+        )
 
     # -- accounting -----------------------------------------------------
     @abstractmethod
@@ -377,10 +568,24 @@ class LabelConstrainedIndex(ABC):
     def __init__(self, graph: LabeledDiGraph) -> None:
         self._graph = graph
 
+    def __init_subclass__(cls, **kwargs: object) -> None:
+        """Instrument every concrete ``build`` with per-phase observation."""
+        super().__init_subclass__(**kwargs)
+        raw = cls.__dict__.get("build")
+        if isinstance(raw, classmethod) and not getattr(
+            raw.__func__, "_obs_wrapped", False
+        ):
+            cls.build = _instrumented_build(raw)
+
     @classmethod
     @abstractmethod
     def build(cls, graph: LabeledDiGraph, **params: object) -> "LabelConstrainedIndex":
         """Construct the index over the labeled graph."""
+
+    @property
+    def build_report(self):
+        """The :class:`~repro.obs.build.BuildReport` of this build, or None."""
+        return getattr(self, "_build_report", None)
 
     @abstractmethod
     def query(self, source: int, target: int, constraint: str | RegexNode) -> bool:

@@ -14,9 +14,12 @@ import dataclasses
 from collections.abc import Sequence
 from typing import ClassVar
 
-from repro.core.base import IndexMetadata, ReachabilityIndex, TriState
+from repro.core.base import Explanation, IndexMetadata, ReachabilityIndex, TriState
 from repro.graphs.digraph import DiGraph
 from repro.graphs.scc import Condensation, condense
+from repro.obs.build import build_phase
+from repro.obs.metrics import global_registry
+from repro.obs.tracer import TRACER
 
 __all__ = ["CondensedIndex"]
 
@@ -63,7 +66,13 @@ class CondensedIndex(ReachabilityIndex):
         """Condense ``graph`` and build ``inner`` over the resulting DAG."""
         if inner is None:
             raise TypeError("CondensedIndex.build requires inner=<DAG index class>")
-        condensation = condense(graph)
+        with build_phase("scc-condense") as phase:
+            condensation = condense(graph)
+            phase.annotate(
+                vertices=graph.num_vertices,
+                sccs=condensation.dag.num_vertices,
+            )
+        # The inner build is itself observed; it nests as a child phase.
         inner_index = inner.build(condensation.dag, **params)
         return cls(graph, condensation, inner_index)
 
@@ -101,8 +110,43 @@ class CondensedIndex(ReachabilityIndex):
         cs = self._condensation.scc_of[source]
         ct = self._condensation.scc_of[target]
         if cs == ct:
+            if TRACER.enabled:
+                global_registry().counter("index.route.same_scc").increment()
             return True
+        # Cross-SCC: the inner DAG index attributes its own route.
         return self._inner.query(cs, ct)
+
+    def explain(self, source: int, target: int) -> Explanation:
+        """The decision path through the SCC map and the inner DAG index."""
+        self._check_query(source, target)
+        cs = self._condensation.scc_of[source]
+        ct = self._condensation.scc_of[target]
+        if cs == ct:
+            return Explanation(
+                index=self.metadata.name,
+                source=source,
+                target=target,
+                answer=True,
+                route="same_scc",
+                probe=TriState.YES,
+                details=(
+                    f"both vertices collapse into SCC {cs}: mutually reachable",
+                ),
+            )
+        inner = self._inner.explain(cs, ct)
+        return Explanation(
+            index=self.metadata.name,
+            source=source,
+            target=target,
+            answer=inner.answer,
+            route=inner.route,
+            probe=inner.probe,
+            details=(
+                f"condensed: scc({source})={cs}, scc({target})={ct}; "
+                f"delegated to {inner.index} over the condensation DAG",
+                *inner.details,
+            ),
+        )
 
     def query_batch(self, pairs: Sequence[tuple[int, int]]) -> list[bool]:
         """Batch queries through the SCC map, delegating cross-SCC pairs.

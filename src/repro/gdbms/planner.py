@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 
 from repro.core.registry import labeled_index
 from repro.gdbms.store import GraphStore
+from repro.obs.metrics import MetricsRegistry, global_registry
 from repro.traversal.regex import (
     RegexNode,
     alternation_label_set,
@@ -79,13 +80,19 @@ class PlannerStatistics:
 class IndexPlanner:
     """Keeps the store's reachability indexes fresh and routes queries."""
 
-    def __init__(self, store: GraphStore, rlc_max_period: int = 2) -> None:
+    def __init__(
+        self,
+        store: GraphStore,
+        rlc_max_period: int = 2,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
         self._store = store
         self._rlc_max_period = rlc_max_period
         self._alternation = None
         self._concatenation = None
         self._concatenation_dirty = True
         self._stats = PlannerStatistics()
+        self._metrics = global_registry() if metrics is None else metrics
 
     @property
     def statistics(self) -> PlannerStatistics:
@@ -135,12 +142,17 @@ class IndexPlanner:
 
     def _bump_rebuild(self, name: str) -> None:
         self._stats.rebuilds[name] = self._stats.rebuilds.get(name, 0) + 1
+        self._metrics.counter(f"gdbms.rebuilds.{name}").increment()
+
+    def _bump_route(self, route: str) -> None:
+        self._metrics.counter(f"gdbms.route.{route}").increment()
 
     # -- query routing ----------------------------------------------------------
     def reaches(self, source: int, target: int) -> bool:
         """Plain reachability — the all-labels alternation query."""
         self._synchronise()
         self._stats.plain_index += 1
+        self._bump_route("plain_index")
         labels = [str(label) for label in self._store.graph.labels()]
         if not labels:
             return source == target
@@ -155,11 +167,14 @@ class IndexPlanner:
         if route == "alternation":
             self._synchronise()
             self._stats.alternation_index += 1
+            self._bump_route("alternation_index")
             return self._alternation.query(source, target, node)
         if route == "concatenation":
             self._synchronise()
             index = self._ensure_concatenation()
             self._stats.concatenation_index += 1
+            self._bump_route("concatenation_index")
             return index.query(source, target, node)
         self._stats.traversal += 1
+        self._bump_route("traversal")
         return rpq_reachable(self._store.graph, source, target, node)

@@ -39,6 +39,7 @@ from repro.core.registry import register_labeled
 from repro.graphs.labeled import LabeledDiGraph
 from repro.labeled.base import AlternationIndex
 from repro.labeled.spls import add_to_antichain, antichain_matches
+from repro.obs.build import build_phase
 
 __all__ = ["ChenIndex"]
 
@@ -180,21 +181,24 @@ class ChenIndex(AlternationIndex):
         ]
         levels: list[_Level] = []
         num_vertices = graph.num_vertices
-        while True:
-            level, next_adjacency, next_n = cls._decompose(
-                num_vertices, adjacency, num_labels
-            )
-            levels.append(level)
-            no_summary = next_n == 0
-            no_shrink = next_n >= num_vertices
-            if no_summary:
-                break
-            if no_shrink or next_n <= terminal_threshold:
-                level.closure = _closure_rows(next_n, next_adjacency)
-                # re-express the closure over this level's own vertex ids
-                break
-            adjacency = next_adjacency
-            num_vertices = next_n
+        with build_phase("recursive-decomposition") as phase:
+            while True:
+                level, next_adjacency, next_n = cls._decompose(
+                    num_vertices, adjacency, num_labels
+                )
+                levels.append(level)
+                no_summary = next_n == 0
+                no_shrink = next_n >= num_vertices
+                if no_summary:
+                    break
+                if no_shrink or next_n <= terminal_threshold:
+                    with build_phase("terminal-closure", vertices=next_n):
+                        level.closure = _closure_rows(next_n, next_adjacency)
+                    # re-express the closure over this level's own vertex ids
+                    break
+                adjacency = next_adjacency
+                num_vertices = next_n
+            phase.annotate(levels=len(levels))
         # the terminal closure (if any) lives on the ids of the *next*
         # level; record it on a sentinel terminal level for uniform access
         if levels and levels[-1].closure:

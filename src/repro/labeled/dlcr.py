@@ -26,6 +26,7 @@ from typing import ClassVar
 from repro.core.base import IndexMetadata
 from repro.core.registry import register_labeled
 from repro.graphs.labeled import LabeledDiGraph
+from repro.obs.build import build_phase
 from repro.labeled.p2h import (
     LabeledTwoHopLabels,
     P2HIndex,
@@ -54,7 +55,8 @@ class DLCRIndex(P2HIndex):
 
     @classmethod
     def build(cls, graph: LabeledDiGraph, **params: object) -> "DLCRIndex":
-        labels, rank = build_labeled_labels(graph, labeled_degree_order(graph))
+        with build_phase("labeled-pruned-labeling"):
+            labels, rank = build_labeled_labels(graph, labeled_degree_order(graph))
         return cls(graph, labels, rank)
 
     def insert_edge(self, source: int, target: int, label: object) -> None:

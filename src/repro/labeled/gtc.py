@@ -23,6 +23,7 @@ from repro.core.registry import register_labeled
 from repro.graphs.labeled import LabeledDiGraph
 from repro.labeled.base import AlternationIndex
 from repro.labeled.spls import add_to_antichain, antichain_matches
+from repro.obs.build import build_phase
 
 __all__ = ["GTCIndex", "single_source_gtc"]
 
@@ -95,12 +96,13 @@ class GTCIndex(AlternationIndex):
 
     @classmethod
     def build(cls, graph: LabeledDiGraph, **params: object) -> "GTCIndex":
-        rows: list[dict[int, list[int]]] = []
-        cycles: list[list[int]] = []
-        for source in graph.vertices():
-            row, cycle = single_source_gtc(graph, source)
-            rows.append(row)
-            cycles.append(cycle)
+        with build_phase("single-source-sweeps", vertices=graph.num_vertices):
+            rows: list[dict[int, list[int]]] = []
+            cycles: list[list[int]] = []
+            for source in graph.vertices():
+                row, cycle = single_source_gtc(graph, source)
+                rows.append(row)
+                cycles.append(cycle)
         return cls(graph, rows, cycles)
 
     def spls(self, source: int, target: int) -> list[int]:

@@ -28,6 +28,7 @@ from repro.graphs.labeled import LabeledDiGraph
 from repro.labeled.base import AlternationIndex
 from repro.labeled.gtc import single_source_gtc
 from repro.labeled.spls import antichain_matches
+from repro.obs.build import build_phase
 
 __all__ = ["JinIndex", "labeled_spanning_forest"]
 
@@ -112,36 +113,40 @@ class JinIndex(AlternationIndex):
 
     @classmethod
     def build(cls, graph: LabeledDiGraph, **params: object) -> "JinIndex":
-        parent, parent_label, intervals = labeled_spanning_forest(graph)
+        with build_phase("labeled-spanning-forest"):
+            parent, parent_label, intervals = labeled_spanning_forest(graph)
         num_labels = max(graph.num_labels, 1)
         # root-to-vertex label occurrence counts (second optimisation)
-        root_counts: list[tuple[int, ...]] = [()] * graph.num_vertices
-        order = sorted(graph.vertices(), key=lambda v: intervals[v][0])
-        for v in order:  # parents have smaller pre numbers, so they're done
-            if parent[v] == -1:
-                root_counts[v] = (0,) * num_labels
-            else:
-                counts = list(root_counts[parent[v]])
-                counts[parent_label[v]] += 1
-                root_counts[v] = tuple(counts)
-        tree_pairs = {
-            (u, v, label_id)
-            for v in graph.vertices()
-            if (u := parent[v]) != -1
-            for label_id in (parent_label[v],)
-        }
-        non_tree = [
-            (u, v, graph.label_id(label))
-            for u, v, label in graph.edges()
-            if (u, v, graph.label_id(label)) not in tree_pairs
-        ]
-        partial_rows: dict[int, dict[int, list[int]]] = {}
-        partial_cycles: dict[int, list[int]] = {}
-        for _u, head, _label in non_tree:
-            if head not in partial_rows:
-                row, cycles = single_source_gtc(graph, head)
-                partial_rows[head] = row
-                partial_cycles[head] = cycles
+        with build_phase("root-label-counts"):
+            root_counts: list[tuple[int, ...]] = [()] * graph.num_vertices
+            order = sorted(graph.vertices(), key=lambda v: intervals[v][0])
+            for v in order:  # parents have smaller pre numbers, so they're done
+                if parent[v] == -1:
+                    root_counts[v] = (0,) * num_labels
+                else:
+                    counts = list(root_counts[parent[v]])
+                    counts[parent_label[v]] += 1
+                    root_counts[v] = tuple(counts)
+        with build_phase("non-tree-closures") as phase:
+            tree_pairs = {
+                (u, v, label_id)
+                for v in graph.vertices()
+                if (u := parent[v]) != -1
+                for label_id in (parent_label[v],)
+            }
+            non_tree = [
+                (u, v, graph.label_id(label))
+                for u, v, label in graph.edges()
+                if (u, v, graph.label_id(label)) not in tree_pairs
+            ]
+            partial_rows: dict[int, dict[int, list[int]]] = {}
+            partial_cycles: dict[int, list[int]] = {}
+            for _u, head, _label in non_tree:
+                if head not in partial_rows:
+                    row, cycles = single_source_gtc(graph, head)
+                    partial_rows[head] = row
+                    partial_cycles[head] = cycles
+            phase.annotate(non_tree=len(non_tree))
         return cls(graph, intervals, root_counts, non_tree, partial_rows, partial_cycles)
 
     # -- tree primitives --------------------------------------------------------

@@ -27,6 +27,7 @@ from repro.graphs.labeled import LabeledDiGraph
 from repro.labeled.base import AlternationIndex
 from repro.labeled.gtc import single_source_gtc
 from repro.labeled.spls import antichain_matches
+from repro.obs.build import build_phase
 
 __all__ = ["LandmarkIndex"]
 
@@ -72,28 +73,31 @@ class LandmarkIndex(AlternationIndex):
         shortcut_budget: int = DEFAULT_SHORTCUT_BUDGET,
         **params: object,
     ) -> "LandmarkIndex":
-        by_degree = sorted(
-            graph.vertices(),
-            key=lambda v: (-(graph.in_degree(v) + graph.out_degree(v)), v),
-        )
-        landmarks = by_degree[: min(k, graph.num_vertices)]
-        landmark_set = set(landmarks)
-        rows: dict[int, dict[int, list[int]]] = {}
-        cycles: dict[int, list[int]] = {}
-        for landmark in landmarks:
-            rows[landmark], cycles[landmark] = single_source_gtc(graph, landmark)
+        with build_phase("landmark-selection", landmarks=min(k, graph.num_vertices)):
+            by_degree = sorted(
+                graph.vertices(),
+                key=lambda v: (-(graph.in_degree(v) + graph.out_degree(v)), v),
+            )
+            landmarks = by_degree[: min(k, graph.num_vertices)]
+            landmark_set = set(landmarks)
+        with build_phase("landmark-gtc-sweeps"):
+            rows: dict[int, dict[int, list[int]]] = {}
+            cycles: dict[int, list[int]] = {}
+            for landmark in landmarks:
+                rows[landmark], cycles[landmark] = single_source_gtc(graph, landmark)
         # vertex-to-landmark shortcuts, bounded by the predefined parameter:
         # a depth-bounded label-set exploration per vertex — sound SPLSs of
         # *short* paths into landmarks, cheap to build, used purely as a
         # YES accelerator (the guided BFS remains the exact fallback).
-        shortcuts: list[dict[int, list[int]]] = [{} for _ in graph.vertices()]
-        if shortcut_budget > 0:
-            for v in graph.vertices():
-                if v in landmark_set:
-                    continue
-                shortcuts[v] = cls._bounded_shortcuts(
-                    graph, v, landmark_set, shortcut_budget
-                )
+        with build_phase("bounded-shortcuts", budget=shortcut_budget):
+            shortcuts: list[dict[int, list[int]]] = [{} for _ in graph.vertices()]
+            if shortcut_budget > 0:
+                for v in graph.vertices():
+                    if v in landmark_set:
+                        continue
+                    shortcuts[v] = cls._bounded_shortcuts(
+                        graph, v, landmark_set, shortcut_budget
+                    )
         return cls(graph, landmarks, rows, cycles, shortcuts)
 
     @staticmethod

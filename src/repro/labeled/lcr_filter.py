@@ -41,6 +41,7 @@ from repro.graphs.labeled import LabeledDiGraph
 from repro.graphs.scc import condense
 from repro.graphs.topo import topological_order
 from repro.labeled.base import AlternationIndex
+from repro.obs.build import build_phase
 
 __all__ = ["LCRFilterIndex"]
 
@@ -121,24 +122,27 @@ class LCRFilterIndex(AlternationIndex):
     ) -> "LCRFilterIndex":
         from itertools import combinations
 
-        rng = random.Random(seed)
-        signature = [0] * graph.num_vertices
-        for v in graph.vertices():
-            mask = 0
-            for _ in range(num_hashes):
-                mask |= 1 << rng.randrange(bits)
-            signature[v] = mask
-        full_mask = (1 << graph.num_labels) - 1
-        filters: dict[int, tuple[list[int], list[int]]] = {
-            full_mask: _bloom_filters(graph, full_mask, signature)
-        }
-        label_ids = range(graph.num_labels)
-        for exclude_count in range(1, max_exclude + 1):
-            for excluded in combinations(label_ids, exclude_count):
-                allowed = full_mask
-                for label_id in excluded:
-                    allowed &= ~(1 << label_id)
-                filters[allowed] = _bloom_filters(graph, allowed, signature)
+        with build_phase("hash-signatures", bits=bits, hashes=num_hashes):
+            rng = random.Random(seed)
+            signature = [0] * graph.num_vertices
+            for v in graph.vertices():
+                mask = 0
+                for _ in range(num_hashes):
+                    mask |= 1 << rng.randrange(bits)
+                signature[v] = mask
+        with build_phase("per-subset-filters", max_exclude=max_exclude) as phase:
+            full_mask = (1 << graph.num_labels) - 1
+            filters: dict[int, tuple[list[int], list[int]]] = {
+                full_mask: _bloom_filters(graph, full_mask, signature)
+            }
+            label_ids = range(graph.num_labels)
+            for exclude_count in range(1, max_exclude + 1):
+                for excluded in combinations(label_ids, exclude_count):
+                    allowed = full_mask
+                    for label_id in excluded:
+                        allowed &= ~(1 << label_id)
+                    filters[allowed] = _bloom_filters(graph, allowed, signature)
+            phase.annotate(filters=len(filters))
         return cls(graph, filters)
 
     def lookup_mask(self, source: int, target: int, mask: int) -> TriState:

@@ -29,6 +29,7 @@ from repro.core.registry import register_labeled
 from repro.graphs.labeled import LabeledDiGraph
 from repro.labeled.base import AlternationIndex
 from repro.labeled.spls import add_to_antichain, antichain_matches
+from repro.obs.build import build_phase
 
 __all__ = ["P2HIndex", "LabeledTwoHopLabels"]
 
@@ -234,7 +235,9 @@ class P2HIndex(AlternationIndex):
 
     @classmethod
     def build(cls, graph: LabeledDiGraph, **params: object) -> "P2HIndex":
-        labels, rank = build_labeled_labels(graph, labeled_degree_order(graph))
+        with build_phase("labeled-pruned-labeling") as phase:
+            labels, rank = build_labeled_labels(graph, labeled_degree_order(graph))
+            phase.annotate(entries=labels.size_in_entries())
         return cls(graph, labels, rank)
 
     @property

@@ -30,6 +30,7 @@ from repro.core.base import IndexMetadata, LabelConstrainedIndex
 from repro.core.registry import register_labeled
 from repro.errors import UnsupportedConstraintError
 from repro.graphs.labeled import LabeledDiGraph
+from repro.obs.build import build_phase
 from repro.labeled.kleene import (
     Entry,
     match_first_leg,
@@ -86,17 +87,19 @@ class RLCIndex(LabelConstrainedIndex):
         if max_period < 1:
             raise ValueError(f"max_period must be >= 1, got {max_period}")
         n = graph.num_vertices
-        order = sorted(
-            graph.vertices(),
-            key=lambda v: (-(graph.in_degree(v) + graph.out_degree(v)), v),
-        )
-        rank = {v: i for i, v in enumerate(order)}
-        l_in: list[dict[int, set[Entry]]] = [{} for _ in range(n)]
-        l_out: list[dict[int, set[Entry]]] = [{} for _ in range(n)]
-        cycles: list[set[Entry]] = [set() for _ in range(n)]
-        for hop in order:
-            cls._explore(graph, hop, rank, max_period, l_in, cycles, forward=True)
-            cls._explore(graph, hop, rank, max_period, l_out, cycles, forward=False)
+        with build_phase("degree-order"):
+            order = sorted(
+                graph.vertices(),
+                key=lambda v: (-(graph.in_degree(v) + graph.out_degree(v)), v),
+            )
+            rank = {v: i for i, v in enumerate(order)}
+        with build_phase("summary-searches", max_period=max_period):
+            l_in: list[dict[int, set[Entry]]] = [{} for _ in range(n)]
+            l_out: list[dict[int, set[Entry]]] = [{} for _ in range(n)]
+            cycles: list[set[Entry]] = [set() for _ in range(n)]
+            for hop in order:
+                cls._explore(graph, hop, rank, max_period, l_in, cycles, forward=True)
+                cls._explore(graph, hop, rank, max_period, l_out, cycles, forward=False)
         return cls(graph, max_period, l_in, l_out, cycles)
 
     @staticmethod

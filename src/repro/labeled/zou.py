@@ -34,6 +34,7 @@ from repro.graphs.topo import topological_order
 from repro.labeled.base import AlternationIndex
 from repro.labeled.gtc import single_source_gtc
 from repro.labeled.spls import add_to_antichain, antichain_matches
+from repro.obs.build import build_phase
 from repro.traversal.online import ancestors
 
 __all__ = ["ZouIndex", "PortalDecomposition", "scc_portals"]
@@ -134,8 +135,10 @@ class ZouIndex(AlternationIndex):
 
     @classmethod
     def build(cls, graph: LabeledDiGraph, **params: object) -> "ZouIndex":
-        plain = graph.to_plain()
-        condensation = condense(plain)
+        with build_phase("scc-condense") as phase:
+            plain = graph.to_plain()
+            condensation = condense(plain)
+            phase.annotate(sccs=condensation.dag.num_vertices)
         rows: dict[int, _Row] = {v: {} for v in graph.vertices()}
         cycles: dict[int, list[int]] = {v: [] for v in graph.vertices()}
 
@@ -158,17 +161,18 @@ class ZouIndex(AlternationIndex):
                         changed = True
             return changed
 
-        order = topological_order(condensation.dag)
-        for comp in reversed(order):
-            members = condensation.members[comp]
-            # out-of-SCC successors are final; iterate members to a fixpoint
-            # (one pass suffices for singleton SCCs without self-loops).
-            changed = True
-            while changed:
-                changed = False
-                for v in members:
-                    if relax(v):
-                        changed = True
+        with build_phase("bottom-up-relaxation"):
+            order = topological_order(condensation.dag)
+            for comp in reversed(order):
+                members = condensation.members[comp]
+                # out-of-SCC successors are final; iterate members to a fixpoint
+                # (one pass suffices for singleton SCCs without self-loops).
+                changed = True
+                while changed:
+                    changed = False
+                    for v in members:
+                        if relax(v):
+                            changed = True
         return cls(graph, rows, cycles)
 
     # -- lazy recomputation ---------------------------------------------------

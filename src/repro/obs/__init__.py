@@ -1,0 +1,58 @@
+"""repro.obs — cross-cutting observability for the index stack.
+
+The survey's §5 argues a GDBMS must know *which index family served
+which query and at what cost*; its taxonomy tables are build-time /
+index-size / query-time breakdowns.  This package is the substrate that
+makes those numbers inspectable from live runs:
+
+* :mod:`repro.obs.tracer` — a thread-safe, contextvar-scoped span
+  tracer (free when disabled, sampled when enabled) with a ring buffer,
+  JSON-lines export and a text tree renderer;
+* :mod:`repro.obs.build` — the shared :func:`build_phase` helper every
+  index family marks its construction stages with, accumulating into a
+  :class:`BuildReport` on the finished index;
+* :mod:`repro.obs.metrics` — counters / latency histograms / the
+  process-wide :func:`global_registry` that route-attribution and
+  planner tallies land in.
+
+Turn it on with :func:`enable_tracing`; everything is pay-for-use.
+"""
+
+from repro.obs.build import BuildPhase, BuildReport, build_phase, observe_build
+from repro.obs.metrics import (
+    Counter,
+    LatencyHistogram,
+    MetricsRegistry,
+    default_latency_buckets,
+    global_registry,
+)
+from repro.obs.tracer import (
+    TRACER,
+    Span,
+    Tracer,
+    disable_tracing,
+    enable_tracing,
+    export_jsonl,
+    render_span_tree,
+    span_to_dict,
+)
+
+__all__ = [
+    "BuildPhase",
+    "BuildReport",
+    "build_phase",
+    "observe_build",
+    "Counter",
+    "LatencyHistogram",
+    "MetricsRegistry",
+    "default_latency_buckets",
+    "global_registry",
+    "TRACER",
+    "Span",
+    "Tracer",
+    "disable_tracing",
+    "enable_tracing",
+    "export_jsonl",
+    "render_span_tree",
+    "span_to_dict",
+]

@@ -1,0 +1,205 @@
+"""Per-phase build timers and structure-size accounting.
+
+O'Reach and PReaCH report *per-phase* construction costs (DFS numbering,
+topological levelling, support selection…) as first-class results; the
+survey's taxonomy tables are build-time / index-size / query-time
+breakdowns.  To reproduce those numbers from live runs, every
+:meth:`~repro.core.base.ReachabilityIndex.build` is wrapped (by the core
+base class) in :func:`observe_build`, and index implementations mark
+their internal stages with the shared :func:`build_phase` helper::
+
+    with build_phase("dfs-numbering") as ph:
+        fwd = _dfs_numbers(graph)
+        ph.annotate(vertices=graph.num_vertices)
+
+Phases accumulate into a :class:`BuildReport` attached to the finished
+index (``index.build_report``), nested builds (the SCC-condensation
+wrapper, backbone indexes) appear as child phases of the enclosing
+build, and — when the tracer is enabled — every phase is also a trace
+span, so ``repro trace`` shows construction and querying in one tree.
+
+The accumulator is a :class:`contextvars.ContextVar`, so concurrent
+builds on different threads never interleave their phase lists, and
+``build_phase`` outside any observed build (helper code called directly)
+degrades to a cheap no-op record.
+"""
+
+from __future__ import annotations
+
+import time
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+
+from repro.obs.tracer import TRACER, _NULL_SPAN
+
+__all__ = ["BuildPhase", "BuildReport", "build_phase", "observe_build"]
+
+
+@dataclass(frozen=True)
+class BuildPhase:
+    """One timed construction stage, possibly with nested sub-builds."""
+
+    name: str
+    seconds: float
+    meta: dict[str, object] = field(default_factory=dict)
+    children: tuple["BuildPhase", ...] = ()
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-serialisable plain data (the BENCH_*.json shape)."""
+        node: dict[str, object] = {"name": self.name, "seconds": self.seconds}
+        if self.meta:
+            node["meta"] = dict(self.meta)
+        if self.children:
+            node["children"] = [child.as_dict() for child in self.children]
+        return node
+
+
+@dataclass(frozen=True)
+class BuildReport:
+    """The per-phase construction breakdown of one built index."""
+
+    index: str
+    total_seconds: float
+    phases: tuple[BuildPhase, ...]
+    entries: int | None = None
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-serialisable plain data (the BENCH_*.json shape)."""
+        return {
+            "index": self.index,
+            "total_seconds": self.total_seconds,
+            "entries": self.entries,
+            "phases": [phase.as_dict() for phase in self.phases],
+        }
+
+    def render_text(self) -> str:
+        """An indented per-phase breakdown for the CLI."""
+        lines = [
+            f"{self.index}: built in {self.total_seconds * 1e3:.2f}ms"
+            + (f", {self.entries:,} entries" if self.entries is not None else "")
+        ]
+
+        def walk(phase: BuildPhase, depth: int) -> None:
+            share = (
+                100.0 * phase.seconds / self.total_seconds
+                if self.total_seconds > 0
+                else 0.0
+            )
+            meta = " ".join(f"{k}={phase.meta[k]}" for k in sorted(phase.meta))
+            lines.append(
+                f"{'  ' * (depth + 1)}{phase.name}: {phase.seconds * 1e3:.2f}ms"
+                f" ({share:.0f}%)" + (f"  [{meta}]" if meta else "")
+            )
+            for child in phase.children:
+                walk(child, depth + 1)
+
+        for phase in self.phases:
+            walk(phase, 0)
+        return "\n".join(lines)
+
+
+#: The innermost in-progress observed build's phase accumulator.
+_PHASES: ContextVar[list[BuildPhase] | None] = ContextVar(
+    "repro_obs_build_phases", default=None
+)
+
+
+class _PhaseContext:
+    """Context manager recording one :class:`BuildPhase`."""
+
+    __slots__ = ("_name", "_meta", "_span_cm", "_span", "_t0")
+
+    def __init__(self, name: str, meta: dict[str, object]) -> None:
+        self._name = name
+        self._meta = meta
+
+    def __enter__(self) -> "_PhaseContext":
+        self._span_cm = TRACER.span(f"build.{self._name}", **self._meta)
+        self._span = self._span_cm.__enter__()
+        self._t0 = time.perf_counter()
+        return self
+
+    def annotate(self, **meta: object) -> None:
+        """Attach size/count accounting to the phase (and its span)."""
+        self._meta.update(meta)
+        if self._span is not _NULL_SPAN:
+            self._span.annotate(**meta)
+
+    def __exit__(self, *exc: object) -> bool:
+        seconds = time.perf_counter() - self._t0
+        self._span_cm.__exit__(*exc)
+        sink = _PHASES.get()
+        if sink is not None:
+            sink.append(BuildPhase(self._name, seconds, self._meta))
+        return False
+
+
+def build_phase(name: str, **meta: object) -> _PhaseContext:
+    """Mark one construction stage inside an index ``build``.
+
+    Records into the enclosing :func:`observe_build` accumulator (when
+    one is active) and opens a ``build.<name>`` trace span (when the
+    tracer is enabled).  The returned object's ``annotate(**kw)`` adds
+    structure-size accounting discovered mid-phase.
+    """
+    return _PhaseContext(name, meta)
+
+
+class _BuildObservation:
+    """Context manager wrapping one whole index construction."""
+
+    __slots__ = ("_name", "_token", "_phases", "_span_cm", "_t0", "report")
+
+    def __init__(self, name: str) -> None:
+        self._name = name
+        self.report: BuildReport | None = None
+
+    def __enter__(self) -> "_BuildObservation":
+        self._phases: list[BuildPhase] = []
+        self._token = _PHASES.set(self._phases)
+        self._span_cm = TRACER.span("build", index=self._name)
+        self._span_cm.__enter__()
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        total = time.perf_counter() - self._t0
+        self._span_cm.__exit__(*exc)
+        _PHASES.reset(self._token)
+        if exc and exc[0] is not None:
+            return False  # failed build: no report, re-raise
+        self.report = BuildReport(
+            index=self._name, total_seconds=total, phases=tuple(self._phases)
+        )
+        # A nested build (condensation inner, Scarab backbone, …) shows
+        # up as one phase of the enclosing build, subtree included.
+        outer = _PHASES.get()
+        if outer is not None:
+            outer.append(
+                BuildPhase(
+                    f"build.{self._name}", total, children=tuple(self._phases)
+                )
+            )
+        return False
+
+    def attach(self, index: object, entries: int | None = None) -> None:
+        """Finalise the report with size accounting and pin it on ``index``."""
+        report = self.report
+        if report is None:
+            return
+        report = BuildReport(
+            index=report.index,
+            total_seconds=report.total_seconds,
+            phases=report.phases,
+            entries=entries,
+        )
+        self.report = report
+        try:
+            index._build_report = report
+        except AttributeError:  # __slots__ without room for the report
+            pass
+
+
+def observe_build(index_name: str) -> _BuildObservation:
+    """Observe one whole ``build`` call (used by the core base classes)."""
+    return _BuildObservation(index_name)

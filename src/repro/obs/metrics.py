@@ -1,0 +1,259 @@
+"""Counters and fixed-bucket latency histograms for every layer.
+
+The survey's §5 asks GDBMSs for *observability* — which index family
+served which query, and at what cost.  The planner tallies routing
+counts, the serving tier records per-route latency distributions, and
+the index core attributes every query to its answering route; all of them
+meter through the primitives here.
+
+The histogram uses **fixed log-spaced buckets** (1-2.5-5 per decade,
+1 µs … 10 s), so recording is one bisect plus one integer increment
+under a lock and percentiles are read without storing samples — the
+classic monitoring-system design (and the reason p50/p95/p99 here are
+bucket *upper bounds*, not exact order statistics).
+
+Originally ``repro.service.metrics``; promoted to the cross-cutting
+``repro.obs`` layer so the index core and the GDBMS planner can meter
+without importing the serving tier.  Alongside per-instance registries
+(each :class:`~repro.service.engine.ReachabilityService` owns one),
+:func:`global_registry` is the process-wide registry the index core's
+route-attribution counters and the planner's routing tallies land in.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+
+__all__ = [
+    "Counter",
+    "LatencyHistogram",
+    "MetricsRegistry",
+    "default_latency_buckets",
+    "global_registry",
+]
+
+
+def default_latency_buckets() -> tuple[float, ...]:
+    """Log-spaced bucket upper bounds in seconds: 1 µs to 10 s, 1-2.5-5."""
+    bounds: list[float] = []
+    for exponent in range(-6, 1):  # 1e-6 … 1e0
+        for mantissa in (1.0, 2.5, 5.0):
+            bounds.append(mantissa * 10.0**exponent)
+    bounds.append(10.0)
+    return tuple(bounds)
+
+
+_DEFAULT_BUCKETS = default_latency_buckets()
+
+
+class Counter:
+    """A thread-safe monotone counter."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def increment(self, amount: int = 1) -> None:
+        """Add ``amount`` (must be non-negative)."""
+        if amount < 0:
+            raise ValueError(f"counters are monotone, got increment {amount}")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        """Current count."""
+        return self._value
+
+    def __repr__(self) -> str:
+        return f"Counter({self._value})"
+
+
+class LatencyHistogram:
+    """Fixed-bucket latency histogram with approximate percentiles.
+
+    ``observe`` files a sample into the first bucket whose upper bound
+    is >= the sample; samples beyond the last bound land in an overflow
+    bucket.  ``percentile(p)`` returns the upper bound of the bucket
+    where the cumulative count crosses ``p`` — an upper estimate whose
+    error is bounded by the bucket width (≤ 2.5× at these bounds).
+    """
+
+    def __init__(self, buckets: tuple[float, ...] = _DEFAULT_BUCKETS) -> None:
+        if not buckets or any(
+            b2 <= b1 for b1, b2 in zip(buckets, buckets[1:])
+        ):
+            raise ValueError("bucket bounds must be strictly increasing")
+        self._bounds = tuple(float(b) for b in buckets)
+        self._counts = [0] * (len(self._bounds) + 1)  # +1 overflow
+        self._lock = threading.Lock()
+        self._count = 0
+        self._sum = 0.0
+        self._max = 0.0
+
+    def observe(self, seconds: float) -> None:
+        """Record one latency sample (seconds)."""
+        if seconds < 0:
+            seconds = 0.0
+        slot = bisect_left(self._bounds, seconds)
+        with self._lock:
+            self._counts[slot] += 1
+            self._count += 1
+            self._sum += seconds
+            if seconds > self._max:
+                self._max = seconds
+
+    @property
+    def count(self) -> int:
+        """Number of recorded samples."""
+        return self._count
+
+    @property
+    def total_seconds(self) -> float:
+        """Sum of all samples."""
+        return self._sum
+
+    def mean(self) -> float:
+        """Mean latency (0.0 when empty)."""
+        with self._lock:
+            return self._sum / self._count if self._count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Approximate ``p``-th percentile (``p`` in (0, 100])."""
+        with self._lock:
+            return self._percentile_locked(p)
+
+    def _percentile_locked(self, p: float) -> float:
+        """Percentile from the current state; caller holds ``_lock``."""
+        if not 0.0 < p <= 100.0:
+            raise ValueError(f"percentile must be in (0, 100], got {p}")
+        if self._count == 0:
+            return 0.0
+        rank = p / 100.0 * self._count
+        cumulative = 0
+        for slot, count in enumerate(self._counts):
+            cumulative += count
+            if cumulative >= rank:
+                if slot < len(self._bounds):
+                    return self._bounds[slot]
+                return self._max  # overflow bucket
+        return self._max
+
+    def summary(self) -> dict[str, float | int]:
+        """count / mean / p50 / p95 / p99 / max as a plain dict.
+
+        Computed under **one** lock acquisition so the fields are
+        mutually consistent — a ``/metrics`` scrape racing ``observe``
+        never sees a count from one instant and percentiles from
+        another (or a torn unlocked ``_max`` read).
+        """
+        with self._lock:
+            count = self._count
+            return {
+                "count": count,
+                "mean_s": self._sum / count if count else 0.0,
+                "p50_s": self._percentile_locked(50),
+                "p95_s": self._percentile_locked(95),
+                "p99_s": self._percentile_locked(99),
+                "max_s": self._max,
+            }
+
+    def __repr__(self) -> str:
+        return f"LatencyHistogram(count={self._count}, mean={self.mean():.2e}s)"
+
+
+class MetricsRegistry:
+    """Named counters and histograms behind one get-or-create front door.
+
+    Names are dotted paths (``"service.queries.cache"``); ``as_dict``
+    nests them so callers can read ``metrics["service"]["queries"]...``
+    without knowing the flat names, and ``render_text`` emits one
+    ``name value`` line per sample in the flat exposition format
+    monitoring scrapers expect.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._histograms: dict[str, LatencyHistogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        """The counter called ``name``, created on first use."""
+        with self._lock:
+            if name in self._histograms:
+                raise ValueError(f"{name!r} is already a histogram")
+            if name not in self._counters:
+                self._counters[name] = Counter()
+            return self._counters[name]
+
+    def histogram(
+        self, name: str, buckets: tuple[float, ...] = _DEFAULT_BUCKETS
+    ) -> LatencyHistogram:
+        """The histogram called ``name``, created on first use."""
+        with self._lock:
+            if name in self._counters:
+                raise ValueError(f"{name!r} is already a counter")
+            if name not in self._histograms:
+                self._histograms[name] = LatencyHistogram(buckets)
+            return self._histograms[name]
+
+    def as_dict(self) -> dict[str, object]:
+        """All metrics as a nested plain dict (JSON-serialisable)."""
+        with self._lock:
+            counters = dict(self._counters)
+            histograms = dict(self._histograms)
+        root: dict[str, object] = {}
+        for name, counter in counters.items():
+            _nest(root, name, counter.value)
+        for name, histogram in histograms.items():
+            _nest(root, name, histogram.summary())
+        return root
+
+    def render_text(self) -> str:
+        """Flat ``name value`` exposition (one line per sample)."""
+        with self._lock:
+            counters = sorted(self._counters.items())
+            histograms = sorted(self._histograms.items())
+        lines: list[str] = []
+        for name, counter in counters:
+            lines.append(f"{_flat(name)} {counter.value}")
+        for name, histogram in histograms:
+            for key, value in histogram.summary().items():
+                if isinstance(value, float):
+                    lines.append(f"{_flat(name)}_{key} {value:.9f}")
+                else:
+                    lines.append(f"{_flat(name)}_{key} {value}")
+        return "\n".join(lines) + "\n"
+
+
+_GLOBAL_REGISTRY = MetricsRegistry()
+
+
+def global_registry() -> MetricsRegistry:
+    """The process-wide registry (index route attribution, gdbms routing)."""
+    return _GLOBAL_REGISTRY
+
+
+def _flat(name: str) -> str:
+    """A dotted metric name as one exposition-format token.
+
+    Metric names can embed index family names (``index.O'Reach.route``),
+    which carry quotes, ``+`` and spaces — anything outside
+    ``[A-Za-z0-9_]`` becomes ``_`` so every line stays two
+    whitespace-separated tokens.
+    """
+    return "".join(c if c.isalnum() or c == "_" else "_" for c in name)
+
+
+def _nest(root: dict[str, object], dotted: str, value: object) -> None:
+    parts = dotted.split(".")
+    node = root
+    for part in parts[:-1]:
+        child = node.setdefault(part, {})
+        if not isinstance(child, dict):  # a leaf already claimed this path
+            node[part] = child = {"": child}
+        node = child
+    node[parts[-1]] = value

@@ -1,0 +1,325 @@
+"""A contextvar-scoped span tracer with near-zero disabled overhead.
+
+The survey's §5 asks GDBMSs to make reachability serving *observable* —
+which index family answered, through which route, at what cost.  This
+module is the substrate: code under measurement opens named spans,
+
+    with TRACER.span("index.query", index="PLL") as sp:
+        ...
+        sp.annotate(route="label_probe")
+
+and finished **root** spans (with their nested children) land in a
+bounded ring buffer that the CLI (``repro trace``), the service
+(``GET /debug/trace``) and tests read back.
+
+Design constraints, in order:
+
+* **Disabled is free.**  ``TRACER.enabled`` is a plain attribute; hot
+  paths guard on it, and :meth:`Tracer.span` itself returns a shared
+  no-op context manager when tracing is off — no allocation, no clock
+  read, no contextvar touch.
+* **Thread- and task-safe.**  The active span is a :class:`contextvars.
+  ContextVar`, so concurrent request threads (the serving tier's
+  one-thread-per-connection shape) each get their own span stack, and
+  spans never cross-nest between threads.
+* **Sampling at the root.**  ``sample_rate < 1.0`` drops whole traces,
+  never partial ones: the decision is drawn once per root span and
+  pinned in the context, so children of an unsampled root are no-ops
+  too.
+
+Export is pull-based (:meth:`Tracer.finished`, :func:`export_jsonl`,
+:func:`render_span_tree`) plus an optional push ``sink`` callable that
+receives each finished root span — the JSON-lines tap.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import random
+import threading
+import time
+from collections import deque
+from contextvars import ContextVar
+from pathlib import Path
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "TRACER",
+    "enable_tracing",
+    "disable_tracing",
+    "span_to_dict",
+    "render_span_tree",
+    "export_jsonl",
+]
+
+
+class Span:
+    """One named, timed region with attributes and nested children."""
+
+    __slots__ = ("name", "attributes", "children", "start_unix_s", "duration_s")
+
+    def __init__(self, name: str, attributes: dict[str, object]) -> None:
+        self.name = name
+        self.attributes = attributes
+        self.children: list[Span] = []
+        self.start_unix_s = time.time()
+        self.duration_s = 0.0
+
+    def annotate(self, **attributes: object) -> None:
+        """Attach or overwrite attributes on the span."""
+        self.attributes.update(attributes)
+
+    def __repr__(self) -> str:
+        return (
+            f"Span({self.name!r}, {self.duration_s * 1e6:.1f}us, "
+            f"children={len(self.children)})"
+        )
+
+
+class _NullSpan:
+    """The shared no-op span: a context manager that swallows everything."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+    def annotate(self, **attributes: object) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+#: Sentinel pinned in the context while an unsampled root is open, so the
+#: whole subtree is dropped with one identity check per child span.
+_UNSAMPLED = object()
+
+
+class _ActiveSpan:
+    """Context manager for one sampled span (root or child)."""
+
+    __slots__ = ("_tracer", "_span", "_token", "_t0")
+
+    def __init__(self, tracer: "Tracer", name: str, attributes: dict[str, object]) -> None:
+        self._tracer = tracer
+        self._span = Span(name, attributes)
+
+    def __enter__(self) -> Span:
+        self._token = self._tracer._current.set(self._span)
+        self._t0 = time.perf_counter()
+        return self._span
+
+    def __exit__(self, *exc: object) -> bool:
+        span = self._span
+        span.duration_s = time.perf_counter() - self._t0
+        tracer = self._tracer
+        token = self._token
+        parent = token.old_value
+        tracer._current.reset(token)
+        if isinstance(parent, Span):
+            parent.children.append(span)
+        else:
+            tracer._finish_root(span)
+        return False
+
+
+class _UnsampledRoot:
+    """Context manager that pins ``_UNSAMPLED`` for a rejected root trace."""
+
+    __slots__ = ("_tracer", "_token")
+
+    def __init__(self, tracer: "Tracer") -> None:
+        self._tracer = tracer
+
+    def __enter__(self) -> _NullSpan:
+        self._token = self._tracer._current.set(_UNSAMPLED)
+        return _NULL_SPAN
+
+    def __exit__(self, *exc: object) -> bool:
+        self._tracer._current.reset(self._token)
+        return False
+
+
+class Tracer:
+    """Thread-safe span tracer; one process-wide instance is :data:`TRACER`."""
+
+    def __init__(self, ring_capacity: int = 256) -> None:
+        self.enabled = False
+        self._sample_rate = 1.0
+        self._rng = random.Random()
+        self._lock = threading.Lock()
+        self._ring: deque[Span] = deque(maxlen=ring_capacity)
+        self._sink = None  # callable(Span) for push export, e.g. jsonl
+        self._current: ContextVar[object] = ContextVar("repro_obs_span", default=None)
+        self._started = 0
+        self._sampled = 0
+
+    # -- configuration ---------------------------------------------------
+    def configure(
+        self,
+        enabled: bool | None = None,
+        sample_rate: float | None = None,
+        ring_capacity: int | None = None,
+        sink=None,
+    ) -> "Tracer":
+        """Reconfigure in place; ``None`` leaves a setting unchanged."""
+        with self._lock:
+            if sample_rate is not None:
+                if not 0.0 <= sample_rate <= 1.0:
+                    raise ValueError(
+                        f"sample_rate must be in [0, 1], got {sample_rate}"
+                    )
+                self._sample_rate = sample_rate
+            if ring_capacity is not None:
+                self._ring = deque(self._ring, maxlen=ring_capacity)
+            if sink is not None:
+                self._sink = sink
+            if enabled is not None:
+                self.enabled = enabled
+        return self
+
+    @property
+    def sample_rate(self) -> float:
+        """Fraction of root spans kept (children follow their root)."""
+        return self._sample_rate
+
+    @property
+    def ring_capacity(self) -> int:
+        """Maximum finished root spans retained."""
+        return self._ring.maxlen or 0
+
+    # -- recording -------------------------------------------------------
+    def span(self, name: str, **attributes: object):
+        """Open a span; use as ``with TRACER.span("x", k=v) as sp:``.
+
+        Disabled tracer: returns the shared no-op context manager.
+        Enabled: a child span nests under the context's current span; a
+        root span is subject to sampling and, once closed, is pushed to
+        the ring buffer (and the sink, when set).
+        """
+        if not self.enabled:
+            return _NULL_SPAN
+        parent = self._current.get()
+        if parent is _UNSAMPLED:
+            return _NULL_SPAN
+        if parent is None:
+            self._started += 1
+            if self._sample_rate < 1.0 and self._rng.random() >= self._sample_rate:
+                return _UnsampledRoot(self)
+            self._sampled += 1
+        return _ActiveSpan(self, name, dict(attributes))
+
+    def current_span(self) -> Span | None:
+        """The context's open span, if any (for ad-hoc annotation)."""
+        current = self._current.get()
+        return current if isinstance(current, Span) else None
+
+    def _finish_root(self, span: Span) -> None:
+        with self._lock:
+            self._ring.append(span)
+            sink = self._sink
+        if sink is not None:
+            sink(span)
+
+    # -- reading back ----------------------------------------------------
+    def finished(self) -> list[Span]:
+        """Snapshot of the ring buffer, oldest first."""
+        with self._lock:
+            return list(self._ring)
+
+    def clear(self) -> None:
+        """Drop all retained spans and reset sampling tallies."""
+        with self._lock:
+            self._ring.clear()
+            self._started = 0
+            self._sampled = 0
+
+    def statistics(self) -> dict[str, object]:
+        """Tracer state for ``/debug/trace``: config plus sampling tallies."""
+        with self._lock:
+            return {
+                "enabled": self.enabled,
+                "sample_rate": self._sample_rate,
+                "ring_capacity": self._ring.maxlen,
+                "retained": len(self._ring),
+                "roots_started": self._started,
+                "roots_sampled": self._sampled,
+            }
+
+
+#: The process-wide tracer every instrumented layer records into.
+TRACER = Tracer()
+
+
+def enable_tracing(sample_rate: float = 1.0, ring_capacity: int | None = None) -> Tracer:
+    """Turn the global tracer on (optionally resized/sampled)."""
+    return TRACER.configure(
+        enabled=True, sample_rate=sample_rate, ring_capacity=ring_capacity
+    )
+
+
+def disable_tracing() -> Tracer:
+    """Turn the global tracer off (retained spans stay readable)."""
+    return TRACER.configure(enabled=False)
+
+
+# -- export ---------------------------------------------------------------
+def span_to_dict(span: Span) -> dict[str, object]:
+    """A span subtree as JSON-serialisable plain data."""
+    return {
+        "name": span.name,
+        "start_unix_s": span.start_unix_s,
+        "duration_s": span.duration_s,
+        "attributes": {k: _jsonable(v) for k, v in span.attributes.items()},
+        "children": [span_to_dict(child) for child in span.children],
+    }
+
+
+def _jsonable(value: object) -> object:
+    if isinstance(value, (bool, int, float, str)) or value is None:
+        return value
+    return repr(value)
+
+
+def _format_duration(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.2f}s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.2f}ms"
+    return f"{seconds * 1e6:.1f}us"
+
+
+def render_span_tree(span: Span) -> str:
+    """One root span as an indented text tree (durations + attributes)."""
+    lines: list[str] = []
+
+    def walk(node: Span, depth: int) -> None:
+        attrs = " ".join(f"{k}={node.attributes[k]}" for k in sorted(node.attributes))
+        suffix = f"  [{attrs}]" if attrs else ""
+        lines.append(
+            f"{'  ' * depth}- {node.name} ({_format_duration(node.duration_s)})"
+            f"{suffix}"
+        )
+        for child in node.children:
+            walk(child, depth + 1)
+
+    walk(span, 0)
+    return "\n".join(lines)
+
+
+def export_jsonl(spans: list[Span], path: str | Path | io.TextIOBase) -> int:
+    """Write one JSON object per root span; returns the number written.
+
+    ``path`` may be a filesystem path or an open text file object.
+    """
+    if isinstance(path, (str, Path)):
+        with open(path, "w", encoding="utf-8") as handle:
+            return export_jsonl(spans, handle)
+    for span in spans:
+        path.write(json.dumps(span_to_dict(span), sort_keys=True) + "\n")
+    return len(spans)

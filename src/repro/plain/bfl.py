@@ -23,6 +23,7 @@ from repro.core.base import IndexMetadata, ReachabilityIndex, TriState
 from repro.core.registry import register_plain
 from repro.graphs.digraph import DiGraph
 from repro.graphs.topo import topological_order
+from repro.obs.build import build_phase
 
 __all__ = ["BFLIndex"]
 
@@ -62,26 +63,28 @@ class BFLIndex(ReachabilityIndex):
         if bits < 1 or num_hashes < 1:
             raise ValueError("bits and num_hashes must be >= 1")
         n = graph.num_vertices
-        rng = random.Random(seed)
-        signature = [0] * n
-        for v in range(n):
-            mask = 0
-            for _ in range(num_hashes):
-                mask |= 1 << rng.randrange(bits)
-            signature[v] = mask
-        order = topological_order(graph)
-        out_filter = [0] * n
-        for v in reversed(order):
-            mask = signature[v]
-            for w in graph.out_neighbors(v):
-                mask |= out_filter[w]
-            out_filter[v] = mask
-        in_filter = [0] * n
-        for v in order:
-            mask = signature[v]
-            for u in graph.in_neighbors(v):
-                mask |= in_filter[u]
-            in_filter[v] = mask
+        with build_phase("hash-signatures", bits=bits, hashes=num_hashes):
+            rng = random.Random(seed)
+            signature = [0] * n
+            for v in range(n):
+                mask = 0
+                for _ in range(num_hashes):
+                    mask |= 1 << rng.randrange(bits)
+                signature[v] = mask
+        with build_phase("filter-merge"):
+            order = topological_order(graph)
+            out_filter = [0] * n
+            for v in reversed(order):
+                mask = signature[v]
+                for w in graph.out_neighbors(v):
+                    mask |= out_filter[w]
+                out_filter[v] = mask
+            in_filter = [0] * n
+            for v in order:
+                mask = signature[v]
+                for u in graph.in_neighbors(v):
+                    mask |= in_filter[u]
+                in_filter[v] = mask
         return cls(graph, bits, out_filter, in_filter)
 
     def lookup(self, source: int, target: int) -> TriState:

@@ -30,6 +30,7 @@ from repro.core.registry import register_plain
 from repro.errors import NotADAGError
 from repro.graphs.digraph import DiGraph
 from repro.graphs.topo import topological_order
+from repro.obs.build import build_phase
 from repro.traversal.online import bfs_reachable
 
 __all__ = ["DaggerIndex"]
@@ -73,11 +74,13 @@ class DaggerIndex(ReachabilityIndex):
         **params: object,
     ) -> "DaggerIndex":
         n = graph.num_vertices
-        rng = random.Random(seed)
-        value = list(range(n))
-        rng.shuffle(value)
-        index = cls(graph, value, [0] * n, [0] * n, resweep_after)
-        index._sweep()
+        with build_phase("random-values", vertices=n):
+            rng = random.Random(seed)
+            value = list(range(n))
+            rng.shuffle(value)
+            index = cls(graph, value, [0] * n, [0] * n, resweep_after)
+        with build_phase("interval-sweep"):
+            index._sweep()
         return index
 
     def _sweep(self) -> None:

@@ -27,6 +27,7 @@ from typing import ClassVar
 from repro.core.base import IndexMetadata, ReachabilityIndex, TriState
 from repro.core.registry import register_plain
 from repro.graphs.digraph import DiGraph
+from repro.obs.build import build_phase
 from repro.traversal.online import ancestors, descendants
 
 __all__ = ["DBLIndex"]
@@ -77,39 +78,45 @@ class DBLIndex(ReachabilityIndex):
         n = graph.num_vertices
         rng = random.Random(seed)
         hash_code = [1 << rng.randrange(bits) for _ in range(n)]
-        by_degree = sorted(
-            graph.vertices(),
-            key=lambda v: (-(graph.in_degree(v) + graph.out_degree(v)), v),
-        )
-        hubs = by_degree[: min(num_hubs, n)]
-        hub_out = [0] * n
-        hub_in = [0] * n
-        for i, hub in enumerate(hubs):
-            bit = 1 << i
-            for w in descendants(graph, hub):
-                hub_in[w] |= bit
-            for w in ancestors(graph, hub):
-                hub_out[w] |= bit
+        with build_phase("hub-selection", hubs=min(num_hubs, n)):
+            by_degree = sorted(
+                graph.vertices(),
+                key=lambda v: (-(graph.in_degree(v) + graph.out_degree(v)), v),
+            )
+            hubs = by_degree[: min(num_hubs, n)]
+        with build_phase("hub-traversals"):
+            hub_out = [0] * n
+            hub_in = [0] * n
+            for i, hub in enumerate(hubs):
+                bit = 1 << i
+                for w in descendants(graph, hub):
+                    hub_in[w] |= bit
+                for w in ancestors(graph, hub):
+                    hub_out[w] |= bit
         # bit labels: union of hash codes over descendants/ancestors.
         # Computed by n sweeps to a fixpoint is wasteful; instead propagate
         # in reverse finishing order per SCC via simple iteration: for
         # general graphs we run a couple of passes until stable (each pass
         # is O(E); reachability unions converge in <= diameter passes, and
         # cycles stabilise because members share bits quickly).
-        bit_out = list(hash_code)
-        bit_in = list(hash_code)
-        changed = True
-        while changed:
-            changed = False
-            for u, v in graph.edges():
-                merged = bit_out[u] | bit_out[v]
-                if merged != bit_out[u]:
-                    bit_out[u] = merged
-                    changed = True
-                merged = bit_in[v] | bit_in[u]
-                if merged != bit_in[v]:
-                    bit_in[v] = merged
-                    changed = True
+        with build_phase("bit-label-fixpoint", bits=bits) as phase:
+            bit_out = list(hash_code)
+            bit_in = list(hash_code)
+            passes = 0
+            changed = True
+            while changed:
+                passes += 1
+                changed = False
+                for u, v in graph.edges():
+                    merged = bit_out[u] | bit_out[v]
+                    if merged != bit_out[u]:
+                        bit_out[u] = merged
+                        changed = True
+                    merged = bit_in[v] | bit_in[u]
+                    if merged != bit_in[v]:
+                        bit_in[v] = merged
+                        changed = True
+            phase.annotate(passes=passes)
         return cls(graph, hubs, hub_out, hub_in, bit_out, bit_in, hash_code)
 
     @property

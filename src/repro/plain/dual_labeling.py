@@ -27,6 +27,7 @@ from repro.core.base import IndexMetadata, ReachabilityIndex, TriState
 from repro.core.registry import register_plain
 from repro.graphs.digraph import DiGraph
 from repro.graphs.topo import topological_order
+from repro.obs.build import build_phase
 from repro.plain.interval import forest_postorder_intervals, spanning_forest
 
 __all__ = ["DualLabelingIndex"]
@@ -62,9 +63,10 @@ class DualLabelingIndex(ReachabilityIndex):
 
     @classmethod
     def build(cls, graph: DiGraph, **params: object) -> "DualLabelingIndex":
-        order = topological_order(graph)
-        parent = spanning_forest(graph, order)
-        intervals = forest_postorder_intervals(graph, parent)
+        with build_phase("spanning-forest-intervals"):
+            order = topological_order(graph)
+            parent = spanning_forest(graph, order)
+            intervals = forest_postorder_intervals(graph, parent)
 
         def tree_reaches(s: int, t: int) -> bool:
             a, b = intervals[s]
@@ -76,37 +78,39 @@ class DualLabelingIndex(ReachabilityIndex):
         t = len(links)
         # direct link-to-link step: after taking link i we sit at v_i; we can
         # take link j next iff v_i tree-reaches u_j.
-        closure = [0] * t
-        for i, (_u_i, v_i) in enumerate(links):
-            row = 1 << i
-            for j, (u_j, _v_j) in enumerate(links):
-                if tree_reaches(v_i, u_j):
-                    row |= 1 << j
-            closure[i] = row
-        # Floyd-Warshall-style closure over the (small) link graph
-        changed = True
-        while changed:
-            changed = False
-            for i in range(t):
-                row = closure[i]
-                expanded = row
-                bits = row
-                while bits:
-                    j = (bits & -bits).bit_length() - 1
-                    bits &= bits - 1
-                    expanded |= closure[j]
-                if expanded != row:
-                    closure[i] = expanded
-                    changed = True
+        with build_phase("link-closure", links=t):
+            closure = [0] * t
+            for i, (_u_i, v_i) in enumerate(links):
+                row = 1 << i
+                for j, (u_j, _v_j) in enumerate(links):
+                    if tree_reaches(v_i, u_j):
+                        row |= 1 << j
+                closure[i] = row
+            # Floyd-Warshall-style closure over the (small) link graph
+            changed = True
+            while changed:
+                changed = False
+                for i in range(t):
+                    row = closure[i]
+                    expanded = row
+                    bits = row
+                    while bits:
+                        j = (bits & -bits).bit_length() - 1
+                        bits &= bits - 1
+                        expanded |= closure[j]
+                    if expanded != row:
+                        closure[i] = expanded
+                        changed = True
         # per-vertex link incidence under tree reachability
-        out_links: list[list[int]] = [[] for _ in graph.vertices()]
-        in_links: list[list[int]] = [[] for _ in graph.vertices()]
-        for i, (u_i, v_i) in enumerate(links):
-            for w in graph.vertices():
-                if tree_reaches(w, u_i):
-                    out_links[w].append(i)
-                if tree_reaches(v_i, w):
-                    in_links[w].append(i)
+        with build_phase("link-incidence"):
+            out_links: list[list[int]] = [[] for _ in graph.vertices()]
+            in_links: list[list[int]] = [[] for _ in graph.vertices()]
+            for i, (u_i, v_i) in enumerate(links):
+                for w in graph.vertices():
+                    if tree_reaches(w, u_i):
+                        out_links[w].append(i)
+                    if tree_reaches(v_i, w):
+                        in_links[w].append(i)
         return cls(graph, intervals, links, closure, out_links, in_links)
 
     def lookup(self, source: int, target: int) -> TriState:

@@ -23,6 +23,7 @@ from repro.core.base import IndexMetadata, ReachabilityIndex, TriState
 from repro.core.registry import register_plain
 from repro.graphs.digraph import DiGraph
 from repro.graphs.topo import topological_levels, topological_order
+from repro.obs.build import build_phase
 
 __all__ = ["FelineIndex"]
 
@@ -50,25 +51,28 @@ class FelineIndex(ReachabilityIndex):
     @classmethod
     def build(cls, graph: DiGraph, **params: object) -> "FelineIndex":
         n = graph.num_vertices
-        x = [0] * n
-        for position, v in enumerate(topological_order(graph)):
-            x[v] = position
+        with build_phase("x-order", vertices=n):
+            x = [0] * n
+            for position, v in enumerate(topological_order(graph)):
+                x[v] = position
         # second topological order, ties broken by *descending* x — the
         # greedy counter-order of the Feline paper.
-        remaining = [graph.in_degree(v) for v in range(n)]
-        heap = [(-x[v], v) for v in range(n) if remaining[v] == 0]
-        heapq.heapify(heap)
-        y = [0] * n
-        position = 0
-        while heap:
-            _, v = heapq.heappop(heap)
-            y[v] = position
-            position += 1
-            for w in graph.out_neighbors(v):
-                remaining[w] -= 1
-                if remaining[w] == 0:
-                    heapq.heappush(heap, (-x[w], w))
-        level = topological_levels(graph)
+        with build_phase("y-counter-order"):
+            remaining = [graph.in_degree(v) for v in range(n)]
+            heap = [(-x[v], v) for v in range(n) if remaining[v] == 0]
+            heapq.heapify(heap)
+            y = [0] * n
+            position = 0
+            while heap:
+                _, v = heapq.heappop(heap)
+                y[v] = position
+                position += 1
+                for w in graph.out_neighbors(v):
+                    remaining[w] -= 1
+                    if remaining[w] == 0:
+                        heapq.heappush(heap, (-x[w], w))
+        with build_phase("topological-levels"):
+            level = topological_levels(graph)
         return cls(graph, x, y, level)
 
     def lookup(self, source: int, target: int) -> TriState:

@@ -24,6 +24,7 @@ from repro.core.base import IndexMetadata, ReachabilityIndex, TriState
 from repro.core.registry import register_plain
 from repro.graphs.digraph import DiGraph
 from repro.graphs.topo import topological_order
+from repro.obs.build import build_phase
 from repro.plain.interval import (
     forest_postorder_intervals,
     spanning_forest,
@@ -102,16 +103,19 @@ class FerrariIndex(ReachabilityIndex):
         """Exact tree-cover inheritance with the per-vertex budget applied."""
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
-        order = topological_order(graph)
-        parent = spanning_forest(graph, order)
-        tree_intervals = forest_postorder_intervals(graph, parent)
-        lists: list[list[_Interval]] = [[] for _ in graph.vertices()]
-        for v in reversed(order):
-            a, b = tree_intervals[v]
-            collected: list[_Interval] = [(a, b, True)]
-            for w in graph.out_neighbors(v):
-                collected.extend(lists[w])
-            lists[v] = _enforce_budget(_merge_flagged(collected), k)
+        with build_phase("tree-cover"):
+            order = topological_order(graph)
+            parent = spanning_forest(graph, order)
+            tree_intervals = forest_postorder_intervals(graph, parent)
+        with build_phase("interval-inheritance", budget=k) as phase:
+            lists: list[list[_Interval]] = [[] for _ in graph.vertices()]
+            for v in reversed(order):
+                a, b = tree_intervals[v]
+                collected: list[_Interval] = [(a, b, True)]
+                for w in graph.out_neighbors(v):
+                    collected.extend(lists[w])
+                lists[v] = _enforce_budget(_merge_flagged(collected), k)
+            phase.annotate(intervals=sum(len(lst) for lst in lists))
         return cls(graph, tree_intervals, lists)
 
     def lookup(self, source: int, target: int) -> TriState:

@@ -22,6 +22,7 @@ from repro.core.base import IndexMetadata, ReachabilityIndex, TriState
 from repro.core.registry import register_plain
 from repro.errors import NotADAGError
 from repro.graphs.digraph import DiGraph
+from repro.obs.build import build_phase
 
 __all__ = ["GrailIndex", "random_postorder_labeling"]
 
@@ -123,10 +124,13 @@ class GrailIndex(ReachabilityIndex):
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
         rng = random.Random(seed)
-        labelings = [random_postorder_labeling(graph, rng) for _ in range(k)]
+        with build_phase("random-labelings", k=k):
+            labelings = [random_postorder_labeling(graph, rng) for _ in range(k)]
         index = cls(graph, labelings)
         if exceptions:
-            index._exceptions = index._compute_exceptions()
+            with build_phase("exception-lists") as phase:
+                index._exceptions = index._compute_exceptions()
+                phase.annotate(exceptions=sum(len(s) for s in index._exceptions))
         return index
 
     def _compute_exceptions(self) -> list[set[int]]:

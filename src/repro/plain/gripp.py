@@ -22,6 +22,7 @@ from typing import ClassVar
 from repro.core.base import IndexMetadata, ReachabilityIndex, TriState
 from repro.core.registry import register_plain
 from repro.graphs.digraph import DiGraph
+from repro.obs.build import build_phase
 
 __all__ = ["GrippIndex"]
 
@@ -86,7 +87,8 @@ class GrippIndex(ReachabilityIndex):
 
     @classmethod
     def build(cls, graph: DiGraph, **params: object) -> "GrippIndex":
-        pre, post = _dfs_tree_intervals(graph)
+        with build_phase("dfs-instance-table", vertices=graph.num_vertices):
+            pre, post = _dfs_tree_intervals(graph)
         return cls(graph, pre, post)
 
     def lookup(self, source: int, target: int) -> TriState:

@@ -21,6 +21,7 @@ from repro.core.base import IndexMetadata, ReachabilityIndex, TriState
 from repro.core.registry import register_plain
 from repro.graphs.digraph import DiGraph
 from repro.graphs.topo import topological_order
+from repro.obs.build import build_phase
 from repro.plain.pruned import TwoHopLabels, build_pruned_labels
 
 __all__ = ["HLIndex"]
@@ -77,8 +78,11 @@ class HLIndex(ReachabilityIndex):
     @classmethod
     def build(cls, graph: DiGraph, **params: object) -> "HLIndex":
         topological_order(graph)  # enforce the DAG input contract
-        order = _hierarchy_order(graph)
-        return cls(graph, build_pruned_labels(graph, order))
+        with build_phase("hierarchy-peel"):
+            order = _hierarchy_order(graph)
+        with build_phase("pruned-labeling"):
+            labels = build_pruned_labels(graph, order)
+        return cls(graph, labels)
 
     @property
     def labels(self) -> TwoHopLabels:

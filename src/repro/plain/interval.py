@@ -25,6 +25,7 @@ from repro.core.base import IndexMetadata, ReachabilityIndex, TriState
 from repro.core.registry import register_plain
 from repro.graphs.digraph import DiGraph
 from repro.graphs.topo import topological_order
+from repro.obs.build import build_phase
 
 __all__ = [
     "TreeCoverIndex",
@@ -147,15 +148,18 @@ class TreeCoverIndex(ReachabilityIndex):
     @classmethod
     def build(cls, graph: DiGraph, **params: object) -> "TreeCoverIndex":
         """Label a spanning forest, then inherit along reverse topo order."""
-        order = topological_order(graph)
-        parent = spanning_forest(graph, order)
-        tree_intervals = forest_postorder_intervals(graph, parent)
-        interval_lists: list[list[tuple[int, int]]] = [[] for _ in graph.vertices()]
-        for v in reversed(order):
-            collected = [tree_intervals[v]]
-            for w in graph.out_neighbors(v):
-                collected.extend(interval_lists[w])
-            interval_lists[v] = merge_intervals(collected)
+        with build_phase("spanning-forest-intervals"):
+            order = topological_order(graph)
+            parent = spanning_forest(graph, order)
+            tree_intervals = forest_postorder_intervals(graph, parent)
+        with build_phase("interval-inheritance") as phase:
+            interval_lists: list[list[tuple[int, int]]] = [[] for _ in graph.vertices()]
+            for v in reversed(order):
+                collected = [tree_intervals[v]]
+                for w in graph.out_neighbors(v):
+                    collected.extend(interval_lists[w])
+                interval_lists[v] = merge_intervals(collected)
+            phase.annotate(intervals=sum(len(lst) for lst in interval_lists))
         return cls(graph, tree_intervals, interval_lists)
 
     def lookup(self, source: int, target: int) -> TriState:

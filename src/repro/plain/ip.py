@@ -27,6 +27,7 @@ from repro.core.registry import register_plain
 from repro.errors import NotADAGError
 from repro.graphs.digraph import DiGraph
 from repro.graphs.topo import topological_order
+from repro.obs.build import build_phase
 from repro.traversal.online import bfs_reachable
 
 __all__ = ["IPIndex"]
@@ -98,10 +99,12 @@ class IPIndex(ReachabilityIndex):
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
         n = graph.num_vertices
-        rng = random.Random(seed)
-        permutation = list(range(1, n + 1))
-        rng.shuffle(permutation)
-        out_sketch, in_sketch = cls._sweep(graph, k, permutation)
+        with build_phase("random-permutation", vertices=n):
+            rng = random.Random(seed)
+            permutation = list(range(1, n + 1))
+            rng.shuffle(permutation)
+        with build_phase("kmin-sketch-sweep", k=k):
+            out_sketch, in_sketch = cls._sweep(graph, k, permutation)
         return cls(graph, k, permutation, out_sketch, in_sketch)
 
     @staticmethod

@@ -27,6 +27,7 @@ from repro.core.base import IndexMetadata, ReachabilityIndex, TriState
 from repro.core.registry import register_plain
 from repro.graphs.digraph import DiGraph
 from repro.graphs.topo import topological_levels, topological_order
+from repro.obs.build import build_phase
 from repro.traversal.online import ancestors, descendants
 
 __all__ = ["OReachIndex"]
@@ -68,33 +69,36 @@ class OReachIndex(ReachabilityIndex):
     def build(cls, graph: DiGraph, k: int = DEFAULT_K, **params: object) -> "OReachIndex":
         n = graph.num_vertices
         # supporting vertices: high-degree spread, the paper's main heuristic
-        by_degree = sorted(
-            graph.vertices(),
-            key=lambda v: (-(graph.in_degree(v) + graph.out_degree(v)), v),
-        )
-        supports = by_degree[: min(k, n)]
-        reaches = [0] * n
-        reached_by = [0] * n
-        for i, x in enumerate(supports):
-            bit = 1 << i
-            for w in ancestors(graph, x):
-                reaches[w] |= bit
-            for w in descendants(graph, x):
-                reached_by[w] |= bit
-        order = topological_order(graph)
-        rank_fwd = [0] * n
-        for position, v in enumerate(order):
-            rank_fwd[v] = position
-        # an alternative topological order: reverse-id tie-breaking via
-        # relabeling; different orders disagree exactly where MAYBEs lurk.
-        relabel = [n - 1 - v for v in range(n)]
-        mirrored = DiGraph(n)
-        for u, v in graph.edges():
-            mirrored.add_edge(relabel[u], relabel[v])
-        rank_alt = [0] * n
-        for position, mv in enumerate(topological_order(mirrored)):
-            rank_alt[relabel[mv]] = position
-        level = topological_levels(graph)
+        with build_phase("support-selection", supports=min(k, n)):
+            by_degree = sorted(
+                graph.vertices(),
+                key=lambda v: (-(graph.in_degree(v) + graph.out_degree(v)), v),
+            )
+            supports = by_degree[: min(k, n)]
+        with build_phase("support-traversals"):
+            reaches = [0] * n
+            reached_by = [0] * n
+            for i, x in enumerate(supports):
+                bit = 1 << i
+                for w in ancestors(graph, x):
+                    reaches[w] |= bit
+                for w in descendants(graph, x):
+                    reached_by[w] |= bit
+        with build_phase("extended-topological-orders"):
+            order = topological_order(graph)
+            rank_fwd = [0] * n
+            for position, v in enumerate(order):
+                rank_fwd[v] = position
+            # an alternative topological order: reverse-id tie-breaking via
+            # relabeling; different orders disagree exactly where MAYBEs lurk.
+            relabel = [n - 1 - v for v in range(n)]
+            mirrored = DiGraph(n)
+            for u, v in graph.edges():
+                mirrored.add_edge(relabel[u], relabel[v])
+            rank_alt = [0] * n
+            for position, mv in enumerate(topological_order(mirrored)):
+                rank_alt[relabel[mv]] = position
+            level = topological_levels(graph)
         return cls(graph, supports, reaches, reached_by, rank_fwd, rank_alt, level)
 
     def lookup(self, source: int, target: int) -> TriState:

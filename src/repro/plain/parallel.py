@@ -33,6 +33,7 @@ from typing import ClassVar, Literal
 
 from repro.core.base import IndexMetadata, ReachabilityIndex, TriState
 from repro.graphs.digraph import DiGraph
+from repro.obs.build import build_phase
 from repro.plain.pruned import TwoHopLabels, degree_order
 
 __all__ = ["batched_pruned_labels", "BatchedPLLIndex"]
@@ -145,9 +146,10 @@ class BatchedPLLIndex(ReachabilityIndex):
         workers: Literal["serial", "thread"] = "serial",
         **params: object,
     ) -> "BatchedPLLIndex":
-        labels = batched_pruned_labels(
-            graph, degree_order(graph), batch_size=batch_size, workers=workers
-        )
+        with build_phase("batched-pruned-labeling", batch_size=batch_size, workers=workers):
+            labels = batched_pruned_labels(
+                graph, degree_order(graph), batch_size=batch_size, workers=workers
+            )
         return cls(graph, labels, batch_size)
 
     @property

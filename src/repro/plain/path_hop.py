@@ -22,6 +22,7 @@ from repro.core.base import IndexMetadata, ReachabilityIndex, TriState
 from repro.core.registry import register_plain
 from repro.graphs.digraph import DiGraph
 from repro.graphs.topo import topological_order
+from repro.obs.build import build_phase
 from repro.plain.interval import forest_postorder_intervals, spanning_forest
 from repro.plain.pruned import degree_order
 
@@ -54,9 +55,10 @@ class PathHopIndex(ReachabilityIndex):
 
     @classmethod
     def build(cls, graph: DiGraph, **params: object) -> "PathHopIndex":
-        order_topo = topological_order(graph)
-        parent = spanning_forest(graph, order_topo)
-        intervals = forest_postorder_intervals(graph, parent)
+        with build_phase("spanning-tree-intervals"):
+            order_topo = topological_order(graph)
+            parent = spanning_forest(graph, order_topo)
+            intervals = forest_postorder_intervals(graph, parent)
         n = graph.num_vertices
         l_in: list[set[int]] = [set() for _ in range(n)]
         l_out: list[set[int]] = [set() for _ in range(n)]
@@ -82,29 +84,33 @@ class PathHopIndex(ReachabilityIndex):
         # not put a lower-ranked hop on the path (unlike plain 2-hop
         # pruning).  The resulting build is slower but the labels smaller,
         # matching §3.2's account of these early extensions.
-        for hop in degree_order(graph):
-            queue: deque[int] = deque((hop,))
-            visited = {hop}
-            while queue:
-                v = queue.popleft()
-                for w in graph.out_neighbors(v):
-                    if w in visited or w == hop:
-                        continue
-                    visited.add(w)
-                    if not covered(hop, w):
-                        l_in[w].add(hop)
-                    queue.append(w)
-            queue = deque((hop,))
-            visited = {hop}
-            while queue:
-                v = queue.popleft()
-                for w in graph.in_neighbors(v):
-                    if w in visited or w == hop:
-                        continue
-                    visited.add(w)
-                    if not covered(w, hop):
-                        l_out[w].add(hop)
-                    queue.append(w)
+        with build_phase("tree-pruned-labeling") as phase:
+            for hop in degree_order(graph):
+                queue: deque[int] = deque((hop,))
+                visited = {hop}
+                while queue:
+                    v = queue.popleft()
+                    for w in graph.out_neighbors(v):
+                        if w in visited or w == hop:
+                            continue
+                        visited.add(w)
+                        if not covered(hop, w):
+                            l_in[w].add(hop)
+                        queue.append(w)
+                queue = deque((hop,))
+                visited = {hop}
+                while queue:
+                    v = queue.popleft()
+                    for w in graph.in_neighbors(v):
+                        if w in visited or w == hop:
+                            continue
+                        visited.add(w)
+                        if not covered(w, hop):
+                            l_out[w].add(hop)
+                        queue.append(w)
+            phase.annotate(
+                entries=sum(len(s) for s in l_in) + sum(len(s) for s in l_out)
+            )
         return cls(graph, intervals, l_in, l_out)
 
     def lookup(self, source: int, target: int) -> TriState:

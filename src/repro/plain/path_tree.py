@@ -26,6 +26,7 @@ from repro.core.registry import register_plain
 from repro.errors import NotADAGError
 from repro.graphs.digraph import DiGraph
 from repro.graphs.topo import topological_order
+from repro.obs.build import build_phase
 from repro.plain.chains import ChainDecomposition, greedy_chain_decomposition
 
 __all__ = ["PathTreeIndex"]
@@ -57,8 +58,11 @@ class PathTreeIndex(ReachabilityIndex):
 
     @classmethod
     def build(cls, graph: DiGraph, **params: object) -> "PathTreeIndex":
-        decomposition = greedy_chain_decomposition(graph)
-        reach = cls._sweep(graph, decomposition)
+        with build_phase("chain-decomposition") as phase:
+            decomposition = greedy_chain_decomposition(graph)
+            phase.annotate(chains=decomposition.num_chains)
+        with build_phase("min-position-sweep"):
+            reach = cls._sweep(graph, decomposition)
         return cls(graph, decomposition, reach)
 
     @staticmethod

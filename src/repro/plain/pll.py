@@ -18,6 +18,7 @@ from typing import ClassVar
 from repro.core.base import IndexMetadata, ReachabilityIndex, TriState
 from repro.core.registry import register_plain
 from repro.graphs.digraph import DiGraph
+from repro.obs.build import build_phase
 from repro.plain.pruned import TwoHopLabels, build_pruned_labels, degree_order
 
 __all__ = ["PLLIndex", "DLIndex"]
@@ -32,8 +33,12 @@ class _DegreeOrderedTwoHop(ReachabilityIndex):
 
     @classmethod
     def build(cls, graph: DiGraph, **params: object) -> "_DegreeOrderedTwoHop":
-        order = cls._order(graph)
-        return cls(graph, build_pruned_labels(graph, order))
+        with build_phase("landmark-order"):
+            order = cls._order(graph)
+        with build_phase("pruned-bfs-labeling") as phase:
+            labels = build_pruned_labels(graph, order)
+            phase.annotate(entries=labels.size_in_entries())
+        return cls(graph, labels)
 
     @staticmethod
     def _order(graph: DiGraph) -> list[int]:

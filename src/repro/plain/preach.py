@@ -22,6 +22,7 @@ from repro.core.base import IndexMetadata, ReachabilityIndex, TriState
 from repro.core.registry import register_plain
 from repro.graphs.digraph import DiGraph
 from repro.graphs.topo import topological_levels
+from repro.obs.build import build_phase
 
 __all__ = ["PReaCHIndex"]
 
@@ -106,10 +107,13 @@ class PReaCHIndex(ReachabilityIndex):
     @classmethod
     def build(cls, graph: DiGraph, **params: object) -> "PReaCHIndex":
         reverse = graph.reversed()
-        fwd = _dfs_numbers(graph)
-        bwd = _dfs_numbers(reverse)
-        level_fwd = topological_levels(graph)
-        level_bwd = topological_levels(reverse)
+        with build_phase("forward-dfs-numbers"):
+            fwd = _dfs_numbers(graph)
+        with build_phase("backward-dfs-numbers"):
+            bwd = _dfs_numbers(reverse)
+        with build_phase("topological-levels"):
+            level_fwd = topological_levels(graph)
+            level_bwd = topological_levels(reverse)
         return cls(graph, fwd, bwd, level_fwd, level_bwd)
 
     def lookup(self, source: int, target: int) -> TriState:

@@ -29,6 +29,7 @@ from typing import ClassVar
 
 from repro.core.base import IndexMetadata, ReachabilityIndex, TriState
 from repro.graphs.digraph import DiGraph
+from repro.obs.build import build_phase
 
 __all__ = ["ScarabBackboneIndex"]
 
@@ -70,20 +71,22 @@ class ScarabBackboneIndex(ReachabilityIndex):
         """Extract the backbone and build ``inner`` over ``G[S]``."""
         if inner is None:
             raise TypeError("ScarabBackboneIndex.build requires inner=<index class>")
-        members = [
-            v
-            for v in graph.vertices()
-            if graph.in_degree(v) > 0 and graph.out_degree(v) > 0
-        ]
-        backbone_of = [-1] * graph.num_vertices
-        for backbone_id, v in enumerate(members):
-            backbone_of[v] = backbone_id
-        induced = DiGraph(len(members))
-        for u in members:
-            bu = backbone_of[u]
-            for w in graph.out_neighbors(u):
-                if backbone_of[w] != -1:
-                    induced.add_edge_if_absent(bu, backbone_of[w])
+        with build_phase("backbone-extraction") as phase:
+            members = [
+                v
+                for v in graph.vertices()
+                if graph.in_degree(v) > 0 and graph.out_degree(v) > 0
+            ]
+            backbone_of = [-1] * graph.num_vertices
+            for backbone_id, v in enumerate(members):
+                backbone_of[v] = backbone_id
+            induced = DiGraph(len(members))
+            for u in members:
+                bu = backbone_of[u]
+                for w in graph.out_neighbors(u):
+                    if backbone_of[w] != -1:
+                        induced.add_edge_if_absent(bu, backbone_of[w])
+            phase.annotate(backbone=len(members), vertices=graph.num_vertices)
         if inner.metadata.input_kind == "DAG":
             from repro.core.condensed import CondensedIndex
             from repro.graphs.topo import is_dag

@@ -21,6 +21,7 @@ from repro.core.base import IndexMetadata, ReachabilityIndex, TriState
 from repro.core.registry import register_plain
 from repro.graphs.digraph import DiGraph
 from repro.graphs.topo import topological_order
+from repro.obs.build import build_phase
 from repro.plain.interval import forest_postorder_intervals, spanning_forest
 
 __all__ = ["TreeSSPIIndex"]
@@ -50,13 +51,16 @@ class TreeSSPIIndex(ReachabilityIndex):
 
     @classmethod
     def build(cls, graph: DiGraph, **params: object) -> "TreeSSPIIndex":
-        order = topological_order(graph)
-        parent = spanning_forest(graph, order)
-        intervals = forest_postorder_intervals(graph, parent)
-        surplus: list[list[int]] = [[] for _ in graph.vertices()]
-        for u, v in graph.edges():
-            if parent[v] != u:
-                surplus[v].append(u)
+        with build_phase("spanning-tree-intervals"):
+            order = topological_order(graph)
+            parent = spanning_forest(graph, order)
+            intervals = forest_postorder_intervals(graph, parent)
+        with build_phase("surplus-predecessors") as phase:
+            surplus: list[list[int]] = [[] for _ in graph.vertices()]
+            for u, v in graph.edges():
+                if parent[v] != u:
+                    surplus[v].append(u)
+            phase.annotate(links=sum(len(lst) for lst in surplus))
         return cls(graph, intervals, surplus)
 
     def _in_subtree(self, source: int, target: int) -> bool:

@@ -23,6 +23,7 @@ from repro.core.base import IndexMetadata, ReachabilityIndex, TriState
 from repro.core.registry import register_plain
 from repro.graphs.digraph import DiGraph
 from repro.graphs.topo import topological_order
+from repro.obs.build import build_phase
 from repro.plain.chains import ChainDecomposition, greedy_chain_decomposition
 
 __all__ = ["ThreeHopIndex"]
@@ -62,54 +63,59 @@ class ThreeHopIndex(ReachabilityIndex):
 
     @classmethod
     def build(cls, graph: DiGraph, **params: object) -> "ThreeHopIndex":
-        decomposition = greedy_chain_decomposition(graph)
-        num_chains = decomposition.num_chains
+        with build_phase("chain-decomposition") as phase:
+            decomposition = greedy_chain_decomposition(graph)
+            num_chains = decomposition.num_chains
+            phase.annotate(chains=num_chains)
         # full chain-cover sweep (transient; only contours + breakpoints kept)
-        reach: list[list[float]] = [[_INF] * num_chains for _ in graph.vertices()]
-        for v in reversed(topological_order(graph)):
-            row = reach[v]
-            row[decomposition.chain_of[v]] = decomposition.position_of[v]
-            for w in graph.out_neighbors(v):
-                other = reach[w]
-                for c in range(num_chains):
-                    if other[c] < row[c]:
-                        row[c] = other[c]
+        with build_phase("chain-cover-sweep"):
+            reach: list[list[float]] = [[_INF] * num_chains for _ in graph.vertices()]
+            for v in reversed(topological_order(graph)):
+                row = reach[v]
+                row[decomposition.chain_of[v]] = decomposition.position_of[v]
+                for w in graph.out_neighbors(v):
+                    other = reach[w]
+                    for c in range(num_chains):
+                        if other[c] < row[c]:
+                            row[c] = other[c]
 
         # chain-to-chain map: for each position p of chain c, the earliest
         # reachable position in c'; compressed to breakpoints where it changes.
-        breakpoints: _Breakpoints = [
-            [[] for _ in range(num_chains)] for _ in range(num_chains)
-        ]
-        for c, chain in enumerate(decomposition.chains):
-            for c2 in range(num_chains):
-                previous: float | None = None
-                rows = breakpoints[c][c2]
-                for p, vertex in enumerate(chain):
-                    value = reach[vertex][c2]
-                    if value != previous:
-                        rows.append((p, value))
-                        previous = value
+        with build_phase("breakpoint-compression"):
+            breakpoints: _Breakpoints = [
+                [[] for _ in range(num_chains)] for _ in range(num_chains)
+            ]
+            for c, chain in enumerate(decomposition.chains):
+                for c2 in range(num_chains):
+                    previous: float | None = None
+                    rows = breakpoints[c][c2]
+                    for p, vertex in enumerate(chain):
+                        value = reach[vertex][c2]
+                        if value != previous:
+                            rows.append((p, value))
+                            previous = value
 
         # per-vertex contour: subset-minimal (chain, position) entry points.
-        contours: list[list[tuple[int, int]]] = []
-        for v in graph.vertices():
-            row = reach[v]
-            entries = [
-                (c, int(p)) for c, p in enumerate(row) if p != _INF
-            ]
+        with build_phase("contour-minimisation"):
+            contours: list[list[tuple[int, int]]] = []
+            for v in graph.vertices():
+                row = reach[v]
+                entries = [
+                    (c, int(p)) for c, p in enumerate(row) if p != _INF
+                ]
 
-            def implied(entry: tuple[int, int], others: list[tuple[int, int]]) -> bool:
-                c, p = entry
-                for c2, p2 in others:
-                    if (c2, p2) == entry:
-                        continue
-                    head = decomposition.chains[c2][p2]
-                    if reach[head][c] <= p:
-                        return True
-                return False
+                def implied(entry: tuple[int, int], others: list[tuple[int, int]]) -> bool:
+                    c, p = entry
+                    for c2, p2 in others:
+                        if (c2, p2) == entry:
+                            continue
+                        head = decomposition.chains[c2][p2]
+                        if reach[head][c] <= p:
+                            return True
+                    return False
 
-            minimal = [e for e in entries if not implied(e, entries)]
-            contours.append(minimal)
+                minimal = [e for e in entries if not implied(e, entries)]
+                contours.append(minimal)
         return cls(graph, decomposition, contours, breakpoints)
 
     def _chain_reach(self, c: int, p: int, c2: int) -> float:

@@ -39,6 +39,7 @@ from repro.core.registry import register_plain
 from repro.errors import NotADAGError, UnsupportedOperationError
 from repro.graphs.digraph import DiGraph
 from repro.graphs.topo import topological_order, topological_rank
+from repro.obs.build import build_phase
 from repro.plain.pruned import (
     TwoHopLabels,
     build_pruned_labels,
@@ -66,8 +67,12 @@ class _DynamicTwoHop(ReachabilityIndex):
 
     @classmethod
     def build(cls, graph: DiGraph, **params: object) -> "_DynamicTwoHop":
-        order = cls._make_order(graph)
-        return cls(graph, build_pruned_labels(graph, order), order)
+        with build_phase("total-order"):
+            order = cls._make_order(graph)
+        with build_phase("pruned-bfs-labeling") as phase:
+            labels = build_pruned_labels(graph, order)
+            phase.annotate(entries=labels.size_in_entries())
+        return cls(graph, labels, order)
 
     @staticmethod
     def _make_order(graph: DiGraph) -> list[int]:
@@ -155,9 +160,13 @@ class TOLIndex(_DynamicTwoHop):
         §3.2 describes.
         """
         topological_order(graph)  # raises NotADAGError on cyclic input
-        if order is None:
-            order = cls._make_order(graph)
-        return cls(graph, build_pruned_labels(graph, order), order)
+        with build_phase("total-order"):
+            if order is None:
+                order = cls._make_order(graph)
+        with build_phase("pruned-bfs-labeling") as phase:
+            labels = build_pruned_labels(graph, order)
+            phase.annotate(entries=labels.size_in_entries())
+        return cls(graph, labels, order)
 
 
 @register_plain

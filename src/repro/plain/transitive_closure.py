@@ -21,6 +21,7 @@ from repro.core.registry import register_plain
 from repro.graphs.digraph import DiGraph
 from repro.graphs.scc import condense
 from repro.kernels import csr_of, descendant_bitsets
+from repro.obs.build import build_phase
 
 __all__ = ["TransitiveClosureIndex"]
 
@@ -50,8 +51,11 @@ class TransitiveClosureIndex(ReachabilityIndex):
         kernel over the condensation's CSR snapshot — one flat pass over
         the DAG's edges instead of per-vertex adjacency accessor calls.
         """
-        condensation = condense(graph)
-        closure = descendant_bitsets(csr_of(condensation.dag))
+        with build_phase("scc-condense") as phase:
+            condensation = condense(graph)
+            phase.annotate(sccs=condensation.dag.num_vertices)
+        with build_phase("closure-kernel"):
+            closure = descendant_bitsets(csr_of(condensation.dag))
         return cls(graph, condensation.scc_of, closure)
 
     def lookup(self, source: int, target: int) -> TriState:

@@ -23,6 +23,7 @@ from repro.core.registry import register_plain
 from repro.graphs.digraph import DiGraph
 from repro.graphs.scc import condense
 from repro.graphs.topo import topological_order
+from repro.obs.build import build_phase
 from repro.plain.pruned import TwoHopLabels
 
 __all__ = ["TwoHopIndex"]
@@ -83,50 +84,55 @@ class TwoHopIndex(ReachabilityIndex):
     @classmethod
     def build(cls, graph: DiGraph, **params: object) -> "TwoHopIndex":
         n = graph.num_vertices
-        out_sets, in_sets = _vertex_closures(graph)
+        with build_phase("vertex-closures"):
+            out_sets, in_sets = _vertex_closures(graph)
         # uncovered[s] = bitset of targets t != s with s -> t not yet covered
         uncovered = [out_sets[s] & ~(1 << s) for s in range(n)]
         remaining = sum(bits.bit_count() for bits in uncovered)
         labels = TwoHopLabels(n)
-        while remaining:
-            best_hop = -1
-            best_ratio = -1.0
-            best_gain = 0
-            for w in range(n):
-                gain = 0
-                sources = in_sets[w]
+        with build_phase("greedy-set-cover", pairs=remaining) as phase:
+            rounds = 0
+            while remaining:
+                rounds += 1
+                best_hop = -1
+                best_ratio = -1.0
+                best_gain = 0
+                for w in range(n):
+                    gain = 0
+                    sources = in_sets[w]
+                    targets = out_sets[w]
+                    bits = sources
+                    while bits:
+                        s = (bits & -bits).bit_length() - 1
+                        bits &= bits - 1
+                        gain += (uncovered[s] & targets).bit_count()
+                    if gain == 0:
+                        continue
+                    cost = sources.bit_count() + targets.bit_count()
+                    ratio = gain / cost
+                    if ratio > best_ratio:
+                        best_ratio = ratio
+                        best_hop = w
+                        best_gain = gain
+                if best_hop == -1:  # defensive: should not happen
+                    break
+                w = best_hop
                 targets = out_sets[w]
-                bits = sources
+                bits = in_sets[w]
                 while bits:
                     s = (bits & -bits).bit_length() - 1
                     bits &= bits - 1
-                    gain += (uncovered[s] & targets).bit_count()
-                if gain == 0:
-                    continue
-                cost = sources.bit_count() + targets.bit_count()
-                ratio = gain / cost
-                if ratio > best_ratio:
-                    best_ratio = ratio
-                    best_hop = w
-                    best_gain = gain
-            if best_hop == -1:  # defensive: should not happen
-                break
-            w = best_hop
-            targets = out_sets[w]
-            bits = in_sets[w]
-            while bits:
-                s = (bits & -bits).bit_length() - 1
-                bits &= bits - 1
-                if s != w:
-                    labels.l_out[s].add(w)
-                uncovered[s] &= ~targets
-            bits = targets
-            while bits:
-                t = (bits & -bits).bit_length() - 1
-                bits &= bits - 1
-                if t != w:
-                    labels.l_in[t].add(w)
-            remaining = sum(bits.bit_count() for bits in uncovered)
+                    if s != w:
+                        labels.l_out[s].add(w)
+                    uncovered[s] &= ~targets
+                bits = targets
+                while bits:
+                    t = (bits & -bits).bit_length() - 1
+                    bits &= bits - 1
+                    if t != w:
+                        labels.l_in[t].add(w)
+                remaining = sum(bits.bit_count() for bits in uncovered)
+            phase.annotate(rounds=rounds)
         return cls(graph, labels)
 
     @property

@@ -34,7 +34,7 @@ import time
 from collections.abc import Sequence
 from dataclasses import dataclass
 
-from repro.core.base import LabelConstrainedIndex, ReachabilityIndex
+from repro.core.base import Explanation, LabelConstrainedIndex, ReachabilityIndex
 from repro.core.condensed import CondensedIndex
 from repro.core.registry import labeled_index as labeled_index_cls
 from repro.core.registry import plain_index as plain_index_cls
@@ -43,9 +43,10 @@ from repro.gdbms.planner import classify_constraint
 from repro.graphs.digraph import DiGraph
 from repro.graphs.labeled import LabeledDiGraph
 from repro.graphs.topo import is_dag
+from repro.obs.metrics import MetricsRegistry, global_registry
+from repro.obs.tracer import TRACER
 from repro.service.batching import QueryCoalescer, dedupe
 from repro.service.cache import MISS, ResultCache
-from repro.service.metrics import MetricsRegistry
 from repro.traversal.rpq import rpq_reachable
 from repro.workloads.updates import EdgeOp, LabeledEdgeOp
 
@@ -253,61 +254,101 @@ class ReachabilityService:
         start = time.perf_counter()
         snap = self._snapshot
         epoch = snap.epoch
-        keys = [(int(s), int(t)) for s, t in pairs]
-        results: list[QueryResult | None] = [None] * len(keys)
-        cache = self._cache
-        cache_hits = 0
-        misses: list[int] = []
-        if cache is not None:
-            for position, (s, t) in enumerate(keys):
-                hit = cache.get((s, t, None), epoch)
-                if hit is not MISS:
-                    results[position] = QueryResult(bool(hit), epoch, "cache")
-                    cache_hits += 1
-                else:
-                    misses.append(position)
-        else:
-            misses = list(range(len(keys)))
-        computed = 0
-        if misses:
-            unique, back_refs = dedupe([keys[i] for i in misses])
-            answers = snap.plain.query_batch(unique)
-            computed = len(unique)
+        with TRACER.span("service.batch", epoch=epoch, pairs=len(pairs)) as span:
+            keys = [(int(s), int(t)) for s, t in pairs]
+            results: list[QueryResult | None] = [None] * len(keys)
+            cache = self._cache
+            cache_hits = 0
+            misses: list[int] = []
             if cache is not None:
-                for (s, t), answer in zip(unique, answers):
-                    cache.put((s, t, None), epoch, answer)
-            for position, slot in zip(misses, back_refs):
-                results[position] = QueryResult(answers[slot], epoch, "plain_index")
-        self._metrics.counter("service.queries.cache").increment(cache_hits)
-        self._metrics.counter("service.queries.plain_index").increment(computed)
-        self._metrics.counter("service.batch.requests").increment()
-        self._metrics.counter("service.batch.pairs").increment(len(keys))
-        self._metrics.counter("service.batch.cache_hits").increment(cache_hits)
-        self._metrics.counter("service.batch.computed").increment(computed)
-        self._metrics.histogram("service.batch.size").observe(float(len(keys)))
-        self._metrics.histogram("service.batch.latency").observe(
-            time.perf_counter() - start
-        )
+                for position, (s, t) in enumerate(keys):
+                    hit = cache.get((s, t, None), epoch)
+                    if hit is not MISS:
+                        results[position] = QueryResult(bool(hit), epoch, "cache")
+                        cache_hits += 1
+                    else:
+                        misses.append(position)
+            else:
+                misses = list(range(len(keys)))
+            computed = 0
+            if misses:
+                unique, back_refs = dedupe([keys[i] for i in misses])
+                answers = snap.plain.query_batch(unique)
+                computed = len(unique)
+                if cache is not None:
+                    for (s, t), answer in zip(unique, answers):
+                        cache.put((s, t, None), epoch, answer)
+                for position, slot in zip(misses, back_refs):
+                    results[position] = QueryResult(answers[slot], epoch, "plain_index")
+            span.annotate(cache_hits=cache_hits, computed=computed)
+            self._metrics.counter("service.queries.cache").increment(cache_hits)
+            self._metrics.counter("service.queries.plain_index").increment(computed)
+            self._metrics.counter("service.batch.requests").increment()
+            self._metrics.counter("service.batch.pairs").increment(len(keys))
+            self._metrics.counter("service.batch.cache_hits").increment(cache_hits)
+            self._metrics.counter("service.batch.computed").increment(computed)
+            self._metrics.histogram("service.batch.size").observe(float(len(keys)))
+            self._metrics.histogram("service.batch.latency").observe(
+                time.perf_counter() - start
+            )
         return results  # type: ignore[return-value]
+
+    def explain(self, source: int, target: int) -> Explanation:
+        """The routed decision path a plain query takes at this epoch.
+
+        Probes the result cache exactly as :meth:`reach_ex` would (route
+        ``cache`` on a hit) and otherwise delegates to the snapshot
+        index's own :meth:`~repro.core.base.ReachabilityIndex.explain`.
+        Does not populate the cache or bump route counters.
+        """
+        snap = self._snapshot
+        s, t = int(source), int(target)
+        if self._cache is not None:
+            hit = self._cache.get((s, t, None), snap.epoch)
+            if hit is not MISS:
+                return Explanation(
+                    index=snap.plain.metadata.name,
+                    source=s,
+                    target=t,
+                    answer=bool(hit),
+                    route="cache",
+                    probe=None,
+                    details=(f"result cache hit at epoch {snap.epoch}",),
+                )
+        inner = snap.plain.explain(s, t)
+        return Explanation(
+            index=inner.index,
+            source=inner.source,
+            target=inner.target,
+            answer=inner.answer,
+            route=inner.route,
+            probe=inner.probe,
+            details=inner.details + (f"served from snapshot epoch {snap.epoch}",),
+        )
 
     # -- query evaluation ------------------------------------------------
     def _serve(self, snap: Snapshot, key: tuple[int, int, str | None]) -> QueryResult:
         start = time.perf_counter()
-        if self._cache is not None:
-            hit = self._cache.get(key, snap.epoch)
-            if hit is not MISS:
-                self._record("cache", start)
-                return QueryResult(bool(hit), snap.epoch, "cache")
-        if self._coalescer is not None:
-            (answer, route), shared = self._coalescer.run(
-                (key, snap.epoch), lambda: self._evaluate(snap, key)
-            )
-        else:
-            (answer, route), shared = self._evaluate(snap, key), False
-        if self._cache is not None:
-            self._cache.put(key, snap.epoch, answer)
-        self._record(route, start)
-        return QueryResult(answer, snap.epoch, route, shared)
+        with TRACER.span(
+            "service.query", epoch=snap.epoch, source=key[0], target=key[1]
+        ) as span:
+            if self._cache is not None:
+                hit = self._cache.get(key, snap.epoch)
+                if hit is not MISS:
+                    self._record("cache", start)
+                    span.annotate(route="cache", answer=bool(hit))
+                    return QueryResult(bool(hit), snap.epoch, "cache")
+            if self._coalescer is not None:
+                (answer, route), shared = self._coalescer.run(
+                    (key, snap.epoch), lambda: self._evaluate(snap, key)
+                )
+            else:
+                (answer, route), shared = self._evaluate(snap, key), False
+            if self._cache is not None:
+                self._cache.put(key, snap.epoch, answer)
+            self._record(route, start)
+            span.annotate(route=route, answer=answer)
+            return QueryResult(answer, snap.epoch, route, shared)
 
     def _evaluate(self, snap: Snapshot, key: tuple[int, int, str | None]) -> tuple[bool, str]:
         source, target, constraint = key
@@ -439,8 +480,16 @@ class ReachabilityService:
 
     # -- observability ---------------------------------------------------
     def metrics_dict(self) -> dict[str, object]:
-        """Counters, histograms, cache and coalescer state as one dict."""
+        """Counters, histograms, cache and coalescer state as one dict.
+
+        Route-attribution counters from the index core (``index.route.*``)
+        and planner tallies (``gdbms.*``) live in the process-wide
+        registry; they are merged in under their own top-level keys so
+        one scrape shows the whole decision path.
+        """
         root = self._metrics.as_dict()
+        for key, value in global_registry().as_dict().items():
+            root.setdefault(key, value)
         service = root.setdefault("service", {})
         assert isinstance(service, dict)
         service["epoch"] = self.epoch

@@ -23,6 +23,12 @@ Routes
     the batch as one snapshot swap and returns the new epoch.
 ``GET /metrics``
     Flat text exposition; ``?format=json`` for the nested dict.
+``GET /explain?source=S&target=T``
+    The routed decision path the query takes (cache probe, label probe,
+    certificate, fallback) without bumping route counters.
+``GET /debug/trace``
+    Tracer statistics plus the ring buffer of finished root spans as
+    JSON (empty unless tracing is enabled; ``?limit=N`` caps the spans).
 
 Errors are JSON too: 400 for malformed requests, 404 for unknown paths.
 """
@@ -35,6 +41,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlsplit
 
 from repro.errors import ReproError
+from repro.obs.tracer import TRACER, span_to_dict
 from repro.service.engine import QueryResult, ReachabilityService
 from repro.workloads.updates import EdgeOp, LabeledEdgeOp
 
@@ -151,6 +158,28 @@ class _Handler(BaseHTTPRequestHandler):
                         service.metrics_text().encode(),
                         "text/plain; charset=utf-8",
                     )
+            elif path == "/explain":
+                params = self._params()
+                explanation = service.explain(
+                    self._vertex(params, "source"), self._vertex(params, "target")
+                )
+                self._send_json(200, explanation.as_dict())
+            elif path == "/debug/trace":
+                params = self._params()
+                spans = TRACER.finished()
+                if "limit" in params:
+                    try:
+                        limit = max(0, int(params["limit"]))
+                    except ValueError:
+                        raise ValueError("parameter 'limit' must be an integer") from None
+                    spans = spans[-limit:] if limit else []
+                self._send_json(
+                    200,
+                    {
+                        "tracer": TRACER.statistics(),
+                        "spans": [span_to_dict(span) for span in spans],
+                    },
+                )
             else:
                 self._error(404, f"unknown path {path!r}")
         except (ValueError, ReproError) as exc:

@@ -1,0 +1,298 @@
+"""The repro.obs substrate: tracer semantics, build reports, metrics."""
+
+from __future__ import annotations
+
+import io
+import json
+import threading
+
+import pytest
+
+from repro.bench.jsonout import emit, provenance
+from repro.core.condensed import CondensedIndex
+from repro.core.registry import plain_index
+from repro.graphs.digraph import DiGraph
+from repro.obs.build import build_phase
+from repro.obs.metrics import LatencyHistogram, MetricsRegistry
+from repro.obs.tracer import (
+    TRACER,
+    disable_tracing,
+    enable_tracing,
+    export_jsonl,
+    render_span_tree,
+    span_to_dict,
+)
+
+
+@pytest.fixture(autouse=True)
+def _reset_tracer():
+    """Every test starts and ends with the global tracer off and empty."""
+    disable_tracing()
+    TRACER.clear()
+    yield
+    disable_tracing()
+    TRACER.clear()
+
+
+# -- tracer on/off ---------------------------------------------------------
+def test_disabled_tracer_records_nothing():
+    assert not TRACER.enabled
+    with TRACER.span("outer", k=1) as span:
+        span.annotate(extra=2)  # the null span swallows annotations
+        with TRACER.span("inner"):
+            pass
+    assert TRACER.finished() == []
+    assert TRACER.statistics()["roots_started"] == 0
+
+
+def test_disabled_span_is_shared_noop():
+    a = TRACER.span("a")
+    b = TRACER.span("b")
+    assert a is b  # no allocation on the disabled path
+
+
+def test_enabled_tracer_nests_spans():
+    enable_tracing()
+    with TRACER.span("root", index="PLL") as root:
+        with TRACER.span("child") as child:
+            child.annotate(entries=5)
+        root.annotate(route="label_probe")
+    roots = TRACER.finished()
+    assert [s.name for s in roots] == ["root"]
+    assert roots[0].attributes == {"index": "PLL", "route": "label_probe"}
+    assert [c.name for c in roots[0].children] == ["child"]
+    assert roots[0].children[0].attributes == {"entries": 5}
+    assert roots[0].duration_s >= roots[0].children[0].duration_s >= 0.0
+
+
+def test_current_span_annotation():
+    enable_tracing()
+    assert TRACER.current_span() is None
+    with TRACER.span("root"):
+        TRACER.current_span().annotate(tag="here")
+    assert TRACER.finished()[0].attributes == {"tag": "here"}
+
+
+# -- sampling --------------------------------------------------------------
+def test_sample_rate_zero_drops_whole_traces():
+    enable_tracing(sample_rate=0.0)
+    for _ in range(10):
+        with TRACER.span("root"):
+            with TRACER.span("child"):
+                pass  # children of an unsampled root must be no-ops too
+    stats = TRACER.statistics()
+    assert stats["roots_started"] == 10
+    assert stats["roots_sampled"] == 0
+    assert TRACER.finished() == []
+
+
+def test_sample_rate_one_keeps_everything():
+    enable_tracing(sample_rate=1.0)
+    for _ in range(10):
+        with TRACER.span("root"):
+            pass
+    stats = TRACER.statistics()
+    assert stats["roots_started"] == stats["roots_sampled"] == 10
+    assert len(TRACER.finished()) == 10
+
+
+def test_sample_rate_validated():
+    with pytest.raises(ValueError):
+        TRACER.configure(sample_rate=1.5)
+
+
+def test_ring_buffer_evicts_oldest():
+    enable_tracing(ring_capacity=3)
+    for i in range(5):
+        with TRACER.span(f"root-{i}"):
+            pass
+    assert [s.name for s in TRACER.finished()] == ["root-2", "root-3", "root-4"]
+    TRACER.configure(ring_capacity=256)  # restore the default size
+
+
+def test_threads_do_not_cross_nest():
+    enable_tracing()
+    barrier = threading.Barrier(2)
+
+    def trace(name: str) -> None:
+        with TRACER.span(name):
+            barrier.wait()  # both spans open simultaneously
+            with TRACER.span(f"{name}.child"):
+                pass
+
+    threads = [
+        threading.Thread(target=trace, args=(f"t{i}",)) for i in range(2)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    roots = {s.name: s for s in TRACER.finished()}
+    assert set(roots) == {"t0", "t1"}
+    for name, span in roots.items():
+        assert [c.name for c in span.children] == [f"{name}.child"]
+
+
+# -- export ----------------------------------------------------------------
+def test_span_export_shapes(tmp_path):
+    enable_tracing()
+    with TRACER.span("root", obj=object()) as span:
+        span.annotate(n=3)
+        with TRACER.span("child"):
+            pass
+    root = TRACER.finished()[0]
+    data = span_to_dict(root)
+    json.dumps(data)  # non-primitive attributes fall back to repr()
+    assert data["name"] == "root"
+    assert data["attributes"]["n"] == 3
+    assert isinstance(data["attributes"]["obj"], str)
+    assert [c["name"] for c in data["children"]] == ["child"]
+
+    text = render_span_tree(root)
+    assert text.splitlines()[0].startswith("- root ")
+    assert "  - child " in text
+
+    out = io.StringIO()
+    assert export_jsonl([root], out) == 1
+    assert json.loads(out.getvalue())["name"] == "root"
+    path = tmp_path / "spans.jsonl"
+    assert export_jsonl([root, root], path) == 2
+    assert len(path.read_text().splitlines()) == 2
+
+
+def test_sink_receives_finished_roots():
+    seen = []
+    enable_tracing()
+    TRACER.configure(sink=seen.append)
+    with TRACER.span("root"):
+        with TRACER.span("child"):
+            pass
+    assert [s.name for s in seen] == ["root"]
+    TRACER._sink = None  # detach so later tests don't push into `seen`
+
+
+# -- build reports ---------------------------------------------------------
+def test_build_report_phases(small_dag):
+    index = plain_index("PLL").build(small_dag)
+    report = index.build_report
+    assert report.index == "PLL"
+    assert [p.name for p in report.phases] == [
+        "landmark-order",
+        "pruned-bfs-labeling",
+    ]
+    assert report.entries == index.size_in_entries()
+    assert report.total_seconds >= sum(p.seconds for p in report.phases) >= 0.0
+    assert report.phases[1].meta["entries"] == index.size_in_entries()
+    json.dumps(report.as_dict())
+    assert "pruned-bfs-labeling" in report.render_text()
+
+
+def test_nested_build_becomes_one_phase(cyclic_graph):
+    index = CondensedIndex.build(cyclic_graph, inner=plain_index("Tree cover"))
+    names = [p.name for p in index.build_report.phases]
+    assert "build.Tree cover" in names
+    nested = next(
+        p for p in index.build_report.phases if p.name == "build.Tree cover"
+    )
+    assert nested.children  # the inner family's own phases ride along
+
+
+def test_build_phase_outside_build_is_noop():
+    with build_phase("orphan") as phase:
+        phase.annotate(ignored=True)  # no accumulator in context: nothing breaks
+
+
+def test_builds_traced_as_spans(small_dag):
+    enable_tracing()
+    plain_index("PLL").build(small_dag)
+    roots = TRACER.finished()
+    assert [s.name for s in roots] == ["build"]
+    assert roots[0].attributes["index"] == "PLL"
+    assert {c.name for c in roots[0].children} == {
+        "build.landmark-order",
+        "build.pruned-bfs-labeling",
+    }
+
+
+# -- metrics ---------------------------------------------------------------
+def test_histogram_summary_is_consistent():
+    histogram = LatencyHistogram()
+    for sample in (1e-6, 5e-5, 2e-3, 0.4):
+        histogram.observe(sample)
+    summary = histogram.summary()
+    assert summary["count"] == 4
+    assert summary["mean_s"] == pytest.approx(sum((1e-6, 5e-5, 2e-3, 0.4)) / 4)
+    assert summary["p50_s"] <= summary["p95_s"] <= summary["p99_s"]
+    assert summary["max_s"] == pytest.approx(0.4)
+
+
+def test_histogram_summary_race():
+    """A concurrent scrape never sees count and percentiles disagree."""
+    histogram = LatencyHistogram()
+    stop = threading.Event()
+    failures = []
+
+    def writer():
+        while not stop.is_set():
+            histogram.observe(1e-4)
+
+    def reader():
+        for _ in range(300):
+            summary = histogram.summary()
+            if summary["count"] and summary["p99_s"] == 0.0:
+                failures.append(summary)
+        stop.set()
+
+    threads = [threading.Thread(target=writer), threading.Thread(target=reader)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not failures
+
+
+def test_registry_kind_collision():
+    registry = MetricsRegistry()
+    registry.counter("service.queries")
+    with pytest.raises(ValueError):
+        registry.histogram("service.queries")
+    registry.histogram("service.latency")
+    with pytest.raises(ValueError):
+        registry.counter("service.latency")
+
+
+def test_registry_as_dict_nests():
+    registry = MetricsRegistry()
+    registry.counter("a.b.c").increment(2)
+    registry.counter("a.b.d").increment()
+    assert registry.as_dict()["a"]["b"] == {"c": 2, "d": 1}
+
+
+def test_render_text_is_two_tokens_per_line():
+    registry = MetricsRegistry()
+    registry.counter("index.O'Reach.route certain").increment(3)
+    registry.histogram("latency.cache").observe(1e-3)
+    for line in registry.render_text().strip().splitlines():
+        tokens = line.split()
+        assert len(tokens) == 2, line
+        name = tokens[0]
+        assert all(c.isalnum() or c == "_" for c in name), name
+    assert "index_O_Reach_route_certain 3" in registry.render_text()
+
+
+# -- bench provenance ------------------------------------------------------
+def test_provenance_fields():
+    stamp = provenance()
+    assert set(stamp) == {"git_sha", "python", "platform", "date"}
+    assert stamp["git_sha"]  # a sha in a checkout, "unknown" elsewhere
+    assert stamp["date"].endswith("Z")
+
+
+def test_emit_stamps_provenance(tmp_path):
+    target = emit("obs_smoke", {"rows": []}, tmp_path / "BENCH_obs_smoke.json")
+    document = json.loads(target.read_text())
+    assert document["bench"] == "obs_smoke"
+    assert document["provenance"]["python"] == document["python"]
+    assert len(document["provenance"]["git_sha"]) in (7, 40) or (
+        document["provenance"]["git_sha"] == "unknown"
+    )
