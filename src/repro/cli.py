@@ -26,7 +26,19 @@ Commands
     Show the class and version of a saved index without loading it.
 ``repro serve EDGELIST [--labeled] --port N [--trace]``
     Run the snapshot-isolated HTTP query service over an edge list;
-    ``--trace`` enables the span tracer behind ``GET /debug/trace``.
+    ``--trace`` enables the span tracer behind ``GET /debug/trace``;
+    ``--index-param KEY=VALUE`` (repeatable) forwards build parameters
+    to the index family (e.g. ``--index Sharded --index-param
+    num_shards=4``).
+``repro shard stats EDGELIST --shards K``
+    Partition a graph (its condensation when cyclic) and report shard
+    sizes, cut edges, and refinement moves without building indexes.
+``repro shard build EDGELIST --family NAME --shards K [--save FILE]``
+    Build a partitioned two-level index (parallel shard builds) and
+    print the aggregated per-shard build report.
+``repro shard query EDGELIST S T --shards K [--explain]``
+    Answer one query through a sharded index, optionally showing the
+    shard route (intra_shard / cross_shard / boundary_cache).
 ``repro experiment NAME``
     Run one DESIGN.md experiment (taxonomy / speed / size / …) and print
     its table.
@@ -399,6 +411,114 @@ def _cmd_lquery(args: argparse.Namespace) -> int:
     return 0 if answer else 1
 
 
+def _parse_index_params(items: list[str] | None) -> dict[str, object]:
+    """``KEY=VALUE`` pairs → build kwargs, ints coerced (``num_shards=4``)."""
+    params: dict[str, object] = {}
+    for item in items or ():
+        key, separator, value = item.partition("=")
+        if not separator or not key:
+            raise ValueError(f"--index-param needs KEY=VALUE, got {item!r}")
+        try:
+            params[key] = int(value)
+        except ValueError:
+            params[key] = value
+    return params
+
+
+def _build_sharded(args: argparse.Namespace):
+    """Build a ShardedIndex over an edge list (condensing cyclic input)."""
+    from repro.shard import ShardedIndex
+
+    graph, ids = read_edge_list(args.edgelist)
+    params: dict[str, object] = {
+        "family": args.family,
+        "num_shards": args.shards,
+        "refine_passes": args.refine_passes,
+        "executor": args.executor,
+    }
+    if args.workers is not None:
+        params["workers"] = args.workers
+    start = time.perf_counter()
+    if is_dag(graph):
+        index = ShardedIndex.build(graph, **params)
+    else:
+        index = CondensedIndex.build(graph, inner=ShardedIndex, **params)
+    elapsed = time.perf_counter() - start
+    return graph, ids, index, elapsed
+
+
+def _shard_report(index):
+    """The ShardBuildReport, reaching through the condensation wrapper."""
+    report = getattr(index, "shard_build_report", None)
+    if report is None and isinstance(index, CondensedIndex):
+        report = getattr(index.inner, "shard_build_report", None)
+    return report
+
+
+def _cmd_shard_stats(args: argparse.Namespace) -> int:
+    from repro.graphs.scc import condense
+    from repro.shard import partition_dag
+
+    graph, _ids = read_edge_list(args.edgelist)
+    target = graph
+    if not is_dag(graph):
+        condensation = condense(graph)
+        target = condensation.dag
+        print(
+            f"cyclic input: partitioning the condensation "
+            f"({graph.num_vertices} vertices -> {target.num_vertices} SCCs)"
+        )
+    partition = partition_dag(target, args.shards, args.refine_passes)
+    rows = [(key, str(value)) for key, value in partition.as_dict().items()]
+    print(render_table(["metric", "value"], rows, title=args.edgelist))
+    return 0
+
+
+def _cmd_shard_build(args: argparse.Namespace) -> int:
+    graph, _ids, index, elapsed = _build_sharded(args)
+    print(
+        f"Sharded[{args.family} x{args.shards}]: built over "
+        f"|V|={graph.num_vertices} |E|={graph.num_edges} in "
+        f"{format_seconds(elapsed)}; {index.size_in_entries():,} entries"
+    )
+    report = _shard_report(index)
+    if report is not None:
+        print(report.render_text())
+    if args.save:
+        from repro.persistence import save_index
+
+        save_index(index, args.save)
+        print(f"saved to {args.save}")
+    return 0
+
+
+def _cmd_shard_query(args: argparse.Namespace) -> int:
+    if args.load:
+        from repro.core.base import ReachabilityIndex
+        from repro.persistence import load_index
+
+        _graph, ids = read_edge_list(args.edgelist)
+        index = load_index(args.load)
+        if not isinstance(index, ReachabilityIndex):
+            print(f"{args.load}: not a plain index", file=sys.stderr)
+            return 2
+    else:
+        _graph, ids, index, _elapsed = _build_sharded(args)
+    try:
+        s = ids[args.source]
+        t = ids[args.target]
+    except KeyError as exc:
+        print(f"unknown vertex {exc}", file=sys.stderr)
+        return 2
+    if args.explain:
+        explanation = index.explain(s, t)
+        print(explanation.render_text())
+        return 0 if explanation.answer else 1
+    answer = index.query(s, t)
+    print(f"Qr({args.source}, {args.target}) = {str(answer).lower()}")
+    return 0 if answer else 1
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service import ReachabilityService
     from repro.service.server import serve
@@ -407,12 +527,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         from repro.obs.tracer import enable_tracing
 
         enable_tracing(sample_rate=args.trace_sample_rate)
+    try:
+        index_params = _parse_index_params(args.index_param)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
     if args.labeled:
         graph, _ids = read_labeled_edge_list(args.edgelist)
         labeled = None if args.labeled_index == "none" else args.labeled_index
         service = ReachabilityService(
             graph,
             index=args.index,
+            index_params=index_params,
             labeled_index=labeled,
             cache_capacity=args.cache_capacity or None,
             coalesce=not args.no_coalesce,
@@ -423,6 +549,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         service = ReachabilityService(
             graph,
             index=args.index,
+            index_params=index_params,
             cache_capacity=args.cache_capacity or None,
             coalesce=not args.no_coalesce,
             rebuild=args.rebuild,
@@ -547,12 +674,77 @@ def main(argv: list[str] | None = None) -> int:
     )
     lquery.set_defaults(func=_cmd_lquery)
 
+    shard = sub.add_parser(
+        "shard", help="partitioned (sharded) reachability indexes"
+    )
+    shard_sub = shard.add_subparsers(dest="shard_command", required=True)
+
+    def _shard_common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("edgelist")
+        p.add_argument("--shards", type=int, default=4, help="partition count k")
+        p.add_argument(
+            "--refine-passes",
+            type=int,
+            default=2,
+            help="greedy min-cut refinement passes over the banding",
+        )
+
+    shard_stats = shard_sub.add_parser(
+        "stats", help="partition a graph and report the cut"
+    )
+    _shard_common(shard_stats)
+    shard_stats.set_defaults(func=_cmd_shard_stats)
+
+    def _shard_build_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--family", default="PLL", help="plain family per shard")
+        p.add_argument(
+            "--executor",
+            choices=("thread", "process", "serial"),
+            default="thread",
+            help="how shard builds run in parallel",
+        )
+        p.add_argument(
+            "--workers", type=int, default=None, help="parallel build workers"
+        )
+
+    shard_build = shard_sub.add_parser(
+        "build", help="build a sharded two-level index"
+    )
+    _shard_common(shard_build)
+    _shard_build_args(shard_build)
+    shard_build.add_argument("--save", default=None, help="persist the built index")
+    shard_build.set_defaults(func=_cmd_shard_build)
+
+    shard_query = shard_sub.add_parser(
+        "query", help="answer one query through a sharded index"
+    )
+    shard_query.add_argument("edgelist")
+    shard_query.add_argument("source")
+    shard_query.add_argument("target")
+    shard_query.add_argument("--shards", type=int, default=4)
+    shard_query.add_argument("--refine-passes", type=int, default=2)
+    _shard_build_args(shard_query)
+    shard_query.add_argument(
+        "--load", default=None, help="use a saved index file instead of rebuilding"
+    )
+    shard_query.add_argument(
+        "--explain", action="store_true", help="show the shard route taken"
+    )
+    shard_query.set_defaults(func=_cmd_shard_query)
+
     serve = sub.add_parser(
         "serve", help="run the snapshot-isolated HTTP query service"
     )
     serve.add_argument("edgelist")
     serve.add_argument("--labeled", action="store_true", help="labeled edge list")
     serve.add_argument("--index", default="PLL", help="plain index family")
+    serve.add_argument(
+        "--index-param",
+        action="append",
+        metavar="KEY=VALUE",
+        default=None,
+        help="build parameter forwarded to the index family (repeatable)",
+    )
     serve.add_argument(
         "--labeled-index",
         default="DLCR",

@@ -53,6 +53,7 @@ def _ensure_loaded() -> None:
     """Import the implementation packages so their registrations run."""
     importlib.import_module("repro.plain")
     importlib.import_module("repro.labeled")
+    importlib.import_module("repro.shard")
 
 
 def plain_index(name: str) -> type[ReachabilityIndex]:

@@ -24,6 +24,7 @@ __all__ = [
     "random_tree",
     "tree_with_shortcuts",
     "layered_dag",
+    "community_dag",
     "cyclic_communities",
     "with_random_labels",
     "random_labeled_digraph",
@@ -145,6 +146,63 @@ def layered_dag(
             targets = rng.sample(range(width), min(edges_per_vertex, width))
             for j in targets:
                 graph.add_edge(u, (layer + 1) * width + j)
+    return graph
+
+
+def community_dag(
+    num_communities: int,
+    community_size: int,
+    seed: int,
+    intra_edge_prob: float = 0.25,
+    inter_edge_prob: float = 0.02,
+) -> DiGraph:
+    """A DAG of dense communities joined by sparse forward edges.
+
+    Community ``c`` occupies the contiguous id block
+    ``[c*size, (c+1)*size)``; within a block, forward edges (lower id to
+    higher id) appear with probability ``intra_edge_prob``, and between
+    a community and any *later* one with probability ``inter_edge_prob``
+    (placed by expected-count sampling, so generation stays proportional
+    to the number of edges rather than to ``n**2``).  Ids are a valid
+    topological order by construction.
+
+    ``inter_edge_prob`` is the partitioner's dial: near zero the graph
+    is partition-friendly (cutting between communities severs almost
+    nothing), near ``intra_edge_prob`` community structure dissolves and
+    every cut is expensive — both regimes the sharding benchmarks need.
+    """
+    if num_communities < 1:
+        raise GraphError(f"need at least one community, got {num_communities}")
+    if community_size < 1:
+        raise GraphError(f"community_size must be >= 1, got {community_size}")
+    for name, prob in (
+        ("intra_edge_prob", intra_edge_prob),
+        ("inter_edge_prob", inter_edge_prob),
+    ):
+        if not 0.0 <= prob <= 1.0:
+            raise GraphError(f"{name} must be in [0, 1], got {prob}")
+    rng = random.Random(seed)
+    graph = DiGraph(num_communities * community_size)
+    for c in range(num_communities):
+        base = c * community_size
+        for i in range(community_size - 1):
+            for j in range(i + 1, community_size):
+                if rng.random() < intra_edge_prob:
+                    graph.add_edge(base + i, base + j)
+    cross_slots = (
+        community_size * community_size * num_communities * (num_communities - 1) // 2
+    )
+    wanted = min(cross_slots, round(inter_edge_prob * cross_slots))
+    placed = 0
+    attempts = 0
+    while placed < wanted and attempts < 50 * wanted + 100:
+        attempts += 1
+        cu = rng.randrange(num_communities - 1)
+        cv = rng.randrange(cu + 1, num_communities)
+        u = cu * community_size + rng.randrange(community_size)
+        v = cv * community_size + rng.randrange(community_size)
+        if graph.add_edge_if_absent(u, v):
+            placed += 1
     return graph
 
 

@@ -99,6 +99,11 @@ class ReachabilityService:
     :meth:`lreach` routes alternation constraints to the labeled index
     and everything else to automaton-guided traversal).
 
+    ``index_params`` forwards extra keyword arguments to the plain
+    family's ``build`` on every (re)construction — e.g.
+    ``index="Sharded", index_params={"num_shards": 4}`` serves a
+    partitioned index with no other change.
+
     ``rebuild="always"`` forces full index reconstruction on every
     update batch; the default ``"auto"`` patches dynamic indexes
     incrementally on a deep copy and falls back to rebuilding when the
@@ -111,6 +116,7 @@ class ReachabilityService:
         graph: DiGraph | LabeledDiGraph,
         *,
         index: str = "PLL",
+        index_params: dict[str, object] | None = None,
         labeled_index: str | None = "DLCR",
         cache_capacity: int | None = 4096,
         coalesce: bool = True,
@@ -120,6 +126,7 @@ class ReachabilityService:
         if rebuild not in ("auto", "always"):
             raise ServiceError(f"rebuild must be 'auto' or 'always', got {rebuild!r}")
         self._plain_name = index
+        self._index_params = dict(index_params or {})
         self._labeled_name = labeled_index
         self._rebuild_policy = rebuild
         self._metrics = metrics if metrics is not None else MetricsRegistry()
@@ -159,8 +166,8 @@ class ReachabilityService:
     def _build_plain(self, graph: DiGraph) -> ReachabilityIndex:
         cls = plain_index_cls(self._plain_name)
         if cls.metadata.input_kind == "DAG" and not is_dag(graph):
-            return CondensedIndex.build(graph, inner=cls)
-        return cls.build(graph)
+            return CondensedIndex.build(graph, inner=cls, **self._index_params)
+        return cls.build(graph, **self._index_params)
 
     def _labeled_snapshot(self, epoch: int, labeled: LabeledDiGraph) -> Snapshot:
         """A fresh fully-rebuilt snapshot over ``labeled`` (writer-owned)."""

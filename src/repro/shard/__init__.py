@@ -1,0 +1,23 @@
+"""repro.shard — partitioned reachability (the §6 scaling axis).
+
+One monolithic index per graph stops being tenable as graphs grow: §6 of
+the survey frames construction cost and index size as the scalability
+wall, and size-restricted designs (FERRARI) show that bounding each
+structure is the lever.  This package imposes that bound by
+partitioning:
+
+* :mod:`repro.shard.partition` — topological banding plus greedy
+  min-cut refinement cuts a DAG into ``k`` edge-disjoint shards.
+* :mod:`repro.shard.engine` — :class:`ShardedIndex` builds any
+  registered plain family per shard (in parallel), indexes the boundary
+  summary graph, and answers queries by intra-shard probe or
+  out-border → boundary-index → in-border composition.
+
+``ShardedIndex`` registers as the plain family ``"Sharded"``, so the
+service, CLI, persistence, and benchmarks all serve it unchanged.
+"""
+
+from repro.shard.engine import ShardBuildReport, ShardedIndex
+from repro.shard.partition import Partition, partition_dag
+
+__all__ = ["Partition", "ShardBuildReport", "ShardedIndex", "partition_dag"]

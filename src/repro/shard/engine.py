@@ -1,0 +1,733 @@
+"""The two-level sharded reachability index.
+
+``ShardedIndex`` bounds per-structure index size (the FERRARI lever the
+survey's §6 scalability discussion points at) by splitting a DAG into
+``k`` shards with :func:`repro.shard.partition.partition_dag`, building
+any registered plain family *independently per shard*, and lifting the
+endpoints of cut edges into a **boundary summary graph** whose
+transitive structure gets its own index:
+
+* the boundary graph's vertices are the cut-edge endpoints;
+* its edges are the cut edges themselves plus, per shard, a closure edge
+  ``b → b'`` for every pair of that shard's boundary vertices with
+  ``b ⇝ b'`` inside the shard (computed by one bit-parallel
+  :func:`~repro.kernels.reach_masks` sweep per shard).
+
+A query then resolves in two levels.  ``s ⇝ t`` holds iff it holds
+intra-shard (same shard, shard-local index answers YES) **or** some
+out-border ``b`` of ``s`` reaches some in-border ``b'`` of ``t`` in the
+boundary graph — because any path crossing shards enters the boundary at
+its first cut edge and leaves it at its last, and every intra-shard hop
+between boundary vertices is a closure edge.  Same-shard pairs whose
+local index answers NO still fall through to the boundary composition: a
+path may exit the shard and re-enter it.
+
+Shard builds run in parallel via :mod:`concurrent.futures` (threads by
+default; an optional process pool for true CPU parallelism; ``serial``
+for debugging), and every shard's :class:`~repro.obs.build.BuildReport`
+is aggregated into one :class:`ShardBuildReport`.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from collections.abc import Sequence
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import ClassVar
+
+from repro.core.base import (
+    Explanation,
+    IndexMetadata,
+    ReachabilityIndex,
+    TriState,
+)
+from repro.core.registry import plain_index, register_plain
+from repro.errors import IndexBuildError
+from repro.graphs.digraph import DiGraph
+from repro.kernels import csr_of, reach_masks
+from repro.obs.build import BuildReport, build_phase
+from repro.obs.metrics import global_registry
+from repro.obs.tracer import TRACER
+from repro.shard.partition import Partition, partition_dag
+
+__all__ = ["ShardBuildReport", "ShardedIndex"]
+
+#: Boundary sources advanced per closure sweep (one big-int wave).
+_CLOSURE_WAVE = 512
+
+
+@dataclass(frozen=True)
+class ShardBuildReport:
+    """The aggregated construction breakdown of one sharded build.
+
+    Per-shard :class:`~repro.obs.build.BuildReport` objects (produced by
+    the standard build instrumentation inside each worker) are collected
+    next to the partition/boundary stage timings, so one object answers
+    both "where did the wall-clock go" and "what did each shard cost".
+    """
+
+    family: str
+    num_shards: int
+    executor: str
+    workers: int
+    partition_seconds: float
+    shard_build_seconds: float
+    boundary_seconds: float
+    total_seconds: float
+    shard_sizes: tuple[int, ...]
+    cut_edges: int
+    boundary_vertices: int
+    boundary_edges: int
+    shard_reports: tuple[BuildReport | None, ...]
+    boundary_report: BuildReport | None
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-serialisable plain data (the BENCH_shard.json shape)."""
+        return {
+            "family": self.family,
+            "num_shards": self.num_shards,
+            "executor": self.executor,
+            "workers": self.workers,
+            "partition_seconds": self.partition_seconds,
+            "shard_build_seconds": self.shard_build_seconds,
+            "boundary_seconds": self.boundary_seconds,
+            "total_seconds": self.total_seconds,
+            "shard_sizes": list(self.shard_sizes),
+            "cut_edges": self.cut_edges,
+            "boundary_vertices": self.boundary_vertices,
+            "boundary_edges": self.boundary_edges,
+            "shard_reports": [
+                report.as_dict() if report is not None else None
+                for report in self.shard_reports
+            ],
+            "boundary_report": (
+                self.boundary_report.as_dict()
+                if self.boundary_report is not None
+                else None
+            ),
+        }
+
+    def render_text(self) -> str:
+        """An indented per-stage / per-shard breakdown for the CLI."""
+        lines = [
+            f"Sharded[{self.family} x{self.num_shards}] built in "
+            f"{self.total_seconds * 1e3:.2f}ms ({self.executor}, "
+            f"{self.workers} workers)",
+            f"  partition: {self.partition_seconds * 1e3:.2f}ms  "
+            f"[cut_edges={self.cut_edges} boundary={self.boundary_vertices}]",
+            f"  shard builds: {self.shard_build_seconds * 1e3:.2f}ms",
+        ]
+        for number, report in enumerate(self.shard_reports):
+            if report is None:
+                continue
+            size = self.shard_sizes[number] if number < len(self.shard_sizes) else "?"
+            lines.append(
+                f"    shard {number} (|V|={size}): "
+                f"{report.total_seconds * 1e3:.2f}ms"
+                + (
+                    f", {report.entries:,} entries"
+                    if report.entries is not None
+                    else ""
+                )
+            )
+        lines.append(
+            f"  boundary: {self.boundary_seconds * 1e3:.2f}ms  "
+            f"[edges={self.boundary_edges}]"
+        )
+        return "\n".join(lines)
+
+
+def _build_one_shard(family: str, graph: DiGraph) -> ReachabilityIndex:
+    """Build one shard's inner index (module-level: process-pool picklable)."""
+    return plain_index(family).build(graph)
+
+
+def _run_builds(
+    family: str,
+    graphs: Sequence[DiGraph],
+    executor: str,
+    workers: int,
+) -> list[ReachabilityIndex]:
+    """Build every shard's index, in parallel where asked."""
+    if executor == "serial" or len(graphs) <= 1 or workers <= 1:
+        return [_build_one_shard(family, graph) for graph in graphs]
+    if executor == "process":
+        try:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                return list(
+                    pool.map(_build_one_shard, [family] * len(graphs), graphs)
+                )
+        except (OSError, ValueError):  # no fork/semaphores: degrade to threads
+            pass
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(lambda graph: _build_one_shard(family, graph), graphs))
+
+
+@register_plain
+class ShardedIndex(ReachabilityIndex):
+    """Partitioned two-level reachability index over a DAG.
+
+    ``build(graph, family="PLL", num_shards=4)`` conforms to the core
+    index API — complete (never MAYBE), DAG input like the families it
+    wraps (lift cyclic graphs with
+    :class:`~repro.core.condensed.CondensedIndex` as usual).  ``family``
+    names any registered plain index; each shard and the boundary graph
+    get their own instance of it.
+    """
+
+    metadata: ClassVar[IndexMetadata] = IndexMetadata(
+        name="Sharded",
+        framework="-",
+        complete=True,
+        input_kind="DAG",
+        dynamic="no",
+    )
+
+    def __init__(
+        self,
+        graph: DiGraph,
+        partition: Partition,
+        family: str,
+        shard_graphs: list[DiGraph],
+        shard_indexes: list[ReachabilityIndex],
+        local_of: list[int],
+        shard_globals: list[list[int]],
+        boundary_graph: DiGraph | None,
+        boundary_index: ReachabilityIndex | None,
+        boundary_globals: list[int],
+    ) -> None:
+        super().__init__(graph)
+        self._partition = partition
+        self._family = family
+        self._shard_graphs = shard_graphs
+        self._shard_indexes = shard_indexes
+        self._shard_of = list(partition.shard_of)
+        self._local_of = local_of
+        self._shard_globals = shard_globals
+        self._boundary_graph = boundary_graph
+        self._boundary_index = boundary_index
+        self._boundary_globals = boundary_globals
+        self._bid_of = {g: b for b, g in enumerate(boundary_globals)}
+        borders: list[list[int]] = [[] for _ in range(partition.num_shards)]
+        for g in boundary_globals:
+            borders[self._shard_of[g]].append(g)
+        self._shard_borders = borders
+        # Per-vertex border memoisation (query-time only; dropped on pickle).
+        self._out_cache: dict[int, tuple[int, ...]] = {}
+        self._in_cache: dict[int, tuple[int, ...]] = {}
+        self._pair_cache: dict[tuple[tuple[int, ...], tuple[int, ...]], bool] = {}
+        self.shard_build_report: ShardBuildReport | None = None
+
+    # -- construction ---------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        graph: DiGraph,
+        family: str = "PLL",
+        num_shards: int = 4,
+        refine_passes: int = 2,
+        executor: str = "thread",
+        workers: int | None = None,
+    ) -> "ShardedIndex":
+        """Partition ``graph``, build ``family`` per shard, index the boundary.
+
+        ``executor`` is ``"thread"`` (default), ``"process"`` (true CPU
+        parallelism; shard graphs and built indexes cross the pickle
+        boundary), or ``"serial"``.  ``workers`` defaults to
+        ``min(num_shards, cpu_count)``.
+        """
+        if family == cls.metadata.name:
+            raise IndexBuildError("a sharded index cannot shard itself")
+        if executor not in ("thread", "process", "serial"):
+            raise IndexBuildError(
+                f"executor must be 'thread', 'process' or 'serial', got {executor!r}"
+            )
+        inner_cls = plain_index(family)  # fail fast on unknown families
+        if inner_cls.metadata.input_kind != "DAG":
+            # General-input families work on any subgraph; DAG-only ones
+            # are fine too because shard subgraphs of a DAG stay acyclic.
+            pass
+        t_start = time.perf_counter()
+        with build_phase("partition") as ph:
+            partition = partition_dag(graph, num_shards, refine_passes)
+            ph.annotate(
+                shards=partition.num_shards,
+                cut_edges=len(partition.cut_edges),
+                moves=partition.refinement_moves,
+            )
+        t_partition = time.perf_counter()
+        k = partition.num_shards
+        if workers is None:
+            workers = max(1, min(k, os.cpu_count() or 1))
+        with build_phase("shard-extract") as ph:
+            shard_graphs, local_of, shard_globals = _extract_shards(
+                graph, partition
+            )
+            ph.annotate(sizes=list(partition.shard_sizes))
+        with build_phase("shard-builds") as ph:
+            shard_indexes = _run_builds(family, shard_graphs, executor, workers)
+            ph.annotate(family=family, shards=k, executor=executor, workers=workers)
+        t_builds = time.perf_counter()
+        with build_phase("boundary-graph") as ph:
+            boundary_graph, boundary_globals = _boundary_graph(
+                graph, partition, shard_graphs, local_of, shard_globals
+            )
+            ph.annotate(
+                vertices=boundary_graph.num_vertices,
+                edges=boundary_graph.num_edges,
+            )
+        boundary_index: ReachabilityIndex | None = None
+        if boundary_graph.num_vertices:
+            # Observed as a nested build: shows up as a child phase.
+            boundary_index = plain_index(family).build(boundary_graph)
+        t_boundary = time.perf_counter()
+        index = cls(
+            graph,
+            partition,
+            family,
+            shard_graphs,
+            shard_indexes,
+            local_of,
+            shard_globals,
+            boundary_graph if boundary_graph.num_vertices else None,
+            boundary_index,
+            boundary_globals,
+        )
+        index.shard_build_report = ShardBuildReport(
+            family=family,
+            num_shards=k,
+            executor=executor,
+            workers=workers,
+            partition_seconds=t_partition - t_start,
+            shard_build_seconds=t_builds - t_partition,
+            boundary_seconds=t_boundary - t_builds,
+            total_seconds=t_boundary - t_start,
+            shard_sizes=partition.shard_sizes,
+            cut_edges=len(partition.cut_edges),
+            boundary_vertices=len(boundary_globals),
+            boundary_edges=boundary_graph.num_edges,
+            shard_reports=tuple(
+                inner.build_report for inner in shard_indexes
+            ),
+            boundary_report=(
+                boundary_index.build_report if boundary_index is not None else None
+            ),
+        )
+        registry = global_registry()
+        registry.counter("shard.build.builds").increment()
+        registry.counter("shard.build.shards").increment(k)
+        registry.counter("shard.build.cut_edges").increment(
+            len(partition.cut_edges)
+        )
+        return index
+
+    # -- introspection ----------------------------------------------------
+    @property
+    def partition(self) -> Partition:
+        """The vertex→shard assignment this index was built over."""
+        return self._partition
+
+    @property
+    def family(self) -> str:
+        """The inner plain family built per shard and over the boundary."""
+        return self._family
+
+    @property
+    def shards(self) -> tuple[ReachabilityIndex, ...]:
+        """The per-shard inner indexes (local vertex ids)."""
+        return tuple(self._shard_indexes)
+
+    @property
+    def boundary_index(self) -> ReachabilityIndex | None:
+        """The index over the boundary summary graph (None without cuts)."""
+        return self._boundary_index
+
+    @property
+    def boundary_graph(self) -> DiGraph | None:
+        """The boundary summary graph (None without cut edges)."""
+        return self._boundary_graph
+
+    # -- probing ----------------------------------------------------------
+    def lookup(self, source: int, target: int) -> TriState:
+        """Exact probe: the two-level composition never answers MAYBE."""
+        self._check_query(source, target)
+        answer, _route, _details = self._resolve(source, target)
+        return TriState.YES if answer else TriState.NO
+
+    def query(self, source: int, target: int) -> bool:
+        self._check_query(source, target)
+        if not TRACER.enabled:
+            return self._resolve(source, target)[0]
+        with TRACER.span(
+            "shard.query", index=self.metadata.name, source=source, target=target
+        ) as span:
+            answer, route, _details = self._resolve(source, target)
+            span.annotate(route=route, answer=answer)
+            global_registry().counter(f"shard.route.{route}").increment()
+            return answer
+
+    def query_batch(self, pairs: Sequence[tuple[int, int]]) -> list[bool]:
+        """Batched two-level resolution.
+
+        Same-shard pairs go through each shard index's own
+        ``query_batch`` (one call per touched shard, so the PR 2 kernels
+        see whole sub-batches); pairs the shard answers NO — plus all
+        cross-shard pairs — resolve through one batched border
+        composition against the boundary index.
+        """
+        self._check_pairs(pairs)
+        if not pairs:
+            return []
+        answers: list[bool | None] = [None] * len(pairs)
+        shard_of = self._shard_of
+        local_of = self._local_of
+        by_shard: dict[int, list[int]] = {}
+        escalate: list[int] = []
+        trivial = 0
+        for position, (s, t) in enumerate(pairs):
+            if s == t:
+                answers[position] = True
+                trivial += 1
+            elif shard_of[s] == shard_of[t]:
+                by_shard.setdefault(shard_of[s], []).append(position)
+            else:
+                escalate.append(position)
+        intra_hits = 0
+        for shard, positions in by_shard.items():
+            local_pairs = [
+                (local_of[pairs[i][0]], local_of[pairs[i][1]]) for i in positions
+            ]
+            local_answers = self._shard_indexes[shard].query_batch(local_pairs)
+            for position, answer in zip(positions, local_answers):
+                if answer:
+                    answers[position] = True
+                    intra_hits += 1
+                elif self._boundary_index is None:
+                    answers[position] = False  # no cuts: intra NO is final
+                    intra_hits += 1
+                else:
+                    escalate.append(position)
+        composed = 0
+        cached = 0
+        if escalate:
+            composed, cached = self._compose_batch(pairs, escalate, answers)
+        if TRACER.enabled:
+            registry = global_registry()
+            if trivial:
+                registry.counter("shard.route.trivial").increment(trivial)
+            if intra_hits:
+                registry.counter("shard.route.intra_shard").increment(intra_hits)
+            if composed:
+                registry.counter("shard.route.cross_shard").increment(composed)
+            if cached:
+                registry.counter("shard.route.boundary_cache").increment(cached)
+        return answers  # type: ignore[return-value]
+
+    # -- resolution core ---------------------------------------------------
+    def _resolve(self, source: int, target: int) -> tuple[bool, str, tuple[str, ...]]:
+        """Answer + route + human details; explain and query share this."""
+        if source == target:
+            return True, "trivial", (
+                "source equals target: reachable by the empty path",
+            )
+        shard_s = self._shard_of[source]
+        shard_t = self._shard_of[target]
+        if shard_s == shard_t:
+            local = self._local_of
+            if self._shard_indexes[shard_s].query(local[source], local[target]):
+                return True, "intra_shard", (
+                    f"shard {shard_s}: the shard-local {self._family} index "
+                    "answered yes",
+                )
+            if self._boundary_index is None:
+                return False, "intra_shard", (
+                    f"shard {shard_s}: shard-local no is final "
+                    "(no cut edges, paths cannot leave the shard)",
+                )
+            answer, route, details = self._compose(source, target)
+            return answer, route, (
+                f"shard {shard_s}: shard-local probe answered no; "
+                "checking exit-and-re-enter paths through the boundary",
+                *details,
+            )
+        answer, route, details = self._compose(source, target)
+        return answer, route, (
+            f"cross-shard: shard({source})={shard_s}, shard({target})={shard_t}",
+            *details,
+        )
+
+    def _out_borders(self, source: int) -> tuple[int, ...]:
+        """Boundary ids (in boundary-graph numbering) reachable from
+        ``source`` without leaving its shard."""
+        cached = self._out_cache.get(source)
+        if cached is not None:
+            return cached
+        shard = self._shard_of[source]
+        borders = self._shard_borders[shard]
+        if not borders:
+            result: tuple[int, ...] = ()
+        else:
+            local = self._local_of
+            index = self._shard_indexes[shard]
+            hits = index.query_batch(
+                [(local[source], local[b]) for b in borders]
+            )
+            result = tuple(
+                self._bid_of[b] for b, hit in zip(borders, hits) if hit
+            )
+        self._out_cache[source] = result
+        return result
+
+    def _in_borders(self, target: int) -> tuple[int, ...]:
+        """Boundary ids that reach ``target`` without leaving its shard."""
+        cached = self._in_cache.get(target)
+        if cached is not None:
+            return cached
+        shard = self._shard_of[target]
+        borders = self._shard_borders[shard]
+        if not borders:
+            result: tuple[int, ...] = ()
+        else:
+            local = self._local_of
+            index = self._shard_indexes[shard]
+            hits = index.query_batch(
+                [(local[b], local[target]) for b in borders]
+            )
+            result = tuple(
+                self._bid_of[b] for b, hit in zip(borders, hits) if hit
+            )
+        self._in_cache[target] = result
+        return result
+
+    def _compose(self, source: int, target: int) -> tuple[bool, str, tuple[str, ...]]:
+        """The boundary composition: out-borders ⇝ in-borders, memoised."""
+        if self._boundary_index is None:
+            return False, "cross_shard", (
+                "no cut edges: distinct shards are mutually unreachable",
+            )
+        out = self._out_borders(source)
+        into = self._in_borders(target)
+        if not out or not into:
+            side = "source has no out-borders" if not out else "target has no in-borders"
+            return False, "cross_shard", (f"boundary composition: {side}",)
+        key = (out, into)
+        hit = self._pair_cache.get(key)
+        if hit is not None:
+            return hit, "boundary_cache", (
+                f"boundary composition memoised for this border pair "
+                f"(|out|={len(out)}, |in|={len(into)})",
+            )
+        probes = self._boundary_index.query_batch(
+            [(b_out, b_in) for b_out in out for b_in in into]
+        )
+        answer = any(probes)
+        self._pair_cache[key] = answer
+        return answer, "cross_shard", (
+            f"boundary composition over |out|={len(out)} x |in|={len(into)} "
+            f"border pairs answered {str(answer).lower()}",
+        )
+
+    def _compose_batch(
+        self,
+        pairs: Sequence[tuple[int, int]],
+        positions: list[int],
+        answers: list[bool | None],
+    ) -> tuple[int, int]:
+        """Resolve escalated positions via one batched border composition.
+
+        Returns ``(composed, cache_hits)`` for route accounting.
+        """
+        boundary = self._boundary_index
+        if boundary is None:
+            for position in positions:
+                answers[position] = False
+            return len(positions), 0
+        # Fill the per-vertex border caches with one shard-index batch per
+        # touched shard (all sources of one shard share a call; same for
+        # targets) instead of one call per vertex.
+        self._fill_border_caches(
+            {pairs[i][0] for i in positions if pairs[i][0] not in self._out_cache},
+            outgoing=True,
+        )
+        self._fill_border_caches(
+            {pairs[i][1] for i in positions if pairs[i][1] not in self._in_cache},
+            outgoing=False,
+        )
+        cache_hits = 0
+        need: list[int] = []
+        boundary_pairs: set[tuple[int, int]] = set()
+        for position in positions:
+            s, t = pairs[position]
+            out = self._out_cache[s]
+            into = self._in_cache[t]
+            if not out or not into:
+                answers[position] = False
+                continue
+            hit = self._pair_cache.get((out, into))
+            if hit is not None:
+                answers[position] = hit
+                cache_hits += 1
+                continue
+            need.append(position)
+            boundary_pairs.update(
+                (b_out, b_in) for b_out in out for b_in in into
+            )
+        if need:
+            unique = sorted(boundary_pairs)
+            verdicts = dict(zip(unique, boundary.query_batch(unique)))
+            for position in need:
+                s, t = pairs[position]
+                out = self._out_cache[s]
+                into = self._in_cache[t]
+                answer = any(
+                    verdicts[(b_out, b_in)] for b_out in out for b_in in into
+                )
+                self._pair_cache[(out, into)] = answer
+                answers[position] = answer
+        composed = len(positions) - cache_hits
+        return composed, cache_hits
+
+    def _fill_border_caches(self, vertices: set[int], outgoing: bool) -> None:
+        """Batch-compute border sets for many vertices, grouped by shard."""
+        if not vertices:
+            return
+        local_of = self._local_of
+        by_shard: dict[int, list[int]] = {}
+        for v in vertices:
+            by_shard.setdefault(self._shard_of[v], []).append(v)
+        cache = self._out_cache if outgoing else self._in_cache
+        for shard, members in by_shard.items():
+            borders = self._shard_borders[shard]
+            if not borders:
+                for v in members:
+                    cache[v] = ()
+                continue
+            index = self._shard_indexes[shard]
+            if outgoing:
+                local_pairs = [
+                    (local_of[v], local_of[b]) for v in members for b in borders
+                ]
+            else:
+                local_pairs = [
+                    (local_of[b], local_of[v]) for v in members for b in borders
+                ]
+            hits = index.query_batch(local_pairs)
+            width = len(borders)
+            for slot, v in enumerate(members):
+                row = hits[slot * width : (slot + 1) * width]
+                cache[v] = tuple(
+                    self._bid_of[b] for b, hit in zip(borders, row) if hit
+                )
+
+    # -- observability -----------------------------------------------------
+    def explain(self, source: int, target: int) -> Explanation:
+        """The shard route one query takes: ``intra_shard`` when the
+        shard-local index decided, ``cross_shard`` for a fresh boundary
+        composition, ``boundary_cache`` when the composition was
+        memoised for this border pair."""
+        self._check_query(source, target)
+        answer, route, details = self._resolve(source, target)
+        return Explanation(
+            index=self.metadata.name,
+            source=source,
+            target=target,
+            answer=answer,
+            route=route,
+            probe=None if route == "trivial" else (
+                TriState.YES if answer else TriState.NO
+            ),
+            details=details,
+        )
+
+    # -- accounting --------------------------------------------------------
+    def size_in_entries(self) -> int:
+        """Shard indexes + boundary index + the partition map itself."""
+        total = sum(inner.size_in_entries() for inner in self._shard_indexes)
+        if self._boundary_index is not None:
+            total += self._boundary_index.size_in_entries()
+        return total + len(self._shard_of) + len(self._boundary_globals)
+
+    def __getstate__(self) -> dict[str, object]:
+        """Persistable state: drop the query-time border memoisation."""
+        state = super().__getstate__()
+        state["_out_cache"] = {}
+        state["_in_cache"] = {}
+        state["_pair_cache"] = {}
+        return state
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedIndex(family={self._family!r}, k={self._partition.num_shards}, "
+            f"|V|={self._graph.num_vertices}, "
+            f"cut={len(self._partition.cut_edges)}, "
+            f"entries={self.size_in_entries()})"
+        )
+
+
+def _extract_shards(
+    graph: DiGraph, partition: Partition
+) -> tuple[list[DiGraph], list[int], list[list[int]]]:
+    """Per-shard local-id subgraphs plus the global↔local vertex maps."""
+    k = partition.num_shards
+    shard_of = partition.shard_of
+    local_of = [0] * graph.num_vertices
+    shard_globals: list[list[int]] = [[] for _ in range(k)]
+    for v in range(graph.num_vertices):
+        shard = shard_of[v]
+        local_of[v] = len(shard_globals[shard])
+        shard_globals[shard].append(v)
+    shard_graphs = [DiGraph(len(members)) for members in shard_globals]
+    for u, v in graph.edges():
+        if shard_of[u] == shard_of[v]:
+            shard_graphs[shard_of[u]].add_edge(local_of[u], local_of[v])
+    return shard_graphs, local_of, shard_globals
+
+
+def _boundary_graph(
+    graph: DiGraph,
+    partition: Partition,
+    shard_graphs: list[DiGraph],
+    local_of: list[int],
+    shard_globals: list[list[int]],
+) -> tuple[DiGraph, list[int]]:
+    """The boundary summary graph: cut edges + per-shard border closure.
+
+    The closure uses one bit-parallel :func:`reach_masks` sweep per
+    shard (borders batched :data:`_CLOSURE_WAVE` per wave): an edge
+    ``b → b'`` is added whenever ``b`` reaches ``b'`` inside the shard,
+    so multi-hop intra-shard segments of a cross-shard path collapse to
+    one boundary edge.
+    """
+    boundary_globals = list(partition.boundary_vertices)
+    bid_of = {g: b for b, g in enumerate(boundary_globals)}
+    boundary = DiGraph(len(boundary_globals))
+    for u, v in partition.cut_edges:
+        boundary.add_edge_if_absent(bid_of[u], bid_of[v])
+    shard_of = partition.shard_of
+    borders_by_shard: list[list[int]] = [
+        [] for _ in range(partition.num_shards)
+    ]
+    for g in boundary_globals:
+        borders_by_shard[shard_of[g]].append(g)
+    for shard, borders in enumerate(borders_by_shard):
+        if len(borders) < 2:
+            continue
+        csr = csr_of(shard_graphs[shard])
+        local_borders = [local_of[b] for b in borders]
+        for base in range(0, len(borders), _CLOSURE_WAVE):
+            wave = local_borders[base : base + _CLOSURE_WAVE]
+            masks = reach_masks(csr, wave)
+            for b_target, local_target in zip(borders, local_borders):
+                mask = masks[local_target]
+                while mask:
+                    low = mask & -mask
+                    slot = low.bit_length() - 1
+                    mask ^= low
+                    b_source = borders[base + slot]
+                    if b_source != b_target:
+                        boundary.add_edge_if_absent(
+                            bid_of[b_source], bid_of[b_target]
+                        )
+    return boundary, boundary_globals

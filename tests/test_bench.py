@@ -71,7 +71,7 @@ class TestExperimentRows:
     """Each row generator runs at a tiny scale and produces sane rows."""
 
     def test_taxonomies(self):
-        assert len(taxonomy_table1_rows()) == 25
+        assert len(taxonomy_table1_rows()) == 26
         assert len(taxonomy_table2_rows()) == 8
 
     def test_query_speed(self):

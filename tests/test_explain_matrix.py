@@ -23,7 +23,14 @@ from repro.traversal.online import bfs_reachable
 PLAIN = all_plain_indexes()
 FAST = sorted(set(PLAIN) - {"2-Hop", "Dual labeling", "Path-hop"})
 
-ROUTES = {"trivial", "label_probe", "certain", "guided_traversal", "same_scc"}
+SHARD_ROUTES = {"intra_shard", "cross_shard", "boundary_cache"}
+ROUTES = {
+    "trivial",
+    "label_probe",
+    "certain",
+    "guided_traversal",
+    "same_scc",
+} | SHARD_ROUTES
 
 
 @pytest.fixture(autouse=True)
@@ -75,7 +82,11 @@ def test_explain_route_matches_metadata(name):
         for t in range(0, n, 2):
             seen.add(index.explain(s, t).route)
     assert "trivial" in seen  # the s == t diagonal
-    if complete:
+    if name == "Sharded":
+        # The partitioned composition attributes its own route set.
+        assert seen - {"trivial"} <= SHARD_ROUTES
+        assert "intra_shard" in seen
+    elif complete:
         assert "label_probe" in seen
         assert not seen & {"certain", "guided_traversal"}
     else:

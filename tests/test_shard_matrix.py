@@ -1,0 +1,123 @@
+"""Differential matrix: the sharded composition is exact everywhere.
+
+``ShardedIndex`` must agree with the BFS oracle for every inner family,
+graph shape, and shard count — the two-level out-border → boundary-index
+→ in-border composition has no approximation anywhere, so any mismatch
+is a bug.  ``k=1`` must degenerate to the monolithic inner index (empty
+cut, no boundary index), and ``explain`` must agree with ``query`` while
+attributing one of the shard routes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs.generators import (
+    community_dag,
+    layered_dag,
+    random_dag,
+    tree_with_shortcuts,
+)
+from repro.shard import ShardedIndex
+from repro.traversal.online import bfs_reachable
+
+# ≥5 inner families, spanning frameworks and complete/partial designs.
+FAMILIES = ("PLL", "GRAIL", "TC", "Tree cover", "BFL", "Feline")
+
+SHARD_COUNTS = (1, 2, 4, 8)
+
+SHARD_ROUTES = {"trivial", "intra_shard", "cross_shard", "boundary_cache"}
+
+
+def _shapes():
+    """≥3 structurally distinct DAG shapes, small enough to oracle fully."""
+    return (
+        ("random", random_dag(30, 70, seed=401)),
+        ("layered", layered_dag(5, 6, 2, seed=402)),
+        ("community", community_dag(4, 8, seed=403, inter_edge_prob=0.05)),
+        ("tree+shortcuts", tree_with_shortcuts(30, 8, seed=404)),
+    )
+
+
+def _sample_pairs(n: int) -> list[tuple[int, int]]:
+    return [(s, t) for s in range(0, n, 2) for t in range(n)]
+
+
+@pytest.mark.parametrize("family", FAMILIES)
+def test_sharded_matches_oracle(family):
+    """Every (family, shape, k): scalar and batch answers equal the oracle."""
+    for shape_name, graph in _shapes():
+        pairs = _sample_pairs(graph.num_vertices)
+        expected = [bfs_reachable(graph, s, t) for s, t in pairs]
+        for k in SHARD_COUNTS:
+            index = ShardedIndex.build(graph, family=family, num_shards=k)
+            assert index.query_batch(pairs) == expected, (family, shape_name, k)
+            scalar = [index.query(s, t) for s, t in pairs[:60]]
+            assert scalar == expected[:60], (family, shape_name, k)
+
+
+@pytest.mark.parametrize("family", ("PLL", "GRAIL", "TC"))
+def test_k1_degenerates_to_monolithic(family):
+    """One shard: no cut, no boundary index, same answers as the plain build."""
+    from repro.core.registry import plain_index
+
+    graph = random_dag(25, 55, seed=405)
+    sharded = ShardedIndex.build(graph, family=family, num_shards=1)
+    assert sharded.partition.num_shards == 1
+    assert sharded.partition.cut_edges == ()
+    assert sharded.boundary_index is None
+    assert len(sharded.shards) == 1
+    monolithic = plain_index(family).build(graph)
+    pairs = _sample_pairs(graph.num_vertices)
+    assert sharded.query_batch(pairs) == monolithic.query_batch(pairs)
+
+
+def test_k_clamped_to_vertex_count():
+    """Requesting more shards than vertices still yields non-empty shards."""
+    graph = random_dag(5, 6, seed=406)
+    index = ShardedIndex.build(graph, num_shards=8)
+    assert index.partition.num_shards == 5
+    assert all(size == 1 for size in index.partition.shard_sizes)
+    pairs = [(s, t) for s in range(5) for t in range(5)]
+    assert index.query_batch(pairs) == [
+        bfs_reachable(graph, s, t) for s, t in pairs
+    ]
+
+
+@pytest.mark.parametrize("k", SHARD_COUNTS)
+def test_explain_agrees_with_query(k):
+    """explain() answer == query() everywhere, routes from the shard set."""
+    graph = community_dag(4, 8, seed=407, inter_edge_prob=0.08)
+    index = ShardedIndex.build(graph, num_shards=k)
+    seen = set()
+    for s in range(0, graph.num_vertices, 2):
+        for t in range(graph.num_vertices):
+            explanation = index.explain(s, t)
+            assert explanation.answer == index.query(s, t) == bfs_reachable(
+                graph, s, t
+            ), (k, s, t)
+            assert explanation.route in SHARD_ROUTES, explanation.route
+            assert explanation.details
+            seen.add(explanation.route)
+    assert "trivial" in seen
+    assert "intra_shard" in seen
+    if k > 1:
+        assert "cross_shard" in seen
+
+
+def test_repeat_composition_hits_boundary_cache():
+    """A repeated cross-shard border pair is answered from the memo."""
+    graph = community_dag(2, 10, seed=408, inter_edge_prob=0.1)
+    index = ShardedIndex.build(graph, num_shards=2)
+    cross = next(
+        (s, t)
+        for s in range(graph.num_vertices)
+        for t in range(graph.num_vertices)
+        if index.partition.shard_of[s] != index.partition.shard_of[t]
+        and bfs_reachable(graph, s, t)
+    )
+    first = index.explain(*cross)
+    second = index.explain(*cross)
+    assert first.route == "cross_shard"
+    assert second.route == "boundary_cache"
+    assert first.answer == second.answer == index.query(*cross)

@@ -46,6 +46,9 @@ TABLE1 = {
     "Feline": ("-", "Partial", "DAG", "no"),
     "Preach": ("-", "Partial", "DAG", "no"),
     "TC": ("TC", "Complete", "General", "no"),
+    # The §6 scaling composition (not a paper row, like "TC" above): any
+    # registered family built per partition shard plus a boundary index.
+    "Sharded": ("-", "Complete", "DAG", "no"),
 }
 
 # (name, framework, constraint, index type, input, dynamic) — Table 2.
