@@ -39,6 +39,12 @@ Commands
 ``repro shard query EDGELIST S T --shards K [--explain]``
     Answer one query through a sharded index, optionally showing the
     shard route (intra_shard / cross_shard / boundary_cache).
+``repro chaos EDGELIST --fault POINT=KIND[:PROB][:MS] [--seed N]``
+    Run a seeded fault-injection schedule against a sharded build, a
+    persistence round-trip, and a batch of service queries; print the
+    injected-fault counts and per-outcome tallies.  Exits non-zero if
+    any failure surfaced as something other than a typed ``repro``
+    error or a three-valued answer.
 ``repro experiment NAME``
     Run one DESIGN.md experiment (taxonomy / speed / size / …) and print
     its table.
@@ -554,7 +560,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             coalesce=not args.no_coalesce,
             rebuild=args.rebuild,
         )
-    server = serve(service, host=args.host, port=args.port, quiet=False)
+    server = serve(
+        service,
+        host=args.host,
+        port=args.port,
+        quiet=False,
+        max_concurrent=args.max_concurrent,
+        queue_depth=args.admission_queue,
+        queue_timeout_s=args.admission_wait_ms / 1000.0,
+        default_timeout_ms=args.timeout_ms,
+    )
     host, port = server.server_address[:2]
     trace_line = (
         f"\n  http://{host}:{port}/debug/trace" if args.trace else ""
@@ -565,12 +580,160 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f"  http://{host}:{port}/metrics   (Ctrl-C to stop)"
         + trace_line
     )
+
+    # Graceful shutdown: SIGTERM/SIGINT stop admissions, drain in-flight
+    # requests up to --drain-timeout, then flush a final metrics snapshot.
+    # serve_forever runs on a background thread so the main thread can
+    # wait on the signal event (signal handlers only fire on main).
+    import signal
+    import threading
+
+    stop = threading.Event()
+    previous = {}
+
+    def _on_signal(signum: int, _frame: object) -> None:
+        print(f"\nreceived {signal.Signals(signum).name}: draining...",
+              file=sys.stderr)
+        stop.set()
+
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            previous[signum] = signal.signal(signum, _on_signal)
+        except (ValueError, OSError):  # non-main thread / unsupported
+            pass
+    thread = server.start_background()
     try:
-        server.serve_forever()
-    except KeyboardInterrupt:
+        stop.wait()
+    except KeyboardInterrupt:  # fallback when the handler didn't install
         pass
-    finally:
-        server.server_close()
+    drained = server.drain(args.drain_timeout)
+    thread.join(timeout=args.drain_timeout + 1.0)
+    for signum, handler in previous.items():
+        try:
+            signal.signal(signum, handler)
+        except (ValueError, OSError):
+            pass
+    in_flight = server.admission.in_flight
+    state = "drained cleanly" if drained else f"{in_flight} request(s) abandoned"
+    print(f"shutdown: {state}", file=sys.stderr)
+    print(service.metrics_text(), end="")
+    return 0 if drained else 1
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    """Run a seeded fault schedule against the stack; report typed outcomes.
+
+    Exercises three surfaces under the installed :class:`ChaosPolicy`:
+    a sharded build (thread executor, so ``shard.build_worker`` faults
+    fire in-process), a persistence round-trip (``persistence.read``),
+    and a batch of service queries (``kernels.sweep``, deadlines).  Every
+    outcome must be a typed result — TRUE/FALSE/UNKNOWN or a named
+    ``repro`` error; anything else is a resilience bug and exits 1.
+    """
+    import collections
+    import os
+    import tempfile
+
+    from repro.errors import ReproError
+    from repro.obs.metrics import global_registry
+    from repro.resilience import ChaosPolicy, Fault, chaos, deadline_scope
+    from repro.service import ReachabilityService
+
+    try:
+        faults = [Fault.parse(spec) for spec in args.fault or []]
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if not faults:
+        print("no --fault given; nothing to inject", file=sys.stderr)
+        return 2
+    graph, _ids = read_edge_list(args.edgelist)
+    outcomes: collections.Counter[str] = collections.Counter()
+    policy = ChaosPolicy(faults, seed=args.seed)
+
+    def note(kind: str) -> None:
+        outcomes[kind] += 1
+
+    with chaos(policy):
+        # 1. sharded build under fault injection (threads: chaos visible)
+        try:
+            from repro.shard import ShardedIndex
+
+            params: dict[str, object] = {
+                "family": args.index,
+                "num_shards": args.shards,
+                "executor": "thread",
+                "retry_seed": args.seed,
+            }
+            if is_dag(graph):
+                ShardedIndex.build(graph, **params)
+            else:
+                CondensedIndex.build(graph, inner=ShardedIndex, **params)
+            note("build:ok")
+        except ReproError as exc:
+            note(f"build:{type(exc).__name__}")
+        except Exception as exc:  # noqa: BLE001 — the failure we test for
+            note(f"build:UNTYPED:{type(exc).__name__}")
+
+        # 2. persistence round-trip under fault injection
+        try:
+            from repro.core.registry import plain_index as _plain
+            from repro.persistence import load_index, save_index
+
+            index = _plain(args.index).build(graph)
+            descriptor, path = tempfile.mkstemp(suffix=".repro")
+            os.close(descriptor)
+            try:
+                save_index(index, path)
+                load_index(path)
+                note("persist:ok")
+            finally:
+                os.unlink(path)
+        except ReproError as exc:
+            note(f"persist:{type(exc).__name__}")
+        except Exception as exc:  # noqa: BLE001
+            note(f"persist:UNTYPED:{type(exc).__name__}")
+
+        # 3. service queries under fault injection and a deadline
+        try:
+            service = ReachabilityService(graph, index=args.index)
+            import random as _random
+
+            rng = _random.Random(args.seed)
+            n = graph.num_vertices
+            pairs = (
+                [(rng.randrange(n), rng.randrange(n)) for _ in range(args.queries)]
+                if n
+                else []
+            )
+            with deadline_scope(args.timeout_ms):
+                for result in service.execute_batch(pairs):
+                    note(f"query:{result.status}")
+        except ReproError as exc:
+            note(f"query:{type(exc).__name__}")
+        except Exception as exc:  # noqa: BLE001
+            note(f"query:UNTYPED:{type(exc).__name__}")
+
+    print(f"chaos seed={args.seed} faults={len(faults)}")
+    for key in sorted(policy.injected_counts()):
+        print(f"  injected {key}: {policy.injected_counts()[key]}")
+    for key in sorted(outcomes):
+        print(f"  outcome {key}: {outcomes[key]}")
+    def _flat(prefix: str, node: object):
+        if isinstance(node, dict):
+            for key, value in sorted(node.items()):
+                yield from _flat(f"{prefix}.{key}" if prefix else str(key), value)
+        elif isinstance(node, (int, float)):
+            yield prefix, node
+
+    for name, value in _flat("", global_registry().as_dict()):
+        if name.startswith(("chaos.", "resilience.", "shard.build.")):
+            print(f"  counter {name}: {value}")
+    untyped = sum(count for key, count in outcomes.items() if ":UNTYPED:" in key)
+    if untyped:
+        print(f"FAIL: {untyped} untyped outcome(s)", file=sys.stderr)
+        return 1
+    print("all outcomes typed")
     return 0
 
 
@@ -765,7 +928,62 @@ def main(argv: list[str] | None = None) -> int:
     serve.add_argument(
         "--trace-sample-rate", type=float, default=1.0, help="root-span sampling rate"
     )
+    serve.add_argument(
+        "--max-concurrent",
+        type=int,
+        default=64,
+        help="admission control: concurrent requests before queueing",
+    )
+    serve.add_argument(
+        "--admission-queue",
+        type=int,
+        default=128,
+        help="admission control: waiters before shedding with 503",
+    )
+    serve.add_argument(
+        "--admission-wait-ms",
+        type=float,
+        default=250.0,
+        help="max time a request waits for a slot before 503",
+    )
+    serve.add_argument(
+        "--timeout-ms",
+        type=float,
+        default=None,
+        help="default per-request deadline (requests may set their own)",
+    )
+    serve.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=10.0,
+        help="seconds to wait for in-flight requests on SIGTERM/SIGINT",
+    )
     serve.set_defaults(func=_cmd_serve)
+
+    chaos_cmd = sub.add_parser(
+        "chaos",
+        help="run a seeded fault-injection schedule and report typed outcomes",
+    )
+    chaos_cmd.add_argument("edgelist")
+    chaos_cmd.add_argument(
+        "--fault",
+        action="append",
+        metavar="POINT=KIND[:PROB][:MS]",
+        help="fault to inject (repeatable); points: persistence.read, "
+        "shard.build_worker, kernels.sweep, service.handler; "
+        "kinds: delay, error, corrupt",
+    )
+    chaos_cmd.add_argument("--seed", type=int, default=0)
+    chaos_cmd.add_argument("--index", default="PLL", help="plain index family")
+    chaos_cmd.add_argument("--shards", type=int, default=4)
+    chaos_cmd.add_argument("--queries", type=int, default=50)
+    chaos_cmd.add_argument(
+        "--timeout-ms",
+        type=float,
+        default=None,
+        help="deadline applied around the query batch",
+    )
+    chaos_cmd.set_defaults(func=_cmd_chaos)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -35,6 +35,7 @@ from repro.kernels import batch_reachable, csr_of
 from repro.obs.build import observe_build
 from repro.obs.metrics import global_registry
 from repro.obs.tracer import TRACER
+from repro.resilience.deadline import CHECK_STRIDE, current_deadline
 from repro.traversal.regex import RegexNode
 
 __all__ = [
@@ -104,13 +105,16 @@ class Explanation:
     * ``"certain"`` — a partial index's YES/NO certificate sufficed;
     * ``"guided_traversal"`` — the partial probe said MAYBE and the
       index-guided BFS fallback decided;
-    * ``"same_scc"`` — the SCC-condensation wrapper short-circuited.
+    * ``"same_scc"`` — the SCC-condensation wrapper short-circuited;
+    * ``"deadline_abort"`` / ``"degraded"`` — the serving tier gave up
+      (deadline expiry or an open circuit breaker) and downgraded the
+      answer to UNKNOWN (``answer is None``).
     """
 
     index: str
     source: int
     target: int
-    answer: bool
+    answer: bool | None
     route: str
     probe: TriState | None
     details: tuple[str, ...] = ()
@@ -129,9 +133,10 @@ class Explanation:
 
     def render_text(self) -> str:
         """A short human-readable decision path."""
+        rendered = "unknown" if self.answer is None else str(self.answer).lower()
         lines = [
             f"Qr({self.source}, {self.target}) = "
-            f"{str(self.answer).lower()}  [{self.index}]",
+            f"{rendered}  [{self.index}]",
             f"  route: {self.route}"
             + (f" (probe={self.probe.value})" if self.probe is not None else ""),
         ]
@@ -180,11 +185,17 @@ def guided_query(graph: DiGraph, index: "ReachabilityIndex", source: int, target
         return source == target
     if source == target:
         return True
+    deadline = current_deadline()
+    expanded = 0
     seen = bytearray(graph.num_vertices)
     seen[source] = 1
     queue: deque[int] = deque((source,))
     while queue:
         v = queue.popleft()
+        if deadline is not None:
+            expanded += 1
+            if not expanded % CHECK_STRIDE:
+                deadline.check()
         for w in graph.out_neighbors(v):
             if w == target:
                 return True
@@ -219,6 +230,7 @@ def guided_query_bidirectional(
         return source == target
     if source == target:
         return True
+    deadline = current_deadline()
     n = graph.num_vertices
     seen_fwd = bytearray(n)
     seen_bwd = bytearray(n)
@@ -227,6 +239,8 @@ def guided_query_bidirectional(
     frontier_fwd = [source]
     frontier_bwd = [target]
     while frontier_fwd and frontier_bwd:
+        if deadline is not None:
+            deadline.check()
         if len(frontier_fwd) <= len(frontier_bwd):
             next_frontier: list[int] = []
             for v in frontier_fwd:

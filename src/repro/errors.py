@@ -53,3 +53,30 @@ class PersistenceError(ReproError):
 
 class ServiceError(ReproError):
     """The reachability service was misused (wrong mode, bad update op, ...)."""
+
+
+class DeadlineExceeded(ReproError):
+    """Cooperative cancellation: the ambient deadline expired mid-operation.
+
+    Raised from the bounded checkpoints inside traversal loops, kernel
+    sweeps, and cross-shard composition when a
+    :func:`repro.resilience.deadline_scope` has run out of budget.  The
+    serving tier catches it and degrades the answer to UNKNOWN instead
+    of letting it escape to the caller.
+    """
+
+
+class ServiceOverloadedError(ReproError):
+    """Admission control shed the request (queue full / concurrency cap).
+
+    Carries ``retry_after_s`` so front doors can emit a ``Retry-After``
+    hint alongside the 503.
+    """
+
+    def __init__(self, message: str, retry_after_s: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+
+class ChaosInjectedError(ReproError):
+    """A fault deliberately raised by the chaos harness at an injection point."""

@@ -28,6 +28,8 @@ from collections.abc import Sequence
 
 from repro.errors import NotADAGError
 from repro.kernels.csr import CSRGraph
+from repro.resilience.chaos import chaos_point
+from repro.resilience.deadline import current_deadline
 
 __all__ = [
     "WORD_BITS",
@@ -44,6 +46,11 @@ __all__ = [
 #: per-vertex masks dense and the OR cost per edge predictable.
 WORD_BITS = 1024
 
+#: Vertices swept between deadline checkpoints.  The clock read amortises
+#: to noise at this stride, and the no-deadline sweep never pays it — the
+#: tight loop is kept branch-free when no deadline is installed.
+_SWEEP_STRIDE = 4096
+
 
 def _propagate(
     n: int,
@@ -52,21 +59,39 @@ def _propagate(
     topo: list[int] | None,
     sources: Sequence[int],
 ) -> list[int]:
-    """Shared body of the forward/backward mask sweeps."""
+    """Shared body of the forward/backward mask sweeps.
+
+    Cooperative cancellation: when an ambient deadline is installed the
+    DAG sweep checkpoints every :data:`_SWEEP_STRIDE` vertices and the
+    frontier sweep once per round; with no deadline the original tight
+    loops run unchanged.
+    """
+    deadline = current_deadline()
     masks = [0] * n
     for slot, s in enumerate(sources):
         masks[s] |= 1 << slot
     if topo is not None:
-        for v in topo:
-            m = masks[v]
-            if m:
-                for w in indices[indptr[v] : indptr[v + 1]]:
-                    masks[w] |= m
+        if deadline is None:
+            for v in topo:
+                m = masks[v]
+                if m:
+                    for w in indices[indptr[v] : indptr[v + 1]]:
+                        masks[w] |= m
+        else:
+            for base in range(0, len(topo), _SWEEP_STRIDE):
+                deadline.check()
+                for v in topo[base : base + _SWEEP_STRIDE]:
+                    m = masks[v]
+                    if m:
+                        for w in indices[indptr[v] : indptr[v + 1]]:
+                            masks[w] |= m
         return masks
     frontier: dict[int, int] = {}
     for slot, s in enumerate(sources):
         frontier[s] = frontier.get(s, 0) | (1 << slot)
     while frontier:
+        if deadline is not None:
+            deadline.check()
         advanced: dict[int, int] = {}
         get = advanced.get
         for v, bits in frontier.items():
@@ -113,10 +138,16 @@ def descendant_bitsets(csr: CSRGraph) -> list[int]:
     topo = csr.topo_order
     if topo is None:
         raise NotADAGError("descendant_bitsets requires a DAG")
+    deadline = current_deadline()
     indptr = csr.out_indptr
     indices = csr.out_indices
     bitsets = [0] * csr.num_vertices
+    swept = 0
     for v in reversed(topo):
+        if deadline is not None:
+            swept += 1
+            if not swept % _SWEEP_STRIDE:
+                deadline.check()
         reach = 1 << v
         for w in indices[indptr[v] : indptr[v + 1]]:
             reach |= bitsets[w]
@@ -164,13 +195,20 @@ def batch_reachable(
     so all targets of one source (and all sources of one wave) share a
     single traversal.  Answers come back in input order; duplicate pairs
     are answered once and fanned out.
+
+    ``kernels.sweep`` is a chaos injection point (mid-query delays and
+    errors land here), and each wave honours the ambient deadline.
     """
+    chaos_point("kernels.sweep")
+    deadline = current_deadline()
     targets_of: dict[int, set[int]] = {}
     for s, t in pairs:
         targets_of.setdefault(s, set()).add(t)
     answers: dict[tuple[int, int], bool] = {}
     sources = list(targets_of)
     for base in range(0, len(sources), word_bits):
+        if deadline is not None:
+            deadline.check()
         wave = sources[base : base + word_bits]
         masks = reach_masks(csr, wave)
         for slot, s in enumerate(wave):

@@ -1,4 +1,4 @@
-"""Saving and loading built indexes.
+"""Saving and loading built indexes, crash-safely.
 
 The survey's §5 frames index construction as the expensive phase —
 minutes to hours at scale — which makes persisting a built index across
@@ -7,17 +7,40 @@ a small versioned container around pickle: a magic header so stray files
 fail fast, a format version for forward compatibility, and the index
 class name recorded for inspection without unpickling.
 
+Durability (format v2):
+
+* **Atomic writes** — :func:`save_index` writes to a temp file in the
+  destination directory, flushes and ``fsync``\\ s it, then atomically
+  ``os.replace``\\ s it into place (and best-effort fsyncs the
+  directory), so a crash mid-save leaves either the old file or the new
+  one, never a torn hybrid.
+* **Checksum footer** — the file ends with a SHA-256 digest of
+  everything before it; :func:`load_index` verifies the digest *before*
+  unpickling and raises :class:`PersistenceError` with the path and the
+  expected/actual digests instead of decoding garbage.
+* **Legacy files** — v1 files (no footer) still load, with a
+  :class:`UserWarning` that they carry no integrity check.
+
+``persistence.read`` is a chaos injection point: an installed
+:class:`~repro.resilience.ChaosPolicy` can corrupt or fail the raw read,
+and the checksum machinery must turn that into a typed error.
+
 Only load files you created: the payload is a pickle.
 """
 
 from __future__ import annotations
 
+import hashlib
 import io
+import os
 import pickle
+import tempfile
+import warnings
 from pathlib import Path
 
 from repro.core.base import LabelConstrainedIndex, ReachabilityIndex
 from repro.errors import PersistenceError
+from repro.resilience.chaos import chaos_point
 
 __all__ = [
     "PersistenceError",
@@ -28,45 +51,89 @@ __all__ = [
 ]
 
 _MAGIC = b"REPRO-INDEX"
-_VERSION = 1
+_VERSION = 2
+_LEGACY_VERSION = 1
+_FOOTER_MAGIC = b"REPROSUM"
+_DIGEST_BYTES = hashlib.sha256().digest_size
+_FOOTER_BYTES = len(_FOOTER_MAGIC) + _DIGEST_BYTES
 
 
 def save_index(
     index: ReachabilityIndex | LabelConstrainedIndex, path: str | Path
 ) -> None:
-    """Serialise a built index (graph included) to ``path``."""
+    """Serialise a built index (graph included) to ``path``, atomically.
+
+    The bytes hit a same-directory temp file first (write + flush +
+    ``fsync``), then ``os.replace`` moves them into place — readers of
+    ``path`` never observe a partial file, even across a crash.
+    """
     if not isinstance(index, (ReachabilityIndex, LabelConstrainedIndex)):
         raise PersistenceError(
             f"save_index expects an index, got {type(index).__name__}"
         )
+    path = Path(path)
     name = type(index).__name__.encode()
-    payload = pickle.dumps(index, protocol=pickle.HIGHEST_PROTOCOL)
-    with open(path, "wb") as sink:
-        sink.write(_MAGIC)
-        sink.write(_VERSION.to_bytes(2, "big"))
-        sink.write(len(name).to_bytes(2, "big"))
-        sink.write(name)
-        sink.write(payload)
+    body = (
+        _MAGIC
+        + _VERSION.to_bytes(2, "big")
+        + len(name).to_bytes(2, "big")
+        + name
+        + pickle.dumps(index, protocol=pickle.HIGHEST_PROTOCOL)
+    )
+    footer = _FOOTER_MAGIC + hashlib.sha256(body).digest()
+    directory = path.parent if str(path.parent) else Path(".")
+    descriptor, tmp_name = tempfile.mkstemp(
+        prefix=f".{path.name}.", suffix=".tmp", dir=directory
+    )
+    try:
+        with os.fdopen(descriptor, "wb") as sink:
+            sink.write(body)
+            sink.write(footer)
+            sink.flush()
+            os.fsync(sink.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    _fsync_directory(directory)
 
 
-def _read_header(source: io.BufferedReader) -> str:
+def _fsync_directory(directory: Path) -> None:
+    """Best-effort directory fsync so the rename itself is durable."""
+    try:
+        descriptor = os.open(directory, os.O_RDONLY)
+    except OSError:  # platforms without directory fds (e.g. Windows)
+        return
+    try:
+        os.fsync(descriptor)
+    except OSError:
+        pass
+    finally:
+        os.close(descriptor)
+
+
+def _read_header(source: io.BufferedIOBase) -> tuple[str, int]:
     magic = source.read(len(_MAGIC))
     if magic != _MAGIC:
         raise PersistenceError("not a repro index file (bad magic)")
     version = int.from_bytes(source.read(2), "big")
-    if version != _VERSION:
+    if version not in (_LEGACY_VERSION, _VERSION):
         raise PersistenceError(
-            f"unsupported index-file version {version} (supported: {_VERSION})"
+            f"unsupported index-file version {version} "
+            f"(supported: {_LEGACY_VERSION}, {_VERSION})"
         )
     name_len = int.from_bytes(source.read(2), "big")
-    return source.read(name_len).decode()
+    return source.read(name_len).decode(), version
 
 
 def peek_index_info(path: str | Path) -> dict[str, object]:
     """Read the header (class name, version) without unpickling the body."""
     with open(path, "rb") as source:
-        class_name = _read_header(source)
-    return {"class_name": class_name, "version": _VERSION}
+        class_name, version = _read_header(source)
+    return {"class_name": class_name, "version": version}
 
 
 def serialized_size_bytes(
@@ -88,10 +155,52 @@ def serialized_size_bytes(
 
 
 def load_index(path: str | Path) -> ReachabilityIndex | LabelConstrainedIndex:
-    """Load an index previously written by :func:`save_index`."""
+    """Load an index previously written by :func:`save_index`.
+
+    v2 files verify the checksum footer before any unpickling; a
+    mismatch (torn write, bit rot, injected corruption) raises
+    :class:`PersistenceError` carrying the path and both digests.
+    Legacy v1 files load with a warning that no integrity check exists.
+    """
+    path = Path(path)
     with open(path, "rb") as source:
-        _read_header(source)
-        index = pickle.load(source)
+        data = source.read()
+    data = chaos_point("persistence.read", data)
+    header = io.BytesIO(data)
+    _, version = _read_header(header)
+    payload_start = header.tell()
+    if version == _LEGACY_VERSION:
+        warnings.warn(
+            f"{path}: legacy v1 index file has no checksum; "
+            "re-save it to gain corruption detection",
+            UserWarning,
+            stacklevel=2,
+        )
+        payload = data[payload_start:]
+    else:
+        if len(data) < payload_start + _FOOTER_BYTES:
+            raise PersistenceError(
+                f"{path}: truncated index file (checksum footer missing)"
+            )
+        footer_at = len(data) - _FOOTER_BYTES
+        if data[footer_at : footer_at + len(_FOOTER_MAGIC)] != _FOOTER_MAGIC:
+            raise PersistenceError(
+                f"{path}: truncated index file (checksum footer missing)"
+            )
+        expected = data[footer_at + len(_FOOTER_MAGIC) :]
+        actual = hashlib.sha256(data[:footer_at]).digest()
+        if actual != expected:
+            raise PersistenceError(
+                f"{path}: checksum mismatch — the file is corrupt "
+                f"(expected sha256 {expected.hex()}, got {actual.hex()})"
+            )
+        payload = data[payload_start:footer_at]
+    try:
+        index = pickle.loads(payload)
+    except Exception as exc:
+        raise PersistenceError(
+            f"{path}: index payload failed to unpickle ({exc})"
+        ) from exc
     if not isinstance(index, (ReachabilityIndex, LabelConstrainedIndex)):
         raise PersistenceError(
             f"file decoded to {type(index).__name__}, not an index"

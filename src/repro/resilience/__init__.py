@@ -1,0 +1,54 @@
+"""Resilience primitives threaded through the whole query stack.
+
+The cross-cutting robustness layer of the serving story: deadlines with
+cooperative cancellation (:mod:`repro.resilience.deadline`), a
+consecutive-failure circuit breaker (:mod:`repro.resilience.breaker`),
+deterministic fault injection (:mod:`repro.resilience.chaos`), and
+seeded retry with exponential backoff (:mod:`repro.resilience.retry`).
+Everything meters through ``repro.obs`` (``resilience.deadline.*``,
+``resilience.breaker.*``, ``resilience.retry.*``, ``chaos.injected.*``)
+and is strictly additive on the happy path: no deadline, no policy, and
+a closed breaker cost one branch each.
+"""
+
+from repro.errors import ChaosInjectedError, DeadlineExceeded, ServiceOverloadedError
+from repro.resilience.breaker import CircuitBreaker
+from repro.resilience.chaos import (
+    INJECTION_POINTS,
+    ChaosPolicy,
+    Fault,
+    chaos,
+    chaos_active,
+    chaos_point,
+    install_chaos,
+    uninstall_chaos,
+)
+from repro.resilience.deadline import (
+    CHECK_STRIDE,
+    Deadline,
+    current_deadline,
+    deadline_scope,
+    remaining_ms,
+)
+from repro.resilience.retry import retry_call
+
+__all__ = [
+    "CHECK_STRIDE",
+    "ChaosInjectedError",
+    "ChaosPolicy",
+    "CircuitBreaker",
+    "Deadline",
+    "DeadlineExceeded",
+    "Fault",
+    "INJECTION_POINTS",
+    "ServiceOverloadedError",
+    "chaos",
+    "chaos_active",
+    "chaos_point",
+    "current_deadline",
+    "deadline_scope",
+    "install_chaos",
+    "remaining_ms",
+    "retry_call",
+    "uninstall_chaos",
+]

@@ -1,0 +1,240 @@
+"""Deterministic fault injection for the whole query stack.
+
+Robustness claims are only testable if failures can be *produced on
+demand*.  This harness registers named **injection points** at the
+stack's trust boundaries — persistence reads, shard-build workers,
+kernel sweeps, service handlers — and an installed :class:`ChaosPolicy`
+decides, from a seeded schedule, whether a given hit of a point
+
+* **delays** (sleeps ``delay_s`` — a slow shard, a stalled disk),
+* **errors** (raises :class:`~repro.errors.ChaosInjectedError` — a dead
+  worker, a failed read), or
+* **corrupts** (deterministically flips bytes in the payload passing
+  through — a torn write).
+
+Everything is driven by per-fault ``random.Random`` instances derived
+from the policy seed, so a chaos schedule replays identically run to
+run; tests assert on exact outcomes, not probabilities.  With no policy
+installed (the default), :func:`chaos_point` is a single module-global
+``is None`` test — production code pays one branch.
+
+Injection is process-local: points fired inside a ``process`` executor
+worker do not see a policy installed in the parent (use the ``thread``
+or ``serial`` executors to chaos-test shard builds).
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from collections.abc import Iterable
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+from repro.errors import ChaosInjectedError
+from repro.obs.metrics import global_registry
+
+__all__ = [
+    "INJECTION_POINTS",
+    "Fault",
+    "ChaosPolicy",
+    "chaos",
+    "chaos_active",
+    "chaos_point",
+    "install_chaos",
+    "uninstall_chaos",
+]
+
+#: The registered injection points (name → where it fires).
+INJECTION_POINTS: dict[str, str] = {
+    "persistence.read": "repro.persistence.load_index, after the payload is read",
+    "shard.build_worker": "repro.shard one per-shard index build (worker)",
+    "kernels.sweep": "repro.kernels.batch_reachable, before the sweep",
+    "service.handler": "repro.service.server, at request dispatch",
+}
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One scheduled fault: what to do when ``point`` fires.
+
+    ``probability`` gates each hit through the fault's seeded RNG;
+    ``after`` skips the first N *matching* hits and ``times`` caps total
+    injections — together they express schedules like "fail the second
+    and third build attempts only".
+    """
+
+    point: str
+    kind: str  # "delay" | "error" | "corrupt"
+    probability: float = 1.0
+    delay_s: float = 0.0
+    after: int = 0
+    times: int | None = None
+    message: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("delay", "error", "corrupt"):
+            raise ValueError(
+                f"fault kind must be delay/error/corrupt, got {self.kind!r}"
+            )
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError(f"probability must be in [0, 1], got {self.probability}")
+        if self.delay_s < 0:
+            raise ValueError(f"delay_s must be >= 0, got {self.delay_s}")
+
+    @classmethod
+    def parse(cls, spec: str) -> "Fault":
+        """``POINT=KIND[:PROB][:MS]`` — the ``repro chaos --fault`` syntax.
+
+        Examples: ``shard.build_worker=error``,
+        ``kernels.sweep=delay:1.0:50`` (always, 50 ms),
+        ``persistence.read=corrupt:0.5`` (half the reads).
+        """
+        point, separator, rest = spec.partition("=")
+        if not separator or not point or not rest:
+            raise ValueError(f"--fault needs POINT=KIND[:PROB][:MS], got {spec!r}")
+        parts = rest.split(":")
+        kind = parts[0]
+        try:
+            probability = float(parts[1]) if len(parts) > 1 else 1.0
+            delay_s = float(parts[2]) / 1000.0 if len(parts) > 2 else 0.0
+        except ValueError:
+            raise ValueError(
+                f"--fault PROB and MS must be numbers, got {spec!r}"
+            ) from None
+        if kind == "delay" and delay_s == 0.0:
+            delay_s = 0.01
+        return cls(point=point, kind=kind, probability=probability, delay_s=delay_s)
+
+
+class ChaosPolicy:
+    """A seeded, replayable schedule of faults over the injection points."""
+
+    def __init__(self, faults: Iterable[Fault], seed: int = 0) -> None:
+        self.faults = tuple(faults)
+        self.seed = seed
+        self._lock = threading.Lock()
+        self._rngs = [
+            random.Random(f"chaos:{seed}:{position}")
+            for position in range(len(self.faults))
+        ]
+        self._hits = [0] * len(self.faults)
+        self._fired = [0] * len(self.faults)
+
+    def decide(self, point: str) -> list[tuple[Fault, random.Random]]:
+        """The faults that fire for this hit of ``point`` (seeded, ordered)."""
+        firing: list[tuple[Fault, random.Random]] = []
+        with self._lock:
+            for position, fault in enumerate(self.faults):
+                if not _matches(fault.point, point):
+                    continue
+                hit = self._hits[position]
+                self._hits[position] += 1
+                if hit < fault.after:
+                    continue
+                if fault.times is not None and self._fired[position] >= fault.times:
+                    continue
+                rng = self._rngs[position]
+                if fault.probability < 1.0 and rng.random() >= fault.probability:
+                    continue
+                self._fired[position] += 1
+                firing.append((fault, rng))
+        return firing
+
+    def injected_counts(self) -> dict[str, int]:
+        """Per-fault injection tallies (``point/kind`` → count)."""
+        with self._lock:
+            counts: dict[str, int] = {}
+            for fault, fired in zip(self.faults, self._fired):
+                key = f"{fault.point}/{fault.kind}"
+                counts[key] = counts.get(key, 0) + fired
+        return counts
+
+    def __repr__(self) -> str:
+        return f"ChaosPolicy(faults={len(self.faults)}, seed={self.seed})"
+
+
+def _matches(pattern: str, point: str) -> bool:
+    if pattern.endswith("*"):
+        return point.startswith(pattern[:-1])
+    return pattern == point
+
+
+_ACTIVE: ChaosPolicy | None = None
+_INSTALL_LOCK = threading.Lock()
+
+
+def install_chaos(policy: ChaosPolicy) -> None:
+    """Activate ``policy`` process-wide (tests and the ``repro chaos`` CLI)."""
+    global _ACTIVE
+    with _INSTALL_LOCK:
+        _ACTIVE = policy
+
+
+def uninstall_chaos() -> None:
+    """Deactivate fault injection (back to the zero-cost no-op path)."""
+    global _ACTIVE
+    with _INSTALL_LOCK:
+        _ACTIVE = None
+
+
+def chaos_active() -> bool:
+    """Is a policy currently installed?"""
+    return _ACTIVE is not None
+
+
+@contextmanager
+def chaos(policy: ChaosPolicy):
+    """Install ``policy`` for the extent of a ``with`` block (test helper)."""
+    install_chaos(policy)
+    try:
+        yield policy
+    finally:
+        uninstall_chaos()
+
+
+def chaos_point(name: str, payload: bytes | None = None) -> bytes | None:
+    """Fire the injection point ``name``; returns the (possibly corrupted)
+    ``payload``.
+
+    Call sites pass payloads only where corruption makes sense
+    (persistence reads); elsewhere the return value is ignored.  Order
+    when multiple faults fire on one hit: delays sleep first, corruption
+    mutates next, errors raise last — so an error fault still observes
+    the delay a paired slow-fault asked for.
+    """
+    policy = _ACTIVE
+    if policy is None:
+        return payload
+    firing = policy.decide(name)
+    if not firing:
+        return payload
+    registry = global_registry()
+    error: ChaosInjectedError | None = None
+    for fault, rng in firing:
+        registry.counter(f"chaos.injected.{fault.kind}").increment()
+        if fault.kind == "delay":
+            time.sleep(fault.delay_s)
+        elif fault.kind == "corrupt":
+            if payload:
+                payload = _corrupt(payload, rng)
+        else:
+            error = ChaosInjectedError(
+                fault.message
+                or f"chaos: injected {fault.kind} at {name!r} "
+                f"(seed={policy.seed})"
+            )
+    if error is not None:
+        raise error
+    return payload
+
+
+def _corrupt(payload: bytes, rng: random.Random) -> bytes:
+    """Deterministically flip a few bytes of ``payload`` (never a no-op)."""
+    mutated = bytearray(payload)
+    flips = max(1, min(8, len(mutated) // 16))
+    for _ in range(flips):
+        position = rng.randrange(len(mutated))
+        mutated[position] ^= 1 + rng.randrange(255)
+    return bytes(mutated)

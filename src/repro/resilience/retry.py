@@ -1,0 +1,65 @@
+"""Retry with exponential backoff and (deterministic) jitter.
+
+Shard-build workers are the stack's first genuinely parallel failure
+domain: a process-pool worker can die, a thread can hit a transient
+fault-injection error.  :func:`retry_call` wraps one attempt-able call
+with capped exponential backoff — ``base_delay_s * 2**attempt`` bounded
+by ``max_delay_s`` — plus full jitter drawn from a caller-supplied
+``random.Random``, so tests seed it and the schedule replays exactly.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from collections.abc import Callable
+from typing import TypeVar
+
+from repro.obs.metrics import global_registry
+
+__all__ = ["RetryBudgetExceeded", "retry_call"]
+
+T = TypeVar("T")
+
+
+class RetryBudgetExceeded(Exception):
+    """Internal marker: re-raised as the last attempt's real exception."""
+
+
+def retry_call(
+    fn: Callable[[], T],
+    *,
+    attempts: int = 3,
+    base_delay_s: float = 0.01,
+    max_delay_s: float = 0.5,
+    retry_on: tuple[type[BaseException], ...] = (Exception,),
+    rng: random.Random | None = None,
+    on_retry: Callable[[int, BaseException], None] | None = None,
+) -> tuple[T, int]:
+    """Call ``fn`` up to ``attempts`` times; returns ``(result, attempts_used)``.
+
+    Backoff before attempt ``k`` (k >= 2) sleeps a jittered
+    ``uniform(0, min(max_delay_s, base_delay_s * 2**(k-2)))``.  Only
+    exceptions in ``retry_on`` are retried; anything else — and the
+    final failure — propagates unchanged.  ``on_retry(attempt, exc)``
+    fires before each backoff sleep (attempt counters, logs).
+    """
+    if attempts < 1:
+        raise ValueError(f"attempts must be >= 1, got {attempts}")
+    if rng is None:
+        rng = random.Random()
+    registry = global_registry()
+    for attempt in range(1, attempts + 1):
+        try:
+            result = fn()
+        except retry_on as exc:
+            if attempt == attempts:
+                raise
+            registry.counter("resilience.retry.retries").increment()
+            if on_retry is not None:
+                on_retry(attempt, exc)
+            cap = min(max_delay_s, base_delay_s * (2 ** (attempt - 1)))
+            time.sleep(rng.uniform(0.0, cap))
+        else:
+            return result, attempt
+    raise RetryBudgetExceeded  # pragma: no cover - loop always returns/raises

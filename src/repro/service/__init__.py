@@ -6,11 +6,24 @@ readers see immutable epoch-tagged snapshots, never torn state.  The
 supporting cast: an epoch-tagged LRU result cache, an in-flight request
 coalescer, fixed-bucket latency metrics, and a stdlib JSON-over-HTTP
 server (:mod:`repro.service.server`).
+
+Resilience (:mod:`repro.resilience` integration): queries carry
+three-valued answers (``QueryResult.status`` is TRUE/FALSE/UNKNOWN),
+an :class:`AdmissionController` bounds concurrent requests and sheds
+the overflow with 503 + ``Retry-After``, and per-request deadlines
+degrade to typed UNKNOWNs instead of hanging.
 """
 
+from repro.service.admission import AdmissionController
 from repro.service.batching import QueryCoalescer, dedupe
 from repro.service.cache import MISS, CacheStatistics, ResultCache
-from repro.service.engine import QueryResult, ReachabilityService, Snapshot
+from repro.service.engine import (
+    DEGRADED_ROUTES,
+    ROUTES,
+    QueryResult,
+    ReachabilityService,
+    Snapshot,
+)
 from repro.service.metrics import (
     Counter,
     LatencyHistogram,
@@ -19,6 +32,9 @@ from repro.service.metrics import (
 )
 
 __all__ = [
+    "AdmissionController",
+    "DEGRADED_ROUTES",
+    "ROUTES",
     "QueryCoalescer",
     "dedupe",
     "MISS",

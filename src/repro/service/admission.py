@@ -1,0 +1,190 @@
+"""Admission control and load shedding for the service front door.
+
+``ThreadingHTTPServer`` happily spawns a thread per connection, so under
+overload the process accumulates unbounded in-flight work and every
+request gets slower together.  The :class:`AdmissionController` bounds
+that: at most ``max_concurrent`` requests execute at once, at most
+``queue_depth`` more wait (up to ``queue_timeout_s``), and everything
+beyond that is **shed immediately** with
+:class:`~repro.errors.ServiceOverloadedError` — the HTTP layer turns
+that into ``503`` + ``Retry-After`` so well-behaved clients back off
+instead of piling on.
+
+Shedding early is the point: a shed request costs microseconds, a
+queued-forever request costs a thread and the client's patience.  The
+``service.shed.*`` counters and the in-flight gauge make the boundary
+observable.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.errors import ServiceOverloadedError
+from repro.obs.metrics import global_registry
+
+__all__ = ["AdmissionController"]
+
+
+class AdmissionController:
+    """A bounded concurrency gate with a bounded, timed wait queue.
+
+    Usage::
+
+        with controller.admit():
+            ...serve the request...
+
+    ``admit`` raises :class:`ServiceOverloadedError` (carrying a
+    ``retry_after_s`` hint) when the queue is full or the queue wait
+    times out.  ``None`` bounds disable the corresponding limit.
+    """
+
+    def __init__(
+        self,
+        max_concurrent: int = 64,
+        queue_depth: int = 128,
+        queue_timeout_s: float = 0.25,
+        retry_after_s: float = 1.0,
+    ) -> None:
+        if max_concurrent < 1:
+            raise ValueError(f"max_concurrent must be >= 1, got {max_concurrent}")
+        if queue_depth < 0:
+            raise ValueError(f"queue_depth must be >= 0, got {queue_depth}")
+        if queue_timeout_s < 0:
+            raise ValueError(f"queue_timeout_s must be >= 0, got {queue_timeout_s}")
+        self.max_concurrent = max_concurrent
+        self.queue_depth = queue_depth
+        self.queue_timeout_s = queue_timeout_s
+        self.retry_after_s = retry_after_s
+        self._lock = threading.Lock()
+        self._slots = threading.BoundedSemaphore(max_concurrent)
+        self._in_flight = 0
+        self._waiting = 0
+        self._drained = threading.Condition(self._lock)
+        self._draining = False
+
+    # -- admission -------------------------------------------------------
+    def admit(self) -> "_Admission":
+        """Claim a slot (possibly after a bounded wait) or shed.
+
+        Returns a context manager that releases the slot on exit.
+        """
+        registry = global_registry()
+        if self._draining:
+            registry.counter("service.shed.draining").increment()
+            raise ServiceOverloadedError(
+                "service is draining for shutdown",
+                retry_after_s=self.retry_after_s,
+            )
+        if self._slots.acquire(blocking=False):
+            return self._admitted()
+        # No free slot: join the bounded wait queue, or shed.
+        with self._lock:
+            if self._waiting >= self.queue_depth:
+                registry.counter("service.shed.queue_full").increment()
+                raise ServiceOverloadedError(
+                    f"admission queue full ({self._waiting} waiting, "
+                    f"{self.max_concurrent} in flight)",
+                    retry_after_s=self.retry_after_s,
+                )
+            self._waiting += 1
+        try:
+            if not self._slots.acquire(timeout=self.queue_timeout_s):
+                registry.counter("service.shed.queue_timeout").increment()
+                raise ServiceOverloadedError(
+                    f"no capacity within {self.queue_timeout_s * 1000:.0f}ms "
+                    f"({self.max_concurrent} in flight)",
+                    retry_after_s=self.retry_after_s,
+                )
+        finally:
+            with self._lock:
+                self._waiting -= 1
+        return self._admitted()
+
+    def _admitted(self) -> "_Admission":
+        with self._lock:
+            self._in_flight += 1
+        global_registry().counter("service.admitted").increment()
+        return _Admission(self)
+
+    def _release(self) -> None:
+        self._slots.release()
+        with self._lock:
+            self._in_flight -= 1
+            if self._in_flight == 0:
+                self._drained.notify_all()
+
+    # -- drain (graceful shutdown) ---------------------------------------
+    def start_draining(self) -> None:
+        """Refuse new admissions from now on (in-flight work continues)."""
+        with self._lock:
+            self._draining = True
+
+    def wait_drained(self, timeout_s: float | None = None) -> bool:
+        """Block until in-flight hits zero (or ``timeout_s``); True if empty."""
+        expires = None if timeout_s is None else time.monotonic() + timeout_s
+        with self._lock:
+            while self._in_flight > 0:
+                remaining = None if expires is None else expires - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    return False
+                self._drained.wait(timeout=remaining)
+            return True
+
+    # -- observability ---------------------------------------------------
+    @property
+    def in_flight(self) -> int:
+        """Requests currently executing (not queued)."""
+        with self._lock:
+            return self._in_flight
+
+    @property
+    def waiting(self) -> int:
+        """Requests currently blocked in the admission queue."""
+        with self._lock:
+            return self._waiting
+
+    @property
+    def draining(self) -> bool:
+        """Has :meth:`start_draining` been called?"""
+        return self._draining
+
+    def snapshot(self) -> dict[str, object]:
+        """Bounds plus live occupancy as plain data."""
+        with self._lock:
+            return {
+                "max_concurrent": self.max_concurrent,
+                "queue_depth": self.queue_depth,
+                "queue_timeout_s": self.queue_timeout_s,
+                "in_flight": self._in_flight,
+                "waiting": self._waiting,
+                "draining": self._draining,
+            }
+
+    def __repr__(self) -> str:
+        return (
+            f"AdmissionController(max_concurrent={self.max_concurrent}, "
+            f"queue_depth={self.queue_depth}, in_flight={self.in_flight})"
+        )
+
+
+class _Admission:
+    """The held slot; a context manager that releases exactly once."""
+
+    __slots__ = ("_controller", "_released")
+
+    def __init__(self, controller: AdmissionController) -> None:
+        self._controller = controller
+        self._released = False
+
+    def __enter__(self) -> "_Admission":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()
+
+    def release(self) -> None:
+        if not self._released:
+            self._released = True
+            self._controller._release()

@@ -34,25 +34,50 @@ import time
 from collections.abc import Sequence
 from dataclasses import dataclass
 
-from repro.core.base import Explanation, LabelConstrainedIndex, ReachabilityIndex
+from repro.core.base import (
+    Explanation,
+    LabelConstrainedIndex,
+    ReachabilityIndex,
+    TriState,
+)
 from repro.core.condensed import CondensedIndex
 from repro.core.registry import labeled_index as labeled_index_cls
 from repro.core.registry import plain_index as plain_index_cls
-from repro.errors import GraphError, ServiceError, UnsupportedOperationError
+from repro.errors import (
+    DeadlineExceeded,
+    GraphError,
+    QueryError,
+    ServiceError,
+    UnsupportedOperationError,
+)
 from repro.gdbms.planner import classify_constraint
 from repro.graphs.digraph import DiGraph
 from repro.graphs.labeled import LabeledDiGraph
 from repro.graphs.topo import is_dag
 from repro.obs.metrics import MetricsRegistry, global_registry
 from repro.obs.tracer import TRACER
+from repro.resilience.breaker import CircuitBreaker
 from repro.service.batching import QueryCoalescer, dedupe
 from repro.service.cache import MISS, ResultCache
 from repro.traversal.rpq import rpq_reachable
 from repro.workloads.updates import EdgeOp, LabeledEdgeOp
 
-__all__ = ["QueryResult", "ReachabilityService", "Snapshot"]
+__all__ = [
+    "DEGRADED_ROUTES",
+    "ROUTES",
+    "QueryResult",
+    "ReachabilityService",
+    "Snapshot",
+]
 
 ROUTES = ("cache", "plain_index", "labeled_index", "traversal")
+
+#: Routes a query lands on when the service gives up on an exact answer:
+#: ``deadline_abort`` (the request's budget expired mid-evaluation) and
+#: ``degraded`` (the index circuit breaker is open, or the index raised,
+#: and only a bounded label probe was attempted).  Both carry a
+#: three-valued answer — ``None`` means UNKNOWN, never a guessed bool.
+DEGRADED_ROUTES = ("deadline_abort", "degraded")
 
 #: Bucket bounds for the batch-size histogram (pairs per request).
 BATCH_SIZE_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0,
@@ -82,12 +107,26 @@ class Snapshot:
 
 @dataclass(frozen=True)
 class QueryResult:
-    """One answered query: the answer plus its provenance."""
+    """One answered query: the three-valued answer plus its provenance.
 
-    answer: bool
+    ``answer`` is ``True`` / ``False`` for exact answers and ``None``
+    for UNKNOWN — the service *never* downgrades to a guessed boolean.
+    UNKNOWN appears only on the degraded routes (``deadline_abort``,
+    ``degraded``); with no deadline set and a healthy index every
+    answer is exact, same as before the resilience layer existed.
+    """
+
+    answer: bool | None
     epoch: int
-    route: str  # "cache" | "plain_index" | "labeled_index" | "traversal"
+    route: str  # ROUTES + DEGRADED_ROUTES
     shared: bool = False  # True when coalesced onto another thread's flight
+
+    @property
+    def status(self) -> str:
+        """``"TRUE"`` / ``"FALSE"`` / ``"UNKNOWN"`` — the wire form."""
+        if self.answer is None:
+            return "UNKNOWN"
+        return "TRUE" if self.answer else "FALSE"
 
 
 class ReachabilityService:
@@ -122,6 +161,8 @@ class ReachabilityService:
         coalesce: bool = True,
         rebuild: str = "auto",
         metrics: MetricsRegistry | None = None,
+        breaker_threshold: int = 5,
+        breaker_cooldown_s: float = 5.0,
     ) -> None:
         if rebuild not in ("auto", "always"):
             raise ServiceError(f"rebuild must be 'auto' or 'always', got {rebuild!r}")
@@ -135,7 +176,12 @@ class ReachabilityService:
         )
         self._coalescer = QueryCoalescer() if coalesce else None
         self._writer_lock = threading.Lock()
-        for route in ROUTES:
+        self._breaker = CircuitBreaker(
+            name=f"index:{index}",
+            failure_threshold=breaker_threshold,
+            cooldown_s=breaker_cooldown_s,
+        )
+        for route in ROUTES + DEGRADED_ROUTES:
             self._metrics.counter(f"service.queries.{route}")
             self._metrics.histogram(f"service.latency.{route}")
         self._metrics.counter("service.batch.requests")
@@ -202,6 +248,11 @@ class ReachabilityService:
     def metrics(self) -> MetricsRegistry:
         """The service's metrics registry."""
         return self._metrics
+
+    @property
+    def breaker(self) -> CircuitBreaker:
+        """The per-index circuit breaker guarding snapshot queries."""
+        return self._breaker
 
     def reach(self, source: int, target: int) -> bool:
         """Plain reachability at the current epoch."""
@@ -278,15 +329,52 @@ class ReachabilityService:
             else:
                 misses = list(range(len(keys)))
             computed = 0
-            if misses:
+            degraded_route: str | None = None
+            if misses and not self._breaker.allow():
+                # Breaker open: bounded per-pair probes, never the batch kernel.
+                degraded_route = "degraded"
+                for position in misses:
+                    s, t = keys[position]
+                    answer = self._degraded_probe(snap, (s, t, None))
+                    results[position] = QueryResult(answer, epoch, "degraded")
+            elif misses:
                 unique, back_refs = dedupe([keys[i] for i in misses])
-                answers = snap.plain.query_batch(unique)
-                computed = len(unique)
-                if cache is not None:
-                    for (s, t), answer in zip(unique, answers):
-                        cache.put((s, t, None), epoch, answer)
-                for position, slot in zip(misses, back_refs):
-                    results[position] = QueryResult(answers[slot], epoch, "plain_index")
+                try:
+                    answers = snap.plain.query_batch(unique)
+                except DeadlineExceeded:
+                    # Budget expired mid-batch: cache hits already answered
+                    # stand; every unanswered pair is UNKNOWN, not a guess.
+                    degraded_route = "deadline_abort"
+                    global_registry().counter(
+                        "resilience.deadline.aborts"
+                    ).increment()
+                    for position in misses:
+                        results[position] = QueryResult(
+                            None, epoch, "deadline_abort"
+                        )
+                except (QueryError, ServiceError):
+                    raise
+                except Exception:
+                    self._breaker.record_failure()
+                    degraded_route = "degraded"
+                    for position in misses:
+                        s, t = keys[position]
+                        answer = self._degraded_probe(snap, (s, t, None))
+                        results[position] = QueryResult(answer, epoch, "degraded")
+                else:
+                    self._breaker.record_success()
+                    computed = len(unique)
+                    if cache is not None:
+                        for (s, t), answer in zip(unique, answers):
+                            cache.put((s, t, None), epoch, answer)
+                    for position, slot in zip(misses, back_refs):
+                        results[position] = QueryResult(
+                            answers[slot], epoch, "plain_index"
+                        )
+            if degraded_route is not None:
+                self._metrics.counter(
+                    f"service.queries.{degraded_route}"
+                ).increment(len(misses))
             span.annotate(cache_hits=cache_hits, computed=computed)
             self._metrics.counter("service.queries.cache").increment(cache_hits)
             self._metrics.counter("service.queries.plain_index").increment(computed)
@@ -322,7 +410,36 @@ class ReachabilityService:
                     probe=None,
                     details=(f"result cache hit at epoch {snap.epoch}",),
                 )
-        inner = snap.plain.explain(s, t)
+        if not self._breaker.allow():
+            answer = self._degraded_probe(snap, (s, t, None))
+            return Explanation(
+                index=snap.plain.metadata.name,
+                source=s,
+                target=t,
+                answer=answer,
+                route="degraded",
+                probe=None,
+                details=(
+                    f"circuit breaker {self._breaker.state} — "
+                    "bounded label probe only, no traversal",
+                    f"served from snapshot epoch {snap.epoch}",
+                ),
+            )
+        try:
+            inner = snap.plain.explain(s, t)
+        except DeadlineExceeded:
+            return Explanation(
+                index=snap.plain.metadata.name,
+                source=s,
+                target=t,
+                answer=None,
+                route="deadline_abort",
+                probe=None,
+                details=(
+                    "deadline expired mid-evaluation — answer UNKNOWN",
+                    f"served from snapshot epoch {snap.epoch}",
+                ),
+            )
         return Explanation(
             index=inner.index,
             source=inner.source,
@@ -345,17 +462,65 @@ class ReachabilityService:
                     self._record("cache", start)
                     span.annotate(route="cache", answer=bool(hit))
                     return QueryResult(bool(hit), snap.epoch, "cache")
-            if self._coalescer is not None:
-                (answer, route), shared = self._coalescer.run(
-                    (key, snap.epoch), lambda: self._evaluate(snap, key)
-                )
-            else:
-                (answer, route), shared = self._evaluate(snap, key), False
+            if not self._breaker.allow():
+                answer = self._degraded_probe(snap, key)
+                self._record("degraded", start)
+                span.annotate(route="degraded", answer=answer)
+                return QueryResult(answer, snap.epoch, "degraded")
+            try:
+                if self._coalescer is not None:
+                    (answer, route), shared = self._coalescer.run(
+                        (key, snap.epoch), lambda: self._evaluate(snap, key)
+                    )
+                else:
+                    (answer, route), shared = self._evaluate(snap, key), False
+            except DeadlineExceeded:
+                # The request's own budget ran out; not an index-health
+                # signal, so the breaker is untouched.
+                global_registry().counter("resilience.deadline.aborts").increment()
+                self._record("deadline_abort", start)
+                span.annotate(route="deadline_abort", answer=None)
+                return QueryResult(None, snap.epoch, "deadline_abort")
+            except (QueryError, ServiceError):
+                raise  # caller mistakes stay errors (bad vertex, bad mode)
+            except Exception:
+                # The snapshot index misbehaved: count it against the
+                # breaker and degrade to a bounded probe, not a traceback.
+                self._breaker.record_failure()
+                answer = self._degraded_probe(snap, key)
+                self._record("degraded", start)
+                span.annotate(route="degraded", answer=answer)
+                return QueryResult(answer, snap.epoch, "degraded")
+            self._breaker.record_success()
             if self._cache is not None:
                 self._cache.put(key, snap.epoch, answer)
             self._record(route, start)
             span.annotate(route=route, answer=answer)
             return QueryResult(answer, snap.epoch, route, shared)
+
+    def _degraded_probe(self, snap: Snapshot, key: tuple[int, int, str | None]):
+        """The three-valued lookup-only fallback: bool when a certificate
+        exists, ``None`` (UNKNOWN) otherwise.
+
+        Never escalates to traversal — the whole point of degrading is
+        bounding work — so a partial index's MAYBE surfaces as UNKNOWN,
+        and constrained queries (which have no cheap probe) are UNKNOWN
+        outright.
+        """
+        source, target, constraint = key
+        if source == target:
+            return True
+        if constraint is not None:
+            return None
+        try:
+            probe = snap.plain.lookup(source, target)
+        except Exception:
+            return None
+        if probe is TriState.YES:
+            return True
+        if probe is TriState.NO:
+            return False
+        return None
 
     def _evaluate(self, snap: Snapshot, key: tuple[int, int, str | None]) -> tuple[bool, str]:
         source, target, constraint = key
@@ -519,6 +684,7 @@ class ReachabilityService:
                 "led": self._coalescer.led,
                 "coalesced": self._coalescer.coalesced,
             }
+        root["breaker"] = self._breaker.snapshot()
         return root
 
     def metrics_text(self) -> str:

@@ -30,7 +30,29 @@ Routes
     Tracer statistics plus the ring buffer of finished root spans as
     JSON (empty unless tracing is enabled; ``?limit=N`` caps the spans).
 
-Errors are JSON too: 400 for malformed requests, 404 for unknown paths.
+Resilience
+----------
+Every query/update route passes through an
+:class:`~repro.service.admission.AdmissionController`: beyond the
+configured concurrency and queue bounds, requests are shed with ``503``
+plus a ``Retry-After`` header instead of piling onto the thread pool.
+(``/healthz`` and ``/metrics`` bypass admission — health checks must
+answer precisely when the service is saturated.)
+
+Per-request deadlines: ``?timeout_ms=N`` (query string), an
+``X-Timeout-Ms`` header, or a ``"timeout_ms"`` JSON body field install a
+:func:`~repro.resilience.deadline_scope` around evaluation; on expiry
+the engine answers ``UNKNOWN`` (``"reachable": null``, route
+``deadline_abort``) rather than hanging.  A server-wide
+``default_timeout_ms`` applies when the request names none.
+
+``service.handler`` is a chaos injection point, fired at dispatch.  Any
+unexpected exception becomes a JSON ``500`` — never a raw traceback on
+the wire.  :meth:`ServiceHTTPServer.drain` implements graceful
+shutdown: stop admitting, wait out in-flight requests, stop serving.
+
+Errors are JSON too: 400 for malformed requests, 404 for unknown paths,
+503 (with ``Retry-After``) when shedding.
 """
 
 from __future__ import annotations
@@ -40,12 +62,23 @@ import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlsplit
 
-from repro.errors import ReproError
+from repro.errors import (
+    ChaosInjectedError,
+    DeadlineExceeded,
+    ReproError,
+    ServiceOverloadedError,
+)
 from repro.obs.tracer import TRACER, span_to_dict
+from repro.resilience.chaos import chaos_point
+from repro.resilience.deadline import deadline_scope
+from repro.service.admission import AdmissionController
 from repro.service.engine import QueryResult, ReachabilityService
 from repro.workloads.updates import EdgeOp, LabeledEdgeOp
 
 __all__ = ["ServiceHTTPServer", "serve"]
+
+#: Routes that bypass admission control (must answer under saturation).
+UNGATED_PATHS = ("/healthz", "/metrics")
 
 
 class ServiceHTTPServer(ThreadingHTTPServer):
@@ -58,10 +91,14 @@ class ServiceHTTPServer(ThreadingHTTPServer):
         address: tuple[str, int],
         service: ReachabilityService,
         quiet: bool = True,
+        admission: AdmissionController | None = None,
+        default_timeout_ms: float | None = None,
     ) -> None:
         super().__init__(address, _Handler)
         self.service = service
         self.quiet = quiet
+        self.admission = admission if admission is not None else AdmissionController()
+        self.default_timeout_ms = default_timeout_ms
 
     def start_background(self) -> threading.Thread:
         """Run ``serve_forever`` on a daemon thread (tests, embedding)."""
@@ -69,15 +106,42 @@ class ServiceHTTPServer(ThreadingHTTPServer):
         thread.start()
         return thread
 
+    def drain(self, timeout_s: float = 10.0) -> bool:
+        """Graceful shutdown: shed new requests, wait out in-flight ones.
+
+        Returns True when in-flight work finished inside ``timeout_s``;
+        either way the server has stopped serving when this returns.
+        """
+        self.admission.start_draining()
+        drained = self.admission.wait_drained(timeout_s)
+        self.shutdown()
+        self.server_close()  # close the listener: no half-open backlog
+        return drained
+
 
 def serve(
     service: ReachabilityService,
     host: str = "127.0.0.1",
     port: int = 8080,
     quiet: bool = True,
+    max_concurrent: int = 64,
+    queue_depth: int = 128,
+    queue_timeout_s: float = 0.25,
+    default_timeout_ms: float | None = None,
 ) -> ServiceHTTPServer:
     """Bind a :class:`ServiceHTTPServer`; call ``serve_forever`` to run."""
-    return ServiceHTTPServer((host, port), service, quiet=quiet)
+    admission = AdmissionController(
+        max_concurrent=max_concurrent,
+        queue_depth=queue_depth,
+        queue_timeout_s=queue_timeout_s,
+    )
+    return ServiceHTTPServer(
+        (host, port),
+        service,
+        quiet=quiet,
+        admission=admission,
+        default_timeout_ms=default_timeout_ms,
+    )
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -88,22 +152,44 @@ class _Handler(BaseHTTPRequestHandler):
         if not self.server.quiet:
             super().log_message(format, *args)
 
-    def _send(self, status: int, body: bytes, content_type: str) -> None:
+    def _send(
+        self,
+        status: int,
+        body: bytes,
+        content_type: str,
+        extra_headers: dict[str, str] | None = None,
+    ) -> None:
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (extra_headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
-    def _send_json(self, status: int, payload: dict[str, object]) -> None:
+    def _send_json(
+        self,
+        status: int,
+        payload: dict[str, object],
+        extra_headers: dict[str, str] | None = None,
+    ) -> None:
         self._send(
             status,
             json.dumps(payload).encode() + b"\n",
             "application/json; charset=utf-8",
+            extra_headers,
         )
 
     def _error(self, status: int, message: str) -> None:
         self._send_json(status, {"error": message})
+
+    def _overloaded(self, exc: ServiceOverloadedError) -> None:
+        retry_after = max(1, int(round(exc.retry_after_s)))
+        self._send_json(
+            503,
+            {"error": str(exc), "retry_after_s": exc.retry_after_s},
+            {"Retry-After": str(retry_after)},
+        )
 
     def _params(self) -> dict[str, str]:
         query = parse_qs(urlsplit(self.path).query)
@@ -120,95 +206,150 @@ class _Handler(BaseHTTPRequestHandler):
     def _query_payload(self, result: QueryResult) -> dict[str, object]:
         return {
             "reachable": result.answer,
+            "status": result.status,
             "epoch": result.epoch,
             "route": result.route,
             "shared": result.shared,
         }
 
+    def _request_timeout_ms(self) -> float | None:
+        """The request's deadline budget: query param, header, or default."""
+        raw = self._params().get("timeout_ms")
+        if raw is None:
+            raw = self.headers.get("X-Timeout-Ms")
+        if raw is None:
+            return self.server.default_timeout_ms
+        try:
+            timeout_ms = float(raw)
+        except ValueError:
+            raise ValueError("timeout_ms must be a number") from None
+        if timeout_ms < 0:
+            raise ValueError("timeout_ms must be >= 0")
+        return timeout_ms
+
+    # -- dispatch --------------------------------------------------------
+    def _gated(self, fn) -> None:
+        """Admission-controlled dispatch: shed with 503, never crash."""
+        try:
+            admission = self.server.admission.admit()
+        except ServiceOverloadedError as exc:
+            self._overloaded(exc)
+            return
+        with admission:
+            self._safely(fn)
+
+    def _safely(self, fn) -> None:
+        """Run a route body; every failure becomes a typed JSON response."""
+        try:
+            chaos_point("service.handler")
+            with deadline_scope(self._request_timeout_ms()):
+                fn()
+        except ServiceOverloadedError as exc:
+            self._overloaded(exc)
+        except DeadlineExceeded as exc:
+            self._error(504, str(exc))
+        except ChaosInjectedError as exc:
+            self._error(500, f"injected fault: {exc}")
+        except (ValueError, ReproError) as exc:
+            self._error(400, str(exc))
+        except Exception as exc:  # noqa: BLE001 — last-resort JSON 500
+            self._error(500, f"internal error: {type(exc).__name__}: {exc}")
+
     # -- routes ----------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 (http.server API)
         path = urlsplit(self.path).path
-        service = self.server.service
-        try:
-            if path == "/healthz":
-                self._send_json(200, {"status": "ok", "epoch": service.epoch})
-            elif path == "/reach":
-                params = self._params()
-                result = service.reach_ex(
-                    self._vertex(params, "source"), self._vertex(params, "target")
-                )
-                self._send_json(200, self._query_payload(result))
-            elif path == "/lreach":
-                params = self._params()
-                constraint = params.get("constraint")
-                if constraint is None:
-                    raise ValueError("missing parameter 'constraint'")
-                result = service.lreach_ex(
-                    self._vertex(params, "source"),
-                    self._vertex(params, "target"),
-                    constraint,
-                )
-                self._send_json(200, self._query_payload(result))
-            elif path == "/metrics":
-                if self._params().get("format") == "json":
-                    self._send_json(200, service.metrics_dict())
-                else:
-                    self._send(
-                        200,
-                        service.metrics_text().encode(),
-                        "text/plain; charset=utf-8",
-                    )
-            elif path == "/explain":
-                params = self._params()
-                explanation = service.explain(
-                    self._vertex(params, "source"), self._vertex(params, "target")
-                )
-                self._send_json(200, explanation.as_dict())
-            elif path == "/debug/trace":
-                params = self._params()
-                spans = TRACER.finished()
-                if "limit" in params:
-                    try:
-                        limit = max(0, int(params["limit"]))
-                    except ValueError:
-                        raise ValueError("parameter 'limit' must be an integer") from None
-                    spans = spans[-limit:] if limit else []
-                self._send_json(
-                    200,
-                    {
-                        "tracer": TRACER.statistics(),
-                        "spans": [span_to_dict(span) for span in spans],
-                    },
-                )
-            else:
-                self._error(404, f"unknown path {path!r}")
-        except (ValueError, ReproError) as exc:
-            self._error(400, str(exc))
+        if path in UNGATED_PATHS:
+            self._safely(lambda: self._route_get(path))
+        else:
+            self._gated(lambda: self._route_get(path))
 
     def do_POST(self) -> None:  # noqa: N802 (http.server API)
         path = urlsplit(self.path).path
+        self._gated(lambda: self._route_post(path))
+
+    def _route_get(self, path: str) -> None:
         service = self.server.service
-        try:
-            if path == "/update":
-                body = self._json_body()
-                ops = _parse_ops(body, labeled=service.labeled_mode)
-                epoch = service.apply_updates(ops)
-                self._send_json(200, {"epoch": epoch, "applied": len(ops)})
-            elif path == "/reach/batch":
-                pairs = _parse_pairs(self._json_body())
-                results = service.execute_batch(pairs)
-                self._send_json(
-                    200,
-                    {
-                        "epoch": results[0].epoch if results else service.epoch,
-                        "count": len(results),
-                        "results": [self._query_payload(r) for r in results],
-                    },
-                )
+        if path == "/healthz":
+            payload: dict[str, object] = {"status": "ok", "epoch": service.epoch}
+            admission = self.server.admission
+            if admission.draining:
+                payload["status"] = "draining"
+            payload["in_flight"] = admission.in_flight
+            self._send_json(200, payload)
+        elif path == "/reach":
+            params = self._params()
+            result = service.reach_ex(
+                self._vertex(params, "source"), self._vertex(params, "target")
+            )
+            self._send_json(200, self._query_payload(result))
+        elif path == "/lreach":
+            params = self._params()
+            constraint = params.get("constraint")
+            if constraint is None:
+                raise ValueError("missing parameter 'constraint'")
+            result = service.lreach_ex(
+                self._vertex(params, "source"),
+                self._vertex(params, "target"),
+                constraint,
+            )
+            self._send_json(200, self._query_payload(result))
+        elif path == "/metrics":
+            if self._params().get("format") == "json":
+                self._send_json(200, service.metrics_dict())
             else:
-                self._error(404, f"unknown path {path!r}")
-        except (ValueError, ReproError) as exc:
-            self._error(400, str(exc))
+                self._send(
+                    200,
+                    service.metrics_text().encode(),
+                    "text/plain; charset=utf-8",
+                )
+        elif path == "/explain":
+            params = self._params()
+            explanation = service.explain(
+                self._vertex(params, "source"), self._vertex(params, "target")
+            )
+            self._send_json(200, explanation.as_dict())
+        elif path == "/debug/trace":
+            params = self._params()
+            spans = TRACER.finished()
+            if "limit" in params:
+                try:
+                    limit = max(0, int(params["limit"]))
+                except ValueError:
+                    raise ValueError("parameter 'limit' must be an integer") from None
+                spans = spans[-limit:] if limit else []
+            self._send_json(
+                200,
+                {
+                    "tracer": TRACER.statistics(),
+                    "spans": [span_to_dict(span) for span in spans],
+                },
+            )
+        else:
+            self._error(404, f"unknown path {path!r}")
+
+    def _route_post(self, path: str) -> None:
+        service = self.server.service
+        if path == "/update":
+            body = self._json_body()
+            ops = _parse_ops(body, labeled=service.labeled_mode)
+            with deadline_scope(_body_timeout_ms(body)):
+                epoch = service.apply_updates(ops)
+            self._send_json(200, {"epoch": epoch, "applied": len(ops)})
+        elif path == "/reach/batch":
+            body = self._json_body()
+            pairs = _parse_pairs(body)
+            with deadline_scope(_body_timeout_ms(body)):
+                results = service.execute_batch(pairs)
+            self._send_json(
+                200,
+                {
+                    "epoch": results[0].epoch if results else service.epoch,
+                    "count": len(results),
+                    "results": [self._query_payload(r) for r in results],
+                },
+            )
+        else:
+            self._error(404, f"unknown path {path!r}")
 
     def _json_body(self) -> object:
         length = int(self.headers.get("Content-Length", "0"))
@@ -216,6 +357,20 @@ class _Handler(BaseHTTPRequestHandler):
             return json.loads(self.rfile.read(length) or b"{}")
         except json.JSONDecodeError as exc:
             raise ValueError(f"invalid JSON body: {exc}") from None
+
+
+def _body_timeout_ms(body: object) -> float | None:
+    """The ``"timeout_ms"`` JSON body field, validated (None when absent).
+
+    Installed as a *nested* deadline scope: the tighter of the body field
+    and any header/query/default budget wins.
+    """
+    if not isinstance(body, dict) or "timeout_ms" not in body:
+        return None
+    raw = body["timeout_ms"]
+    if not isinstance(raw, (int, float)) or isinstance(raw, bool) or raw < 0:
+        raise ValueError("timeout_ms must be a non-negative number")
+    return float(raw)
 
 
 def _parse_pairs(body: object) -> list[tuple[int, int]]:

@@ -31,10 +31,15 @@ is aggregated into one :class:`ShardBuildReport`.
 from __future__ import annotations
 
 import os
+import random
 import time
 from collections.abc import Sequence
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from dataclasses import dataclass
+from concurrent.futures import (
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
+from dataclasses import dataclass, field
 from typing import ClassVar
 
 from repro.core.base import (
@@ -50,6 +55,9 @@ from repro.kernels import csr_of, reach_masks
 from repro.obs.build import BuildReport, build_phase
 from repro.obs.metrics import global_registry
 from repro.obs.tracer import TRACER
+from repro.resilience.chaos import chaos_point
+from repro.resilience.deadline import current_deadline
+from repro.resilience.retry import retry_call
 from repro.shard.partition import Partition, partition_dag
 
 __all__ = ["ShardBuildReport", "ShardedIndex"]
@@ -82,6 +90,8 @@ class ShardBuildReport:
     boundary_edges: int
     shard_reports: tuple[BuildReport | None, ...]
     boundary_report: BuildReport | None
+    #: Build attempts each shard needed (1 = first try; >1 = retried).
+    shard_attempts: tuple[int, ...] = field(default=())
 
     def as_dict(self) -> dict[str, object]:
         """JSON-serialisable plain data (the BENCH_shard.json shape)."""
@@ -107,6 +117,7 @@ class ShardBuildReport:
                 if self.boundary_report is not None
                 else None
             ),
+            "shard_attempts": list(self.shard_attempts),
         }
 
     def render_text(self) -> str:
@@ -123,6 +134,11 @@ class ShardBuildReport:
             if report is None:
                 continue
             size = self.shard_sizes[number] if number < len(self.shard_sizes) else "?"
+            attempts = (
+                self.shard_attempts[number]
+                if number < len(self.shard_attempts)
+                else 1
+            )
             lines.append(
                 f"    shard {number} (|V|={size}): "
                 f"{report.total_seconds * 1e3:.2f}ms"
@@ -131,6 +147,7 @@ class ShardBuildReport:
                     if report.entries is not None
                     else ""
                 )
+                + (f", {attempts} attempts" if attempts > 1 else "")
             )
         lines.append(
             f"  boundary: {self.boundary_seconds * 1e3:.2f}ms  "
@@ -139,9 +156,45 @@ class ShardBuildReport:
         return "\n".join(lines)
 
 
+#: Default per-shard build attempts (first try + retries with backoff).
+_BUILD_ATTEMPTS = 3
+#: Backoff bounds for shard-build retries (kept tiny: builds dominate).
+_RETRY_BASE_DELAY_S = 0.005
+_RETRY_MAX_DELAY_S = 0.1
+
+
 def _build_one_shard(family: str, graph: DiGraph) -> ReachabilityIndex:
-    """Build one shard's inner index (module-level: process-pool picklable)."""
+    """Build one shard's inner index (module-level: process-pool picklable).
+
+    ``shard.build_worker`` is a chaos injection point: an installed
+    policy can delay or kill this worker to exercise the retry path.
+    """
+    chaos_point("shard.build_worker")
     return plain_index(family).build(graph)
+
+
+def _build_with_retry(
+    family: str,
+    graph: DiGraph,
+    attempts: int,
+    rng: random.Random,
+) -> tuple[ReachabilityIndex, int]:
+    """One shard build with seeded exponential-backoff retries.
+
+    Returns ``(index, attempts_used)``.  The final failure propagates
+    unchanged (a persistent fault must surface as a typed error, not a
+    silent gap in the shard list).
+    """
+    return retry_call(
+        lambda: _build_one_shard(family, graph),
+        attempts=attempts,
+        base_delay_s=_RETRY_BASE_DELAY_S,
+        max_delay_s=_RETRY_MAX_DELAY_S,
+        rng=rng,
+        on_retry=lambda _attempt, _exc: global_registry()
+        .counter("shard.build.retries")
+        .increment(),
+    )
 
 
 def _run_builds(
@@ -149,20 +202,47 @@ def _run_builds(
     graphs: Sequence[DiGraph],
     executor: str,
     workers: int,
-) -> list[ReachabilityIndex]:
-    """Build every shard's index, in parallel where asked."""
+    attempts: int = _BUILD_ATTEMPTS,
+    retry_seed: int = 0,
+) -> tuple[list[ReachabilityIndex], list[int]]:
+    """Build every shard's index, in parallel where asked.
+
+    Returns the indexes plus per-shard attempt counts.  A dead
+    process-pool worker (``BrokenExecutor``) retries the whole wave on
+    threads — threads cannot die out from under the interpreter — so a
+    one-off worker crash degrades parallelism, never correctness.
+    """
+    rngs = [
+        random.Random(f"shard-retry:{retry_seed}:{shard}")
+        for shard in range(len(graphs))
+    ]
     if executor == "serial" or len(graphs) <= 1 or workers <= 1:
-        return [_build_one_shard(family, graph) for graph in graphs]
+        built = [
+            _build_with_retry(family, graph, attempts, rng)
+            for graph, rng in zip(graphs, rngs)
+        ]
+        return [index for index, _ in built], [used for _, used in built]
     if executor == "process":
         try:
             with ProcessPoolExecutor(max_workers=workers) as pool:
-                return list(
-                    pool.map(_build_one_shard, [family] * len(graphs), graphs)
+                return (
+                    list(
+                        pool.map(_build_one_shard, [family] * len(graphs), graphs)
+                    ),
+                    [1] * len(graphs),
                 )
-        except (OSError, ValueError):  # no fork/semaphores: degrade to threads
-            pass
+        except (OSError, ValueError, BrokenExecutor):
+            # No fork/semaphores, or a worker died mid-build: retry the
+            # whole wave on threads.
+            global_registry().counter("shard.build.pool_fallbacks").increment()
     with ThreadPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(lambda graph: _build_one_shard(family, graph), graphs))
+        built = list(
+            pool.map(
+                lambda pair: _build_with_retry(family, pair[0], attempts, pair[1]),
+                zip(graphs, rngs),
+            )
+        )
+    return [index for index, _ in built], [used for _, used in built]
 
 
 @register_plain
@@ -230,13 +310,19 @@ class ShardedIndex(ReachabilityIndex):
         refine_passes: int = 2,
         executor: str = "thread",
         workers: int | None = None,
+        build_attempts: int = _BUILD_ATTEMPTS,
+        retry_seed: int = 0,
     ) -> "ShardedIndex":
         """Partition ``graph``, build ``family`` per shard, index the boundary.
 
         ``executor`` is ``"thread"`` (default), ``"process"`` (true CPU
         parallelism; shard graphs and built indexes cross the pickle
         boundary), or ``"serial"``.  ``workers`` defaults to
-        ``min(num_shards, cpu_count)``.
+        ``min(num_shards, cpu_count)``.  Transient per-shard build
+        failures retry up to ``build_attempts`` times with seeded
+        exponential backoff (``retry_seed`` makes the schedule
+        replayable); per-shard attempt counts land in the
+        :class:`ShardBuildReport`.
         """
         if family == cls.metadata.name:
             raise IndexBuildError("a sharded index cannot shard itself")
@@ -267,7 +353,14 @@ class ShardedIndex(ReachabilityIndex):
             )
             ph.annotate(sizes=list(partition.shard_sizes))
         with build_phase("shard-builds") as ph:
-            shard_indexes = _run_builds(family, shard_graphs, executor, workers)
+            shard_indexes, shard_attempts = _run_builds(
+                family,
+                shard_graphs,
+                executor,
+                workers,
+                attempts=build_attempts,
+                retry_seed=retry_seed,
+            )
             ph.annotate(family=family, shards=k, executor=executor, workers=workers)
         t_builds = time.perf_counter()
         with build_phase("boundary-graph") as ph:
@@ -314,6 +407,7 @@ class ShardedIndex(ReachabilityIndex):
             boundary_report=(
                 boundary_index.build_report if boundary_index is not None else None
             ),
+            shard_attempts=tuple(shard_attempts),
         )
         registry = global_registry()
         registry.counter("shard.build.builds").increment()
@@ -394,8 +488,11 @@ class ShardedIndex(ReachabilityIndex):
                 by_shard.setdefault(shard_of[s], []).append(position)
             else:
                 escalate.append(position)
+        deadline = current_deadline()
         intra_hits = 0
         for shard, positions in by_shard.items():
+            if deadline is not None:
+                deadline.check()
             local_pairs = [
                 (local_of[pairs[i][0]], local_of[pairs[i][1]]) for i in positions
             ]
@@ -507,6 +604,9 @@ class ShardedIndex(ReachabilityIndex):
             return False, "cross_shard", (
                 "no cut edges: distinct shards are mutually unreachable",
             )
+        deadline = current_deadline()
+        if deadline is not None:
+            deadline.check()
         out = self._out_borders(source)
         into = self._in_borders(target)
         if not out or not into:
@@ -544,6 +644,9 @@ class ShardedIndex(ReachabilityIndex):
             for position in positions:
                 answers[position] = False
             return len(positions), 0
+        deadline = current_deadline()
+        if deadline is not None:
+            deadline.check()
         # Fill the per-vertex border caches with one shard-index batch per
         # touched shard (all sources of one shard share a call; same for
         # targets) instead of one call per vertex.

@@ -22,6 +22,7 @@ from collections.abc import Sequence
 from repro.errors import VertexError
 from repro.graphs.digraph import DiGraph
 from repro.kernels import ancestors_set, batch_reachable, csr_of, descendants_set
+from repro.resilience.deadline import CHECK_STRIDE, current_deadline
 
 __all__ = [
     "bfs_reachable",
@@ -45,6 +46,8 @@ def bfs_reachable(graph: DiGraph, source: int, target: int) -> bool:
     _check_vertices(graph, source, target)
     if source == target:
         return True
+    deadline = current_deadline()
+    expanded = 0
     out = graph._out
     seen = bytearray(len(out))
     seen[source] = 1
@@ -52,6 +55,10 @@ def bfs_reachable(graph: DiGraph, source: int, target: int) -> bool:
     popleft = queue.popleft
     append = queue.append
     while queue:
+        if deadline is not None:
+            expanded += 1
+            if not expanded % CHECK_STRIDE:
+                deadline.check()
         for w in out[popleft()]:
             if w == target:
                 return True
@@ -66,6 +73,8 @@ def dfs_reachable(graph: DiGraph, source: int, target: int) -> bool:
     _check_vertices(graph, source, target)
     if source == target:
         return True
+    deadline = current_deadline()
+    expanded = 0
     out = graph._out
     seen = bytearray(len(out))
     seen[source] = 1
@@ -73,6 +82,10 @@ def dfs_reachable(graph: DiGraph, source: int, target: int) -> bool:
     pop = stack.pop
     push = stack.append
     while stack:
+        if deadline is not None:
+            expanded += 1
+            if not expanded % CHECK_STRIDE:
+                deadline.check()
         for w in out[pop()]:
             if w == target:
                 return True
@@ -98,9 +111,12 @@ def bibfs_reachable(graph: DiGraph, source: int, target: int) -> bool:
     seen_bwd = bytearray(n)
     seen_fwd[source] = 1
     seen_bwd[target] = 1
+    deadline = current_deadline()
     frontier_fwd = [source]
     frontier_bwd = [target]
     while frontier_fwd and frontier_bwd:
+        if deadline is not None:
+            deadline.check()
         if len(frontier_fwd) <= len(frontier_bwd):
             next_frontier: list[int] = []
             for v in frontier_fwd:

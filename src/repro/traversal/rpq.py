@@ -12,6 +12,7 @@ from __future__ import annotations
 from collections import deque
 
 from repro.graphs.labeled import LabeledDiGraph
+from repro.resilience.deadline import CHECK_STRIDE, current_deadline
 from repro.traversal.automaton import DFA, build_dfa
 from repro.traversal.regex import RegexNode
 
@@ -36,10 +37,16 @@ def rpq_reachable_with_dfa(
     """Product-automaton BFS with a pre-built DFA (amortises compilation)."""
     if source == target and dfa.start in dfa.accepting:
         return True
+    deadline = current_deadline()
+    expanded = 0
     seen: set[tuple[int, int]] = {(source, dfa.start)}
     queue: deque[tuple[int, int]] = deque(((source, dfa.start),))
     while queue:
         v, state = queue.popleft()
+        if deadline is not None:
+            expanded += 1
+            if not expanded % CHECK_STRIDE:
+                deadline.check()
         transitions = dfa.transitions[state]
         for w, label_id in graph.out_edges(v):
             next_state = transitions.get(graph.label_name(label_id))

@@ -62,7 +62,7 @@ def test_peek_reads_class_without_unpickling(tmp_path):
     save_index(index, path)
     info = peek_index_info(path)
     assert info["class_name"] == "FelineIndex"
-    assert info["version"] == 1
+    assert info["version"] == 2
 
 
 def test_dynamic_index_usable_after_load(tmp_path):
@@ -98,6 +98,53 @@ class TestErrorPaths:
     def test_save_rejects_non_index(self, tmp_path):
         with pytest.raises(PersistenceError):
             save_index("not an index", tmp_path / "x.repro")
+
+    def test_truncated_file_is_typed_error(self, tmp_path):
+        graph = random_dag(10, 20, seed=48)
+        index = plain_index("PLL").build(graph)
+        path = tmp_path / "trunc.repro"
+        save_index(index, path)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        with pytest.raises(PersistenceError):
+            load_index(path)
+
+    def test_flipped_byte_fails_checksum_with_digests(self, tmp_path):
+        graph = random_dag(10, 20, seed=49)
+        index = plain_index("PLL").build(graph)
+        path = tmp_path / "flip.repro"
+        save_index(index, path)
+        data = bytearray(path.read_bytes())
+        data[len(data) // 2] ^= 0xFF  # damage the pickle payload
+        path.write_bytes(bytes(data))
+        with pytest.raises(PersistenceError, match="checksum mismatch") as info:
+            load_index(path)
+        assert "sha256" in str(info.value)
+        assert str(path) in str(info.value)
+
+    def test_legacy_v1_file_loads_with_warning(self, tmp_path):
+        import pickle
+
+        graph = random_dag(10, 20, seed=50)
+        index = plain_index("PLL").build(graph)
+        name = type(index).__name__.encode()
+        path = tmp_path / "legacy.repro"
+        with open(path, "wb") as sink:  # the pre-checksum v1 layout
+            sink.write(b"REPRO-INDEX")
+            sink.write((1).to_bytes(2, "big"))
+            sink.write(len(name).to_bytes(2, "big"))
+            sink.write(name)
+            sink.write(pickle.dumps(index, protocol=pickle.HIGHEST_PROTOCOL))
+        with pytest.warns(UserWarning, match="no checksum"):
+            loaded = load_index(path)
+        assert type(loaded) is type(index)
+        assert loaded.query(0, 0)
+
+    def test_no_temp_file_left_behind(self, tmp_path):
+        graph = random_dag(10, 20, seed=51)
+        index = plain_index("PLL").build(graph)
+        save_index(index, tmp_path / "clean.repro")
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["clean.repro"]
 
     def test_load_rejects_non_index_payload(self, tmp_path):
         import pickle

@@ -48,7 +48,9 @@ class TestRoutes:
         base, _graph, _service = labeled_server
         status, body = _get(f"{base}/healthz")
         assert status == 200
-        assert body == {"status": "ok", "epoch": 0}
+        assert body["status"] == "ok"
+        assert body["epoch"] == 0
+        assert body["in_flight"] == 0
 
     def test_reach_matches_oracle(self, labeled_server):
         base, graph, _service = labeled_server
