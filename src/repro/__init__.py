@@ -15,6 +15,7 @@ Quickstart::
     assert index.query(0, 3)
 """
 
+from repro.advisor import Advice, Recommendation, advise
 from repro.core import (
     CondensedIndex,
     Explanation,
@@ -59,6 +60,9 @@ from repro.traversal import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "Advice",
+    "Recommendation",
+    "advise",
     "CondensedIndex",
     "Explanation",
     "IndexMetadata",

@@ -1,0 +1,301 @@
+"""Feature extraction: the signals the survey's taxonomy is stated in.
+
+The survey's central claim is two-dimensional — *which index wins* is a
+function of **graph shape** (density, DAG depth/width after
+condensation, SCC structure, degree skew, label cardinality) and
+**workload shape** (positive/negative mix, hot-vertex concentration,
+read/write ratio).  This module reduces both dimensions to small frozen
+feature vectors the cost model (:mod:`repro.advisor.cost`) and the
+ruleset (:mod:`repro.advisor.rules`) score against.
+
+Graph features come from one structural pass (Tarjan condensation plus
+topological levelling, the same machinery :mod:`repro.graphs.stats`
+uses); workload features come either from an explicit query sample
+(e.g. :func:`repro.workloads.queries.plain_workload`, or raw ``(s, t)``
+pairs from a query log) or from the live telemetry the obs layer
+already collects — ``index.route.*`` counters, the service's per-route
+query tallies and cache statistics — via :func:`workload_from_metrics`.
+"""
+
+from __future__ import annotations
+
+import random
+import statistics
+from collections import Counter
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+
+from repro.graphs.digraph import DiGraph
+from repro.graphs.labeled import LabeledDiGraph
+from repro.graphs.scc import condense, strongly_connected_components
+from repro.graphs.topo import topological_levels
+from repro.traversal.online import descendants
+
+__all__ = [
+    "GraphFeatures",
+    "WorkloadFeatures",
+    "graph_features",
+    "workload_features",
+    "workload_from_metrics",
+]
+
+
+@dataclass(frozen=True)
+class GraphFeatures:
+    """The graph-shape axis of the advisor's decision space."""
+
+    num_vertices: int
+    num_edges: int
+    density: float  # m / n(n-1)
+    avg_degree: float  # m / n
+    max_out_degree: int
+    max_in_degree: int
+    degree_skew: float  # coefficient of variation of out-degrees
+    is_dag: bool
+    num_sccs: int
+    largest_scc_fraction: float  # |largest SCC| / n
+    condensation_vertices: int
+    condensation_edges: int
+    dag_depth: int  # longest path in the condensation, in levels
+    dag_width: int  # widest topological level of the condensation
+    non_tree_fraction: float  # condensation edges beyond a spanning forest
+    reachability_density: float  # sampled fraction of reachable pairs
+    label_cardinality: int  # 0 for plain graphs
+
+    @property
+    def aspect_ratio(self) -> float:
+        """depth / width of the condensation — >1 deep-and-narrow, <1 wide."""
+        return self.dag_depth / max(1, self.dag_width)
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-serialisable plain data (the ``Advice`` payload shape)."""
+        return {
+            "num_vertices": self.num_vertices,
+            "num_edges": self.num_edges,
+            "density": self.density,
+            "avg_degree": self.avg_degree,
+            "max_out_degree": self.max_out_degree,
+            "max_in_degree": self.max_in_degree,
+            "degree_skew": self.degree_skew,
+            "is_dag": self.is_dag,
+            "num_sccs": self.num_sccs,
+            "largest_scc_fraction": self.largest_scc_fraction,
+            "condensation_vertices": self.condensation_vertices,
+            "condensation_edges": self.condensation_edges,
+            "dag_depth": self.dag_depth,
+            "dag_width": self.dag_width,
+            "non_tree_fraction": self.non_tree_fraction,
+            "reachability_density": self.reachability_density,
+            "label_cardinality": self.label_cardinality,
+        }
+
+
+@dataclass(frozen=True)
+class WorkloadFeatures:
+    """The workload axis: what the queries look like, not the graph."""
+
+    num_queries: int
+    positive_fraction: float | None  # None when ground truth is unknown
+    distinct_pair_fraction: float  # unique (s, t) pairs / volume
+    hot_pair_fraction: float  # share of volume on the top-10% pairs
+    cache_hit_rate: float | None  # from telemetry, when available
+    update_fraction: float | None  # updates / (updates + queries)
+
+    @property
+    def negative_heavy(self) -> bool:
+        """True when most queries are known to be non-reachable (§5)."""
+        return self.positive_fraction is not None and self.positive_fraction < 0.4
+
+    @property
+    def skewed(self) -> bool:
+        """True when a small hot set dominates query volume."""
+        return self.hot_pair_fraction > 0.5
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-serialisable plain data (the ``Advice`` payload shape)."""
+        return {
+            "num_queries": self.num_queries,
+            "positive_fraction": self.positive_fraction,
+            "distinct_pair_fraction": self.distinct_pair_fraction,
+            "hot_pair_fraction": self.hot_pair_fraction,
+            "cache_hit_rate": self.cache_hit_rate,
+            "update_fraction": self.update_fraction,
+        }
+
+
+def graph_features(
+    graph: DiGraph | LabeledDiGraph,
+    sample_sources: int = 48,
+    seed: int = 0,
+) -> GraphFeatures:
+    """Profile a graph for the advisor (one condensation + one sampling pass).
+
+    Accepts a plain or labeled graph; labeled graphs are profiled on
+    their label-forgetting projection with ``label_cardinality`` set.
+    """
+    label_cardinality = 0
+    if isinstance(graph, LabeledDiGraph):
+        label_cardinality = len(graph.labels())
+        graph = graph.to_plain()
+    n = graph.num_vertices
+    m = graph.num_edges
+    out_degrees = [graph.out_degree(v) for v in graph.vertices()]
+    mean_out = m / n if n else 0.0
+    skew = (
+        statistics.pstdev(out_degrees) / mean_out
+        if n and mean_out > 0
+        else 0.0
+    )
+    components = strongly_connected_components(graph)
+    acyclic = all(len(c) == 1 for c in components)
+    largest = max((len(c) for c in components), default=0)
+    if acyclic:
+        dag = graph
+    else:
+        dag = condense(graph).dag
+    levels = topological_levels(dag)
+    depth = max(levels, default=0)
+    width = max(Counter(levels).values(), default=0)
+    nc, mc = dag.num_vertices, dag.num_edges
+    non_tree = max(0, mc - max(0, nc - 1)) / mc if mc else 0.0
+    if n == 0:
+        reach_density = 0.0
+    else:
+        rng = random.Random(seed)
+        chosen = (
+            list(graph.vertices())
+            if n <= sample_sources
+            else rng.sample(list(graph.vertices()), sample_sources)
+        )
+        reachable_pairs = sum(len(descendants(graph, v)) - 1 for v in chosen)
+        reach_density = reachable_pairs / (len(chosen) * max(1, n - 1))
+    return GraphFeatures(
+        num_vertices=n,
+        num_edges=m,
+        density=m / (n * (n - 1)) if n > 1 else 0.0,
+        avg_degree=mean_out,
+        max_out_degree=max(out_degrees, default=0),
+        max_in_degree=max((graph.in_degree(v) for v in graph.vertices()), default=0),
+        degree_skew=skew,
+        is_dag=acyclic,
+        num_sccs=len(components),
+        largest_scc_fraction=largest / n if n else 0.0,
+        condensation_vertices=nc,
+        condensation_edges=mc,
+        dag_depth=depth,
+        dag_width=width,
+        non_tree_fraction=non_tree,
+        reachability_density=reach_density,
+        label_cardinality=label_cardinality,
+    )
+
+
+def _pairs_of(workload: Sequence[object]) -> tuple[list[tuple[int, int]], float | None]:
+    """Normalise a workload sample to (s, t) pairs plus its positive share.
+
+    Accepts :class:`~repro.workloads.queries.PlainQuery` objects (ground
+    truth known) or raw ``(source, target)`` tuples from a query log
+    (ground truth unknown → ``positive_fraction`` is None).
+    """
+    pairs: list[tuple[int, int]] = []
+    positives = 0
+    truths = 0
+    for query in workload:
+        if hasattr(query, "source"):
+            pairs.append((query.source, query.target))
+            reachable = getattr(query, "reachable", None)
+            if reachable is not None:
+                truths += 1
+                positives += bool(reachable)
+        else:
+            s, t = query  # type: ignore[misc]
+            pairs.append((int(s), int(t)))
+    positive_fraction = positives / truths if truths else None
+    return pairs, positive_fraction
+
+
+def workload_features(
+    workload: Sequence[object] | None = None,
+    metrics: Mapping[str, object] | None = None,
+) -> WorkloadFeatures | None:
+    """Summarise a query sample (and/or live telemetry) for the advisor.
+
+    ``workload`` is a sequence of queries (``PlainQuery`` or raw pairs);
+    ``metrics`` is a nested metrics dict as produced by
+    :meth:`~repro.service.engine.ReachabilityService.metrics_dict`.
+    Returns None when neither carries any signal.
+    """
+    if workload:
+        pairs, positive_fraction = _pairs_of(workload)
+        volume = Counter(pairs)
+        distinct = len(volume)
+        hot_count = max(1, distinct // 10)
+        hot_volume = sum(count for _pair, count in volume.most_common(hot_count))
+        features = WorkloadFeatures(
+            num_queries=len(pairs),
+            positive_fraction=positive_fraction,
+            distinct_pair_fraction=distinct / len(pairs),
+            hot_pair_fraction=hot_volume / len(pairs),
+            cache_hit_rate=_cache_hit_rate(metrics),
+            update_fraction=_update_fraction(metrics),
+        )
+        return features
+    if metrics:
+        return workload_from_metrics(metrics)
+    return None
+
+
+def workload_from_metrics(metrics: Mapping[str, object]) -> WorkloadFeatures | None:
+    """Workload features from live service telemetry alone.
+
+    Uses the ``service.queries.*`` route counters for volume, the cache
+    statistics for hot-set concentration (a high hit rate *is* the
+    hot-pair signal once per-pair identities are aggregated away), and
+    ``service.updates_applied`` for the read/write ratio.
+    """
+    queries = _query_volume(metrics)
+    if queries <= 0:
+        return None
+    hit_rate = _cache_hit_rate(metrics)
+    return WorkloadFeatures(
+        num_queries=queries,
+        positive_fraction=None,
+        distinct_pair_fraction=1.0 - (hit_rate or 0.0),
+        hot_pair_fraction=hit_rate or 0.0,
+        cache_hit_rate=hit_rate,
+        update_fraction=_update_fraction(metrics),
+    )
+
+
+def _nested_get(metrics: Mapping[str, object], *path: str) -> object | None:
+    node: object = metrics
+    for key in path:
+        if not isinstance(node, Mapping) or key not in node:
+            return None
+        node = node[key]
+    return node
+
+
+def _query_volume(metrics: Mapping[str, object]) -> int:
+    queries = _nested_get(metrics, "service", "queries")
+    if not isinstance(queries, Mapping):
+        return 0
+    return sum(int(v) for v in queries.values() if isinstance(v, (int, float)))
+
+
+def _cache_hit_rate(metrics: Mapping[str, object] | None) -> float | None:
+    if not metrics:
+        return None
+    rate = _nested_get(metrics, "cache", "hit_rate")
+    return float(rate) if isinstance(rate, (int, float)) else None
+
+
+def _update_fraction(metrics: Mapping[str, object] | None) -> float | None:
+    if not metrics:
+        return None
+    updates = _nested_get(metrics, "service", "updates_applied")
+    if not isinstance(updates, (int, float)):
+        return None
+    queries = _query_volume(metrics)
+    total = float(updates) + queries
+    return float(updates) / total if total > 0 else None

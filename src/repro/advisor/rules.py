@@ -1,0 +1,287 @@
+"""The advisor's ruleset: analytic priors from the survey's taxonomy.
+
+Every candidate family gets a :class:`Prior` — order-of-magnitude
+predictions for build cost, label size, and per-query cost, stated in
+abstract *units* so they rank families against each other before any
+micro-probe runs.  The formulas are the survey's asymptotics made
+concrete: transitive closure is ``O(n·m)`` build and ``O(n²)`` space,
+interval/tree-cover labels are ``O(k·n)``, 2-hop labellings sit between
+linear and quadratic depending on how well hub vertices cover paths.
+
+Workload shape then *adjusts* the priors: §5's observation that
+pruned-search families (GRAIL, Ferrari, BFL, IP, Feline, Preach,
+O'Reach, DBL) answer negative queries from the filter alone but pay a
+guided DFS on positives is encoded as a query-cost multiplier keyed to
+``positive_fraction``; update-heavy telemetry penalises static families
+that would force full rebuilds.
+
+The priors deliberately stay crude — their job is to *order* the probe
+queue and to carry the ranking when probing is disabled, not to predict
+wall-clock times.  :mod:`repro.advisor.cost` replaces them with
+measured numbers whenever probes run.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+
+from repro.advisor.features import GraphFeatures, WorkloadFeatures
+
+__all__ = [
+    "DEFAULT_CANDIDATES",
+    "NO_FALSE_NEGATIVE",
+    "Prior",
+    "priors",
+]
+
+# The families the advisor considers unless the caller narrows the set.
+# One representative per taxonomy cell that scales past toy graphs:
+# full materialisation (TC), 2-hop labellings (PLL, TOL), interval /
+# tree covers (GRAIL, Ferrari, Tree cover), and constant-size filters
+# (BFL, IP, Feline, O'Reach).
+DEFAULT_CANDIDATES: tuple[str, ...] = (
+    "TC",
+    "PLL",
+    "TOL",
+    "GRAIL",
+    "Ferrari",
+    "BFL",
+    "IP",
+    "Feline",
+    "O'Reach",
+    "Tree cover",
+)
+
+# Partial families whose MAYBE never hides a reachable pair — safe to
+# pair with a BFS fallback and still answer exactly (the hybrid the
+# advisor recommends under tight byte budgets).
+NO_FALSE_NEGATIVE: frozenset[str] = frozenset(
+    {"GRAIL", "Ferrari", "BFL", "IP", "Feline", "Preach", "DBL", "O'Reach"}
+)
+
+
+@dataclass(frozen=True)
+class Prior:
+    """Analytic prediction for one family on one (graph, workload) pair."""
+
+    family: str
+    build_units: float  # relative build cost (edges-visited scale)
+    size_entries: float  # predicted label entries
+    query_units: float  # relative per-query cost (1.0 = hash probe)
+    index_params: dict[str, object] = field(default_factory=dict)
+    size_exponent: float = 1.0  # bytes ~ n^exponent, for probe extrapolation
+    partial: bool = False
+    notes: tuple[str, ...] = ()
+    excluded: str | None = None  # reason this family was ruled out a priori
+
+    @property
+    def viable(self) -> bool:
+        return self.excluded is None
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "family": self.family,
+            "build_units": self.build_units,
+            "size_entries": self.size_entries,
+            "query_units": self.query_units,
+            "index_params": dict(self.index_params),
+            "size_exponent": self.size_exponent,
+            "partial": self.partial,
+            "notes": list(self.notes),
+            "excluded": self.excluded,
+        }
+
+
+# Past this many predicted closure entries the advisor refuses to even
+# probe TC — building it would blow the probe time-box on its own.
+_TC_ENTRY_CAP = 5_000_000
+
+
+def _tc_prior(f: GraphFeatures) -> Prior:
+    n, m = f.condensation_vertices, f.condensation_edges
+    entries = max(1.0, f.reachability_density * n * n)
+    notes = ["full materialisation: O(1) lookups, O(n·m) build, O(n²) worst-case space"]
+    excluded = None
+    if entries > _TC_ENTRY_CAP:
+        excluded = (
+            f"predicted closure of ~{entries:,.0f} entries exceeds the "
+            f"{_TC_ENTRY_CAP:,} materialisation cap"
+        )
+    if f.largest_scc_fraction > 0.5:
+        notes.append(
+            "one giant SCC collapses the condensation — the closure is tiny here"
+        )
+    return Prior(
+        family="TC",
+        build_units=float(n) * max(1.0, float(m)),
+        size_entries=entries,
+        query_units=1.0,
+        size_exponent=2.0,
+        notes=tuple(notes),
+        excluded=excluded,
+    )
+
+
+def _two_hop_prior(family: str, f: GraphFeatures) -> Prior:
+    n = max(1, f.condensation_vertices)
+    m = max(1, f.condensation_edges)
+    # Hub labellings degenerate toward the closure on dense wide graphs
+    # and stay near-linear on sparse ones; log n per vertex is the
+    # usual planted middle ground.
+    per_vertex = 2.0 + math.log2(n + 1) * (0.5 + min(1.0, f.reachability_density * 4))
+    entries = n * per_vertex
+    notes = [
+        "2-hop labelling: sorted-list intersection per query, strong on wide/shallow DAGs"
+    ]
+    if f.aspect_ratio < 1.0:
+        notes.append("wide-shallow condensation favours hub coverage")
+    build = entries * max(1.0, m / n)
+    query = max(2.0, per_vertex / 8.0)
+    if family == "TOL":
+        build *= 1.3  # total-order bookkeeping on top of pruned PLL
+        notes.append("maintains labels under vertex insert/delete (dynamic)")
+    return Prior(
+        family=family,
+        build_units=build,
+        size_entries=entries,
+        query_units=query,
+        size_exponent=1.2,
+        notes=tuple(notes),
+    )
+
+
+def _interval_prior(family: str, f: GraphFeatures) -> Prior:
+    n = max(1, f.condensation_vertices)
+    m = max(1, f.condensation_edges)
+    if family == "GRAIL":
+        k, partial = 3, True
+        params: dict[str, object] = {"k": 3}
+        notes = ["k random interval labels; certain-NO on miss, guided DFS on overlap"]
+    elif family == "Ferrari":
+        k, partial = 3, True
+        params = {"k": 3}
+        notes = ["budgeted exact+approximate intervals; fewer DFS fallbacks than GRAIL"]
+    else:  # Tree cover
+        k, partial = 1, False
+        params = {}
+        notes = [
+            "Agrawal et al. optimal tree cover: exact intervals, size grows with "
+            "non-tree edges"
+        ]
+    entries = float(k * n)
+    if family == "Tree cover":
+        # Every non-tree edge copies interval lists downstream.
+        entries *= 1.0 + f.non_tree_fraction * math.log2(n + 1)
+    build = float(k * m + k * n)
+    query = 1.5 * k
+    if f.aspect_ratio > 4.0:
+        notes.append("deep-narrow condensation: interval containment is near-exact here")
+    return Prior(
+        family=family,
+        build_units=build,
+        size_entries=entries,
+        query_units=query,
+        index_params=params,
+        size_exponent=1.0,
+        partial=partial,
+        notes=tuple(notes),
+    )
+
+
+def _filter_prior(family: str, f: GraphFeatures) -> Prior:
+    n = max(1, f.condensation_vertices)
+    m = max(1, f.condensation_edges)
+    notes = {
+        "BFL": ["Bloom-filter labels: O(1) certain-NO, DFS fallback on MAYBE"],
+        "IP": ["independent permutation sketches; supports online edge inserts"],
+        "Feline": ["two coordinate orders; dominance miss is certain-NO"],
+        "O'Reach": ["supportive-vertex observations resolve most queries in O(1)"],
+    }[family]
+    params: dict[str, object] = {}
+    per_vertex = {"BFL": 2.0, "IP": 2.5, "Feline": 2.0, "O'Reach": 3.0}[family]
+    return Prior(
+        family=family,
+        build_units=float(m) * 2.0 + n,
+        size_entries=n * per_vertex,
+        query_units=2.0,
+        index_params=params,
+        size_exponent=1.0,
+        partial=True,
+        notes=tuple(notes),
+    )
+
+
+def _base_prior(family: str, f: GraphFeatures) -> Prior:
+    if family == "TC":
+        return _tc_prior(f)
+    if family in ("PLL", "TOL"):
+        return _two_hop_prior(family, f)
+    if family in ("GRAIL", "Ferrari", "Tree cover"):
+        return _interval_prior(family, f)
+    if family in ("BFL", "IP", "Feline", "O'Reach"):
+        return _filter_prior(family, f)
+    # Unknown-to-the-ruleset family supplied by the caller: neutral
+    # linear prior so probes can still rank it.
+    n = max(1, f.condensation_vertices)
+    return Prior(
+        family=family,
+        build_units=float(max(1, f.condensation_edges)),
+        size_entries=float(n),
+        query_units=4.0,
+        notes=("no analytic prior for this family; ranking relies on probes",),
+    )
+
+
+def _apply_workload(prior: Prior, f: GraphFeatures, w: WorkloadFeatures | None) -> Prior:
+    if w is None:
+        return prior
+    notes = list(prior.notes)
+    query = prior.query_units
+    if prior.partial:
+        if w.positive_fraction is not None:
+            # Positive queries fall through the filter into a guided
+            # DFS whose cost scales with how much graph it must touch.
+            fallback = 1.0 + f.avg_degree * math.log2(f.num_vertices + 2)
+            query = (
+                (1.0 - w.positive_fraction) * prior.query_units
+                + w.positive_fraction * fallback
+            )
+            if w.negative_heavy:
+                notes.append(
+                    "negative-heavy workload: the certain-NO filter answers most "
+                    "queries without traversal"
+                )
+            elif w.positive_fraction > 0.6:
+                notes.append(
+                    "positive-heavy workload: expect frequent DFS fallbacks past "
+                    "the filter"
+                )
+    if w.skewed:
+        notes.append("hot-pair skew: the service cache absorbs repeated pairs")
+    if w.update_fraction is not None and w.update_fraction > 0.05:
+        if prior.family in ("TOL", "IP"):
+            notes.append("dynamic family: survives the observed update rate in place")
+        else:
+            notes.append(
+                "static family under an update-heavy workload: each batch forces "
+                "a rebuild"
+            )
+    return replace(prior, query_units=query, notes=tuple(notes))
+
+
+def priors(
+    features: GraphFeatures,
+    workload: WorkloadFeatures | None = None,
+    candidates: tuple[str, ...] | list[str] | None = None,
+) -> list[Prior]:
+    """Analytic priors for every candidate family, best-first.
+
+    The ordering key mirrors the cost model's score — query units plus
+    amortised build units — so the probe queue starts with the
+    analytically promising families.
+    """
+    names = tuple(candidates) if candidates is not None else DEFAULT_CANDIDATES
+    out = [_apply_workload(_base_prior(name, features), features, workload) for name in names]
+    out.sort(key=lambda p: (not p.viable, p.query_units + p.build_units / 1e6))
+    return out

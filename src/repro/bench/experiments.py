@@ -174,31 +174,35 @@ def build_scaling_rows(
 def index_size_rows(
     num_vertices: int = 300, seed: int = 7
 ) -> list[dict[str, object]]:
-    """CLAIM-S3-SIZE: entries per index on one graph, TC included."""
-    from repro.persistence import serialized_size_bytes
+    """CLAIM-S3-SIZE: entries per index on one graph, TC included.
 
+    Sizes come from the uniform ``index.size_report()`` surface — the
+    same numbers the advisor's budget logic consumes.
+    """
     graph = random_dag(num_vertices, 4 * num_vertices, seed=seed)
     rows: list[dict[str, object]] = []
     for name in sorted(all_plain_indexes()):
         if name in ("2-Hop",):  # O(n^4) greedy: measured separately below
             continue
         built = build_index(plain_index(name), graph)
+        size = built.index.size_report()
         rows.append(
             {
                 "name": name,
-                "entries": built.entries,
+                "entries": size.entries,
                 "build_seconds": built.build_seconds,
-                "bytes": serialized_size_bytes(built.index, include_graph=False),
+                "bytes": size.estimated_bytes,
             }
         )
     small = random_dag(120, 300, seed=seed)
     built = build_index(plain_index("2-Hop"), small)
+    size = built.index.size_report()
     rows.append(
         {
             "name": "2-Hop (n=120)",
-            "entries": built.entries,
+            "entries": size.entries,
             "build_seconds": built.build_seconds,
-            "bytes": serialized_size_bytes(built.index, include_graph=False),
+            "bytes": size.estimated_bytes,
         }
     )
     rows.sort(key=lambda r: r["entries"])

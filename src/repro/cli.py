@@ -525,6 +525,42 @@ def _cmd_shard_query(args: argparse.Namespace) -> int:
     return 0 if answer else 1
 
 
+def _cmd_advise(args: argparse.Namespace) -> int:
+    """Recommend an index family for an edge-list graph (and workload)."""
+    import json
+
+    from repro.advisor import advise
+    from repro.workloads.queries import plain_workload
+
+    if args.labeled:
+        graph, _ids = read_labeled_edge_list(args.edgelist)
+    else:
+        graph, _ids = read_edge_list(args.edgelist)
+    workload = None
+    if args.queries:
+        sample_graph = graph.to_plain() if args.labeled else graph
+        workload = plain_workload(
+            sample_graph,
+            args.queries,
+            positive_fraction=args.positive_fraction,
+            seed=args.seed,
+        )
+    candidates = args.candidates.split(",") if args.candidates else None
+    advice = advise(
+        graph,
+        workload,
+        args.budget_bytes,
+        candidates=candidates,
+        probe=not args.no_probe,
+        seed=args.seed,
+    )
+    if args.json:
+        print(json.dumps(advice.as_dict(), indent=2))
+    else:
+        print(advice.render_text())
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service import ReachabilityService
     from repro.service.server import serve
@@ -560,6 +596,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             coalesce=not args.no_coalesce,
             rebuild=args.rebuild,
         )
+    advisor = None
+    if args.advise_interval:
+        from repro.service import AdvisorLoop
+
+        advisor = AdvisorLoop(
+            service,
+            interval_s=args.advise_interval,
+            budget_bytes=args.advise_budget_bytes,
+        )
+        advisor.start()
     server = serve(
         service,
         host=args.host,
@@ -569,6 +615,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         queue_depth=args.admission_queue,
         queue_timeout_s=args.admission_wait_ms / 1000.0,
         default_timeout_ms=args.timeout_ms,
+        advisor=advisor,
     )
     host, port = server.server_address[:2]
     trace_line = (
@@ -606,6 +653,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         stop.wait()
     except KeyboardInterrupt:  # fallback when the handler didn't install
         pass
+    if advisor is not None:
+        advisor.stop()
     drained = server.drain(args.drain_timeout)
     thread.join(timeout=args.drain_timeout + 1.0)
     for signum, handler in previous.items():
@@ -895,6 +944,50 @@ def main(argv: list[str] | None = None) -> int:
     )
     shard_query.set_defaults(func=_cmd_shard_query)
 
+    advise_cmd = sub.add_parser(
+        "advise",
+        help="recommend an index family for a graph (and optional workload)",
+    )
+    advise_cmd.add_argument("edgelist")
+    advise_cmd.add_argument(
+        "--labeled", action="store_true", help="labeled edge list"
+    )
+    advise_cmd.add_argument(
+        "--budget-bytes",
+        type=int,
+        default=None,
+        help="cap the recommended index's serialized size",
+    )
+    advise_cmd.add_argument(
+        "--queries",
+        type=int,
+        default=200,
+        metavar="N",
+        help="size of the synthetic workload sample (0 for graph-only advice)",
+    )
+    advise_cmd.add_argument(
+        "--positive-fraction",
+        type=float,
+        default=0.3,
+        help="reachable share of the synthetic workload sample",
+    )
+    advise_cmd.add_argument(
+        "--candidates",
+        default=None,
+        metavar="A,B,C",
+        help="comma-separated family names to consider (default: advisor's set)",
+    )
+    advise_cmd.add_argument(
+        "--no-probe",
+        action="store_true",
+        help="skip micro-probe builds; rank on analytic priors only",
+    )
+    advise_cmd.add_argument("--seed", type=int, default=0)
+    advise_cmd.add_argument(
+        "--json", action="store_true", help="emit the Advice payload as JSON"
+    )
+    advise_cmd.set_defaults(func=_cmd_advise)
+
     serve = sub.add_parser(
         "serve", help="run the snapshot-isolated HTTP query service"
     )
@@ -957,6 +1050,20 @@ def main(argv: list[str] | None = None) -> int:
         type=float,
         default=10.0,
         help="seconds to wait for in-flight requests on SIGTERM/SIGINT",
+    )
+    serve.add_argument(
+        "--advise-interval",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="run the index advisor loop: re-advise on telemetry drift and "
+        "swap the recommended index in live (also enables GET /advise?cached=1)",
+    )
+    serve.add_argument(
+        "--advise-budget-bytes",
+        type=int,
+        default=None,
+        help="size budget the advisor loop holds recommendations to",
     )
     serve.set_defaults(func=_cmd_serve)
 

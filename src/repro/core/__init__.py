@@ -5,6 +5,7 @@ from repro.core.base import (
     IndexMetadata,
     LabelConstrainedIndex,
     ReachabilityIndex,
+    SizeReport,
     TriState,
     guided_query,
 )
@@ -23,6 +24,7 @@ __all__ = [
     "IndexMetadata",
     "LabelConstrainedIndex",
     "ReachabilityIndex",
+    "SizeReport",
     "TriState",
     "guided_query",
     "CondensedIndex",

@@ -42,6 +42,7 @@ __all__ = [
     "TriState",
     "IndexMetadata",
     "Explanation",
+    "SizeReport",
     "ReachabilityIndex",
     "LabelConstrainedIndex",
     "guided_query",
@@ -142,6 +143,64 @@ class Explanation:
         ]
         lines.extend(f"  {detail}" for detail in self.details)
         return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class SizeReport:
+    """Uniform size accounting of one built index.
+
+    Every family reports size the same two ways: ``entries`` — the
+    survey's abstract metric (labels / intervals / words, whatever the
+    family counts) — and ``estimated_bytes`` — the serialized payload
+    with the indexed graph subtracted out, the number a size *budget*
+    is stated in.  The advisor's budget logic and the size benchmarks
+    both consume this instead of reaching into per-family attributes.
+    """
+
+    index: str
+    entries: int
+    estimated_bytes: int
+    graph_vertices: int
+    graph_edges: int
+
+    @property
+    def bytes_per_entry(self) -> float:
+        """Average serialized bytes per entry (0.0 for empty indexes)."""
+        return self.estimated_bytes / self.entries if self.entries else 0.0
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-serialisable plain data (the BENCH_*.json shape)."""
+        return {
+            "index": self.index,
+            "entries": self.entries,
+            "estimated_bytes": self.estimated_bytes,
+            "bytes_per_entry": self.bytes_per_entry,
+            "graph_vertices": self.graph_vertices,
+            "graph_edges": self.graph_edges,
+        }
+
+    def render_text(self) -> str:
+        """One human-readable size line for the CLI."""
+        return (
+            f"{self.index}: {self.entries:,} entries, "
+            f"~{self.estimated_bytes:,} bytes "
+            f"({self.bytes_per_entry:.1f} B/entry) over "
+            f"|V|={self.graph_vertices:,} |E|={self.graph_edges:,}"
+        )
+
+
+def _size_report_of(index) -> SizeReport:
+    """The shared ``size_report`` implementation for both base classes."""
+    from repro.persistence import serialized_size_bytes
+
+    graph = index.graph
+    return SizeReport(
+        index=index.metadata.name,
+        entries=index.size_in_entries(),
+        estimated_bytes=serialized_size_bytes(index, include_graph=False),
+        graph_vertices=graph.num_vertices,
+        graph_edges=graph.num_edges,
+    )
 
 
 def _instrumented_build(raw: classmethod) -> classmethod:
@@ -497,6 +556,22 @@ class ReachabilityIndex(ABC):
     def size_in_entries(self) -> int:
         """Index size in label/interval/word entries (the survey's metric)."""
 
+    def estimated_bytes(self) -> int:
+        """Serialized index payload in bytes, the indexed graph excluded.
+
+        The concrete counterpart of :meth:`size_in_entries` — the number
+        a size budget (FERRARI-style index-size restriction) is stated
+        in.  Uniform across every family: measured from the pickled
+        instance minus the graph's own representation.
+        """
+        from repro.persistence import serialized_size_bytes
+
+        return serialized_size_bytes(self, include_graph=False)
+
+    def size_report(self) -> SizeReport:
+        """Both size metrics (entries and bytes) as one uniform report."""
+        return _size_report_of(self)
+
     @property
     def graph(self) -> DiGraph:
         """The indexed graph (mutated in place by dynamic indexes)."""
@@ -608,6 +683,16 @@ class LabelConstrainedIndex(ABC):
     @abstractmethod
     def size_in_entries(self) -> int:
         """Index size in label entries."""
+
+    def estimated_bytes(self) -> int:
+        """Serialized index payload in bytes, the indexed graph excluded."""
+        from repro.persistence import serialized_size_bytes
+
+        return serialized_size_bytes(self, include_graph=False)
+
+    def size_report(self) -> SizeReport:
+        """Both size metrics (entries and bytes) as one uniform report."""
+        return _size_report_of(self)
 
     @property
     def graph(self) -> LabeledDiGraph:

@@ -9,6 +9,7 @@ regenerated from the live implementations rather than hand-copied.
 
 from __future__ import annotations
 
+import difflib
 import importlib
 from typing import TypeVar
 
@@ -56,14 +57,35 @@ def _ensure_loaded() -> None:
     importlib.import_module("repro.shard")
 
 
+def _unknown_index_error(kind: str, name: str, registry: dict[str, object]) -> ReproError:
+    """A lookup failure that names every registered family and, when one
+    is close (case slip, typo, missing punctuation), suggests it."""
+    known = sorted(registry)
+    wanted = str(name)
+    folded = {candidate.lower(): candidate for candidate in known}
+    suggestion = folded.get(wanted.lower())
+    if suggestion is None:
+        close = difflib.get_close_matches(wanted, known, n=1, cutoff=0.6)
+        if not close:  # retry case-insensitively (e.g. "grail" vs "GRAIL")
+            close = difflib.get_close_matches(
+                wanted.lower(), list(folded), n=1, cutoff=0.6
+            )
+            close = [folded[match] for match in close]
+        suggestion = close[0] if close else None
+    message = f"unknown {kind} index {name!r}"
+    if suggestion is not None:
+        message += f"; did you mean {suggestion!r}?"
+    message += f" known: {', '.join(known)}"
+    return ReproError(message)
+
+
 def plain_index(name: str) -> type[ReachabilityIndex]:
     """Look up a plain index class by its paper name (e.g. ``"GRAIL"``)."""
     _ensure_loaded()
     try:
         return _PLAIN[name]
     except KeyError:
-        known = ", ".join(sorted(_PLAIN))
-        raise ReproError(f"unknown plain index {name!r}; known: {known}") from None
+        raise _unknown_index_error("plain", name, _PLAIN) from None
 
 
 def labeled_index(name: str) -> type[LabelConstrainedIndex]:
@@ -72,8 +94,7 @@ def labeled_index(name: str) -> type[LabelConstrainedIndex]:
     try:
         return _LABELED[name]
     except KeyError:
-        known = ", ".join(sorted(_LABELED))
-        raise ReproError(f"unknown labeled index {name!r}; known: {known}") from None
+        raise _unknown_index_error("labeled", name, _LABELED) from None
 
 
 def all_plain_indexes() -> dict[str, type[ReachabilityIndex]]:

@@ -12,9 +12,15 @@ three-valued answers (``QueryResult.status`` is TRUE/FALSE/UNKNOWN),
 an :class:`AdmissionController` bounds concurrent requests and sheds
 the overflow with 503 + ``Retry-After``, and per-request deadlines
 degrade to typed UNKNOWNs instead of hanging.
+
+Online re-optimization (:mod:`repro.advisor` integration): an
+:class:`AdvisorLoop` watches the service's telemetry, re-runs the index
+advisor when the workload or graph drifts, and swaps the recommended
+index in live via epoch-conditional adoption.
 """
 
 from repro.service.admission import AdmissionController
+from repro.service.advisor import AdvisorLoop
 from repro.service.batching import QueryCoalescer, dedupe
 from repro.service.cache import MISS, CacheStatistics, ResultCache
 from repro.service.engine import (
@@ -33,6 +39,7 @@ from repro.service.metrics import (
 
 __all__ = [
     "AdmissionController",
+    "AdvisorLoop",
     "DEGRADED_ROUTES",
     "ROUTES",
     "QueryCoalescer",

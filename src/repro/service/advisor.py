@@ -1,0 +1,243 @@
+"""Online re-optimization: the advisor running inside the service.
+
+The offline :func:`repro.advisor.advise` answers "which index should I
+build for this graph and workload?" once.  :class:`AdvisorLoop` asks it
+*continually*: a background thread watches the service's own telemetry
+(route mix, query volume, applied updates) and, when the workload
+drifts or the graph changes, re-runs the advisor against the live
+snapshot and adopts its pick through
+:meth:`~repro.service.engine.ReachabilityService.adopt_index`.
+
+The swap is built for safety, not speed:
+
+* the candidate index is built **off** the writer lock, over the
+  current snapshot's graph — published snapshot graphs are immutable
+  (writers always copy), so the build races with nothing;
+* adoption is epoch-conditional: if an update batch swapped the
+  snapshot while the build ran, the now-stale index is discarded
+  (``service.advisor.stale_builds``) and the loop retries next tick;
+* readers never wait — they keep resolving queries against whichever
+  snapshot they already hold, and the adoption itself is the same
+  atomic snapshot replacement every update batch performs.
+
+Every decision is counted under ``service.advisor.*`` so ``/metrics``
+shows the loop's behaviour, and the latest :class:`Advice` is kept for
+the ``/advise`` endpoint to serve without recomputation.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Mapping, Sequence
+
+from repro.advisor import Advice, advise
+from repro.service.engine import ReachabilityService
+
+__all__ = ["AdvisorLoop"]
+
+
+def _route_counts(metrics: Mapping[str, object]) -> dict[str, int]:
+    service = metrics.get("service")
+    if not isinstance(service, Mapping):
+        return {}
+    queries = service.get("queries")
+    if not isinstance(queries, Mapping):
+        return {}
+    return {
+        str(route): int(count)
+        for route, count in queries.items()
+        if isinstance(count, (int, float))
+    }
+
+
+def _updates_applied(metrics: Mapping[str, object]) -> int:
+    service = metrics.get("service")
+    if isinstance(service, Mapping):
+        value = service.get("updates_applied")
+        if isinstance(value, (int, float)):
+            return int(value)
+    return 0
+
+
+class AdvisorLoop:
+    """Re-advise a running service when its telemetry drifts.
+
+    ``tick()`` runs one observe→decide→(build→swap) cycle and returns a
+    summary dict (``action`` is one of ``"adopted"``, ``"kept"``,
+    ``"skipped"``, ``"stale"``, ``"error"``); ``start()`` runs ticks on
+    a daemon thread every ``interval_s`` until ``stop()``.
+
+    Drift triggers (any one re-advises; the first tick always does):
+
+    * graph drift — ``service.updates_applied`` moved since the last
+      decision;
+    * workload drift — at least ``min_queries`` new queries arrived
+      *and* the normalised route mix (cache / plain_index / traversal /
+      degraded shares) moved by more than ``drift_threshold`` in L1
+      distance.
+    """
+
+    def __init__(
+        self,
+        service: ReachabilityService,
+        *,
+        interval_s: float = 30.0,
+        budget_bytes: int | None = None,
+        candidates: Sequence[str] | None = None,
+        probe: bool = True,
+        min_queries: int = 100,
+        drift_threshold: float = 0.2,
+        seed: int = 0,
+    ) -> None:
+        self._service = service
+        self._interval_s = interval_s
+        self._budget_bytes = budget_bytes
+        self._candidates = tuple(candidates) if candidates else None
+        self._probe = probe
+        self._min_queries = min_queries
+        self._drift_threshold = drift_threshold
+        self._seed = seed
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._lock = threading.Lock()  # serialises concurrent tick() calls
+        self._baseline_routes: dict[str, int] | None = None
+        self._baseline_updates = 0
+        self._last_advice: Advice | None = None
+        self._last_action: dict[str, object] | None = None
+
+    # -- observability ---------------------------------------------------
+    @property
+    def last_advice(self) -> Advice | None:
+        """The most recent Advice this loop computed (None before any)."""
+        return self._last_advice
+
+    @property
+    def last_action(self) -> dict[str, object] | None:
+        """Summary of the most recent tick."""
+        return self._last_action
+
+    # -- drift detection -------------------------------------------------
+    def _drifted(self, metrics: Mapping[str, object]) -> tuple[bool, str]:
+        if self._baseline_routes is None:
+            return True, "first tick"
+        updates = _updates_applied(metrics)
+        if updates != self._baseline_updates:
+            return True, f"graph drift: {updates - self._baseline_updates} updates applied"
+        now = _route_counts(metrics)
+        new_queries = sum(now.values()) - sum(self._baseline_routes.values())
+        if new_queries < self._min_queries:
+            return False, f"only {new_queries} new queries (< {self._min_queries})"
+        distance = self._route_mix_distance(self._baseline_routes, now)
+        if distance > self._drift_threshold:
+            return True, f"route-mix drift {distance:.2f} > {self._drift_threshold}"
+        return False, f"route mix stable (drift {distance:.2f})"
+
+    @staticmethod
+    def _route_mix_distance(before: dict[str, int], after: dict[str, int]) -> float:
+        """L1 distance between normalised route distributions, on the
+        *new* traffic vs the old mix (what changed, not what accumulated)."""
+        delta = {
+            route: max(0, after.get(route, 0) - before.get(route, 0))
+            for route in set(before) | set(after)
+        }
+        new_total = sum(delta.values())
+        old_total = sum(before.values())
+        if new_total == 0 or old_total == 0:
+            return 0.0
+        return sum(
+            abs(delta.get(r, 0) / new_total - before.get(r, 0) / old_total)
+            for r in set(before) | set(delta)
+        )
+
+    def _rebase(self, metrics: Mapping[str, object]) -> None:
+        self._baseline_routes = _route_counts(metrics)
+        self._baseline_updates = _updates_applied(metrics)
+
+    # -- the cycle -------------------------------------------------------
+    def tick(self) -> dict[str, object]:
+        """One observe→decide→(build→swap) cycle; never raises."""
+        with self._lock:
+            counters = self._service.metrics
+            counters.counter("service.advisor.ticks").increment()
+            try:
+                summary = self._tick_locked()
+            except Exception as exc:  # noqa: BLE001 — the loop must survive
+                counters.counter("service.advisor.errors").increment()
+                summary = {"action": "error", "reason": f"{type(exc).__name__}: {exc}"}
+            self._last_action = summary
+            return summary
+
+    def _tick_locked(self) -> dict[str, object]:
+        service = self._service
+        metrics = service.metrics_dict()
+        drifted, reason = self._drifted(metrics)
+        if not drifted:
+            service.metrics.counter("service.advisor.skipped").increment()
+            return {"action": "skipped", "reason": reason}
+        snap = service.acquire()
+        advice = advise(
+            snap.graph,
+            metrics=metrics,
+            budget_bytes=self._budget_bytes,
+            candidates=self._candidates,
+            probe=self._probe,
+            seed=self._seed,
+        )
+        self._last_advice = advice
+        pick = advice.recommended
+        current = (service.index_name, service.index_params)
+        if (pick.family, pick.index_params) == current:
+            self._rebase(metrics)
+            service.metrics.counter("service.advisor.kept").increment()
+            return {
+                "action": "kept",
+                "reason": reason,
+                "family": pick.family,
+                "epoch": snap.epoch,
+            }
+        # Build off the writer lock over the immutable snapshot graph;
+        # adopt only if the epoch has not moved underneath the build.
+        index = pick.build(snap.graph)
+        epoch = service.adopt_index(
+            pick.family,
+            pick.index_params,
+            prebuilt=index,
+            expected_epoch=snap.epoch,
+        )
+        if epoch is None:
+            return {
+                "action": "stale",
+                "reason": f"epoch moved past {snap.epoch} during build",
+                "family": pick.family,
+            }
+        self._rebase(metrics)
+        return {
+            "action": "adopted",
+            "reason": reason,
+            "family": pick.family,
+            "index_params": dict(pick.index_params),
+            "epoch": epoch,
+        }
+
+    # -- background thread -----------------------------------------------
+    def start(self) -> threading.Thread:
+        """Run :meth:`tick` every ``interval_s`` on a daemon thread."""
+        if self._thread is not None and self._thread.is_alive():
+            return self._thread
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="advisor-loop", daemon=True
+        )
+        self._thread.start()
+        return self._thread
+
+    def _run(self) -> None:
+        while not self._stop.wait(self._interval_s):
+            self.tick()
+
+    def stop(self, timeout_s: float = 5.0) -> None:
+        """Signal the loop to exit and join its thread."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=timeout_s)
+            self._thread = None

@@ -194,6 +194,12 @@ class ReachabilityService:
         self._metrics.counter("service.updates_applied")
         self._metrics.counter("service.rebuilds")
         self._metrics.counter("service.patches")
+        self._metrics.counter("service.advisor.ticks")
+        self._metrics.counter("service.advisor.adoptions")
+        self._metrics.counter("service.advisor.kept")
+        self._metrics.counter("service.advisor.skipped")
+        self._metrics.counter("service.advisor.stale_builds")
+        self._metrics.counter("service.advisor.errors")
         if isinstance(graph, LabeledDiGraph):
             self._labeled_mode = True
             self._snapshot = self._labeled_snapshot(epoch=0, labeled=graph.copy())
@@ -243,6 +249,17 @@ class ReachabilityService:
     def labeled_mode(self) -> bool:
         """True when constructed over a labeled graph."""
         return self._labeled_mode
+
+    @property
+    def index_name(self) -> str:
+        """The plain index family currently serving (may change via
+        :meth:`adopt_index`)."""
+        return self._plain_name
+
+    @property
+    def index_params(self) -> dict[str, object]:
+        """Build parameters of the serving plain family (a copy)."""
+        return dict(self._index_params)
 
     @property
     def metrics(self) -> MetricsRegistry:
@@ -560,6 +577,57 @@ class ReachabilityService:
             self._metrics.counter("service.swaps").increment()
             self._metrics.counter("service.updates_applied").increment(len(ops))
             return new_snap.epoch
+
+    def adopt_index(
+        self,
+        name: str,
+        params: dict[str, object] | None = None,
+        *,
+        prebuilt: ReachabilityIndex | None = None,
+        expected_epoch: int | None = None,
+    ) -> int | None:
+        """Swap the serving plain family live; returns the new epoch.
+
+        The graph is untouched — only the index changes — so readers
+        keep answering against the old snapshot until the atomic swap,
+        and every in-flight query stays exact at its own epoch.
+
+        ``prebuilt`` lets a caller (the advisor loop) build the new
+        index *off* the writer lock over a snapshot's immutable graph
+        and hand it in; ``expected_epoch`` then makes the swap
+        conditional — if updates moved the epoch while the build ran,
+        the stale index is rejected and ``None`` is returned so the
+        caller can retry against the fresh snapshot.  With no
+        ``prebuilt``, the index is built under the lock (small graphs,
+        tests).
+        """
+        params = dict(params or {})
+        plain_index_cls(name)  # validate the family name before locking
+        with self._writer_lock:
+            snap = self._snapshot
+            if expected_epoch is not None and snap.epoch != expected_epoch:
+                self._metrics.counter("service.advisor.stale_builds").increment()
+                return None
+            if prebuilt is not None and prebuilt.graph is not snap.graph:
+                # Built over some other graph object: adopting it would
+                # serve answers about a graph we are not serving.
+                self._metrics.counter("service.advisor.stale_builds").increment()
+                return None
+            self._plain_name = name
+            self._index_params = params
+            plain = prebuilt if prebuilt is not None else self._build_plain(snap.graph)
+            self._snapshot = Snapshot(
+                epoch=snap.epoch + 1,
+                graph=snap.graph,
+                plain=plain,
+                labeled_graph=snap.labeled_graph,
+                labeled=snap.labeled,
+            )
+            if self._cache is not None:
+                self._cache.invalidate_all()
+            self._metrics.counter("service.swaps").increment()
+            self._metrics.counter("service.advisor.adoptions").increment()
+            return self._snapshot.epoch
 
     def _next_plain(self, snap: Snapshot, ops: list[EdgeOp]) -> Snapshot:
         for op in ops:

@@ -29,6 +29,14 @@ Routes
 ``GET /debug/trace``
     Tracer statistics plus the ring buffer of finished root spans as
     JSON (empty unless tracing is enabled; ``?limit=N`` caps the spans).
+``GET /advise``
+    Run the index advisor against the live snapshot and telemetry and
+    return the full :class:`~repro.advisor.advise.Advice` payload
+    (``?budget_bytes=N`` to cap index size, ``?probe=0`` for the
+    instant analytic-only answer).  When an
+    :class:`~repro.service.advisor.AdvisorLoop` is attached,
+    ``?cached=1`` serves the loop's latest advice and last action
+    without recomputing.
 
 Resilience
 ----------
@@ -62,6 +70,7 @@ import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlsplit
 
+from repro.advisor import advise
 from repro.errors import (
     ChaosInjectedError,
     DeadlineExceeded,
@@ -72,6 +81,7 @@ from repro.obs.tracer import TRACER, span_to_dict
 from repro.resilience.chaos import chaos_point
 from repro.resilience.deadline import deadline_scope
 from repro.service.admission import AdmissionController
+from repro.service.advisor import AdvisorLoop
 from repro.service.engine import QueryResult, ReachabilityService
 from repro.workloads.updates import EdgeOp, LabeledEdgeOp
 
@@ -93,12 +103,14 @@ class ServiceHTTPServer(ThreadingHTTPServer):
         quiet: bool = True,
         admission: AdmissionController | None = None,
         default_timeout_ms: float | None = None,
+        advisor: "AdvisorLoop | None" = None,
     ) -> None:
         super().__init__(address, _Handler)
         self.service = service
         self.quiet = quiet
         self.admission = admission if admission is not None else AdmissionController()
         self.default_timeout_ms = default_timeout_ms
+        self.advisor = advisor
 
     def start_background(self) -> threading.Thread:
         """Run ``serve_forever`` on a daemon thread (tests, embedding)."""
@@ -128,6 +140,7 @@ def serve(
     queue_depth: int = 128,
     queue_timeout_s: float = 0.25,
     default_timeout_ms: float | None = None,
+    advisor: AdvisorLoop | None = None,
 ) -> ServiceHTTPServer:
     """Bind a :class:`ServiceHTTPServer`; call ``serve_forever`` to run."""
     admission = AdmissionController(
@@ -141,6 +154,7 @@ def serve(
         quiet=quiet,
         admission=admission,
         default_timeout_ms=default_timeout_ms,
+        advisor=advisor,
     )
 
 
@@ -308,6 +322,40 @@ class _Handler(BaseHTTPRequestHandler):
                 self._vertex(params, "source"), self._vertex(params, "target")
             )
             self._send_json(200, explanation.as_dict())
+        elif path == "/advise":
+            params = self._params()
+            payload = {}
+            loop = self.server.advisor
+            if params.get("cached") in ("1", "true") and loop is not None:
+                advice = loop.last_advice
+                if advice is None:
+                    raise ValueError("advisor loop has not produced advice yet")
+                payload = advice.as_dict()
+                payload["last_action"] = loop.last_action
+            else:
+                budget = None
+                if "budget_bytes" in params:
+                    try:
+                        budget = int(params["budget_bytes"])
+                    except ValueError:
+                        raise ValueError(
+                            "parameter 'budget_bytes' must be an integer"
+                        ) from None
+                probe = params.get("probe") not in ("0", "false")
+                snap = service.acquire()
+                advice = advise(
+                    snap.graph,
+                    metrics=service.metrics_dict(),
+                    budget_bytes=budget,
+                    probe=probe,
+                )
+                payload = advice.as_dict()
+                payload["epoch"] = snap.epoch
+            payload["serving"] = {
+                "index": service.index_name,
+                "index_params": service.index_params,
+            }
+            self._send_json(200, payload)
         elif path == "/debug/trace":
             params = self._params()
             spans = TRACER.finished()

@@ -1,0 +1,501 @@
+"""Tests for repro.advisor and the service's online re-optimization.
+
+The decision-matrix tests run the advisor over four structurally
+distinct graph shapes × several byte budgets and assert the *contract*
+of an advice, not a specific winner: the recommendation builds on the
+advised graph, answers a differential sample identically to the BFS
+oracle, and fits the budget it was given.  The service tests hammer a
+live index swap from reader threads to show adoption never produces a
+wrong or torn answer.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.advisor import (
+    DEFAULT_CANDIDATES,
+    NO_FALSE_NEGATIVE,
+    advise,
+    graph_features,
+    priors,
+    probe_graph,
+    workload_features,
+    workload_from_metrics,
+)
+from repro.core.registry import plain_index
+from repro.errors import ReproError
+from repro.graphs.digraph import DiGraph
+from repro.graphs.generators import (
+    community_dag,
+    cyclic_communities,
+    gnp_digraph,
+    layered_dag,
+    with_random_labels,
+)
+from repro.service import AdvisorLoop, ReachabilityService
+from repro.service.server import serve
+from repro.traversal.online import bfs_reachable
+from repro.workloads.queries import plain_workload
+
+
+def _shapes() -> dict[str, DiGraph]:
+    return {
+        # deep chain: 80 layers of 2, fully wired — long paths, narrow levels
+        "deep_chain": layered_dag(layers=80, width=2, edges_per_vertex=2, seed=11),
+        # wide shallow: 3 layers of 50 — hub-friendly, tiny depth
+        "wide_shallow": layered_dag(layers=3, width=50, edges_per_vertex=6, seed=12),
+        # dense cyclic: G(n,p) with big SCCs
+        "dense_cyclic": gnp_digraph(120, 0.08, seed=13),
+        # community DAG: dense blocks, sparse forward edges
+        "community": community_dag(6, 25, seed=14),
+    }
+
+
+SHAPE_NAMES = sorted(_shapes())
+
+
+# ---------------------------------------------------------------- features
+class TestFeatures:
+    def test_deep_chain_profile(self):
+        f = graph_features(_shapes()["deep_chain"])
+        assert f.is_dag
+        assert f.dag_depth > 4 * f.dag_width
+        assert f.aspect_ratio > 4.0
+
+    def test_wide_shallow_profile(self):
+        f = graph_features(_shapes()["wide_shallow"])
+        assert f.is_dag
+        assert f.dag_width > f.dag_depth
+        assert f.aspect_ratio < 1.0
+
+    def test_dense_cyclic_profile(self):
+        f = graph_features(_shapes()["dense_cyclic"])
+        assert not f.is_dag
+        assert f.largest_scc_fraction > 0.5
+        assert f.condensation_vertices < f.num_vertices
+
+    def test_labeled_graph_sets_cardinality(self):
+        labeled = with_random_labels(_shapes()["deep_chain"], ["a", "b", "c"], seed=1)
+        f = graph_features(labeled)
+        assert f.label_cardinality == 3
+        assert f.num_vertices == 160
+
+    def test_workload_features_from_queries(self):
+        g = _shapes()["deep_chain"]
+        wl = plain_workload(g, 200, positive_fraction=0.2, seed=3)
+        f = workload_features(wl)
+        assert f.num_queries == 200
+        assert 0.1 <= f.positive_fraction <= 0.3
+        assert f.negative_heavy
+
+    def test_workload_features_from_raw_pairs(self):
+        f = workload_features([(0, 1), (0, 1), (0, 1), (2, 3)])
+        assert f.positive_fraction is None
+        assert f.num_queries == 4
+        assert f.distinct_pair_fraction == 0.5
+
+    def test_workload_from_metrics(self):
+        metrics = {
+            "service": {
+                "queries": {"cache": 700, "plain_index": 300},
+                "updates_applied": 50,
+            },
+            "cache": {"hit_rate": 0.7},
+        }
+        f = workload_from_metrics(metrics)
+        assert f.num_queries == 1000
+        assert f.cache_hit_rate == 0.7
+        assert f.update_fraction == pytest.approx(50 / 1050)
+
+    def test_workload_from_empty_metrics_is_none(self):
+        assert workload_from_metrics({}) is None
+        assert workload_features(None, None) is None
+
+
+# ---------------------------------------------------------------- rules
+class TestRules:
+    def test_priors_cover_all_default_candidates(self):
+        ranked = priors(graph_features(_shapes()["deep_chain"]))
+        assert {p.family for p in ranked} == set(DEFAULT_CANDIDATES)
+
+    def test_tc_excluded_on_huge_predicted_closure(self):
+        # A dense 4000-vertex DAG predicts a closure past the cap.
+        g = layered_dag(layers=40, width=100, edges_per_vertex=8, seed=5)
+        f = graph_features(g)
+        tc = next(p for p in priors(f) if p.family == "TC")
+        assert not tc.viable
+        assert "cap" in tc.excluded
+
+    def test_negative_heavy_workload_boosts_filters(self):
+        g = _shapes()["deep_chain"]
+        f = graph_features(g)
+        neg = workload_features(plain_workload(g, 100, positive_fraction=0.1, seed=1))
+        pos = workload_features(plain_workload(g, 100, positive_fraction=0.9, seed=1))
+        grail_neg = next(p for p in priors(f, neg) if p.family == "GRAIL")
+        grail_pos = next(p for p in priors(f, pos) if p.family == "GRAIL")
+        assert grail_neg.query_units < grail_pos.query_units
+
+    def test_no_false_negative_set_is_partial_only(self):
+        for name in NO_FALSE_NEGATIVE:
+            assert not plain_index(name).metadata.complete
+
+
+# ---------------------------------------------------------------- probes
+class TestProbes:
+    def test_small_graph_probed_whole(self):
+        g = _shapes()["deep_chain"]
+        pg, sampled = probe_graph(g)
+        assert pg is g
+        assert not sampled
+
+    def test_large_graph_sampled_down(self):
+        g = layered_dag(layers=50, width=20, edges_per_vertex=3, seed=9)
+        pg, sampled = probe_graph(g, max_vertices=100)
+        assert sampled
+        assert pg.num_vertices == 100
+        # induced subgraph: every probe edge exists in the original
+        assert pg.num_edges < g.num_edges
+
+
+# ---------------------------------------------------------------- advise()
+class TestDecisionMatrix:
+    """Advisor contract over 4 graph shapes × budgets."""
+
+    @pytest.mark.parametrize("shape", SHAPE_NAMES)
+    def test_pick_builds_and_matches_oracle(self, shape):
+        g = _shapes()[shape]
+        wl = plain_workload(g, 150, positive_fraction=0.3, seed=21)
+        advice = advise(g, wl, seed=21)
+        index = advice.recommended.build(g)
+        for q in wl[:60]:
+            assert index.query(q.source, q.target) == q.reachable
+        assert advice.recommended.rationale  # human-readable why
+        assert advice.alternatives  # ranked alternatives present
+
+    @pytest.mark.parametrize("shape", SHAPE_NAMES)
+    def test_budgeted_pick_fits_budget(self, shape):
+        g = _shapes()[shape]
+        # A budget calibrated to what a bounded per-vertex family needs,
+        # so at least the filter families can fit on every shape.
+        floor = plain_index("BFL").build(*_dag_of(g)).estimated_bytes()
+        budget = max(4 * floor, 16_384)
+        advice = advise(g, budget_bytes=budget, seed=22)
+        pick = advice.recommended
+        assert pick.fits_budget
+        assert pick.predicted_bytes <= budget
+        # The *actual* built index must respect the budget too.
+        built = pick.build(g)
+        assert built.estimated_bytes() <= budget
+        # And still answer exactly.
+        wl = plain_workload(g, 80, positive_fraction=0.4, seed=23)
+        for q in wl:
+            assert built.query(q.source, q.target) == q.reachable
+
+    def test_tight_budget_yields_hybrid(self):
+        # A 600-vertex layered DAG where every complete family measures
+        # several times larger than the smallest partial filter, so a
+        # budget between the two floors forces the hybrid path.
+        g = layered_dag(layers=30, width=20, edges_per_vertex=4, seed=14)
+        filter_bytes = min(
+            plain_index(name).build(g).estimated_bytes()
+            for name in ("Feline", "GRAIL")
+        )
+        complete_bytes = min(
+            plain_index(name).build(g).estimated_bytes()
+            for name in ("PLL", "TOL", "TC", "Tree cover")
+        )
+        assert filter_bytes < complete_bytes  # the gap the test relies on
+        budget = (filter_bytes + complete_bytes) // 2
+        advice = advise(g, budget_bytes=budget, seed=24)
+        assert advice.hybrid is not None
+        assert advice.recommended.family in NO_FALSE_NEGATIVE
+        assert advice.hybrid["cache_capacity"] >= 1024
+        assert advice.recommended.predicted_bytes <= budget
+
+    def test_impossible_budget_says_so(self):
+        advice = advise(_shapes()["deep_chain"], budget_bytes=8, seed=25)
+        assert not advice.recommended.fits_budget
+        assert any("budget" in note for note in advice.recommended.rationale)
+
+    def test_no_probe_is_instant_and_ranked(self):
+        advice = advise(_shapes()["community"], probe=False)
+        assert not advice.recommended.probed
+        assert advice.recommended.score <= min(
+            alt.score for alt in advice.alternatives
+        )
+
+    def test_advice_carries_provenance_envelope(self):
+        advice = advise(_shapes()["deep_chain"], probe=False)
+        for key in ("git_sha", "python", "platform", "date"):
+            assert key in advice.provenance
+        payload = advice.as_dict()
+        assert payload["provenance"] == advice.provenance
+        json.dumps(payload)  # the whole Advice must be JSON-serialisable
+
+    def test_render_text_mentions_pick_and_shape(self):
+        advice = advise(_shapes()["wide_shallow"], budget_bytes=10**9, probe=False)
+        text = advice.render_text()
+        assert advice.recommended.family in text
+        assert "budget" in text
+        assert "graph:" in text
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(ReproError):
+            advise(DiGraph(0))
+
+    def test_explicit_candidates_restrict_the_ranking(self):
+        advice = advise(
+            _shapes()["deep_chain"], candidates=["GRAIL", "BFL"], probe=False
+        )
+        names = {advice.recommended.family} | {
+            a.family for a in advice.alternatives
+        }
+        assert names <= {"GRAIL", "BFL"}
+
+
+def _dag_of(graph: DiGraph):
+    """(graph,) ready for a DAG-only family: condensed when cyclic."""
+    from repro.graphs.scc import condense
+    from repro.graphs.topo import is_dag
+
+    return (graph,) if is_dag(graph) else (condense(graph).dag,)
+
+
+# ---------------------------------------------------------------- size reports
+class TestSizeReports:
+    @pytest.mark.parametrize(
+        "name", ["PLL", "GRAIL", "BFL", "TC", "Feline", "TOL", "Ferrari"]
+    )
+    def test_uniform_surface_across_families(self, name):
+        g = layered_dag(layers=10, width=4, edges_per_vertex=2, seed=31)
+        index = plain_index(name).build(g)
+        report = index.size_report()
+        assert report.index == name
+        assert report.entries == index.size_in_entries()
+        assert report.estimated_bytes == index.estimated_bytes() > 0
+        assert report.graph_vertices == g.num_vertices
+        assert report.graph_edges == g.num_edges
+        assert report.bytes_per_entry > 0
+        assert report.as_dict()["estimated_bytes"] == report.estimated_bytes
+        assert name in report.render_text()
+
+    def test_estimated_bytes_excludes_the_graph(self):
+        from repro.persistence import serialized_size_bytes
+
+        g = layered_dag(layers=10, width=4, edges_per_vertex=2, seed=32)
+        index = plain_index("PLL").build(g)
+        with_graph = serialized_size_bytes(index, include_graph=True)
+        assert index.estimated_bytes() < with_graph
+
+
+# ---------------------------------------------------------------- registry errors
+class TestRegistrySuggestions:
+    def test_unknown_plain_lists_known_and_suggests(self):
+        with pytest.raises(ReproError) as err:
+            plain_index("GRAL")
+        message = str(err.value)
+        assert "did you mean 'GRAIL'?" in message
+        assert "known:" in message
+        assert "PLL" in message
+
+    def test_case_slip_suggests_exact_family(self):
+        with pytest.raises(ReproError) as err:
+            plain_index("pll")
+        assert "did you mean 'PLL'?" in str(err.value)
+
+    def test_hopeless_name_still_lists_known(self):
+        with pytest.raises(ReproError) as err:
+            plain_index("zzzzqqqq")
+        message = str(err.value)
+        assert "did you mean" not in message
+        assert "known:" in message
+
+    def test_unknown_labeled_suggests(self):
+        from repro.core.registry import labeled_index
+
+        with pytest.raises(ReproError) as err:
+            labeled_index("dlcr")
+        assert "did you mean 'DLCR'?" in str(err.value)
+
+
+# ---------------------------------------------------------------- service loop
+class TestAdvisorLoop:
+    def test_first_tick_adopts_or_keeps(self):
+        g = layered_dag(layers=30, width=4, edges_per_vertex=2, seed=41)
+        service = ReachabilityService(g, index="PLL")
+        loop = AdvisorLoop(service, min_queries=5)
+        summary = loop.tick()
+        assert summary["action"] in ("adopted", "kept")
+        assert loop.last_advice is not None
+        assert service.index_name == loop.last_advice.recommended.family
+
+    def test_quiet_service_skips_reoptimization(self):
+        g = layered_dag(layers=30, width=4, edges_per_vertex=2, seed=42)
+        service = ReachabilityService(g, index="PLL")
+        loop = AdvisorLoop(service, min_queries=50)
+        loop.tick()
+        summary = loop.tick()  # no new traffic since the first decision
+        assert summary["action"] == "skipped"
+        advisor = service.metrics_dict()["service"]["advisor"]
+        assert advisor["ticks"] == 2
+        assert advisor["skipped"] == 1
+
+    def test_graph_drift_triggers_readvice(self):
+        g = layered_dag(layers=30, width=4, edges_per_vertex=2, seed=43)
+        service = ReachabilityService(g, index="PLL")
+        loop = AdvisorLoop(service, min_queries=10**9)  # only updates trigger
+        loop.tick()
+        from repro.workloads.updates import EdgeOp
+
+        service.apply_updates([EdgeOp("insert", 0, 119)])
+        summary = loop.tick()
+        assert summary["action"] in ("adopted", "kept")
+        assert "drift" in summary["reason"]
+
+    def test_stale_build_is_discarded(self):
+        g = layered_dag(layers=30, width=4, edges_per_vertex=2, seed=44)
+        service = ReachabilityService(g, index="PLL")
+        snap = service.acquire()
+        prebuilt = plain_index("GRAIL").build(snap.graph.copy())  # wrong graph object
+        assert service.adopt_index("GRAIL", prebuilt=prebuilt) is None
+        from repro.workloads.updates import EdgeOp
+
+        service.apply_updates([EdgeOp("insert", 0, 5)])
+        built = plain_index("GRAIL").build(snap.graph)
+        assert (
+            service.adopt_index("GRAIL", prebuilt=built, expected_epoch=snap.epoch)
+            is None
+        )
+        assert service.index_name == "PLL"
+        stale = service.metrics_dict()["service"]["advisor"]["stale_builds"]
+        assert stale == 2
+
+    def test_adopt_unknown_family_raises_before_locking(self):
+        g = layered_dag(layers=5, width=3, edges_per_vertex=1, seed=45)
+        service = ReachabilityService(g, index="PLL")
+        with pytest.raises(ReproError):
+            service.adopt_index("PLLL")
+        assert service.index_name == "PLL"
+
+    def test_background_thread_starts_and_stops(self):
+        g = layered_dag(layers=10, width=3, edges_per_vertex=2, seed=46)
+        service = ReachabilityService(g, index="PLL")
+        loop = AdvisorLoop(service, interval_s=0.01, probe=False, min_queries=1)
+        thread = loop.start()
+        assert thread.is_alive()
+        assert loop.start() is thread  # idempotent
+        deadline = 50
+        while service.metrics_dict()["service"]["advisor"]["ticks"] == 0 and deadline:
+            deadline -= 1
+            threading.Event().wait(0.02)
+        loop.stop()
+        assert not thread.is_alive()
+        assert service.metrics_dict()["service"]["advisor"]["ticks"] >= 1
+
+
+class TestLiveSwapUnderFire:
+    """The acceptance hammer: swaps must never wrong-answer a reader."""
+
+    def test_hammered_swaps_stay_exact(self):
+        g = cyclic_communities(8, 5, inter_edges=20, seed=51)
+        service = ReachabilityService(g, index="PLL", cache_capacity=None)
+        wl = plain_workload(g, 60, positive_fraction=0.5, seed=52)
+        truth = {(q.source, q.target): q.reachable for q in wl}
+        errors: list[str] = []
+        stop = threading.Event()
+
+        def reader() -> None:
+            while not stop.is_set():
+                for (s, t), expected in truth.items():
+                    if service.reach(s, t) != expected:
+                        errors.append(f"{s}->{t} wrong")
+                        return
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        families = ["GRAIL", "BFL", "TC", "Feline", "PLL"] * 3
+        for family in families:
+            epoch = service.adopt_index(family)
+            assert epoch is not None
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=10)
+        assert not errors
+        assert service.epoch >= len(families)
+        assert service.index_name == "PLL"
+
+    def test_swap_preserves_labeled_mode_state(self):
+        labeled = with_random_labels(
+            layered_dag(layers=10, width=3, edges_per_vertex=2, seed=53), ["a", "b"], seed=53
+        )
+        service = ReachabilityService(labeled)
+        before = service.lreach(0, 5, "(a|b)*")
+        service.adopt_index("GRAIL")
+        assert service.lreach(0, 5, "(a|b)*") == before
+        snap = service.acquire()
+        assert snap.labeled is not None
+        assert snap.labeled_graph is not None
+
+
+# ---------------------------------------------------------------- HTTP
+@pytest.fixture
+def advised_server():
+    g = layered_dag(layers=20, width=3, edges_per_vertex=2, seed=61)
+    service = ReachabilityService(g, index="PLL")
+    loop = AdvisorLoop(service, min_queries=5)
+    server = serve(service, port=0, advisor=loop)
+    server.start_background()
+    host, port = server.server_address[:2]
+    yield f"http://{host}:{port}", service, loop
+    server.shutdown()
+    server.server_close()
+
+
+def _get(url: str) -> tuple[int, dict]:
+    with urllib.request.urlopen(url, timeout=10) as response:
+        return response.status, json.loads(response.read())
+
+
+class TestAdviseEndpoint:
+    def test_advise_returns_full_payload(self, advised_server):
+        base, service, _loop = advised_server
+        status, payload = _get(f"{base}/advise?probe=0")
+        assert status == 200
+        assert payload["recommended"]["family"]
+        assert payload["serving"]["index"] == service.index_name
+        assert payload["features"]["num_vertices"] == 60
+        assert "provenance" in payload
+
+    def test_advise_with_budget(self, advised_server):
+        base, _service, _loop = advised_server
+        status, payload = _get(f"{base}/advise?probe=0&budget_bytes=1000000000")
+        assert status == 200
+        assert payload["budget_bytes"] == 1_000_000_000
+        assert payload["recommended"]["fits_budget"]
+
+    def test_cached_before_any_tick_is_400(self, advised_server):
+        base, _service, _loop = advised_server
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _get(f"{base}/advise?cached=1")
+        assert err.value.code == 400
+
+    def test_cached_after_tick_serves_loop_advice(self, advised_server):
+        base, _service, loop = advised_server
+        loop.tick()
+        status, payload = _get(f"{base}/advise?cached=1")
+        assert status == 200
+        assert payload["last_action"]["action"] in ("adopted", "kept")
+        assert payload["recommended"]["family"] == loop.last_advice.recommended.family
+
+    def test_bad_budget_is_400(self, advised_server):
+        base, _service, _loop = advised_server
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _get(f"{base}/advise?budget_bytes=lots")
+        assert err.value.code == 400
