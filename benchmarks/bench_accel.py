@@ -1,0 +1,262 @@
+"""CLAIM-PERF-ACCEL — packed numpy kernels break the pure-Python ceiling.
+
+Two halves of the acceleration-layer claim, measured on uniform random
+DAGs and a community DAG:
+
+* **Batch sweep race** — ``batch_reachable`` over the same CSR snapshot
+  with the backend pinned to ``python`` (authoritative big-int kernels)
+  and to ``numpy`` (packed ``uint64`` level-synchronous sweep).  The
+  steady-state numpy sweep (level schedule already built, the state a
+  long-lived service reaches after one batch) must be **≥3× faster** at
+  10⁵ vertices and stay ahead at 10⁶.
+* **Shard transport race** — ``ShardedIndex.build`` with a process pool
+  at k ∈ {1, 2, 4, 8}, shipping shard graphs to workers as
+  shared-memory snapshot handles (accel on) vs pickled subgraphs
+  (accel off).  The handle transport must ship **fewer bytes per
+  worker**; wall-clock is recorded alongside the machine's core count
+  so multi-core hosts can read real scaling off the same artifact.
+
+Run as a benchmark (``pytest benchmarks/bench_accel.py -s``) or
+standalone (``python benchmarks/bench_accel.py [--tiny] [--json PATH]``);
+both emit the measurements as ``BENCH_accel.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import random
+import statistics
+import time
+
+from repro import accel
+from repro.bench.jsonout import add_json_argument, emit
+from repro.bench.tables import format_seconds, render_table
+from repro.graphs.generators import community_dag, random_dag
+from repro.kernels import batch_reachable, csr_of
+from repro.shard import ShardedIndex
+
+#: (vertices, edges) scales for the batch sweep race.
+SWEEP_SCALES = ((100_000, 400_000), (1_000_000, 2_000_000))
+BATCH_PAIRS = 2_000
+DISTINCT_SOURCES = 256
+WARM_ROUNDS = 3
+MIN_SWEEP_SPEEDUP = 3.0
+
+SHARD_COUNTS = (1, 2, 4, 8)
+SHARD_COMMUNITIES = 8
+SHARD_COMMUNITY_SIZE = 400
+SHARD_FAMILY = "PLL"
+
+
+def _timed(thunk):
+    start = time.perf_counter()
+    value = thunk()
+    return value, time.perf_counter() - start
+
+
+def _measure_sweep(
+    vertices: int, edges: int, batch_pairs: int, distinct_sources: int, seed: int
+) -> dict:
+    """One scale of the batch sweep race, backend pinned per leg."""
+    graph = random_dag(vertices, edges, seed=seed)
+    csr = csr_of(graph)
+    rng = random.Random(seed + 1)
+    sources = [rng.randrange(vertices) for _ in range(distinct_sources)]
+    pairs = [
+        (rng.choice(sources), rng.randrange(vertices)) for _ in range(batch_pairs)
+    ]
+    try:
+        accel.set_backend("numpy")
+        expected, numpy_cold = _timed(lambda: batch_reachable(csr, pairs))
+        warm_runs = []
+        for _ in range(WARM_ROUNDS):
+            answers, elapsed = _timed(lambda: batch_reachable(csr, pairs))
+            assert answers == expected
+            warm_runs.append(elapsed)
+        numpy_warm = statistics.median(warm_runs)
+        accel.set_backend("python")
+        python_answers, python_s = _timed(lambda: batch_reachable(csr, pairs))
+        assert python_answers == expected  # differential check rides along
+    finally:
+        accel.set_backend("auto")
+    return {
+        "vertices": vertices,
+        "edges": edges,
+        "batch_pairs": batch_pairs,
+        "distinct_sources": distinct_sources,
+        "python_seconds": python_s,
+        "numpy_cold_seconds": numpy_cold,
+        "numpy_warm_seconds": numpy_warm,
+        "speedup_cold": python_s / numpy_cold,
+        "speedup_warm": python_s / numpy_warm,
+    }
+
+
+def _measure_shards(
+    shard_counts: tuple[int, ...],
+    communities: int,
+    community_size: int,
+    seed: int,
+) -> list[dict]:
+    """The transport race: shm handles vs pickled subgraphs, per k."""
+    graph = community_dag(
+        communities,
+        community_size,
+        seed=seed,
+        intra_edge_prob=0.02,
+        inter_edge_prob=0.0005,
+    )
+    rows: list[dict] = []
+    for k in shard_counts:
+        row: dict = {"num_shards": k}
+        for leg, backend in (("shm", "auto"), ("pickle", "python")):
+            try:
+                accel.set_backend(backend)
+                index, wall = _timed(
+                    lambda k=k: ShardedIndex.build(
+                        graph,
+                        family=SHARD_FAMILY,
+                        num_shards=k,
+                        executor="process",
+                        workers=k,
+                    )
+                )
+            finally:
+                accel.set_backend("auto")
+            report = index.shard_build_report
+            row[leg] = {
+                "wall_seconds": wall,
+                "transport": report.transport,
+                "backend": report.backend,
+                "bytes_shipped": sum(report.bytes_shipped_per_worker),
+                "bytes_per_worker": list(report.bytes_shipped_per_worker),
+            }
+        rows.append(row)
+    return rows
+
+
+def measure(
+    sweep_scales: tuple[tuple[int, int], ...] = SWEEP_SCALES,
+    batch_pairs: int = BATCH_PAIRS,
+    distinct_sources: int = DISTINCT_SOURCES,
+    shard_counts: tuple[int, ...] = SHARD_COUNTS,
+    communities: int = SHARD_COMMUNITIES,
+    community_size: int = SHARD_COMMUNITY_SIZE,
+    seed: int = 0,
+) -> dict:
+    """Both measurements as one JSON-serialisable dict."""
+    sweeps = [
+        _measure_sweep(vertices, edges, batch_pairs, distinct_sources, seed)
+        for vertices, edges in sweep_scales
+    ]
+    shards = _measure_shards(shard_counts, communities, community_size, seed)
+    return {
+        "accel": accel.describe(),
+        "cpu_count": os.cpu_count(),
+        "sweeps": sweeps,
+        "shards": shards,
+    }
+
+
+def _render(results: dict) -> str:
+    rows = []
+    for sweep in results["sweeps"]:
+        rows.append(
+            (
+                f"sweep |V|={sweep['vertices']:,}",
+                format_seconds(sweep["python_seconds"]),
+                format_seconds(sweep["numpy_warm_seconds"]),
+                f"{sweep['speedup_warm']:.1f}x",
+            )
+        )
+    for row in results["shards"]:
+        shm, pickle_leg = row["shm"], row["pickle"]
+        saved = (
+            f"{pickle_leg['bytes_shipped']:,}B -> {shm['bytes_shipped']:,}B"
+            if pickle_leg["bytes_shipped"] or shm["bytes_shipped"]
+            else "inline"
+        )
+        rows.append(
+            (
+                f"shard build k={row['num_shards']}",
+                format_seconds(pickle_leg["wall_seconds"]),
+                format_seconds(shm["wall_seconds"]),
+                saved,
+            )
+        )
+    return render_table(
+        ["configuration", "python / pickle", "numpy / shm", "speedup / shipped"],
+        rows,
+        title=(
+            f"CLAIM-PERF-ACCEL: backend={results['accel']['backend']}, "
+            f"{results['cpu_count']} cores"
+        ),
+    )
+
+
+def _assert_claims(results: dict) -> None:
+    for sweep in results["sweeps"]:
+        assert sweep["speedup_warm"] >= MIN_SWEEP_SPEEDUP, (
+            f"numpy sweep at |V|={sweep['vertices']:,} is only "
+            f"{sweep['speedup_warm']:.2f}x the python sweep, below the "
+            f"claimed {MIN_SWEEP_SPEEDUP:.0f}x"
+        )
+    for row in results["shards"]:
+        if row["num_shards"] < 2:
+            continue  # single-shard builds run inline; nothing is shipped
+        shm, pickle_leg = row["shm"], row["pickle"]
+        if shm["transport"] != "shm" or pickle_leg["transport"] != "pickle":
+            continue  # no process pool in this environment
+        assert shm["bytes_shipped"] < pickle_leg["bytes_shipped"], (
+            f"shm transport at k={row['num_shards']} shipped "
+            f"{shm['bytes_shipped']:,} bytes, not below the pickled "
+            f"{pickle_leg['bytes_shipped']:,}"
+        )
+
+
+def test_accel_speedups(benchmark, report):
+    if not accel.available():  # pragma: no cover - numpy baked into CI
+        import pytest
+
+        pytest.skip("numpy not installed")
+    results = benchmark.pedantic(measure, rounds=1, iterations=1)
+    report(_render(results))
+    emit("accel", results)
+    _assert_claims(results)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--tiny",
+        action="store_true",
+        help="smoke-test parameters (small graphs, no speedup assertions)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    add_json_argument(parser, "accel")
+    args = parser.parse_args(argv)
+    if not accel.available():
+        print("numpy not installed; nothing to accelerate")
+        return 1
+    if args.tiny:
+        results = measure(
+            sweep_scales=((2_000, 8_000),),
+            batch_pairs=200,
+            distinct_sources=64,
+            shard_counts=(1, 2),
+            communities=4,
+            community_size=50,
+            seed=args.seed,
+        )
+    else:
+        results = measure(seed=args.seed)
+    print(_render(results))
+    print(f"wrote {emit('accel', results, args.json)}")
+    if not args.tiny:
+        _assert_claims(results)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

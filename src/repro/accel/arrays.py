@@ -1,0 +1,302 @@
+"""Numpy CSR arrays and shared-memory graph snapshots.
+
+:class:`CSRArrays` freezes a :class:`~repro.kernels.csr.CSRGraph` (or
+anything with the same attribute shape) into contiguous ``int64``
+offset/index arrays — the layout the packed bitset kernels gather and
+scatter over — plus a lazily built *level schedule*: topological levels
+with each level's predecessor lists pre-concatenated, so a DAG sweep
+becomes one fancy-indexed gather + one ``reduceat`` per level instead of
+one Python iteration per vertex.
+
+The same arrays travel across process boundaries without pickling:
+:meth:`CSRArrays.to_shared` copies the four arrays into a single
+:class:`multiprocessing.shared_memory.SharedMemory` block and returns a
+tiny picklable :class:`SharedCSRHandle` (name + sizes); workers call
+:meth:`CSRArrays.from_shared` to attach read-only views, reconstruct
+whatever they need, and close.  The parent owns the block's lifetime —
+create, hand out the handle, unlink when every worker is done.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+try:
+    import numpy as np
+except ImportError:  # the pure-Python fallback never imports this module
+    np = None
+
+from repro.graphs.digraph import DiGraph
+
+if TYPE_CHECKING:
+    from multiprocessing.shared_memory import SharedMemory
+
+    from repro.kernels.csr import CSRGraph
+
+__all__ = [
+    "CSRArrays",
+    "SharedCSRHandle",
+    "arrays_of",
+    "digraph_from_arrays",
+    "gather_ranges",
+]
+
+
+def gather_ranges(indptr, indices, verts):
+    """Concatenate ``indices[indptr[v]:indptr[v+1]]`` for every ``v`` in order.
+
+    The classic vectorized multi-range gather: one ``repeat`` + one
+    ``arange`` instead of a Python loop over vertices.
+    """
+    starts = indptr[verts]
+    counts = indptr[verts + 1] - starts
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=indices.dtype)
+    offsets = np.concatenate(([0], np.cumsum(counts)[:-1]))
+    flat = np.arange(total, dtype=np.int64) + np.repeat(starts - offsets, counts)
+    return indices[flat]
+
+
+@dataclass(frozen=True)
+class SharedCSRHandle:
+    """A picklable pointer to one shared-memory CSR snapshot.
+
+    Everything a worker needs to attach: the block name plus the two
+    sizes that determine every array offset.  Pickling this is a few
+    dozen bytes regardless of graph size — that is the entire point.
+    """
+
+    name: str
+    num_vertices: int
+    num_edges: int
+    creator_pid: int = 0
+
+
+class CSRArrays:
+    """Contiguous ``int64`` CSR arrays with a cached level schedule."""
+
+    __slots__ = (
+        "num_vertices",
+        "num_edges",
+        "out_indptr",
+        "out_indices",
+        "in_indptr",
+        "in_indices",
+        "_fwd_schedule",
+        "_bwd_schedule",
+    )
+
+    def __init__(
+        self,
+        num_vertices: int,
+        out_indptr,
+        out_indices,
+        in_indptr,
+        in_indices,
+    ) -> None:
+        self.num_vertices = num_vertices
+        self.num_edges = int(len(out_indices))
+        self.out_indptr = out_indptr
+        self.out_indices = out_indices
+        self.in_indptr = in_indptr
+        self.in_indices = in_indices
+        self._fwd_schedule: tuple | None | bool = False  # False = not computed
+        self._bwd_schedule: tuple | None | bool = False
+
+    @classmethod
+    def from_csr(cls, csr: "CSRGraph") -> "CSRArrays":
+        """Freeze a CSR snapshot's Python lists into numpy arrays."""
+        return cls(
+            csr.num_vertices,
+            np.asarray(csr.out_indptr, dtype=np.int64),
+            np.asarray(csr.out_indices, dtype=np.int64),
+            np.asarray(csr.in_indptr, dtype=np.int64),
+            np.asarray(csr.in_indices, dtype=np.int64),
+        )
+
+    @classmethod
+    def from_digraph(cls, graph: DiGraph) -> "CSRArrays":
+        """Flatten a :class:`DiGraph` directly (no CSRGraph required)."""
+        out = graph._out
+        inn = graph._in
+        n = len(out)
+        out_counts = np.fromiter((len(x) for x in out), dtype=np.int64, count=n)
+        in_counts = np.fromiter((len(x) for x in inn), dtype=np.int64, count=n)
+        m = int(out_counts.sum())
+        return cls(
+            n,
+            np.concatenate(([0], np.cumsum(out_counts))),
+            np.fromiter((w for x in out for w in x), dtype=np.int64, count=m),
+            np.concatenate(([0], np.cumsum(in_counts))),
+            np.fromiter((u for x in inn for u in x), dtype=np.int64, count=m),
+        )
+
+    # -- level schedule ---------------------------------------------------
+    def schedule(self, forward: bool):
+        """The DAG level schedule for one sweep direction, or None if cyclic.
+
+        ``forward=True`` orders vertices by longest-path-from-source
+        levels with in-neighbour gathers (the :func:`reach_masks`
+        sweep); ``forward=False`` mirrors it for the reverse direction.
+        Each entry is ``(verts, preds, starts)``: the level's vertices,
+        their predecessor ids concatenated, and the per-vertex segment
+        starts for ``np.bitwise_or.reduceat``.
+        """
+        cached = self._fwd_schedule if forward else self._bwd_schedule
+        if cached is not False:
+            return cached
+        if forward:
+            schedule = _level_schedule(
+                self.num_vertices,
+                self.in_indptr,
+                self.in_indices,
+                self.out_indptr,
+                self.out_indices,
+            )
+            self._fwd_schedule = schedule
+        else:
+            schedule = _level_schedule(
+                self.num_vertices,
+                self.out_indptr,
+                self.out_indices,
+                self.in_indptr,
+                self.in_indices,
+            )
+            self._bwd_schedule = schedule
+        return schedule
+
+    # -- shared memory ----------------------------------------------------
+    def to_shared(self, factory=None) -> tuple["SharedMemory", SharedCSRHandle]:
+        """Copy the four arrays into one fresh shared-memory block.
+
+        Returns ``(shm, handle)``.  The caller owns ``shm`` and must
+        ``close()`` + ``unlink()`` it once every attached worker is
+        done.  ``factory`` overrides the SharedMemory constructor (tests
+        inject failures through it).
+        """
+        if factory is None:
+            from multiprocessing.shared_memory import SharedMemory
+
+            factory = SharedMemory
+        total = 2 * (self.num_vertices + 1) + 2 * self.num_edges
+        shm = factory(create=True, size=max(8 * total, 1))
+        flat = np.ndarray((total,), dtype=np.int64, buffer=shm.buf)
+        cursor = 0
+        for part in (
+            self.out_indptr,
+            self.out_indices,
+            self.in_indptr,
+            self.in_indices,
+        ):
+            flat[cursor : cursor + len(part)] = part
+            cursor += len(part)
+        handle = SharedCSRHandle(
+            shm.name, self.num_vertices, self.num_edges, os.getpid()
+        )
+        return shm, handle
+
+    @classmethod
+    def from_shared(
+        cls, handle: SharedCSRHandle
+    ) -> tuple["CSRArrays", "SharedMemory"]:
+        """Attach to a shared snapshot; arrays are read-only views.
+
+        Returns ``(arrays, shm)``; the caller must keep ``shm`` alive
+        while the views are in use and ``close()`` it afterwards (never
+        ``unlink()`` — the creating process owns the block).
+        """
+        from multiprocessing.shared_memory import SharedMemory
+
+        shm = SharedMemory(name=handle.name)
+        # Attaching registers the name with the resource tracker again on
+        # 3.11 (3.13 grew ``track=False`` for this); the registrations
+        # land in a *shared* tracker daemon for multiprocessing workers,
+        # where re-adding to the cache set is a no-op and the creator's
+        # eventual ``unlink()`` clears the single entry — so no
+        # unregister dance is needed, and attempting one here would make
+        # the creator's unlink warn about the missing cache entry.
+        n, m = handle.num_vertices, handle.num_edges
+        total = 2 * (n + 1) + 2 * m
+        flat = np.ndarray((total,), dtype=np.int64, buffer=shm.buf)
+        flat.flags.writeable = False
+        bounds = np.cumsum([0, n + 1, m, n + 1, m])
+        parts = [flat[bounds[i] : bounds[i + 1]] for i in range(4)]
+        return cls(n, *parts), shm
+
+    def __repr__(self) -> str:
+        return f"CSRArrays(|V|={self.num_vertices}, |E|={self.num_edges})"
+
+
+def _level_schedule(n, pred_indptr, pred_indices, succ_indptr, succ_indices):
+    """Topological levels via vectorized Kahn, or None on a cycle.
+
+    Returns a list of ``(verts, preds, starts)`` triples, one per level
+    past the first (level-0 vertices have no predecessors to merge).
+    Self-loops keep their vertex's indegree positive forever, so they
+    register as cycles — matching the pure-Python topo semantics.
+    """
+    indegree = (pred_indptr[1:] - pred_indptr[:-1]).copy()
+    frontier = np.flatnonzero(indegree == 0)
+    ordered = 0
+    levels: list = []
+    while frontier.size:
+        levels.append(frontier)
+        ordered += int(frontier.size)
+        successors = gather_ranges(succ_indptr, succ_indices, frontier)
+        if successors.size:
+            np.subtract.at(indegree, successors, 1)
+            frontier = np.unique(successors[indegree[successors] == 0])
+        else:
+            frontier = np.empty(0, dtype=np.int64)
+    if ordered != n:
+        return None
+    schedule = []
+    for verts in levels[1:]:
+        counts = pred_indptr[verts + 1] - pred_indptr[verts]
+        keep = counts > 0
+        verts = verts[keep]
+        counts = counts[keep]
+        if not verts.size:
+            continue
+        preds = gather_ranges(pred_indptr, pred_indices, verts)
+        starts = np.concatenate(([0], np.cumsum(counts)[:-1]))
+        schedule.append((verts, preds, starts))
+    return schedule
+
+
+def arrays_of(csr: "CSRGraph") -> CSRArrays:
+    """The :class:`CSRArrays` twin of a CSR snapshot, cached on it.
+
+    Snapshots are immutable, so the cache never invalidates — a fresh
+    graph version means a fresh :class:`~repro.kernels.csr.CSRGraph`,
+    which starts with an empty slot.
+    """
+    cached = csr._arrays_cache
+    if isinstance(cached, CSRArrays):
+        return cached
+    arrays = CSRArrays.from_csr(csr)
+    csr._arrays_cache = arrays
+    return arrays
+
+
+def digraph_from_arrays(arrays: CSRArrays) -> DiGraph:
+    """Rebuild a mutable :class:`DiGraph` from CSR arrays, bulk-loaded.
+
+    Populates the adjacency storage directly instead of ``add_edge``
+    per edge — the reconstruction cost a shared-memory worker pays is
+    one ``tolist()`` per direction, not |E| bounds-checked inserts.
+    """
+    n = arrays.num_vertices
+    graph = DiGraph(n)
+    out_flat = arrays.out_indices.tolist()
+    out_ptr = arrays.out_indptr.tolist()
+    in_flat = arrays.in_indices.tolist()
+    in_ptr = arrays.in_indptr.tolist()
+    graph._out = [out_flat[out_ptr[v] : out_ptr[v + 1]] for v in range(n)]
+    graph._in = [in_flat[in_ptr[v] : in_ptr[v + 1]] for v in range(n)]
+    graph._out_sets = [set(neighbors) for neighbors in graph._out]
+    graph._num_edges = arrays.num_edges
+    return graph

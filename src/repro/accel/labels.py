@@ -1,0 +1,89 @@
+"""Vectorized 2-hop label probes for the PLL/DL/TOL/2-hop families.
+
+The §3.2 query rule — ``s ⇝ t`` iff ``s = t``, ``s ∈ L_in(t)``,
+``t ∈ L_out(s)``, or ``L_out(s) ∩ L_in(t) ≠ ∅`` — is a set
+intersection per pair, which the pure-Python path answers with
+``set.isdisjoint``.  For large batches this module flattens the label
+sets into CSR-style hop arrays and answers *all pairs sharing a source*
+in one pass: scatter ``L_out(s)`` into a boolean membership array, then
+one fancy-indexed gather over the concatenated ``L_in`` segments of
+every target plus one ``np.logical_or.reduceat`` decides every
+intersection at once.  Work is Σ|L_in(t)| C-speed element ops per
+distinct source, instead of a Python-level set probe per pair.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+try:
+    import numpy as np
+except ImportError:  # the pure-Python fallback never imports this module
+    np = None
+
+from repro.accel.arrays import gather_ranges
+
+__all__ = ["LabelArrays"]
+
+
+def _flatten(sets: list) -> tuple:
+    """One label direction as ``(indptr, hops)`` flat int64 arrays."""
+    n = len(sets)
+    counts = np.fromiter((len(s) for s in sets), dtype=np.int64, count=n)
+    total = int(counts.sum())
+    hops = np.fromiter(
+        (hop for entries in sets for hop in sorted(entries)),
+        dtype=np.int64,
+        count=total,
+    )
+    return np.concatenate(([0], np.cumsum(counts))), hops
+
+
+class LabelArrays:
+    """Flattened 2-hop labels with a batched coverage probe."""
+
+    __slots__ = ("num_vertices", "out_indptr", "out_hops", "in_indptr", "in_hops")
+
+    def __init__(self, l_in: list, l_out: list) -> None:
+        self.num_vertices = len(l_in)
+        self.in_indptr, self.in_hops = _flatten(l_in)
+        self.out_indptr, self.out_hops = _flatten(l_out)
+
+    def size_in_entries(self) -> int:
+        """Σ |L_out(v)| + |L_in(v)| — must match the set representation."""
+        return int(len(self.in_hops) + len(self.out_hops))
+
+    def covered_many(self, pairs: Sequence[tuple[int, int]]) -> list[bool]:
+        """The §3.2 rule over a batch, vectorized per distinct source."""
+        answers: list[bool] = [False] * len(pairs)
+        by_source: dict[int, list[int]] = {}
+        for position, (s, _t) in enumerate(pairs):
+            by_source.setdefault(s, []).append(position)
+        member = np.zeros(self.num_vertices, dtype=bool)
+        in_indptr = self.in_indptr
+        in_hops = self.in_hops
+        for s, positions in by_source.items():
+            out_segment = self.out_hops[self.out_indptr[s] : self.out_indptr[s + 1]]
+            member[out_segment] = True
+            targets = np.fromiter(
+                (pairs[p][1] for p in positions),
+                dtype=np.int64,
+                count=len(positions),
+            )
+            # s == t, t ∈ L_out(s)
+            hit = (targets == s) | member[targets]
+            # s ∈ L_in(t) or L_out(s) ∩ L_in(t): one gather over the
+            # concatenated L_in segments, one reduceat back to targets.
+            counts = in_indptr[targets + 1] - in_indptr[targets]
+            nonempty = counts > 0
+            if nonempty.any():
+                gathered = gather_ranges(in_indptr, in_hops, targets)
+                entry_hits = member[gathered] | (gathered == s)
+                bounds = np.concatenate(([0], np.cumsum(counts)[:-1]))
+                hit[nonempty] |= np.logical_or.reduceat(
+                    entry_hits, bounds[nonempty]
+                )
+            for position, answer in zip(positions, hit.tolist()):
+                answers[position] = answer
+            member[out_segment] = False
+        return answers

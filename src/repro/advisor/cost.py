@@ -27,6 +27,7 @@ import random
 import time
 from dataclasses import dataclass
 
+from repro import accel
 from repro.advisor.features import GraphFeatures
 from repro.advisor.rules import Prior
 from repro.core.base import ReachabilityIndex
@@ -86,6 +87,8 @@ class ProbeResult:
     query_p50_seconds: float
     sampled: bool  # True when probed on an induced subgraph
     error: str | None = None
+    #: Kernel backend active during the probe ("python" or "numpy").
+    backend: str = "python"
 
     @property
     def ok(self) -> bool:
@@ -102,6 +105,7 @@ class ProbeResult:
             "query_p50_seconds": self.query_p50_seconds,
             "sampled": self.sampled,
             "error": self.error,
+            "backend": self.backend,
         }
 
 
@@ -198,6 +202,7 @@ def micro_probe(
             entries=index.size_in_entries(),
             query_p50_seconds=p50,
             sampled=sampled,
+            backend=accel.backend_name(),
         )
     except Exception as exc:  # noqa: BLE001 - probe failures must not sink advise()
         return ProbeResult(
@@ -210,6 +215,7 @@ def micro_probe(
             query_p50_seconds=0.0,
             sampled=sampled,
             error=f"{type(exc).__name__}: {exc}",
+            backend=accel.backend_name(),
         )
 
 

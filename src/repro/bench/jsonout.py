@@ -51,10 +51,13 @@ def provenance() -> dict[str, str]:
     on disk can be traced to a commit and an interpreter without relying
     on file mtimes.
     """
+    from repro import accel
+
     return {
         "git_sha": _git_revision(),
         "python": platform.python_version(),
         "platform": platform.platform(),
+        "backend": accel.backend_name(),
         "date": datetime.datetime.now(datetime.timezone.utc).strftime(
             "%Y-%m-%dT%H:%M:%SZ"
         ),

@@ -48,13 +48,20 @@ Commands
 ``repro experiment NAME``
     Run one DESIGN.md experiment (taxonomy / speed / size / …) and print
     its table.
+``repro accel [--json]``
+    Show the acceleration-layer status: numpy availability, the selected
+    backend, and the kill switch.  Commands that run kernels accept
+    ``--backend {auto,python,numpy}`` to pin the backend for that run.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
+
+from repro import accel
 
 from repro.bench.tables import format_seconds, render_table
 from repro.core.condensed import CondensedIndex
@@ -786,6 +793,39 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_backend_argument(p: argparse.ArgumentParser) -> None:
+    """Register the shared ``--backend`` override on one subcommand."""
+    p.add_argument(
+        "--backend",
+        choices=("auto", "python", "numpy"),
+        default=None,
+        help="kernel backend: auto (runtime-detected, default), python "
+        "(authoritative fallback), numpy (fail if numpy is missing)",
+    )
+
+
+def _apply_backend(args: argparse.Namespace) -> None:
+    """Pin the process-wide kernel backend when ``--backend`` was given."""
+    backend = getattr(args, "backend", None)
+    if backend is not None:
+        accel.set_backend(backend)
+
+
+def _cmd_accel(args: argparse.Namespace) -> int:
+    status = accel.describe()
+    if args.json:
+        print(json.dumps(status, indent=2, sort_keys=True))
+        return 0
+    print(f"backend: {status['backend']} (selection: {status['selection']})")
+    print(f"numpy: {status['numpy_version'] or 'not importable'}")
+    print(f"kill switch (REPRO_ACCEL=0): {'engaged' if status['kill_switch'] else 'off'}")
+    print(
+        "thresholds: "
+        f">={status['min_vertices']} vertices, >={status['min_batch']} batched pairs"
+    )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = argparse.ArgumentParser(
@@ -801,6 +841,7 @@ def main(argv: list[str] | None = None) -> int:
     build.add_argument("edgelist")
     build.add_argument("--index", default="PLL")
     build.add_argument("--save", default=None, help="persist the built index")
+    _add_backend_argument(build)
     build.set_defaults(func=_cmd_build)
 
     stats = sub.add_parser("stats", help="profile an edge-list graph")
@@ -813,6 +854,7 @@ def main(argv: list[str] | None = None) -> int:
     compare.add_argument("edgelist")
     compare.add_argument("--queries", type=int, default=200)
     compare.add_argument("--seed", type=int, default=0)
+    _add_backend_argument(compare)
     compare.set_defaults(func=_cmd_compare)
 
     inspect = sub.add_parser("inspect", help="show a saved index's header")
@@ -843,6 +885,7 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="answer a whole file of 'SOURCE TARGET' lines through the batch path",
     )
+    _add_backend_argument(query)
     query.set_defaults(func=_cmd_query)
 
     explain = sub.add_parser(
@@ -925,6 +968,7 @@ def main(argv: list[str] | None = None) -> int:
     _shard_common(shard_build)
     _shard_build_args(shard_build)
     shard_build.add_argument("--save", default=None, help="persist the built index")
+    _add_backend_argument(shard_build)
     shard_build.set_defaults(func=_cmd_shard_build)
 
     shard_query = shard_sub.add_parser(
@@ -1065,6 +1109,7 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="size budget the advisor loop holds recommendations to",
     )
+    _add_backend_argument(serve)
     serve.set_defaults(func=_cmd_serve)
 
     chaos_cmd = sub.add_parser(
@@ -1092,7 +1137,16 @@ def main(argv: list[str] | None = None) -> int:
     )
     chaos_cmd.set_defaults(func=_cmd_chaos)
 
+    accel_cmd = sub.add_parser(
+        "accel", help="show the numpy acceleration-layer status"
+    )
+    accel_cmd.add_argument(
+        "--json", action="store_true", help="emit the status as JSON"
+    )
+    accel_cmd.set_defaults(func=_cmd_accel)
+
     args = parser.parse_args(argv)
+    _apply_backend(args)
     return args.func(args)
 
 

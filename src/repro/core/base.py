@@ -162,6 +162,8 @@ class SizeReport:
     estimated_bytes: int
     graph_vertices: int
     graph_edges: int
+    #: Kernel backend active when the report was taken ("python"/"numpy").
+    backend: str = "python"
 
     @property
     def bytes_per_entry(self) -> float:
@@ -177,6 +179,7 @@ class SizeReport:
             "bytes_per_entry": self.bytes_per_entry,
             "graph_vertices": self.graph_vertices,
             "graph_edges": self.graph_edges,
+            "backend": self.backend,
         }
 
     def render_text(self) -> str:
@@ -191,6 +194,7 @@ class SizeReport:
 
 def _size_report_of(index) -> SizeReport:
     """The shared ``size_report`` implementation for both base classes."""
+    from repro import accel
     from repro.persistence import serialized_size_bytes
 
     graph = index.graph
@@ -200,6 +204,7 @@ def _size_report_of(index) -> SizeReport:
         estimated_bytes=serialized_size_bytes(index, include_graph=False),
         graph_vertices=graph.num_vertices,
         graph_edges=graph.num_edges,
+        backend=accel.backend_name(),
     )
 
 

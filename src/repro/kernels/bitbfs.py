@@ -20,12 +20,19 @@ vertex over *vertices* rather than sources, computed in reverse
 topological order — generalising the sweep
 ``TransitiveClosureIndex.build`` has always used so other builds
 (GRAIL exception lists, 2-hop seeding) can share it.
+
+When the optional :mod:`repro.accel` layer is enabled and the snapshot
+is large enough, every public kernel transparently routes to its packed
+``uint64`` numpy twin and converts the result back to the exact values
+the pure-Python path produces — the fallback below stays authoritative
+and is differential-tested against the accelerated path.
 """
 
 from __future__ import annotations
 
 from collections.abc import Sequence
 
+from repro import accel as _accel
 from repro.errors import NotADAGError
 from repro.kernels.csr import CSRGraph
 from repro.resilience.chaos import chaos_point
@@ -111,6 +118,13 @@ def reach_masks(csr: CSRGraph, sources: Sequence[int]) -> list[int]:
     batched sources to *every* vertex — the multi-source generalisation
     of a single BFS sweep.
     """
+    if sources and isinstance(csr, CSRGraph) and _accel.use_for_graph(
+        csr.num_vertices
+    ):
+        from repro.accel.arrays import arrays_of
+        from repro.accel.bitset import packed_reach_masks, rows_to_ints
+
+        return rows_to_ints(packed_reach_masks(arrays_of(csr), sources))
     return _propagate(
         csr.num_vertices, csr.out_indptr, csr.out_indices, csr.topo_order, sources
     )
@@ -118,6 +132,15 @@ def reach_masks(csr: CSRGraph, sources: Sequence[int]) -> list[int]:
 
 def reverse_reach_masks(csr: CSRGraph, targets: Sequence[int]) -> list[int]:
     """Per-vertex target masks: bit ``i`` of ``masks[v]`` iff ``v ⇝ targets[i]``."""
+    if targets and isinstance(csr, CSRGraph) and _accel.use_for_graph(
+        csr.num_vertices
+    ):
+        from repro.accel.arrays import arrays_of
+        from repro.accel.bitset import packed_reach_masks, rows_to_ints
+
+        return rows_to_ints(
+            packed_reach_masks(arrays_of(csr), targets, forward=False)
+        )
     topo = csr.topo_order
     return _propagate(
         csr.num_vertices,
@@ -138,6 +161,11 @@ def descendant_bitsets(csr: CSRGraph) -> list[int]:
     topo = csr.topo_order
     if topo is None:
         raise NotADAGError("descendant_bitsets requires a DAG")
+    if isinstance(csr, CSRGraph) and _accel.use_for_graph(csr.num_vertices):
+        from repro.accel.arrays import arrays_of
+        from repro.accel.bitset import packed_descendant_bitsets, rows_to_ints
+
+        return rows_to_ints(packed_descendant_bitsets(arrays_of(csr)))
     deadline = current_deadline()
     indptr = csr.out_indptr
     indices = csr.out_indices
@@ -200,6 +228,13 @@ def batch_reachable(
     errors land here), and each wave honours the ambient deadline.
     """
     chaos_point("kernels.sweep")
+    if pairs and isinstance(csr, CSRGraph) and _accel.use_for_graph(
+        csr.num_vertices
+    ):
+        from repro.accel.arrays import arrays_of
+        from repro.accel.bitset import packed_batch_reachable
+
+        return packed_batch_reachable(arrays_of(csr), pairs, word_bits)
     deadline = current_deadline()
     targets_of: dict[int, set[int]] = {}
     for s, t in pairs:

@@ -39,6 +39,7 @@ class CSRGraph:
         "in_indices",
         "_topo",
         "_topo_computed",
+        "_arrays_cache",
     )
 
     def __init__(
@@ -57,6 +58,7 @@ class CSRGraph:
         self.in_indices = in_indices
         self._topo: list[int] | None = None
         self._topo_computed = False
+        self._arrays_cache: object | None = None  # managed by repro.accel.arrays_of
 
     @classmethod
     def from_digraph(cls, graph: DiGraph) -> "CSRGraph":

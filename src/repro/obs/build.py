@@ -62,6 +62,8 @@ class BuildReport:
     total_seconds: float
     phases: tuple[BuildPhase, ...]
     entries: int | None = None
+    #: Kernel backend active during the build ("python" or "numpy").
+    backend: str = "python"
 
     def as_dict(self) -> dict[str, object]:
         """JSON-serialisable plain data (the BENCH_*.json shape)."""
@@ -69,6 +71,7 @@ class BuildReport:
             "index": self.index,
             "total_seconds": self.total_seconds,
             "entries": self.entries,
+            "backend": self.backend,
             "phases": [phase.as_dict() for phase in self.phases],
         }
 
@@ -168,8 +171,13 @@ class _BuildObservation:
         _PHASES.reset(self._token)
         if exc and exc[0] is not None:
             return False  # failed build: no report, re-raise
+        from repro import accel
+
         self.report = BuildReport(
-            index=self._name, total_seconds=total, phases=tuple(self._phases)
+            index=self._name,
+            total_seconds=total,
+            phases=tuple(self._phases),
+            backend=accel.backend_name(),
         )
         # A nested build (condensation inner, Scarab backbone, …) shows
         # up as one phase of the enclosing build, subtree included.
@@ -192,6 +200,7 @@ class _BuildObservation:
             total_seconds=report.total_seconds,
             phases=report.phases,
             entries=entries,
+            backend=report.backend,
         )
         self.report = report
         try:

@@ -103,6 +103,7 @@ def batched_pruned_labels(
                     )
                 )
             # phase 2: sequential commit in rank order with re-validation
+            labels.bump_version()
             for (forward, backward) in results:
                 for vertex, hop in forward:
                     if not labels.covered(hop, vertex):

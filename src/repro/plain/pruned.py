@@ -21,19 +21,60 @@ from __future__ import annotations
 
 from collections import deque
 
+from repro import accel as _accel
 from repro.graphs.digraph import DiGraph
 
 __all__ = ["TwoHopLabels", "build_pruned_labels", "degree_order", "labels_cover"]
 
 
 class TwoHopLabels:
-    """Per-vertex ``L_in`` / ``L_out`` hop sets with the 2-hop query rule."""
+    """Per-vertex ``L_in`` / ``L_out`` hop sets with the 2-hop query rule.
 
-    __slots__ = ("l_in", "l_out")
+    Large batched probes may route through a flattened
+    :class:`repro.accel.labels.LabelArrays` twin when the acceleration
+    layer is enabled; the twin is cached per label *version*, so any
+    code that mutates ``l_in``/``l_out`` in place must call
+    :meth:`bump_version` (the engine's mutators here and in
+    :mod:`repro.plain.parallel` already do).
+    """
+
+    __slots__ = ("l_in", "l_out", "_version", "_arrays")
 
     def __init__(self, num_vertices: int) -> None:
         self.l_in: list[set[int]] = [set() for _ in range(num_vertices)]
         self.l_out: list[set[int]] = [set() for _ in range(num_vertices)]
+        self._version = 0
+        self._arrays: tuple[int, object] | None = None
+
+    def bump_version(self) -> None:
+        """Invalidate the flattened-array cache after an in-place mutation."""
+        self._version += 1
+
+    def _label_arrays(self):
+        """The flattened twin of the current labels, built lazily."""
+        cached = self._arrays
+        if cached is not None and cached[0] == self._version:
+            return cached[1]
+        from repro.accel.labels import LabelArrays
+
+        arrays = LabelArrays(self.l_in, self.l_out)
+        self._arrays = (self._version, arrays)
+        return arrays
+
+    def __getstate__(self) -> dict[str, object]:
+        """Persistable state: the sets only, never the numpy twin."""
+        return {"l_in": self.l_in, "l_out": self.l_out}
+
+    def __setstate__(self, state: object) -> None:
+        # Labels pickled before the cache slots existed arrive as the
+        # default ``(None, slots)`` tuple; both forms must keep loading.
+        if isinstance(state, tuple):
+            state = state[1] or {}
+        assert isinstance(state, dict)
+        self.l_in = state["l_in"]
+        self.l_out = state["l_out"]
+        self._version = 0
+        self._arrays = None
 
     def covered(self, source: int, target: int) -> bool:
         """The §3.2 query rule over the current labels."""
@@ -46,7 +87,15 @@ class TwoHopLabels:
         return not l_out.isdisjoint(l_in)
 
     def covered_many(self, pairs) -> list[bool]:
-        """The query rule over a batch of pairs, label arrays bound once."""
+        """The query rule over a batch of pairs, label arrays bound once.
+
+        Batches past the acceleration threshold vectorize through the
+        flattened twin (one membership scatter + gather/reduceat per
+        distinct source); smaller batches — and every batch when the
+        layer is off — keep the authoritative set probes.
+        """
+        if _accel.use_for_batch(len(pairs)):
+            return self._label_arrays().covered_many(pairs)
         l_in_all = self.l_in
         l_out_all = self.l_out
         answers: list[bool] = []
@@ -68,6 +117,7 @@ class TwoHopLabels:
 
     def remove_hop(self, hop: int) -> None:
         """Strip every label entry referring to ``hop`` (used by maintenance)."""
+        self.bump_version()
         for entries in self.l_in:
             entries.discard(hop)
         for entries in self.l_out:
@@ -134,6 +184,7 @@ def resume_forward(
     ``start == hop`` performs the full labeling pass; other starts resume
     the search across a newly inserted edge (dynamic maintenance).
     """
+    labels.bump_version()
     limit = rank[hop]
     queue: deque[int] = deque()
     visited = {start}
@@ -164,6 +215,7 @@ def resume_backward(
     start: int,
 ) -> None:
     """(Re)run the pruned backward BFS of ``hop`` from ``start``."""
+    labels.bump_version()
     limit = rank[hop]
     queue: deque[int] = deque()
     visited = {start}

@@ -21,6 +21,7 @@ from repro.core.registry import register_plain
 from repro.graphs.digraph import DiGraph
 from repro.graphs.scc import condense
 from repro.kernels import csr_of, descendant_bitsets
+from repro import accel
 from repro.obs.build import build_phase
 
 __all__ = ["TransitiveClosureIndex"]
@@ -54,8 +55,9 @@ class TransitiveClosureIndex(ReachabilityIndex):
         with build_phase("scc-condense") as phase:
             condensation = condense(graph)
             phase.annotate(sccs=condensation.dag.num_vertices)
-        with build_phase("closure-kernel"):
+        with build_phase("closure-kernel") as phase:
             closure = descendant_bitsets(csr_of(condensation.dag))
+            phase.annotate(backend=accel.backend_name())
         return cls(graph, condensation.scc_of, closure)
 
     def lookup(self, source: int, target: int) -> TriState:

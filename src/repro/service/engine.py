@@ -34,6 +34,7 @@ import time
 from collections.abc import Sequence
 from dataclasses import dataclass
 
+from repro import accel
 from repro.core.base import (
     Explanation,
     LabelConstrainedIndex,
@@ -735,6 +736,7 @@ class ReachabilityService:
         service["epoch"] = self.epoch
         service["mode"] = "labeled" if self._labeled_mode else "plain"
         service["index"] = self._plain_name
+        service["backend"] = accel.backend_name()
         if self._cache is not None:
             stats = self._cache.statistics()
             root["cache"] = {

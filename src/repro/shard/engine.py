@@ -31,6 +31,7 @@ is aggregated into one :class:`ShardBuildReport`.
 from __future__ import annotations
 
 import os
+import pickle
 import random
 import time
 from collections.abc import Sequence
@@ -42,6 +43,7 @@ from concurrent.futures import (
 from dataclasses import dataclass, field
 from typing import ClassVar
 
+from repro import accel as _accel
 from repro.core.base import (
     Explanation,
     IndexMetadata,
@@ -92,6 +94,15 @@ class ShardBuildReport:
     boundary_report: BuildReport | None
     #: Build attempts each shard needed (1 = first try; >1 = retried).
     shard_attempts: tuple[int, ...] = field(default=())
+    #: How shard graphs reached the workers: ``inline`` (same process /
+    #: threads), ``shm`` (shared-memory snapshot handles), or ``pickle``
+    #: (whole subgraphs serialised per worker).
+    transport: str = "inline"
+    #: Serialised payload each process worker received, bytes per shard
+    #: (empty for inline transports — nothing crosses a process boundary).
+    bytes_shipped_per_worker: tuple[int, ...] = field(default=())
+    #: The kernel backend active during the build ("python" or "numpy").
+    backend: str = "python"
 
     def as_dict(self) -> dict[str, object]:
         """JSON-serialisable plain data (the BENCH_shard.json shape)."""
@@ -118,6 +129,9 @@ class ShardBuildReport:
                 else None
             ),
             "shard_attempts": list(self.shard_attempts),
+            "transport": self.transport,
+            "bytes_shipped_per_worker": list(self.bytes_shipped_per_worker),
+            "backend": self.backend,
         }
 
     def render_text(self) -> str:
@@ -125,7 +139,8 @@ class ShardBuildReport:
         lines = [
             f"Sharded[{self.family} x{self.num_shards}] built in "
             f"{self.total_seconds * 1e3:.2f}ms ({self.executor}, "
-            f"{self.workers} workers)",
+            f"{self.workers} workers, {self.transport} transport, "
+            f"{self.backend} backend)",
             f"  partition: {self.partition_seconds * 1e3:.2f}ms  "
             f"[cut_edges={self.cut_edges} boundary={self.boundary_vertices}]",
             f"  shard builds: {self.shard_build_seconds * 1e3:.2f}ms",
@@ -149,6 +164,12 @@ class ShardBuildReport:
                 )
                 + (f", {attempts} attempts" if attempts > 1 else "")
             )
+        if self.bytes_shipped_per_worker:
+            total_shipped = sum(self.bytes_shipped_per_worker)
+            lines.append(
+                f"  shipped to workers: {total_shipped:,} bytes "
+                f"({self.transport})"
+            )
         lines.append(
             f"  boundary: {self.boundary_seconds * 1e3:.2f}ms  "
             f"[edges={self.boundary_edges}]"
@@ -171,6 +192,25 @@ def _build_one_shard(family: str, graph: DiGraph) -> ReachabilityIndex:
     """
     chaos_point("shard.build_worker")
     return plain_index(family).build(graph)
+
+
+def _build_one_shard_from_handle(family: str, handle) -> ReachabilityIndex:
+    """Worker entry for the shared-memory transport.
+
+    Attaches to the parent's CSR snapshot, rebuilds the shard's
+    :class:`DiGraph` locally (one bulk copy, no per-edge inserts), and
+    releases the mapping before the build proper — after reconstruction
+    the worker holds no shared state.
+    """
+    from repro.accel.arrays import CSRArrays, digraph_from_arrays
+
+    arrays, shm = CSRArrays.from_shared(handle)
+    try:
+        graph = digraph_from_arrays(arrays)
+    finally:
+        del arrays
+        shm.close()
+    return _build_one_shard(family, graph)
 
 
 def _build_with_retry(
@@ -197,6 +237,55 @@ def _build_with_retry(
     )
 
 
+def _run_shm_builds(
+    family: str, graphs: Sequence[DiGraph], workers: int
+) -> tuple[list[ReachabilityIndex], list[int], str, tuple[int, ...]] | None:
+    """The shared-memory process-pool wave, or None if it cannot run.
+
+    Each shard graph is snapshotted once into a shared-memory block and
+    workers receive only a :class:`SharedCSRHandle` — a few dozen
+    pickled bytes per shard instead of the whole subgraph.  The parent
+    owns every block and unlinks them all once the wave settles; any
+    failure (no /dev/shm, dead worker) falls back to the pickle wave.
+    """
+    from repro.accel.arrays import CSRArrays
+
+    shms: list = []
+    try:
+        try:
+            handles = []
+            for graph in graphs:
+                shm, handle = CSRArrays.from_digraph(graph).to_shared()
+                shms.append(shm)
+                handles.append(handle)
+        except (OSError, ValueError):
+            global_registry().counter("shard.build.shm_fallbacks").increment()
+            return None
+        bytes_shipped = tuple(
+            len(pickle.dumps((family, handle))) for handle in handles
+        )
+        try:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                indexes = list(
+                    pool.map(
+                        _build_one_shard_from_handle,
+                        [family] * len(handles),
+                        handles,
+                    )
+                )
+        except (OSError, ValueError, BrokenExecutor):
+            global_registry().counter("shard.build.shm_fallbacks").increment()
+            return None
+        return indexes, [1] * len(graphs), "shm", bytes_shipped
+    finally:
+        for shm in shms:
+            try:
+                shm.close()
+                shm.unlink()
+            except OSError:
+                pass
+
+
 def _run_builds(
     family: str,
     graphs: Sequence[DiGraph],
@@ -204,13 +293,16 @@ def _run_builds(
     workers: int,
     attempts: int = _BUILD_ATTEMPTS,
     retry_seed: int = 0,
-) -> tuple[list[ReachabilityIndex], list[int]]:
+) -> tuple[list[ReachabilityIndex], list[int], str, tuple[int, ...]]:
     """Build every shard's index, in parallel where asked.
 
-    Returns the indexes plus per-shard attempt counts.  A dead
-    process-pool worker (``BrokenExecutor``) retries the whole wave on
-    threads — threads cannot die out from under the interpreter — so a
-    one-off worker crash degrades parallelism, never correctness.
+    Returns ``(indexes, attempt_counts, transport, bytes_shipped)``.
+    Process pools prefer the shared-memory transport when the
+    acceleration layer is enabled, degrading to pickled subgraphs and
+    then to threads: a dead worker (``BrokenExecutor``) retries the
+    whole wave on threads — threads cannot die out from under the
+    interpreter — so a one-off crash degrades parallelism, never
+    correctness.
     """
     rngs = [
         random.Random(f"shard-retry:{retry_seed}:{shard}")
@@ -221,15 +313,29 @@ def _run_builds(
             _build_with_retry(family, graph, attempts, rng)
             for graph, rng in zip(graphs, rngs)
         ]
-        return [index for index, _ in built], [used for _, used in built]
+        return (
+            [index for index, _ in built],
+            [used for _, used in built],
+            "inline",
+            (),
+        )
     if executor == "process":
+        if _accel.enabled():
+            shm_wave = _run_shm_builds(family, graphs, workers)
+            if shm_wave is not None:
+                return shm_wave
         try:
+            bytes_shipped = tuple(
+                len(pickle.dumps((family, graph))) for graph in graphs
+            )
             with ProcessPoolExecutor(max_workers=workers) as pool:
                 return (
                     list(
                         pool.map(_build_one_shard, [family] * len(graphs), graphs)
                     ),
                     [1] * len(graphs),
+                    "pickle",
+                    bytes_shipped,
                 )
         except (OSError, ValueError, BrokenExecutor):
             # No fork/semaphores, or a worker died mid-build: retry the
@@ -242,7 +348,12 @@ def _run_builds(
                 zip(graphs, rngs),
             )
         )
-    return [index for index, _ in built], [used for _, used in built]
+    return (
+        [index for index, _ in built],
+        [used for _, used in built],
+        "inline",
+        (),
+    )
 
 
 @register_plain
@@ -353,7 +464,7 @@ class ShardedIndex(ReachabilityIndex):
             )
             ph.annotate(sizes=list(partition.shard_sizes))
         with build_phase("shard-builds") as ph:
-            shard_indexes, shard_attempts = _run_builds(
+            shard_indexes, shard_attempts, transport, bytes_shipped = _run_builds(
                 family,
                 shard_graphs,
                 executor,
@@ -361,7 +472,13 @@ class ShardedIndex(ReachabilityIndex):
                 attempts=build_attempts,
                 retry_seed=retry_seed,
             )
-            ph.annotate(family=family, shards=k, executor=executor, workers=workers)
+            ph.annotate(
+                family=family,
+                shards=k,
+                executor=executor,
+                workers=workers,
+                transport=transport,
+            )
         t_builds = time.perf_counter()
         with build_phase("boundary-graph") as ph:
             boundary_graph, boundary_globals = _boundary_graph(
@@ -408,6 +525,9 @@ class ShardedIndex(ReachabilityIndex):
                 boundary_index.build_report if boundary_index is not None else None
             ),
             shard_attempts=tuple(shard_attempts),
+            transport=transport,
+            bytes_shipped_per_worker=bytes_shipped,
+            backend=_accel.backend_name(),
         )
         registry = global_registry()
         registry.counter("shard.build.builds").increment()

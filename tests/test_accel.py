@@ -1,0 +1,380 @@
+"""The numpy acceleration layer: differential equivalence and fallbacks.
+
+Every accelerated path must produce bit-identical answers to the
+authoritative pure-Python kernels — these tests force each backend in
+turn over a matrix of graph shapes and compare.  Without numpy the
+numpy-specific tests skip and the selection tests assert the layer
+stays silently disabled.
+"""
+
+from __future__ import annotations
+
+import pickle
+import random
+
+import pytest
+
+from repro import accel
+from repro.errors import NotADAGError
+from repro.graphs.digraph import DiGraph
+from repro.graphs.generators import gnp_digraph, layered_dag, random_dag
+from repro.kernels import (
+    batch_reachable,
+    csr_of,
+    descendant_bitsets,
+    reach_masks,
+    reverse_reach_masks,
+)
+from repro.plain.pruned import TwoHopLabels, build_pruned_labels, degree_order
+
+needs_numpy = pytest.mark.skipif(
+    not accel.available() or accel.kill_switch_engaged(),
+    reason="numpy not installed or REPRO_ACCEL kill switch engaged",
+)
+
+
+@pytest.fixture(autouse=True)
+def _restore_backend():
+    yield
+    accel.set_backend("auto")
+
+
+def _chain(n: int) -> DiGraph:
+    graph = DiGraph(n)
+    for v in range(n - 1):
+        graph.add_edge(v, v + 1)
+    return graph
+
+
+def _self_loop() -> DiGraph:
+    graph = DiGraph(3)
+    graph.add_edge(0, 1)
+    graph.add_edge(1, 1)
+    graph.add_edge(1, 2)
+    return graph
+
+
+def _graph_matrix() -> dict[str, DiGraph]:
+    """≥4 shapes: dense DAG, cyclic, deep chain, layered, sparse, empty."""
+    return {
+        "dag": random_dag(80, 320, seed=11),
+        "cyclic": gnp_digraph(60, 0.06, seed=12),
+        "chain": _chain(100),
+        "layered": layered_dag(5, 16, 3, seed=13),
+        "sparse": random_dag(120, 60, seed=14),
+        "self_loop": _self_loop(),
+        "empty": DiGraph(6),
+    }
+
+
+def _sources(graph: DiGraph, count: int, seed: int) -> list[int]:
+    n = graph.num_vertices
+    if n == 0:
+        return []
+    rng = random.Random(seed)
+    return [rng.randrange(n) for _ in range(count)]
+
+
+def _pairs(graph: DiGraph, count: int, seed: int) -> list[tuple[int, int]]:
+    n = graph.num_vertices
+    if n == 0:
+        return []
+    rng = random.Random(seed)
+    return [(rng.randrange(n), rng.randrange(n)) for _ in range(count)]
+
+
+# -- differential matrix ---------------------------------------------------
+@needs_numpy
+@pytest.mark.parametrize("shape", sorted(_graph_matrix()))
+class TestKernelDifferential:
+    """python vs numpy over every kernel entry point, bit for bit."""
+
+    def _csr(self, shape):
+        return csr_of(_graph_matrix()[shape])
+
+    def test_reach_masks(self, shape):
+        graph = _graph_matrix()[shape]
+        csr = csr_of(graph)
+        sources = _sources(graph, 70, seed=21)  # > one uint64 word
+        accel.set_backend("python")
+        expected = reach_masks(csr, sources)
+        accel.set_backend("numpy")
+        assert reach_masks(csr, sources) == expected
+
+    def test_reverse_reach_masks(self, shape):
+        graph = _graph_matrix()[shape]
+        csr = csr_of(graph)
+        targets = _sources(graph, 70, seed=22)
+        accel.set_backend("python")
+        expected = reverse_reach_masks(csr, targets)
+        accel.set_backend("numpy")
+        assert reverse_reach_masks(csr, targets) == expected
+
+    def test_descendant_bitsets(self, shape):
+        csr = self._csr(shape)
+        accel.set_backend("python")
+        try:
+            expected = descendant_bitsets(csr)
+        except NotADAGError:
+            expected = NotADAGError
+        accel.set_backend("numpy")
+        if expected is NotADAGError:
+            with pytest.raises(NotADAGError):
+                descendant_bitsets(csr)
+        else:
+            assert descendant_bitsets(csr) == expected
+
+    def test_batch_reachable(self, shape):
+        graph = _graph_matrix()[shape]
+        csr = csr_of(graph)
+        pairs = _pairs(graph, 150, seed=23)
+        accel.set_backend("python")
+        expected = batch_reachable(csr, pairs, word_bits=16)
+        accel.set_backend("numpy")
+        assert batch_reachable(csr, pairs, word_bits=16) == expected
+
+
+@needs_numpy
+def test_masks_match_on_large_auto_threshold_graph():
+    """`auto` routes big graphs to numpy; answers still match python."""
+    graph = random_dag(800, 2400, seed=31)
+    csr = csr_of(graph)
+    sources = _sources(graph, 100, seed=32)
+    assert accel.use_for_graph(csr.num_vertices)
+    auto_masks = reach_masks(csr, sources)
+    accel.set_backend("python")
+    assert reach_masks(csr, sources) == auto_masks
+
+
+# -- label probe -----------------------------------------------------------
+@needs_numpy
+class TestLabelDifferential:
+    def _labels(self, graph):
+        return build_pruned_labels(graph, degree_order(graph))
+
+    @pytest.mark.parametrize("shape", ["dag", "cyclic", "chain", "sparse"])
+    def test_covered_many(self, shape):
+        graph = _graph_matrix()[shape]
+        labels = self._labels(graph)
+        pairs = _pairs(graph, 200, seed=41)
+        accel.set_backend("python")
+        expected = labels.covered_many(pairs)
+        accel.set_backend("numpy")
+        assert labels.covered_many(pairs) == expected
+        singles = [labels.covered(s, t) for s, t in pairs]
+        assert singles == expected
+
+    def test_mutation_invalidates_cached_arrays(self):
+        graph = _graph_matrix()["dag"]
+        labels = self._labels(graph)
+        pairs = _pairs(graph, 120, seed=42)
+        accel.set_backend("numpy")
+        labels.covered_many(pairs)  # populate the flattened twin
+        hop = max(range(graph.num_vertices), key=lambda v: len(labels.l_in[v]))
+        labels.remove_hop(hop)
+        accel.set_backend("python")
+        expected = labels.covered_many(pairs)
+        accel.set_backend("numpy")
+        assert labels.covered_many(pairs) == expected
+
+    def test_pickle_excludes_array_twin(self):
+        graph = _graph_matrix()["dag"]
+        labels = self._labels(graph)
+        accel.set_backend("numpy")
+        labels.covered_many(_pairs(graph, 50, seed=43))
+        clone = pickle.loads(pickle.dumps(labels))
+        assert clone._arrays is None
+        assert clone.l_in == labels.l_in
+        assert clone.l_out == labels.l_out
+        assert clone.size_in_entries() == labels.size_in_entries()
+
+
+# -- CSR arrays and shared memory -----------------------------------------
+@needs_numpy
+class TestSharedArrays:
+    def test_from_csr_matches_from_digraph(self):
+        from repro.accel.arrays import CSRArrays
+
+        graph = random_dag(50, 180, seed=51)
+        a = CSRArrays.from_csr(csr_of(graph))
+        b = CSRArrays.from_digraph(graph)
+        for name in ("out_indptr", "out_indices", "in_indptr", "in_indices"):
+            assert getattr(a, name).tolist() == getattr(b, name).tolist()
+
+    def test_shared_memory_round_trip(self):
+        from repro.accel.arrays import CSRArrays, digraph_from_arrays
+
+        graph = gnp_digraph(40, 0.1, seed=52)
+        arrays = CSRArrays.from_digraph(graph)
+        shm, handle = arrays.to_shared()
+        try:
+            attached, worker_shm = CSRArrays.from_shared(handle)
+            rebuilt = digraph_from_arrays(attached)
+            assert rebuilt.num_vertices == graph.num_vertices
+            assert rebuilt.num_edges == graph.num_edges
+            assert sorted(rebuilt.edges()) == sorted(graph.edges())
+            del attached
+            worker_shm.close()
+        finally:
+            shm.close()
+            shm.unlink()
+
+    def test_handle_pickles_small(self):
+        from repro.accel.arrays import CSRArrays
+
+        graph = random_dag(400, 1600, seed=53)
+        shm, handle = CSRArrays.from_digraph(graph).to_shared()
+        try:
+            handle_bytes = len(pickle.dumps(handle))
+            graph_bytes = len(pickle.dumps(graph))
+            assert handle_bytes < 256
+            assert handle_bytes < graph_bytes // 10
+        finally:
+            shm.close()
+            shm.unlink()
+
+    def test_to_shared_failure_surfaces(self):
+        from repro.accel.arrays import CSRArrays
+
+        def broken_factory(create, size):
+            raise OSError("no /dev/shm")
+
+        arrays = CSRArrays.from_digraph(random_dag(10, 20, seed=54))
+        with pytest.raises(OSError):
+            arrays.to_shared(factory=broken_factory)
+
+    def test_level_schedule_none_on_cycle(self):
+        from repro.accel.arrays import CSRArrays
+
+        graph = DiGraph(3)
+        graph.add_edge(0, 1)
+        graph.add_edge(1, 2)
+        graph.add_edge(2, 0)
+        assert CSRArrays.from_digraph(graph).schedule(forward=True) is None
+        assert CSRArrays.from_digraph(graph).schedule(forward=False) is None
+
+
+# -- shard transport -------------------------------------------------------
+@needs_numpy
+class TestShardTransport:
+    def _build(self, graph, **kwargs):
+        from repro.shard.engine import ShardedIndex
+
+        return ShardedIndex.build(
+            graph, family="PLL", num_shards=4, executor="process", **kwargs
+        )
+
+    def test_shm_ships_fewer_bytes_than_pickle(self):
+        graph = random_dag(300, 900, seed=61)
+        index = self._build(graph, workers=2)
+        report = index.shard_build_report
+        if report.transport == "inline":
+            pytest.skip("process pool unavailable in this environment")
+        assert report.transport == "shm"
+        assert len(report.bytes_shipped_per_worker) == report.num_shards
+        accel.set_backend("python")
+        pickled = self._build(graph, workers=2).shard_build_report
+        if pickled.transport == "inline":
+            pytest.skip("process pool unavailable in this environment")
+        assert pickled.transport == "pickle"
+        assert sum(report.bytes_shipped_per_worker) < sum(
+            pickled.bytes_shipped_per_worker
+        )
+        assert report.as_dict()["transport"] == "shm"
+        assert "shm" in report.render_text()
+
+    def test_shm_and_pickle_agree(self):
+        graph = random_dag(200, 600, seed=62)
+        shm_index = self._build(graph, workers=2)
+        accel.set_backend("python")
+        pickle_index = self._build(graph, workers=2)
+        pairs = _pairs(graph, 300, seed=63)
+        accel.set_backend("auto")
+        assert shm_index.query_batch(pairs) == pickle_index.query_batch(pairs)
+
+
+# -- backend selection and reporting ---------------------------------------
+class TestBackendSelection:
+    def test_invalid_backend_rejected(self):
+        with pytest.raises(ValueError):
+            accel.set_backend("cuda")
+
+    def test_python_backend_always_allowed(self):
+        accel.set_backend("python")
+        assert not accel.enabled()
+        assert accel.backend_name() == "python"
+        assert not accel.use_for_graph(10**9)
+        assert not accel.use_for_batch(10**9)
+
+    def test_kill_switch_disables_layer(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ACCEL", "0")
+        assert accel.kill_switch_engaged()
+        assert not accel.enabled()
+        assert accel.backend_name() == "python"
+        graph = random_dag(40, 100, seed=71)
+        csr = csr_of(graph)
+        sources = _sources(graph, 20, seed=72)
+        masks = reach_masks(csr, sources)
+        monkeypatch.delenv("REPRO_ACCEL")
+        assert reach_masks(csr, sources) == masks
+
+    def test_kill_switch_values(self, monkeypatch):
+        for value in ("0", "false", "off", "no", "FALSE"):
+            monkeypatch.setenv("REPRO_ACCEL", value)
+            assert accel.kill_switch_engaged()
+        for value in ("1", "true", "", "yes"):
+            monkeypatch.setenv("REPRO_ACCEL", value)
+            assert not accel.kill_switch_engaged()
+
+    def test_numpy_backend_requires_numpy(self, monkeypatch):
+        monkeypatch.delenv("REPRO_ACCEL", raising=False)
+        if accel.available():
+            accel.set_backend("numpy")
+            assert accel.backend_name() == "numpy"
+            assert accel.use_for_graph(1)  # forcing bypasses thresholds
+            assert accel.use_for_batch(1)
+        else:
+            with pytest.raises(ValueError):
+                accel.set_backend("numpy")
+
+    def test_auto_respects_thresholds(self, monkeypatch):
+        monkeypatch.delenv("REPRO_ACCEL", raising=False)
+        accel.set_backend("auto")
+        if not accel.available():
+            assert not accel.use_for_graph(accel.MIN_VERTICES)
+            return
+        assert not accel.use_for_graph(accel.MIN_VERTICES - 1)
+        assert accel.use_for_graph(accel.MIN_VERTICES)
+        assert not accel.use_for_batch(accel.MIN_BATCH - 1)
+        assert accel.use_for_batch(accel.MIN_BATCH)
+
+    def test_describe_shape(self):
+        status = accel.describe()
+        assert status["backend"] in ("python", "numpy")
+        assert status["selection"] == "auto"
+        assert isinstance(status["available"], bool)
+
+
+class TestBackendStamps:
+    def test_size_report_carries_backend(self):
+        from repro.plain.pll import PLLIndex
+
+        index = PLLIndex.build(random_dag(30, 80, seed=81))
+        report = index.size_report()
+        assert report.backend == accel.backend_name()
+        assert report.as_dict()["backend"] == report.backend
+
+    def test_build_report_carries_backend(self):
+        from repro.plain.pll import PLLIndex
+
+        index = PLLIndex.build(random_dag(30, 80, seed=82))
+        assert index.build_report.backend == accel.backend_name()
+        assert index.build_report.as_dict()["backend"] in ("python", "numpy")
+
+    def test_forced_python_stamps_python(self):
+        from repro.plain.pll import PLLIndex
+
+        accel.set_backend("python")
+        index = PLLIndex.build(random_dag(30, 80, seed=83))
+        assert index.size_report().backend == "python"
+        assert index.build_report.backend == "python"

@@ -283,7 +283,8 @@ def test_render_text_is_two_tokens_per_line():
 # -- bench provenance ------------------------------------------------------
 def test_provenance_fields():
     stamp = provenance()
-    assert set(stamp) == {"git_sha", "python", "platform", "date"}
+    assert set(stamp) == {"git_sha", "python", "platform", "date", "backend"}
+    assert stamp["backend"] in ("python", "numpy")
     assert stamp["git_sha"]  # a sha in a checkout, "unknown" elsewhere
     assert stamp["date"].endswith("Z")
 
