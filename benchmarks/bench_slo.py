@@ -1,0 +1,250 @@
+"""CLAIM-S8-SLO — production telemetry must be close to free.
+
+Two claims about :mod:`repro.slo` riding on the serving tier:
+
+* **Steady-state overhead** — a service with an :class:`SLOTracker`
+  evaluating burn rates and a :class:`ShadowAuditor` sampling 0.1% of
+  served answers stays within 5% of the bare service's closed-loop
+  throughput.  Measured A/B on the same Zipf-skewed query log, arms
+  interleaved per round, best-of-rounds per arm (the standard guard
+  against one noisy round deciding the verdict).
+* **Audit correctness** — at ``sample_rate=1.0`` every served answer
+  replayed against the BFS oracle matches: ``slo.audit.mismatches``
+  stays 0 across the whole log.
+
+Run standalone (``python benchmarks/bench_slo.py [--tiny]``) or under
+pytest (``pytest benchmarks/bench_slo.py -s``).  Emits
+``BENCH_slo.json`` whose headline carries ``{"value": ..., "max": ...}``
+entries so ``tools/bench_compare.py`` enforces the ceilings.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+import time
+
+from repro.bench.jsonout import add_json_argument, emit
+from repro.bench.tables import render_table
+from repro.graphs.generators import random_dag
+from repro.service import ReachabilityService
+from repro.slo import SLOTracker, ShadowAuditor
+
+FULL = {"vertices": 2_000, "edges": 7_000, "queries": 60_000, "rounds": 5}
+TINY = {"vertices": 300, "edges": 900, "queries": 30_000, "rounds": 5}
+
+OVERHEAD_MAX_PCT = 5.0
+AUDIT_RATE = 0.001
+
+OBJECTIVES = ("reach.p99 < 5ms", "error_rate < 0.1%", "unknown_rate < 1%")
+
+
+def _query_log(graph, num_queries: int, seed: int) -> list[tuple[int, int]]:
+    """A Zipf-skewed pair log: repetition (cache hits) plus cold pairs."""
+    rng = random.Random(seed)
+    n = graph.num_vertices
+    pool = [(rng.randrange(n), rng.randrange(n)) for _ in range(200)]
+    weights = [1.0 / (rank + 1) ** 1.3 for rank in range(len(pool))]
+    return rng.choices(pool, weights=weights, k=num_queries)
+
+
+def _run_arm(service: ReachabilityService, log: list[tuple[int, int]]) -> float:
+    """One closed-loop pass over the log; returns wall seconds."""
+    reach = service.reach
+    start = time.perf_counter()
+    for source, target in log:
+        reach(source, target)
+    return time.perf_counter() - start
+
+
+def overhead_rows(config: dict[str, int], seed: int = 29) -> dict[str, object]:
+    """Interleaved A/B: bare service vs tracker + 0.1% shadow auditor."""
+    graph = random_dag(config["vertices"], config["edges"], seed=seed)
+    log = _query_log(graph, config["queries"], seed=seed + 1)
+
+    bare = ReachabilityService(graph, index="GRAIL", cache_capacity=4096)
+    instrumented = ReachabilityService(graph, index="GRAIL", cache_capacity=4096)
+    auditor = ShadowAuditor(
+        sample_rate=AUDIT_RATE, metrics=instrumented.metrics, seed=seed
+    )
+    instrumented.attach_auditor(auditor)
+    tracker = SLOTracker(
+        OBJECTIVES,
+        instrumented.metrics,
+        breaker=instrumented.breaker,
+        fast_window_s=300.0,
+        slow_window_s=3600.0,
+    )
+    # 20x more aggressive cadences than the production defaults (5s
+    # evaluate / 250ms drain poll) so both background threads demonstrably
+    # run *inside* the timed rounds — the measured overhead is an upper
+    # bound on what the defaults cost.
+    auditor.start(poll_s=0.1)
+    tracker.start(interval_s=0.25)
+
+    # Warm both caches once so the timed rounds measure steady state.
+    _run_arm(bare, log[: len(log) // 4])
+    _run_arm(instrumented, log[: len(log) // 4])
+
+    # Interleave the arms and judge each round by its own bare/instrumented
+    # ratio: slow drift (thermal throttling, co-tenant CPU steal) hits both
+    # arms of a round roughly equally, so the median ratio is robust where
+    # best-of-rounds across arms is not.
+    ratios: list[float] = []
+    bare_s: list[float] = []
+    instrumented_s: list[float] = []
+    try:
+        for _ in range(config["rounds"]):
+            seconds_b = _run_arm(bare, log)
+            seconds_i = _run_arm(instrumented, log)
+            bare_s.append(seconds_b)
+            instrumented_s.append(seconds_i)
+            ratios.append(seconds_i / seconds_b)
+    finally:
+        tracker.stop()
+        auditor.stop()
+
+    median_ratio = sorted(ratios)[len(ratios) // 2]
+    overhead_pct = (median_ratio - 1.0) * 100.0
+    return {
+        "graph": graph,
+        "rounds": config["rounds"],
+        "queries_per_round": len(log),
+        "bare_qps": len(log) / min(bare_s),
+        "instrumented_qps": len(log) / min(instrumented_s),
+        "round_ratios": [round(r, 4) for r in ratios],
+        "overhead_pct": overhead_pct,
+        "audit": auditor.status(),
+        "slo_evaluations": instrumented.metrics.counter("slo.evaluations").value,
+    }
+
+
+def audit_rows(config: dict[str, int], seed: int = 31) -> dict[str, object]:
+    """Every answer audited (rate 1.0) against the BFS oracle: 0 mismatches."""
+    graph = random_dag(config["vertices"] // 2, config["edges"] // 2, seed=seed)
+    log = _query_log(graph, config["queries"] // 2, seed=seed + 1)
+    service = ReachabilityService(graph, index="GRAIL", cache_capacity=4096)
+    auditor = ShadowAuditor(
+        sample_rate=1.0,
+        metrics=service.metrics,
+        max_queue=len(log) + 1,
+        seed=seed,
+    )
+    service.attach_auditor(auditor)
+    for source, target in log:
+        service.reach(source, target)
+        if auditor.queue_depth > 64:
+            auditor.drain()
+    auditor.drain()
+    status = auditor.status()
+    return {
+        "queries": len(log),
+        "checked": status["checked"],
+        "mismatches": status["mismatches"],
+        "dropped": status["dropped"],
+    }
+
+
+def render(overhead: dict[str, object], audit: dict[str, object]) -> str:
+    graph = overhead["graph"]
+    return "\n".join(
+        [
+            render_table(
+                ["arm", "throughput (q/s)"],
+                [
+                    ("bare service", f"{overhead['bare_qps']:,.0f}"),
+                    ("tracker + 0.1% auditor", f"{overhead['instrumented_qps']:,.0f}"),
+                    ("overhead (median ratio)", f"{overhead['overhead_pct']:+.2f}%"),
+                    ("slo evaluations", f"{overhead['slo_evaluations']}"),
+                ],
+                title=(
+                    f"CLAIM-S8-SLO: |V|={graph.num_vertices:,} "
+                    f"|E|={graph.num_edges:,} DAG, "
+                    f"{overhead['queries_per_round']:,} queries x "
+                    f"{overhead['rounds']} rounds, best-of-rounds"
+                ),
+            ),
+            "",
+            render_table(
+                ["metric", "value"],
+                [
+                    ("answers audited", f"{audit['checked']:,}"),
+                    ("mismatches", f"{audit['mismatches']}"),
+                    ("dropped (queue full)", f"{audit['dropped']}"),
+                ],
+                title="shadow audit at sample_rate=1.0 (BFS oracle)",
+            ),
+        ]
+    )
+
+
+def headline(overhead: dict[str, object], audit: dict[str, object]) -> dict[str, object]:
+    return {
+        "slo_overhead_pct": {
+            "value": round(float(overhead["overhead_pct"]), 3),
+            "max": OVERHEAD_MAX_PCT,
+        },
+        "audit_mismatches": {"value": int(audit["mismatches"]), "max": 0},
+        # Raw throughput is machine-dependent, so the keys deliberately
+        # carry no judged suffix: bench_compare reports them without
+        # gating.  The portable contracts are the two ceilings above.
+        "throughput_bare": float(overhead["bare_qps"]),
+        "throughput_instrumented": float(overhead["instrumented_qps"]),
+    }
+
+
+def test_slo_overhead_and_audit(benchmark, report):
+    config = dict(TINY, queries=10_000, rounds=2)
+    overhead = benchmark.pedantic(
+        lambda: overhead_rows(config), rounds=1, iterations=1
+    )
+    audit = audit_rows(config)
+    report(render(overhead, audit))
+    assert audit["mismatches"] == 0
+    assert overhead["overhead_pct"] <= OVERHEAD_MAX_PCT, (
+        f"telemetry overhead {overhead['overhead_pct']:.2f}% "
+        f"> {OVERHEAD_MAX_PCT}%"
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--tiny", action="store_true", help="CI-sized run (smaller graph and log)"
+    )
+    add_json_argument(parser, "slo")
+    args = parser.parse_args(argv)
+    config = TINY if args.tiny else FULL
+
+    overhead = overhead_rows(config)
+    audit = audit_rows(config)
+    print(render(overhead, audit))
+
+    head = headline(overhead, audit)
+    results = {
+        "headline": head,
+        "overhead": {
+            key: value for key, value in overhead.items() if key != "graph"
+        },
+        "audit": audit,
+        "config": dict(config),
+    }
+    path = emit("slo", results, args.json)
+    print(f"\nwrote {path}")
+
+    failures = []
+    if audit["mismatches"]:
+        failures.append(f"{audit['mismatches']} audit mismatch(es)")
+    if overhead["overhead_pct"] > OVERHEAD_MAX_PCT:
+        failures.append(
+            f"overhead {overhead['overhead_pct']:.2f}% > {OVERHEAD_MAX_PCT}%"
+        )
+    if failures:
+        print("FAIL: " + "; ".join(failures), file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -37,6 +37,7 @@ __all__ = [
     "backend_name",
     "describe",
     "enabled",
+    "backend_labels",
     "kill_switch_engaged",
     "set_backend",
     "use_for_batch",
@@ -133,6 +134,24 @@ def use_for_batch(batch_len: int) -> bool:
     if not enabled():
         return False
     return _backend == "numpy" or batch_len >= MIN_BATCH
+
+
+def backend_labels() -> dict[str, str]:
+    """The backend identity as flat string labels for metric exposition.
+
+    Named so it cannot collide with the :mod:`repro.accel.labels`
+    submodule (importing that module would rebind a package attribute
+    called ``labels``).  The OpenMetrics ``repro_accel_info`` gauge
+    carries these, so every scrape records which kernel layer produced
+    the latencies next to it.
+    """
+    numpy = _numpy()
+    return {
+        "backend": backend_name(),
+        "selection": _backend,
+        "kill_switch": "1" if kill_switch_engaged() else "0",
+        "numpy_version": getattr(numpy, "__version__", None) or "absent",
+    }
 
 
 def describe() -> dict[str, object]:

@@ -84,11 +84,14 @@ def emit(name: str, results: object, path: str | Path | None = None) -> Path:
 
     ``results`` must be JSON-serialisable (plain dicts/lists/numbers from
     the measurement code).  ``path=None`` uses :func:`bench_path` in the
-    current directory.
+    current directory.  The envelope carries ``schema_version`` so
+    regression tooling (``tools/bench_compare.py``) can refuse artifacts
+    it does not understand instead of misreading them.
     """
     target = Path(path) if path is not None else bench_path(name)
     stamp = provenance()
     document = {
+        "schema_version": 1,
         "bench": name,
         "python": stamp["python"],
         "platform": stamp["platform"],

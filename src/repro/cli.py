@@ -29,7 +29,13 @@ Commands
     ``--trace`` enables the span tracer behind ``GET /debug/trace``;
     ``--index-param KEY=VALUE`` (repeatable) forwards build parameters
     to the index family (e.g. ``--index Sharded --index-param
-    num_shards=4``).
+    num_shards=4``); ``--slo 'reach.p99 < 5ms'`` (repeatable) tracks
+    burn-rate objectives that pre-emptively trip the breaker, and
+    ``--audit-rate 0.001`` shadow-audits served answers against the
+    BFS oracle.
+``repro top URL [--interval S] [--once]``
+    Live ops dashboard: poll a running service's ``GET /slo`` and
+    render routes, burn rates, breaker state, and audit verdicts.
 ``repro shard stats EDGELIST --shards K``
     Partition a graph (its condensation when cyclic) and report shard
     sizes, cut edges, and refinement moves without building indexes.
@@ -388,6 +394,12 @@ def _cmd_trace(args: argparse.Namespace) -> int:
             answer = index.query(s, t)
             print(f"Qr({args.source}, {args.target}) = {str(answer).lower()}")
         spans = TRACER.finished()
+        if args.since_ms is not None:
+            cutoff = time.time() - args.since_ms / 1000.0
+            spans = [s for s in spans if s.start_unix_s >= cutoff]
+        if args.max_spans is not None:
+            # Keep the newest roots: the tail of the finished list.
+            spans = spans[-max(0, args.max_spans):] if args.max_spans else []
         for span in spans:
             print(render_span_tree(span))
         if args.jsonl:
@@ -603,6 +615,32 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             coalesce=not args.no_coalesce,
             rebuild=args.rebuild,
         )
+    tracker = None
+    if args.slo:
+        from repro.errors import ReproError
+        from repro.slo import SLOTracker
+
+        try:
+            tracker = SLOTracker(
+                args.slo,
+                service.metrics,
+                breaker=service.breaker,
+                fast_window_s=args.slo_fast_window,
+                slow_window_s=args.slo_slow_window,
+            )
+        except ReproError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        tracker.start(interval_s=args.slo_interval)
+    auditor = None
+    if args.audit_rate:
+        from repro.slo import ShadowAuditor
+
+        auditor = ShadowAuditor(
+            sample_rate=args.audit_rate, metrics=service.metrics
+        )
+        service.attach_auditor(auditor)
+        auditor.start()
     advisor = None
     if args.advise_interval:
         from repro.service import AdvisorLoop
@@ -611,6 +649,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             service,
             interval_s=args.advise_interval,
             budget_bytes=args.advise_budget_bytes,
+            slo_tracker=tracker,
         )
         advisor.start()
     server = serve(
@@ -623,6 +662,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         queue_timeout_s=args.admission_wait_ms / 1000.0,
         default_timeout_ms=args.timeout_ms,
         advisor=advisor,
+        slo_tracker=tracker,
+        auditor=auditor,
     )
     host, port = server.server_address[:2]
     trace_line = (
@@ -662,6 +703,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         pass
     if advisor is not None:
         advisor.stop()
+    if tracker is not None:
+        tracker.stop()
+    if auditor is not None:
+        auditor.stop()
     drained = server.drain(args.drain_timeout)
     thread.join(timeout=args.drain_timeout + 1.0)
     for signum, handler in previous.items():
@@ -674,6 +719,32 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     print(f"shutdown: {state}", file=sys.stderr)
     print(service.metrics_text(), end="")
     return 0 if drained else 1
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    """Live ops dashboard: poll GET /slo and redraw a text frame."""
+    from repro.slo import fetch_slo, render_dashboard
+
+    url = args.url
+    if "://" not in url:
+        url = f"http://{url}"
+    while True:
+        try:
+            payload = fetch_slo(url)
+        except OSError as exc:
+            print(f"cannot reach {url}: {exc}", file=sys.stderr)
+            return 1
+        frame = render_dashboard(payload)
+        if args.once:
+            print(frame)
+            return 0
+        # Clear + home, then the frame — a flicker-free poor man's top.
+        sys.stdout.write("\x1b[2J\x1b[H" + frame + "\n")
+        sys.stdout.flush()
+        try:
+            time.sleep(args.interval)
+        except KeyboardInterrupt:
+            return 0
 
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
@@ -916,6 +987,20 @@ def main(argv: list[str] | None = None) -> int:
     trace.add_argument(
         "--jsonl", default=None, help="export recorded spans as JSON lines"
     )
+    trace.add_argument(
+        "--since-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="only show root spans that started within the last MS milliseconds",
+    )
+    trace.add_argument(
+        "--max-spans",
+        type=int,
+        default=None,
+        metavar="N",
+        help="cap the output to the N most recent root spans",
+    )
     trace.set_defaults(func=_cmd_trace)
 
     lquery = sub.add_parser("lquery", help="answer one path-constrained query")
@@ -1109,8 +1194,65 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="size budget the advisor loop holds recommendations to",
     )
+    serve.add_argument(
+        "--slo",
+        action="append",
+        metavar="SPEC",
+        default=None,
+        help="SLO objective to track, e.g. 'reach.p99 < 5ms', "
+        "'error_rate < 0.1%%', 'unknown_rate < 1%%' (repeatable); "
+        "burn-rate breaches trip the circuit breaker pre-emptively "
+        "and show at GET /slo",
+    )
+    serve.add_argument(
+        "--slo-fast-window",
+        type=float,
+        default=300.0,
+        metavar="SECONDS",
+        help="fast burn-rate window (default 300s)",
+    )
+    serve.add_argument(
+        "--slo-slow-window",
+        type=float,
+        default=3600.0,
+        metavar="SECONDS",
+        help="slow burn-rate window (default 3600s)",
+    )
+    serve.add_argument(
+        "--slo-interval",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help="how often the SLO tracker evaluates its objectives",
+    )
+    serve.add_argument(
+        "--audit-rate",
+        type=float,
+        default=0.0,
+        metavar="FRACTION",
+        help="shadow-audit this fraction of served pair queries against "
+        "the BFS oracle (e.g. 0.001; 0 disables)",
+    )
     _add_backend_argument(serve)
     serve.set_defaults(func=_cmd_serve)
+
+    top = sub.add_parser(
+        "top", help="live ops dashboard over a running service's GET /slo"
+    )
+    top.add_argument(
+        "url", help="service base URL (e.g. http://127.0.0.1:8080)"
+    )
+    top.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="refresh period between frames",
+    )
+    top.add_argument(
+        "--once", action="store_true", help="print one frame and exit"
+    )
+    top.set_defaults(func=_cmd_top)
 
     chaos_cmd = sub.add_parser(
         "chaos",
@@ -1122,8 +1264,8 @@ def main(argv: list[str] | None = None) -> int:
         action="append",
         metavar="POINT=KIND[:PROB][:MS]",
         help="fault to inject (repeatable); points: persistence.read, "
-        "shard.build_worker, kernels.sweep, service.handler; "
-        "kinds: delay, error, corrupt",
+        "shard.build_worker, kernels.sweep, service.handler, "
+        "service.query; kinds: delay, error, corrupt",
     )
     chaos_cmd.add_argument("--seed", type=int, default=0)
     chaos_cmd.add_argument("--index", default="PLL", help="plain index family")

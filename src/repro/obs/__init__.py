@@ -13,7 +13,10 @@ makes those numbers inspectable from live runs:
   :class:`BuildReport` on the finished index;
 * :mod:`repro.obs.metrics` — counters / latency histograms / the
   process-wide :func:`global_registry` that route-attribution and
-  planner tallies land in.
+  planner tallies land in;
+* :mod:`repro.obs.sketch` — the sliding-window, mergeable quantile
+  sketch behind every histogram (bounded memory, windowed p99s for the
+  SLO burn-rate tracker in :mod:`repro.slo`).
 
 Turn it on with :func:`enable_tracing`; everything is pay-for-use.
 """
@@ -26,6 +29,7 @@ from repro.obs.metrics import (
     default_latency_buckets,
     global_registry,
 )
+from repro.obs.sketch import WindowedQuantileSketch, WindowTotals
 from repro.obs.tracer import (
     TRACER,
     Span,
@@ -47,6 +51,8 @@ __all__ = [
     "MetricsRegistry",
     "default_latency_buckets",
     "global_registry",
+    "WindowedQuantileSketch",
+    "WindowTotals",
     "TRACER",
     "Span",
     "Tracer",

@@ -7,10 +7,16 @@ the index core attributes every query to its answering route; all of them
 meter through the primitives here.
 
 The histogram uses **fixed log-spaced buckets** (1-2.5-5 per decade,
-1 µs … 10 s), so recording is one bisect plus one integer increment
+1 µs … 10 s), so recording is one bisect plus a few integer increments
 under a lock and percentiles are read without storing samples — the
 classic monitoring-system design (and the reason p50/p95/p99 here are
-bucket *upper bounds*, not exact order statistics).
+bucket *upper bounds*, not exact order statistics).  Internally each
+histogram is a :class:`~repro.obs.sketch.WindowedQuantileSketch`:
+cumulative totals preserve the original API exactly, while a
+bounded-memory ring of time slices adds :meth:`LatencyHistogram.window`
+/ :meth:`LatencyHistogram.window_summary` — sliding-window quantiles
+the SLO burn-rate tracker in :mod:`repro.slo` evaluates — and
+:meth:`LatencyHistogram.merge` for cross-instance aggregation.
 
 Originally ``repro.service.metrics``; promoted to the cross-cutting
 ``repro.obs`` layer so the index core and the GDBMS planner can meter
@@ -23,7 +29,10 @@ route-attribution counters and the planner's routing tallies land in.
 from __future__ import annotations
 
 import threading
-from bisect import bisect_left
+import time
+from collections.abc import Callable
+
+from repro.obs.sketch import WindowedQuantileSketch, WindowTotals
 
 __all__ = [
     "Counter",
@@ -80,67 +89,59 @@ class LatencyHistogram:
     bucket.  ``percentile(p)`` returns the upper bound of the bucket
     where the cumulative count crosses ``p`` — an upper estimate whose
     error is bounded by the bucket width (≤ 2.5× at these bounds).
+
+    Backed by a :class:`~repro.obs.sketch.WindowedQuantileSketch`, so
+    alongside the cumulative view it answers *windowed* quantiles
+    (:meth:`window`, :meth:`window_summary`) from a bounded ring of
+    ``num_slices`` time slices covering the last ``window_s`` seconds,
+    and merges with geometry-identical histograms (:meth:`merge`).  All
+    access is serialised on one lock; ``clock`` is injectable for tests.
     """
 
-    def __init__(self, buckets: tuple[float, ...] = _DEFAULT_BUCKETS) -> None:
-        if not buckets or any(
-            b2 <= b1 for b1, b2 in zip(buckets, buckets[1:])
-        ):
-            raise ValueError("bucket bounds must be strictly increasing")
-        self._bounds = tuple(float(b) for b in buckets)
-        self._counts = [0] * (len(self._bounds) + 1)  # +1 overflow
+    def __init__(
+        self,
+        buckets: tuple[float, ...] = _DEFAULT_BUCKETS,
+        *,
+        window_s: float = 3600.0,
+        num_slices: int = 120,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        # 120 slices over one hour = 30 s granularity: both the SLO
+        # tracker's fast (5 m) and slow (1 h) windows read from one ring.
+        self._sketch = WindowedQuantileSketch(
+            tuple(buckets) if not isinstance(buckets, tuple) else buckets,
+            window_s=window_s,
+            num_slices=num_slices,
+            clock=clock,
+        )
+        self._bounds = self._sketch.bounds
         self._lock = threading.Lock()
-        self._count = 0
-        self._sum = 0.0
-        self._max = 0.0
 
     def observe(self, seconds: float) -> None:
         """Record one latency sample (seconds)."""
-        if seconds < 0:
-            seconds = 0.0
-        slot = bisect_left(self._bounds, seconds)
         with self._lock:
-            self._counts[slot] += 1
-            self._count += 1
-            self._sum += seconds
-            if seconds > self._max:
-                self._max = seconds
+            self._sketch.observe(seconds)
 
     @property
     def count(self) -> int:
         """Number of recorded samples."""
-        return self._count
+        return self._sketch.total_count
 
     @property
     def total_seconds(self) -> float:
         """Sum of all samples."""
-        return self._sum
+        return self._sketch.total_sum
 
     def mean(self) -> float:
         """Mean latency (0.0 when empty)."""
         with self._lock:
-            return self._sum / self._count if self._count else 0.0
+            count = self._sketch.total_count
+            return self._sketch.total_sum / count if count else 0.0
 
     def percentile(self, p: float) -> float:
         """Approximate ``p``-th percentile (``p`` in (0, 100])."""
         with self._lock:
-            return self._percentile_locked(p)
-
-    def _percentile_locked(self, p: float) -> float:
-        """Percentile from the current state; caller holds ``_lock``."""
-        if not 0.0 < p <= 100.0:
-            raise ValueError(f"percentile must be in (0, 100], got {p}")
-        if self._count == 0:
-            return 0.0
-        rank = p / 100.0 * self._count
-        cumulative = 0
-        for slot, count in enumerate(self._counts):
-            cumulative += count
-            if cumulative >= rank:
-                if slot < len(self._bounds):
-                    return self._bounds[slot]
-                return self._max  # overflow bucket
-        return self._max
+            return self._sketch.totals().quantile(p)
 
     def summary(self) -> dict[str, float | int]:
         """count / mean / p50 / p95 / p99 / max as a plain dict.
@@ -151,18 +152,65 @@ class LatencyHistogram:
         another (or a torn unlocked ``_max`` read).
         """
         with self._lock:
-            count = self._count
-            return {
-                "count": count,
-                "mean_s": self._sum / count if count else 0.0,
-                "p50_s": self._percentile_locked(50),
-                "p95_s": self._percentile_locked(95),
-                "p99_s": self._percentile_locked(99),
-                "max_s": self._max,
-            }
+            totals = self._sketch.totals()
+        count = totals.count
+        return {
+            "count": count,
+            "mean_s": totals.sum_s / count if count else 0.0,
+            "p50_s": totals.quantile(50),
+            "p95_s": totals.quantile(95),
+            "p99_s": totals.quantile(99),
+            "max_s": totals.max_s,
+        }
+
+    def window(self, lookback_s: float | None = None) -> WindowTotals:
+        """Aggregate of the last ``lookback_s`` seconds (≤ ``window_s``).
+
+        The returned :class:`~repro.obs.sketch.WindowTotals` is a
+        consistent copy — safe to merge with other routes' windows and
+        read quantiles from without further locking.
+        """
+        with self._lock:
+            return self._sketch.window(lookback_s)
+
+    def window_summary(
+        self, lookback_s: float | None = None
+    ) -> dict[str, float | int]:
+        """Windowed count / rate / mean / p50 / p95 / p99 / max dict."""
+        return self.window(lookback_s).summary()
+
+    def merge(self, other: "LatencyHistogram") -> "LatencyHistogram":
+        """Fold ``other``'s totals and live window into self; returns self.
+
+        Lock order is self-then-other; concurrent symmetric merges are
+        the caller's deadlock to avoid (aggregation runs one-way here:
+        scratch accumulator ← per-route histograms).
+        """
+        with self._lock:
+            with other._lock:
+                self._sketch.merge(other._sketch)
+        return self
+
+    def bucket_counts(self) -> tuple[tuple[float, ...], list[int], int, float, float]:
+        """``(bounds, counts_with_overflow, count, sum_s, max_s)`` snapshot.
+
+        One consistent read for exposition formats that need the raw
+        cumulative buckets (OpenMetrics ``_bucket{le=...}`` series).
+        """
+        with self._lock:
+            return (
+                self._bounds,
+                list(self._sketch.total_counts),
+                self._sketch.total_count,
+                self._sketch.total_sum,
+                self._sketch.total_max,
+            )
 
     def __repr__(self) -> str:
-        return f"LatencyHistogram(count={self._count}, mean={self.mean():.2e}s)"
+        return (
+            f"LatencyHistogram(count={self._sketch.total_count}, "
+            f"mean={self.mean():.2e}s)"
+        )
 
 
 class MetricsRegistry:
@@ -199,6 +247,21 @@ class MetricsRegistry:
             if name not in self._histograms:
                 self._histograms[name] = LatencyHistogram(buckets)
             return self._histograms[name]
+
+    def counter_values(self) -> dict[str, int]:
+        """Flat ``{dotted_name: value}`` snapshot of every counter."""
+        with self._lock:
+            counters = dict(self._counters)
+        return {name: counter.value for name, counter in counters.items()}
+
+    def histograms(self) -> dict[str, LatencyHistogram]:
+        """Shallow ``{dotted_name: histogram}`` snapshot (live objects).
+
+        The histogram objects are themselves thread-safe; callers read
+        windows/summaries from them without holding the registry lock.
+        """
+        with self._lock:
+            return dict(self._histograms)
 
     def as_dict(self) -> dict[str, object]:
         """All metrics as a nested plain dict (JSON-serialisable)."""

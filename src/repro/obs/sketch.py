@@ -1,0 +1,318 @@
+"""Sliding-window quantile sketches: bounded memory, mergeable, streaming.
+
+The cumulative histograms in :mod:`repro.obs.metrics` answer "what has
+the p99 been since the process started?" — the wrong question for SLO
+monitoring, where a breach is about the *last five minutes*, not the
+lifetime average a week of healthy traffic has diluted.  This module
+supplies the windowed substrate:
+
+* :class:`WindowedQuantileSketch` covers a sliding window of
+  ``window_s`` seconds with ``num_slices`` ring slots, each holding one
+  fixed set of log-spaced bucket counts.  ``observe`` is a bisect plus
+  two integer increments; memory is ``num_slices × (len(bounds) + 1)``
+  integers regardless of traffic volume.  Cumulative totals ride along
+  so the sketch fully replaces an unbounded/bucketed histogram.
+* :class:`WindowTotals` is the plain aggregate read out of a window —
+  bucket counts, count, sum, max — with :meth:`WindowTotals.merge` so
+  per-route (or per-shard) sketches combine into one distribution whose
+  quantiles are exactly those of the union of the samples' buckets.
+
+Slices are keyed by **absolute** slice index (``clock() // slice_s``),
+which is what makes two sketches with the same geometry mergeable: their
+rings align by construction, never by wall-clock luck.
+
+Nothing here locks: :class:`~repro.obs.metrics.LatencyHistogram` guards
+its sketch under the histogram lock, and standalone users single-thread
+their sketches or wrap them.
+"""
+
+from __future__ import annotations
+
+import time
+from bisect import bisect_left
+from collections.abc import Callable, Iterable
+
+__all__ = ["WindowTotals", "WindowedQuantileSketch"]
+
+
+class WindowTotals:
+    """The aggregate of one time window: bucket counts plus summary stats.
+
+    ``counts`` has one slot per bound plus a trailing overflow slot.
+    ``max_s`` is the largest sample seen in the window's slices (slice
+    granularity: a max outlives its sample by up to one slice).
+    """
+
+    __slots__ = ("bounds", "counts", "count", "sum_s", "max_s", "window_s")
+
+    def __init__(
+        self,
+        bounds: tuple[float, ...],
+        counts: list[int] | None = None,
+        count: int = 0,
+        sum_s: float = 0.0,
+        max_s: float = 0.0,
+        window_s: float = 0.0,
+    ) -> None:
+        self.bounds = bounds
+        self.counts = counts if counts is not None else [0] * (len(bounds) + 1)
+        self.count = count
+        self.sum_s = sum_s
+        self.max_s = max_s
+        self.window_s = window_s
+
+    def merge(self, other: "WindowTotals") -> "WindowTotals":
+        """Fold ``other`` into self (bucket-wise); returns self.
+
+        Both operands must share bucket bounds — quantiles of the merge
+        are then exact with respect to the combined bucket counts.
+        """
+        if other.bounds != self.bounds:
+            raise ValueError("cannot merge WindowTotals with different bounds")
+        for slot, value in enumerate(other.counts):
+            self.counts[slot] += value
+        self.count += other.count
+        self.sum_s += other.sum_s
+        if other.max_s > self.max_s:
+            self.max_s = other.max_s
+        if other.window_s > self.window_s:
+            self.window_s = other.window_s
+        return self
+
+    def quantile(self, p: float) -> float:
+        """Upper-bound ``p``-th percentile (``p`` in (0, 100]); 0.0 empty."""
+        if not 0.0 < p <= 100.0:
+            raise ValueError(f"percentile must be in (0, 100], got {p}")
+        if self.count == 0:
+            return 0.0
+        rank = p / 100.0 * self.count
+        cumulative = 0
+        for slot, value in enumerate(self.counts):
+            cumulative += value
+            if cumulative >= rank:
+                if slot < len(self.bounds):
+                    return self.bounds[slot]
+                return self.max_s  # overflow bucket
+        return self.max_s
+
+    def mean(self) -> float:
+        """Mean of the window's samples (0.0 when empty)."""
+        return self.sum_s / self.count if self.count else 0.0
+
+    def rate_per_s(self) -> float:
+        """Samples per second over the window (0.0 for a zero window)."""
+        return self.count / self.window_s if self.window_s > 0 else 0.0
+
+    def summary(self) -> dict[str, float | int]:
+        """count / rate / mean / p50 / p95 / p99 / max as a plain dict."""
+        return {
+            "count": self.count,
+            "window_s": self.window_s,
+            "rate_per_s": self.rate_per_s(),
+            "mean_s": self.mean(),
+            "p50_s": self.quantile(50),
+            "p95_s": self.quantile(95),
+            "p99_s": self.quantile(99),
+            "max_s": self.max_s,
+        }
+
+    @classmethod
+    def merged(cls, parts: Iterable["WindowTotals"]) -> "WindowTotals":
+        """The union of ``parts`` (empty parts iterable → empty totals)."""
+        result: WindowTotals | None = None
+        for part in parts:
+            if result is None:
+                result = cls(
+                    part.bounds,
+                    list(part.counts),
+                    part.count,
+                    part.sum_s,
+                    part.max_s,
+                    part.window_s,
+                )
+            else:
+                result.merge(part)
+        return result if result is not None else cls(())
+
+    def __repr__(self) -> str:
+        return (
+            f"WindowTotals(count={self.count}, window={self.window_s:g}s, "
+            f"p99={self.quantile(99) if self.count else 0.0:.2e}s)"
+        )
+
+
+class _Slice:
+    """One ring slot: bucket counts for one ``slice_s`` interval."""
+
+    __slots__ = ("index", "counts", "count", "sum_s", "max_s")
+
+    def __init__(self, num_buckets: int) -> None:
+        self.index = -1  # absolute slice index currently stored, -1 = empty
+        self.counts = [0] * num_buckets
+        self.count = 0
+        self.sum_s = 0.0
+        self.max_s = 0.0
+
+    def reset(self, index: int) -> None:
+        self.index = index
+        for slot in range(len(self.counts)):
+            self.counts[slot] = 0
+        self.count = 0
+        self.sum_s = 0.0
+        self.max_s = 0.0
+
+
+class WindowedQuantileSketch:
+    """A streaming sketch over a sliding window plus cumulative totals.
+
+    ``observe(seconds)`` files the sample into both the all-time totals
+    and the ring slot for the current ``slice_s = window_s /
+    num_slices`` interval; slots are recycled lazily as the clock
+    advances, so an idle sketch does no background work.  ``window()``
+    reads the slices covering the requested lookback as one
+    :class:`WindowTotals`.
+
+    Not thread-safe by itself — callers (``LatencyHistogram``) guard it.
+    """
+
+    __slots__ = (
+        "bounds",
+        "window_s",
+        "num_slices",
+        "_slice_s",
+        "_slices",
+        "_clock",
+        "total_counts",
+        "total_count",
+        "total_sum",
+        "total_max",
+    )
+
+    def __init__(
+        self,
+        bounds: tuple[float, ...],
+        window_s: float = 300.0,
+        num_slices: int = 30,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if not bounds or any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ValueError("bucket bounds must be strictly increasing")
+        if window_s <= 0:
+            raise ValueError(f"window_s must be > 0, got {window_s}")
+        if num_slices < 1:
+            raise ValueError(f"num_slices must be >= 1, got {num_slices}")
+        self.bounds = tuple(float(b) for b in bounds)
+        self.window_s = float(window_s)
+        self.num_slices = int(num_slices)
+        self._slice_s = self.window_s / self.num_slices
+        num_buckets = len(self.bounds) + 1  # + overflow
+        self._slices = [_Slice(num_buckets) for _ in range(self.num_slices)]
+        self._clock = clock
+        self.total_counts = [0] * num_buckets
+        self.total_count = 0
+        self.total_sum = 0.0
+        self.total_max = 0.0
+
+    # -- writing ---------------------------------------------------------
+    def observe(self, seconds: float) -> None:
+        """Record one sample into the totals and the current slice."""
+        if seconds < 0:
+            seconds = 0.0
+        slot = bisect_left(self.bounds, seconds)
+        self.total_counts[slot] += 1
+        self.total_count += 1
+        self.total_sum += seconds
+        if seconds > self.total_max:
+            self.total_max = seconds
+        current = self._current_slice()
+        current.counts[slot] += 1
+        current.count += 1
+        current.sum_s += seconds
+        if seconds > current.max_s:
+            current.max_s = seconds
+
+    def _current_slice(self) -> _Slice:
+        index = int(self._clock() / self._slice_s)
+        ring = self._slices[index % self.num_slices]
+        if ring.index != index:
+            ring.reset(index)
+        return ring
+
+    # -- reading ---------------------------------------------------------
+    def window(self, lookback_s: float | None = None) -> WindowTotals:
+        """The aggregate of the slices inside ``lookback_s`` (≤ window).
+
+        The lookback is clamped to whole slices, so the effective window
+        is ``ceil(lookback / slice_s)`` slices — at most one slice more
+        than asked for, never less (a fresh slice always counts).
+        """
+        if lookback_s is None or lookback_s > self.window_s:
+            lookback_s = self.window_s
+        if lookback_s <= 0:
+            raise ValueError(f"lookback_s must be > 0, got {lookback_s}")
+        now_index = int(self._clock() / self._slice_s)
+        keep = min(
+            self.num_slices, max(1, -(-lookback_s // self._slice_s).__int__())
+        )
+        oldest = now_index - keep + 1
+        totals = WindowTotals(self.bounds, window_s=keep * self._slice_s)
+        for ring in self._slices:
+            if oldest <= ring.index <= now_index and ring.count:
+                for slot, value in enumerate(ring.counts):
+                    totals.counts[slot] += value
+                totals.count += ring.count
+                totals.sum_s += ring.sum_s
+                if ring.max_s > totals.max_s:
+                    totals.max_s = ring.max_s
+        return totals
+
+    def totals(self) -> WindowTotals:
+        """All-time aggregate (the classic cumulative histogram view)."""
+        return WindowTotals(
+            self.bounds,
+            list(self.total_counts),
+            self.total_count,
+            self.total_sum,
+            self.total_max,
+        )
+
+    # -- merging ---------------------------------------------------------
+    def merge(self, other: "WindowedQuantileSketch") -> "WindowedQuantileSketch":
+        """Fold another sketch's totals and live slices into self.
+
+        Requires identical geometry (bounds, window, slice count) — the
+        absolute slice indexing then aligns the rings exactly.
+        """
+        if (
+            other.bounds != self.bounds
+            or other.window_s != self.window_s
+            or other.num_slices != self.num_slices
+        ):
+            raise ValueError("cannot merge sketches with different geometry")
+        for slot, value in enumerate(other.total_counts):
+            self.total_counts[slot] += value
+        self.total_count += other.total_count
+        self.total_sum += other.total_sum
+        if other.total_max > self.total_max:
+            self.total_max = other.total_max
+        for theirs in other._slices:
+            if theirs.index < 0 or not theirs.count:
+                continue
+            mine = self._slices[theirs.index % self.num_slices]
+            if mine.index != theirs.index:
+                if mine.index > theirs.index:
+                    continue  # ours is fresher; theirs expired
+                mine.reset(theirs.index)
+            for slot, value in enumerate(theirs.counts):
+                mine.counts[slot] += value
+            mine.count += theirs.count
+            mine.sum_s += theirs.sum_s
+            if theirs.max_s > mine.max_s:
+                mine.max_s = theirs.max_s
+        return self
+
+    def __repr__(self) -> str:
+        return (
+            f"WindowedQuantileSketch(window={self.window_s:g}s, "
+            f"slices={self.num_slices}, total={self.total_count})"
+        )

@@ -51,6 +51,7 @@ class CircuitBreaker:
         self._consecutive_failures = 0
         self._opened_at = 0.0
         self._probe_in_flight = False
+        self._trip_reason = ""
 
     @property
     def state(self) -> str:
@@ -90,6 +91,7 @@ class CircuitBreaker:
                 global_registry().counter("resilience.breaker.closes").increment()
             self._consecutive_failures = 0
             self._probe_in_flight = False
+            self._trip_reason = ""
 
     def record_failure(self) -> None:
         """A protected call failed; trip OPEN at the consecutive threshold."""
@@ -105,6 +107,30 @@ class CircuitBreaker:
                 global_registry().counter("resilience.breaker.trips").increment()
             self._probe_in_flight = False
 
+    def trip(self, reason: str = "") -> None:
+        """Force the breaker OPEN now, regardless of failure counts.
+
+        The pre-emptive path: the SLO tracker calls this when burn rates
+        breach, so the engine starts serving bounded degraded answers
+        *before* queries fail outright.  The normal recovery machinery
+        is untouched — after ``cooldown_s`` one HALF_OPEN probe runs and
+        a success closes the breaker (the tracker re-trips while the
+        burn persists).
+        """
+        with self._lock:
+            if self._state != self.OPEN:
+                global_registry().counter("resilience.breaker.trips").increment()
+                global_registry().counter(
+                    "resilience.breaker.preemptive_trips"
+                ).increment()
+            self._state = self.OPEN
+            self._opened_at = time.monotonic()
+            self._consecutive_failures = max(
+                self._consecutive_failures, self.failure_threshold
+            )
+            self._probe_in_flight = False
+            self._trip_reason = reason
+
     def snapshot(self) -> dict[str, object]:
         """State + counters as plain data (metrics/debug payloads)."""
         with self._lock:
@@ -114,6 +140,7 @@ class CircuitBreaker:
                 "consecutive_failures": self._consecutive_failures,
                 "failure_threshold": self.failure_threshold,
                 "cooldown_s": self.cooldown_s,
+                "trip_reason": self._trip_reason,
             }
 
     def __repr__(self) -> str:

@@ -30,7 +30,7 @@ import threading
 import time
 from collections.abc import Iterable
 from contextlib import contextmanager
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import ChaosInjectedError
 from repro.obs.metrics import global_registry
@@ -52,6 +52,7 @@ INJECTION_POINTS: dict[str, str] = {
     "shard.build_worker": "repro.shard one per-shard index build (worker)",
     "kernels.sweep": "repro.kernels.batch_reachable, before the sweep",
     "service.handler": "repro.service.server, at request dispatch",
+    "service.query": "repro.service.engine, inside the timed query path",
 }
 
 

@@ -17,6 +17,14 @@ Online re-optimization (:mod:`repro.advisor` integration): an
 :class:`AdvisorLoop` watches the service's telemetry, re-runs the index
 advisor when the workload or graph drifts, and swaps the recommended
 index in live via epoch-conditional adoption.
+
+Production telemetry (:mod:`repro.slo` integration): an
+:class:`~repro.slo.SLOTracker` turns the per-route latency sketches and
+counters into burn-rate objectives that trip the breaker pre-emptively
+and feed the advisor; a :class:`~repro.slo.ShadowAuditor` attached via
+:meth:`ReachabilityService.attach_auditor` replays sampled answers
+against the BFS oracle; ``/metrics?format=openmetrics`` and ``/slo``
+expose it all.
 """
 
 from repro.service.admission import AdmissionController

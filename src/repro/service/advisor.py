@@ -74,7 +74,11 @@ class AdvisorLoop:
     * workload drift — at least ``min_queries`` new queries arrived
       *and* the normalised route mix (cache / plain_index / traversal /
       degraded shares) moved by more than ``drift_threshold`` in L1
-      distance.
+      distance;
+    * SLO burn — an attached :class:`~repro.slo.SLOTracker` reports a
+      breached objective (``slo_tracker=``): when latency or error-rate
+      burn says the current index stopped meeting its objectives,
+      re-advising immediately beats waiting for the route mix to move.
     """
 
     def __init__(
@@ -88,6 +92,7 @@ class AdvisorLoop:
         min_queries: int = 100,
         drift_threshold: float = 0.2,
         seed: int = 0,
+        slo_tracker: object | None = None,
     ) -> None:
         self._service = service
         self._interval_s = interval_s
@@ -97,6 +102,7 @@ class AdvisorLoop:
         self._min_queries = min_queries
         self._drift_threshold = drift_threshold
         self._seed = seed
+        self._slo_tracker = slo_tracker
         self._stop = threading.Event()
         self._thread: threading.Thread | None = None
         self._lock = threading.Lock()  # serialises concurrent tick() calls
@@ -120,6 +126,10 @@ class AdvisorLoop:
     def _drifted(self, metrics: Mapping[str, object]) -> tuple[bool, str]:
         if self._baseline_routes is None:
             return True, "first tick"
+        tracker = self._slo_tracker
+        if tracker is not None and tracker.burning():
+            breached = ", ".join(tracker.breached_objectives()) or "objectives"
+            return True, f"SLO burn: {breached}"
         updates = _updates_applied(metrics)
         if updates != self._baseline_updates:
             return True, f"graph drift: {updates - self._baseline_updates} updates applied"

@@ -58,6 +58,7 @@ from repro.graphs.topo import is_dag
 from repro.obs.metrics import MetricsRegistry, global_registry
 from repro.obs.tracer import TRACER
 from repro.resilience.breaker import CircuitBreaker
+from repro.resilience.chaos import chaos_point
 from repro.service.batching import QueryCoalescer, dedupe
 from repro.service.cache import MISS, ResultCache
 from repro.traversal.rpq import rpq_reachable
@@ -182,9 +183,11 @@ class ReachabilityService:
             failure_threshold=breaker_threshold,
             cooldown_s=breaker_cooldown_s,
         )
+        self._auditor = None  # attach_auditor: shadow correctness sampling
         for route in ROUTES + DEGRADED_ROUTES:
             self._metrics.counter(f"service.queries.{route}")
             self._metrics.histogram(f"service.latency.{route}")
+        self._metrics.counter("service.unknowns")
         self._metrics.counter("service.batch.requests")
         self._metrics.counter("service.batch.pairs")
         self._metrics.counter("service.batch.cache_hits")
@@ -272,6 +275,17 @@ class ReachabilityService:
         """The per-index circuit breaker guarding snapshot queries."""
         return self._breaker
 
+    def attach_auditor(self, auditor) -> None:
+        """Attach a shadow correctness auditor (``None`` detaches).
+
+        The auditor's :meth:`~repro.slo.audit.ShadowAuditor.offer` is
+        called with ``(snapshot, source, target, answer, route)`` for
+        every exact plain answer served — cache hits included, since a
+        poisoned cache is exactly the failure shadow auditing exists to
+        catch.  Cost with no auditor attached: one attribute read.
+        """
+        self._auditor = auditor
+
     def reach(self, source: int, target: int) -> bool:
         """Plain reachability at the current epoch."""
         return self.reach_ex(source, target).answer
@@ -334,7 +348,9 @@ class ReachabilityService:
             keys = [(int(s), int(t)) for s, t in pairs]
             results: list[QueryResult | None] = [None] * len(keys)
             cache = self._cache
+            auditor = self._auditor
             cache_hits = 0
+            unknowns = 0
             misses: list[int] = []
             if cache is not None:
                 for position, (s, t) in enumerate(keys):
@@ -342,6 +358,8 @@ class ReachabilityService:
                     if hit is not MISS:
                         results[position] = QueryResult(bool(hit), epoch, "cache")
                         cache_hits += 1
+                        if auditor is not None:
+                            auditor.offer(snap, s, t, bool(hit), "cache")
                     else:
                         misses.append(position)
             else:
@@ -354,6 +372,8 @@ class ReachabilityService:
                 for position in misses:
                     s, t = keys[position]
                     answer = self._degraded_probe(snap, (s, t, None))
+                    if answer is None:
+                        unknowns += 1
                     results[position] = QueryResult(answer, epoch, "degraded")
             elif misses:
                 unique, back_refs = dedupe([keys[i] for i in misses])
@@ -370,6 +390,7 @@ class ReachabilityService:
                         results[position] = QueryResult(
                             None, epoch, "deadline_abort"
                         )
+                    unknowns += len(misses)
                 except (QueryError, ServiceError):
                     raise
                 except Exception:
@@ -378,6 +399,8 @@ class ReachabilityService:
                     for position in misses:
                         s, t = keys[position]
                         answer = self._degraded_probe(snap, (s, t, None))
+                        if answer is None:
+                            unknowns += 1
                         results[position] = QueryResult(answer, epoch, "degraded")
                 else:
                     self._breaker.record_success()
@@ -385,6 +408,9 @@ class ReachabilityService:
                     if cache is not None:
                         for (s, t), answer in zip(unique, answers):
                             cache.put((s, t, None), epoch, answer)
+                    if auditor is not None:
+                        for (s, t), answer in zip(unique, answers):
+                            auditor.offer(snap, s, t, answer, "plain_index")
                     for position, slot in zip(misses, back_refs):
                         results[position] = QueryResult(
                             answers[slot], epoch, "plain_index"
@@ -393,6 +419,8 @@ class ReachabilityService:
                 self._metrics.counter(
                     f"service.queries.{degraded_route}"
                 ).increment(len(misses))
+            if unknowns:
+                self._metrics.counter("service.unknowns").increment(unknowns)
             span.annotate(cache_hits=cache_hits, computed=computed)
             self._metrics.counter("service.queries.cache").increment(cache_hits)
             self._metrics.counter("service.queries.plain_index").increment(computed)
@@ -479,11 +507,16 @@ class ReachabilityService:
                 if hit is not MISS:
                     self._record("cache", start)
                     span.annotate(route="cache", answer=bool(hit))
+                    self._maybe_audit(snap, key, bool(hit), "cache")
                     return QueryResult(bool(hit), snap.epoch, "cache")
             if not self._breaker.allow():
                 answer = self._degraded_probe(snap, key)
                 self._record("degraded", start)
                 span.annotate(route="degraded", answer=answer)
+                if answer is None:
+                    self._metrics.counter("service.unknowns").increment()
+                else:
+                    self._maybe_audit(snap, key, answer, "degraded")
                 return QueryResult(answer, snap.epoch, "degraded")
             try:
                 if self._coalescer is not None:
@@ -497,6 +530,7 @@ class ReachabilityService:
                 # signal, so the breaker is untouched.
                 global_registry().counter("resilience.deadline.aborts").increment()
                 self._record("deadline_abort", start)
+                self._metrics.counter("service.unknowns").increment()
                 span.annotate(route="deadline_abort", answer=None)
                 return QueryResult(None, snap.epoch, "deadline_abort")
             except (QueryError, ServiceError):
@@ -508,13 +542,28 @@ class ReachabilityService:
                 answer = self._degraded_probe(snap, key)
                 self._record("degraded", start)
                 span.annotate(route="degraded", answer=answer)
+                if answer is None:
+                    self._metrics.counter("service.unknowns").increment()
                 return QueryResult(answer, snap.epoch, "degraded")
             self._breaker.record_success()
             if self._cache is not None:
                 self._cache.put(key, snap.epoch, answer)
             self._record(route, start)
             span.annotate(route=route, answer=answer)
+            self._maybe_audit(snap, key, answer, route)
             return QueryResult(answer, snap.epoch, route, shared)
+
+    def _maybe_audit(
+        self,
+        snap: Snapshot,
+        key: tuple[int, int, str | None],
+        answer: bool | None,
+        route: str,
+    ) -> None:
+        """Offer one exact plain answer to the attached shadow auditor."""
+        auditor = self._auditor
+        if auditor is not None and key[2] is None and answer is not None:
+            auditor.offer(snap, key[0], key[1], answer, route)
 
     def _degraded_probe(self, snap: Snapshot, key: tuple[int, int, str | None]):
         """The three-valued lookup-only fallback: bool when a certificate
@@ -541,6 +590,9 @@ class ReachabilityService:
         return None
 
     def _evaluate(self, snap: Snapshot, key: tuple[int, int, str | None]) -> tuple[bool, str]:
+        # Inside the timed region, so injected delays land in the
+        # service.latency.* histograms the SLO tracker watches.
+        chaos_point("service.query")
         source, target, constraint = key
         if constraint is None:
             return snap.plain.query(source, target), "plain_index"

@@ -8,7 +8,14 @@ the engine's single-writer path.
 Routes
 ------
 ``GET /healthz``
-    ``{"status": "ok", "epoch": N}`` — liveness plus current epoch.
+    Pure liveness: ``{"status": "ok", "uptime_s": T}`` — answers 200
+    as long as the process serves HTTP, even while draining.  Point
+    restart-deciding probes here.
+``GET /readyz``
+    Readiness: 200 with ``{"status": "ok", "epoch", "index",
+    "index_params", "mode", "backend", "uptime_s", "in_flight"}``
+    while accepting traffic; 503 with ``"status": "draining"`` once a
+    drain began.  Point load-balancer membership probes here.
 ``GET /reach?source=S&target=T``
     Plain reachability; answer plus epoch/route provenance.
 ``GET /lreach?source=S&target=T&constraint=C``
@@ -22,7 +29,15 @@ Routes
     "label": "a"}, ...]}`` (``label`` only in labeled mode).  Applies
     the batch as one snapshot swap and returns the new epoch.
 ``GET /metrics``
-    Flat text exposition; ``?format=json`` for the nested dict.
+    Flat text exposition; ``?format=json`` for the nested dict;
+    ``?format=openmetrics`` for the OpenMetrics/Prometheus document
+    (labelled families, histogram buckets, ``# EOF`` terminated — see
+    :mod:`repro.slo.openmetrics`).
+``GET /slo``
+    The live ops payload: per-route windowed quantiles, SLO burn rates
+    and breach states (when a tracker is attached), shadow-audit status
+    (when an auditor is attached), epoch/index/backend identity.  The
+    ``repro top`` dashboard renders exactly this.
 ``GET /explain?source=S&target=T``
     The routed decision path the query takes (cache probe, label probe,
     certificate, fallback) without bumping route counters.
@@ -67,9 +82,11 @@ from __future__ import annotations
 
 import json
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlsplit
 
+from repro import accel
 from repro.advisor import advise
 from repro.errors import (
     ChaosInjectedError,
@@ -83,12 +100,15 @@ from repro.resilience.deadline import deadline_scope
 from repro.service.admission import AdmissionController
 from repro.service.advisor import AdvisorLoop
 from repro.service.engine import QueryResult, ReachabilityService
+from repro.slo import build_slo_payload, service_openmetrics
 from repro.workloads.updates import EdgeOp, LabeledEdgeOp
 
 __all__ = ["ServiceHTTPServer", "serve"]
 
-#: Routes that bypass admission control (must answer under saturation).
-UNGATED_PATHS = ("/healthz", "/metrics")
+#: Routes that bypass admission control (must answer under saturation —
+#: health probes, scrapers and the ops dashboard are how an operator
+#: *sees* the saturation).
+UNGATED_PATHS = ("/healthz", "/readyz", "/metrics", "/slo")
 
 
 class ServiceHTTPServer(ThreadingHTTPServer):
@@ -104,6 +124,8 @@ class ServiceHTTPServer(ThreadingHTTPServer):
         admission: AdmissionController | None = None,
         default_timeout_ms: float | None = None,
         advisor: "AdvisorLoop | None" = None,
+        slo_tracker: object | None = None,
+        auditor: object | None = None,
     ) -> None:
         super().__init__(address, _Handler)
         self.service = service
@@ -111,6 +133,14 @@ class ServiceHTTPServer(ThreadingHTTPServer):
         self.admission = admission if admission is not None else AdmissionController()
         self.default_timeout_ms = default_timeout_ms
         self.advisor = advisor
+        self.slo_tracker = slo_tracker
+        self.auditor = auditor
+        self.started_at = time.monotonic()
+
+    @property
+    def uptime_s(self) -> float:
+        """Seconds since this server object was constructed."""
+        return time.monotonic() - self.started_at
 
     def start_background(self) -> threading.Thread:
         """Run ``serve_forever`` on a daemon thread (tests, embedding)."""
@@ -141,6 +171,8 @@ def serve(
     queue_timeout_s: float = 0.25,
     default_timeout_ms: float | None = None,
     advisor: AdvisorLoop | None = None,
+    slo_tracker: object | None = None,
+    auditor: object | None = None,
 ) -> ServiceHTTPServer:
     """Bind a :class:`ServiceHTTPServer`; call ``serve_forever`` to run."""
     admission = AdmissionController(
@@ -155,6 +187,8 @@ def serve(
         admission=admission,
         default_timeout_ms=default_timeout_ms,
         advisor=advisor,
+        slo_tracker=slo_tracker,
+        auditor=auditor,
     )
 
 
@@ -284,12 +318,37 @@ class _Handler(BaseHTTPRequestHandler):
     def _route_get(self, path: str) -> None:
         service = self.server.service
         if path == "/healthz":
-            payload: dict[str, object] = {"status": "ok", "epoch": service.epoch}
+            # Pure liveness: the process answers HTTP, nothing more.
+            # Draining is a readiness concern — a restart probe that
+            # kills a draining server would defeat graceful shutdown.
+            self._send_json(
+                200, {"status": "ok", "uptime_s": self.server.uptime_s}
+            )
+        elif path == "/readyz":
             admission = self.server.admission
-            if admission.draining:
-                payload["status"] = "draining"
-            payload["in_flight"] = admission.in_flight
-            self._send_json(200, payload)
+            draining = admission.draining
+            payload: dict[str, object] = {
+                "status": "draining" if draining else "ok",
+                "epoch": service.epoch,
+                "index": service.index_name,
+                "index_params": service.index_params,
+                "mode": "labeled" if service.labeled_mode else "plain",
+                "backend": accel.backend_name(),
+                "uptime_s": self.server.uptime_s,
+                "in_flight": admission.in_flight,
+            }
+            self._send_json(503 if draining else 200, payload)
+        elif path == "/slo":
+            self._send_json(
+                200,
+                build_slo_payload(
+                    service,
+                    tracker=self.server.slo_tracker,
+                    auditor=self.server.auditor,
+                    uptime_s=self.server.uptime_s,
+                    draining=self.server.admission.draining,
+                ),
+            )
         elif path == "/reach":
             params = self._params()
             result = service.reach_ex(
@@ -308,8 +367,22 @@ class _Handler(BaseHTTPRequestHandler):
             )
             self._send_json(200, self._query_payload(result))
         elif path == "/metrics":
-            if self._params().get("format") == "json":
+            fmt = self._params().get("format")
+            if fmt == "json":
                 self._send_json(200, service.metrics_dict())
+            elif fmt == "openmetrics":
+                self._send(
+                    200,
+                    service_openmetrics(
+                        service,
+                        tracker=self.server.slo_tracker,
+                        auditor=self.server.auditor,
+                        uptime_s=self.server.uptime_s,
+                        admission=self.server.admission,
+                    ).encode(),
+                    "application/openmetrics-text; version=1.0.0; "
+                    "charset=utf-8",
+                )
             else:
                 self._send(
                     200,
@@ -359,6 +432,15 @@ class _Handler(BaseHTTPRequestHandler):
         elif path == "/debug/trace":
             params = self._params()
             spans = TRACER.finished()
+            if "since_ms" in params:
+                try:
+                    since_ms = float(params["since_ms"])
+                except ValueError:
+                    raise ValueError(
+                        "parameter 'since_ms' must be a number"
+                    ) from None
+                cutoff = time.time() - since_ms / 1000.0
+                spans = [s for s in spans if s.start_unix_s >= cutoff]
             if "limit" in params:
                 try:
                     limit = max(0, int(params["limit"]))

@@ -1,0 +1,49 @@
+"""repro.slo — production telemetry on top of :mod:`repro.obs`.
+
+The observability layer records; this layer *judges and acts*.  The
+survey's workload-dependence finding — no index dominates, so a running
+deployment must watch its own behaviour to know when its index stopped
+being the right one — becomes operational here:
+
+* :mod:`repro.slo.objectives` — declarative SLOs (``reach.p99 < 5ms``,
+  ``error_rate < 0.1%``) evaluated by an :class:`SLOTracker` as
+  fast/slow multi-window burn rates over the histogram sketch ring;
+  breaches trip the resilience circuit breaker pre-emptively and feed
+  the advisor loop's re-advise trigger;
+* :mod:`repro.slo.openmetrics` — OpenMetrics/Prometheus text exposition
+  of every registry with dotted suffixes promoted to labels, plus the
+  strict line-format validator the tests and CI hold it to;
+* :mod:`repro.slo.audit` — the :class:`ShadowAuditor`, replaying a
+  sample of served answers against the BFS oracle on the same epoch
+  snapshot (``slo.audit.mismatches`` must stay 0);
+* :mod:`repro.slo.dashboard` — the ``GET /slo`` payload and the
+  ``repro top`` terminal frame.
+
+Everything here reads metric *names*, not serving-tier types, so the
+package imports only :mod:`repro.obs` / :mod:`repro.traversal` and
+attaches to a service by duck type.
+"""
+
+from repro.slo.audit import ShadowAuditor
+from repro.slo.dashboard import build_slo_payload, fetch_slo, render_dashboard
+from repro.slo.objectives import Objective, SLOTracker, parse_objective
+from repro.slo.openmetrics import (
+    Gauge,
+    render_openmetrics,
+    service_openmetrics,
+    validate_openmetrics,
+)
+
+__all__ = [
+    "Gauge",
+    "Objective",
+    "SLOTracker",
+    "ShadowAuditor",
+    "build_slo_payload",
+    "fetch_slo",
+    "parse_objective",
+    "render_dashboard",
+    "render_openmetrics",
+    "service_openmetrics",
+    "validate_openmetrics",
+]

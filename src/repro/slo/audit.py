@@ -1,0 +1,202 @@
+"""Shadow correctness auditing: replay served answers against the oracle.
+
+An index bug that returns *wrong* booleans is invisible to every other
+signal in the stack — latency, error rate, breaker state all stay
+green.  The auditor closes that hole the way the test suite's
+differential matrices do, but continuously and in production: it
+samples a small fraction (default 0.1%) of served plain pair queries
+and replays each against :func:`~repro.traversal.online.bfs_reachable`
+**on the same epoch snapshot that served it**, so a concurrent update
+batch can never manufacture a false alarm.
+
+The serving hot path pays one RNG draw per exact answer
+(:meth:`ShadowAuditor.offer`); sampled queries land in a bounded queue
+(overflow is counted as ``slo.audit.dropped``, never blocks) and a
+background thread — or a synchronous :meth:`ShadowAuditor.drain` in
+tests and CI — does the BFS work.  Tallies land in the attached
+registry as ``slo.audit.sampled`` / ``checked`` / ``mismatches`` /
+``dropped``; **mismatches must stay 0**.  On a mismatch the auditor
+captures a full trace (pair, epoch, route, served vs. oracle answer,
+and the index's own ``explain`` rationale) into a bounded ring exposed
+via :meth:`ShadowAuditor.status`, so the one repro that matters
+survives to be read.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from collections import deque
+
+from repro.obs.metrics import MetricsRegistry, global_registry
+from repro.traversal.online import bfs_reachable
+
+__all__ = ["ShadowAuditor"]
+
+
+class ShadowAuditor:
+    """Background sampler verifying served answers against BFS.
+
+    ``sample_rate`` is the per-answer probability of enqueueing;
+    ``max_queue`` bounds pending work (each entry pins its snapshot, so
+    the bound also caps retained epochs); ``max_traces`` bounds kept
+    mismatch records.  ``seed`` makes sampling deterministic for tests.
+    """
+
+    def __init__(
+        self,
+        *,
+        sample_rate: float = 0.001,
+        metrics: MetricsRegistry | None = None,
+        max_queue: int = 256,
+        max_traces: int = 16,
+        seed: int | None = None,
+    ) -> None:
+        if not 0.0 <= sample_rate <= 1.0:
+            raise ValueError(
+                f"sample_rate must be in [0, 1], got {sample_rate}"
+            )
+        if max_queue < 1:
+            raise ValueError(f"max_queue must be >= 1, got {max_queue}")
+        self.sample_rate = float(sample_rate)
+        self._metrics = metrics if metrics is not None else global_registry()
+        self._rng = random.Random(seed)
+        self._max_queue = int(max_queue)
+        self._queue: deque = deque()
+        self._lock = threading.Lock()
+        self._pending = threading.Event()
+        self._traces: deque[dict[str, object]] = deque(maxlen=max_traces)
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        for event in ("sampled", "checked", "mismatches", "dropped"):
+            self._metrics.counter(f"slo.audit.{event}")
+
+    # -- hot path --------------------------------------------------------
+    def offer(
+        self,
+        snapshot,
+        source: int,
+        target: int,
+        answer: bool,
+        route: str,
+    ) -> None:
+        """Maybe sample one served exact answer (cheap: one RNG draw).
+
+        Callers pass only plain (unconstrained) queries with boolean
+        answers — UNKNOWNs assert nothing and are not auditable.
+        """
+        if self._rng.random() >= self.sample_rate:
+            return
+        with self._lock:
+            if len(self._queue) >= self._max_queue:
+                self._metrics.counter("slo.audit.dropped").increment()
+                return
+            self._queue.append((snapshot, source, target, answer, route))
+        self._metrics.counter("slo.audit.sampled").increment()
+        self._pending.set()
+
+    # -- verification ----------------------------------------------------
+    def drain(self) -> int:
+        """Verify everything queued right now; returns the number checked.
+
+        Synchronous and reentrant-safe — tests and the CI smoke call it
+        directly instead of racing the background thread.
+        """
+        checked = 0
+        while True:
+            with self._lock:
+                if not self._queue:
+                    self._pending.clear()
+                    return checked
+                item = self._queue.popleft()
+            self._check(*item)
+            checked += 1
+
+    def _check(
+        self, snapshot, source: int, target: int, answer: bool, route: str
+    ) -> None:
+        oracle = bfs_reachable(snapshot.graph, source, target)
+        self._metrics.counter("slo.audit.checked").increment()
+        if bool(answer) == oracle:
+            return
+        self._metrics.counter("slo.audit.mismatches").increment()
+        trace: dict[str, object] = {
+            "source": source,
+            "target": target,
+            "epoch": snapshot.epoch,
+            "route": route,
+            "served": bool(answer),
+            "oracle": oracle,
+            "index": type(snapshot.plain).__name__,
+        }
+        try:
+            explanation = snapshot.plain.explain(source, target)
+            trace["explain"] = explanation.as_dict()
+        except Exception as exc:  # noqa: BLE001 — the trace must survive
+            trace["explain_error"] = f"{type(exc).__name__}: {exc}"
+        with self._lock:
+            self._traces.append(trace)
+
+    # -- state -----------------------------------------------------------
+    @property
+    def queue_depth(self) -> int:
+        """Sampled queries awaiting verification."""
+        with self._lock:
+            return len(self._queue)
+
+    @property
+    def mismatches(self) -> int:
+        """Total mismatches observed (must stay 0)."""
+        return self._metrics.counter("slo.audit.mismatches").value
+
+    def status(self) -> dict[str, object]:
+        """Counters, queue depth and captured mismatch traces as a dict."""
+        values = self._metrics.counter_values()
+        with self._lock:
+            depth = len(self._queue)
+            traces = [dict(t) for t in self._traces]
+        return {
+            "sample_rate": self.sample_rate,
+            "sampled": values.get("slo.audit.sampled", 0),
+            "checked": values.get("slo.audit.checked", 0),
+            "mismatches": values.get("slo.audit.mismatches", 0),
+            "dropped": values.get("slo.audit.dropped", 0),
+            "queue_depth": depth,
+            "traces": traces,
+        }
+
+    # -- background thread -----------------------------------------------
+    def start(self, poll_s: float = 0.25) -> threading.Thread:
+        """Drain the queue on a daemon thread whenever work arrives."""
+        if self._thread is not None and self._thread.is_alive():
+            return self._thread
+        self._stop.clear()
+
+        def run() -> None:
+            while not self._stop.is_set():
+                self._pending.wait(poll_s)
+                try:
+                    self.drain()
+                except Exception:  # noqa: BLE001 — the auditor must survive
+                    pass
+
+        self._thread = threading.Thread(
+            target=run, name="shadow-auditor", daemon=True
+        )
+        self._thread.start()
+        return self._thread
+
+    def stop(self, timeout_s: float = 5.0) -> None:
+        """Signal the thread to exit, drain the tail, and join."""
+        self._stop.set()
+        self._pending.set()
+        if self._thread is not None:
+            self._thread.join(timeout=timeout_s)
+            self._thread = None
+        self.drain()
+
+    def __repr__(self) -> str:
+        return (
+            f"ShadowAuditor(rate={self.sample_rate}, "
+            f"queued={self.queue_depth}, mismatches={self.mismatches})"
+        )

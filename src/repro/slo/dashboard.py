@@ -1,0 +1,185 @@
+"""The ops view: the ``/slo`` JSON payload and the ``repro top`` frame.
+
+One function builds the payload (:func:`build_slo_payload` — duck-typed
+over the service so this module imports nothing from the serving tier),
+one renders it as a fixed-width terminal frame
+(:func:`render_dashboard` — pure string-in/string-out, so tests assert
+on it without a TTY).  ``repro top`` in the CLI glues them to a live
+server: fetch ``GET /slo``, render, clear, repeat.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.request
+
+__all__ = ["build_slo_payload", "fetch_slo", "render_dashboard"]
+
+
+def build_slo_payload(
+    service,
+    *,
+    tracker=None,
+    auditor=None,
+    uptime_s: float | None = None,
+    draining: bool = False,
+    window_s: float = 300.0,
+) -> dict[str, object]:
+    """Everything ``repro top`` shows, as one JSON-safe dict.
+
+    Per-route quantiles are *windowed* (last ``window_s`` seconds from
+    the histogram sketch ring), not lifetime — the dashboard is about
+    now, the cumulative view stays on ``/metrics``.
+    """
+    from repro import accel
+
+    routes: dict[str, dict[str, float | int]] = {}
+    for name, histogram in sorted(service.metrics.histograms().items()):
+        prefix = "service.latency."
+        if name.startswith(prefix):
+            summary = histogram.window_summary(window_s)
+            if summary["count"]:
+                routes[name[len(prefix):]] = summary
+    counters = service.metrics.counter_values()
+    served = sum(
+        value
+        for name, value in counters.items()
+        if name.startswith("service.queries.")
+    )
+    payload: dict[str, object] = {
+        "epoch": service.epoch,
+        "index": service.index_name,
+        "index_params": service.index_params,
+        "mode": "labeled" if service.labeled_mode else "plain",
+        "backend": accel.backend_name(),
+        "draining": draining,
+        "window_s": window_s,
+        "routes": routes,
+        "queries_total": served,
+        "unknowns_total": counters.get("service.unknowns", 0),
+        "breaker": service.breaker.snapshot(),
+        "slo": tracker.status() if tracker is not None else None,
+        "audit": auditor.status() if auditor is not None else None,
+    }
+    if uptime_s is not None:
+        payload["uptime_s"] = uptime_s
+    return payload
+
+
+def fetch_slo(base_url: str, timeout_s: float = 5.0) -> dict[str, object]:
+    """GET ``<base_url>/slo`` and decode the payload."""
+    url = base_url.rstrip("/") + "/slo"
+    with urllib.request.urlopen(url, timeout=timeout_s) as response:
+        return json.load(response)
+
+
+def _fmt_latency(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.2f}s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.2f}ms"
+    return f"{seconds * 1e6:.0f}µs"
+
+
+def _fmt_burn(burn: float) -> str:
+    return f"{burn:.2f}x"
+
+
+def render_dashboard(payload: dict, width: int = 78) -> str:
+    """One terminal frame of the SLO payload (pure; no ANSI codes).
+
+    Sections: identity header, per-route windowed quantiles, SLO burn
+    table, audit status.  Everything degrades gracefully when a section
+    is absent (no tracker, no auditor, no traffic yet).
+    """
+    rule = "─" * width
+    lines: list[str] = []
+    state = "DRAINING" if payload.get("draining") else "SERVING"
+    uptime = payload.get("uptime_s")
+    uptime_text = f"  up {float(uptime):.0f}s" if uptime is not None else ""
+    lines.append(rule)
+    lines.append(
+        f" repro top · {state} · epoch {payload.get('epoch', '?')} · "
+        f"index {payload.get('index', '?')} · backend "
+        f"{payload.get('backend', '?')} · {payload.get('mode', '?')} mode"
+        f"{uptime_text}"
+    )
+    breaker = payload.get("breaker") or {}
+    lines.append(
+        f" queries {payload.get('queries_total', 0)} · unknowns "
+        f"{payload.get('unknowns_total', 0)} · breaker "
+        f"{breaker.get('state', '?')}"
+    )
+    lines.append(rule)
+
+    routes = payload.get("routes") or {}
+    window_s = payload.get("window_s", 0)
+    lines.append(f" routes (last {window_s:g}s)")
+    header = (
+        f"   {'route':<16}{'count':>8}{'rate/s':>10}{'p50':>10}"
+        f"{'p95':>10}{'p99':>10}{'max':>10}"
+    )
+    lines.append(header)
+    if not routes:
+        lines.append("   (no traffic in window)")
+    for route, summary in sorted(routes.items()):
+        lines.append(
+            f"   {route:<16}{summary['count']:>8}"
+            f"{summary['rate_per_s']:>10.1f}"
+            f"{_fmt_latency(summary['p50_s']):>10}"
+            f"{_fmt_latency(summary['p95_s']):>10}"
+            f"{_fmt_latency(summary['p99_s']):>10}"
+            f"{_fmt_latency(summary['max_s']):>10}"
+        )
+    lines.append(rule)
+
+    slo = payload.get("slo")
+    if slo:
+        burning = slo.get("burning")
+        lines.append(
+            f" slo ({slo.get('fast_window_s', 0):g}s / "
+            f"{slo.get('slow_window_s', 0):g}s windows) · "
+            f"{'BURNING' if burning else 'ok'}"
+        )
+        lines.append(
+            f"   {'objective':<24}{'observed':>12}{'burn 5m':>10}"
+            f"{'burn 1h':>10}{'state':>10}"
+        )
+        for status in slo.get("objectives", []):
+            observed = status.get("observed_fast", 0.0)
+            observed_text = (
+                _fmt_latency(float(observed))
+                if status.get("kind") == "latency"
+                else f"{float(observed) * 100:.2f}%"
+            )
+            lines.append(
+                f"   {str(status.get('spec', status.get('objective'))):<24}"
+                f"{observed_text:>12}"
+                f"{_fmt_burn(float(status.get('burn_fast', 0.0))):>10}"
+                f"{_fmt_burn(float(status.get('burn_slow', 0.0))):>10}"
+                f"{'BREACH' if status.get('breached') else 'ok':>10}"
+            )
+    else:
+        lines.append(" slo: no tracker attached")
+    lines.append(rule)
+
+    audit = payload.get("audit")
+    if audit:
+        mismatches = audit.get("mismatches", 0)
+        verdict = "FAIL" if mismatches else "ok"
+        lines.append(
+            f" audit · rate {float(audit.get('sample_rate', 0)):g} · sampled "
+            f"{audit.get('sampled', 0)} · checked {audit.get('checked', 0)} · "
+            f"mismatches {mismatches} [{verdict}] · queued "
+            f"{audit.get('queue_depth', 0)}"
+        )
+        for trace in audit.get("traces", []):
+            lines.append(
+                f"   MISMATCH {trace.get('source')}→{trace.get('target')} "
+                f"epoch {trace.get('epoch')} route {trace.get('route')}: "
+                f"served {trace.get('served')} oracle {trace.get('oracle')}"
+            )
+    else:
+        lines.append(" audit: no auditor attached")
+    lines.append(rule)
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,413 @@
+"""Declarative SLOs evaluated as multi-window burn rates.
+
+The survey's workload-dependence argument — no index dominates, so a
+deployment must *watch* its own behaviour — needs a crisp definition of
+"behaving": that is an SLO.  An :class:`Objective` is one declarative
+sentence parsed from the operator-facing grammar::
+
+    reach.p99 < 5ms         # windowed p99 over every service route
+    cache.p95 < 100us       # one route's histogram
+    batch.p99 < 50ms        # the batch endpoint
+    error_rate < 0.1%       # degraded + deadline_abort share of traffic
+    unknown_rate < 1%       # UNKNOWN answers per served query
+
+:class:`SLOTracker` evaluates each objective over **two** windows — a
+fast one (default 5 minutes) and a slow one (default 1 hour) — as *burn
+rates*: ``observed / threshold``.  A breach requires the burn to exceed
+``burn_threshold`` in **both** windows, the classic multi-window
+alerting shape: the slow window proves the problem is sustained, the
+fast window proves it is still happening (so alerts clear promptly once
+the cause is fixed).  Windowed latency quantiles come straight from the
+:class:`~repro.obs.metrics.LatencyHistogram` sketch ring; rate
+objectives are counter deltas over timestamped samples the tracker
+keeps (pruned past the slow window, so memory stays bounded).
+
+Breaches act, not just report: the tracker trips the service's
+:class:`~repro.resilience.breaker.CircuitBreaker` pre-emptively (the
+engine then serves bounded degraded answers instead of letting latency
+pile up) and exposes :meth:`SLOTracker.burning` for the
+:class:`~repro.service.advisor.AdvisorLoop` to treat SLO burn as a
+re-advise trigger alongside route drift.
+
+The tracker reads only a :class:`~repro.obs.metrics.MetricsRegistry`
+(metric *names* couple it to the serving tier, imports do not), so it
+tests standalone and attaches to any registry-bearing component.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+import time
+from collections import deque
+from collections.abc import Callable, Iterable, Sequence
+from dataclasses import dataclass
+
+from repro.errors import ServiceError
+from repro.obs.metrics import LatencyHistogram, MetricsRegistry
+from repro.obs.sketch import WindowTotals
+
+__all__ = ["Objective", "SLOTracker", "parse_objective"]
+
+#: Routes counted as errors by ``error_rate`` (the service gave up on an
+#: exact answer).  Mirrors ``repro.service.engine.DEGRADED_ROUTES`` —
+#: matched by metric name so the SLO layer needs no service import.
+ERROR_ROUTES = ("degraded", "deadline_abort")
+
+_QUERY_COUNTER = re.compile(r"^service\.queries\.(?P<route>.+)$")
+
+_SPEC = re.compile(
+    r"""^\s*
+    (?P<metric>[A-Za-z_][A-Za-z0-9_.]*)
+    \s*<\s*
+    (?P<value>\d+(?:\.\d+)?(?:[eE][+-]?\d+)?)
+    \s*(?P<unit>ms|us|µs|s|%)?
+    \s*$""",
+    re.VERBOSE,
+)
+
+_LATENCY_UNITS = {"s": 1.0, "ms": 1e-3, "us": 1e-6, "µs": 1e-6}
+
+
+@dataclass(frozen=True)
+class Objective:
+    """One parsed SLO: what to watch and the ceiling it must stay under.
+
+    ``kind`` is ``"latency"`` (``threshold`` in seconds, ``subject`` a
+    route name / ``reach`` / ``batch``, ``percentile`` in (0, 100]) or
+    ``"rate"`` (``threshold`` a fraction in [0, 1], ``subject`` is
+    ``error_rate`` / ``unknown_rate``, ``percentile`` unused).
+    """
+
+    name: str
+    spec: str
+    kind: str
+    subject: str
+    threshold: float
+    percentile: float = 0.0
+
+    def describe(self) -> str:
+        """Human-readable restatement of the parsed objective."""
+        if self.kind == "latency":
+            return (
+                f"{self.subject}.p{self.percentile:g} < "
+                f"{self.threshold * 1e3:g}ms"
+            )
+        return f"{self.subject} < {self.threshold * 100:g}%"
+
+
+def parse_objective(spec: str) -> Objective:
+    """Parse one ``metric < value[unit]`` sentence into an :class:`Objective`.
+
+    Raises :class:`~repro.errors.ServiceError` on anything malformed —
+    objectives come from CLI flags and config, so errors must name the
+    offending spec, not stack-trace.
+    """
+    match = _SPEC.match(spec)
+    if match is None:
+        raise ServiceError(
+            f"bad SLO spec {spec!r}: expected 'metric < value[unit]', "
+            "e.g. 'reach.p99 < 5ms' or 'error_rate < 0.1%'"
+        )
+    metric = match.group("metric")
+    value = float(match.group("value"))
+    unit = match.group("unit")
+    if value <= 0:
+        raise ServiceError(f"bad SLO spec {spec!r}: threshold must be > 0")
+    if metric in ("error_rate", "unknown_rate"):
+        if unit == "%":
+            value /= 100.0
+        elif unit is not None:
+            raise ServiceError(
+                f"bad SLO spec {spec!r}: rate thresholds take '%' or a bare "
+                f"fraction, not {unit!r}"
+            )
+        if value > 1.0:
+            raise ServiceError(
+                f"bad SLO spec {spec!r}: rate threshold {value:g} exceeds 1.0"
+            )
+        return Objective(
+            name=metric, spec=spec, kind="rate", subject=metric, threshold=value
+        )
+    latency = re.fullmatch(
+        r"(?P<subject>[A-Za-z_][A-Za-z0-9_]*)\.p(?P<pct>\d{1,3}(?:\.\d+)?)",
+        metric,
+    )
+    if latency is not None:
+        subject = latency.group("subject")
+        tail = f"p{latency.group('pct')}"
+        percentile = float(latency.group("pct"))
+        if not 0.0 < percentile <= 100.0:
+            raise ServiceError(
+                f"bad SLO spec {spec!r}: percentile must be in (0, 100]"
+            )
+        if unit not in _LATENCY_UNITS:
+            raise ServiceError(
+                f"bad SLO spec {spec!r}: latency thresholds need a unit "
+                "(s / ms / us)"
+            )
+        return Objective(
+            name=f"{subject}_{tail}".replace(".", "_"),
+            spec=spec,
+            kind="latency",
+            subject=subject,
+            threshold=value * _LATENCY_UNITS[unit],
+            percentile=percentile,
+        )
+    raise ServiceError(
+        f"bad SLO spec {spec!r}: metric must be error_rate, unknown_rate, "
+        "or <subject>.p<NN> (subject: reach, batch, or a route name)"
+    )
+
+
+class SLOTracker:
+    """Evaluate objectives over fast/slow burn-rate windows; act on breach.
+
+    ``evaluate()`` runs one pass and returns per-objective status dicts;
+    ``start(interval_s)`` runs passes on a daemon thread.  A breach
+    (burn ≥ ``burn_threshold`` in *both* windows) increments
+    ``slo.breaches`` / ``slo.breach.<name>`` on the transition in and —
+    when a ``breaker`` is attached — keeps it tripped OPEN while the
+    burn lasts, which the serving engine reads as "degrade now", before
+    the failure pile-up a reactive breaker would need.
+
+    Rate objectives need at least one earlier counter sample to delta
+    against; the tracker seeds one at construction, so the very first
+    ``evaluate()`` already measures traffic since attach.  Window
+    lookbacks clamp to the observed history (a 1 h window reads 40 s of
+    samples on a 40 s-old tracker) — burn-rate math degrades to
+    single-window alerting at startup rather than staying silent.
+    """
+
+    def __init__(
+        self,
+        objectives: Sequence[Objective | str],
+        metrics: MetricsRegistry,
+        *,
+        breaker: object | None = None,
+        fast_window_s: float = 300.0,
+        slow_window_s: float = 3600.0,
+        burn_threshold: float = 1.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if fast_window_s <= 0 or slow_window_s < fast_window_s:
+            raise ServiceError(
+                "SLO windows need 0 < fast_window_s <= slow_window_s, got "
+                f"{fast_window_s} / {slow_window_s}"
+            )
+        if burn_threshold <= 0:
+            raise ServiceError(
+                f"burn_threshold must be > 0, got {burn_threshold}"
+            )
+        self.objectives = tuple(
+            obj if isinstance(obj, Objective) else parse_objective(obj)
+            for obj in objectives
+        )
+        self.fast_window_s = float(fast_window_s)
+        self.slow_window_s = float(slow_window_s)
+        self.burn_threshold = float(burn_threshold)
+        self._metrics = metrics
+        self._breaker = breaker
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._samples: deque[tuple[float, dict[str, int]]] = deque()
+        self._breached: dict[str, bool] = {o.name: False for o in self.objectives}
+        self._last_status: list[dict[str, object]] = []
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        metrics.counter("slo.evaluations")
+        metrics.counter("slo.breaches")
+        for objective in self.objectives:
+            metrics.counter(f"slo.breach.{objective.name}")
+        self._samples.append((self._clock(), self._rate_counters()))
+
+    # -- counter sampling (rate objectives) ------------------------------
+    def _rate_counters(self) -> dict[str, int]:
+        """The totals every rate objective is a delta of."""
+        values = self._metrics.counter_values()
+        total = errors = 0
+        for name, value in values.items():
+            match = _QUERY_COUNTER.match(name)
+            if match is None:
+                continue
+            total += value
+            if match.group("route") in ERROR_ROUTES:
+                errors += value
+        return {
+            "total": total,
+            "errors": errors,
+            "unknowns": values.get("service.unknowns", 0),
+        }
+
+    def _windowed_rate(
+        self, numerator: str, now: float, window_s: float
+    ) -> tuple[float, int]:
+        """``(rate, served)`` for ``numerator / total`` over the window.
+
+        The baseline is the newest sample at least ``window_s`` old,
+        falling back to the oldest kept (history clamp).
+        """
+        latest = self._samples[-1][1]
+        baseline = self._samples[0][1]
+        for when, sample in reversed(self._samples):
+            if now - when >= window_s:
+                baseline = sample
+                break
+        served = latest["total"] - baseline["total"]
+        if served <= 0:
+            return 0.0, 0
+        bad = latest[numerator] - baseline[numerator]
+        return bad / served, served
+
+    # -- latency windows -------------------------------------------------
+    def _latency_window(
+        self, subject: str, lookback_s: float
+    ) -> WindowTotals | None:
+        histograms = self._metrics.histograms()
+        if subject == "batch":
+            chosen: Iterable[LatencyHistogram] = [
+                h
+                for n, h in histograms.items()
+                if n == "service.batch.latency"
+            ]
+        elif subject == "reach":
+            chosen = [
+                h
+                for n, h in histograms.items()
+                if n.startswith("service.latency.")
+            ]
+        else:
+            chosen = [
+                h
+                for n, h in histograms.items()
+                if n == f"service.latency.{subject}"
+            ]
+        parts = [h.window(lookback_s) for h in chosen]
+        if not parts:
+            return None
+        return WindowTotals.merged(parts)
+
+    # -- evaluation ------------------------------------------------------
+    def _observe(
+        self, objective: Objective, now: float, window_s: float
+    ) -> tuple[float, int]:
+        """``(observed_value, sample_count)`` for one objective/window."""
+        if objective.kind == "latency":
+            totals = self._latency_window(objective.subject, window_s)
+            if totals is None or totals.count == 0:
+                return 0.0, 0
+            return totals.quantile(objective.percentile), totals.count
+        return self._windowed_rate(
+            "errors" if objective.subject == "error_rate" else "unknowns",
+            now,
+            window_s,
+        )
+
+    def evaluate(self) -> list[dict[str, object]]:
+        """One burn-rate pass over every objective; returns status dicts.
+
+        Each dict: ``objective`` / ``spec`` / ``kind`` / ``threshold`` /
+        ``observed_fast`` / ``observed_slow`` / ``burn_fast`` /
+        ``burn_slow`` / ``samples_fast`` / ``breached``.
+        """
+        with self._lock:
+            now = self._clock()
+            self._samples.append((now, self._rate_counters()))
+            while (
+                len(self._samples) > 2
+                and now - self._samples[1][0] > self.slow_window_s
+            ):
+                self._samples.popleft()
+            self._metrics.counter("slo.evaluations").increment()
+            statuses: list[dict[str, object]] = []
+            any_new_breach = False
+            for objective in self.objectives:
+                fast, n_fast = self._observe(objective, now, self.fast_window_s)
+                slow, _ = self._observe(objective, now, self.slow_window_s)
+                burn_fast = fast / objective.threshold
+                burn_slow = slow / objective.threshold
+                breached = (
+                    n_fast > 0
+                    and burn_fast >= self.burn_threshold
+                    and burn_slow >= self.burn_threshold
+                )
+                if breached and not self._breached[objective.name]:
+                    any_new_breach = True
+                    self._metrics.counter("slo.breaches").increment()
+                    self._metrics.counter(
+                        f"slo.breach.{objective.name}"
+                    ).increment()
+                self._breached[objective.name] = breached
+                statuses.append(
+                    {
+                        "objective": objective.name,
+                        "spec": objective.spec,
+                        "kind": objective.kind,
+                        "threshold": objective.threshold,
+                        "observed_fast": fast,
+                        "observed_slow": slow,
+                        "burn_fast": burn_fast,
+                        "burn_slow": burn_slow,
+                        "samples_fast": n_fast,
+                        "breached": breached,
+                    }
+                )
+            self._last_status = statuses
+            burning = any(self._breached.values())
+        breaker = self._breaker
+        if breaker is not None and burning:
+            if any_new_breach or getattr(breaker, "state", "open") != "open":
+                breaker.trip(reason="slo burn")
+        return statuses
+
+    def burning(self) -> bool:
+        """True while any objective was breached at the last evaluate."""
+        with self._lock:
+            return any(self._breached.values())
+
+    def breached_objectives(self) -> tuple[str, ...]:
+        """Names of the objectives breached at the last evaluate."""
+        with self._lock:
+            return tuple(
+                name for name, hit in self._breached.items() if hit
+            )
+
+    def status(self) -> dict[str, object]:
+        """The last evaluation plus window config, as one JSON-safe dict."""
+        with self._lock:
+            return {
+                "objectives": [dict(s) for s in self._last_status],
+                "burning": any(self._breached.values()),
+                "fast_window_s": self.fast_window_s,
+                "slow_window_s": self.slow_window_s,
+                "burn_threshold": self.burn_threshold,
+            }
+
+    # -- background loop -------------------------------------------------
+    def start(self, interval_s: float = 5.0) -> threading.Thread:
+        """Evaluate every ``interval_s`` on a daemon thread."""
+        if self._thread is not None and self._thread.is_alive():
+            return self._thread
+        self._stop.clear()
+
+        def run() -> None:
+            while not self._stop.wait(interval_s):
+                try:
+                    self.evaluate()
+                except Exception:  # noqa: BLE001 — the monitor must survive
+                    pass
+
+        self._thread = threading.Thread(target=run, name="slo-tracker", daemon=True)
+        self._thread.start()
+        return self._thread
+
+    def stop(self, timeout_s: float = 5.0) -> None:
+        """Signal the loop to exit and join its thread."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=timeout_s)
+            self._thread = None
+
+    def __repr__(self) -> str:
+        specs = ", ".join(o.spec for o in self.objectives)
+        return f"SLOTracker([{specs}], burning={self.burning()})"

@@ -1,0 +1,597 @@
+"""OpenMetrics text exposition of the metrics registries, plus a
+strict line-format validator.
+
+The registries keep dotted names (``service.queries.cache``,
+``shard.build.workers``); Prometheus wants *families* with *labels*
+(``repro_service_queries_total{route="cache"}``).  The mapping table
+here promotes the dotted suffixes every layer already encodes — route,
+shard build event, chaos kind, breaker event, SLO objective — into
+proper labels, so one scrape config covers the whole stack and route
+dashboards need no regex relabelling.  Anything unmapped falls back to
+a sanitised flat family, never dropped.
+
+Histograms expose their full cumulative bucket counts
+(``_bucket{le="..."}`` ascending, ``+Inf``, ``_count``, ``_sum``) from
+one consistent :meth:`~repro.obs.metrics.LatencyHistogram.bucket_counts`
+read, so scrape-side ``histogram_quantile`` agrees with the service's
+own percentiles up to bucket resolution.
+
+:func:`validate_openmetrics` is the contract's teeth: a line-level
+checker (EOF terminator, name/label/escape grammar, TYPE-before-sample,
+``_total`` counter suffixes, ``le``-labelled monotone buckets) that the
+tests and the CI smoke run against every exposition this module emits —
+and that rejects the classic malformations a hand-rolled formatter
+drifts into.
+"""
+
+from __future__ import annotations
+
+import re
+from collections.abc import Iterable, Mapping, Sequence
+from dataclasses import dataclass, field
+
+from repro.obs.metrics import LatencyHistogram, MetricsRegistry, global_registry
+
+__all__ = [
+    "Gauge",
+    "render_openmetrics",
+    "service_openmetrics",
+    "validate_openmetrics",
+]
+
+
+@dataclass(frozen=True)
+class Gauge:
+    """One gauge sample to splice into an exposition."""
+
+    family: str
+    value: float
+    labels: Mapping[str, str] = field(default_factory=dict)
+    help: str | None = None
+
+
+#: dotted-name pattern -> (family, help).  Named groups become labels.
+_RULES: tuple[tuple[re.Pattern[str], str, str], ...] = tuple(
+    (re.compile(pattern), family, help_text)
+    for pattern, family, help_text in (
+        (
+            r"^service\.queries\.(?P<route>.+)$",
+            "repro_service_queries",
+            "Queries served, by answering route.",
+        ),
+        (
+            r"^service\.latency\.(?P<route>.+)$",
+            "repro_service_latency_seconds",
+            "Per-route query latency.",
+        ),
+        (
+            r"^service\.batch\.latency$",
+            "repro_service_batch_latency_seconds",
+            "Batch endpoint latency.",
+        ),
+        (
+            r"^service\.batch\.size$",
+            "repro_service_batch_size",
+            "Pairs per batch request.",
+        ),
+        (
+            r"^service\.batch\.(?P<event>.+)$",
+            "repro_service_batch",
+            "Batch endpoint tallies, by event.",
+        ),
+        (
+            r"^service\.advisor\.(?P<event>.+)$",
+            "repro_service_advisor",
+            "Advisor loop decisions, by event.",
+        ),
+        (
+            r"^service\.shed\.(?P<reason>.+)$",
+            "repro_service_shed",
+            "Requests shed by admission control, by reason.",
+        ),
+        (
+            r"^index\.route\.(?P<route>.+)$",
+            "repro_index_route",
+            "Index-core query attribution, by answering route.",
+        ),
+        (
+            r"^gdbms\.route\.(?P<route>.+)$",
+            "repro_gdbms_route",
+            "GDBMS planner dispatch, by route.",
+        ),
+        (
+            r"^shard\.route\.(?P<route>.+)$",
+            "repro_shard_route",
+            "Sharded-index composition, by route.",
+        ),
+        (
+            r"^shard\.build\.(?P<event>.+)$",
+            "repro_shard_build",
+            "Shard build pipeline tallies, by event.",
+        ),
+        (
+            r"^chaos\.injected\.(?P<kind>.+)$",
+            "repro_chaos_injected",
+            "Chaos faults fired, by kind.",
+        ),
+        (
+            r"^resilience\.breaker\.(?P<event>.+)$",
+            "repro_resilience_breaker",
+            "Circuit breaker transitions, by event.",
+        ),
+        (
+            r"^resilience\.deadline\.(?P<event>.+)$",
+            "repro_resilience_deadline",
+            "Deadline outcomes, by event.",
+        ),
+        (
+            r"^slo\.audit\.(?P<event>.+)$",
+            "repro_slo_audit",
+            "Shadow correctness auditor tallies, by event.",
+        ),
+        (
+            r"^slo\.breach\.(?P<objective>.+)$",
+            "repro_slo_breach",
+            "SLO breach transitions, by objective.",
+        ),
+    )
+)
+
+_NAME_OK = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+
+
+def _sanitize(dotted: str) -> str:
+    """A dotted metric name as one valid OpenMetrics family token."""
+    flat = "".join(c if c.isalnum() or c == "_" else "_" for c in dotted)
+    if not flat or not (flat[0].isalpha() or flat[0] == "_"):
+        flat = "_" + flat
+    return f"repro_{flat}"
+
+
+def _map_name(dotted: str) -> tuple[str, dict[str, str], str | None]:
+    """``(family, labels, help)`` for one dotted registry name."""
+    for pattern, family, help_text in _RULES:
+        match = pattern.match(dotted)
+        if match is not None:
+            labels = {
+                key: value
+                for key, value in match.groupdict().items()
+                if value is not None
+            }
+            return family, labels, help_text
+    return _sanitize(dotted), {}, None
+
+
+def _escape(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _labelset(labels: Mapping[str, str]) -> str:
+    if not labels:
+        return ""
+    body = ",".join(
+        f'{key}="{_escape(str(value))}"' for key, value in sorted(labels.items())
+    )
+    return "{" + body + "}"
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, bool):
+        return str(int(value))
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+class _Family:
+    __slots__ = ("name", "kind", "help", "lines")
+
+    def __init__(self, name: str, kind: str, help_text: str | None) -> None:
+        self.name = name
+        self.kind = kind
+        self.help = help_text
+        self.lines: list[str] = []
+
+
+def render_openmetrics(
+    registries: Sequence[MetricsRegistry],
+    gauges: Iterable[Gauge] = (),
+    const_labels: Mapping[str, str] | None = None,
+) -> str:
+    """Every counter/histogram in ``registries`` (first wins on duplicate
+    dotted names) plus ``gauges``, as one OpenMetrics text document.
+
+    ``const_labels`` are stamped onto every sample — the serving tier
+    passes the active index family and accel backend here so each series
+    is attributable without joins.
+    """
+    const = dict(const_labels or {})
+    counters: dict[str, int] = {}
+    histograms: dict[str, LatencyHistogram] = {}
+    for registry in registries:
+        for name, value in registry.counter_values().items():
+            counters.setdefault(name, value)
+        for name, histogram in registry.histograms().items():
+            histograms.setdefault(name, histogram)
+
+    families: dict[str, _Family] = {}
+
+    def family(name: str, kind: str, help_text: str | None) -> _Family:
+        entry = families.get(name)
+        if entry is None:
+            entry = families[name] = _Family(name, kind, help_text)
+        elif entry.kind != kind:
+            # Two dotted names collapsed onto one family with different
+            # kinds — keep both by shunting the newcomer to a suffixed
+            # family rather than emitting an invalid document.
+            return family(f"{name}_{kind}", kind, help_text)
+        return entry
+
+    for dotted in sorted(counters):
+        fam_name, labels, help_text = _map_name(dotted)
+        labels.update(const)
+        entry = family(fam_name, "counter", help_text)
+        entry.lines.append(
+            f"{entry.name}_total{_labelset(labels)} {counters[dotted]}"
+        )
+
+    for dotted in sorted(histograms):
+        fam_name, labels, help_text = _map_name(dotted)
+        labels.update(const)
+        entry = family(fam_name, "histogram", help_text)
+        bounds, bucket_counts, count, sum_s, _max = histograms[
+            dotted
+        ].bucket_counts()
+        cumulative = 0
+        for bound, bucket in zip(bounds, bucket_counts):
+            cumulative += bucket
+            le_labels = dict(labels)
+            le_labels["le"] = repr(float(bound))
+            entry.lines.append(
+                f"{entry.name}_bucket{_labelset(le_labels)} {cumulative}"
+            )
+        inf_labels = dict(labels)
+        inf_labels["le"] = "+Inf"
+        entry.lines.append(f"{entry.name}_bucket{_labelset(inf_labels)} {count}")
+        entry.lines.append(f"{entry.name}_count{_labelset(labels)} {count}")
+        entry.lines.append(
+            f"{entry.name}_sum{_labelset(labels)} {_format_value(sum_s)}"
+        )
+
+    for gauge in gauges:
+        labels = dict(gauge.labels)
+        labels.update(const)
+        entry = family(gauge.family, "gauge", gauge.help)
+        entry.lines.append(
+            f"{entry.name}{_labelset(labels)} {_format_value(gauge.value)}"
+        )
+
+    lines: list[str] = []
+    for name in sorted(families):
+        entry = families[name]
+        lines.append(f"# TYPE {entry.name} {entry.kind}")
+        if entry.help:
+            lines.append(f"# HELP {entry.name} {entry.help}")
+        lines.extend(entry.lines)
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+def service_openmetrics(
+    service,
+    *,
+    tracker=None,
+    auditor=None,
+    uptime_s: float | None = None,
+    admission=None,
+) -> str:
+    """The full OpenMetrics exposition for one running service.
+
+    Merges the service registry with the process-wide one (index-core
+    route attribution, breaker/chaos tallies), then splices in state
+    gauges: epoch, cache, coalescer, breaker, admission, accel backend,
+    SLO burn rates and audit queue depth.  Duck-typed on the service so
+    the SLO layer stays import-free of the serving tier.
+    """
+    from repro import accel
+
+    gauges: list[Gauge] = [
+        Gauge(
+            "repro_service_epoch",
+            float(service.epoch),
+            help="Epoch of the serving snapshot.",
+        ),
+        Gauge(
+            "repro_service_info",
+            1.0,
+            labels={
+                "index": service.index_name,
+                "mode": "labeled" if service.labeled_mode else "plain",
+                "backend": accel.backend_name(),
+            },
+            help="Serving identity (value is always 1).",
+        ),
+        Gauge(
+            "repro_accel_info",
+            1.0,
+            labels=accel.backend_labels(),
+            help="Acceleration backend identity (value is always 1).",
+        ),
+    ]
+    if uptime_s is not None:
+        gauges.append(
+            Gauge(
+                "repro_service_uptime_seconds",
+                float(uptime_s),
+                help="Seconds since the server started.",
+            )
+        )
+    breaker = service.breaker.snapshot()
+    gauges.append(
+        Gauge(
+            "repro_service_breaker_open",
+            1.0 if breaker.get("state") != "closed" else 0.0,
+            help="1 while the index circuit breaker is open or half-open.",
+        )
+    )
+    gauges.append(
+        Gauge(
+            "repro_service_breaker_consecutive_failures",
+            float(breaker.get("consecutive_failures", 0)),
+            help="Consecutive protected-call failures.",
+        )
+    )
+    cache = getattr(service, "_cache", None)
+    if cache is not None:
+        stats = cache.statistics()
+        for stat in (
+            "hits",
+            "misses",
+            "evictions",
+            "size",
+            "capacity",
+        ):
+            gauges.append(
+                Gauge(
+                    "repro_service_cache",
+                    float(getattr(stats, stat)),
+                    labels={"stat": stat},
+                    help="Result cache state, by stat.",
+                )
+            )
+    if admission is not None:
+        snap = admission.snapshot()
+        for stat, value in snap.items():
+            if isinstance(value, (int, float)):
+                gauges.append(
+                    Gauge(
+                        "repro_service_admission",
+                        float(value),
+                        labels={"stat": stat},
+                        help="Admission controller state, by stat.",
+                    )
+                )
+    if tracker is not None:
+        for status in tracker.status()["objectives"]:
+            objective = str(status["objective"])
+            for window in ("fast", "slow"):
+                gauges.append(
+                    Gauge(
+                        "repro_slo_burn_rate",
+                        float(status[f"burn_{window}"]),
+                        labels={"objective": objective, "window": window},
+                        help="Observed value over threshold, per window.",
+                    )
+                )
+            gauges.append(
+                Gauge(
+                    "repro_slo_breached",
+                    1.0 if status["breached"] else 0.0,
+                    labels={"objective": objective},
+                    help="1 while the objective is in breach.",
+                )
+            )
+    if auditor is not None:
+        gauges.append(
+            Gauge(
+                "repro_slo_audit_queue_depth",
+                float(auditor.queue_depth),
+                help="Sampled queries awaiting oracle verification.",
+            )
+        )
+    return render_openmetrics(
+        [service.metrics, global_registry()],
+        gauges,
+        const_labels={"index": service.index_name},
+    )
+
+
+# -- validation ----------------------------------------------------------
+
+_SAMPLE = re.compile(
+    r"""^
+    (?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)
+    (?:\{(?P<labels>[^{}]*)\})?
+    [ ]
+    (?P<value>-?(?:\d+(?:\.\d+)?(?:[eE][+-]?\d+)?|\.\d+(?:[eE][+-]?\d+)?)|[+-]Inf|NaN)
+    (?:[ ](?P<timestamp>-?\d+(?:\.\d+)?))?
+    $""",
+    re.VERBOSE,
+)
+
+_LABEL = re.compile(
+    r'^(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\\n]|\\["\\n])*)"$'
+)
+
+_TYPES = ("counter", "gauge", "histogram", "summary", "unknown", "info", "stateset")
+
+_HISTOGRAM_SUFFIXES = ("_bucket", "_count", "_sum", "_created")
+_SUMMARY_SUFFIXES = ("_count", "_sum", "_created", "")
+
+
+def _split_labels(raw: str) -> list[str]:
+    """Split a labelset body on commas outside quoted values."""
+    parts: list[str] = []
+    current: list[str] = []
+    in_quotes = False
+    escaped = False
+    for char in raw:
+        if escaped:
+            current.append(char)
+            escaped = False
+            continue
+        if char == "\\":
+            current.append(char)
+            escaped = True
+            continue
+        if char == '"':
+            in_quotes = not in_quotes
+            current.append(char)
+            continue
+        if char == "," and not in_quotes:
+            parts.append("".join(current))
+            current = []
+            continue
+        current.append(char)
+    parts.append("".join(current))
+    return parts
+
+
+def validate_openmetrics(text: str) -> dict[str, int]:
+    """Strict line-format check; raises ``ValueError`` on any violation.
+
+    Enforces the parts of the OpenMetrics spec a scraper trips over:
+    one final ``# EOF`` line, valid metric-name and label grammar,
+    ``# TYPE`` declared once per family and before its samples, counter
+    samples suffixed ``_total``/``_created``, histogram samples limited
+    to ``_bucket``/``_count``/``_sum``/``_created`` with ``le`` on every
+    bucket and cumulative bucket counts non-decreasing per series.
+    Returns ``{"families": N, "samples": M}`` on success.
+    """
+    if not text.endswith("\n"):
+        raise ValueError("exposition must end with a newline")
+    lines = text.split("\n")[:-1]
+    if not lines or lines[-1] != "# EOF":
+        raise ValueError("exposition must terminate with a '# EOF' line")
+    if "# EOF" in lines[:-1]:
+        raise ValueError("'# EOF' must appear exactly once, at the end")
+
+    types: dict[str, str] = {}
+    helps: set[str] = set()
+    seen_samples: set[str] = set()
+    sample_count = 0
+    # (family, labelset-minus-le) -> last cumulative bucket value + le
+    bucket_state: dict[tuple[str, str], tuple[float, float]] = {}
+
+    def family_of(name: str) -> tuple[str, str]:
+        """``(family, suffix)`` for a sample name, longest match wins."""
+        candidates = [
+            fam
+            for fam in types
+            if name == fam or name.startswith(fam + "_")
+        ]
+        if not candidates:
+            raise ValueError(f"sample {name!r} precedes any # TYPE for it")
+        fam = max(candidates, key=len)
+        return fam, name[len(fam):]
+
+    for lineno, line in enumerate(lines[:-1], start=1):
+        if line.startswith("# TYPE "):
+            parts = line.split(" ")
+            if len(parts) != 4:
+                raise ValueError(f"line {lineno}: malformed TYPE line {line!r}")
+            _, _, fam, kind = parts
+            if not _NAME_OK.match(fam):
+                raise ValueError(f"line {lineno}: bad family name {fam!r}")
+            if kind not in _TYPES:
+                raise ValueError(f"line {lineno}: unknown type {kind!r}")
+            if fam in types:
+                raise ValueError(f"line {lineno}: duplicate TYPE for {fam!r}")
+            if any(s == fam or s.startswith(fam + "_") for s in seen_samples):
+                raise ValueError(
+                    f"line {lineno}: TYPE for {fam!r} after its samples"
+                )
+            types[fam] = kind
+            continue
+        if line.startswith("# HELP "):
+            parts = line.split(" ", 3)
+            if len(parts) < 4 or not _NAME_OK.match(parts[2]):
+                raise ValueError(f"line {lineno}: malformed HELP line {line!r}")
+            if parts[2] in helps:
+                raise ValueError(
+                    f"line {lineno}: duplicate HELP for {parts[2]!r}"
+                )
+            helps.add(parts[2])
+            continue
+        if line.startswith("#"):
+            raise ValueError(
+                f"line {lineno}: OpenMetrics has no comments beyond "
+                f"TYPE/HELP/UNIT/EOF: {line!r}"
+            )
+        match = _SAMPLE.match(line)
+        if match is None:
+            raise ValueError(f"line {lineno}: malformed sample line {line!r}")
+        name = match.group("name")
+        labels: dict[str, str] = {}
+        raw_labels = match.group("labels")
+        if raw_labels is not None:
+            if raw_labels == "":
+                raise ValueError(f"line {lineno}: empty labelset braces")
+            for part in _split_labels(raw_labels):
+                label_match = _LABEL.match(part)
+                if label_match is None:
+                    raise ValueError(
+                        f"line {lineno}: malformed label {part!r}"
+                    )
+                key = label_match.group("key")
+                if key in labels:
+                    raise ValueError(
+                        f"line {lineno}: duplicate label {key!r}"
+                    )
+                labels[key] = label_match.group("value")
+        fam, suffix = family_of(name)
+        kind = types[fam]
+        if kind == "counter" and suffix not in ("_total", "_created"):
+            raise ValueError(
+                f"line {lineno}: counter sample {name!r} must end in "
+                "_total or _created"
+            )
+        if kind == "gauge" and suffix != "":
+            raise ValueError(
+                f"line {lineno}: gauge sample {name!r} must match its family"
+            )
+        if kind == "histogram":
+            if suffix not in _HISTOGRAM_SUFFIXES:
+                raise ValueError(
+                    f"line {lineno}: histogram sample {name!r} has "
+                    f"invalid suffix {suffix!r}"
+                )
+            if suffix == "_bucket":
+                if "le" not in labels:
+                    raise ValueError(
+                        f"line {lineno}: histogram bucket without 'le' label"
+                    )
+                le_raw = labels["le"]
+                le = float("inf") if le_raw == "+Inf" else float(le_raw)
+                series = ",".join(
+                    f"{k}={v}" for k, v in sorted(labels.items()) if k != "le"
+                )
+                value = float(match.group("value"))
+                prior = bucket_state.get((fam, series))
+                if prior is not None:
+                    prior_value, prior_le = prior
+                    if le <= prior_le:
+                        raise ValueError(
+                            f"line {lineno}: bucket le={le_raw} out of order"
+                        )
+                    if value < prior_value:
+                        raise ValueError(
+                            f"line {lineno}: bucket counts must be "
+                            f"cumulative (got {value} after {prior_value})"
+                        )
+                bucket_state[(fam, series)] = (value, le)
+        seen_samples.add(name)
+        sample_count += 1
+    return {"families": len(types), "samples": sample_count}

@@ -11,7 +11,6 @@ import pytest
 from repro.bench.jsonout import emit, provenance
 from repro.core.condensed import CondensedIndex
 from repro.core.registry import plain_index
-from repro.graphs.digraph import DiGraph
 from repro.obs.build import build_phase
 from repro.obs.metrics import LatencyHistogram, MetricsRegistry
 from repro.obs.tracer import (
@@ -249,6 +248,103 @@ def test_histogram_summary_race():
     for t in threads:
         t.join()
     assert not failures
+
+
+def test_histogram_concurrent_writers_lose_nothing():
+    """N writer threads, fixed sample budget: every observation lands."""
+    histogram = LatencyHistogram()
+    per_thread = 2_000
+    num_threads = 4
+
+    def writer(sample: float) -> None:
+        for _ in range(per_thread):
+            histogram.observe(sample)
+
+    threads = [
+        threading.Thread(target=writer, args=((slot + 1) * 1e-4,))
+        for slot in range(num_threads)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert histogram.count == per_thread * num_threads
+    expected = sum((slot + 1) * 1e-4 * per_thread for slot in range(num_threads))
+    assert histogram.total_seconds == pytest.approx(expected, rel=1e-9)
+
+
+def test_registry_counters_concurrent_increments_lose_nothing():
+    registry = MetricsRegistry()
+    counter = registry.counter("hammered")
+    per_thread = 5_000
+
+    def writer() -> None:
+        for _ in range(per_thread):
+            counter.increment()
+
+    threads = [threading.Thread(target=writer) for _ in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert counter.value == 4 * per_thread
+    assert registry.counter_values()["hammered"] == 4 * per_thread
+
+
+def test_histogram_quantiles_monotone_under_concurrent_writes():
+    """Summaries scraped mid-hammer always satisfy p50 <= p95 <= p99 <= max."""
+    histogram = LatencyHistogram()
+    stop = threading.Event()
+    failures = []
+
+    def writer() -> None:
+        sample = 1e-6
+        while not stop.is_set():
+            histogram.observe(sample)
+            sample = sample * 3.7 % 0.01 + 1e-6  # spread across buckets
+
+    def reader() -> None:
+        for _ in range(300):
+            summary = histogram.summary()
+            if summary["count"] == 0:
+                continue
+            ordered = (
+                summary["p50_s"] <= summary["p95_s"] <= summary["p99_s"]
+            )
+            if not ordered or summary["mean_s"] < 0:
+                failures.append(summary)
+        stop.set()
+
+    threads = [threading.Thread(target=writer) for _ in range(2)]
+    threads.append(threading.Thread(target=reader))
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not failures
+
+
+def test_histogram_window_and_merge():
+    """The sketch-backed API: windowed views expire, merges add up."""
+    now = [0.0]
+    first = LatencyHistogram(window_s=60.0, num_slices=6, clock=lambda: now[0])
+    second = LatencyHistogram(window_s=60.0, num_slices=6, clock=lambda: now[0])
+    for _ in range(10):
+        first.observe(1e-3)
+    now[0] = 30.0
+    for _ in range(5):
+        second.observe(1e-2)
+    merged = LatencyHistogram(window_s=60.0, num_slices=6, clock=lambda: now[0])
+    merged.merge(first)
+    merged.merge(second)
+    assert merged.count == 15
+    assert merged.window_summary(60.0)["count"] == 15
+    # Advance past the first batch's slice: only the second remains.
+    now[0] = 65.0
+    assert first.window_summary(60.0)["count"] == 0
+    assert second.window_summary(60.0)["count"] == 5
+    # Cumulative totals never expire.
+    assert first.count == 10 and second.count == 5
 
 
 def test_registry_kind_collision():

@@ -494,11 +494,14 @@ class TestHTTPResilience:
             for slot in held:
                 slot.release()
 
-    def test_healthz_bypasses_admission(self, http_service):
+    def test_health_probes_bypass_admission(self, http_service):
         base, admission, _server = http_service
         held = [admission.admit(), admission.admit()]
         try:
             status, _headers, body = _get(f"{base}/healthz")
+            assert status == 200
+            assert body["status"] == "ok"
+            status, _headers, body = _get(f"{base}/readyz")
             assert status == 200
             assert body["in_flight"] == 2
         finally:

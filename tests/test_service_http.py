@@ -44,13 +44,25 @@ def _post(url: str, payload: dict) -> tuple[int, dict]:
 
 
 class TestRoutes:
-    def test_healthz(self, labeled_server):
+    def test_healthz_is_pure_liveness(self, labeled_server):
         base, _graph, _service = labeled_server
         status, body = _get(f"{base}/healthz")
         assert status == 200
         assert body["status"] == "ok"
+        assert body["uptime_s"] >= 0
+        # Liveness carries no readiness detail — that moved to /readyz.
+        assert "epoch" not in body
+
+    def test_readyz_reports_serving_state(self, labeled_server):
+        base, _graph, service = labeled_server
+        status, body = _get(f"{base}/readyz")
+        assert status == 200
+        assert body["status"] == "ok"
         assert body["epoch"] == 0
         assert body["in_flight"] == 0
+        assert body["index"] == service.index_name
+        assert body["mode"] == "labeled"
+        assert body["uptime_s"] >= 0
 
     def test_reach_matches_oracle(self, labeled_server):
         base, graph, _service = labeled_server
@@ -116,6 +128,57 @@ class TestRoutes:
         assert status == 200
         assert body["service"]["epoch"] == 0
         assert "cache" in body
+
+    def test_metrics_openmetrics(self, labeled_server):
+        base, _graph, _service = labeled_server
+        _get(f"{base}/reach?source=0&target=1")
+        with urllib.request.urlopen(
+            f"{base}/metrics?format=openmetrics", timeout=10
+        ) as response:
+            assert response.headers["Content-Type"].startswith(
+                "application/openmetrics-text"
+            )
+            text = response.read().decode()
+        from repro.slo import validate_openmetrics
+
+        stats = validate_openmetrics(text)
+        assert stats["families"] > 0 and stats["samples"] > 0
+        assert "repro_service_epoch" in text
+        assert 'repro_service_queries_total{' in text
+        assert text.endswith("# EOF\n")
+
+    def test_slo_endpoint_without_tracker(self, labeled_server):
+        base, _graph, service = labeled_server
+        _get(f"{base}/reach?source=0&target=1")
+        status, body = _get(f"{base}/slo")
+        assert status == 200
+        assert body["epoch"] == 0
+        assert body["index"] == service.index_name
+        assert body["draining"] is False
+        assert body["slo"] is None  # no tracker attached to this server
+        assert body["audit"] is None
+        assert body["queries_total"] >= 1
+
+    def test_readyz_503_while_draining(self):
+        service = ReachabilityService(random_dag(10, 20, seed=703))
+        server = serve(service, port=0)
+        server.start_background()
+        host, port = server.server_address[:2]
+        base = f"http://{host}:{port}"
+        try:
+            server.admission.start_draining()
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _get(f"{base}/readyz")
+            assert excinfo.value.code == 503
+            assert json.loads(excinfo.value.read())["status"] == "draining"
+            # Liveness must stay green while draining: a restart probe
+            # that killed the process here would defeat graceful shutdown.
+            status, body = _get(f"{base}/healthz")
+            assert status == 200
+            assert body["status"] == "ok"
+        finally:
+            server.shutdown()
+            server.server_close()
 
 
 class TestBatchRoute:

@@ -1,0 +1,586 @@
+"""repro.slo: sketches, burn-rate objectives, OpenMetrics, shadow audit.
+
+The acceptance spine of the telemetry layer:
+
+* the sliding-window quantile sketch expires, merges, and stays bounded;
+* objective parsing accepts the documented grammar and rejects the rest;
+* a chaos-injected latency fault drives the fast-window burn rate over
+  threshold and trips the breaker *pre-emptively* (degraded answers flow
+  before queries ever fail);
+* the shadow auditor replays served answers against the BFS oracle
+  across a family matrix with zero mismatches, and captures a full
+  trace when a mismatch is fabricated;
+* every exposition ``render_openmetrics`` produces passes the strict
+  ``validate_openmetrics`` checker, and the checker rejects the classic
+  malformations.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.request
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.graphs.generators import random_dag
+from repro.obs.metrics import LatencyHistogram, MetricsRegistry
+from repro.obs.sketch import WindowedQuantileSketch, WindowTotals
+from repro.resilience import ChaosPolicy, Fault, chaos
+from repro.service import ReachabilityService
+from repro.slo import (
+    Gauge,
+    ShadowAuditor,
+    SLOTracker,
+    build_slo_payload,
+    parse_objective,
+    render_dashboard,
+    render_openmetrics,
+    service_openmetrics,
+    validate_openmetrics,
+)
+from repro.traversal.online import bfs_reachable
+
+BOUNDS = (1e-4, 1e-3, 1e-2, 1e-1)
+
+
+# -- the sliding-window sketch ---------------------------------------------
+class TestSketch:
+    def test_window_sees_recent_observations(self):
+        now = [0.0]
+        sketch = WindowedQuantileSketch(
+            BOUNDS, window_s=10.0, num_slices=10, clock=lambda: now[0]
+        )
+        for _ in range(100):
+            sketch.observe(5e-4)
+        totals = sketch.window()
+        assert totals.count == 100
+        assert totals.quantile(50) == pytest.approx(1e-3)
+        assert totals.max_s == pytest.approx(5e-4)
+
+    def test_old_slices_expire_but_cumulative_totals_do_not(self):
+        now = [0.0]
+        sketch = WindowedQuantileSketch(
+            BOUNDS, window_s=10.0, num_slices=10, clock=lambda: now[0]
+        )
+        sketch.observe(5e-4)
+        now[0] = 11.0  # beyond the window: the slice is stale
+        assert sketch.window().count == 0
+        assert sketch.total_count == 1
+
+    def test_short_lookback_reads_fewer_slices(self):
+        now = [0.0]
+        sketch = WindowedQuantileSketch(
+            BOUNDS, window_s=10.0, num_slices=10, clock=lambda: now[0]
+        )
+        sketch.observe(5e-4)  # lands in slice 0
+        now[0] = 5.5
+        sketch.observe(5e-2)  # lands in slice 5
+        assert sketch.window(10.0).count == 2
+        # A 1 s lookback keeps at most 2 slices (one extra for clamping);
+        # slice 0 is 5 slices back and must be excluded.
+        assert sketch.window(1.0).count == 1
+        assert sketch.window(1.0).max_s == pytest.approx(5e-2)
+
+    def test_merge_aligns_absolute_slices(self):
+        now = [0.0]
+        clock = lambda: now[0]  # noqa: E731 — both sketches share one clock
+        first = WindowedQuantileSketch(
+            BOUNDS, window_s=10.0, num_slices=10, clock=clock
+        )
+        second = WindowedQuantileSketch(
+            BOUNDS, window_s=10.0, num_slices=10, clock=clock
+        )
+        first.observe(5e-4)
+        now[0] = 3.0
+        second.observe(5e-2)
+        merged = WindowedQuantileSketch(
+            BOUNDS, window_s=10.0, num_slices=10, clock=clock
+        )
+        merged.merge(first)
+        merged.merge(second)
+        assert merged.window().count == 2
+        assert merged.total_count == 2
+        # Advancing past slice 0 expires only the first observation.
+        now[0] = 10.5
+        assert merged.window().count == 1
+
+    def test_merge_rejects_mismatched_geometry(self):
+        sketch = WindowedQuantileSketch(BOUNDS, window_s=10.0, num_slices=10)
+        other = WindowedQuantileSketch(BOUNDS, window_s=20.0, num_slices=10)
+        with pytest.raises(ValueError):
+            sketch.merge(other)
+
+    def test_window_totals_merged_quantiles(self):
+        first = WindowTotals(
+            BOUNDS, [0, 99, 0, 0, 0], count=99, sum_s=99 * 5e-4,
+            max_s=5e-4, window_s=10.0,
+        )
+        second = WindowTotals(  # one sample over the top bound: overflow
+            BOUNDS, [0, 0, 0, 0, 1], count=1, sum_s=0.5, max_s=0.5,
+            window_s=10.0,
+        )
+        combined = WindowTotals.merged([first, second])
+        assert combined.count == 100
+        assert combined.quantile(50) == pytest.approx(1e-3)
+        assert combined.quantile(100) == pytest.approx(0.5)  # overflow -> max
+        assert first.count == 99  # merged() copies, never mutates its parts
+
+
+# -- objective parsing ------------------------------------------------------
+class TestParseObjective:
+    @pytest.mark.parametrize(
+        ("spec", "kind", "subject", "threshold", "percentile"),
+        [
+            ("reach.p99 < 5ms", "latency", "reach", 5e-3, 99.0),
+            ("cache.p95 < 100us", "latency", "cache", 1e-4, 95.0),
+            ("batch.p50<2s", "latency", "batch", 2.0, 50.0),
+            ("plain_index.p99.9 < 10ms", "latency", "plain_index", 1e-2, 99.9),
+            ("error_rate < 0.1%", "rate", "error_rate", 1e-3, 0.0),
+            ("unknown_rate < 1%", "rate", "unknown_rate", 1e-2, 0.0),
+            ("error_rate < 0.25", "rate", "error_rate", 0.25, 0.0),
+        ],
+    )
+    def test_grammar(self, spec, kind, subject, threshold, percentile):
+        objective = parse_objective(spec)
+        assert objective.kind == kind
+        assert objective.subject == subject
+        assert objective.threshold == pytest.approx(threshold)
+        assert objective.percentile == pytest.approx(percentile)
+        assert objective.spec == spec
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "",
+            "reach.p99 > 5ms",  # only < is an SLO ceiling
+            "reach.p99 < 5",  # latency needs a unit
+            "reach.p99 < -5ms",
+            "reach.p0 < 5ms",  # percentile must be > 0
+            "reach.p101 < 5ms",
+            "error_rate < 150%",
+            "error_rate < 5ms",  # rates don't take latency units
+            "nonsense < 1ms",  # no percentile suffix
+        ],
+    )
+    def test_rejects_malformed(self, spec):
+        with pytest.raises(ServiceError):
+            parse_objective(spec)
+
+
+# -- the tracker ------------------------------------------------------------
+def _registry_with_route(route: str = "plain_index"):
+    registry = MetricsRegistry()
+    histogram = registry.histogram(f"service.latency.{route}")
+    registry.counter(f"service.queries.{route}")
+    return registry, histogram
+
+
+class TestSLOTracker:
+    def test_latency_breach_requires_both_windows(self):
+        now = [0.0]
+        registry = MetricsRegistry()
+        histogram = LatencyHistogram(
+            window_s=3600.0, num_slices=120, clock=lambda: now[0]
+        )
+        registry._histograms["service.latency.plain_index"] = histogram
+        registry.counter("service.queries.plain_index").increment(10)
+        tracker = SLOTracker(
+            ["reach.p99 < 5ms"], registry, clock=lambda: now[0]
+        )
+        for _ in range(50):
+            histogram.observe(0.05)  # 10x the 5ms objective
+        status = tracker.evaluate()[0]
+        assert status["breached"] is True
+        assert status["burn_fast"] >= 10.0
+        assert tracker.burning()
+        assert tracker.breached_objectives() == ("reach_p99",)
+        assert registry.counter("slo.breaches").value == 1
+
+        # The slow window still remembers the burn after the fast window
+        # clears: no breach (fast window has no samples at all).
+        now[0] = 400.0
+        status = tracker.evaluate()[0]
+        assert status["breached"] is False
+        assert not tracker.burning()
+
+    def test_rate_objective_over_counter_deltas(self):
+        now = [0.0]
+        registry = MetricsRegistry()
+        good = registry.counter("service.queries.plain_index")
+        bad = registry.counter("service.queries.degraded")
+        tracker = SLOTracker(
+            ["error_rate < 10%"],
+            registry,
+            fast_window_s=60.0,
+            slow_window_s=600.0,
+            clock=lambda: now[0],
+        )
+        good.increment(80)
+        bad.increment(20)  # 20% of traffic since attach
+        now[0] = 30.0
+        status = tracker.evaluate()[0]
+        assert status["observed_fast"] == pytest.approx(0.2)
+        assert status["breached"] is True
+
+        # Traffic turns clean: the fast window recovers first.
+        good.increment(1000)
+        now[0] = 95.0  # the breach sample is now > fast_window old
+        status = tracker.evaluate()[0]
+        assert status["observed_fast"] < 0.02
+        assert status["breached"] is False
+
+    def test_breach_trips_breaker_preemptively(self):
+        from repro.resilience import CircuitBreaker
+
+        now = [0.0]
+        registry = MetricsRegistry()
+        histogram = LatencyHistogram(
+            window_s=3600.0, num_slices=120, clock=lambda: now[0]
+        )
+        registry._histograms["service.latency.plain_index"] = histogram
+        registry.counter("service.queries.plain_index").increment(1)
+        breaker = CircuitBreaker("slo-test")
+        tracker = SLOTracker(
+            ["reach.p99 < 5ms"], registry, breaker=breaker, clock=lambda: now[0]
+        )
+        assert breaker.state == "closed"
+        histogram.observe(0.5)
+        tracker.evaluate()
+        assert breaker.state == "open"
+        assert breaker.snapshot()["trip_reason"] == "slo burn"
+
+    def test_rejects_bad_windows(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ServiceError):
+            SLOTracker(["reach.p99 < 5ms"], registry, fast_window_s=600.0,
+                       slow_window_s=60.0)
+
+
+# -- the acceptance chaos test ---------------------------------------------
+def test_chaos_latency_breaches_slo_and_degrades_service():
+    """Injected query latency -> fast-window burn > 1 -> pre-emptive trip
+    -> the very next queries take the degraded route (bounded UNKNOWNs or
+    certificate hits), before any query *failed*."""
+    graph = random_dag(40, 120, seed=808)
+    service = ReachabilityService(graph, index="GRAIL", cache_capacity=None)
+    tracker = SLOTracker(
+        ["reach.p99 < 5ms"],
+        service.metrics,
+        breaker=service.breaker,
+        fast_window_s=300.0,
+        slow_window_s=3600.0,
+    )
+    policy = ChaosPolicy(
+        [Fault(point="service.query", kind="delay", delay_s=0.02)], seed=9
+    )
+    with chaos(policy):
+        for source in range(10):
+            result = service.reach_ex(source, (source + 7) % 40)
+            assert result.route == "plain_index"  # still healthy, just slow
+    assert policy.injected_counts()  # the delays really fired
+
+    status = tracker.evaluate()[0]
+    assert status["burn_fast"] >= 1.0, status
+    assert status["breached"] is True
+    assert service.breaker.state == "open"
+    assert service.metrics.counter("slo.breaches").value == 1
+
+    # Pre-emptive degradation: the engine now refuses the index path.
+    result = service.reach_ex(0, 39)
+    assert result.route == "degraded"
+    degraded = service.metrics.counter("service.queries.degraded").value
+    assert degraded >= 1
+
+
+def test_advisor_treats_slo_burn_as_drift():
+    from repro.service import AdvisorLoop
+
+    graph = random_dag(60, 180, seed=809)
+    service = ReachabilityService(graph, index="GRAIL")
+    tracker = SLOTracker(["reach.p99 < 5ms"], service.metrics)
+    loop = AdvisorLoop(service, probe=False, slo_tracker=tracker)
+    first = loop.tick()
+    assert first["action"] in ("kept", "adopted")  # first tick always advises
+
+    # No traffic, no drift: the loop skips.
+    assert loop.tick()["action"] == "skipped"
+
+    # Fabricate a burn: the tracker now reports breached objectives and
+    # the loop re-advises immediately.
+    service.metrics.counter("service.queries.plain_index").increment(1)
+    service.metrics.histogram("service.latency.plain_index").observe(0.5)
+    tracker.evaluate()
+    assert tracker.burning()
+    action = loop.tick()
+    assert action["action"] in ("kept", "adopted")
+    assert "SLO burn" in action["reason"]
+
+
+# -- the shadow auditor -----------------------------------------------------
+class TestShadowAuditor:
+    @pytest.mark.parametrize("family", ["GRAIL", "PLL", "BFL", "TC", "IP"])
+    def test_family_matrix_zero_mismatches(self, family):
+        graph = random_dag(30, 90, seed=810)
+        service = ReachabilityService(graph, index=family, cache_capacity=64)
+        auditor = ShadowAuditor(
+            sample_rate=1.0, metrics=service.metrics, max_queue=2048, seed=4
+        )
+        service.attach_auditor(auditor)
+        for source in range(30):
+            for target in range(0, 30, 3):
+                service.reach(source, target)
+        checked = auditor.drain()
+        assert checked == auditor.status()["checked"]
+        assert checked >= 300  # every query sampled (cache hits included)
+        assert auditor.mismatches == 0
+        assert auditor.status()["dropped"] == 0
+
+    def test_batch_path_is_audited(self):
+        graph = random_dag(25, 75, seed=811)
+        service = ReachabilityService(graph, index="GRAIL")
+        auditor = ShadowAuditor(
+            sample_rate=1.0, metrics=service.metrics, max_queue=2048, seed=5
+        )
+        service.attach_auditor(auditor)
+        pairs = [(s, (s * 3 + 1) % 25) for s in range(25)]
+        service.execute_batch(pairs)
+        service.execute_batch(pairs)  # second pass: cache-hit offers
+        assert auditor.drain() > 0
+        assert auditor.mismatches == 0
+
+    def test_fabricated_mismatch_captures_trace(self):
+        graph = random_dag(20, 60, seed=812)
+        service = ReachabilityService(graph, index="GRAIL")
+        auditor = ShadowAuditor(sample_rate=1.0, metrics=service.metrics)
+        snapshot = service.acquire()
+        source, target = 0, 11
+        truth = bfs_reachable(snapshot.graph, source, target)
+        auditor.offer(snapshot, source, target, not truth, "plain_index")
+        auditor.drain()
+        assert auditor.mismatches == 1
+        trace = auditor.status()["traces"][0]
+        assert trace["source"] == source and trace["target"] == target
+        assert trace["served"] is (not truth)
+        assert trace["oracle"] is truth
+        assert trace["epoch"] == 0
+        assert trace["route"] == "plain_index"
+        assert "explain" in trace or "explain_error" in trace
+
+    def test_queue_overflow_drops_and_counts(self):
+        graph = random_dag(10, 20, seed=813)
+        service = ReachabilityService(graph, index="GRAIL")
+        auditor = ShadowAuditor(
+            sample_rate=1.0, metrics=service.metrics, max_queue=2
+        )
+        snapshot = service.acquire()
+        for _ in range(5):
+            auditor.offer(snapshot, 0, 1, True, "cache")
+        assert auditor.queue_depth == 2
+        assert auditor.status()["dropped"] == 3
+
+    def test_unknowns_are_never_offered(self):
+        graph = random_dag(10, 20, seed=814)
+        service = ReachabilityService(graph, index="GRAIL")
+        auditor = ShadowAuditor(sample_rate=1.0, metrics=service.metrics)
+        service.attach_auditor(auditor)
+        service.breaker.trip(reason="test")
+        result = service.reach_ex(0, 9)
+        assert result.route == "degraded"
+        if result.answer is None:  # UNKNOWN asserts nothing: not auditable
+            assert auditor.queue_depth == 0
+
+
+# -- OpenMetrics exposition -------------------------------------------------
+class TestOpenMetrics:
+    def test_service_exposition_round_trips_the_validator(self):
+        graph = random_dag(25, 75, seed=815)
+        service = ReachabilityService(graph, index="GRAIL")
+        tracker = SLOTracker(
+            ["reach.p99 < 5ms", "error_rate < 1%"],
+            service.metrics,
+        )
+        auditor = ShadowAuditor(sample_rate=1.0, metrics=service.metrics)
+        service.attach_auditor(auditor)
+        for source in range(25):
+            service.reach(source, (source + 3) % 25)
+        auditor.drain()
+        tracker.evaluate()
+        text = service_openmetrics(service, tracker=tracker, auditor=auditor,
+                                   uptime_s=12.5)
+        stats = validate_openmetrics(text)
+        assert stats["families"] > 10
+        assert 'repro_service_queries_total{index="GRAIL",route="plain_index"}' in text
+        assert 'repro_slo_burn_rate{' in text
+        assert 'repro_slo_audit_total{' in text
+        assert 'repro_service_uptime_seconds{index="GRAIL"} 12.5' in text
+
+    def test_render_labels_escaped(self):
+        registry = MetricsRegistry()
+        gauge = Gauge(
+            family="repro_test_info",
+            value=1.0,
+            labels={"path": 'C:\\tmp\n"x"'},
+        )
+        text = render_openmetrics([registry], gauges=[gauge])
+        assert '\\\\tmp\\n\\"x\\"' in text
+        validate_openmetrics(text)
+
+    def test_histogram_buckets_cumulative_and_terminated(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("service.latency.cache")
+        for sample in (1e-5, 1e-4, 1e-3, 1e-2, 20.0):
+            histogram.observe(sample)
+        text = render_openmetrics([registry])
+        validate_openmetrics(text)
+        lines = [
+            line
+            for line in text.splitlines()
+            if line.startswith("repro_service_latency_seconds_bucket")
+        ]
+        counts = [int(line.rsplit(" ", 1)[1]) for line in lines]
+        assert counts == sorted(counts)
+        assert 'le="+Inf"' in lines[-1]
+        assert counts[-1] == 5  # +Inf bucket sees everything, incl. 20s
+        assert "repro_service_latency_seconds_count" in text
+        assert "repro_service_latency_seconds_sum" in text
+
+    @pytest.mark.parametrize(
+        ("mutate", "reason"),
+        [
+            (lambda t: t.replace("# EOF\n", ""), "missing EOF"),
+            (lambda t: t + "trailing 1\n", "sample after EOF"),
+            (
+                lambda t: t.replace(
+                    "# TYPE repro_service_queries counter\n", ""
+                ),
+                "sample without TYPE",
+            ),
+            (
+                lambda t: t.replace("_total{", "{", 1),
+                "counter sample without _total",
+            ),
+            (
+                lambda t: t.replace('route="cache"', 'route=cache', 1),
+                "unquoted label value",
+            ),
+        ],
+    )
+    def test_validator_rejects_malformations(self, mutate, reason):
+        registry = MetricsRegistry()
+        registry.counter("service.queries.cache").increment(3)
+        text = render_openmetrics([registry])
+        validate_openmetrics(text)  # sane before mutation
+        with pytest.raises(ValueError):
+            validate_openmetrics(mutate(text))
+
+    def test_validator_rejects_non_monotone_buckets(self):
+        text = (
+            "# TYPE repro_x histogram\n"
+            'repro_x_bucket{le="0.1"} 5\n'
+            'repro_x_bucket{le="1.0"} 3\n'
+            'repro_x_bucket{le="+Inf"} 5\n'
+            "repro_x_count 5\n"
+            "repro_x_sum 0.5\n"
+            "# EOF\n"
+        )
+        with pytest.raises(ValueError, match="cumulative"):
+            validate_openmetrics(text)
+
+
+# -- dashboard --------------------------------------------------------------
+class TestDashboard:
+    def test_payload_and_render(self):
+        graph = random_dag(20, 60, seed=816)
+        service = ReachabilityService(graph, index="GRAIL")
+        tracker = SLOTracker(["reach.p99 < 5ms"], service.metrics)
+        auditor = ShadowAuditor(sample_rate=1.0, metrics=service.metrics)
+        service.attach_auditor(auditor)
+        for source in range(20):
+            service.reach(source, (source + 1) % 20)
+        auditor.drain()
+        tracker.evaluate()
+        payload = build_slo_payload(
+            service, tracker=tracker, auditor=auditor, uptime_s=3.0
+        )
+        assert payload["epoch"] == 0
+        assert payload["queries_total"] == 20
+        assert "plain_index" in payload["routes"]
+        json.dumps(payload)  # the payload is what GET /slo serves
+
+        frame = render_dashboard(payload)
+        assert "SERVING" in frame
+        assert "plain_index" in frame
+        assert "reach.p99 < 5ms" in frame
+        assert "mismatches 0" in frame
+
+    def test_render_survives_missing_sections(self):
+        graph = random_dag(10, 20, seed=817)
+        service = ReachabilityService(graph, index="GRAIL")
+        payload = build_slo_payload(service, draining=True)
+        frame = render_dashboard(payload)
+        assert "DRAINING" in frame
+        assert "no tracker" in frame
+        assert "no auditor" in frame
+
+
+# -- HTTP + CLI integration -------------------------------------------------
+def test_slo_endpoint_with_tracker_and_auditor_over_http():
+    from repro.service.server import serve
+
+    graph = random_dag(20, 60, seed=818)
+    service = ReachabilityService(graph, index="GRAIL")
+    tracker = SLOTracker(["reach.p99 < 100ms"], service.metrics)
+    auditor = ShadowAuditor(sample_rate=1.0, metrics=service.metrics)
+    service.attach_auditor(auditor)
+    server = serve(service, port=0, slo_tracker=tracker, auditor=auditor)
+    server.start_background()
+    host, port = server.server_address[:2]
+    base = f"http://{host}:{port}"
+    try:
+        with urllib.request.urlopen(f"{base}/reach?source=0&target=5",
+                                    timeout=10):
+            pass
+        auditor.drain()
+        tracker.evaluate()
+        with urllib.request.urlopen(f"{base}/slo", timeout=10) as response:
+            payload = json.loads(response.read())
+        assert payload["slo"]["objectives"][0]["objective"] == "reach_p99"
+        assert payload["audit"]["mismatches"] == 0
+        with urllib.request.urlopen(
+            f"{base}/metrics?format=openmetrics", timeout=10
+        ) as response:
+            validate_openmetrics(response.read().decode())
+    finally:
+        server.shutdown()
+        server.server_close()
+
+
+def test_cli_top_once(capsys):
+    from repro.cli import main
+    from repro.service.server import serve
+
+    graph = random_dag(15, 45, seed=819)
+    service = ReachabilityService(graph, index="GRAIL")
+    server = serve(service, port=0)
+    server.start_background()
+    host, port = server.server_address[:2]
+    try:
+        service.reach(0, 5)
+        assert main(["top", f"http://{host}:{port}", "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "repro top" in out
+        assert "SERVING" in out
+    finally:
+        server.shutdown()
+        server.server_close()
+
+
+def test_cli_serve_rejects_bad_slo_spec(tmp_path, capsys):
+    from repro.cli import main
+
+    path = tmp_path / "g.el"
+    path.write_text("a b\nb c\n")
+    code = main(["serve", str(path), "--port", "0", "--slo", "not an slo"])
+    assert code == 2
+    assert "bad SLO spec" in capsys.readouterr().err

@@ -1,0 +1,204 @@
+#!/usr/bin/env python
+"""Compare ``BENCH_*.json`` artifacts against committed baselines.
+
+Regression gate for CI: given a baseline artifact (committed at the repo
+root) and a freshly produced one, diff the ``results.headline`` numbers
+and exit 1 when something regressed.
+
+Two kinds of headline entry are understood:
+
+* ``{"value": v, "max": m}`` (or ``"min"``) — an absolute ceiling or
+  floor.  These are machine-independent contracts ("audit mismatches
+  must be 0", "overhead must stay under 5%"), so only the *current*
+  artifact's bound is enforced; the baseline just has to agree on the
+  key existing.
+* a plain number — compared relatively against the baseline, allowing
+  ``--tolerance`` (default 25%) drift in the losing direction.  Which
+  direction loses is inferred from the key's suffix: ``_s``/``_ms``/
+  ``_us``/``_pct``/``_bytes`` mean lower-is-better; ``_x``/``_qps``/
+  ``_speedup``/``_rate`` mean higher-is-better.  Keys with no
+  recognisable suffix are reported but never fail the gate (a number
+  whose good direction is unknown cannot be judged).
+
+Artifacts without a ``results.headline`` section are skipped with a
+warning — older benchmarks emit free-form results; the gate only binds
+the ones that opted into the headline contract.
+
+Usage::
+
+    python tools/bench_compare.py BASELINE.json CURRENT.json [--tolerance 0.25]
+    python tools/bench_compare.py --baseline-dir . --current-dir /tmp/bench
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+SUPPORTED_SCHEMA = 1
+
+LOWER_IS_BETTER = ("_s", "_ms", "_us", "_pct", "_bytes")
+HIGHER_IS_BETTER = ("_x", "_qps", "_speedup", "_rate")
+
+
+def _load(path: Path) -> dict:
+    document = json.loads(path.read_text(encoding="utf-8"))
+    schema = document.get("schema_version")
+    if schema is not None and schema > SUPPORTED_SCHEMA:
+        raise SystemExit(
+            f"{path}: schema_version {schema} is newer than this tool "
+            f"understands ({SUPPORTED_SCHEMA}); refusing to guess"
+        )
+    return document
+
+
+def _headline(document: dict) -> dict | None:
+    results = document.get("results")
+    if isinstance(results, dict):
+        headline = results.get("headline")
+        if isinstance(headline, dict):
+            return headline
+    return None
+
+
+def _direction(key: str) -> str | None:
+    if key.endswith(LOWER_IS_BETTER):
+        return "lower"
+    if key.endswith(HIGHER_IS_BETTER):
+        return "higher"
+    return None
+
+
+def compare_headlines(
+    name: str, baseline: dict, current: dict, tolerance: float
+) -> list[str]:
+    """Return a list of human-readable regression messages (empty = pass)."""
+    failures: list[str] = []
+    for key, current_value in sorted(current.items()):
+        baseline_value = baseline.get(key)
+        if isinstance(current_value, dict):
+            value = current_value.get("value")
+            if not isinstance(value, (int, float)):
+                continue
+            ceiling = current_value.get("max")
+            floor = current_value.get("min")
+            if isinstance(ceiling, (int, float)) and value > ceiling:
+                failures.append(
+                    f"{name}: {key} = {value} exceeds its ceiling {ceiling}"
+                )
+            elif isinstance(floor, (int, float)) and value < floor:
+                failures.append(
+                    f"{name}: {key} = {value} is under its floor {floor}"
+                )
+            else:
+                bound = (
+                    f"<= {ceiling}" if isinstance(ceiling, (int, float))
+                    else f">= {floor}"
+                )
+                print(f"  ok  {name}: {key} = {value} ({bound})")
+            continue
+        if not isinstance(current_value, (int, float)):
+            continue
+        if not isinstance(baseline_value, (int, float)):
+            print(f"  new {name}: {key} = {current_value} (no baseline)")
+            continue
+        direction = _direction(key)
+        if direction is None:
+            print(
+                f"  --  {name}: {key} = {current_value} "
+                f"(baseline {baseline_value}; direction unknown, not judged)"
+            )
+            continue
+        if baseline_value == 0:
+            print(f"  --  {name}: {key} baseline is 0, not judged")
+            continue
+        change = (current_value - baseline_value) / abs(baseline_value)
+        regressed = (
+            change > tolerance if direction == "lower" else change < -tolerance
+        )
+        marker = "FAIL" if regressed else "ok "
+        print(
+            f"  {marker} {name}: {key} = {current_value:g} "
+            f"(baseline {baseline_value:g}, {change:+.1%}, {direction} is better)"
+        )
+        if regressed:
+            failures.append(
+                f"{name}: {key} regressed {change:+.1%} "
+                f"(baseline {baseline_value:g} -> {current_value:g}, "
+                f"tolerance {tolerance:.0%})"
+            )
+    return failures
+
+
+def compare_files(
+    baseline_path: Path, current_path: Path, tolerance: float
+) -> list[str]:
+    baseline = _load(baseline_path)
+    current = _load(current_path)
+    name = current.get("bench") or current_path.stem
+    current_headline = _headline(current)
+    if current_headline is None:
+        print(f"  skip {name}: no results.headline in {current_path}")
+        return []
+    baseline_headline = _headline(baseline)
+    if baseline_headline is None:
+        print(f"  skip {name}: no results.headline in baseline {baseline_path}")
+        return []
+    return compare_headlines(name, baseline_headline, current_headline, tolerance)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", nargs="?", help="baseline BENCH_*.json")
+    parser.add_argument("current", nargs="?", help="freshly produced BENCH_*.json")
+    parser.add_argument(
+        "--baseline-dir",
+        default=None,
+        help="directory of committed baselines (pair by filename)",
+    )
+    parser.add_argument(
+        "--current-dir",
+        default=None,
+        help="directory of freshly produced artifacts",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="allowed relative drift in the losing direction (default 0.25)",
+    )
+    args = parser.parse_args(argv)
+
+    pairs: list[tuple[Path, Path]] = []
+    if args.baseline and args.current:
+        pairs.append((Path(args.baseline), Path(args.current)))
+    elif args.baseline_dir and args.current_dir:
+        current_dir = Path(args.current_dir)
+        for current_path in sorted(current_dir.glob("BENCH_*.json")):
+            baseline_path = Path(args.baseline_dir) / current_path.name
+            if baseline_path.exists():
+                pairs.append((baseline_path, current_path))
+            else:
+                print(f"  skip {current_path.name}: no committed baseline")
+    else:
+        parser.error("give BASELINE CURRENT or --baseline-dir/--current-dir")
+    if not pairs:
+        print("nothing to compare")
+        return 0
+
+    failures: list[str] = []
+    for baseline_path, current_path in pairs:
+        failures.extend(compare_files(baseline_path, current_path, args.tolerance))
+    if failures:
+        print("\nregressions:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print("\nno regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
