@@ -36,6 +36,7 @@ __all__ = [
     "packed_descendant_bitsets",
     "packed_reach_masks",
     "rows_to_ints",
+    "unpacked_indices",
 ]
 
 _ONE = None
@@ -141,6 +142,21 @@ def rows_to_ints(masks) -> list[int]:
         from_bytes(data[row * stride : (row + 1) * stride], "little")
         for row in range(n)
     ]
+
+
+def unpacked_indices(mask: int) -> list[int]:
+    """Set-bit positions of one big-int bitset, via a single unpackbits.
+
+    The inverse direction of :func:`rows_to_ints` for a single row:
+    enumeration fast paths hold a closure row as a big int and need its
+    members as indices.
+    """
+    if not mask:
+        return []
+    data = np.frombuffer(
+        mask.to_bytes((mask.bit_length() + 7) >> 3, "little"), dtype=np.uint8
+    )
+    return np.flatnonzero(np.unpackbits(data, bitorder="little")).tolist()
 
 
 def packed_batch_reachable(

@@ -1,0 +1,36 @@
+"""Zanzibar-style authorization on top of the reachability core.
+
+Relation tuples compile into per-namespace labeled graphs; permission
+checks are pair queries and list-objects / list-subjects ride the
+set-enumeration API (``reachable_from`` / ``reaching_to``) with its
+per-family fast paths.  Snapshot-epoch zookies give reads causal
+consistency under concurrent writes.
+"""
+
+from repro.authz.store import (
+    AuthzSnapshot,
+    AuthzStore,
+    CheckResult,
+    ExpandResult,
+    ListResult,
+    Zookie,
+)
+from repro.authz.tuples import (
+    RelationTuple,
+    compile_tuples,
+    parse_tuple,
+    parse_tuples,
+)
+
+__all__ = [
+    "AuthzSnapshot",
+    "AuthzStore",
+    "CheckResult",
+    "ExpandResult",
+    "ListResult",
+    "Zookie",
+    "RelationTuple",
+    "compile_tuples",
+    "parse_tuple",
+    "parse_tuples",
+]

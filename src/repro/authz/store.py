@@ -1,0 +1,388 @@
+"""Multi-tenant tuple store with snapshot-epoch zookies.
+
+The store follows Zanzibar's consistency recipe scaled to this library:
+every namespace serves reads from an immutable *snapshot* — the compiled
+labeled graph, its plain projection, and a reachability index built by a
+registered family — and every write produces a fresh snapshot at the
+next *epoch*.  A :class:`Zookie` is the causal token for that epoch:
+writes return one, reads accept one as ``at_least``, and a read whose
+published snapshot is older than the token's epoch raises
+:class:`~repro.errors.StaleZookieError` rather than silently serving
+stale data (the "new enemy" problem).
+
+Reads never take the writer lock: the snapshot dictionary swap is
+atomic, so ``check``/``list_objects``/``list_subjects``/``expand`` race
+against concurrent writes only by observing either the old or the new
+epoch — never a torn state.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import re
+import threading
+from dataclasses import dataclass, field
+
+from repro.core.base import ReachabilityIndex
+from repro.core.condensed import CondensedIndex
+from repro.core.registry import plain_index
+from repro.errors import (
+    InvalidZookieError,
+    StaleZookieError,
+    UnknownEntityError,
+)
+from repro.graphs.digraph import DiGraph
+from repro.graphs.labeled import LabeledDiGraph
+from repro.authz.tuples import RelationTuple, compile_tuples
+from repro.obs.metrics import global_registry
+from repro.obs.tracer import TRACER
+
+__all__ = [
+    "Zookie",
+    "AuthzSnapshot",
+    "CheckResult",
+    "ListResult",
+    "ExpandResult",
+    "AuthzStore",
+]
+
+_NAMESPACE_RE = re.compile(r"^[A-Za-z0-9_\-]+$")
+_ZOOKIE_SALT = b"repro-authz-zookie-v1"
+
+
+def _digest(namespace: str, epoch: int) -> str:
+    h = hashlib.sha256(_ZOOKIE_SALT)
+    h.update(namespace.encode())
+    h.update(b"\x00")
+    h.update(str(epoch).encode())
+    return h.hexdigest()[:8]
+
+
+@dataclass(frozen=True, order=True)
+class Zookie:
+    """A causal token: "my writes up to ``epoch`` in ``namespace``"."""
+
+    namespace: str
+    epoch: int
+
+    def encode(self) -> str:
+        """The wire form ``z1.<namespace>.<epoch>.<digest>``."""
+        return f"z1.{self.namespace}.{self.epoch}.{_digest(self.namespace, self.epoch)}"
+
+    @classmethod
+    def decode(cls, text: str) -> "Zookie":
+        """Parse and digest-check a wire-form zookie."""
+        if not isinstance(text, str):
+            raise InvalidZookieError(
+                f"zookie must be a string, got {type(text).__name__}"
+            )
+        parts = text.split(".")
+        if len(parts) != 4 or parts[0] != "z1":
+            raise InvalidZookieError(f"malformed zookie {text!r}")
+        _v, namespace, epoch_text, digest = parts
+        if not _NAMESPACE_RE.match(namespace) or not epoch_text.isdigit():
+            raise InvalidZookieError(f"malformed zookie {text!r}")
+        epoch = int(epoch_text)
+        if digest != _digest(namespace, epoch):
+            raise InvalidZookieError(f"zookie {text!r} fails its digest check")
+        return cls(namespace, epoch)
+
+
+@dataclass(frozen=True)
+class AuthzSnapshot:
+    """One immutable serving state of a namespace."""
+
+    namespace: str
+    epoch: int
+    tuples: frozenset[RelationTuple]
+    graph: LabeledDiGraph
+    plain: DiGraph
+    index: ReachabilityIndex
+    entity_ids: dict[str, int]
+    entities: list[str]
+
+    @property
+    def zookie(self) -> Zookie:
+        """The causal token for this snapshot."""
+        return Zookie(self.namespace, self.epoch)
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """``check``'s answer plus the snapshot token it was served at."""
+
+    allowed: bool
+    zookie: Zookie
+
+
+@dataclass(frozen=True)
+class ListResult:
+    """An enumeration answer: entity names, token, and the index route."""
+
+    names: tuple[str, ...]
+    zookie: Zookie
+    route: str
+
+
+@dataclass(frozen=True)
+class ExpandResult:
+    """The full reachable set of one entity, with the route taken."""
+
+    entity: str
+    direction: str  # "objects" (forward) or "subjects" (backward)
+    names: tuple[str, ...]
+    zookie: Zookie
+    route: str
+    details: tuple[str, ...]
+
+
+@dataclass
+class _NamespaceState:
+    tuples: set[RelationTuple] = field(default_factory=set)
+    epoch: int = 0
+
+
+class AuthzStore:
+    """Per-namespace tuple sets compiled into reachability snapshots.
+
+    ``family`` names any registered plain index family; DAG-only
+    families are lifted with
+    :class:`~repro.core.condensed.CondensedIndex`, since relation graphs
+    cycle freely (mutual group membership).
+    """
+
+    def __init__(self, family: str = "TC") -> None:
+        self._family_cls = plain_index(family)  # validates the name eagerly
+        self.family = family
+        self._lock = threading.Lock()
+        self._states: dict[str, _NamespaceState] = {}
+        self._snapshots: dict[str, AuthzSnapshot] = {}
+
+    # -- writes -----------------------------------------------------------
+    def write(
+        self,
+        namespace: str,
+        writes: list[RelationTuple] = (),
+        deletes: list[RelationTuple] = (),
+    ) -> Zookie:
+        """Apply grants and revokes atomically; returns the new epoch's zookie.
+
+        Revoking an absent tuple and granting a present one are both
+        idempotent no-ops; the epoch advances regardless, so the zookie
+        always certifies "my request has been incorporated".
+        """
+        self._check_namespace(namespace)
+        registry = global_registry()
+        with self._lock:
+            state = self._states.setdefault(namespace, _NamespaceState())
+            for t in writes:
+                state.tuples.add(t)
+            for t in deletes:
+                state.tuples.discard(t)
+            state.epoch += 1
+            snapshot = self._compile(namespace, state)
+            self._snapshots[namespace] = snapshot
+        registry.counter("authz.writes").increment()
+        registry.counter("authz.tuples_applied").increment(
+            len(writes) + len(deletes)
+        )
+        return snapshot.zookie
+
+    def apply_updates(self, namespace: str, ops) -> list[Zookie]:
+        """Drive a grant/revoke stream; one write (and epoch) per op.
+
+        ``ops`` is any iterable of objects with ``kind`` ("grant" or
+        "revoke"), ``subject``, ``relation`` and ``object`` fields —
+        notably :class:`repro.workloads.updates.TupleOp`.
+        """
+        zookies: list[Zookie] = []
+        for op in ops:
+            t = RelationTuple(op.subject, op.relation, op.object)
+            if op.kind == "grant":
+                zookies.append(self.write(namespace, writes=[t]))
+            elif op.kind == "revoke":
+                zookies.append(self.write(namespace, deletes=[t]))
+            else:
+                raise ValueError(f"unknown tuple op kind {op.kind!r}")
+        return zookies
+
+    def _compile(self, namespace: str, state: _NamespaceState) -> AuthzSnapshot:
+        graph, entity_ids, entities = compile_tuples(sorted(state.tuples))
+        plain = graph.to_plain()
+        if self._family_cls.metadata.input_kind == "DAG":
+            index = CondensedIndex.build(plain, inner=self._family_cls)
+        else:
+            index = self._family_cls.build(plain)
+        return AuthzSnapshot(
+            namespace=namespace,
+            epoch=state.epoch,
+            tuples=frozenset(state.tuples),
+            graph=graph,
+            plain=plain,
+            index=index,
+            entity_ids=entity_ids,
+            entities=entities,
+        )
+
+    # -- reads ------------------------------------------------------------
+    def check(
+        self,
+        namespace: str,
+        subject: str,
+        object: str,
+        at_least: Zookie | None = None,
+    ) -> CheckResult:
+        """Whether ``subject`` reaches ``object`` in the namespace graph."""
+        snapshot = self._snapshot(namespace, at_least)
+        registry = global_registry()
+        registry.counter("authz.checks").increment()
+        sid = self._entity_id(snapshot, subject)
+        oid = self._entity_id(snapshot, object)
+        allowed = snapshot.index.query(sid, oid)
+        if allowed:
+            registry.counter("authz.checks_allowed").increment()
+        return CheckResult(allowed=allowed, zookie=snapshot.zookie)
+
+    def list_objects(
+        self,
+        namespace: str,
+        subject: str,
+        object_type: str | None = None,
+        at_least: Zookie | None = None,
+    ) -> ListResult:
+        """Every entity ``subject`` can reach, via the enumeration API.
+
+        ``object_type`` keeps only entities whose ``type:`` prefix
+        matches (e.g. ``"doc"``); the subject itself is never listed.
+        """
+        snapshot = self._snapshot(namespace, at_least)
+        global_registry().counter("authz.list_objects").increment()
+        sid = self._entity_id(snapshot, subject)
+        members, route = self._enumerate(snapshot, sid, forward=True)
+        names = self._names(snapshot, members, exclude=sid, type_prefix=object_type)
+        return ListResult(names=tuple(names), zookie=snapshot.zookie, route=route)
+
+    def list_subjects(
+        self,
+        namespace: str,
+        object: str,
+        subject_type: str | None = None,
+        at_least: Zookie | None = None,
+    ) -> ListResult:
+        """Every entity that reaches ``object`` (the inverse enumeration)."""
+        snapshot = self._snapshot(namespace, at_least)
+        global_registry().counter("authz.list_subjects").increment()
+        oid = self._entity_id(snapshot, object)
+        members, route = self._enumerate(snapshot, oid, forward=False)
+        names = self._names(snapshot, members, exclude=oid, type_prefix=subject_type)
+        return ListResult(names=tuple(names), zookie=snapshot.zookie, route=route)
+
+    def expand(
+        self,
+        namespace: str,
+        entity: str,
+        direction: str = "objects",
+        at_least: Zookie | None = None,
+    ) -> ExpandResult:
+        """The full reachable set of ``entity`` with the route explanation."""
+        if direction not in ("objects", "subjects"):
+            raise ValueError(
+                f"direction must be 'objects' or 'subjects', got {direction!r}"
+            )
+        snapshot = self._snapshot(namespace, at_least)
+        global_registry().counter("authz.expands").increment()
+        vid = self._entity_id(snapshot, entity)
+        members, route, details = snapshot.index._enumerate_routed(
+            vid, direction == "objects"
+        )
+        if TRACER.enabled:
+            global_registry().counter(f"index.route.{route}").increment()
+        return ExpandResult(
+            entity=entity,
+            direction=direction,
+            names=tuple(self._names(snapshot, members, exclude=vid)),
+            zookie=snapshot.zookie,
+            route=route,
+            details=details,
+        )
+
+    # -- introspection ----------------------------------------------------
+    def namespaces(self) -> list[str]:
+        """Namespaces with at least one write, sorted."""
+        return sorted(self._snapshots)
+
+    def snapshot(self, namespace: str) -> AuthzSnapshot | None:
+        """The currently served snapshot (None before the first write)."""
+        return self._snapshots.get(namespace)
+
+    # -- internals --------------------------------------------------------
+    @staticmethod
+    def _check_namespace(namespace: str) -> None:
+        if not _NAMESPACE_RE.match(namespace):
+            raise InvalidZookieError(
+                f"invalid namespace {namespace!r}: must match [A-Za-z0-9_-]+"
+            )
+
+    def _snapshot(self, namespace: str, at_least: Zookie | None) -> AuthzSnapshot:
+        self._check_namespace(namespace)
+        if at_least is not None and at_least.namespace != namespace:
+            raise InvalidZookieError(
+                f"zookie for namespace {at_least.namespace!r} used against "
+                f"namespace {namespace!r}"
+            )
+        snapshot = self._snapshots.get(namespace)
+        epoch = snapshot.epoch if snapshot is not None else 0
+        if at_least is not None and epoch < at_least.epoch:
+            global_registry().counter("authz.stale_zookies").increment()
+            raise StaleZookieError(namespace, at_least.epoch, epoch)
+        if snapshot is None:
+            # empty namespace at epoch 0: every entity is unknown
+            graph, entity_ids, entities = compile_tuples(())
+            snapshot = AuthzSnapshot(
+                namespace=namespace,
+                epoch=0,
+                tuples=frozenset(),
+                graph=graph,
+                plain=graph.to_plain(),
+                index=self._family_cls.build(graph.to_plain())
+                if self._family_cls.metadata.input_kind != "DAG"
+                else CondensedIndex.build(graph.to_plain(), inner=self._family_cls),
+                entity_ids=entity_ids,
+                entities=entities,
+            )
+        return snapshot
+
+    @staticmethod
+    def _enumerate(
+        snapshot: AuthzSnapshot, vertex: int, forward: bool
+    ) -> tuple[frozenset[int], str]:
+        """One routed enumeration, with route attribution under tracing."""
+        members, route, _details = snapshot.index._enumerate_routed(vertex, forward)
+        if TRACER.enabled:
+            global_registry().counter(f"index.route.{route}").increment()
+        return members, route
+
+    @staticmethod
+    def _entity_id(snapshot: AuthzSnapshot, entity: str) -> int:
+        vid = snapshot.entity_ids.get(entity)
+        if vid is None:
+            raise UnknownEntityError(entity, snapshot.namespace)
+        return vid
+
+    @staticmethod
+    def _names(
+        snapshot: AuthzSnapshot,
+        vertex_ids,
+        exclude: int,
+        type_prefix: str | None = None,
+    ) -> list[str]:
+        """Sorted entity names for ``vertex_ids``, in one filtered pass."""
+        entities = snapshot.entities
+        if type_prefix is None:
+            return sorted(entities[v] for v in vertex_ids if v != exclude)
+        prefix = type_prefix + ":"
+        return sorted(
+            name
+            for v in vertex_ids
+            if v != exclude and (name := entities[v]).startswith(prefix)
+        )

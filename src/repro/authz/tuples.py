@@ -1,0 +1,102 @@
+"""Relation tuples — the Zanzibar-style authorization data model.
+
+A relation tuple ``subject#relation@object`` asserts that ``subject``
+holds ``relation`` on ``object``: ``user:alice#member@group:eng`` or
+``group:eng#viewer@doc:readme``.  Subjects and objects are opaque
+``type:id`` entity names; a set of tuples compiles into one labeled
+graph per namespace (entity = vertex, tuple = edge labeled with its
+relation), so an authorization *check* is exactly a reachability query
+and *list-objects* / *list-subjects* are the set-enumeration API.
+
+Entity names and relations are deliberately restricted to a safe
+character set so tuples round-trip through their text form and through
+zookie encodings without escaping.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.errors import InvalidTupleError
+from repro.graphs.labeled import LabeledDiGraph
+
+__all__ = ["RelationTuple", "parse_tuple", "parse_tuples", "compile_tuples"]
+
+_ENTITY_RE = re.compile(r"^[A-Za-z0-9_.:\-/]+$")
+_RELATION_RE = re.compile(r"^[A-Za-z0-9_\-]+$")
+
+
+@dataclass(frozen=True, order=True)
+class RelationTuple:
+    """One ``subject#relation@object`` assertion."""
+
+    subject: str
+    relation: str
+    object: str
+
+    def __post_init__(self) -> None:
+        for part, pattern, what in (
+            (self.subject, _ENTITY_RE, "subject"),
+            (self.relation, _RELATION_RE, "relation"),
+            (self.object, _ENTITY_RE, "object"),
+        ):
+            if not pattern.match(part):
+                raise InvalidTupleError(
+                    f"invalid {what} {part!r} in tuple "
+                    f"{self.subject!r}#{self.relation!r}@{self.object!r}"
+                )
+        if self.subject == self.object:
+            raise InvalidTupleError(
+                f"tuple subject and object coincide: {self.subject!r}"
+            )
+
+    def __str__(self) -> str:
+        return f"{self.subject}#{self.relation}@{self.object}"
+
+
+def parse_tuple(text: str) -> RelationTuple:
+    """Parse one ``subject#relation@object`` string."""
+    if not isinstance(text, str):
+        raise InvalidTupleError(f"tuple must be a string, got {type(text).__name__}")
+    head, sep, obj = text.partition("@")
+    subject, sep2, relation = head.partition("#")
+    if not sep or not sep2:
+        raise InvalidTupleError(
+            f"malformed tuple {text!r}: expected subject#relation@object"
+        )
+    return RelationTuple(subject, relation, obj)
+
+
+def parse_tuples(texts: Iterable[str]) -> list[RelationTuple]:
+    """Parse many tuple strings, preserving order."""
+    return [parse_tuple(text) for text in texts]
+
+
+def compile_tuples(
+    tuples: Iterable[RelationTuple],
+) -> tuple[LabeledDiGraph, dict[str, int], list[str]]:
+    """Compile tuples into a labeled graph plus the entity interning maps.
+
+    Entities are interned to dense vertex ids in first-seen order
+    (subject before object per tuple); each tuple becomes one edge
+    labeled with its relation.  Returns ``(graph, entity_ids, entities)``
+    with ``entities[entity_ids[name]] == name``.
+    """
+    entity_ids: dict[str, int] = {}
+    entities: list[str] = []
+    triples: list[tuple[int, int, str]] = []
+    seen: set[tuple[int, int, str]] = set()
+    for t in tuples:
+        for name in (t.subject, t.object):
+            if name not in entity_ids:
+                entity_ids[name] = len(entities)
+                entities.append(name)
+        triple = (entity_ids[t.subject], entity_ids[t.object], t.relation)
+        if triple in seen:
+            continue
+        seen.add(triple)
+        triples.append(triple)
+    graph = LabeledDiGraph(len(entities), triples)
+    return graph, entity_ids, entities

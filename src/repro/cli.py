@@ -32,7 +32,16 @@ Commands
     num_shards=4``); ``--slo 'reach.p99 < 5ms'`` (repeatable) tracks
     burn-rate objectives that pre-emptively trip the breaker, and
     ``--audit-rate 0.001`` shadow-audits served answers against the
-    BFS oracle.
+    BFS oracle; ``--authz`` (or ``--authz-tuples FILE``) attaches a
+    tuple store behind ``POST /authz/write|check|expand``.
+``repro authz check TUPLES SUBJECT OBJECT [--namespace N] [--family F]``
+    One Zanzibar-style permission check over a relation-tuples file
+    (``subject#relation@object`` lines); exit 0 allowed, 1 denied.
+``repro authz list-objects TUPLES SUBJECT [--type T]``
+    Every entity the subject can reach, via the set-enumeration fast
+    path (``--type doc`` keeps only ``doc:`` entities).
+``repro authz list-subjects TUPLES OBJECT [--type T]``
+    Every entity that reaches the object (the inverse enumeration).
 ``repro top URL [--interval S] [--once]``
     Live ops dashboard: poll a running service's ``GET /slo`` and
     render routes, burn rates, breaker state, and audit verdicts.
@@ -544,6 +553,61 @@ def _cmd_shard_query(args: argparse.Namespace) -> int:
     return 0 if answer else 1
 
 
+def _read_tuples(path: str):
+    """Parse a relation-tuples file: one ``subject#relation@object`` per line.
+
+    Blank lines and ``//`` comment lines are skipped (``#`` is the
+    tuple separator, so it cannot double as the comment character).
+    """
+    from repro.authz import parse_tuple
+
+    tuples = []
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            text = line.strip()
+            if not text or text.startswith("//"):
+                continue
+            tuples.append(parse_tuple(text))
+    return tuples
+
+
+def _authz_store_for(args: argparse.Namespace):
+    """An AuthzStore preloaded from the command's tuples file."""
+    from repro.authz import AuthzStore
+
+    store = AuthzStore(args.family)
+    zookie = store.write(args.namespace, writes=_read_tuples(args.tuples))
+    return store, zookie
+
+
+def _cmd_authz_check(args: argparse.Namespace) -> int:
+    store, zookie = _authz_store_for(args)
+    result = store.check(args.namespace, args.subject, args.object, at_least=zookie)
+    print("ALLOWED" if result.allowed else "DENIED")
+    print(f"zookie: {result.zookie.encode()}", file=sys.stderr)
+    return 0 if result.allowed else 1
+
+
+def _cmd_authz_list(args: argparse.Namespace) -> int:
+    store, zookie = _authz_store_for(args)
+    if args.authz_command == "list-objects":
+        result = store.list_objects(
+            args.namespace, args.entity, object_type=args.type, at_least=zookie
+        )
+    else:
+        result = store.list_subjects(
+            args.namespace, args.entity, subject_type=args.type, at_least=zookie
+        )
+    for name in result.names:
+        print(name)
+    print(
+        f"{len(result.names)} entities via route {result.route} "
+        f"(zookie {result.zookie.encode()})",
+        file=sys.stderr,
+    )
+    return 0
+
+
 def _cmd_advise(args: argparse.Namespace) -> int:
     """Recommend an index family for an edge-list graph (and workload)."""
     import json
@@ -652,6 +716,20 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             slo_tracker=tracker,
         )
         advisor.start()
+    authz_store = None
+    if args.authz or args.authz_tuples:
+        from repro.authz import AuthzStore
+
+        authz_store = AuthzStore(args.authz_family)
+        if args.authz_tuples:
+            zookie = authz_store.write(
+                args.authz_namespace, writes=_read_tuples(args.authz_tuples)
+            )
+            print(
+                f"authz: loaded {args.authz_tuples} into namespace "
+                f"{args.authz_namespace!r} (zookie {zookie.encode()})",
+                file=sys.stderr,
+            )
     server = serve(
         service,
         host=args.host,
@@ -664,6 +742,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         advisor=advisor,
         slo_tracker=tracker,
         auditor=auditor,
+        authz=authz_store,
     )
     host, port = server.server_address[:2]
     trace_line = (
@@ -1073,6 +1152,46 @@ def main(argv: list[str] | None = None) -> int:
     )
     shard_query.set_defaults(func=_cmd_shard_query)
 
+    authz_cmd = sub.add_parser(
+        "authz", help="Zanzibar-style authorization over a relation-tuples file"
+    )
+    authz_sub = authz_cmd.add_subparsers(dest="authz_command", required=True)
+
+    def _authz_common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("tuples", help="file of subject#relation@object lines")
+        p.add_argument("--namespace", default="default", help="tenant namespace")
+        p.add_argument(
+            "--family", default="TC", help="plain index family behind the store"
+        )
+
+    authz_check = authz_sub.add_parser(
+        "check", help="one permission check (exit 0 allowed, 1 denied)"
+    )
+    _authz_common(authz_check)
+    authz_check.add_argument("subject")
+    authz_check.add_argument("object")
+    authz_check.set_defaults(func=_cmd_authz_check)
+
+    authz_list_objects = authz_sub.add_parser(
+        "list-objects", help="every entity a subject can reach"
+    )
+    _authz_common(authz_list_objects)
+    authz_list_objects.add_argument("entity", help="the subject to enumerate for")
+    authz_list_objects.add_argument(
+        "--type", default=None, help="keep only entities with this type: prefix"
+    )
+    authz_list_objects.set_defaults(func=_cmd_authz_list)
+
+    authz_list_subjects = authz_sub.add_parser(
+        "list-subjects", help="every entity that reaches an object"
+    )
+    _authz_common(authz_list_subjects)
+    authz_list_subjects.add_argument("entity", help="the object to enumerate for")
+    authz_list_subjects.add_argument(
+        "--type", default=None, help="keep only entities with this type: prefix"
+    )
+    authz_list_subjects.set_defaults(func=_cmd_authz_list)
+
     advise_cmd = sub.add_parser(
         "advise",
         help="recommend an index family for a graph (and optional workload)",
@@ -1232,6 +1351,27 @@ def main(argv: list[str] | None = None) -> int:
         metavar="FRACTION",
         help="shadow-audit this fraction of served pair queries against "
         "the BFS oracle (e.g. 0.001; 0 disables)",
+    )
+    serve.add_argument(
+        "--authz",
+        action="store_true",
+        help="attach an authz tuple store (enables POST /authz/*)",
+    )
+    serve.add_argument(
+        "--authz-family",
+        default="TC",
+        help="plain index family behind the authz store",
+    )
+    serve.add_argument(
+        "--authz-tuples",
+        default=None,
+        metavar="FILE",
+        help="preload a subject#relation@object tuples file (implies --authz)",
+    )
+    serve.add_argument(
+        "--authz-namespace",
+        default="default",
+        help="namespace the preloaded tuples land in",
     )
     _add_backend_argument(serve)
     serve.set_defaults(func=_cmd_serve)

@@ -31,7 +31,7 @@ from typing import ClassVar
 from repro.errors import QueryError, UnsupportedOperationError
 from repro.graphs.digraph import DiGraph
 from repro.graphs.labeled import LabeledDiGraph
-from repro.kernels import batch_reachable, csr_of
+from repro.kernels import ancestors_set, batch_reachable, csr_of, descendants_set
 from repro.obs.build import observe_build
 from repro.obs.metrics import global_registry
 from repro.obs.tracer import TRACER
@@ -42,6 +42,7 @@ __all__ = [
     "TriState",
     "IndexMetadata",
     "Explanation",
+    "SetExplanation",
     "SizeReport",
     "ReachabilityIndex",
     "LabelConstrainedIndex",
@@ -140,6 +141,60 @@ class Explanation:
             f"{rendered}  [{self.index}]",
             f"  route: {self.route}"
             + (f" (probe={self.probe.value})" if self.probe is not None else ""),
+        ]
+        lines.extend(f"  {detail}" for detail in self.details)
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class SetExplanation:
+    """The routed decision path of one reachable-set enumeration.
+
+    Produced by :meth:`ReachabilityIndex.explain_reachable_from` /
+    :meth:`~ReachabilityIndex.explain_reaching_to` — the enumeration
+    counterpart of :class:`Explanation`.  ``route`` is one of
+
+    * ``"enum_traversal"`` — the default graph traversal enumerated the
+      set (output-sensitive BFS over the CSR snapshot);
+    * ``"enum_closure"`` — a transitive-closure bitset was expanded
+      directly (TC);
+    * ``"enum_label_join"`` — 2-hop labels were joined through an
+      inverted hub index (PLL/DL/TOL/TFL/2-Hop);
+    * ``"enum_interval"`` — a subtree-interval scan produced the set
+      (tree cover exactly; GRAIL/DAGGER prune candidates by interval
+      and confirm them with one shared kernel sweep);
+    * ``"enum_compose"`` — per-shard enumerations composed through the
+      boundary summary graph (Sharded).
+
+    The SCC-condensation wrapper expands the inner DAG answer through
+    the SCC map and reports the *inner* route, mirroring how
+    :meth:`CondensedIndex.explain` delegates pair queries.
+    """
+
+    index: str
+    vertex: int
+    direction: str  # "from" (descendants) or "to" (ancestors)
+    count: int
+    route: str
+    details: tuple[str, ...] = ()
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-serialisable plain data (the CLI/HTTP payload shape)."""
+        return {
+            "index": self.index,
+            "vertex": self.vertex,
+            "direction": self.direction,
+            "count": self.count,
+            "route": self.route,
+            "details": list(self.details),
+        }
+
+    def render_text(self) -> str:
+        """A short human-readable decision path."""
+        name = "reachable_from" if self.direction == "from" else "reaching_to"
+        lines = [
+            f"{name}({self.vertex}) = {self.count} vertices  [{self.index}]",
+            f"  route: {self.route}",
         ]
         lines.extend(f"  {detail}" for detail in self.details)
         return "\n".join(lines)
@@ -556,6 +611,113 @@ class ReachabilityIndex(ABC):
             "(probes prune the frontier)",
         )
 
+    # -- set enumeration -------------------------------------------------
+    def reachable_from(self, source: int) -> frozenset[int]:
+        """Every vertex reachable from ``source`` (including itself).
+
+        The single-source *enumeration* query — "list everything this
+        vertex reaches" — answered exactly for every family.  The
+        default walks the CSR snapshot (output-sensitive: only the
+        answer set and its edges are touched); families with a better
+        representation override :meth:`_enumerate_fast` — TC reads a
+        closure bitset, 2-hop labelings join through an inverted hub
+        index, interval indexes scan the postorder range.  All paths
+        return the same frozen vertex-set type.
+        """
+        self._check_vertex(source)
+        if not TRACER.enabled:
+            return self._enumerate_routed(source, forward=True)[0]
+        return self._enumerate_observed(source, forward=True)
+
+    def reaching_to(self, target: int) -> frozenset[int]:
+        """Every vertex that reaches ``target`` (including itself).
+
+        The reverse enumeration — "list everything that reaches this
+        vertex" — with the same routing contract as
+        :meth:`reachable_from`.
+        """
+        self._check_vertex(target)
+        if not TRACER.enabled:
+            return self._enumerate_routed(target, forward=False)[0]
+        return self._enumerate_observed(target, forward=False)
+
+    def explain_reachable_from(self, source: int) -> SetExplanation:
+        """The routed decision path of ``reachable_from(source)``.
+
+        Always agrees with :meth:`reachable_from` (both call the same
+        routed enumeration); like :meth:`explain` it works without the
+        tracer and bumps no counters.
+        """
+        self._check_vertex(source)
+        vertices, route, details = self._enumerate_routed(source, forward=True)
+        return SetExplanation(
+            index=self.metadata.name,
+            vertex=source,
+            direction="from",
+            count=len(vertices),
+            route=route,
+            details=details,
+        )
+
+    def explain_reaching_to(self, target: int) -> SetExplanation:
+        """The routed decision path of ``reaching_to(target)``."""
+        self._check_vertex(target)
+        vertices, route, details = self._enumerate_routed(target, forward=False)
+        return SetExplanation(
+            index=self.metadata.name,
+            vertex=target,
+            direction="to",
+            count=len(vertices),
+            route=route,
+            details=details,
+        )
+
+    def _enumerate_observed(self, vertex: int, forward: bool) -> frozenset[int]:
+        """The traced enumeration path (tracer enabled only)."""
+        with TRACER.span(
+            "index.enumerate",
+            index=self.metadata.name,
+            vertex=vertex,
+            direction="from" if forward else "to",
+        ) as span:
+            vertices, route, _details = self._enumerate_routed(vertex, forward)
+            span.annotate(route=route, count=len(vertices))
+            global_registry().counter(f"index.route.{route}").increment()
+            return vertices
+
+    def _enumerate_routed(
+        self, vertex: int, forward: bool
+    ) -> tuple[frozenset[int], str, tuple[str, ...]]:
+        """Set answer plus routing attribution; explain and the public
+        enumeration share this, which guarantees their agreement."""
+        fast = self._enumerate_fast(vertex, forward)
+        if fast is not None:
+            return fast
+        csr = csr_of(self._graph)
+        members = (
+            descendants_set(csr, vertex) if forward else ancestors_set(csr, vertex)
+        )
+        kind = "descendant" if forward else "ancestor"
+        return (
+            frozenset(members),
+            "enum_traversal",
+            (
+                f"default {kind} traversal over the CSR snapshot reached "
+                f"{len(members)} vertices",
+            ),
+        )
+
+    def _enumerate_fast(
+        self, vertex: int, forward: bool
+    ) -> tuple[frozenset[int], str, tuple[str, ...]] | None:
+        """A family-specific enumeration fast path, or None to fall back.
+
+        Overrides must return exactly the set the default traversal
+        would (the differential matrix tests enforce this) together
+        with their route name and human-readable details.
+        """
+        return None
+
     # -- accounting -----------------------------------------------------
     @abstractmethod
     def size_in_entries(self) -> int:
@@ -602,6 +764,11 @@ class ReachabilityIndex(ABC):
             raise QueryError(
                 f"query ({source}, {target}) out of range for |V|={n}"
             )
+
+    def _check_vertex(self, vertex: int) -> None:
+        n = self._graph.num_vertices
+        if not 0 <= vertex < n:
+            raise QueryError(f"vertex {vertex} out of range for |V|={n}")
 
     def _check_pairs(self, pairs: Sequence[tuple[int, int]]) -> None:
         """Validate a whole batch before evaluating any of it."""

@@ -162,6 +162,31 @@ class CondensedIndex(ReachabilityIndex):
         inner = iter(self._inner.query_batch(crossing))
         return [True if cs == ct else next(inner) for cs, ct in condensed]
 
+    def _enumerate_routed(
+        self, vertex: int, forward: bool
+    ) -> tuple[frozenset[int], str, tuple[str, ...]]:
+        """Enumerate over the condensation and expand SCC members.
+
+        The inner DAG index enumerates condensed vertices through its own
+        fast path; each condensed vertex then expands to its SCC members,
+        which always include ``vertex``'s own component.
+        """
+        cond = self._condensation
+        cv = cond.scc_of[vertex]
+        inner_set, route, details = self._inner._enumerate_routed(cv, forward)
+        members: list[int] = []
+        for c in inner_set:
+            members.extend(cond.members[c])
+        return (
+            frozenset(members),
+            route,
+            (
+                f"condensed: scc({vertex})={cv}; {len(inner_set)} condensed "
+                f"vertices expanded to {len(members)} members",
+                *details,
+            ),
+        )
+
     def size_in_entries(self) -> int:
         """Inner index entries plus one SCC-map entry per vertex."""
         return self._inner.size_in_entries() + self._graph.num_vertices

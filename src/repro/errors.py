@@ -39,6 +39,44 @@ class QueryError(ReproError):
     """A query is malformed (bad vertices, unparsable path constraint, ...)."""
 
 
+class InvalidVertexError(QueryError):
+    """A query names a vertex id outside the served graph.
+
+    Carries enough structure for service front doors to render a typed
+    HTTP 400 payload instead of a bare string: the offending ``vertex``,
+    the graph size ``num_vertices``, and — for batch endpoints — the
+    zero-based ``position`` of the bad pair.
+    """
+
+    http_status = 400
+
+    def __init__(
+        self,
+        vertex: object,
+        num_vertices: int,
+        position: int | None = None,
+    ) -> None:
+        where = f" (pair {position})" if position is not None else ""
+        super().__init__(
+            f"unknown vertex {vertex!r}{where}: valid ids are 0..{num_vertices - 1}"
+        )
+        self.vertex = vertex
+        self.num_vertices = num_vertices
+        self.position = position
+
+    def as_payload(self) -> dict[str, object]:
+        """The JSON error body served by the HTTP tier."""
+        payload: dict[str, object] = {
+            "error": str(self),
+            "error_type": "invalid_vertex",
+            "vertex": self.vertex,
+            "num_vertices": self.num_vertices,
+        }
+        if self.position is not None:
+            payload["position"] = self.position
+        return payload
+
+
 class ConstraintSyntaxError(QueryError):
     """A path-constraint regular expression could not be parsed."""
 
@@ -80,3 +118,74 @@ class ServiceOverloadedError(ReproError):
 
 class ChaosInjectedError(ReproError):
     """A fault deliberately raised by the chaos harness at an injection point."""
+
+
+class AuthzError(ReproError):
+    """Base class for the Zanzibar-style authorization tier."""
+
+
+class InvalidTupleError(AuthzError):
+    """A relation tuple could not be parsed or refers to a bad shape."""
+
+    http_status = 400
+
+    def as_payload(self) -> dict[str, object]:
+        return {"error": str(self), "error_type": "invalid_tuple"}
+
+
+class UnknownEntityError(AuthzError):
+    """A check/list names a subject or object the namespace has never seen."""
+
+    http_status = 400
+
+    def __init__(self, entity: str, namespace: str) -> None:
+        super().__init__(f"unknown entity {entity!r} in namespace {namespace!r}")
+        self.entity = entity
+        self.namespace = namespace
+
+    def as_payload(self) -> dict[str, object]:
+        return {
+            "error": str(self),
+            "error_type": "unknown_entity",
+            "entity": self.entity,
+            "namespace": self.namespace,
+        }
+
+
+class InvalidZookieError(AuthzError):
+    """A zookie string is malformed or fails its digest check."""
+
+    http_status = 400
+
+    def as_payload(self) -> dict[str, object]:
+        return {"error": str(self), "error_type": "invalid_zookie"}
+
+
+class StaleZookieError(AuthzError):
+    """No served snapshot satisfies the zookie's at-least epoch.
+
+    Raised instead of silently serving fresher-looking (but possibly
+    older) data: the caller's causal token demands epoch
+    ``required_epoch`` and the newest queryable snapshot is at
+    ``snapshot_epoch``.
+    """
+
+    http_status = 409
+
+    def __init__(self, namespace: str, required_epoch: int, snapshot_epoch: int) -> None:
+        super().__init__(
+            f"stale zookie for namespace {namespace!r}: requires epoch >= "
+            f"{required_epoch}, snapshot is at epoch {snapshot_epoch}"
+        )
+        self.namespace = namespace
+        self.required_epoch = required_epoch
+        self.snapshot_epoch = snapshot_epoch
+
+    def as_payload(self) -> dict[str, object]:
+        return {
+            "error": str(self),
+            "error_type": "stale_zookie",
+            "namespace": self.namespace,
+            "required_epoch": self.required_epoch,
+            "snapshot_epoch": self.snapshot_epoch,
+        }

@@ -30,6 +30,7 @@ from repro.core.registry import register_plain
 from repro.errors import NotADAGError
 from repro.graphs.digraph import DiGraph
 from repro.graphs.topo import topological_order
+from repro.kernels import batch_reachable, csr_of
 from repro.obs.build import build_phase
 from repro.traversal.online import bfs_reachable
 
@@ -103,6 +104,40 @@ class DaggerIndex(ReachabilityIndex):
         if self._low[source] <= self._low[target] and self._high[target] <= self._high[source]:
             return TriState.MAYBE
         return TriState.NO
+
+    def _enumerate_fast(
+        self, vertex: int, forward: bool
+    ) -> tuple[frozenset[int], str, tuple[str, ...]]:
+        """Value-interval scan: containment bounds the candidate set.
+
+        Stale-wide intervals only admit false positives, so the survivors
+        of the containment scan are a superset of the truth and one shared
+        bit-parallel kernel sweep makes the answer exact.
+        """
+        low, high = self._low, self._high
+        n = self._graph.num_vertices
+        if forward:
+            candidates = [
+                t for t in range(n)
+                if t != vertex and low[vertex] <= low[t] and high[t] <= high[vertex]
+            ]
+            pairs = [(vertex, t) for t in candidates]
+        else:
+            candidates = [
+                s for s in range(n)
+                if s != vertex and low[s] <= low[vertex] and high[vertex] <= high[s]
+            ]
+            pairs = [(s, vertex) for s in candidates]
+        hits = batch_reachable(csr_of(self._graph), pairs)
+        members = [c for c, hit in zip(candidates, hits) if hit]
+        return (
+            frozenset(members) | {vertex},
+            "enum_interval",
+            (
+                f"value-interval scan kept {len(candidates)} candidates; "
+                f"kernel sweep confirmed {len(members)}",
+            ),
+        )
 
     def size_in_entries(self) -> int:
         """One interval (plus the static value) per vertex."""

@@ -180,6 +180,62 @@ class TreeCoverIndex(ReachabilityIndex):
             yes if contains(intervals[s], postorder[t][1]) else no for s, t in pairs
         ]
 
+    def _vertex_at_postorder(self) -> list[int]:
+        """``slot[b_v] = v`` — the inverse postorder map, built lazily."""
+        slots = self.__dict__.get("_b_to_vertex")
+        if slots is None:
+            slots = [-1] * (self._graph.num_vertices + 1)
+            for v, (_a, b) in enumerate(self._postorder):
+                slots[b] = v
+            self._b_to_vertex = slots
+        return slots
+
+    def _enumerate_fast(
+        self, vertex: int, forward: bool
+    ) -> tuple[frozenset[int], str, tuple[str, ...]]:
+        """Subtree-interval scan — the enumeration form of the §3.1 test.
+
+        Forward, the merged interval list of ``vertex`` *is* the
+        descendant set as postorder ranges: expand each ``[a, b]``
+        through the inverse postorder map.  Backward, one containment
+        probe per vertex collects everyone whose list covers ``b_t``.
+        """
+        if forward:
+            slots = self._vertex_at_postorder()
+            members: list[int] = []
+            spans = self._intervals[vertex]
+            for a, b in spans:
+                members.extend(slots[a : b + 1])
+            return (
+                frozenset(members),
+                "enum_interval",
+                (
+                    f"interval scan: {len(spans)} merged intervals expanded "
+                    f"to {len(members)} postorder slots",
+                ),
+            )
+        b_target = self._postorder[vertex][1]
+        intervals = self._intervals
+        contains = interval_list_contains
+        members = [
+            s for s in range(self._graph.num_vertices)
+            if contains(intervals[s], b_target)
+        ]
+        return (
+            frozenset(members),
+            "enum_interval",
+            (
+                f"interval scan: containment of postorder {b_target} probed "
+                f"across all vertices, {len(members)} ancestors",
+            ),
+        )
+
     def size_in_entries(self) -> int:
         """Total number of intervals — the paper's definition of index size."""
         return sum(len(lst) for lst in self._intervals)
+
+    def __getstate__(self) -> dict[str, object]:
+        """Persistable state: drop the lazy inverse postorder map."""
+        state = super().__getstate__()
+        state.pop("_b_to_vertex", None)
+        return state

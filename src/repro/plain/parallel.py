@@ -34,7 +34,7 @@ from typing import ClassVar, Literal
 from repro.core.base import IndexMetadata, ReachabilityIndex, TriState
 from repro.graphs.digraph import DiGraph
 from repro.obs.build import build_phase
-from repro.plain.pruned import TwoHopLabels, degree_order
+from repro.plain.pruned import TwoHopLabels, degree_order, enumerate_covered
 
 __all__ = ["batched_pruned_labels", "BatchedPLLIndex"]
 
@@ -168,6 +168,10 @@ class BatchedPLLIndex(ReachabilityIndex):
         if self._labels.covered(source, target):
             return TriState.YES
         return TriState.NO
+
+    def _enumerate_fast(self, vertex: int, forward: bool):
+        """Label-join enumeration through the inverted hub index."""
+        return enumerate_covered(self._labels, vertex, forward)
 
     def size_in_entries(self) -> int:
         return self._labels.size_in_entries()

@@ -19,7 +19,12 @@ from repro.core.base import IndexMetadata, ReachabilityIndex, TriState
 from repro.core.registry import register_plain
 from repro.graphs.digraph import DiGraph
 from repro.obs.build import build_phase
-from repro.plain.pruned import TwoHopLabels, build_pruned_labels, degree_order
+from repro.plain.pruned import (
+    TwoHopLabels,
+    build_pruned_labels,
+    degree_order,
+    enumerate_covered,
+)
 
 __all__ = ["PLLIndex", "DLIndex"]
 
@@ -60,6 +65,10 @@ class _DegreeOrderedTwoHop(ReachabilityIndex):
         self._check_pairs(pairs)
         yes, no = TriState.YES, TriState.NO
         return [yes if c else no for c in self._labels.covered_many(pairs)]
+
+    def _enumerate_fast(self, vertex: int, forward: bool):
+        """Label-join enumeration through the inverted hub index."""
+        return enumerate_covered(self._labels, vertex, forward)
 
     def size_in_entries(self) -> int:
         return self._labels.size_in_entries()

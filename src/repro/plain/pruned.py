@@ -38,13 +38,14 @@ class TwoHopLabels:
     :mod:`repro.plain.parallel` already do).
     """
 
-    __slots__ = ("l_in", "l_out", "_version", "_arrays")
+    __slots__ = ("l_in", "l_out", "_version", "_arrays", "_inverted")
 
     def __init__(self, num_vertices: int) -> None:
         self.l_in: list[set[int]] = [set() for _ in range(num_vertices)]
         self.l_out: list[set[int]] = [set() for _ in range(num_vertices)]
         self._version = 0
         self._arrays: tuple[int, object] | None = None
+        self._inverted: tuple[int, tuple[dict, dict]] | None = None
 
     def bump_version(self) -> None:
         """Invalidate the flattened-array cache after an in-place mutation."""
@@ -75,6 +76,7 @@ class TwoHopLabels:
         self.l_out = state["l_out"]
         self._version = 0
         self._arrays = None
+        self._inverted = None
 
     def covered(self, source: int, target: int) -> bool:
         """The §3.2 query rule over the current labels."""
@@ -111,6 +113,60 @@ class TwoHopLabels:
             )
         return answers
 
+    def _hub_inverted(self) -> tuple[dict[int, list[int]], dict[int, list[int]]]:
+        """Inverted hub maps, built lazily and cached per label version.
+
+        ``in_of[h]`` lists the vertices carrying ``h`` in their ``L_in``
+        (the vertices ``h`` reaches); ``out_of[h]`` the vertices carrying
+        ``h`` in ``L_out`` (the vertices reaching ``h``).  These are what
+        turn the pairwise §3.2 query rule into set *enumeration*.
+        """
+        cached = self._inverted
+        if cached is not None and cached[0] == self._version:
+            return cached[1]
+        in_of: dict[int, list[int]] = {}
+        out_of: dict[int, list[int]] = {}
+        for v, hops in enumerate(self.l_in):
+            for h in hops:
+                in_of.setdefault(h, []).append(v)
+        for v, hops in enumerate(self.l_out):
+            for h in hops:
+                out_of.setdefault(h, []).append(v)
+        self._inverted = (self._version, (in_of, out_of))
+        return in_of, out_of
+
+    def enumerate_from(self, source: int) -> set[int]:
+        """All targets the §3.2 rule covers from ``source``.
+
+        The rule ``Qr(s, t)`` iff ``s = t``, ``s ∈ L_in(t)``,
+        ``t ∈ L_out(s)``, or ``L_out(s) ∩ L_in(t) ≠ ∅`` inverts to
+        ``{s} ∪ L_out(s) ∪ ⋃_{h ∈ L_out(s) ∪ {s}} in_of[h]`` — a pure
+        label join, exact whenever the labels are complete.
+        """
+        in_of, _out_of = self._hub_inverted()
+        hops = self.l_out[source]
+        result = set(hops)
+        result.add(source)
+        result.update(in_of.get(source, ()))
+        for h in hops:
+            members = in_of.get(h)
+            if members is not None:
+                result.update(members)
+        return result
+
+    def enumerate_to(self, target: int) -> set[int]:
+        """All sources the §3.2 rule covers into ``target`` (the mirror)."""
+        _in_of, out_of = self._hub_inverted()
+        hops = self.l_in[target]
+        result = set(hops)
+        result.add(target)
+        result.update(out_of.get(target, ()))
+        for h in hops:
+            members = out_of.get(h)
+            if members is not None:
+                result.update(members)
+        return result
+
     def size_in_entries(self) -> int:
         """Σ |L_out(v)| + |L_in(v)| — the paper's 2-hop size metric."""
         return sum(len(s) for s in self.l_in) + sum(len(s) for s in self.l_out)
@@ -127,6 +183,30 @@ class TwoHopLabels:
 def labels_cover(labels: TwoHopLabels, source: int, target: int) -> bool:
     """Convenience wrapper over :meth:`TwoHopLabels.covered`."""
     return labels.covered(source, target)
+
+
+def enumerate_covered(
+    labels: TwoHopLabels, vertex: int, forward: bool
+) -> tuple[frozenset[int], str, tuple[str, ...]]:
+    """The shared ``_enumerate_fast`` body of every complete 2-hop family.
+
+    Exact only when ``labels`` are complete (the query rule alone decides
+    every pair), which holds for PLL/DL/TOL/TFL/2-Hop and friends.
+    """
+    if forward:
+        members = labels.enumerate_from(vertex)
+        hubs = len(labels.l_out[vertex]) + 1
+    else:
+        members = labels.enumerate_to(vertex)
+        hubs = len(labels.l_in[vertex]) + 1
+    return (
+        frozenset(members),
+        "enum_label_join",
+        (
+            f"label-join enumeration: {hubs} hubs joined through the "
+            f"inverted hub index to {len(members)} vertices",
+        ),
+    )
 
 
 def covered_below(

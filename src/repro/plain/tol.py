@@ -44,6 +44,7 @@ from repro.plain.pruned import (
     TwoHopLabels,
     build_pruned_labels,
     degree_order,
+    enumerate_covered,
     resume_backward,
     resume_forward,
 )
@@ -99,6 +100,10 @@ class _DynamicTwoHop(ReachabilityIndex):
         self._check_pairs(pairs)
         yes, no = TriState.YES, TriState.NO
         return [yes if c else no for c in self._labels.covered_many(pairs)]
+
+    def _enumerate_fast(self, vertex: int, forward: bool):
+        """Label-join enumeration through the inverted hub index."""
+        return enumerate_covered(self._labels, vertex, forward)
 
     def size_in_entries(self) -> int:
         return self._labels.size_in_entries()

@@ -14,6 +14,7 @@ at query time.
 from __future__ import annotations
 
 from collections.abc import Sequence
+from itertools import chain
 from typing import ClassVar
 
 from repro.core.base import IndexMetadata, ReachabilityIndex, TriState
@@ -25,6 +26,27 @@ from repro import accel
 from repro.obs.build import build_phase
 
 __all__ = ["TransitiveClosureIndex"]
+
+# set-bit positions per byte value, for decoding closure bitsets without
+# repeated big-int arithmetic (isolating the lowest bit of an n-bit mask
+# copies all n bits every iteration; walking bytes copies them once)
+_BYTE_BITS = [tuple(b for b in range(8) if (byte >> b) & 1) for byte in range(256)]
+
+
+def _bits_of(mask: int) -> list[int]:
+    """Indices of the set bits in ``mask``, decoded one byte at a time."""
+    if accel.use_for_graph(mask.bit_length()):
+        from repro.accel.bitset import unpacked_indices
+
+        return unpacked_indices(mask)
+    positions: list[int] = []
+    data = mask.to_bytes((mask.bit_length() + 7) // 8, "little")
+    extend = positions.extend
+    for base in range(0, len(data) * 8, 8):
+        byte = data[base >> 3]
+        if byte:
+            extend(base + b for b in _BYTE_BITS[byte])
+    return positions
 
 
 @register_plain
@@ -78,6 +100,52 @@ class TransitiveClosureIndex(ReachabilityIndex):
             yes if (closure[scc_of[s]] >> scc_of[t]) & 1 else no for s, t in pairs
         ]
 
+    def _scc_members(self) -> list[list[int]]:
+        """Original vertices per condensed vertex, built lazily and cached."""
+        members = self.__dict__.get("_members")
+        if members is None:
+            members = [[] for _ in range(len(self._closure))]
+            for v, c in enumerate(self._scc_of):
+                members[c].append(v)
+            self._members = members
+        return members
+
+    def _enumerate_fast(
+        self, vertex: int, forward: bool
+    ) -> tuple[frozenset[int], str, tuple[str, ...]]:
+        """Direct successor-set read: expand one closure bitset.
+
+        Forward, the stored bitset of ``scc(vertex)`` *is* the answer
+        over condensed vertices; backward, one linear pass collects the
+        SCCs whose bitset has our bit.  Either way the SCC membership
+        lists expand condensed ids to original vertices — no graph
+        traversal at all.
+        """
+        closure = self._closure
+        members = self._scc_members()
+        cv = self._scc_of[vertex]
+        if forward:
+            sccs = _bits_of(closure[cv])
+        else:
+            bit = 1 << cv
+            sccs = [c for c in range(len(closure)) if closure[c] & bit]
+        result = frozenset(chain.from_iterable(map(members.__getitem__, sccs)))
+        direction = "descendant" if forward else "ancestor"
+        return (
+            result,
+            "enum_closure",
+            (
+                f"closure read: {len(sccs)} {direction} SCCs expanded to "
+                f"{len(result)} vertices",
+            ),
+        )
+
     def size_in_entries(self) -> int:
         """Number of stored reachable pairs (the TC's defining cost)."""
         return sum(bits.bit_count() for bits in self._closure)
+
+    def __getstate__(self) -> dict[str, object]:
+        """Persistable state: drop the lazy SCC-membership expansion."""
+        state = super().__getstate__()
+        state.pop("_members", None)
+        return state

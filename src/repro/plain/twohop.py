@@ -24,7 +24,7 @@ from repro.graphs.digraph import DiGraph
 from repro.graphs.scc import condense
 from repro.graphs.topo import topological_order
 from repro.obs.build import build_phase
-from repro.plain.pruned import TwoHopLabels
+from repro.plain.pruned import TwoHopLabels, enumerate_covered
 
 __all__ = ["TwoHopIndex"]
 
@@ -151,6 +151,10 @@ class TwoHopIndex(ReachabilityIndex):
         self._check_pairs(pairs)
         yes, no = TriState.YES, TriState.NO
         return [yes if c else no for c in self._labels.covered_many(pairs)]
+
+    def _enumerate_fast(self, vertex: int, forward: bool):
+        """Label-join enumeration through the inverted hub index."""
+        return enumerate_covered(self._labels, vertex, forward)
 
     def size_in_entries(self) -> int:
         return self._labels.size_in_entries()

@@ -28,6 +28,21 @@ Routes
     Body ``{"ops": [{"kind": "insert", "source": 0, "target": 1,
     "label": "a"}, ...]}`` (``label`` only in labeled mode).  Applies
     the batch as one snapshot swap and returns the new epoch.
+``POST /authz/write``
+    Body ``{"namespace": N, "writes": ["s#rel@o", ...], "deletes":
+    [...]}``.  Applies grants/revokes to the attached
+    :class:`~repro.authz.store.AuthzStore` and returns the new epoch's
+    zookie.
+``POST /authz/check``
+    Body ``{"namespace": N, "subject": S, "object": O}`` — or
+    ``"objects": [O1, ...]`` for a batch of pair probes.  Optional
+    ``"at_least"`` zookie; a snapshot older than it answers 409
+    (``stale_zookie``) instead of stale data.
+``POST /authz/expand``
+    Body ``{"namespace": N, "entity": E, "direction": "objects" |
+    "subjects"}`` (optional ``"type"`` prefix filter, ``"at_least"``
+    zookie).  One set-enumeration call — the fast path behind
+    list-objects / list-subjects — with the index route it took.
 ``GET /metrics``
     Flat text exposition; ``?format=json`` for the nested dict;
     ``?format=openmetrics`` for the OpenMetrics/Prometheus document
@@ -88,9 +103,12 @@ from urllib.parse import parse_qs, urlsplit
 
 from repro import accel
 from repro.advisor import advise
+from repro.authz.store import AuthzStore, Zookie
+from repro.authz.tuples import parse_tuples
 from repro.errors import (
     ChaosInjectedError,
     DeadlineExceeded,
+    InvalidVertexError,
     ReproError,
     ServiceOverloadedError,
 )
@@ -126,6 +144,7 @@ class ServiceHTTPServer(ThreadingHTTPServer):
         advisor: "AdvisorLoop | None" = None,
         slo_tracker: object | None = None,
         auditor: object | None = None,
+        authz: AuthzStore | None = None,
     ) -> None:
         super().__init__(address, _Handler)
         self.service = service
@@ -135,6 +154,7 @@ class ServiceHTTPServer(ThreadingHTTPServer):
         self.advisor = advisor
         self.slo_tracker = slo_tracker
         self.auditor = auditor
+        self.authz = authz
         self.started_at = time.monotonic()
 
     @property
@@ -173,6 +193,7 @@ def serve(
     advisor: AdvisorLoop | None = None,
     slo_tracker: object | None = None,
     auditor: object | None = None,
+    authz: AuthzStore | None = None,
 ) -> ServiceHTTPServer:
     """Bind a :class:`ServiceHTTPServer`; call ``serve_forever`` to run."""
     admission = AdmissionController(
@@ -189,6 +210,7 @@ def serve(
         advisor=advisor,
         slo_tracker=slo_tracker,
         auditor=auditor,
+        authz=authz,
     )
 
 
@@ -260,6 +282,20 @@ class _Handler(BaseHTTPRequestHandler):
             "shared": result.shared,
         }
 
+    def _check_known_vertices(self, pairs, batched: bool = False) -> None:
+        """Reject unknown vertex ids up front with a typed 400.
+
+        ``batched`` reports the zero-based pair ``position`` in the
+        payload so callers can point at the offending pair.
+        """
+        n = self.server.service.acquire().graph.num_vertices
+        for position, (source, target) in enumerate(pairs):
+            for vertex in (source, target):
+                if not 0 <= vertex < n:
+                    raise InvalidVertexError(
+                        vertex, n, position=position if batched else None
+                    )
+
     def _request_timeout_ms(self) -> float | None:
         """The request's deadline budget: query param, header, or default."""
         raw = self._params().get("timeout_ms")
@@ -299,7 +335,12 @@ class _Handler(BaseHTTPRequestHandler):
         except ChaosInjectedError as exc:
             self._error(500, f"injected fault: {exc}")
         except (ValueError, ReproError) as exc:
-            self._error(400, str(exc))
+            # Typed library errors carry their own status and payload
+            # shape; everything else renders as a plain 400.
+            status = getattr(exc, "http_status", 400)
+            as_payload = getattr(exc, "as_payload", None)
+            payload = as_payload() if callable(as_payload) else {"error": str(exc)}
+            self._send_json(status, payload)
         except Exception as exc:  # noqa: BLE001 — last-resort JSON 500
             self._error(500, f"internal error: {type(exc).__name__}: {exc}")
 
@@ -351,9 +392,10 @@ class _Handler(BaseHTTPRequestHandler):
             )
         elif path == "/reach":
             params = self._params()
-            result = service.reach_ex(
-                self._vertex(params, "source"), self._vertex(params, "target")
-            )
+            source = self._vertex(params, "source")
+            target = self._vertex(params, "target")
+            self._check_known_vertices([(source, target)])
+            result = service.reach_ex(source, target)
             self._send_json(200, self._query_payload(result))
         elif path == "/lreach":
             params = self._params()
@@ -468,6 +510,7 @@ class _Handler(BaseHTTPRequestHandler):
         elif path == "/reach/batch":
             body = self._json_body()
             pairs = _parse_pairs(body)
+            self._check_known_vertices(pairs, batched=True)
             with deadline_scope(_body_timeout_ms(body)):
                 results = service.execute_batch(pairs)
             self._send_json(
@@ -478,8 +521,97 @@ class _Handler(BaseHTTPRequestHandler):
                     "results": [self._query_payload(r) for r in results],
                 },
             )
+        elif path == "/authz/write":
+            store = self._authz_store()
+            body = self._json_body()
+            namespace = _authz_namespace(body)
+            writes = parse_tuples(_string_list(body, "writes"))
+            deletes = parse_tuples(_string_list(body, "deletes"))
+            zookie = store.write(namespace, writes=writes, deletes=deletes)
+            self._send_json(
+                200,
+                {
+                    "namespace": namespace,
+                    "epoch": zookie.epoch,
+                    "zookie": zookie.encode(),
+                    "applied": len(writes) + len(deletes),
+                },
+            )
+        elif path == "/authz/check":
+            store = self._authz_store()
+            body = self._json_body()
+            namespace = _authz_namespace(body)
+            at_least = _authz_zookie(body)
+            subject = _string_field(body, "subject")
+            if "objects" in body:
+                objects = _string_list(body, "objects")
+                results = [
+                    store.check(namespace, subject, obj, at_least=at_least)
+                    for obj in objects
+                ]
+                self._send_json(
+                    200,
+                    {
+                        "namespace": namespace,
+                        "subject": subject,
+                        "allowed": [r.allowed for r in results],
+                        "zookie": results[-1].zookie.encode() if results else None,
+                    },
+                )
+            else:
+                result = store.check(
+                    namespace, subject, _string_field(body, "object"), at_least=at_least
+                )
+                self._send_json(
+                    200,
+                    {
+                        "namespace": namespace,
+                        "allowed": result.allowed,
+                        "zookie": result.zookie.encode(),
+                    },
+                )
+        elif path == "/authz/expand":
+            store = self._authz_store()
+            body = self._json_body()
+            namespace = _authz_namespace(body)
+            direction = body.get("direction", "objects")
+            if not isinstance(direction, str):
+                raise ValueError("'direction' must be a string")
+            result = store.expand(
+                namespace,
+                _string_field(body, "entity"),
+                direction=direction,
+                at_least=_authz_zookie(body),
+            )
+            names = result.names
+            entity_type = body.get("type")
+            if entity_type is not None:
+                if not isinstance(entity_type, str):
+                    raise ValueError("'type' must be a string")
+                prefix = entity_type + ":"
+                names = tuple(n for n in names if n.startswith(prefix))
+            self._send_json(
+                200,
+                {
+                    "namespace": namespace,
+                    "entity": result.entity,
+                    "direction": result.direction,
+                    "names": list(names),
+                    "count": len(names),
+                    "route": result.route,
+                    "zookie": result.zookie.encode(),
+                },
+            )
         else:
             self._error(404, f"unknown path {path!r}")
+
+    def _authz_store(self) -> AuthzStore:
+        store = self.server.authz
+        if store is None:
+            raise ValueError(
+                "no authz store attached to this server (start with --authz)"
+            )
+        return store
 
     def _json_body(self) -> object:
         length = int(self.headers.get("Content-Length", "0"))
@@ -501,6 +633,32 @@ def _body_timeout_ms(body: object) -> float | None:
     if not isinstance(raw, (int, float)) or isinstance(raw, bool) or raw < 0:
         raise ValueError("timeout_ms must be a non-negative number")
     return float(raw)
+
+
+def _string_field(body: object, name: str) -> str:
+    if not isinstance(body, dict) or not isinstance(body.get(name), str):
+        raise ValueError(f"body needs a string {name!r} field")
+    return body[name]
+
+
+def _string_list(body: object, name: str) -> list[str]:
+    if not isinstance(body, dict):
+        raise ValueError("body must be a JSON object")
+    raw = body.get(name, [])
+    if not isinstance(raw, list) or not all(isinstance(x, str) for x in raw):
+        raise ValueError(f"{name!r} must be a list of strings")
+    return raw
+
+
+def _authz_namespace(body: object) -> str:
+    return _string_field(body, "namespace")
+
+
+def _authz_zookie(body: object) -> Zookie | None:
+    """The optional ``"at_least"`` zookie of an authz read body."""
+    if not isinstance(body, dict) or "at_least" not in body:
+        return None
+    return Zookie.decode(body["at_least"])
 
 
 def _parse_pairs(body: object) -> list[tuple[int, int]]:

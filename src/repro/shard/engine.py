@@ -844,6 +844,57 @@ class ShardedIndex(ReachabilityIndex):
                     self._bid_of[b] for b, hit in zip(borders, row) if hit
                 )
 
+    # -- set enumeration ---------------------------------------------------
+    def _enumerate_routed(
+        self, vertex: int, forward: bool
+    ) -> tuple[frozenset[int], str, tuple[str, ...]]:
+        """Per-shard enumeration composed through the boundary summary graph.
+
+        Forward: the shard-local descendants of ``vertex``, plus — for
+        every boundary vertex reachable (in the boundary graph) from one
+        of ``vertex``'s out-borders — that border's own shard-local
+        descendants.  Any cross-shard path decomposes at boundary
+        vertices, and the boundary graph closes intra-shard segments, so
+        the union is exact.  Backward is the mirror image over
+        in-borders and boundary ancestors.
+        """
+        shard = self._shard_of[vertex]
+        local_of = self._local_of
+        shard_globals = self._shard_globals
+        local_set, _route, _details = self._shard_indexes[shard]._enumerate_routed(
+            local_of[vertex], forward
+        )
+        home_map = shard_globals[shard]
+        members = {home_map[lv] for lv in local_set}
+        seeds = self._out_borders(vertex) if forward else self._in_borders(vertex)
+        boundary = self._boundary_index
+        frontier: set[int] = set()
+        if boundary is not None and seeds:
+            for bid in seeds:
+                bset, _r, _d = boundary._enumerate_routed(bid, forward)
+                frontier |= bset
+            by_shard: dict[int, list[int]] = {}
+            for bid in frontier:
+                g = self._boundary_globals[bid]
+                by_shard.setdefault(self._shard_of[g], []).append(g)
+            for other, globals_here in by_shard.items():
+                index = self._shard_indexes[other]
+                gmap = shard_globals[other]
+                for g in globals_here:
+                    bset, _r, _d = index._enumerate_routed(local_of[g], forward)
+                    members.update(gmap[lv] for lv in bset)
+        kind = "descendants" if forward else "ancestors"
+        return (
+            frozenset(members),
+            "enum_compose",
+            (
+                f"shard {shard}: local enumeration reached {len(local_set)} "
+                f"vertices; {len(seeds)} border seeds expanded through "
+                f"{len(frontier)} boundary vertices to {len(members)} "
+                f"{kind} overall",
+            ),
+        )
+
     # -- observability -----------------------------------------------------
     def explain(self, source: int, target: int) -> Explanation:
         """The shard route one query takes: ``intra_shard`` when the

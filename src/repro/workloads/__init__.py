@@ -24,10 +24,17 @@ from repro.workloads.querylog import (
     dispatch_statistics,
     querylog_workload,
 )
+from repro.workloads.authz import (
+    AuthzOp,
+    authz_tuples,
+    authz_workload,
+)
 from repro.workloads.updates import (
     EdgeOp,
     LabeledEdgeOp,
+    TupleOp,
     labeled_update_stream,
+    tuple_churn_stream,
     update_stream,
 )
 
@@ -50,8 +57,13 @@ __all__ = [
     "QueryLogMix",
     "dispatch_statistics",
     "querylog_workload",
+    "AuthzOp",
+    "authz_tuples",
+    "authz_workload",
     "EdgeOp",
     "LabeledEdgeOp",
+    "TupleOp",
     "labeled_update_stream",
+    "tuple_churn_stream",
     "update_stream",
 ]

@@ -1,0 +1,123 @@
+"""Synthetic Zanzibar-style authorization workloads.
+
+Tuple universes shaped like production permission systems: users join
+groups, groups nest, groups (and a few users directly) hold ``viewer``
+on objects.  Check/list traffic is Zipf-skewed over subjects — a few hot
+principals dominate, as §5's discussion of real query logs expects — so
+the enumeration fast paths amortise exactly where production traffic
+concentrates.
+"""
+
+from __future__ import annotations
+
+import random
+from bisect import bisect_right
+from dataclasses import dataclass
+
+from repro.authz.tuples import RelationTuple
+
+__all__ = ["AuthzOp", "authz_tuples", "authz_workload"]
+
+
+@dataclass(frozen=True)
+class AuthzOp:
+    """One authorization read: a pair check or a list enumeration."""
+
+    kind: str  # "check", "list_objects" or "list_subjects"
+    subject: str  # principal for check/list_objects, object for list_subjects
+    object: str = ""  # target of a check; empty for enumerations
+
+
+def authz_tuples(
+    num_users: int,
+    num_groups: int,
+    num_objects: int,
+    seed: int,
+    memberships_per_user: int = 2,
+    grants_per_group: int = 4,
+    nesting_fraction: float = 0.3,
+) -> list[RelationTuple]:
+    """A seeded tuple universe: memberships, group nesting, object grants.
+
+    Every object is granted to at least one group, so all ``num_objects``
+    objects appear as entities (and as list-objects candidates);
+    ``grants_per_group`` controls the extra grants layered on top.
+    """
+    if min(num_users, num_groups, num_objects) < 1:
+        raise ValueError("need at least one user, group and object")
+    rng = random.Random(seed)
+    users = [f"user:u{i}" for i in range(num_users)]
+    groups = [f"group:g{i}" for i in range(num_groups)]
+    objects = [f"doc:d{i}" for i in range(num_objects)]
+    tuples: set[RelationTuple] = set()
+    for user in users:
+        for group in rng.sample(groups, min(memberships_per_user, num_groups)):
+            tuples.add(RelationTuple(user, "member", group))
+    # nest some groups into later groups (acyclic by construction)
+    for i, group in enumerate(groups[:-1]):
+        if rng.random() < nesting_fraction:
+            parent = groups[rng.randrange(i + 1, num_groups)]
+            tuples.add(RelationTuple(group, "member", parent))
+    # every object gets a home group (so the whole universe is live as
+    # list-objects candidates), then each group picks extra grants
+    for obj in objects:
+        tuples.add(RelationTuple(rng.choice(groups), "viewer", obj))
+    for group in groups:
+        for obj in rng.sample(objects, min(grants_per_group, num_objects)):
+            tuples.add(RelationTuple(group, "viewer", obj))
+    # a sprinkle of direct user grants
+    for _ in range(max(1, num_users // 4)):
+        tuples.add(RelationTuple(rng.choice(users), "viewer", rng.choice(objects)))
+    return sorted(tuples)
+
+
+def _zipf_picker(items: list[str], exponent: float, rng: random.Random):
+    """A closure sampling ``items`` with Zipf-skewed ranks."""
+    weights = [(rank + 1) ** -exponent for rank in range(len(items))]
+    cumulative: list[float] = []
+    total = 0.0
+    for w in weights:
+        total += w
+        cumulative.append(total)
+
+    def pick() -> str:
+        return items[bisect_right(cumulative, rng.random() * total)]
+
+    return pick
+
+
+def authz_workload(
+    tuples: list[RelationTuple],
+    num_ops: int,
+    seed: int,
+    list_fraction: float = 0.3,
+    zipf_exponent: float = 1.2,
+) -> list[AuthzOp]:
+    """A Zipf-skewed stream of checks and list enumerations.
+
+    ``list_fraction`` of the ops are enumerations (split evenly between
+    ``list_objects`` and ``list_subjects``); the rest are pair checks.
+    Subjects are drawn Zipf-skewed over the users seen in ``tuples``,
+    objects uniformly over the objects.
+    """
+    if not 0.0 <= list_fraction <= 1.0:
+        raise ValueError(f"list_fraction must be in [0, 1], got {list_fraction}")
+    if zipf_exponent < 0:
+        raise ValueError(f"zipf_exponent must be >= 0, got {zipf_exponent}")
+    rng = random.Random(seed)
+    subjects = sorted({t.subject for t in tuples if t.subject.startswith("user:")})
+    objects = sorted({t.object for t in tuples if t.object.startswith("doc:")})
+    if not subjects or not objects:
+        raise ValueError("tuples must mention at least one user: and one doc: entity")
+    rng.shuffle(subjects)  # which principals are hot is itself random
+    pick_subject = _zipf_picker(subjects, zipf_exponent, rng)
+    ops: list[AuthzOp] = []
+    for _ in range(num_ops):
+        roll = rng.random()
+        if roll < list_fraction / 2:
+            ops.append(AuthzOp("list_objects", pick_subject()))
+        elif roll < list_fraction:
+            ops.append(AuthzOp("list_subjects", rng.choice(objects)))
+        else:
+            ops.append(AuthzOp("check", pick_subject(), rng.choice(objects)))
+    return ops

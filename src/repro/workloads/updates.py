@@ -13,11 +13,19 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 
+from repro.authz.tuples import RelationTuple
 from repro.graphs.digraph import DiGraph
 from repro.graphs.labeled import LabeledDiGraph
 from repro.traversal.online import bfs_reachable
 
-__all__ = ["EdgeOp", "LabeledEdgeOp", "update_stream", "labeled_update_stream"]
+__all__ = [
+    "EdgeOp",
+    "LabeledEdgeOp",
+    "TupleOp",
+    "update_stream",
+    "labeled_update_stream",
+    "tuple_churn_stream",
+]
 
 
 @dataclass(frozen=True)
@@ -27,6 +35,20 @@ class EdgeOp:
     kind: str  # "insert" or "delete"
     source: int
     target: int
+
+
+@dataclass(frozen=True)
+class TupleOp:
+    """One grant/revoke of a relation-tuple churn stream."""
+
+    kind: str  # "grant" or "revoke"
+    subject: str
+    relation: str
+    object: str
+
+    def tuple(self) -> RelationTuple:
+        """The relation tuple the op grants or revokes."""
+        return RelationTuple(self.subject, self.relation, self.object)
 
 
 @dataclass(frozen=True)
@@ -123,4 +145,62 @@ def labeled_update_stream(
                 break
         else:
             break
+    return ops
+
+
+def tuple_churn_stream(
+    initial: list[RelationTuple],
+    num_ops: int,
+    seed: int,
+    revoke_fraction: float = 0.4,
+) -> list[TupleOp]:
+    """A seeded grant/revoke stream over an authz namespace's tuples.
+
+    Generated against a working copy of ``initial`` so every revoke
+    targets a tuple present at the time of the op and every grant is
+    fresh; subjects, relations and objects are drawn from the pools the
+    initial tuples establish.  Replay the stream through
+    :meth:`repro.authz.store.AuthzStore.apply_updates` — each op becomes
+    one write, so zookies advance monotonically with epochs.
+    """
+    if not initial:
+        raise ValueError("tuple_churn_stream needs a non-empty initial tuple set")
+    if not 0.0 <= revoke_fraction <= 1.0:
+        raise ValueError(f"revoke_fraction must be in [0, 1], got {revoke_fraction}")
+    rng = random.Random(seed)
+    working = set(initial)
+    subjects = sorted({t.subject for t in initial})
+    relations = sorted({t.relation for t in initial})
+    objects = sorted({t.object for t in initial})
+    ops: list[TupleOp] = []
+    while len(ops) < num_ops:
+        do_revoke = rng.random() < revoke_fraction and working
+        if do_revoke:
+            victim = rng.choice(sorted(working))
+            working.discard(victim)
+            ops.append(TupleOp("revoke", victim.subject, victim.relation, victim.object))
+            continue
+        for _attempt in range(200):
+            subject = rng.choice(subjects)
+            obj = rng.choice(objects)
+            if subject == obj:
+                continue
+            candidate = RelationTuple(subject, rng.choice(relations), obj)
+            if candidate not in working:
+                working.add(candidate)
+                ops.append(
+                    TupleOp(
+                        "grant",
+                        candidate.subject,
+                        candidate.relation,
+                        candidate.object,
+                    )
+                )
+                break
+        else:
+            if not working:
+                break
+            victim = rng.choice(sorted(working))
+            working.discard(victim)
+            ops.append(TupleOp("revoke", victim.subject, victim.relation, victim.object))
     return ops

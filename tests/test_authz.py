@@ -1,0 +1,368 @@
+"""repro.authz: tuples, zookies, the store, and the HTTP surface."""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.authz import AuthzStore, Zookie, compile_tuples, parse_tuple, parse_tuples
+from repro.authz.tuples import RelationTuple
+from repro.errors import (
+    InvalidTupleError,
+    InvalidVertexError,
+    InvalidZookieError,
+    StaleZookieError,
+    UnknownEntityError,
+)
+from repro.graphs.digraph import DiGraph
+from repro.service.engine import ReachabilityService
+from repro.service.server import serve
+from repro.workloads.authz import authz_tuples, authz_workload
+from repro.workloads.updates import TupleOp, tuple_churn_stream
+
+TUPLES = [
+    "user:alice#member@group:eng",
+    "group:eng#member@group:staff",
+    "group:staff#viewer@doc:handbook",
+    "group:eng#viewer@doc:design",
+    "user:bob#viewer@doc:handbook",
+]
+
+
+# -- tuples ----------------------------------------------------------------
+def test_parse_tuple_round_trip():
+    t = parse_tuple("user:alice#member@group:eng")
+    assert t == RelationTuple("user:alice", "member", "group:eng")
+    assert str(t) == "user:alice#member@group:eng"
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        "user:alice",  # no relation or object
+        "user:alice#member",  # no object
+        "#member@group:eng",  # empty subject
+        "user:alice#@group:eng",  # empty relation
+        "user:alice#mem ber@group:eng",  # bad relation charset
+        "user:a!ice#member@group:eng",  # bad entity charset
+        "user:alice#member@user:alice",  # self-loop
+    ],
+)
+def test_parse_tuple_rejects(bad):
+    with pytest.raises(InvalidTupleError):
+        parse_tuple(bad)
+
+
+def test_compile_tuples_interns_and_dedupes():
+    tuples = parse_tuples(TUPLES + [TUPLES[0]])  # duplicate collapses
+    graph, entity_ids, entities = compile_tuples(tuples)
+    assert len(entities) == len(entity_ids) == 6
+    assert graph.num_vertices == 6
+    assert len(list(graph.edges())) == 5
+    assert [entities[entity_ids[name]] for name in entities] == entities
+
+
+# -- zookies ---------------------------------------------------------------
+def test_zookie_round_trip():
+    z = Zookie("acme", 7)
+    decoded = Zookie.decode(z.encode())
+    assert decoded == z
+    assert decoded.epoch == 7 and decoded.namespace == "acme"
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        "",
+        "not-a-zookie",
+        "z2.acme.7.deadbeef",  # unknown version
+        "z1.acme.seven.deadbeef",  # non-integer epoch
+        "z1.acme.7.ffffffff",  # digest mismatch
+    ],
+)
+def test_zookie_decode_rejects(bad):
+    with pytest.raises(InvalidZookieError):
+        Zookie.decode(bad)
+
+
+def test_zookie_tamper_detected():
+    honest = Zookie("acme", 3).encode()
+    version, namespace, epoch, digest = honest.split(".")
+    with pytest.raises(InvalidZookieError):
+        Zookie.decode(f"{version}.{namespace}.{int(epoch) + 5}.{digest}")
+
+
+# -- the store -------------------------------------------------------------
+@pytest.fixture
+def store() -> AuthzStore:
+    s = AuthzStore("TC")
+    s.write("acme", writes=parse_tuples(TUPLES))
+    return s
+
+
+def test_check_follows_group_nesting(store):
+    assert store.check("acme", "user:alice", "doc:handbook").allowed
+    assert store.check("acme", "user:alice", "doc:design").allowed
+    assert store.check("acme", "user:bob", "doc:handbook").allowed
+    assert not store.check("acme", "user:bob", "doc:design").allowed
+
+
+def test_list_objects_and_subjects(store):
+    objs = store.list_objects("acme", "user:alice", object_type="doc")
+    assert objs.names == ("doc:design", "doc:handbook")
+    subs = store.list_subjects("acme", "doc:handbook", subject_type="user")
+    assert subs.names == ("user:alice", "user:bob")
+
+
+def test_expand_reports_route(store):
+    result = store.expand("acme", "user:alice", direction="objects")
+    assert result.route == "enum_closure"
+    assert "doc:handbook" in result.names
+    assert result.details
+
+
+def test_unknown_entity_is_typed(store):
+    with pytest.raises(UnknownEntityError) as excinfo:
+        store.check("acme", "user:nobody", "doc:handbook")
+    payload = excinfo.value.as_payload()
+    assert payload["error_type"] == "unknown_entity"
+    assert excinfo.value.http_status == 400
+
+
+def test_revoke_advances_epoch_and_revokes(store):
+    before = store.snapshot("acme").epoch
+    z = store.write("acme", deletes=parse_tuples(["group:eng#viewer@doc:design"]))
+    assert z.epoch == before + 1
+    # the only grant on doc:design is gone, so the entity itself is gone
+    assert "doc:design" not in store.list_objects("acme", "user:alice").names
+    assert store.check("acme", "user:alice", "doc:handbook").allowed
+
+
+def test_namespaces_are_isolated(store):
+    store.write("other", writes=parse_tuples(["user:eve#viewer@doc:secret"]))
+    with pytest.raises(UnknownEntityError):
+        store.check("acme", "user:eve", "doc:secret")
+    assert store.check("other", "user:eve", "doc:secret").allowed
+
+
+def test_zookie_namespace_mismatch_rejected(store):
+    z = store.write("other", writes=parse_tuples(["user:eve#viewer@doc:secret"]))
+    with pytest.raises(InvalidZookieError):
+        store.list_objects("acme", "user:alice", at_least=z)
+
+
+def test_stale_zookie_is_typed(store):
+    future = Zookie("acme", store.snapshot("acme").epoch + 10)
+    with pytest.raises(StaleZookieError) as excinfo:
+        store.check("acme", "user:alice", "doc:handbook", at_least=future)
+    assert excinfo.value.http_status == 409
+    payload = excinfo.value.as_payload()
+    assert payload["error_type"] == "stale_zookie"
+    assert payload["required_epoch"] == future.epoch
+
+
+# -- churn and epochs ------------------------------------------------------
+def test_zookies_advance_monotonically_with_churn():
+    initial = parse_tuples(TUPLES)
+    ops = tuple_churn_stream(initial, num_ops=40, seed=11)
+    assert any(op.kind == "grant" for op in ops)
+    assert any(op.kind == "revoke" for op in ops)
+    store = AuthzStore("TC")
+    first = store.write("acme", writes=initial)
+    zookies = store.apply_updates("acme", ops)
+    assert len(zookies) == len(ops)
+    epochs = [first.epoch] + [z.epoch for z in zookies]
+    assert epochs == list(range(1, len(ops) + 2))  # strictly +1 per write
+    assert store.snapshot("acme").epoch == epochs[-1]
+
+
+def test_stale_zookie_never_serves_older_epoch():
+    """Under concurrent churn, `at_least` reads are fresh or refused."""
+    initial = authz_tuples(8, 3, 12, seed=5)
+    ops = tuple_churn_stream(initial, num_ops=120, seed=6)
+    store = AuthzStore("TC")
+    store.write("acme", writes=initial)
+    failures: list[str] = []
+    done = threading.Event()
+
+    def writer():
+        store.apply_updates("acme", ops)
+        done.set()
+
+    def reader():
+        while not done.is_set():
+            watermark = store.snapshot("acme").zookie
+            try:
+                result = store.list_objects("acme", "user:u0", at_least=watermark)
+            except StaleZookieError:
+                failures.append("refused a zookie the store itself issued")
+                return
+            except UnknownEntityError:
+                continue  # churn revoked u0's last tuple at this epoch
+            if result.zookie.epoch < watermark.epoch:
+                failures.append(
+                    f"served epoch {result.zookie.epoch} < required {watermark.epoch}"
+                )
+                return
+
+    threads = [threading.Thread(target=writer)] + [
+        threading.Thread(target=reader) for _ in range(2)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert failures == []
+
+
+# -- workload generators ---------------------------------------------------
+def test_authz_tuples_covers_every_object():
+    tuples = authz_tuples(10, 4, 50, seed=3)
+    granted = {t.object for t in tuples if t.object.startswith("doc:")}
+    assert len(granted) == 50
+
+
+def test_authz_workload_shapes():
+    tuples = authz_tuples(10, 4, 50, seed=3)
+    ops = authz_workload(tuples, num_ops=200, seed=4, list_fraction=0.4)
+    kinds = {op.kind for op in ops}
+    assert kinds <= {"check", "list_objects", "list_subjects"}
+    checks = [op for op in ops if op.kind == "check"]
+    assert checks and all(op.object for op in checks)
+
+
+def test_tuple_churn_ops_are_applicable():
+    initial = parse_tuples(TUPLES)
+    for op in tuple_churn_stream(initial, num_ops=30, seed=7):
+        assert isinstance(op, TupleOp)
+        assert op.tuple().subject != op.tuple().object
+
+
+# -- HTTP surface ----------------------------------------------------------
+@pytest.fixture
+def authz_server():
+    service = ReachabilityService(
+        DiGraph(6, [(0, 1), (1, 2), (2, 3), (4, 5)]), index="PLL"
+    )
+    store = AuthzStore("TC")
+    server = serve(service, port=0, authz=store)
+    server.start_background()
+    port = server.server_address[1]
+    yield f"http://127.0.0.1:{port}"
+    server.shutdown()
+    server.server_close()
+
+
+def _post(base: str, path: str, body: dict) -> tuple[int, dict]:
+    request = urllib.request.Request(
+        base + path,
+        data=json.dumps(body).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=5) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+def _get(base: str, path: str) -> tuple[int, dict]:
+    try:
+        with urllib.request.urlopen(base + path, timeout=5) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+def test_http_authz_write_check_expand(authz_server):
+    status, written = _post(
+        authz_server, "/authz/write", {"namespace": "acme", "writes": TUPLES}
+    )
+    assert status == 200
+    assert written["epoch"] == 1 and written["applied"] == len(TUPLES)
+    zookie = written["zookie"]
+
+    status, checked = _post(
+        authz_server,
+        "/authz/check",
+        {"namespace": "acme", "subject": "user:alice", "object": "doc:handbook",
+         "at_least": zookie},
+    )
+    assert status == 200 and checked["allowed"] is True
+
+    status, batch = _post(
+        authz_server,
+        "/authz/check",
+        {"namespace": "acme", "subject": "user:bob",
+         "objects": ["doc:handbook", "doc:design"]},
+    )
+    assert status == 200 and batch["allowed"] == [True, False]
+
+    status, expanded = _post(
+        authz_server,
+        "/authz/expand",
+        {"namespace": "acme", "entity": "user:alice", "direction": "objects",
+         "type": "doc"},
+    )
+    assert status == 200
+    assert expanded["names"] == ["doc:design", "doc:handbook"]
+    assert expanded["route"] == "enum_closure"
+
+
+def test_http_authz_stale_zookie_409(authz_server):
+    _post(authz_server, "/authz/write", {"namespace": "acme", "writes": TUPLES})
+    future = Zookie("acme", 99).encode()
+    status, payload = _post(
+        authz_server,
+        "/authz/check",
+        {"namespace": "acme", "subject": "user:alice", "object": "doc:handbook",
+         "at_least": future},
+    )
+    assert status == 409
+    assert payload["error_type"] == "stale_zookie"
+
+
+def test_http_authz_bad_tuple_400(authz_server):
+    status, payload = _post(
+        authz_server, "/authz/write",
+        {"namespace": "acme", "writes": ["user:alice#member@user:alice"]},
+    )
+    assert status == 400
+    assert payload["error_type"] == "invalid_tuple"
+
+
+# -- satellite: typed invalid-vertex payloads on /reach --------------------
+def test_http_reach_unknown_vertex_400(authz_server):
+    status, payload = _get(authz_server, "/reach?source=0&target=42")
+    assert status == 400
+    assert payload["error_type"] == "invalid_vertex"
+    assert payload["vertex"] == 42
+    assert payload["num_vertices"] == 6
+    assert "position" not in payload
+
+
+def test_http_reach_batch_unknown_vertex_400(authz_server):
+    status, payload = _post(
+        authz_server, "/reach/batch", {"pairs": [[0, 1], [2, 99], [1, 3]]}
+    )
+    assert status == 400
+    assert payload["error_type"] == "invalid_vertex"
+    assert payload["vertex"] == 99
+    assert payload["position"] == 1
+
+
+def test_invalid_vertex_error_payloads():
+    scalar = InvalidVertexError(9, 4)
+    assert scalar.http_status == 400
+    assert scalar.as_payload() == {
+        "error": str(scalar),
+        "error_type": "invalid_vertex",
+        "vertex": 9,
+        "num_vertices": 4,
+    }
+    batched = InvalidVertexError(9, 4, position=2)
+    assert batched.as_payload()["position"] == 2

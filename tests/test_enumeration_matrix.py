@@ -1,0 +1,136 @@
+"""Differential matrix for the set-enumeration API (reachable/reaching).
+
+Every family's ``reachable_from``/``reaching_to`` must equal the BFS
+oracle's descendant/ancestor sets (plus the vertex itself) on every
+graph shape, the explain variants must agree with the plain calls on
+count and members, and each family must report its documented
+enumeration route.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.condensed import CondensedIndex
+from repro.core.registry import all_plain_indexes
+from repro.graphs.digraph import DiGraph
+from repro.graphs.generators import cyclic_communities, random_dag
+from repro.graphs.topo import is_dag
+from repro.kernels import ancestors_set, csr_of, descendants_set
+from repro.shard.engine import ShardedIndex
+
+PLAIN = all_plain_indexes()
+FAST = sorted(
+    set(PLAIN) - {"2-Hop", "Dual labeling", "Path-hop"}  # quadratic regimes
+)
+
+# the per-family fast-path routes documented on the enumeration API;
+# families absent here take the guided-traversal default
+EXPECTED_ROUTES = {
+    "TC": "enum_closure",
+    "PLL": "enum_label_join",
+    "DL": "enum_label_join",
+    "TOL": "enum_label_join",
+    "TFL": "enum_label_join",
+    "U2-hop": "enum_label_join",
+    "Ralf et al.": "enum_label_join",
+    "Sharded": "enum_compose",
+    "Tree cover": "enum_interval",
+    "GRAIL": "enum_interval",
+    "DAGGER": "enum_interval",
+}
+
+
+def _shapes() -> list[tuple[str, DiGraph]]:
+    return [
+        ("diamond-dag", DiGraph(8, [(0, 1), (0, 2), (1, 3), (2, 3), (3, 5), (2, 4), (4, 6)])),
+        ("small-cyclic", DiGraph(6, [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 3), (4, 5)])),
+        ("random-dag", random_dag(40, 90, seed=701)),
+        ("cyclic-communities", cyclic_communities(4, 4, 10, seed=702)),
+    ]
+
+
+def _build(name: str, graph: DiGraph):
+    cls = PLAIN[name]
+    if cls.metadata.input_kind == "DAG" and not is_dag(graph):
+        return CondensedIndex.build(graph, inner=cls)
+    return cls.build(graph)
+
+
+def _oracle(graph: DiGraph, vertex: int, forward: bool) -> frozenset[int]:
+    csr = csr_of(graph)
+    reach = descendants_set(csr, vertex) if forward else ancestors_set(csr, vertex)
+    return frozenset(reach) | {vertex}
+
+
+@pytest.mark.parametrize("name", FAST)
+def test_enumeration_matrix(name):
+    """Both directions equal the BFS oracle on every shape, every vertex."""
+    for shape, graph in _shapes():
+        index = _build(name, graph)
+        for vertex in range(graph.num_vertices):
+            for forward in (True, False):
+                expected = _oracle(graph, vertex, forward)
+                got = (
+                    index.reachable_from(vertex)
+                    if forward
+                    else index.reaching_to(vertex)
+                )
+                assert got == expected, (
+                    f"{name} on {shape}: vertex {vertex} "
+                    f"{'forward' if forward else 'backward'}"
+                )
+
+
+@pytest.mark.parametrize("name", FAST)
+def test_enumeration_explain_agreement(name):
+    """explain_* reports the same members/count/route as the plain call."""
+    graph = random_dag(30, 70, seed=703)
+    index = _build(name, graph)
+    for vertex in (0, 7, 15, 29):
+        plain = index.reachable_from(vertex)
+        explained = index.explain_reachable_from(vertex)
+        assert explained.count == len(plain)
+        assert explained.direction == "from"
+        assert explained.vertex == vertex
+        expected_route = EXPECTED_ROUTES.get(name, "enum_traversal")
+        assert explained.route == expected_route, (
+            f"{name}: route {explained.route!r} != {expected_route!r}"
+        )
+        back = index.explain_reaching_to(vertex)
+        assert back.count == len(index.reaching_to(vertex))
+        assert back.direction == "to"
+
+
+@pytest.mark.parametrize("name", ["TC", "PLL", "GRAIL", "Tree cover", "DAGGER"])
+def test_condensed_enumeration(name):
+    """CondensedIndex expands SCCs and reports the inner family's route."""
+    for shape, graph in _shapes():
+        if is_dag(graph):
+            continue
+        index = CondensedIndex.build(graph, inner=PLAIN[name])
+        for vertex in range(graph.num_vertices):
+            assert index.reachable_from(vertex) == _oracle(graph, vertex, True)
+            assert index.reaching_to(vertex) == _oracle(graph, vertex, False)
+        explained = index.explain_reachable_from(0)
+        assert explained.route == EXPECTED_ROUTES.get(name, "enum_traversal")
+        assert any("condensed" in d for d in explained.details)
+
+
+@pytest.mark.parametrize("num_shards", [1, 2, 4])
+def test_sharded_enumeration(num_shards):
+    """Sharded enumeration composes shards exactly, route enum_compose."""
+    for shape, graph in _shapes():
+        if not is_dag(graph):  # sharding partitions a topological order
+            continue
+        index = ShardedIndex.build(graph, num_shards=num_shards, family="PLL")
+        for vertex in range(graph.num_vertices):
+            assert index.reachable_from(vertex) == _oracle(graph, vertex, True), (
+                f"k={num_shards} on {shape}: vertex {vertex} forward"
+            )
+            assert index.reaching_to(vertex) == _oracle(graph, vertex, False), (
+                f"k={num_shards} on {shape}: vertex {vertex} backward"
+            )
+        explained = index.explain_reachable_from(0)
+        assert explained.route == "enum_compose"
+        assert explained.count == len(index.reachable_from(0))
