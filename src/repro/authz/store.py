@@ -21,6 +21,7 @@ from __future__ import annotations
 import hashlib
 import re
 import threading
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 
 from repro.core.base import ReachabilityIndex
@@ -33,7 +34,7 @@ from repro.errors import (
 )
 from repro.graphs.digraph import DiGraph
 from repro.graphs.labeled import LabeledDiGraph
-from repro.authz.tuples import RelationTuple, compile_tuples
+from repro.authz.tuples import RelationTuple, compile_tuples, parse_tuples
 from repro.obs.metrics import global_registry
 from repro.obs.tracer import TRACER
 
@@ -157,6 +158,58 @@ class AuthzStore:
         self._lock = threading.Lock()
         self._states: dict[str, _NamespaceState] = {}
         self._snapshots: dict[str, AuthzSnapshot] = {}
+        self._wal = None
+        self._wal_applied_lsn: int | None = None
+
+    # -- durability -------------------------------------------------------
+    def attach_wal(self, wal) -> None:
+        """Log every write to ``wal`` before publishing its snapshot.
+
+        Duck-typed like the service engine's: anything with
+        ``admitted()``, ``append(kind, data) -> lsn`` and ``status()``
+        works (:class:`repro.wal.WriteAheadLog` in practice).
+        """
+        self._wal = wal
+        self._wal_applied_lsn = None
+
+    def checkpoint_state(self) -> dict[str, object]:
+        """A consistent capture of every namespace for the checkpointer.
+
+        Taken under the writer lock, so it reflects every record this
+        store has appended — the invariant
+        :class:`repro.wal.CheckpointManager` relies on when picking a
+        truncation LSN.  Tuples go out in wire form (``s#rel@o``), the
+        same encoding the WAL records use.
+        """
+        with self._lock:
+            return {
+                "namespaces": {
+                    ns: {
+                        "epoch": state.epoch,
+                        "tuples": sorted(str(t) for t in state.tuples),
+                    }
+                    for ns, state in self._states.items()
+                },
+                "applied_lsn": self._wal_applied_lsn,
+            }
+
+    def restore(self, namespaces: dict[str, dict]) -> None:
+        """Load recovered state (``{ns: {"epoch", "tuples": [wire]}}``).
+
+        Each namespace is recompiled and published at its exact
+        pre-crash epoch, so zookies issued before the crash still
+        validate and post-restart writes advance monotonically past
+        them.  Call before :meth:`attach_wal` re-arms logging.
+        """
+        with self._lock:
+            for ns, blob in namespaces.items():
+                self._check_namespace(ns)
+                state = _NamespaceState(
+                    tuples=set(parse_tuples(blob["tuples"])),
+                    epoch=int(blob["epoch"]),
+                )
+                self._states[ns] = state
+                self._snapshots[ns] = self._compile(ns, state)
 
     # -- writes -----------------------------------------------------------
     def write(
@@ -170,17 +223,35 @@ class AuthzStore:
         Revoking an absent tuple and granting a present one are both
         idempotent no-ops; the epoch advances regardless, so the zookie
         always certifies "my request has been incorporated".
+
+        With a WAL attached the write is staged, appended to the log,
+        and only then published — a failed or torn append (including a
+        chaos-injected one) leaves the served state untouched and the
+        client unacknowledged, so no zookie ever certifies an epoch the
+        log doesn't carry.
         """
         self._check_namespace(namespace)
         registry = global_registry()
-        with self._lock:
+        wal = self._wal
+        gate = wal.admitted() if wal is not None else nullcontext()
+        with gate, self._lock:
             state = self._states.setdefault(namespace, _NamespaceState())
-            for t in writes:
-                state.tuples.add(t)
-            for t in deletes:
-                state.tuples.discard(t)
-            state.epoch += 1
-            snapshot = self._compile(namespace, state)
+            tuples = set(state.tuples)
+            tuples.update(writes)
+            tuples.difference_update(deletes)
+            staged = _NamespaceState(tuples=tuples, epoch=state.epoch + 1)
+            snapshot = self._compile(namespace, staged)
+            if wal is not None:
+                self._wal_applied_lsn = wal.append(
+                    "authz",
+                    {
+                        "namespace": namespace,
+                        "epoch": staged.epoch,
+                        "writes": [str(t) for t in writes],
+                        "deletes": [str(t) for t in deletes],
+                    },
+                )
+            self._states[namespace] = staged
             self._snapshots[namespace] = snapshot
         registry.counter("authz.writes").increment()
         registry.counter("authz.tuples_applied").increment(

@@ -657,28 +657,75 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     except ValueError as exc:
         print(str(exc), file=sys.stderr)
         return 2
+    if getattr(args, "fault", None):
+        # Install chaos before recovery so wal.replay faults fire too.
+        from repro.resilience import ChaosPolicy, Fault, install_chaos
+
+        try:
+            faults = [Fault.parse(spec) for spec in args.fault]
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        install_chaos(ChaosPolicy(faults, seed=args.chaos_seed))
+        print(
+            f"chaos: {len(faults)} fault(s) armed, seed={args.chaos_seed}",
+            file=sys.stderr,
+        )
     if args.labeled:
         graph, _ids = read_labeled_edge_list(args.edgelist)
+    else:
+        graph, _ids = read_edge_list(args.edgelist)
+
+    wal = None
+    recovered = None
+    serve_index, serve_params = args.index, index_params
+    if args.wal_dir:
+        from repro.errors import WALError
+        from repro.wal import WriteAheadLog, recover_states
+
+        wal = WriteAheadLog(
+            args.wal_dir,
+            fsync=args.wal_fsync,
+            segment_bytes=args.wal_segment_bytes,
+            max_pending=args.wal_max_pending,
+        )
+        try:
+            recovered = recover_states(wal, graph)
+        except WALError as exc:
+            print(f"wal: {exc}", file=sys.stderr)
+            return 2
+        graph = recovered.graph
+        print(recovered.summary(), file=sys.stderr)
+        if recovered.index is not None:
+            serve_index = recovered.index
+            serve_params = recovered.index_params or {}
+
+    if args.labeled:
         labeled = None if args.labeled_index == "none" else args.labeled_index
         service = ReachabilityService(
             graph,
-            index=args.index,
-            index_params=index_params,
+            index=serve_index,
+            index_params=serve_params,
             labeled_index=labeled,
             cache_capacity=args.cache_capacity or None,
             coalesce=not args.no_coalesce,
             rebuild=args.rebuild,
+            patch_audit_pairs=args.patch_audit_pairs,
         )
     else:
-        graph, _ids = read_edge_list(args.edgelist)
         service = ReachabilityService(
             graph,
-            index=args.index,
-            index_params=index_params,
+            index=serve_index,
+            index_params=serve_params,
             cache_capacity=args.cache_capacity or None,
             coalesce=not args.no_coalesce,
             rebuild=args.rebuild,
+            patch_audit_pairs=args.patch_audit_pairs,
         )
+    if recovered is not None:
+        service.restore_epoch(recovered.epoch)
+    if wal is not None:
+        service.attach_wal(wal)
     tracker = None
     if args.slo:
         from repro.errors import ReproError
@@ -717,10 +764,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         )
         advisor.start()
     authz_store = None
-    if args.authz or args.authz_tuples:
+    has_recovered_authz = recovered is not None and bool(recovered.authz)
+    if args.authz or args.authz_tuples or has_recovered_authz:
         from repro.authz import AuthzStore
 
         authz_store = AuthzStore(args.authz_family)
+        if has_recovered_authz:
+            # Republish recovered namespaces at their exact pre-crash
+            # epochs before any new write, so old zookies still validate.
+            authz_store.restore(recovered.authz)
+        if wal is not None:
+            authz_store.attach_wal(wal)
         if args.authz_tuples:
             zookie = authz_store.write(
                 args.authz_namespace, writes=_read_tuples(args.authz_tuples)
@@ -730,6 +784,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 f"{args.authz_namespace!r} (zookie {zookie.encode()})",
                 file=sys.stderr,
             )
+    checkpointer = None
+    if wal is not None:
+        from repro.wal import CheckpointManager
+
+        checkpointer = CheckpointManager(
+            wal,
+            service=service,
+            authz=authz_store,
+            every_records=args.wal_checkpoint_every,
+            interval_s=args.wal_checkpoint_interval,
+        )
+        checkpointer.start()
     server = serve(
         service,
         host=args.host,
@@ -787,6 +853,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if auditor is not None:
         auditor.stop()
     drained = server.drain(args.drain_timeout)
+    if checkpointer is not None:
+        # After drain: no writer is mid-append, so the final checkpoint
+        # captures everything and the log closes at a record boundary.
+        checkpointer.stop(final_checkpoint=True)
+    if wal is not None:
+        wal.close()
     thread.join(timeout=args.drain_timeout + 1.0)
     for signum, handler in previous.items():
         try:
@@ -1372,6 +1444,69 @@ def main(argv: list[str] | None = None) -> int:
         "--authz-namespace",
         default="default",
         help="namespace the preloaded tuples land in",
+    )
+    serve.add_argument(
+        "--wal-dir",
+        default=None,
+        metavar="DIR",
+        help="write-ahead log directory: append every write before the "
+        "epoch swap and recover the pre-crash state on startup",
+    )
+    serve.add_argument(
+        "--wal-fsync",
+        choices=("always", "batch", "off"),
+        default="batch",
+        help="fsync policy: every append, every Nth append, or never "
+        "(data still reaches the OS page cache on every append)",
+    )
+    serve.add_argument(
+        "--wal-segment-bytes",
+        type=int,
+        default=4 << 20,
+        help="rotate the active WAL segment past this size",
+    )
+    serve.add_argument(
+        "--wal-max-pending",
+        type=int,
+        default=64,
+        help="writes admitted into the WAL queue before shedding with 429",
+    )
+    serve.add_argument(
+        "--wal-checkpoint-every",
+        type=int,
+        default=256,
+        metavar="RECORDS",
+        help="checkpoint + truncate after this much log growth",
+    )
+    serve.add_argument(
+        "--wal-checkpoint-interval",
+        type=float,
+        default=15.0,
+        metavar="SECONDS",
+        help="how often the checkpointer wakes to look at log growth",
+    )
+    serve.add_argument(
+        "--patch-audit-pairs",
+        type=int,
+        default=8,
+        metavar="K",
+        help="differentially audit each incremental index patch against "
+        "the BFS oracle on K sampled pairs (0 disables; mismatch falls "
+        "back to a counted full rebuild)",
+    )
+    serve.add_argument(
+        "--fault",
+        action="append",
+        metavar="POINT=KIND[:PROB][:MS]",
+        default=None,
+        help="arm a chaos fault for this server (repeatable); includes "
+        "the WAL points wal.append, wal.fsync, wal.replay",
+    )
+    serve.add_argument(
+        "--chaos-seed",
+        type=int,
+        default=0,
+        help="seed for the armed chaos faults",
     )
     _add_backend_argument(serve)
     serve.set_defaults(func=_cmd_serve)

@@ -120,6 +120,73 @@ class ChaosInjectedError(ReproError):
     """A fault deliberately raised by the chaos harness at an injection point."""
 
 
+class WALError(ReproError):
+    """The write-ahead log could not accept or replay a record.
+
+    Raised when an append fails (torn write detected, log poisoned by an
+    earlier torn write) — the change was *not* acknowledged and the epoch
+    swap never happened, so callers may safely retry after recovery.
+    """
+
+    http_status = 503
+
+    def as_payload(self) -> dict[str, object]:
+        return {"error": str(self), "error_type": "wal_error"}
+
+
+class WALCorruptionError(WALError):
+    """Replay found a corrupt record that is not a truncatable tail.
+
+    A bad CRC in the *last* segment is a torn write and is cleanly
+    truncated; a bad record followed by more data (or a later segment)
+    means real corruption, and recovery refuses to serve rather than
+    silently skipping acknowledged history.
+    """
+
+    def __init__(self, path: object, offset: int, detail: str) -> None:
+        super().__init__(
+            f"{path}: corrupt WAL record at offset {offset} ({detail}) — "
+            "not a truncatable tail; refusing to replay past it"
+        )
+        self.path = str(path)
+        self.offset = offset
+
+    def as_payload(self) -> dict[str, object]:
+        return {
+            "error": str(self),
+            "error_type": "wal_corruption",
+            "path": self.path,
+            "offset": self.offset,
+        }
+
+
+class WriteBacklogError(ReproError):
+    """Bounded write admission shed this update (WAL append queue full).
+
+    The writer path is saturated; carries ``retry_after_s`` so front
+    doors can emit ``Retry-After`` alongside the 429.
+    """
+
+    http_status = 429
+
+    def __init__(self, pending: int, limit: int, retry_after_s: float = 0.5) -> None:
+        super().__init__(
+            f"write backlog full: {pending} appends pending (limit {limit})"
+        )
+        self.pending = pending
+        self.limit = limit
+        self.retry_after_s = retry_after_s
+
+    def as_payload(self) -> dict[str, object]:
+        return {
+            "error": str(self),
+            "error_type": "write_backlog",
+            "pending": self.pending,
+            "limit": self.limit,
+            "retry_after_s": self.retry_after_s,
+        }
+
+
 class AuthzError(ReproError):
     """Base class for the Zanzibar-style authorization tier."""
 

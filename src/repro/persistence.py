@@ -48,6 +48,8 @@ __all__ = [
     "load_index",
     "peek_index_info",
     "serialized_size_bytes",
+    "write_checksummed_blob",
+    "read_checksummed_blob",
 ]
 
 _MAGIC = b"REPRO-INDEX"
@@ -58,28 +60,16 @@ _DIGEST_BYTES = hashlib.sha256().digest_size
 _FOOTER_BYTES = len(_FOOTER_MAGIC) + _DIGEST_BYTES
 
 
-def save_index(
-    index: ReachabilityIndex | LabelConstrainedIndex, path: str | Path
-) -> None:
-    """Serialise a built index (graph included) to ``path``, atomically.
+def write_checksummed_blob(path: str | Path, body: bytes) -> None:
+    """Atomically write ``body`` + a SHA-256 checksum footer to ``path``.
 
-    The bytes hit a same-directory temp file first (write + flush +
-    ``fsync``), then ``os.replace`` moves them into place — readers of
-    ``path`` never observe a partial file, even across a crash.
+    The v2 durability recipe, factored out so other durable artifacts
+    (the WAL's checkpoints) share it: same-directory temp file, write +
+    flush + ``fsync``, atomic ``os.replace``, best-effort directory
+    fsync.  A crash mid-write leaves the old file or the new one, never
+    a torn hybrid.
     """
-    if not isinstance(index, (ReachabilityIndex, LabelConstrainedIndex)):
-        raise PersistenceError(
-            f"save_index expects an index, got {type(index).__name__}"
-        )
     path = Path(path)
-    name = type(index).__name__.encode()
-    body = (
-        _MAGIC
-        + _VERSION.to_bytes(2, "big")
-        + len(name).to_bytes(2, "big")
-        + name
-        + pickle.dumps(index, protocol=pickle.HIGHEST_PROTOCOL)
-    )
     footer = _FOOTER_MAGIC + hashlib.sha256(body).digest()
     directory = path.parent if str(path.parent) else Path(".")
     descriptor, tmp_name = tempfile.mkstemp(
@@ -99,6 +89,60 @@ def save_index(
             pass
         raise
     _fsync_directory(directory)
+
+
+def read_checksummed_blob(path: str | Path, chaos: str | None = None) -> bytes:
+    """Read a file written by :func:`write_checksummed_blob`, verified.
+
+    The checksum footer is validated before the body is returned; any
+    mismatch raises :class:`PersistenceError` with both digests.
+    ``chaos`` optionally names an injection point to fire on the raw
+    bytes, so corruption drills exercise this exact detection path.
+    """
+    path = Path(path)
+    with open(path, "rb") as source:
+        data = source.read()
+    if chaos is not None:
+        data = chaos_point(chaos, data)
+    if len(data) < _FOOTER_BYTES or data[
+        len(data) - _FOOTER_BYTES : len(data) - _DIGEST_BYTES
+    ] != _FOOTER_MAGIC:
+        raise PersistenceError(
+            f"{path}: truncated file (checksum footer missing)"
+        )
+    footer_at = len(data) - _FOOTER_BYTES
+    expected = data[footer_at + len(_FOOTER_MAGIC) :]
+    actual = hashlib.sha256(data[:footer_at]).digest()
+    if actual != expected:
+        raise PersistenceError(
+            f"{path}: checksum mismatch — the file is corrupt "
+            f"(expected sha256 {expected.hex()}, got {actual.hex()})"
+        )
+    return data[:footer_at]
+
+
+def save_index(
+    index: ReachabilityIndex | LabelConstrainedIndex, path: str | Path
+) -> None:
+    """Serialise a built index (graph included) to ``path``, atomically.
+
+    The bytes hit a same-directory temp file first (write + flush +
+    ``fsync``), then ``os.replace`` moves them into place — readers of
+    ``path`` never observe a partial file, even across a crash.
+    """
+    if not isinstance(index, (ReachabilityIndex, LabelConstrainedIndex)):
+        raise PersistenceError(
+            f"save_index expects an index, got {type(index).__name__}"
+        )
+    name = type(index).__name__.encode()
+    body = (
+        _MAGIC
+        + _VERSION.to_bytes(2, "big")
+        + len(name).to_bytes(2, "big")
+        + name
+        + pickle.dumps(index, protocol=pickle.HIGHEST_PROTOCOL)
+    )
+    write_checksummed_blob(path, body)
 
 
 def _fsync_directory(directory: Path) -> None:

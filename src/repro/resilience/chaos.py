@@ -53,6 +53,9 @@ INJECTION_POINTS: dict[str, str] = {
     "kernels.sweep": "repro.kernels.batch_reachable, before the sweep",
     "service.handler": "repro.service.server, at request dispatch",
     "service.query": "repro.service.engine, inside the timed query path",
+    "wal.append": "repro.wal.log, on the framed record before it hits disk",
+    "wal.fsync": "repro.wal.log, before the per-policy fsync",
+    "wal.replay": "repro.wal.log, on each segment's raw bytes during replay",
 }
 
 

@@ -29,9 +29,12 @@ reuses :func:`repro.gdbms.planner.classify_constraint` — the planner's
 from __future__ import annotations
 
 import copy
+import logging
+import random
 import threading
 import time
 from collections.abc import Sequence
+from contextlib import nullcontext
 from dataclasses import dataclass
 
 from repro import accel
@@ -61,8 +64,11 @@ from repro.resilience.breaker import CircuitBreaker
 from repro.resilience.chaos import chaos_point
 from repro.service.batching import QueryCoalescer, dedupe
 from repro.service.cache import MISS, ResultCache
+from repro.traversal.online import bfs_reachable
 from repro.traversal.rpq import rpq_reachable
 from repro.workloads.updates import EdgeOp, LabeledEdgeOp
+
+_LOG = logging.getLogger("repro.service.engine")
 
 __all__ = [
     "DEGRADED_ROUTES",
@@ -165,9 +171,14 @@ class ReachabilityService:
         metrics: MetricsRegistry | None = None,
         breaker_threshold: int = 5,
         breaker_cooldown_s: float = 5.0,
+        patch_audit_pairs: int = 8,
     ) -> None:
         if rebuild not in ("auto", "always"):
             raise ServiceError(f"rebuild must be 'auto' or 'always', got {rebuild!r}")
+        if patch_audit_pairs < 0:
+            raise ServiceError(
+                f"patch_audit_pairs must be >= 0, got {patch_audit_pairs}"
+            )
         self._plain_name = index
         self._index_params = dict(index_params or {})
         self._labeled_name = labeled_index
@@ -184,6 +195,9 @@ class ReachabilityService:
             cooldown_s=breaker_cooldown_s,
         )
         self._auditor = None  # attach_auditor: shadow correctness sampling
+        self._patch_audit_pairs = int(patch_audit_pairs)
+        self._wal = None  # attach_wal: durable append-before-swap
+        self._wal_applied_lsn: int | None = None
         for route in ROUTES + DEGRADED_ROUTES:
             self._metrics.counter(f"service.queries.{route}")
             self._metrics.histogram(f"service.latency.{route}")
@@ -198,6 +212,8 @@ class ReachabilityService:
         self._metrics.counter("service.updates_applied")
         self._metrics.counter("service.rebuilds")
         self._metrics.counter("service.patches")
+        self._metrics.counter("service.patch_audit.passed")
+        self._metrics.counter("service.patch_audit.failed")
         self._metrics.counter("service.advisor.ticks")
         self._metrics.counter("service.advisor.adoptions")
         self._metrics.counter("service.advisor.kept")
@@ -219,11 +235,17 @@ class ReachabilityService:
             )
 
     # -- snapshot construction -------------------------------------------
-    def _build_plain(self, graph: DiGraph) -> ReachabilityIndex:
-        cls = plain_index_cls(self._plain_name)
+    def _build_plain(
+        self,
+        graph: DiGraph,
+        name: str | None = None,
+        params: dict[str, object] | None = None,
+    ) -> ReachabilityIndex:
+        cls = plain_index_cls(name if name is not None else self._plain_name)
+        params = self._index_params if params is None else params
         if cls.metadata.input_kind == "DAG" and not is_dag(graph):
-            return CondensedIndex.build(graph, inner=cls, **self._index_params)
-        return cls.build(graph, **self._index_params)
+            return CondensedIndex.build(graph, inner=cls, **params)
+        return cls.build(graph, **params)
 
     def _labeled_snapshot(self, epoch: int, labeled: LabeledDiGraph) -> Snapshot:
         """A fresh fully-rebuilt snapshot over ``labeled`` (writer-owned)."""
@@ -285,6 +307,72 @@ class ReachabilityService:
         catch.  Cost with no auditor attached: one attribute read.
         """
         self._auditor = auditor
+
+    def attach_wal(self, wal) -> None:
+        """Attach a :class:`~repro.wal.WriteAheadLog` (``None`` detaches).
+
+        Once attached, every :meth:`apply_updates` batch and
+        :meth:`adopt_index` swap appends a record *before* the epoch
+        swap, gated by the log's bounded write admission — so an
+        acknowledged epoch is always recoverable and an overloaded
+        writer path sheds with a typed
+        :class:`~repro.errors.WriteBacklogError` instead of queueing
+        unboundedly.
+        """
+        self._wal = wal
+        self._wal_applied_lsn = None
+
+    def wal_status(self) -> dict[str, object] | None:
+        """The attached WAL's gauge state, or ``None`` when detached."""
+        wal = self._wal
+        return None if wal is None else wal.status()
+
+    def restore_epoch(self, epoch: int) -> int:
+        """Re-stamp the current snapshot at a recovered epoch.
+
+        Startup-recovery only: the service is constructed over the
+        replayed graph at epoch 0, then restored to the exact pre-crash
+        epoch so clients' epoch provenance (and zookie-style tokens
+        above the engine) stay monotone across the restart.
+        """
+        epoch = int(epoch)
+        with self._writer_lock:
+            snap = self._snapshot
+            if epoch < snap.epoch:
+                raise ServiceError(
+                    f"cannot restore epoch {epoch} below current {snap.epoch}"
+                )
+            if epoch != snap.epoch:
+                self._snapshot = Snapshot(
+                    epoch=epoch,
+                    graph=snap.graph,
+                    plain=snap.plain,
+                    labeled_graph=snap.labeled_graph,
+                    labeled=snap.labeled,
+                )
+                if self._cache is not None:
+                    self._cache.invalidate_all()
+            return epoch
+
+    def checkpoint_state(self) -> dict[str, object]:
+        """A consistent capture for the WAL checkpointer.
+
+        Takes the writer lock only to read immutable references (the
+        snapshot graph, the current epoch, the last appended LSN); the
+        expensive serialisation happens on the checkpointer's thread.
+        Because appends and swaps share this lock, the capture reflects
+        every record this service has appended.
+        """
+        with self._writer_lock:
+            snap = self._snapshot
+            return {
+                "epoch": snap.epoch,
+                "labeled": self._labeled_mode,
+                "index": self._plain_name,
+                "params": dict(self._index_params),
+                "graph": snap.labeled_graph if self._labeled_mode else snap.graph,
+                "applied_lsn": self._wal_applied_lsn,
+            }
 
     def reach(self, source: int, target: int) -> bool:
         """Plain reachability at the current epoch."""
@@ -618,12 +706,23 @@ class ReachabilityService:
         callers by an internal writer lock; returns the new epoch.
         """
         ops = list(ops)
-        with self._writer_lock:
+        wal = self._wal
+        gate = wal.admitted() if wal is not None else nullcontext()
+        with gate, self._writer_lock:
             snap = self._snapshot
             if self._labeled_mode:
                 new_snap = self._next_labeled(snap, ops)
             else:
                 new_snap = self._next_plain(snap, ops)
+            if wal is not None:
+                # Durability point: the record must be on the log before
+                # the swap makes the epoch observable (and before the
+                # caller can acknowledge it).  A failed append aborts the
+                # whole batch — no swap, no ack, nothing to lose.
+                self._wal_applied_lsn = wal.append(
+                    "labeled_update" if self._labeled_mode else "update",
+                    {"epoch": new_snap.epoch, "ops": _encode_ops(ops)},
+                )
             self._snapshot = new_snap
             if self._cache is not None:
                 self._cache.invalidate_all()
@@ -666,9 +765,18 @@ class ReachabilityService:
                 # serve answers about a graph we are not serving.
                 self._metrics.counter("service.advisor.stale_builds").increment()
                 return None
+            plain = (
+                prebuilt
+                if prebuilt is not None
+                else self._build_plain(snap.graph, name=name, params=params)
+            )
+            if self._wal is not None:
+                self._wal_applied_lsn = self._wal.append(
+                    "adopt",
+                    {"epoch": snap.epoch + 1, "index": name, "params": params},
+                )
             self._plain_name = name
             self._index_params = params
-            plain = prebuilt if prebuilt is not None else self._build_plain(snap.graph)
             self._snapshot = Snapshot(
                 epoch=snap.epoch + 1,
                 graph=snap.graph,
@@ -704,13 +812,26 @@ class ReachabilityService:
     def _try_patch_plain(
         self, snap: Snapshot, ops: list[EdgeOp]
     ) -> ReachabilityIndex | None:
-        """Incrementally patch a deep copy of a dynamic index, or None."""
+        """Incrementally patch a deep copy of a dynamic index, or None.
+
+        Every rejection that can be decided cheaply — rebuild policy,
+        non-dynamic family, unsupported op kinds, and a per-op validity
+        pre-pass on a graph copy — happens *before* the O(index)
+        ``copy.deepcopy``, so a doomed batch skips straight to the
+        rebuild path.  A successful patch is then differentially audited
+        against the BFS oracle on sampled pairs; any mismatch discards
+        the patch (counted, logged) and falls back to a full rebuild, so
+        a buggy incremental maintenance path can never serve a wrong
+        answer.
+        """
         if self._rebuild_policy == "always" or isinstance(snap.plain, CondensedIndex):
             return None
         dynamic = snap.plain.metadata.dynamic
         if dynamic == "no":
             return None
         if dynamic == "insert-only" and any(op.kind != "insert" for op in ops):
+            return None
+        if not self._patch_viable_plain(snap, ops):
             return None
         index = copy.deepcopy(snap.plain)
         try:
@@ -721,7 +842,85 @@ class ReachabilityService:
                     index.delete_edge(op.source, op.target)
         except (UnsupportedOperationError, GraphError):
             return None  # e.g. a cycle-creating insert on a DAG-only index
+        if not self._audit_patched(index, snap.epoch + 1, labeled=False):
+            return None
         return index
+
+    def _patch_viable_plain(self, snap: Snapshot, ops: list[EdgeOp]) -> bool:
+        """Cheap per-op validity pre-pass: would the patch certainly fail?
+
+        Simulates the batch on a copy of the *graph* — O(|E| + ops·BFS)
+        at worst, versus deep-copying the whole index — catching bad
+        vertex ids, duplicate inserts, deletes of absent edges, and
+        cycle-creating inserts against a DAG-only family.  ``False``
+        routes to the rebuild path, which raises the same
+        :class:`~repro.errors.GraphError` a caller would have seen.
+        """
+        probe = snap.graph.copy()
+        needs_dag = snap.plain.metadata.input_kind == "DAG"
+        try:
+            for op in ops:
+                if op.kind == "insert":
+                    if needs_dag and bfs_reachable(probe, op.target, op.source):
+                        return False  # would close a cycle under a DAG index
+                    probe.add_edge(op.source, op.target)
+                else:
+                    probe.remove_edge(op.source, op.target)
+        except GraphError:
+            return False
+        return True
+
+    def _audit_patched(self, index, epoch: int, labeled: bool) -> bool:
+        """Differentially probe a patched index against the BFS oracle.
+
+        ``patch_audit_pairs`` seeded random pairs (0 disables); any
+        disagreement fails the audit, which the patch paths convert into
+        a counted, logged full rebuild — never a user-visible error.
+        """
+        pairs = self._patch_audit_pairs
+        if not pairs:
+            return True
+        graph = index.graph
+        n = graph.num_vertices
+        if n == 0:
+            return True
+        rng = random.Random(f"patch-audit:{epoch}:{n}:{graph.num_edges}")
+        labels = sorted(graph.labels()) if labeled else ()
+        if labeled and not labels:
+            return True
+        ok = True
+        for _ in range(pairs):
+            source = rng.randrange(n)
+            target = rng.randrange(n)
+            if labeled:
+                # Sample an alternation constraint (l1|l2|…)* — the shape
+                # every §4.1 labeled index answers — over 1-2 graph labels.
+                chosen = rng.sample(labels, k=min(len(labels), rng.randint(1, 2)))
+                _route, node = classify_constraint(
+                    "(" + "|".join(f'"{label}"' for label in chosen) + ")*"
+                )
+                ok = bool(index.query(source, target, node)) == rpq_reachable(
+                    graph, source, target, node
+                )
+            else:
+                ok = bool(index.query(source, target)) == bfs_reachable(
+                    graph, source, target
+                )
+            if not ok:
+                break
+        if ok:
+            self._metrics.counter("service.patch_audit.passed").increment()
+            return True
+        self._metrics.counter("service.patch_audit.failed").increment()
+        _LOG.warning(
+            "post-patch audit failed for %s at epoch %d (pair %d->%d); "
+            "discarding the patch and rebuilding",
+            type(index).__name__,
+            epoch,
+            source,
+            target,
+        )
+        return False
 
     def _next_labeled(self, snap: Snapshot, ops: list[LabeledEdgeOp]) -> Snapshot:
         for op in ops:
@@ -760,6 +959,8 @@ class ReachabilityService:
             or snap.labeled.metadata.dynamic != "yes"
         ):
             return None
+        if not self._patch_viable_labeled(snap, ops):
+            return None
         index = copy.deepcopy(snap.labeled)
         try:
             for op in ops:
@@ -769,7 +970,25 @@ class ReachabilityService:
                     index.delete_edge(op.source, op.target, op.label)
         except (UnsupportedOperationError, GraphError):
             return None
+        if not self._audit_patched(index, snap.epoch + 1, labeled=True):
+            return None
         return index
+
+    def _patch_viable_labeled(
+        self, snap: Snapshot, ops: list[LabeledEdgeOp]
+    ) -> bool:
+        """Labeled analogue of :meth:`_patch_viable_plain` (no DAG check —
+        labeled dynamic families accept cyclic graphs)."""
+        probe = snap.labeled_graph.copy()
+        try:
+            for op in ops:
+                if op.kind == "insert":
+                    probe.add_edge(op.source, op.target, op.label)
+                else:
+                    probe.remove_edge(op.source, op.target, op.label)
+        except GraphError:
+            return False
+        return True
 
     # -- observability ---------------------------------------------------
     def metrics_dict(self) -> dict[str, object]:
@@ -836,3 +1055,16 @@ class ReachabilityService:
             f"|V|={snap.graph.num_vertices}, |E|={snap.graph.num_edges}, "
             f"mode={'labeled' if self._labeled_mode else 'plain'})"
         )
+
+
+def _encode_ops(ops: Sequence[EdgeOp | LabeledEdgeOp]) -> list[list]:
+    """WAL wire form for an update batch — JSON arrays, not objects, so a
+    record stays compact and :mod:`repro.wal.recovery` can unpack
+    positionally (``[kind, s, t]`` plain, ``[kind, s, t, label]`` labeled)."""
+    encoded: list[list] = []
+    for op in ops:
+        row: list = [op.kind, op.source, op.target]
+        if isinstance(op, LabeledEdgeOp):
+            row.append(op.label)
+        encoded.append(row)
+    return encoded

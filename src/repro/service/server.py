@@ -340,7 +340,13 @@ class _Handler(BaseHTTPRequestHandler):
             status = getattr(exc, "http_status", 400)
             as_payload = getattr(exc, "as_payload", None)
             payload = as_payload() if callable(as_payload) else {"error": str(exc)}
-            self._send_json(status, payload)
+            headers = None
+            retry_after_s = getattr(exc, "retry_after_s", None)
+            if retry_after_s is not None:
+                # Backpressure errors (WAL write backlog, etc.) tell
+                # clients when to come back, like _overloaded does.
+                headers = {"Retry-After": str(max(1, int(round(retry_after_s))))}
+            self._send_json(status, payload, headers)
         except Exception as exc:  # noqa: BLE001 — last-resort JSON 500
             self._error(500, f"internal error: {type(exc).__name__}: {exc}")
 
@@ -378,6 +384,9 @@ class _Handler(BaseHTTPRequestHandler):
                 "uptime_s": self.server.uptime_s,
                 "in_flight": admission.in_flight,
             }
+            wal_status = service.wal_status()
+            if wal_status is not None:
+                payload["wal"] = wal_status
             self._send_json(503 if draining else 200, payload)
         elif path == "/slo":
             self._send_json(

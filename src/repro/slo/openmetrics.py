@@ -90,6 +90,31 @@ _RULES: tuple[tuple[re.Pattern[str], str, str], ...] = tuple(
             "Requests shed by admission control, by reason.",
         ),
         (
+            r"^service\.patch_audit\.(?P<event>.+)$",
+            "repro_service_patch_audit",
+            "Post-patch differential audits against the BFS oracle, by event.",
+        ),
+        (
+            r"^service\.(?P<event>patches|rebuilds|swaps|updates_applied)$",
+            "repro_service_writes",
+            "Write-path outcomes (patch vs rebuild vs swap), by event.",
+        ),
+        (
+            r"^wal\.fsync_latency$",
+            "repro_wal_fsync_latency_seconds",
+            "WAL fsync latency.",
+        ),
+        (
+            r"^wal\.replay\.(?P<event>.+)$",
+            "repro_wal_replay",
+            "WAL startup replay tallies, by event.",
+        ),
+        (
+            r"^wal\.(?P<event>.+)$",
+            "repro_wal",
+            "Write-ahead log activity, by event.",
+        ),
+        (
             r"^index\.route\.(?P<route>.+)$",
             "repro_index_route",
             "Index-core query attribution, by answering route.",
@@ -401,6 +426,21 @@ def service_openmetrics(
                 help="Sampled queries awaiting oracle verification.",
             )
         )
+    wal_status = getattr(service, "wal_status", None)
+    wal_state = wal_status() if callable(wal_status) else None
+    if wal_state is not None:
+        for stat, value in wal_state.items():
+            if isinstance(value, bool):
+                value = int(value)
+            if isinstance(value, (int, float)):
+                gauges.append(
+                    Gauge(
+                        "repro_wal_state",
+                        float(value),
+                        labels={"stat": stat},
+                        help="Write-ahead log state, by stat.",
+                    )
+                )
     return render_openmetrics(
         [service.metrics, global_registry()],
         gauges,

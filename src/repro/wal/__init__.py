@@ -1,0 +1,29 @@
+"""Durable writes for the serving tier: WAL, recovery, checkpoints.
+
+The write path of :mod:`repro.service` and :mod:`repro.authz` is
+epoch-swapped in memory; this package makes those swaps survive a
+process kill.  :class:`WriteAheadLog` appends a checksummed record
+*before* each swap, :func:`recover_states` replays the log over the
+last durable checkpoint at startup, and :class:`CheckpointManager`
+periodically compacts the log off the writer lock.  See
+``docs/DURABILITY.md`` for the record format and the guarantees.
+"""
+
+from repro.errors import WALCorruptionError, WALError, WriteBacklogError
+from repro.wal.log import FSYNC_POLICIES, WalRecord, WalReplay, WriteAheadLog
+from repro.wal.manager import CheckpointManager
+from repro.wal.recovery import RecoveredState, checkpoint_payload, recover_states
+
+__all__ = [
+    "FSYNC_POLICIES",
+    "CheckpointManager",
+    "RecoveredState",
+    "WALCorruptionError",
+    "WALError",
+    "WalRecord",
+    "WalReplay",
+    "WriteAheadLog",
+    "WriteBacklogError",
+    "checkpoint_payload",
+    "recover_states",
+]

@@ -1,0 +1,441 @@
+"""The segmented, checksummed write-ahead log.
+
+One :class:`WriteAheadLog` owns a directory of segment files
+(``wal-00000001.log``, ``wal-00000002.log``, …) plus at most one
+checkpoint (``checkpoint.ckpt``).  Every record is framed as
+
+    [u32 payload length][u32 CRC-32 of payload][payload]
+
+where the payload is compact JSON carrying a process-wide log sequence
+number (``lsn``), a record ``kind`` (``update`` / ``labeled_update`` /
+``adopt`` / ``authz``) and the kind's data — notably the **epoch stamp**
+of the snapshot the record produces.  Appends go to the active segment
+under one lock: write, flush, then fsync per the configured policy
+(``always`` syncs every record, ``batch`` every N records, ``off``
+never) before the caller acknowledges anything to *its* caller.  A
+process crash (SIGKILL) therefore never loses an acknowledged record
+under any policy — flushed bytes live in the OS page cache — and
+``always``/``batch`` additionally bound loss under power failure.
+
+Replay (:meth:`WriteAheadLog.recover`) walks the segments in order and
+verifies every frame.  A short or CRC-failing record in the **final**
+segment is a torn write: the tail is physically truncated back to the
+last valid record and counted, never served.  The same damage in a
+non-final segment cannot be a torn tail — acknowledged records follow
+it — so replay raises :class:`~repro.errors.WALCorruptionError` instead
+of silently skipping history.
+
+Checkpoints ride the persistence v2 recipe
+(:func:`repro.persistence.write_checksummed_blob`): an atomic,
+checksummed state blob stamped with the highest LSN it covers.  Writing
+one truncates every sealed segment whose records are all ≤ that LSN.
+
+``wal.append``, ``wal.fsync`` and ``wal.replay`` are chaos injection
+points.  A corrupt fault on ``wal.append`` simulates a torn write: the
+mutated frame is written and flushed, the append raises
+:class:`~repro.errors.WALError` (so the caller never acknowledges), and
+the log is poisoned against further appends until recovery — exactly
+the fail-stop discipline a real log needs once its tail is suspect.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import struct
+import threading
+import time
+import zlib
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import WALCorruptionError, WALError, WriteBacklogError
+from repro.obs.metrics import global_registry
+from repro.persistence import read_checksummed_blob, write_checksummed_blob
+from repro.resilience.chaos import chaos_point
+
+__all__ = ["FSYNC_POLICIES", "WalRecord", "WalReplay", "WriteAheadLog"]
+
+FSYNC_POLICIES = ("always", "batch", "off")
+
+_SEG_MAGIC = b"REPROWAL"
+_SEG_VERSION = 1
+_SEG_HEADER = _SEG_MAGIC + _SEG_VERSION.to_bytes(2, "big")
+_SEG_NAME_RE = re.compile(r"^wal-(\d{8})\.log$")
+_FRAME = struct.Struct(">II")
+_CKPT_MAGIC = b"REPRO-WAL-CKPT"
+#: Frames claiming more than this are garbage, not records (guards the
+#: replay loop against allocating from a corrupt length field).
+_MAX_RECORD_BYTES = 64 << 20
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One decoded log record: sequence number, kind, and kind data."""
+
+    lsn: int
+    kind: str
+    data: dict
+
+    def encode(self) -> bytes:
+        payload = json.dumps(
+            {"lsn": self.lsn, "kind": self.kind, **self.data},
+            separators=(",", ":"),
+        ).encode()
+        return _FRAME.pack(len(payload), zlib.crc32(payload)) + payload
+
+    @classmethod
+    def decode_payload(cls, payload: bytes) -> "WalRecord":
+        raw = json.loads(payload.decode())
+        lsn = raw.pop("lsn")
+        kind = raw.pop("kind")
+        if not isinstance(lsn, int) or not isinstance(kind, str):
+            raise ValueError("record needs an integer lsn and a string kind")
+        return cls(lsn=lsn, kind=kind, data=raw)
+
+
+@dataclass
+class WalReplay:
+    """What :meth:`WriteAheadLog.recover` found and did."""
+
+    records: list[WalRecord] = field(default_factory=list)
+    segments_read: int = 0
+    torn_tail: bool = False
+    truncated_bytes: int = 0
+    checkpoint_lsn: int = 0
+    checkpoint_payload: bytes | None = None
+
+
+class WriteAheadLog:
+    """A directory-backed segmented WAL (see the module docstring).
+
+    Construction only binds configuration and scans the directory;
+    :meth:`recover` must run (it replays, truncates any torn tail and
+    opens a fresh active segment) before the first :meth:`append`.
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        *,
+        fsync: str = "always",
+        segment_bytes: int = 4 << 20,
+        batch_every: int = 8,
+        max_pending: int = 64,
+    ) -> None:
+        if fsync not in FSYNC_POLICIES:
+            raise WALError(
+                f"fsync policy must be one of {FSYNC_POLICIES}, got {fsync!r}"
+            )
+        if segment_bytes < 4096:
+            raise WALError(f"segment_bytes must be >= 4096, got {segment_bytes}")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.fsync_policy = fsync
+        self.segment_bytes = int(segment_bytes)
+        self.batch_every = max(1, int(batch_every))
+        self.max_pending = max(1, int(max_pending))
+        self._lock = threading.Lock()
+        self._gate_lock = threading.Lock()
+        self._pending = 0
+        self._active = None  # open file handle of the active segment
+        self._active_seq = 0
+        self._active_size = 0
+        self._since_fsync = 0
+        self._next_lsn = 1
+        self._failed: str | None = None  # poison reason after a torn append
+        self._recovered = False
+        self._closed = False
+        #: sealed segment seq -> lsn of its last record (truncation index)
+        self._sealed: dict[int, int] = {}
+        self.last_checkpoint_lsn = 0
+
+    # -- paths -----------------------------------------------------------
+    def _segment_path(self, seq: int) -> Path:
+        return self.directory / f"wal-{seq:08d}.log"
+
+    @property
+    def checkpoint_path(self) -> Path:
+        return self.directory / "checkpoint.ckpt"
+
+    def _segment_seqs(self) -> list[int]:
+        seqs = []
+        for entry in self.directory.iterdir():
+            match = _SEG_NAME_RE.match(entry.name)
+            if match:
+                seqs.append(int(match.group(1)))
+        return sorted(seqs)
+
+    # -- recovery --------------------------------------------------------
+    def recover(self) -> WalReplay:
+        """Replay every segment, truncate a torn tail, open a new segment.
+
+        Returns the decoded records **in log order** plus replay stats.
+        Records at or below the checkpoint LSN are already reflected in
+        the checkpoint blob; they are returned too (callers skip them by
+        epoch), but segments fully covered were deleted at checkpoint
+        time so the overlap is at most one segment.
+        """
+        registry = global_registry()
+        replay = WalReplay(checkpoint_lsn=self.last_checkpoint_lsn)
+        with self._lock:
+            if self._recovered:
+                raise WALError("recover() may only run once, before appends")
+            ckpt = self._read_checkpoint_locked()
+            if ckpt is not None:
+                replay.checkpoint_lsn = self.last_checkpoint_lsn = ckpt[0]
+                replay.checkpoint_payload = ckpt[1]
+            seqs = self._segment_seqs()
+            last_lsn = replay.checkpoint_lsn
+            for position, seq in enumerate(seqs):
+                path = self._segment_path(seq)
+                data = path.read_bytes()
+                data = chaos_point("wal.replay", data)
+                is_last = position == len(seqs) - 1
+                records, valid_end, clean, detail = _scan_segment(data)
+                if not clean and not is_last:
+                    raise WALCorruptionError(path, valid_end, detail)
+                for record in records:
+                    last_lsn = max(last_lsn, record.lsn)
+                replay.records.extend(records)
+                replay.segments_read += 1
+                if not clean:
+                    replay.torn_tail = True
+                    replay.truncated_bytes += len(data) - valid_end
+                    registry.counter("wal.replay.torn_tails").increment()
+                    registry.counter("wal.replay.truncated_bytes").increment(
+                        len(data) - valid_end
+                    )
+                    with open(path, "r+b") as sink:
+                        sink.truncate(valid_end)
+                        sink.flush()
+                        os.fsync(sink.fileno())
+                if records:
+                    self._sealed[seq] = records[-1].lsn
+                else:
+                    self._sealed[seq] = replay.checkpoint_lsn
+            self._next_lsn = last_lsn + 1
+            self._open_segment_locked((seqs[-1] if seqs else 0) + 1)
+            self._recovered = True
+        registry.counter("wal.recoveries").increment()
+        registry.counter("wal.replay.records").increment(len(replay.records))
+        return replay
+
+    def _read_checkpoint_locked(self) -> tuple[int, bytes] | None:
+        path = self.checkpoint_path
+        if not path.exists():
+            return None
+        body = read_checksummed_blob(path, chaos="wal.replay")
+        if body[: len(_CKPT_MAGIC)] != _CKPT_MAGIC:
+            raise WALCorruptionError(path, 0, "bad checkpoint magic")
+        at = len(_CKPT_MAGIC)
+        lsn = int.from_bytes(body[at : at + 8], "big")
+        return lsn, body[at + 8 :]
+
+    def read_checkpoint(self) -> tuple[int, bytes] | None:
+        """``(lsn, payload)`` of the durable checkpoint, or ``None``."""
+        with self._lock:
+            return self._read_checkpoint_locked()
+
+    # -- appends ---------------------------------------------------------
+    @contextmanager
+    def admitted(self):
+        """Bounded write admission: raises 429-typed
+        :class:`~repro.errors.WriteBacklogError` beyond ``max_pending``
+        concurrent writers, instead of queueing unboundedly on the
+        writer lock."""
+        with self._gate_lock:
+            if self._pending >= self.max_pending:
+                global_registry().counter("wal.backpressure_sheds").increment()
+                raise WriteBacklogError(self._pending, self.max_pending)
+            self._pending += 1
+        try:
+            yield
+        finally:
+            with self._gate_lock:
+                self._pending -= 1
+
+    def append(self, kind: str, data: dict) -> int:
+        """Frame, write, flush and (per policy) fsync one record.
+
+        Returns the record's LSN.  Raises :class:`WALError` when the log
+        is poisoned or a chaos ``wal.append`` corrupt fault tears the
+        write — in both cases the record is NOT durable and the caller
+        must not acknowledge or swap.
+        """
+        registry = global_registry()
+        with self._lock:
+            if self._closed:
+                raise WALError("write-ahead log is closed")
+            if not self._recovered:
+                raise WALError("recover() must run before the first append")
+            if self._failed is not None:
+                raise WALError(
+                    f"write-ahead log poisoned ({self._failed}); "
+                    "restart to recover"
+                )
+            record = WalRecord(lsn=self._next_lsn, kind=kind, data=data)
+            encoded = record.encode()
+            mutated = chaos_point("wal.append", encoded)
+            if mutated is not encoded and mutated != encoded:
+                # Simulated torn write: persist the damage, refuse the
+                # ack, and fail-stop further appends — recovery's tail
+                # truncation is the only safe repair.
+                self._active.write(mutated)
+                self._active.flush()
+                self._failed = "torn append (chaos wal.append)"
+                registry.counter("wal.append_torn").increment()
+                raise WALError(
+                    "torn write during WAL append — record not acknowledged"
+                )
+            self._active.write(encoded)
+            self._active.flush()
+            self._sync_locked()
+            self._next_lsn = record.lsn + 1
+            self._active_size += len(encoded)
+            registry.counter("wal.appends").increment()
+            registry.counter("wal.append_bytes").increment(len(encoded))
+            if self._active_size >= self.segment_bytes:
+                self._rotate_locked(record.lsn)
+            return record.lsn
+
+    def _sync_locked(self, force: bool = False) -> None:
+        if not force:
+            if self.fsync_policy == "off":
+                return
+            if self.fsync_policy == "batch":
+                self._since_fsync += 1
+                if self._since_fsync < self.batch_every:
+                    return
+        chaos_point("wal.fsync")
+        start = time.perf_counter()
+        os.fsync(self._active.fileno())
+        global_registry().histogram("wal.fsync_latency").observe(
+            time.perf_counter() - start
+        )
+        global_registry().counter("wal.fsyncs").increment()
+        self._since_fsync = 0
+
+    def _rotate_locked(self, last_lsn: int) -> None:
+        self._sync_locked(force=True)
+        self._active.close()
+        self._sealed[self._active_seq] = last_lsn
+        self._open_segment_locked(self._active_seq + 1)
+        global_registry().counter("wal.rotations").increment()
+
+    def _open_segment_locked(self, seq: int) -> None:
+        path = self._segment_path(seq)
+        self._active = open(path, "ab")
+        if self._active.tell() == 0:
+            self._active.write(_SEG_HEADER)
+            self._active.flush()
+            os.fsync(self._active.fileno())
+        self._active_seq = seq
+        self._active_size = self._active.tell()
+        self._since_fsync = 0
+
+    def sync(self) -> None:
+        """Force an fsync of the active segment (drain/shutdown path)."""
+        with self._lock:
+            if self._active is not None and not self._closed:
+                self._sync_locked(force=True)
+
+    def close(self) -> None:
+        with self._lock:
+            if self._active is not None and not self._closed:
+                try:
+                    self._sync_locked(force=True)
+                finally:
+                    self._active.close()
+            self._closed = True
+
+    # -- checkpoints -----------------------------------------------------
+    def write_checkpoint(self, payload: bytes, *, lsn: int) -> int:
+        """Durably store ``payload`` as covering every record ≤ ``lsn``,
+        then delete the sealed segments that checkpoint makes dead.
+
+        Returns the number of segments truncated.  The blob write is
+        atomic (persistence v2 recipe), so a crash mid-checkpoint leaves
+        the previous checkpoint intact and the log untruncated.
+        """
+        body = _CKPT_MAGIC + int(lsn).to_bytes(8, "big") + payload
+        write_checksummed_blob(self.checkpoint_path, body)
+        removed = 0
+        with self._lock:
+            self.last_checkpoint_lsn = lsn
+            for seq in sorted(self._sealed):
+                if self._sealed[seq] <= lsn and seq != self._active_seq:
+                    try:
+                        self._segment_path(seq).unlink()
+                    except OSError:
+                        continue
+                    del self._sealed[seq]
+                    removed += 1
+        registry = global_registry()
+        registry.counter("wal.checkpoints").increment()
+        if removed:
+            registry.counter("wal.truncated_segments").increment(removed)
+        return removed
+
+    # -- introspection ---------------------------------------------------
+    @property
+    def last_lsn(self) -> int:
+        """LSN of the most recently appended record (0 before any)."""
+        return self._next_lsn - 1
+
+    def status(self) -> dict[str, object]:
+        """Gauge-friendly state for ``/readyz`` and the OpenMetrics tier."""
+        with self._gate_lock:
+            pending = self._pending
+        return {
+            "fsync": self.fsync_policy,
+            "segments": len(self._sealed) + (1 if self._active else 0),
+            "active_segment_bytes": self._active_size,
+            "last_lsn": self.last_lsn,
+            "checkpoint_lsn": self.last_checkpoint_lsn,
+            "pending_writes": pending,
+            "max_pending": self.max_pending,
+            "poisoned": self._failed is not None,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"WriteAheadLog({str(self.directory)!r}, fsync={self.fsync_policy!r}, "
+            f"last_lsn={self.last_lsn}, checkpoint_lsn={self.last_checkpoint_lsn})"
+        )
+
+
+def _scan_segment(
+    data: bytes,
+) -> tuple[list[WalRecord], int, bool, str]:
+    """``(records, valid_end_offset, clean, detail)`` for one segment.
+
+    ``clean`` is False when trailing bytes past ``valid_end_offset``
+    failed to frame-decode — a torn tail if this is the last segment,
+    corruption otherwise (the caller decides which).
+    """
+    if data[: len(_SEG_HEADER)] != _SEG_HEADER:
+        return [], 0, False, "bad segment header"
+    records: list[WalRecord] = []
+    offset = len(_SEG_HEADER)
+    while offset < len(data):
+        if offset + _FRAME.size > len(data):
+            return records, offset, False, "short frame header"
+        length, crc = _FRAME.unpack_from(data, offset)
+        if length > _MAX_RECORD_BYTES:
+            return records, offset, False, f"implausible record length {length}"
+        start = offset + _FRAME.size
+        end = start + length
+        if end > len(data):
+            return records, offset, False, "short record body"
+        payload = data[start:end]
+        if zlib.crc32(payload) != crc:
+            return records, offset, False, "CRC mismatch"
+        try:
+            records.append(WalRecord.decode_payload(payload))
+        except (ValueError, KeyError, TypeError):
+            return records, offset, False, "undecodable record payload"
+        offset = end
+    return records, offset, True, ""

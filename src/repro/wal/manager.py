@@ -1,0 +1,109 @@
+"""Periodic checkpointing and log truncation, off the writer lock.
+
+The :class:`CheckpointManager` wakes on a timer (and can be poked
+directly), asks each attached producer for a consistent
+``checkpoint_state()`` capture — a cheap, lock-bracketed read of
+immutable references, *not* a serialisation — and then does the
+expensive part (pickling and the atomic checksummed write) on its own
+thread while writers keep writing.
+
+Safety of the truncation LSN: each producer appends its WAL record and
+swaps its state under the same lock ``checkpoint_state()`` takes, so a
+capture always reflects every record that producer has appended.  The
+checkpoint is stamped with ``min`` of the producers' applied LSNs
+(producers that never appended don't constrain it): every record at or
+below that LSN is reflected in some capture, and every record above it
+stays in the log for the epoch-idempotent replay to sort out.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.wal.log import WriteAheadLog
+from repro.wal.recovery import checkpoint_payload
+
+__all__ = ["CheckpointManager"]
+
+
+class CheckpointManager:
+    """Drive ``wal.write_checkpoint`` from live producers on a timer.
+
+    ``service`` and ``authz`` are duck-typed: anything exposing
+    ``checkpoint_state() -> dict`` (with an ``applied_lsn`` key, None
+    until the producer's first append) works.  ``every_records``
+    gates checkpoints on log growth so an idle server never rewrites
+    an identical checkpoint.
+    """
+
+    def __init__(
+        self,
+        wal: WriteAheadLog,
+        *,
+        service=None,
+        authz=None,
+        every_records: int = 256,
+        interval_s: float = 15.0,
+    ) -> None:
+        self._wal = wal
+        self._service = service
+        self._authz = authz
+        self.every_records = max(1, int(every_records))
+        self.interval_s = float(interval_s)
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self.checkpoints_written = 0
+
+    def start(self) -> None:
+        if self._thread is not None:
+            return
+        self._thread = threading.Thread(
+            target=self._run, name="wal-checkpoint", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self, final_checkpoint: bool = True) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None
+        if final_checkpoint:
+            self.maybe_checkpoint(force=True)
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            try:
+                self.maybe_checkpoint()
+            except Exception:  # noqa: BLE001 — a failed checkpoint only
+                # delays truncation; the log itself stays authoritative.
+                pass
+
+    def maybe_checkpoint(self, force: bool = False) -> bool:
+        """Write a checkpoint when the log grew enough; True if written."""
+        wal = self._wal
+        if not force and (
+            wal.last_lsn - wal.last_checkpoint_lsn < self.every_records
+        ):
+            return False
+        service_state = None
+        applied: list[int] = []
+        if self._service is not None:
+            service_state = self._service.checkpoint_state()
+            lsn = service_state.pop("applied_lsn")
+            if lsn is not None:
+                applied.append(lsn)
+        authz_state: dict[str, dict] = {}
+        if self._authz is not None:
+            captured = self._authz.checkpoint_state()
+            lsn = captured.pop("applied_lsn")
+            if lsn is not None:
+                applied.append(lsn)
+            authz_state = captured["namespaces"]
+        safe_lsn = min(applied) if applied else 0
+        if safe_lsn <= wal.last_checkpoint_lsn and not force:
+            return False
+        wal.write_checkpoint(
+            checkpoint_payload(service_state, authz_state), lsn=safe_lsn
+        )
+        self.checkpoints_written += 1
+        return True
